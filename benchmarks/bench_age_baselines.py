@@ -1,0 +1,48 @@
+"""Age-metric and baseline-policy ablations.
+
+* the Cho/Garcia-Molina policy ladder (proportional < uniform < GF <
+  PF on perceived freshness);
+* the freshness/age tension: freshness-optimal schedules abandon fast
+  changers (infinite perceived age) while age-optimal schedules keep
+  every element bounded at a modest freshness cost, with the convex
+  blend tracing the trade-off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.sensitivity import (
+    baseline_comparison,
+    freshness_age_tradeoff,
+)
+from repro.analysis.tables import format_sweep
+
+
+def test_baseline_comparison(benchmark, report):
+    sweep = benchmark.pedantic(baseline_comparison, rounds=1,
+                               iterations=1)
+    proportional = sweep.get("PROPORTIONAL").y
+    uniform = sweep.get("UNIFORM").y
+    gf = sweep.get("GF_OPTIMAL").y
+    pf = sweep.get("PF_OPTIMAL").y
+    # PF dominates every policy on perceived freshness...
+    for other in (gf, uniform, proportional):
+        assert (pf >= other - 1e-9).all()
+    # ...proportional's PF is exactly skew-invariant (shared r = Σλ/B),
+    # and profile-blind GF falls below naive uniform at high skew.
+    assert np.allclose(proportional, proportional[0], atol=1e-9)
+    assert gf[-1] < uniform[-1]
+    assert pf[-1] - gf[-1] > 0.3  # the profile-awareness payoff
+    report("abl_baselines", format_sweep(sweep))
+
+
+def test_freshness_age_tradeoff(benchmark, report):
+    sweep = benchmark.pedantic(freshness_age_tradeoff, rounds=1,
+                               iterations=1)
+    pf = sweep.get("perceived freshness").y
+    age = sweep.get("perceived age").y
+    assert (np.diff(pf) >= -1e-9).all()
+    assert np.isfinite(age[0])
+    assert np.isinf(age[-1])  # freshness optimum starves something
+    report("abl_freshness_age", format_sweep(sweep))

@@ -1,0 +1,36 @@
+"""Figure 1 — the relationship among f, λ and p (solution curves).
+
+Paper claims: for a given change rate λ an element needs more
+bandwidth as its access probability p increases; each curve has a
+cutoff change rate beyond which the element receives no bandwidth,
+and the cutoff scales with p.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.experiments import figure1
+from repro.analysis.tables import format_sweep
+
+
+def test_figure1(benchmark, report):
+    sweep = benchmark(figure1)
+
+    low = sweep.get("p=0.0333")
+    mid = sweep.get("p=0.0667")
+    high = sweep.get("p=0.1333")
+    both = (low.y > 0.0) & (high.y > 0.0)
+    assert (high.y[both] >= low.y[both]).all()
+    # Cutoffs: the low-p curve dies first as λ grows.
+    assert (low.y > 0).sum() < (mid.y > 0).sum() < (high.y > 0).sum()
+
+    # Print a decimated version of the curves.
+    from repro.analysis.series import Series, SweepResult
+    keep = slice(None, None, 12)
+    decimated = SweepResult(
+        name=sweep.name, x_label=sweep.x_label, y_label=sweep.y_label,
+        series=tuple(Series(label=s.label, x=s.x[keep], y=s.y[keep])
+                     for s in sweep.series),
+        notes=sweep.notes)
+    report("figure01", format_sweep(decimated))

@@ -1,0 +1,34 @@
+"""Figure 2 — alignment options (aligned vs reverse workload shapes).
+
+The figure is illustrative: under *aligned* the change-frequency
+curve falls with page rank like the access curve; under *reverse* it
+rises.  The benchmark regenerates both Table-2 workloads and reports
+head/tail summary rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.experiments import figure2
+from repro.analysis.tables import format_table
+
+
+def test_figure2(benchmark, report):
+    results = benchmark(figure2, seed=0)
+
+    aligned = results["aligned"].get("change frequency").y
+    reverse = results["reverse"].get("change frequency").y
+    assert (np.diff(aligned) <= 0.0).all()
+    assert (np.diff(reverse) >= 0.0).all()
+    # Same multiset of rates, opposite arrangement.
+    assert np.allclose(np.sort(aligned), np.sort(reverse))
+
+    rows = []
+    for name, sweep in results.items():
+        access = sweep.get("access frequency").y
+        change = sweep.get("change frequency").y
+        rows.append([name, access[0], access[-1], change[0], change[-1]])
+    report("figure02", "Figure 2 — alignment options (head/tail values)\n"
+           + format_table(["alignment", "access[hot]", "access[cold]",
+                           "change[hot]", "change[cold]"], rows))

@@ -1,0 +1,49 @@
+"""Figure 5 — comparing the partitioning techniques (Table 2 scale).
+
+Paper claims reproduced as assertions:
+
+* every technique approaches the ideal (best_case) as k grows;
+* under *shuffled-change* alignment λ-partitioning clearly trails the
+  access-aware sorts;
+* under aligned/reverse alignment the four techniques nearly coincide.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.experiments import figure5
+from repro.analysis.tables import format_sweep
+
+
+def test_figure5(benchmark, report):
+    counts = np.array([10, 25, 50, 100, 200, 350, 500])
+    results = benchmark.pedantic(
+        lambda: figure5(partition_counts=counts), rounds=1, iterations=1)
+
+    blocks = []
+    for alignment, sweep in results.items():
+        best = sweep.get("best_case").y
+        for label in sweep.labels:
+            if label == "best_case":
+                continue
+            y = sweep.get(label).y
+            assert (y <= best + 1e-8).all()
+            # Convergence to the ideal at k = N.
+            assert y[-1] >= best[-1] - 0.01
+        blocks.append(format_sweep(sweep))
+
+    shuffled = results["shuffled"]
+    lam = shuffled.get("LAMBDA_PARTITIONING").y
+    pf = shuffled.get("PF_PARTITIONING").y
+    assert pf[2] > lam[2] + 0.05  # λ-sort trails at moderate k
+
+    for alignment in ("aligned", "reverse"):
+        sweep = results[alignment]
+        pf = sweep.get("PF_PARTITIONING").y
+        p_only = sweep.get("P_PARTITIONING").y
+        lam = sweep.get("LAMBDA_PARTITIONING").y
+        assert np.allclose(pf, p_only, atol=0.02)
+        assert np.allclose(pf, lam, atol=0.02)
+
+    report("figure05", "\n\n".join(blocks))

@@ -1,0 +1,30 @@
+"""Figure 6 — sensitivity of partitioning to Zipf skew (shuffled).
+
+Paper claims reproduced as assertions: perceived freshness rises with
+θ for every technique, and λ-partitioning cannot keep up as skew
+grows because access probability dominates the PF objective.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.experiments import figure6
+from repro.analysis.tables import format_sweep
+
+
+def test_figure6(benchmark, report):
+    sweep = benchmark.pedantic(
+        lambda: figure6(n_partitions=50), rounds=1, iterations=1)
+
+    for label in sweep.labels:
+        y = sweep.get(label).y
+        assert y[-1] > y[0]
+
+    lam = sweep.get("LAMBDA_PARTITIONING").y
+    pf = sweep.get("PF_PARTITIONING").y
+    # The gap between λ-partitioning and PF-partitioning widens.
+    assert pf[-1] - lam[-1] > pf[0] - lam[0]
+    assert pf[-1] > lam[-1] + 0.1
+
+    report("figure06", format_sweep(sweep))

@@ -1,0 +1,24 @@
+"""The one-command reproduction report, as a benchmark.
+
+Running the benchmark harness leaves a current REPORT.md at the repo
+root — the document a reviewer reads next to the paper — and asserts
+that every section passes its claim checks.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.report import write_report
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_reproduction_report(benchmark):
+    sections = benchmark.pedantic(
+        lambda: write_report(REPO_ROOT / "REPORT.md", quick=True),
+        rounds=1, iterations=1)
+    failures = [section.title for section in sections
+                if not section.passed]
+    assert not failures, f"report sections failed: {failures}"
+    assert (REPO_ROOT / "REPORT.md").exists()

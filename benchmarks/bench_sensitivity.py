@@ -1,0 +1,103 @@
+"""Sensitivity analyses and design-choice ablations.
+
+The paper defers parameter sensitivity to its companion technical
+report; these benches reconstruct that study and the ablations
+DESIGN.md commits to (representative statistic, adaptive-loop
+convergence, mirror selection strategies).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.sensitivity import (
+    adaptive_convergence,
+    bandwidth_sensitivity,
+    dispersion_sensitivity,
+    representative_ablation,
+    scale_sensitivity,
+)
+from repro.analysis.tables import format_sweep
+
+
+def test_bandwidth_sensitivity(benchmark, report):
+    sweep = benchmark.pedantic(bandwidth_sensitivity, rounds=1,
+                               iterations=1)
+    advantage = sweep.get("PF_ADVANTAGE").y
+    # Profile-awareness matters most when bandwidth is scarce.
+    assert advantage[0] > advantage[-1]
+    assert (advantage >= -1e-9).all()
+    report("sens_bandwidth", format_sweep(sweep))
+
+
+def test_dispersion_sensitivity(benchmark, report):
+    sweep = benchmark.pedantic(dispersion_sensitivity, rounds=1,
+                               iterations=1)
+    pf = sweep.get("PF_TECHNIQUE").y
+    # Rate dispersion is exploitable structure: more σ, more PF.
+    assert pf[-1] > pf[0]
+    report("sens_dispersion", format_sweep(sweep))
+
+
+def test_scale_sensitivity(benchmark, report):
+    sweep = benchmark.pedantic(scale_sensitivity, rounds=1,
+                               iterations=1)
+    optimal = sweep.get("optimal").y
+    gap = optimal - sweep.get("heuristic k=100").y
+    assert (np.diff(optimal) > 0.0).all()
+    assert gap[-1] > gap[0]  # fixed k cannot keep up with N
+    report("sens_scale", format_sweep(sweep))
+
+
+def test_representative_ablation(benchmark, report):
+    sweep = benchmark.pedantic(representative_ablation, rounds=1,
+                               iterations=1)
+    best = sweep.get("best_case").y
+    mean = sweep.get("mean").y
+    assert (mean <= best + 1e-8).all()
+    # The paper's plain-mean representative is competitive with the
+    # alternatives everywhere.
+    for label in ("median", "interest-weighted"):
+        assert (mean >= sweep.get(label).y - 0.05).all()
+    report("sens_representative", format_sweep(sweep))
+
+
+def test_adaptive_convergence(benchmark, report):
+    sweep = benchmark.pedantic(adaptive_convergence, rounds=1,
+                               iterations=1)
+    adaptive = sweep.get("adaptive manager").y
+    oracle = sweep.get("oracle").y[0]
+    blind = sweep.get("profile-blind").y[0]
+    assert adaptive[-1] > blind
+    assert adaptive[-1] > 0.85 * oracle
+    report("sens_adaptive", format_sweep(sweep))
+
+
+def test_burstiness_robustness(benchmark, report):
+    from repro.analysis.sensitivity import burstiness_robustness
+
+    sweep = benchmark.pedantic(burstiness_robustness, rounds=1,
+                               iterations=1)
+    measured = sweep.get("measured (bursty world)").y
+    prediction = sweep.get("poisson prediction").y[0]
+    # The Poisson plan is conservative on bursty sources: measured PF
+    # matches at burstiness 0 and only rises with clustering.
+    assert measured[0] == pytest.approx(prediction, abs=0.05)
+    assert (measured >= prediction - 0.05).all()
+    report("sens_burstiness", format_sweep(sweep))
+
+
+def test_crawler_comparison(benchmark, report):
+    from repro.analysis.sensitivity import crawler_comparison
+    from repro.analysis.tables import format_table
+
+    sweep = benchmark.pedantic(crawler_comparison, rounds=1,
+                               iterations=1)
+    scores = sweep.notes["scores"]
+    # Knowledge hierarchy: full plan >= sampled knowledge >= blind.
+    assert scores["PF_SCHEDULE"] > scores["RANDOM_POLLING"]
+    assert scores["SAMPLING_CRAWLER"] > scores["RANDOM_POLLING"]
+    rows = [(label, value) for label, value in scores.items()]
+    report("sens_crawler", "crawler-comparison (perceived freshness)\n"
+           + format_table(["policy", "perceived freshness"], rows))

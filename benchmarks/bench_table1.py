@@ -1,0 +1,36 @@
+"""Table 1 — optimal sync frequencies for the five-element example.
+
+Paper rows:
+    (a) change freq   1     2     3     4     5
+    (b) sync (P1)     1.15  1.36  1.35  1.14  0.00
+    (c) sync (P2)     0.33  0.67  1.00  1.33  1.67
+    (d) sync (P3)     1.68  1.83  1.49  0.00  0.00
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.experiments import table1
+from repro.analysis.tables import format_table
+
+
+def test_table1(benchmark, report):
+    results = benchmark(table1)
+
+    assert np.round(results["P1"], 2).tolist() == [1.15, 1.36, 1.35,
+                                                   1.14, 0.00]
+    assert np.round(results["P2"], 2).tolist() == [0.33, 0.67, 1.00,
+                                                   1.33, 1.67]
+    assert np.allclose(results["P3"], [1.685, 1.83, 1.49, 0.0, 0.0],
+                       atol=0.01)
+
+    headers = ["row"] + [f"e{i + 1}" for i in range(5)]
+    rows = [["(a) change freq"]
+            + [f"{v:g}" for v in results["change_rates"]]]
+    paper = {"P1": "(b)", "P2": "(c)", "P3": "(d)"}
+    for profile in ("P1", "P2", "P3"):
+        rows.append([f"{paper[profile]} sync freq ({profile})"]
+                    + [f"{v:.2f}" for v in results[profile]])
+    report("table1", "Table 1 — optimal sync frequencies\n"
+           + format_table(headers, rows))

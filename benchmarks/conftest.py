@@ -1,0 +1,29 @@
+"""Shared infrastructure for the reproduction benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures,
+asserts the *shape* claims that make the reproduction meaningful
+(who wins, where curves touch), and writes the paper-style rows to
+``benchmarks/results/<name>.txt`` (stdout is captured by pytest, the
+files are the durable record).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report():
+    """Persist a named result table and echo it to stdout."""
+
+    def _write(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return _write

@@ -1,0 +1,85 @@
+"""Adaptive mirror operation with drifting user interest.
+
+A deployed mirror knows neither the master profile nor the change
+rates — and user interest *drifts*.  The
+:class:`~repro.runtime.AdaptiveMirrorManager` runs the paper's §3
+operational loop (observe the request log and poll outcomes,
+re-estimate, periodically re-solve the Core Problem) while this
+script swaps the hidden true profile halfway through, simulating a
+news cycle moving attention to previously cold objects.
+
+Watch the manager's achieved perceived freshness climb toward the
+oracle, crater at the drift, and recover as the decayed profile
+estimate tracks the new interest.
+
+Run:  python examples/adaptive_mirror.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    AdaptiveMirrorManager,
+    PerceivedFreshener,
+    build_catalog,
+)
+from repro.workloads import ExperimentSetup
+
+SETUP = ExperimentSetup(n_objects=250, updates_per_period=500.0,
+                        syncs_per_period=125.0, theta=1.2,
+                        update_std_dev=1.0)
+PERIODS_BEFORE_DRIFT = 10
+PERIODS_AFTER_DRIFT = 14
+REQUEST_RATE = 2500.0
+
+
+def main() -> None:
+    catalog = build_catalog(SETUP, alignment="shuffled", seed=9)
+    # The post-drift world: interest reverses — yesterday's cold
+    # objects are today's front page.
+    drifted = catalog.with_profile(
+        catalog.access_probabilities[::-1].copy())
+
+    planner = PerceivedFreshener()
+    oracle_before = planner.plan(
+        catalog, SETUP.syncs_per_period).perceived_freshness
+    oracle_after = planner.plan(
+        drifted, SETUP.syncs_per_period).perceived_freshness
+
+    manager = AdaptiveMirrorManager(
+        catalog, SETUP.syncs_per_period, request_rate=REQUEST_RATE,
+        rng=np.random.default_rng(17), replan_divergence=0.05)
+
+    print(f"oracle PF before drift: {oracle_before:.4f}, "
+          f"after drift: {oracle_after:.4f}")
+    print()
+    print("period  achieved-PF  oracle  replanned  drift-from-plan")
+
+    def show(report, oracle):
+        flag = "yes" if report.replanned else ""
+        print(f"{report.period:6d}  {report.achieved_pf:11.4f}  "
+              f"{oracle:6.4f}  {flag:>9}  "
+              f"{report.profile_divergence:15.4f}")
+
+    for period in range(1, PERIODS_BEFORE_DRIFT + 1):
+        show(manager.run_period(period), oracle_before)
+
+    print("          --- user interest flips (hidden from manager) ---")
+    manager.replace_world(drifted)  # the world changes under us
+
+    for period in range(PERIODS_BEFORE_DRIFT + 1,
+                        PERIODS_BEFORE_DRIFT + PERIODS_AFTER_DRIFT + 1):
+        show(manager.run_period(period), oracle_after)
+
+    final = manager.run_period(PERIODS_BEFORE_DRIFT
+                               + PERIODS_AFTER_DRIFT + 1)
+    recovered = final.achieved_pf / oracle_after
+    print()
+    print(f"final achieved PF = {final.achieved_pf:.4f} — "
+          f"{recovered:.0%} of the post-drift oracle, reached with no "
+          "knowledge of profiles or change rates")
+
+
+if __name__ == "__main__":
+    main()

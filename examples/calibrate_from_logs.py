@@ -1,0 +1,103 @@
+"""Calibrate the paper's models to your own logs, then run what-ifs.
+
+A mirror operator has two artifacts: a request log and a poll history.
+This example closes the full loop:
+
+1. *Pretend production*: simulate a hidden "real" mirror for a while,
+   recording the request log and per-poll change bits — the only
+   things an operator actually has.
+2. *Estimate*: change rates from the censored poll history
+   (bias-reduced Cho/Garcia-Molina estimator).
+3. *Calibrate*: fit the paper's workload model — Zipf θ from the log,
+   gamma (mean, σ) from the estimated rates — into an
+   `ExperimentSetup`.
+4. *What-if*: use the calibrated setup to answer a question the
+   production system cannot: how much perceived freshness would a
+   bigger budget buy?  (The calibrated synthetic sweep is compared
+   against the hidden truth to show the calibration is trustworthy.)
+
+Run:  python examples/calibrate_from_logs.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import PerceivedFreshener, build_catalog, perceived_freshness
+from repro.analysis.calibration import calibrate_setup
+from repro.estimation import bias_reduced_rate_estimate
+from repro.sim import Simulation
+from repro.workloads import AccessSet, ExperimentSetup
+
+HIDDEN_TRUTH = ExperimentSetup(n_objects=300, updates_per_period=600.0,
+                               syncs_per_period=150.0, theta=1.1,
+                               update_std_dev=1.2)
+OBSERVATION_PERIODS = 60
+
+
+def observe_production(catalog, rng):
+    """Run the 'real' mirror and collect the operator's two artifacts."""
+    uniform = np.full(catalog.n_elements,
+                      HIDDEN_TRUTH.syncs_per_period / catalog.n_elements)
+    result = Simulation(catalog, uniform, request_rate=2000.0,
+                        rng=rng).run(n_periods=OBSERVATION_PERIODS)
+    elements = np.repeat(np.arange(catalog.n_elements),
+                         result.access_counts)
+    log = AccessSet(times=np.arange(elements.size, dtype=float),
+                    elements=elements)
+    return (log, result.poll_counts.astype(float),
+            result.changed_poll_counts.astype(float), uniform[0])
+
+
+def main() -> None:
+    rng = np.random.default_rng(23)
+    truth = build_catalog(HIDDEN_TRUTH, alignment="shuffled", seed=6)
+    log, polls, changes, poll_frequency = observe_production(truth, rng)
+    print(f"observed {len(log)} requests and {int(polls.sum())} polls "
+          f"over {OBSERVATION_PERIODS} periods")
+
+    # Operator-side estimation: rates from censored poll outcomes.
+    # Elements whose polls never saw a change estimate to exactly 0;
+    # floor them at half the smallest detectable rate (one change in
+    # all polls) — "rarely changing", not "never changing".
+    interval = 1.0 / poll_frequency
+    rates = bias_reduced_rate_estimate(polls, changes, interval)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        detection_floor = np.where(
+            polls > 0.5,
+            -np.log((polls - 0.5) / (polls + 0.5)) / interval,
+            HIDDEN_TRUTH.mean_change_rate)
+    rates = np.maximum(rates, 0.5 * detection_floor)
+    setup = calibrate_setup(log, rates,
+                            bandwidth=HIDDEN_TRUTH.syncs_per_period,
+                            min_count=20)
+    print(f"calibrated: theta = {setup.theta:.2f} "
+          f"(truth {HIDDEN_TRUTH.theta}), mean rate = "
+          f"{setup.mean_change_rate:.2f} "
+          f"(truth {HIDDEN_TRUTH.mean_change_rate:.2f}), sigma = "
+          f"{setup.update_std_dev:.2f} "
+          f"(truth {HIDDEN_TRUTH.update_std_dev})")
+
+    # What-if sweep on the calibrated synthetic world vs hidden truth.
+    planner = PerceivedFreshener()
+    print()
+    print("what-if: optimal PF vs bandwidth multiplier")
+    print("  multiplier   calibrated-world   hidden-truth")
+    for multiplier in (0.5, 1.0, 2.0, 4.0):
+        budget = multiplier * HIDDEN_TRUTH.syncs_per_period
+        synthetic = build_catalog(setup, alignment="shuffled", seed=99)
+        predicted = planner.plan(synthetic, budget).perceived_freshness
+        actual = perceived_freshness(
+            truth, planner.plan(truth, budget).frequencies)
+        print(f"  {multiplier:10.1f}   {predicted:16.4f}   "
+              f"{actual:12.4f}")
+    print()
+    print("the calibrated world tracks the true bandwidth/freshness "
+          "curve without touching production.  (Predictions run a "
+          "few points optimistic: polling every other period censors "
+          "the fast tail of the rate distribution — poll faster "
+          "during calibration to tighten them.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Closed-loop profile learning: no profiles, just the request log.
+
+The paper's conclusion sketches "a simple learning algorithm that
+monitors the system request log" in place of user-submitted profiles.
+This example runs that loop:
+
+1. start with a uniform profile (knowing nothing),
+2. each period: plan with the current estimate, simulate the period,
+   feed the observed accesses to the :class:`ProfileLearner`,
+3. watch perceived freshness climb from the GF baseline toward the
+   known-profile optimum.
+
+Run:  python examples/profile_learning.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    PerceivedFreshener,
+    ProfileLearner,
+    Simulation,
+    build_catalog,
+    perceived_freshness,
+)
+from repro.workloads import ExperimentSetup
+
+SETUP = ExperimentSetup(n_objects=300, updates_per_period=600.0,
+                        syncs_per_period=150.0, theta=1.2,
+                        update_std_dev=1.0)
+N_ROUNDS = 12
+REQUESTS_PER_PERIOD = 3000.0
+
+
+def main() -> None:
+    rng = np.random.default_rng(21)
+    catalog = build_catalog(SETUP, alignment="shuffled", seed=5)
+    planner = PerceivedFreshener()
+    learner = ProfileLearner(SETUP.n_objects, decay=0.8, smoothing=0.5)
+
+    oracle = planner.plan(catalog, SETUP.syncs_per_period)
+    print(f"known-profile optimum: {oracle.perceived_freshness:.4f}")
+    blind = planner.plan(catalog.with_uniform_profile(),
+                         SETUP.syncs_per_period)
+    blind_score = perceived_freshness(catalog, blind.frequencies)
+    print(f"uniform-profile (GF) baseline: {blind_score:.4f}")
+    print()
+    print("round  learned-profile PF   divergence-from-truth")
+
+    believed = catalog.with_uniform_profile()
+    for round_number in range(1, N_ROUNDS + 1):
+        plan = planner.plan(believed, SETUP.syncs_per_period)
+        achieved = perceived_freshness(catalog, plan.frequencies)
+
+        # Simulate one period against the TRUE workload and log it.
+        sim = Simulation(catalog, plan.frequencies,
+                         request_rate=REQUESTS_PER_PERIOD, rng=rng)
+        result = sim.run(n_periods=1)
+        accesses = rng.choice(SETUP.n_objects,
+                              size=max(result.n_accesses, 1),
+                              p=catalog.access_probabilities)
+        learner.observe(accesses)
+        learner.end_period()
+
+        estimate = learner.estimate()
+        divergence = 0.5 * np.abs(
+            estimate.probabilities
+            - catalog.access_probabilities).sum()
+        print(f"{round_number:5d}  {achieved:18.4f}   {divergence:12.4f}")
+        believed = catalog.with_profile(estimate.probabilities)
+
+    final = perceived_freshness(
+        catalog, planner.plan(believed,
+                              SETUP.syncs_per_period).frequencies)
+    recovered = (final - blind_score) / (oracle.perceived_freshness
+                                         - blind_score)
+    print()
+    print(f"final learned-profile PF: {final:.4f} — recovered "
+          f"{recovered:.0%} of the gap between profile-blind and "
+          "oracle scheduling from the request log alone")
+
+
+if __name__ == "__main__":
+    main()

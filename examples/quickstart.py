@@ -1,0 +1,61 @@
+"""Quickstart: plan a profile-aware refresh schedule and simulate it.
+
+A mirror holds three objects with very different volatility and very
+different user interest.  We plan the optimal Perceived-Freshening
+schedule under a bandwidth budget, compare it against the
+profile-blind General-Freshening baseline, and verify both with the
+discrete-event simulator.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    Catalog,
+    GeneralFreshener,
+    PerceivedFreshener,
+    Simulation,
+)
+
+
+def main() -> None:
+    # Three mirrored objects: a hot volatile page, a warm slow page,
+    # and a cold near-static page.
+    catalog = Catalog(
+        access_probabilities=np.array([0.6, 0.3, 0.1]),
+        change_rates=np.array([5.0, 1.0, 0.2]),  # updates per period
+    )
+    bandwidth = 3.0  # syncs per period the mirror can afford
+
+    pf_plan = PerceivedFreshener().plan(catalog, bandwidth)
+    gf_plan = GeneralFreshener().plan(catalog, bandwidth)
+
+    print("Sync frequencies (per period):")
+    print(f"  profile-aware (PF): {np.round(pf_plan.frequencies, 3)}")
+    print(f"  profile-blind (GF): {np.round(gf_plan.frequencies, 3)}")
+    print()
+    print("Analytic perceived freshness (what users will see):")
+    print(f"  PF technique: {pf_plan.perceived_freshness:.4f}")
+    print(f"  GF technique: {gf_plan.perceived_freshness:.4f}")
+    print()
+
+    # Verify with the simulator: replay Poisson updates, the timed
+    # fixed-order schedule, and a Poisson user request stream.
+    for name, plan in (("PF", pf_plan), ("GF", gf_plan)):
+        sim = Simulation(catalog, plan.frequencies, request_rate=500.0,
+                         rng=np.random.default_rng(42))
+        result = sim.run(n_periods=200)
+        analytic, _ = result.analytic()
+        print(f"{name} simulated: {result.n_accesses} accesses, "
+              f"{result.monitored_perceived_freshness:.4f} saw fresh "
+              f"data (analytic {analytic:.4f}, "
+              f"{result.wasted_sync_fraction:.1%} of polls wasted)")
+
+    assert pf_plan.perceived_freshness >= gf_plan.perceived_freshness
+
+
+if __name__ == "__main__":
+    main()

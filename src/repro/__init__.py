@@ -1,0 +1,129 @@
+"""repro — Scalable Application-Aware Data Freshening.
+
+A full reproduction of Carney, Lee & Zdonik, *Scalable
+Application-Aware Data Freshening* (ICDE 2003): perceived-freshness
+refresh scheduling for mirrors under limited poll bandwidth, the
+scalable partitioning/clustering heuristics, the variable-object-size
+extension, and the discrete-event simulator the paper evaluated on.
+
+Quickstart::
+
+    import numpy as np
+    from repro import Catalog, PerceivedFreshener
+
+    catalog = Catalog(
+        access_probabilities=np.array([0.6, 0.3, 0.1]),
+        change_rates=np.array([5.0, 1.0, 0.2]),
+    )
+    plan = PerceivedFreshener().plan(catalog, bandwidth=3.0)
+    plan.frequencies            # syncs per period, per element
+    plan.perceived_freshness    # what users will observe
+
+See ``examples/`` for complete scenarios and ``benchmarks/`` for the
+per-figure reproduction harness.
+"""
+
+from repro.core import (
+    AllocationPolicy,
+    ProportionalFreshener,
+    UniformFreshener,
+    perceived_age,
+    solve_min_age_problem,
+    FixedOrderPolicy,
+    Freshener,
+    FresheningPlan,
+    FreshnessModel,
+    GeneralFreshener,
+    PartitionedFreshener,
+    PartitioningStrategy,
+    PerceivedFreshener,
+    PhasePolicy,
+    PoissonSyncPolicy,
+    ScheduleSolution,
+    SyncSchedule,
+    general_freshness,
+    perceived_freshness,
+    solve_core_problem,
+)
+from repro.errors import (
+    ConvergenceError,
+    InfeasibleProblemError,
+    ReproError,
+    ScheduleError,
+    SimulationError,
+    ValidationError,
+)
+from repro.core.selection import (
+    MirrorSelection,
+    SelectionStrategy,
+    plan_selected_mirror,
+    select_mirror,
+)
+from repro.profiles import ProfileLearner, UserProfile, aggregate_profiles
+from repro.runtime import AdaptiveMirrorManager, BeliefState, PeriodReport
+from repro.core.incremental import IncrementalSolver
+from repro.sim import Simulation, SimulationResult, SyncLink
+from repro.workloads import (
+    BIG_SETUP,
+    IDEAL_SETUP,
+    Alignment,
+    Catalog,
+    ExperimentSetup,
+    build_catalog,
+    toy_example_catalog,
+    WorkloadBuilder,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "aggregate_profiles",
+    "Alignment",
+    "AllocationPolicy",
+    "BIG_SETUP",
+    "build_catalog",
+    "Catalog",
+    "ConvergenceError",
+    "ExperimentSetup",
+    "FixedOrderPolicy",
+    "Freshener",
+    "FresheningPlan",
+    "FreshnessModel",
+    "GeneralFreshener",
+    "general_freshness",
+    "IDEAL_SETUP",
+    "IncrementalSolver",
+    "SyncLink",
+    "InfeasibleProblemError",
+    "AdaptiveMirrorManager",
+    "BeliefState",
+    "MirrorSelection",
+    "PeriodReport",
+    "plan_selected_mirror",
+    "SelectionStrategy",
+    "select_mirror",
+    "PartitionedFreshener",
+    "PartitioningStrategy",
+    "PerceivedFreshener",
+    "perceived_freshness",
+    "PhasePolicy",
+    "PoissonSyncPolicy",
+    "perceived_age",
+    "ProfileLearner",
+    "ProportionalFreshener",
+    "solve_min_age_problem",
+    "UniformFreshener",
+    "ReproError",
+    "ScheduleError",
+    "ScheduleSolution",
+    "Simulation",
+    "SimulationError",
+    "SimulationResult",
+    "solve_core_problem",
+    "SyncSchedule",
+    "toy_example_catalog",
+    "UserProfile",
+    "ValidationError",
+    "WorkloadBuilder",
+]

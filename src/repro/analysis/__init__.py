@@ -1,0 +1,86 @@
+"""Experiment runners and result rendering.
+
+:mod:`repro.analysis.experiments` holds one runner per paper table or
+figure (plus the extension experiments); :mod:`repro.analysis.tables`
+and :mod:`repro.analysis.plots` render the results as aligned text
+tables and ASCII charts for the benchmark harness and CLI.
+"""
+
+from repro.analysis.experiments import (
+    figure1,
+    figure2,
+    figure3,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    imperfect_knowledge,
+    mirror_selection,
+    policy_ablation,
+    table1,
+)
+from repro.analysis.calibration import (
+    GammaFit,
+    calibrate_setup,
+    fit_gamma_rates,
+    fit_zipf_theta,
+)
+from repro.analysis.plots import ascii_plot
+from repro.analysis.replication import (
+    ReplicatedEstimate,
+    replicate,
+    simulated_pf_interval,
+)
+from repro.analysis.report import ReportSection, generate_report, write_report
+from repro.analysis.sensitivity import (
+    adaptive_convergence,
+    bandwidth_sensitivity,
+    dispersion_sensitivity,
+    representative_ablation,
+    scale_sensitivity,
+)
+from repro.analysis.series import Series, SweepResult
+from repro.analysis.svg import sweep_to_svg, write_svg
+from repro.analysis.tables import format_sweep, format_table
+
+__all__ = [
+    "adaptive_convergence",
+    "calibrate_setup",
+    "fit_gamma_rates",
+    "fit_zipf_theta",
+    "GammaFit",
+    "ascii_plot",
+    "bandwidth_sensitivity",
+    "generate_report",
+    "ReplicatedEstimate",
+    "replicate",
+    "simulated_pf_interval",
+    "sweep_to_svg",
+    "write_svg",
+    "ReportSection",
+    "write_report",
+    "dispersion_sensitivity",
+    "representative_ablation",
+    "scale_sensitivity",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "format_sweep",
+    "format_table",
+    "imperfect_knowledge",
+    "mirror_selection",
+    "policy_ablation",
+    "Series",
+    "SweepResult",
+    "table1",
+]

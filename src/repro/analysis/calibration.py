@@ -1,0 +1,147 @@
+"""Calibrating the paper's workload models to observed logs.
+
+The paper's experiments are parameterized by a Zipf access skew θ and
+a gamma change-rate distribution (mean, σ).  To run those experiments
+against *your* mirror you need those parameters from *your* logs.
+This module fits them:
+
+* :func:`fit_zipf_theta` — least-squares slope of log-frequency vs
+  log-rank, the standard Zipf estimator (the paper cites measured
+  values up to 1.6 from exactly this kind of fit).
+* :func:`fit_gamma_rates` — method-of-moments gamma fit of a
+  change-rate sample (e.g. the output of an estimation phase).
+* :func:`calibrate_setup` — assemble a complete
+  :class:`~repro.workloads.presets.ExperimentSetup` from an access
+  log and estimated rates, ready for `build_catalog` and the whole
+  experiment harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.workloads.accesses import AccessSet
+from repro.workloads.presets import ExperimentSetup
+
+__all__ = ["GammaFit", "fit_zipf_theta", "fit_gamma_rates",
+           "calibrate_setup"]
+
+
+def fit_zipf_theta(access_counts: np.ndarray, *,
+                   min_count: int = 1) -> float:
+    """Estimate the Zipf skew θ from access counts.
+
+    Sorts elements by popularity and regresses ``log(count)`` on
+    ``log(rank)``; under a Zipf(θ) profile the slope is −θ.
+
+    Args:
+        access_counts: Accesses per element (any order).
+        min_count: Ranks with fewer observations are excluded (tail
+            counts of 0/1 are dominated by sampling noise).
+
+    Returns:
+        The fitted θ, clipped below at 0.
+
+    Raises:
+        ValidationError: If fewer than 3 ranks survive the cutoff.
+    """
+    counts = np.asarray(access_counts, dtype=float)
+    if counts.ndim != 1:
+        raise ValidationError("access_counts must be 1-D")
+    if (counts < 0).any():
+        raise ValidationError("access counts must be nonnegative")
+    ordered = np.sort(counts)[::-1]
+    kept = ordered[ordered >= max(min_count, 1)]
+    if kept.size < 3:
+        raise ValidationError(
+            f"need at least 3 ranks with >= {min_count} accesses to "
+            f"fit, got {kept.size}")
+    ranks = np.arange(1, kept.size + 1, dtype=float)
+    log_rank = np.log(ranks)
+    log_count = np.log(kept)
+    slope = (np.cov(log_rank, log_count, bias=True)[0, 1]
+             / np.var(log_rank))
+    return float(max(-slope, 0.0))
+
+
+@dataclass(frozen=True)
+class GammaFit:
+    """Method-of-moments gamma fit of a rate sample.
+
+    Attributes:
+        mean: Sample mean (the gamma mean).
+        std_dev: Sample standard deviation (the gamma σ).
+        shape: Implied gamma shape ``(mean/σ)²``.
+        scale: Implied gamma scale ``σ²/mean``.
+    """
+
+    mean: float
+    std_dev: float
+
+    @property
+    def shape(self) -> float:
+        """Gamma shape parameter k."""
+        return (self.mean / self.std_dev) ** 2
+
+    @property
+    def scale(self) -> float:
+        """Gamma scale parameter."""
+        return self.std_dev ** 2 / self.mean
+
+
+def fit_gamma_rates(rates: np.ndarray) -> GammaFit:
+    """Fit a gamma distribution to observed change rates by moments.
+
+    Args:
+        rates: Positive rate sample (e.g. censored-MLE estimates from
+            a polling phase), at least 2 values with spread.
+
+    Returns:
+        The :class:`GammaFit`.
+
+    Raises:
+        ValidationError: On non-positive rates or a degenerate sample.
+    """
+    rates = np.asarray(rates, dtype=float)
+    if rates.ndim != 1 or rates.size < 2:
+        raise ValidationError("need a 1-D sample of >= 2 rates")
+    if (rates <= 0.0).any():
+        raise ValidationError("rates must be strictly positive")
+    mean = float(rates.mean())
+    std_dev = float(rates.std(ddof=1))
+    if std_dev <= 0.0:
+        raise ValidationError(
+            "rate sample has zero spread; a gamma fit is degenerate")
+    return GammaFit(mean=mean, std_dev=std_dev)
+
+
+def calibrate_setup(accesses: AccessSet, rates: np.ndarray, *,
+                    bandwidth: float,
+                    min_count: int = 1) -> ExperimentSetup:
+    """Build an :class:`ExperimentSetup` from observations.
+
+    Args:
+        accesses: A recorded request log.
+        rates: Estimated per-element change rates (per period).
+        bandwidth: The mirror's sync budget per period.
+        min_count: Tail cutoff for the Zipf fit.
+
+    Returns:
+        A setup whose N matches the rate vector, whose θ and σ are
+        fitted, and whose updates-per-period is ``Σ rates`` — drop it
+        into ``build_catalog`` to generate statistically matched
+        synthetic workloads for what-if studies.
+    """
+    rates = np.asarray(rates, dtype=float)
+    if rates.ndim != 1 or rates.size < 1:
+        raise ValidationError("rates must be a non-empty vector")
+    counts = accesses.access_counts(rates.shape[0])
+    theta = fit_zipf_theta(counts, min_count=min_count)
+    fit = fit_gamma_rates(rates)
+    return ExperimentSetup(n_objects=int(rates.shape[0]),
+                           updates_per_period=float(rates.sum()),
+                           syncs_per_period=float(bandwidth),
+                           theta=theta, update_std_dev=fit.std_dev)

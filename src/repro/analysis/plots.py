@@ -1,0 +1,73 @@
+"""Minimal ASCII line plots for terminal-friendly experiment output.
+
+No plotting dependency is available offline, so the CLI renders
+sweeps as character rasters — good enough to eyeball the *shapes*
+the reproduction is judged on (who wins, where curves cross).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.series import SweepResult
+from repro.errors import ValidationError
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "*o+x#@%&"
+
+
+def ascii_plot(sweep: SweepResult, *, width: int = 64,
+               height: int = 18) -> str:
+    """Render a sweep's curves as an ASCII chart.
+
+    Args:
+        sweep: The curves to draw (each gets a distinct marker).
+        width: Plot area width in characters.
+        height: Plot area height in characters.
+
+    Returns:
+        The chart with a y-range gutter and a legend.
+    """
+    if width < 8 or height < 4:
+        raise ValidationError("plot area must be at least 8x4")
+    if not sweep.series:
+        return f"{sweep.name}: (no series)"
+
+    xs = np.concatenate([series.x for series in sweep.series])
+    ys = np.concatenate([series.y for series in sweep.series])
+    finite = np.isfinite(xs) & np.isfinite(ys)
+    if not finite.any():
+        return f"{sweep.name}: (no finite data)"
+    x_min, x_max = float(xs[finite].min()), float(xs[finite].max())
+    y_min, y_max = float(ys[finite].min()), float(ys[finite].max())
+    x_span = x_max - x_min or 1.0
+    y_span = y_max - y_min or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, series in enumerate(sweep.series):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in zip(series.x, series.y):
+            if not (np.isfinite(x) and np.isfinite(y)):
+                continue
+            column = int(round((x - x_min) / x_span * (width - 1)))
+            row = int(round((y - y_min) / y_span * (height - 1)))
+            grid[height - 1 - row][column] = marker
+
+    left_labels = [f"{y_max:9.4f} ", " " * 10, f"{y_min:9.4f} "]
+    lines = [f"{sweep.name}  ({sweep.y_label} vs {sweep.x_label})"]
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            gutter = left_labels[0]
+        elif row_index == height - 1:
+            gutter = left_labels[2]
+        else:
+            gutter = left_labels[1]
+        lines.append(gutter + "|" + "".join(row))
+    lines.append(" " * 10 + "+" + "-" * width)
+    lines.append(" " * 11 + f"{x_min:g}".ljust(width - 8) + f"{x_max:g}")
+    legend = "   ".join(
+        f"{_MARKERS[index % len(_MARKERS)]} {series.label}"
+        for index, series in enumerate(sweep.series))
+    lines.append("legend: " + legend)
+    return "\n".join(lines)

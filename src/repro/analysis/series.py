@@ -1,0 +1,88 @@
+"""Result containers for experiment sweeps.
+
+Benchmarks, the CLI and the examples all consume the same shapes: a
+:class:`Series` is one labeled curve; a :class:`SweepResult` is a
+named figure's worth of curves sharing an x-axis meaning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["Series", "SweepResult"]
+
+
+@dataclass(frozen=True)
+class Series:
+    """One labeled curve.
+
+    Attributes:
+        label: Legend entry (e.g. ``"PF_PARTITIONING"``).
+        x: Abscissae.
+        y: Ordinates, same length as ``x``.
+    """
+
+    label: str
+    x: np.ndarray
+    y: np.ndarray
+
+    def __post_init__(self) -> None:
+        x = np.asarray(self.x, dtype=float)
+        y = np.asarray(self.y, dtype=float)
+        if x.ndim != 1 or y.ndim != 1:
+            raise ValidationError("series data must be 1-D")
+        if x.shape != y.shape:
+            raise ValidationError(
+                f"x {x.shape} and y {y.shape} must have equal length")
+        object.__setattr__(self, "x", x)
+        object.__setattr__(self, "y", y)
+
+    def __len__(self) -> int:
+        return int(self.x.shape[0])
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A named experiment's curves.
+
+    Attributes:
+        name: Figure/table identifier (e.g. ``"figure5a"``).
+        x_label: Meaning of the shared x-axis.
+        y_label: Meaning of the y-axis.
+        series: The curves.
+        notes: Free-form provenance (parameters, seed, ...).
+    """
+
+    name: str
+    x_label: str
+    y_label: str
+    series: tuple[Series, ...]
+    notes: dict = field(default_factory=dict)
+
+    def get(self, label: str) -> Series:
+        """Look up a curve by its label.
+
+        Args:
+            label: The legend entry to find.
+
+        Returns:
+            The matching :class:`Series`.
+
+        Raises:
+            KeyError: If no curve has that label.
+        """
+        for series in self.series:
+            if series.label == label:
+                return series
+        raise KeyError(
+            f"no series {label!r} in {self.name}; have "
+            f"{[series.label for series in self.series]}")
+
+    @property
+    def labels(self) -> list[str]:
+        """All curve labels, in order."""
+        return [series.label for series in self.series]

@@ -1,0 +1,188 @@
+"""Dependency-free SVG line charts for experiment sweeps.
+
+No plotting library is available offline, so this module renders
+:class:`~repro.analysis.series.SweepResult` curves as standalone SVG
+documents — crisp enough to drop into the report or a README, with
+axes, tick labels, a legend, and one polyline (plus point markers)
+per series.  Non-finite points split a series into segments.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.series import SweepResult
+from repro.errors import ValidationError
+
+__all__ = ["sweep_to_svg", "write_svg"]
+
+_COLORS = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+           "#8c564b", "#17becf", "#7f7f7f"]
+
+_MARGIN_LEFT = 64.0
+_MARGIN_RIGHT = 16.0
+_MARGIN_TOP = 28.0
+_MARGIN_BOTTOM = 46.0
+
+
+def _ticks(low: float, high: float, count: int = 5) -> np.ndarray:
+    if high <= low:
+        high = low + 1.0
+    raw_step = (high - low) / max(count - 1, 1)
+    magnitude = 10.0 ** np.floor(np.log10(raw_step))
+    for multiple in (1.0, 2.0, 2.5, 5.0, 10.0):
+        step = multiple * magnitude
+        if step >= raw_step:
+            break
+    start = np.ceil(low / step) * step
+    values = np.arange(start, high + 0.5 * step, step)
+    return values[(values >= low - 1e-12) & (values <= high + 1e-12)]
+
+
+def _format_tick(value: float) -> str:
+    if value == 0.0:
+        return "0"
+    if abs(value) >= 10_000 or abs(value) < 0.01:
+        return f"{value:.1e}"
+    return f"{value:g}"
+
+
+def sweep_to_svg(sweep: SweepResult, *, width: int = 560,
+                 height: int = 340) -> str:
+    """Render a sweep as an SVG document string.
+
+    Args:
+        sweep: The curves to draw.
+        width: Image width in pixels (>= 160).
+        height: Image height in pixels (>= 120).
+
+    Returns:
+        The SVG markup.
+
+    Raises:
+        ValidationError: For a degenerate canvas or an empty sweep.
+    """
+    if width < 160 or height < 120:
+        raise ValidationError("SVG canvas must be at least 160x120")
+    if not sweep.series:
+        raise ValidationError(f"sweep {sweep.name!r} has no series")
+
+    xs = np.concatenate([series.x for series in sweep.series])
+    ys = np.concatenate([series.y for series in sweep.series])
+    finite = np.isfinite(xs) & np.isfinite(ys)
+    if not finite.any():
+        raise ValidationError(f"sweep {sweep.name!r} has no finite data")
+    x_min, x_max = float(xs[finite].min()), float(xs[finite].max())
+    y_min, y_max = float(ys[finite].min()), float(ys[finite].max())
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    # A little vertical breathing room.
+    pad = 0.05 * (y_max - y_min)
+    y_min -= pad
+    y_max += pad
+
+    plot_w = width - _MARGIN_LEFT - _MARGIN_RIGHT
+    plot_h = height - _MARGIN_TOP - _MARGIN_BOTTOM
+
+    def sx(value: float) -> float:
+        return _MARGIN_LEFT + (value - x_min) / (x_max - x_min) * plot_w
+
+    def sy(value: float) -> float:
+        return (_MARGIN_TOP
+                + (1.0 - (value - y_min) / (y_max - y_min)) * plot_h)
+
+    parts: list[str] = []
+    parts.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="sans-serif" font-size="11">')
+    parts.append(f'<rect width="{width}" height="{height}" '
+                 'fill="white"/>')
+    parts.append(f'<text x="{width / 2:.0f}" y="16" '
+                 f'text-anchor="middle" font-size="13">'
+                 f'{sweep.name}</text>')
+
+    # Axes, grid and ticks.
+    axis_color = "#444444"
+    grid_color = "#dddddd"
+    x0, y0 = _MARGIN_LEFT, _MARGIN_TOP + plot_h
+    parts.append(f'<line x1="{x0}" y1="{y0}" x2="{x0 + plot_w}" '
+                 f'y2="{y0}" stroke="{axis_color}"/>')
+    parts.append(f'<line x1="{x0}" y1="{_MARGIN_TOP}" x2="{x0}" '
+                 f'y2="{y0}" stroke="{axis_color}"/>')
+    for tick in _ticks(x_min, x_max):
+        px = sx(float(tick))
+        parts.append(f'<line x1="{px:.1f}" y1="{_MARGIN_TOP}" '
+                     f'x2="{px:.1f}" y2="{y0}" stroke="{grid_color}"/>')
+        parts.append(f'<text x="{px:.1f}" y="{y0 + 15:.1f}" '
+                     f'text-anchor="middle">{_format_tick(float(tick))}'
+                     '</text>')
+    for tick in _ticks(y_min, y_max):
+        py = sy(float(tick))
+        parts.append(f'<line x1="{x0}" y1="{py:.1f}" '
+                     f'x2="{x0 + plot_w}" y2="{py:.1f}" '
+                     f'stroke="{grid_color}"/>')
+        parts.append(f'<text x="{x0 - 6:.1f}" y="{py + 4:.1f}" '
+                     f'text-anchor="end">{_format_tick(float(tick))}'
+                     '</text>')
+    parts.append(f'<text x="{x0 + plot_w / 2:.0f}" '
+                 f'y="{height - 8}" text-anchor="middle">'
+                 f'{sweep.x_label}</text>')
+    parts.append(f'<text x="14" y="{_MARGIN_TOP + plot_h / 2:.0f}" '
+                 f'text-anchor="middle" transform="rotate(-90 14 '
+                 f'{_MARGIN_TOP + plot_h / 2:.0f})">{sweep.y_label}'
+                 '</text>')
+
+    # Curves.
+    for index, series in enumerate(sweep.series):
+        color = _COLORS[index % len(_COLORS)]
+        segment: list[str] = []
+        segments: list[list[str]] = []
+        for x, y in zip(series.x, series.y):
+            if np.isfinite(x) and np.isfinite(y):
+                segment.append(f"{sx(float(x)):.1f},{sy(float(y)):.1f}")
+            elif segment:
+                segments.append(segment)
+                segment = []
+        if segment:
+            segments.append(segment)
+        for points in segments:
+            if len(points) > 1:
+                parts.append(f'<polyline points="{" ".join(points)}" '
+                             f'fill="none" stroke="{color}" '
+                             'stroke-width="1.6"/>')
+            for point in points:
+                px, py = point.split(",")
+                parts.append(f'<circle cx="{px}" cy="{py}" r="2.4" '
+                             f'fill="{color}"/>')
+
+    # Legend.
+    legend_y = _MARGIN_TOP + 4.0
+    for index, series in enumerate(sweep.series):
+        color = _COLORS[index % len(_COLORS)]
+        ly = legend_y + 14.0 * index
+        lx = _MARGIN_LEFT + plot_w - 150.0
+        parts.append(f'<rect x="{lx:.1f}" y="{ly - 8:.1f}" width="10" '
+                     f'height="10" fill="{color}"/>')
+        parts.append(f'<text x="{lx + 14:.1f}" y="{ly + 1:.1f}">'
+                     f'{series.label}</text>')
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def write_svg(sweep: SweepResult, path: str | Path, *,
+              width: int = 560, height: int = 340) -> None:
+    """Render a sweep and write it to a file.
+
+    Args:
+        sweep: The curves to draw.
+        path: Destination ``.svg`` path.
+        width: Image width.
+        height: Image height.
+    """
+    Path(path).write_text(sweep_to_svg(sweep, width=width,
+                                       height=height))

@@ -1,0 +1,91 @@
+"""Plain-text table formatting for experiment output.
+
+The benchmark harness prints the same rows the paper's tables report;
+this module renders them with aligned columns so shapes are easy to
+compare side by side with the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.analysis.series import SweepResult
+from repro.errors import ValidationError
+
+__all__ = ["format_table", "format_sweep"]
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]], *,
+                 float_format: str = "{:.4f}") -> str:
+    """Render rows as an aligned text table.
+
+    Args:
+        headers: Column names.
+        rows: Row cells; floats are formatted with ``float_format``,
+            everything else with ``str``.
+        float_format: Format spec applied to float cells.
+
+    Returns:
+        The table as a single string (no trailing newline).
+    """
+    headers = [str(header) for header in headers]
+
+    def render(cell: object) -> str:
+        if isinstance(cell, (float, np.floating)):
+            return float_format.format(float(cell))
+        return str(cell)
+
+    rendered = [[render(cell) for cell in row] for row in rows]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValidationError(
+                f"row has {len(row)} cells but there are "
+                f"{len(headers)} headers")
+    widths = [len(header) for header in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width)
+                         for cell, width in zip(cells, widths))
+
+    separator = "  ".join("-" * width for width in widths)
+    body = [line(headers), separator]
+    body.extend(line(row) for row in rendered)
+    return "\n".join(body)
+
+
+def format_sweep(sweep: SweepResult, *,
+                 float_format: str = "{:.4f}") -> str:
+    """Render a sweep as one table: x column plus one column per curve.
+
+    Curves sharing the sweep's x grid are required (which every
+    experiment runner in this package guarantees).
+
+    Args:
+        sweep: The sweep to render.
+        float_format: Format spec for numeric cells.
+
+    Returns:
+        A titled, aligned table.
+    """
+    if not sweep.series:
+        return f"{sweep.name}: (no series)"
+    x = sweep.series[0].x
+    for series in sweep.series:
+        if series.x.shape != x.shape or not np.allclose(series.x, x):
+            raise ValidationError(
+                f"series {series.label!r} does not share the sweep's x grid")
+    headers = [sweep.x_label] + list(sweep.labels)
+    rows = []
+    for index in range(x.shape[0]):
+        row: list[object] = [float(x[index])]
+        row.extend(float(series.y[index]) for series in sweep.series)
+        rows.append(row)
+    title = f"{sweep.name}  ({sweep.y_label})"
+    return title + "\n" + format_table(headers, rows,
+                                       float_format=float_format)

@@ -1,0 +1,314 @@
+"""Command-line interface: run any reproduced experiment.
+
+Usage::
+
+    python -m repro table1
+    python -m repro figure3 --quick
+    python -m repro figure7
+    repro-freshen figure5 --seed 3
+
+``--quick`` shrinks grids/sizes so every experiment finishes in a few
+seconds; without it the paper-scale defaults run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.analysis import experiments, sensitivity
+from repro.analysis.plots import ascii_plot
+from repro.analysis.series import SweepResult
+from repro.analysis.svg import write_svg
+from repro.analysis.tables import format_sweep, format_table
+from repro.workloads.presets import ExperimentSetup
+
+__all__ = ["main", "build_parser"]
+
+_QUICK_BIG = ExperimentSetup(n_objects=20_000,
+                             updates_per_period=40_000.0,
+                             syncs_per_period=10_000.0, theta=1.0,
+                             update_std_dev=2.0)
+_QUICK_MEDIUM = ExperimentSetup(n_objects=4_000,
+                                updates_per_period=8_000.0,
+                                syncs_per_period=2_000.0, theta=1.0,
+                                update_std_dev=2.0)
+
+
+def _emit_sweep(sweep: SweepResult, plot: bool,
+                svg_dir: str | None = None) -> None:
+    print(format_sweep(sweep))
+    if plot:
+        print()
+        print(ascii_plot(sweep))
+    if svg_dir is not None:
+        from pathlib import Path
+
+        directory = Path(svg_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        target = directory / f"{sweep.name}.svg"
+        write_svg(sweep, target)
+        print(f"(wrote {target})")
+    print()
+
+
+def _run_table1(args: argparse.Namespace) -> None:
+    results = experiments.table1()
+    rates = results["change_rates"]
+    rows = [["(a) change freq"] + [f"{value:g}" for value in rates]]
+    for profile in ("P1", "P2", "P3"):
+        rows.append([f"sync freq ({profile})"]
+                    + [f"{value:.2f}" for value in results[profile]])
+    headers = ["row"] + [f"e{index + 1}" for index in range(rates.shape[0])]
+    print("Table 1 — optimal sync frequencies for the toy example")
+    print(format_table(headers, rows))
+
+
+def _run_figure1(args: argparse.Namespace) -> None:
+    _emit_sweep(experiments.figure1(), args.plot, args.svg)
+
+
+def _run_figure2(args: argparse.Namespace) -> None:
+    for sweep in experiments.figure2(seed=args.seed).values():
+        _emit_sweep(sweep, args.plot, args.svg)
+
+
+def _run_figure3(args: argparse.Namespace) -> None:
+    n_seeds = 1 if args.quick else 3
+    for sweep in experiments.figure3(n_seeds=n_seeds,
+                                     base_seed=args.seed).values():
+        _emit_sweep(sweep, args.plot, args.svg)
+
+
+def _run_figure5(args: argparse.Namespace) -> None:
+    counts = (np.array([10, 50, 100, 200]) if args.quick else None)
+    for sweep in experiments.figure5(partition_counts=counts,
+                                     seed=args.seed).values():
+        _emit_sweep(sweep, args.plot, args.svg)
+
+
+def _run_figure6(args: argparse.Namespace) -> None:
+    _emit_sweep(experiments.figure6(seed=args.seed), args.plot, args.svg)
+
+
+def _run_figure7(args: argparse.Namespace) -> None:
+    setup = _QUICK_BIG if args.quick else None
+    kwargs = {"seed": args.seed}
+    if setup is not None:
+        kwargs["setup"] = setup
+    _emit_sweep(experiments.figure7(**kwargs), args.plot, args.svg)
+
+
+def _run_figure8(args: argparse.Namespace) -> None:
+    setup = _QUICK_MEDIUM if args.quick else None
+    _emit_sweep(experiments.figure8(setup=setup, seed=args.seed),
+                args.plot)
+
+
+def _run_figure9(args: argparse.Namespace) -> None:
+    setup = _QUICK_MEDIUM if args.quick else None
+    sweep = experiments.figure9(setup=setup, seed=args.seed)
+    # Series have distinct x grids (times), so print each separately.
+    for series in sweep.series:
+        print(f"{sweep.name} — {series.label}")
+        rows = list(zip(series.x.tolist(), series.y.tolist()))
+        print(format_table(["time (s)", "perceived freshness"], rows))
+        print()
+    if args.plot:
+        print(ascii_plot(sweep))
+
+
+def _run_figure10(args: argparse.Namespace) -> None:
+    results = experiments.figure10(seed=args.seed)
+    for key in ("frequency", "bandwidth"):
+        sweep = results[key]
+        print(f"{sweep.name}: totals per series")
+        rows = [(series.label, float(series.y.sum()))
+                for series in sweep.series]
+        print(format_table(["series", f"total {sweep.y_label}"], rows))
+        if args.plot:
+            print(ascii_plot(sweep))
+        print()
+    print(format_table(
+        ["schedule", "perceived freshness"],
+        [("uniform-size world optimum (paper: 0.312)",
+          results["pf_uniform_world"]),
+         ("size-aware optimum (paper: 0.586)",
+          results["pf_size_aware"]),
+         ("size-blind schedule in sized world",
+          results["pf_blind_in_sized_world"])]))
+
+
+def _run_figure11(args: argparse.Namespace) -> None:
+    counts = np.array([10, 50, 100, 200]) if args.quick else None
+    _emit_sweep(experiments.figure11(partition_counts=counts,
+                                     seed=args.seed), args.plot, args.svg)
+
+
+def _run_imperfect(args: argparse.Namespace) -> None:
+    n_seeds = 1 if args.quick else 3
+    _emit_sweep(experiments.imperfect_knowledge(n_seeds=n_seeds,
+                                                base_seed=args.seed),
+                args.plot)
+
+
+def _run_mirror_selection(args: argparse.Namespace) -> None:
+    _emit_sweep(experiments.mirror_selection(seed=args.seed), args.plot, args.svg)
+
+
+def _run_policy_ablation(args: argparse.Namespace) -> None:
+    _emit_sweep(experiments.policy_ablation(seed=args.seed), args.plot, args.svg)
+
+
+def _run_bandwidth_sensitivity(args: argparse.Namespace) -> None:
+    _emit_sweep(sensitivity.bandwidth_sensitivity(seed=args.seed),
+                args.plot)
+
+
+def _run_dispersion_sensitivity(args: argparse.Namespace) -> None:
+    _emit_sweep(sensitivity.dispersion_sensitivity(seed=args.seed),
+                args.plot)
+
+
+def _run_scale_sensitivity(args: argparse.Namespace) -> None:
+    counts = np.array([500, 2000, 8000]) if args.quick else None
+    _emit_sweep(sensitivity.scale_sensitivity(n_objects=counts,
+                                              seed=args.seed), args.plot, args.svg)
+
+
+def _run_representative_ablation(args: argparse.Namespace) -> None:
+    _emit_sweep(sensitivity.representative_ablation(seed=args.seed),
+                args.plot)
+
+
+def _run_burstiness(args: argparse.Namespace) -> None:
+    periods = 30 if args.quick else 60
+    _emit_sweep(sensitivity.burstiness_robustness(n_periods=periods,
+                                                  seed=args.seed),
+                args.plot)
+
+
+def _run_crawler(args: argparse.Namespace) -> None:
+    rounds = 30 if args.quick else 60
+    sweep = sensitivity.crawler_comparison(n_rounds=rounds,
+                                           seed=args.seed)
+    rows = list(sweep.notes["scores"].items())
+    print("crawler-comparison (perceived freshness)")
+    print(format_table(["policy", "perceived freshness"], rows))
+
+
+def _run_report(args: argparse.Namespace) -> None:
+    from repro.analysis.report import write_report
+
+    path = "REPORT.md"
+    sections = write_report(path, quick=args.quick, seed=args.seed)
+    passed = sum(section.passed for section in sections)
+    print(f"wrote {path}: {passed}/{len(sections)} sections PASS")
+    for section in sections:
+        verdict = "PASS" if section.passed else "FAIL"
+        print(f"  [{verdict}] {section.title} ({section.seconds:.1f}s)")
+
+
+def _run_baseline_comparison(args: argparse.Namespace) -> None:
+    _emit_sweep(sensitivity.baseline_comparison(seed=args.seed),
+                args.plot)
+
+
+def _run_freshness_age(args: argparse.Namespace) -> None:
+    _emit_sweep(sensitivity.freshness_age_tradeoff(seed=args.seed),
+                args.plot)
+
+
+def _run_adaptive(args: argparse.Namespace) -> None:
+    periods = 8 if args.quick else 15
+    _emit_sweep(sensitivity.adaptive_convergence(n_periods=periods,
+                                                 seed=args.seed),
+                args.plot)
+
+
+_COMMANDS: dict[str, tuple[Callable[[argparse.Namespace], None], str]] = {
+    "table1": (_run_table1, "Toy-example optimal sync frequencies"),
+    "figure1": (_run_figure1, "Solution locus f(lambda) per p"),
+    "figure2": (_run_figure2, "Alignment-option workload shapes"),
+    "figure3": (_run_figure3, "PF vs theta: PF vs GF technique"),
+    "figure5": (_run_figure5, "PF vs partitions, four partitioners"),
+    "figure6": (_run_figure6, "Partitioner sensitivity to theta"),
+    "figure7": (_run_figure7, "The big (Table 3) case"),
+    "figure8": (_run_figure8, "k-means refinement improvement"),
+    "figure9": (_run_figure9, "PF vs wall time with clustering"),
+    "figure10": (_run_figure10, "Object-size-aware optimal schedules"),
+    "figure11": (_run_figure11, "FBA vs FFA allocation"),
+    "imperfect-knowledge": (_run_imperfect,
+                            "Robustness to noisy change rates"),
+    "mirror-selection": (_run_mirror_selection,
+                         "Profile-driven mirror selection"),
+    "policy-ablation": (_run_policy_ablation,
+                        "Fixed-order vs Poisson sync policies"),
+    "bandwidth-sensitivity": (_run_bandwidth_sensitivity,
+                              "PF advantage across bandwidth ratios"),
+    "dispersion-sensitivity": (_run_dispersion_sensitivity,
+                               "PF across update-rate dispersion"),
+    "scale-sensitivity": (_run_scale_sensitivity,
+                          "PF invariance across database size"),
+    "representative-ablation": (_run_representative_ablation,
+                                "Mean vs median vs weighted reps"),
+    "adaptive": (_run_adaptive,
+                 "Observe/estimate/replan runtime convergence"),
+    "baseline-comparison": (_run_baseline_comparison,
+                            "PF/GF vs uniform/proportional policies"),
+    "freshness-age": (_run_freshness_age,
+                      "Perceived freshness vs perceived age"),
+    "crawler-comparison": (_run_crawler,
+                           "PF vs sampling crawler vs random polls"),
+    "burstiness": (_run_burstiness,
+                   "Poisson-planned schedules on bursty sources"),
+    "report": (_run_report,
+               "Run every experiment and write REPORT.md"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser.
+
+    Returns:
+        The configured :class:`argparse.ArgumentParser`.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-freshen",
+        description="Reproduce the experiments of 'Scalable "
+                    "Application-Aware Data Freshening' (ICDE 2003).")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    for name, (_, help_text) in _COMMANDS.items():
+        sub = subparsers.add_parser(name, help=help_text)
+        sub.add_argument("--seed", type=int, default=0,
+                         help="workload seed (default 0)")
+        sub.add_argument("--quick", action="store_true",
+                         help="shrink grids/sizes for a fast run")
+        sub.add_argument("--plot", action="store_true",
+                         help="also render an ASCII chart")
+        sub.add_argument("--svg", metavar="DIR", default=None,
+                         help="also write an SVG chart into DIR")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point.
+
+    Args:
+        argv: Argument vector (defaults to ``sys.argv[1:]``).
+
+    Returns:
+        Process exit code.
+    """
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    runner, _ = _COMMANDS[args.command]
+    runner(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

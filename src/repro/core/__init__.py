@@ -1,0 +1,137 @@
+"""The paper's primary contribution: perceived-freshness scheduling.
+
+Layers, bottom up:
+
+* :mod:`repro.core.freshness` — time-averaged freshness models per
+  synchronization policy.
+* :mod:`repro.core.metrics` — general and perceived freshness
+  (Definitions 1–4).
+* :mod:`repro.core.solver` — exact Core-Problem solver (KKT
+  water-filling); :mod:`repro.core.nlp_solver` — the generic-NLP path.
+* :mod:`repro.core.partitioning`, :mod:`repro.core.representatives`,
+  :mod:`repro.core.clustering`, :mod:`repro.core.allocation` — the
+  scalable heuristics of §3–§5.
+* :mod:`repro.core.scheduler` — timed Fixed-Order schedules.
+* :mod:`repro.core.freshener` — the high-level facade.
+"""
+
+from repro.core.age import (
+    age_marginal_reduction,
+    fixed_order_age,
+    invert_age_marginal,
+    perceived_age,
+    solve_min_age_problem,
+    solve_weighted_age_problem,
+)
+from repro.core.allocation import AllocationPolicy, expand_partition_frequencies
+from repro.core.baselines import ProportionalFreshener, UniformFreshener
+from repro.core.clustering import (
+    ClusterRefinementStep,
+    clustering_features,
+    refine_partitions,
+)
+from repro.core.incremental import IncrementalSolver
+from repro.core.tuning import TuningResult, auto_tune_partitions
+from repro.core.freshener import (
+    Freshener,
+    FresheningPlan,
+    GeneralFreshener,
+    PartitionedFreshener,
+    PerceivedFreshener,
+)
+from repro.core.freshness import (
+    FixedOrderPolicy,
+    FreshnessModel,
+    PoissonSyncPolicy,
+    fixed_order_freshness,
+    invert_marginal_gain,
+    marginal_gain,
+)
+from repro.core.metrics import (
+    element_freshness,
+    general_freshness,
+    perceived_freshness,
+    perceived_freshness_of_accesses,
+    weighted_freshness,
+)
+from repro.core.nlp_solver import solve_core_problem_nlp, solve_weighted_problem_nlp
+from repro.core.partitioning import (
+    PartitionAssignment,
+    PartitioningStrategy,
+    contiguous_labels,
+    partition_catalog,
+    sort_key,
+)
+from repro.core.representatives import (
+    RepresentativeProblem,
+    build_representatives,
+    solve_transformed_problem,
+)
+from repro.core.scheduler import PhasePolicy, SyncSchedule
+from repro.core.selection import (
+    MirrorSelection,
+    SelectionStrategy,
+    plan_selected_mirror,
+    select_mirror,
+)
+from repro.core.solver import (
+    ScheduleSolution,
+    kkt_residual,
+    solve_core_problem,
+    solve_weighted_problem,
+)
+
+__all__ = [
+    "age_marginal_reduction",
+    "AllocationPolicy",
+    "fixed_order_age",
+    "IncrementalSolver",
+    "auto_tune_partitions",
+    "TuningResult",
+    "invert_age_marginal",
+    "perceived_age",
+    "ProportionalFreshener",
+    "solve_min_age_problem",
+    "solve_weighted_age_problem",
+    "UniformFreshener",
+    "ClusterRefinementStep",
+    "clustering_features",
+    "contiguous_labels",
+    "element_freshness",
+    "expand_partition_frequencies",
+    "FixedOrderPolicy",
+    "fixed_order_freshness",
+    "Freshener",
+    "FresheningPlan",
+    "FreshnessModel",
+    "GeneralFreshener",
+    "general_freshness",
+    "invert_marginal_gain",
+    "kkt_residual",
+    "marginal_gain",
+    "PartitionAssignment",
+    "PartitionedFreshener",
+    "PartitioningStrategy",
+    "partition_catalog",
+    "PerceivedFreshener",
+    "perceived_freshness",
+    "perceived_freshness_of_accesses",
+    "PhasePolicy",
+    "MirrorSelection",
+    "plan_selected_mirror",
+    "PoissonSyncPolicy",
+    "refine_partitions",
+    "SelectionStrategy",
+    "select_mirror",
+    "RepresentativeProblem",
+    "build_representatives",
+    "ScheduleSolution",
+    "SyncSchedule",
+    "solve_core_problem",
+    "solve_core_problem_nlp",
+    "solve_transformed_problem",
+    "solve_weighted_problem",
+    "solve_weighted_problem_nlp",
+    "sort_key",
+    "weighted_freshness",
+]

@@ -1,0 +1,85 @@
+"""Intra-partition bandwidth allocation: FFA vs FBA (paper §5.3).
+
+The Transformed Problem yields one sync frequency fₖ per partition.
+Spreading it over the partition's members can be done two ways:
+
+* **Fixed Frequency Allocation (FFA)** — every member is synced at
+  the same frequency fₖ.  Correct when all objects have the same
+  size; with variable sizes it hands large objects a disproportionate
+  bandwidth share.
+* **Fixed Bandwidth Allocation (FBA)** — every member receives the
+  same *bandwidth* bₖ = s̄ₖ·fₖ, so member j is synced at bₖ/sⱼ:
+  smaller objects get more refreshes for the same cost.  The paper
+  shows FBA always beats FFA under variable sizes (Figure 11).
+
+Both policies consume exactly the partition's bandwidth share
+``nₖ·s̄ₖ·fₖ``, so the budget is preserved.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from repro.core.partitioning import PartitionAssignment
+from repro.core.representatives import RepresentativeProblem
+from repro.errors import ValidationError
+from repro.workloads.catalog import Catalog
+
+__all__ = ["AllocationPolicy", "expand_partition_frequencies"]
+
+
+class AllocationPolicy(str, Enum):
+    """How a partition's bandwidth is divided among its members."""
+
+    FIXED_FREQUENCY = "ffa"
+    FIXED_BANDWIDTH = "fba"
+
+    @classmethod
+    def coerce(cls, value: "AllocationPolicy | str") -> "AllocationPolicy":
+        """Accept either a member or its string value."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError as exc:
+            options = ", ".join(member.value for member in cls)
+            raise ValidationError(
+                f"unknown allocation policy {value!r}; expected one of: "
+                f"{options}") from exc
+
+
+def expand_partition_frequencies(catalog: Catalog,
+                                 problem: RepresentativeProblem,
+                                 partition_frequencies: np.ndarray,
+                                 policy: AllocationPolicy | str,
+                                 ) -> np.ndarray:
+    """Turn per-partition frequencies into per-element frequencies.
+
+    Args:
+        catalog: Workload description (supplies member sizes).
+        problem: The representatives the frequencies were solved for.
+        partition_frequencies: fₖ per partition, shape ``(k,)``.
+        policy: FFA or FBA.
+
+    Returns:
+        Per-element sync frequencies, shape ``(N,)``.  Total bandwidth
+        ``Σ sⱼ·fⱼ`` equals ``Σₖ nₖ·s̄ₖ·fₖ`` under either policy.
+    """
+    policy = AllocationPolicy.coerce(policy)
+    partition_frequencies = np.asarray(partition_frequencies, dtype=float)
+    assignment: PartitionAssignment = problem.assignment
+    if partition_frequencies.shape != (problem.n_partitions,):
+        raise ValidationError(
+            f"expected {problem.n_partitions} partition frequencies, got "
+            f"shape {partition_frequencies.shape}")
+    if (partition_frequencies < 0.0).any():
+        raise ValidationError("partition frequencies must be nonnegative")
+    labels = assignment.labels
+    if policy is AllocationPolicy.FIXED_FREQUENCY:
+        return partition_frequencies[labels].copy()
+    # FBA: member j of partition k gets bandwidth s̄ₖ·fₖ, hence
+    # frequency (s̄ₖ·fₖ)/sⱼ.
+    member_bandwidth = (problem.mean_sizes * partition_frequencies)[labels]
+    return member_bandwidth / catalog.sizes

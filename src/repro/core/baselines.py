@@ -1,0 +1,70 @@
+"""Non-optimizing allocation baselines (Cho & Garcia-Molina, ref [5]).
+
+Before solving anything, a mirror designer has two obvious policies:
+
+* **uniform allocation** — sync every element at the same frequency,
+  ``fᵢ = B / Σsⱼ`` per unit size;
+* **proportional allocation** — sync elements in proportion to how
+  fast they change, ``fᵢ ∝ λᵢ`` (scaled to the budget).
+
+Cho & Garcia-Molina's famous counterintuitive result — reproduced by
+this module's tests and the ablation benchmark — is that *uniform
+beats proportional* for average freshness: chasing the fastest
+changers wastes bandwidth on copies that go stale again immediately.
+The optimal solution goes further and *demotes* fast changers; these
+baselines bracket it from below.
+
+Both baselines are also useful operational fallbacks: they need no
+optimization and, for the uniform policy, no change-rate knowledge at
+all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.freshener import Freshener, FresheningPlan
+from repro.errors import InfeasibleProblemError
+from repro.workloads.catalog import Catalog
+
+__all__ = ["UniformFreshener", "ProportionalFreshener"]
+
+
+class UniformFreshener(Freshener):
+    """Every element is synced at the same frequency.
+
+    With object sizes, the common frequency is ``B / Σsᵢ`` so the
+    budget is met exactly.  Needs no knowledge of rates or profiles.
+    """
+
+    def plan(self, catalog: Catalog, bandwidth: float) -> FresheningPlan:
+        if bandwidth <= 0.0:
+            raise InfeasibleProblemError(
+                f"bandwidth must be positive, got {bandwidth!r}")
+        frequency = bandwidth / float(catalog.sizes.sum())
+        frequencies = np.full(catalog.n_elements, frequency)
+        return self._finish(catalog, frequencies,
+                            {"technique": "uniform-baseline"})
+
+
+class ProportionalFreshener(Freshener):
+    """Sync frequency proportional to change rate, ``fᵢ ∝ λᵢ``.
+
+    The intuitive-but-wrong policy: it devotes the budget to exactly
+    the elements whose copies decay fastest, which Cho &
+    Garcia-Molina prove is dominated by uniform allocation.  Elements
+    that never change get no syncs (the one thing it does get right).
+    """
+
+    def plan(self, catalog: Catalog, bandwidth: float) -> FresheningPlan:
+        if bandwidth <= 0.0:
+            raise InfeasibleProblemError(
+                f"bandwidth must be positive, got {bandwidth!r}")
+        rates = catalog.change_rates
+        weighted_cost = float(catalog.sizes @ rates)
+        if weighted_cost <= 0.0:
+            frequencies = np.zeros(catalog.n_elements)
+        else:
+            frequencies = rates * (bandwidth / weighted_cost)
+        return self._finish(catalog, frequencies,
+                            {"technique": "proportional-baseline"})

@@ -1,0 +1,112 @@
+"""The Core Problem through a *generic* NLP solver (IMSL substitute).
+
+The paper solved every optimization with the IMSL numerical
+libraries, treating the objective as a black box.  That path is kept
+alive here — backed by :class:`repro.numerics.optimize.
+ProjectedGradientSolver` — for two reasons:
+
+* it independently cross-checks the exact water-filling solver
+  (their solutions agree to tight tolerance, which the test suite
+  asserts), and
+* it has the *generic-solver cost profile* the paper's scalability
+  argument is built on: fine at hundreds of variables, rapidly
+  intolerable beyond, which is what makes partitioning + clustering
+  worthwhile.  The timing experiment (Figure 9) measures this path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.freshness import FixedOrderPolicy, FreshnessModel
+from repro.core.solver import ScheduleSolution
+from repro.errors import InfeasibleProblemError, ValidationError
+from repro.numerics.optimize import ProjectedGradientSolver
+from repro.workloads.catalog import Catalog
+
+__all__ = ["solve_core_problem_nlp", "solve_weighted_problem_nlp"]
+
+_DEFAULT_MODEL = FixedOrderPolicy()
+
+
+def solve_weighted_problem_nlp(weights: np.ndarray,
+                               change_rates: np.ndarray,
+                               costs: np.ndarray, bandwidth: float, *,
+                               model: FreshnessModel | None = None,
+                               max_iterations: int = 2000,
+                               tolerance: float = 1e-10,
+                               ) -> ScheduleSolution:
+    """Solve the weighted Core Problem by projected gradient ascent.
+
+    Same contract as :func:`repro.core.solver.solve_weighted_problem`
+    but through the generic NLP machinery.  Prefer the exact solver
+    unless you are specifically exercising the paper's cost model.
+
+    Args:
+        weights: Nonnegative objective weights.
+        change_rates: Poisson change rates ``λ ≥ 0``.
+        costs: Strictly positive bandwidth costs.
+        bandwidth: Budget ``B > 0``.
+        model: Freshness model (Fixed-Order by default).
+        max_iterations: Gradient iteration budget.
+        tolerance: Stationarity tolerance.
+
+    Returns:
+        A feasible, near-optimal :class:`ScheduleSolution` (its
+        ``multiplier`` is the mean active-element marginal, the NLP
+        analogue of μ).
+    """
+    weights = np.asarray(weights, dtype=float)
+    change_rates = np.asarray(change_rates, dtype=float)
+    costs = np.asarray(costs, dtype=float)
+    if not (weights.shape == change_rates.shape == costs.shape):
+        raise ValidationError("inputs must have matching shapes")
+    if bandwidth <= 0.0:
+        raise InfeasibleProblemError(
+            f"bandwidth must be positive, got {bandwidth!r}")
+    chosen = model if model is not None else _DEFAULT_MODEL
+
+    def objective(freqs: np.ndarray) -> tuple[float, np.ndarray]:
+        value = float(weights @ chosen.freshness(change_rates, freqs))
+        grad = weights * chosen.derivative(change_rates, freqs)
+        return value, grad
+
+    solver = ProjectedGradientSolver(objective,
+                                     max_iterations=max_iterations,
+                                     tolerance=tolerance)
+    result = solver.solve(costs, bandwidth)
+    frequencies = result.x
+    active = frequencies > 0.0
+    if active.any():
+        marginals = (weights * chosen.derivative(change_rates, frequencies)
+                     / costs)
+        multiplier = float(marginals[active].mean())
+    else:
+        multiplier = 0.0
+    return ScheduleSolution(frequencies=frequencies, multiplier=multiplier,
+                            bandwidth=float(costs @ frequencies),
+                            objective=result.value,
+                            iterations=result.iterations)
+
+
+def solve_core_problem_nlp(catalog: Catalog, bandwidth: float, *,
+                           model: FreshnessModel | None = None,
+                           max_iterations: int = 2000,
+                           tolerance: float = 1e-10) -> ScheduleSolution:
+    """Core Problem for a catalog, through the generic NLP solver.
+
+    Args:
+        catalog: Workload description.
+        bandwidth: Sync bandwidth budget per period.
+        model: Freshness model (Fixed-Order by default).
+        max_iterations: Gradient iteration budget.
+        tolerance: Stationarity tolerance.
+
+    Returns:
+        A feasible, near-optimal :class:`ScheduleSolution`.
+    """
+    return solve_weighted_problem_nlp(catalog.access_probabilities,
+                                      catalog.change_rates, catalog.sizes,
+                                      bandwidth, model=model,
+                                      max_iterations=max_iterations,
+                                      tolerance=tolerance)

@@ -1,0 +1,197 @@
+"""Sort-based partitioning heuristics (paper §3.1).
+
+All techniques share one recipe: sort the N elements by a criterion,
+then assign runs of ⌈N/k⌉ successive elements to each of k partitions.
+The criteria are:
+
+* **P** — access probability ``p`` (similar popularity together),
+* **λ** — change rate (similar volatility together; included for
+  completeness, and the paper shows it trails the others),
+* **P/λ** — the ratio ``p/λ``, motivated by the optimal solution's
+  structure (bandwidth rises with p, falls with λ),
+* **PF** — perceived freshness at a reference frequency,
+  ``p·F̄(λ, f₀)`` with f₀ = 1.0 (the paper's winner),
+* **PF/s** — the size-aware variant ``p·F̄(λ, f₀/s)`` that divides
+  the reference bandwidth by object size (paper §5.2),
+* **size** — object size alone (size analogue of λ-partitioning,
+  mentioned in §5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.core.freshness import FixedOrderPolicy, FreshnessModel
+from repro.errors import ValidationError
+from repro.workloads.catalog import Catalog
+
+__all__ = ["PartitioningStrategy", "PartitionAssignment", "sort_key",
+           "partition_catalog", "contiguous_labels"]
+
+_DEFAULT_MODEL = FixedOrderPolicy()
+
+#: The reference sync frequency used by PF-style sort keys.  The paper
+#: notes the exact value is unimportant and uses 1.0.
+REFERENCE_FREQUENCY = 1.0
+
+
+class PartitioningStrategy(str, Enum):
+    """The paper's partitioning criteria."""
+
+    P = "p"
+    LAMBDA = "lambda"
+    P_OVER_LAMBDA = "p-over-lambda"
+    PF = "pf"
+    PF_OVER_SIZE = "pf-over-size"
+    SIZE = "size"
+
+    @classmethod
+    def coerce(cls, value: "PartitioningStrategy | str") -> "PartitioningStrategy":
+        """Accept either a member or its string value."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError as exc:
+            options = ", ".join(member.value for member in cls)
+            raise ValidationError(
+                f"unknown partitioning strategy {value!r}; expected one of: "
+                f"{options}") from exc
+
+
+@dataclass(frozen=True)
+class PartitionAssignment:
+    """A partitioning of catalog elements.
+
+    Attributes:
+        labels: Partition index per element, shape ``(N,)``, values in
+            ``[0, n_partitions)``.
+        n_partitions: Number of partitions k.
+        strategy: The criterion that produced the assignment, or None
+            for externally supplied labels (e.g. k-means output).
+    """
+
+    labels: np.ndarray
+    n_partitions: int
+    strategy: PartitioningStrategy | None = None
+
+    def __post_init__(self) -> None:
+        labels = np.asarray(self.labels, dtype=int)
+        if labels.ndim != 1:
+            raise ValidationError("labels must be 1-D")
+        if self.n_partitions < 1:
+            raise ValidationError(
+                f"n_partitions must be >= 1, got {self.n_partitions}")
+        if labels.size and (labels.min() < 0
+                            or labels.max() >= self.n_partitions):
+            raise ValidationError(
+                f"labels must lie in [0, {self.n_partitions})")
+        labels = labels.copy()
+        labels.flags.writeable = False
+        object.__setattr__(self, "labels", labels)
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Elements per partition, shape ``(n_partitions,)``."""
+        return np.bincount(self.labels, minlength=self.n_partitions)
+
+    def with_labels(self, labels: np.ndarray) -> "PartitionAssignment":
+        """The same k with new labels (used after k-means refinement)."""
+        return PartitionAssignment(labels=labels,
+                                   n_partitions=self.n_partitions,
+                                   strategy=None)
+
+
+def sort_key(catalog: Catalog,
+             strategy: PartitioningStrategy | str, *,
+             model: FreshnessModel | None = None,
+             reference_frequency: float = REFERENCE_FREQUENCY) -> np.ndarray:
+    """The per-element sort criterion for a partitioning strategy.
+
+    Args:
+        catalog: Workload description.
+        strategy: Which criterion to compute.
+        model: Freshness model for the PF-style keys.
+        reference_frequency: f₀ in the PF keys.
+
+    Returns:
+        One float per element; elements with similar values belong in
+        the same partition.
+    """
+    strategy = PartitioningStrategy.coerce(strategy)
+    chosen = model if model is not None else _DEFAULT_MODEL
+    p = catalog.access_probabilities
+    lam = catalog.change_rates
+    if strategy is PartitioningStrategy.P:
+        return p.copy()
+    if strategy is PartitioningStrategy.LAMBDA:
+        return lam.copy()
+    if strategy is PartitioningStrategy.P_OVER_LAMBDA:
+        with np.errstate(divide="ignore"):
+            return np.where(lam > 0.0, p / np.maximum(lam, 1e-300), np.inf)
+    if strategy is PartitioningStrategy.PF:
+        reference = np.full_like(lam, reference_frequency)
+        return p * chosen.freshness(lam, reference)
+    if strategy is PartitioningStrategy.PF_OVER_SIZE:
+        # One sync of a big page costs more bandwidth, so the
+        # reference *bandwidth* is held constant: f₀/s per element.
+        reference = reference_frequency / catalog.sizes
+        return p * chosen.freshness(lam, reference)
+    assert strategy is PartitioningStrategy.SIZE
+    return catalog.sizes.copy()
+
+
+def contiguous_labels(order: np.ndarray, n_partitions: int) -> np.ndarray:
+    """Assign runs of sorted elements to partitions.
+
+    Args:
+        order: Element indices in sort order (e.g. from ``argsort``).
+        n_partitions: Number of partitions k (clipped to N).
+
+    Returns:
+        Labels per element: the first ⌈N/k⌉ elements of ``order`` get
+        partition 0, the next run partition 1, and so on (trailing
+        partitions may be one element smaller when k ∤ N, as in the
+        paper).
+    """
+    n = order.shape[0]
+    if n_partitions < 1:
+        raise ValidationError(
+            f"n_partitions must be >= 1, got {n_partitions}")
+    k = min(n_partitions, n)
+    labels = np.empty(n, dtype=int)
+    chunks = np.array_split(order, k)
+    for index, chunk in enumerate(chunks):
+        labels[chunk] = index
+    return labels
+
+
+def partition_catalog(catalog: Catalog, n_partitions: int,
+                      strategy: PartitioningStrategy | str, *,
+                      model: FreshnessModel | None = None,
+                      reference_frequency: float = REFERENCE_FREQUENCY,
+                      ) -> PartitionAssignment:
+    """Partition a catalog with one of the paper's sort-based techniques.
+
+    Args:
+        catalog: Workload description.
+        n_partitions: Number of partitions k.
+        strategy: Sort criterion.
+        model: Freshness model for PF-style keys.
+        reference_frequency: f₀ in the PF keys.
+
+    Returns:
+        The :class:`PartitionAssignment` (k is clipped to N when
+        callers ask for more partitions than elements).
+    """
+    strategy = PartitioningStrategy.coerce(strategy)
+    key = sort_key(catalog, strategy, model=model,
+                   reference_frequency=reference_frequency)
+    order = np.argsort(key, kind="stable")
+    k = min(n_partitions, catalog.n_elements)
+    labels = contiguous_labels(order, k)
+    return PartitionAssignment(labels=labels, n_partitions=k,
+                               strategy=strategy)

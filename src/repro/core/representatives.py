@@ -1,0 +1,186 @@
+"""Representative elements and the Transformed Problem (paper §3.2).
+
+After partitioning, every partition is treated as nₖ identical copies
+of one *representative element* whose access probability and change
+rate (and size) are the partition means:
+
+    p̄ₖ = Σ_{i∈k} pᵢ / nₖ,   λ̄ₖ = Σ_{i∈k} λᵢ / nₖ,   s̄ₖ = Σ_{i∈k} sᵢ / nₖ.
+
+The Core Problem then shrinks to k variables — the Transformed
+Problem —
+
+    max Σₖ nₖ·p̄ₖ·F̄(λ̄ₖ, fₖ)   s.t.  Σₖ nₖ·s̄ₖ·fₖ = B,
+
+whose solution assigns bandwidth to partitions; the allocation
+policies in :mod:`repro.core.allocation` then spread each partition's
+share over its members.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.freshness import FreshnessModel
+from repro.core.partitioning import PartitionAssignment
+from repro.core.solver import ScheduleSolution, solve_weighted_problem
+from repro.errors import ValidationError
+from repro.workloads.catalog import Catalog
+
+__all__ = ["RepresentativeProblem", "build_representatives",
+           "solve_transformed_problem"]
+
+
+@dataclass(frozen=True)
+class RepresentativeProblem:
+    """The k-variable Transformed Problem for a partitioning.
+
+    Attributes:
+        assignment: The partitioning it was built from.
+        counts: Elements per partition nₖ, shape ``(k,)``.
+        mean_probabilities: Representative access probabilities p̄ₖ.
+        mean_change_rates: Representative change rates λ̄ₖ.
+        mean_sizes: Representative sizes s̄ₖ.
+    """
+
+    assignment: PartitionAssignment
+    counts: np.ndarray
+    mean_probabilities: np.ndarray
+    mean_change_rates: np.ndarray
+    mean_sizes: np.ndarray
+
+    @property
+    def n_partitions(self) -> int:
+        """Number of partitions k."""
+        return int(self.counts.shape[0])
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Objective weights of the Transformed Problem, ``nₖ·p̄ₖ``."""
+        return self.counts * self.mean_probabilities
+
+    @property
+    def costs(self) -> np.ndarray:
+        """Bandwidth costs of the Transformed Problem, ``nₖ·s̄ₖ``."""
+        return self.counts * self.mean_sizes
+
+
+#: Valid representative statistics for :func:`build_representatives`.
+REPRESENTATIVE_STATISTICS = ("mean", "median", "interest-weighted")
+
+
+def build_representatives(catalog: Catalog,
+                          assignment: PartitionAssignment, *,
+                          statistic: str = "mean",
+                          ) -> RepresentativeProblem:
+    """Compute partition representatives for the Transformed Problem.
+
+    Args:
+        catalog: Workload description.
+        assignment: A partitioning of the catalog's elements.
+        statistic: How the representative is summarized from the
+            partition's members — ``"mean"`` (the paper's choice),
+            ``"median"`` (robust to outliers inside a partition), or
+            ``"interest-weighted"`` (λ̄ and s̄ weighted by access
+            probability, so the representative reflects the members
+            users actually hit).  The DESIGN.md ablation compares
+            these.
+
+    Returns:
+        The :class:`RepresentativeProblem`.  Empty partitions (which
+        k-means refinement can produce) get zero count and harmless
+        placeholder values; they receive no bandwidth.
+    """
+    if statistic not in REPRESENTATIVE_STATISTICS:
+        raise ValidationError(
+            f"unknown representative statistic {statistic!r}; expected "
+            f"one of {REPRESENTATIVE_STATISTICS}")
+    labels = assignment.labels
+    if labels.shape != (catalog.n_elements,):
+        raise ValidationError(
+            f"assignment covers {labels.shape[0]} elements but the catalog "
+            f"has {catalog.n_elements}")
+    k = assignment.n_partitions
+    counts = np.bincount(labels, minlength=k).astype(float)
+    occupied = counts > 0
+
+    def partition_mean(values: np.ndarray, fill: float,
+                       weights: np.ndarray | None = None) -> np.ndarray:
+        if weights is None:
+            sums = np.bincount(labels, weights=values, minlength=k)
+            out = np.full(k, fill)
+            out[occupied] = sums[occupied] / counts[occupied]
+            return out
+        weighted = np.bincount(labels, weights=values * weights,
+                               minlength=k)
+        weight_sums = np.bincount(labels, weights=weights, minlength=k)
+        out = np.full(k, fill)
+        positive = weight_sums > 0
+        out[positive] = weighted[positive] / weight_sums[positive]
+        return out
+
+    def partition_median(values: np.ndarray, fill: float) -> np.ndarray:
+        out = np.full(k, fill)
+        order = np.argsort(labels, kind="stable")
+        sorted_labels = labels[order]
+        sorted_values = values[order]
+        boundaries = np.searchsorted(sorted_labels, np.arange(k + 1))
+        for partition in range(k):
+            lo, hi = boundaries[partition], boundaries[partition + 1]
+            if hi > lo:
+                out[partition] = float(np.median(sorted_values[lo:hi]))
+        return out
+
+    p = catalog.access_probabilities
+    if statistic == "median":
+        probabilities = partition_median(p, 0.0)
+        rates = partition_median(catalog.change_rates, 0.0)
+        sizes = partition_median(catalog.sizes, 1.0)
+    elif statistic == "interest-weighted":
+        # p̄ stays the plain mean so Σ nₖ·p̄ₖ preserves total interest;
+        # λ̄ and s̄ reflect what interested users actually touch.
+        probabilities = partition_mean(p, 0.0)
+        rates = partition_mean(catalog.change_rates, 0.0, weights=p)
+        sizes = partition_mean(catalog.sizes, 1.0, weights=p)
+        # Partitions with zero total interest fall back to the mean.
+        fallback_rates = partition_mean(catalog.change_rates, 0.0)
+        fallback_sizes = partition_mean(catalog.sizes, 1.0)
+        interest = np.bincount(labels, weights=p, minlength=k)
+        dead = interest <= 0.0
+        rates[dead] = fallback_rates[dead]
+        sizes[dead] = fallback_sizes[dead]
+    else:
+        probabilities = partition_mean(p, 0.0)
+        rates = partition_mean(catalog.change_rates, 0.0)
+        sizes = partition_mean(catalog.sizes, 1.0)
+
+    return RepresentativeProblem(
+        assignment=assignment,
+        counts=counts,
+        mean_probabilities=probabilities,
+        mean_change_rates=rates,
+        mean_sizes=sizes,
+    )
+
+
+def solve_transformed_problem(problem: RepresentativeProblem,
+                              bandwidth: float, *,
+                              model: FreshnessModel | None = None,
+                              ) -> ScheduleSolution:
+    """Solve the k-variable Transformed Problem exactly.
+
+    Args:
+        problem: Representatives from :func:`build_representatives`.
+        bandwidth: The full bandwidth budget B.
+        model: Freshness model (Fixed-Order by default).
+
+    Returns:
+        A :class:`ScheduleSolution` over *partitions*: its
+        ``frequencies`` entry k is the per-element sync frequency fₖ
+        for partition k (so partition k consumes ``nₖ·s̄ₖ·fₖ``).
+    """
+    return solve_weighted_problem(problem.weights,
+                                  problem.mean_change_rates,
+                                  np.maximum(problem.costs, 1e-300),
+                                  bandwidth, model=model)

@@ -1,0 +1,210 @@
+"""Concrete synchronization schedules (the Fixed-Order policy in time).
+
+The solvers produce per-element sync *frequencies*; a mirror needs
+actual poll instants.  Under the Fixed-Order policy every element is
+synchronized at evenly spaced instants — element i with frequency fᵢ
+(per period of length T) is polled every T/fᵢ time units.  Phases are
+staggered deterministically so the poll load is spread across the
+period instead of bursting at t = 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.errors import ScheduleError
+
+__all__ = ["PhasePolicy", "SyncSchedule"]
+
+
+class PhasePolicy(str, Enum):
+    """How the first sync of each element is offset within its interval."""
+
+    #: All elements fire their first sync at t = 0 (bursty; useful in
+    #: tests for predictability).
+    ZERO = "zero"
+    #: Element i starts at a deterministic fraction of its interval,
+    #: spreading load evenly (golden-ratio low-discrepancy offsets).
+    STAGGERED = "staggered"
+    #: Phases are drawn uniformly at random in [0, interval).
+    RANDOM = "random"
+
+
+_GOLDEN = 0.6180339887498949
+
+
+@dataclass(frozen=True)
+class SyncSchedule:
+    """A Fixed-Order synchronization schedule.
+
+    Attributes:
+        frequencies: Syncs per period for each element, ``f ≥ 0``.
+        period_length: Length T of one sync period in clock time.
+        phases: First-sync offset of each element, in clock time,
+            within ``[0, interval)``; meaningless (0) for f = 0.
+    """
+
+    frequencies: np.ndarray
+    period_length: float
+    phases: np.ndarray
+
+    def __post_init__(self) -> None:
+        frequencies = np.asarray(self.frequencies, dtype=float)
+        phases = np.asarray(self.phases, dtype=float)
+        if frequencies.ndim != 1:
+            raise ScheduleError("frequencies must be 1-D")
+        if (frequencies < 0.0).any():
+            raise ScheduleError("frequencies must be nonnegative")
+        if self.period_length <= 0.0:
+            raise ScheduleError(
+                f"period_length must be > 0, got {self.period_length}")
+        if phases.shape != frequencies.shape:
+            raise ScheduleError("phases must match frequencies in shape")
+        if (phases < 0.0).any():
+            raise ScheduleError("phases must be nonnegative")
+        frequencies = frequencies.copy()
+        phases = phases.copy()
+        frequencies.flags.writeable = False
+        phases.flags.writeable = False
+        object.__setattr__(self, "frequencies", frequencies)
+        object.__setattr__(self, "phases", phases)
+
+    @classmethod
+    def from_frequencies(cls, frequencies: np.ndarray, *,
+                         period_length: float = 1.0,
+                         phase_policy: PhasePolicy | str =
+                         PhasePolicy.STAGGERED,
+                         rng: np.random.Generator | None = None,
+                         ) -> "SyncSchedule":
+        """Build a schedule from per-period frequencies.
+
+        Args:
+            frequencies: Syncs per period per element.
+            period_length: Clock length of a period.
+            phase_policy: How first-sync offsets are chosen.
+            rng: Required for :attr:`PhasePolicy.RANDOM`.
+
+        Returns:
+            The schedule.
+
+        Raises:
+            ScheduleError: For invalid inputs or a missing ``rng``.
+        """
+        frequencies = np.asarray(frequencies, dtype=float)
+        policy = (phase_policy if isinstance(phase_policy, PhasePolicy)
+                  else PhasePolicy(str(phase_policy).lower()))
+        with np.errstate(divide="ignore"):
+            intervals = np.where(frequencies > 0.0,
+                                 period_length / np.maximum(frequencies,
+                                                            1e-300), 0.0)
+        if policy is PhasePolicy.ZERO:
+            phases = np.zeros_like(frequencies)
+        elif policy is PhasePolicy.STAGGERED:
+            n = frequencies.shape[0]
+            fractions = (np.arange(n) * _GOLDEN) % 1.0
+            phases = fractions * intervals
+        else:
+            if rng is None:
+                raise ScheduleError("random phases require an rng")
+            phases = rng.uniform(0.0, 1.0, size=frequencies.shape) * intervals
+        return cls(frequencies=frequencies, period_length=period_length,
+                   phases=phases)
+
+    @property
+    def n_elements(self) -> int:
+        """Number of elements covered by the schedule."""
+        return int(self.frequencies.shape[0])
+
+    def intervals(self) -> np.ndarray:
+        """Clock time between syncs per element (inf for f = 0)."""
+        with np.errstate(divide="ignore"):
+            return np.where(self.frequencies > 0.0,
+                            self.period_length / np.maximum(
+                                self.frequencies, 1e-300), np.inf)
+
+    def sync_times(self, element: int, horizon: float) -> np.ndarray:
+        """All sync instants of one element in ``[0, horizon)``.
+
+        Args:
+            element: Element index.
+            horizon: End of the window, > 0.
+
+        Returns:
+            Sorted sync times (possibly empty).
+        """
+        if horizon <= 0.0:
+            raise ScheduleError(f"horizon must be > 0, got {horizon}")
+        f = float(self.frequencies[element])
+        if f <= 0.0:
+            return np.empty(0)
+        interval = self.period_length / f
+        start = float(self.phases[element])
+        count = int(np.ceil(max(horizon - start, 0.0) / interval))
+        times = start + interval * np.arange(count)
+        return times[times < horizon]
+
+    def events_until(self, horizon: float) -> tuple[np.ndarray, np.ndarray]:
+        """All sync events in ``[0, horizon)``, time-ordered.
+
+        Args:
+            horizon: End of the window, > 0.
+
+        Returns:
+            ``(times, elements)`` — parallel arrays sorted by time.
+        """
+        if horizon <= 0.0:
+            raise ScheduleError(f"horizon must be > 0, got {horizon}")
+        all_times: list[np.ndarray] = []
+        all_elements: list[np.ndarray] = []
+        intervals = self.intervals()
+        for element in range(self.n_elements):
+            if not np.isfinite(intervals[element]):
+                continue
+            times = self.sync_times(element, horizon)
+            if times.size:
+                all_times.append(times)
+                all_elements.append(np.full(times.shape, element,
+                                            dtype=np.int64))
+        if not all_times:
+            return np.empty(0), np.empty(0, dtype=np.int64)
+        times = np.concatenate(all_times)
+        elements = np.concatenate(all_elements)
+        order = np.argsort(times, kind="stable")
+        return times[order], elements[order]
+
+    def events_between(self, start: float, end: float
+                       ) -> tuple[np.ndarray, np.ndarray]:
+        """Sync events in ``[start, end)`` — a streaming window.
+
+        Lets an executor pull the schedule one window at a time
+        instead of materializing an unbounded horizon.
+
+        Args:
+            start: Window start, >= 0.
+            end: Window end, > ``start``.
+
+        Returns:
+            ``(times, elements)`` sorted by time within the window.
+        """
+        if start < 0.0:
+            raise ScheduleError(f"start must be >= 0, got {start}")
+        if end <= start:
+            raise ScheduleError(
+                f"end must exceed start, got [{start}, {end})")
+        times, elements = self.events_until(end)
+        keep = times >= start
+        return times[keep], elements[keep]
+
+    def syncs_per_period(self) -> float:
+        """Total sync operations per period, ``Σ fᵢ``."""
+        return float(self.frequencies.sum())
+
+    def bandwidth_per_period(self, sizes: np.ndarray) -> float:
+        """Total bandwidth per period, ``Σ sᵢ·fᵢ``."""
+        sizes = np.asarray(sizes, dtype=float)
+        if sizes.shape != self.frequencies.shape:
+            raise ScheduleError("sizes must match frequencies in shape")
+        return float(sizes @ self.frequencies)

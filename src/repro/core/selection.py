@@ -1,0 +1,207 @@
+"""Profile-driven mirror selection (paper §7, future work).
+
+"Notice that in Figure 10 there are a significant number of objects
+that do not get refreshed at all ... It would be interesting to
+investigate how space could be better used.  For example, this could
+influence which objects we include in the mirror when the mirror is
+smaller than the database."
+
+This module implements that investigation.  When the mirror can store
+only a subset of the database, an access to an unmirrored object
+never sees fresh data, so the objective becomes
+
+    max_{M, f}  Σ_{i∈M} pᵢ·F̄(λᵢ, fᵢ)   s.t.  Σ_{i∈M} sᵢ ≤ C  (space)
+                                              Σ_{i∈M} sᵢfᵢ ≤ B (bandwidth)
+
+Selection strategies:
+
+* ``interest`` — greedy by access probability pᵢ: hold what users ask
+  for.
+* ``interest-per-size`` — greedy by pᵢ/sᵢ: the classic knapsack
+  density rule; better when sizes vary.
+* ``achievable`` — greedy by the freshness an object could actually
+  deliver at a reference per-object bandwidth share,
+  pᵢ·F̄(λᵢ, (B/C·expected)/sᵢ): discounts objects so volatile that
+  mirroring them buys little perceived freshness.
+* ``random`` — the baseline.
+
+After selection the Core Problem is solved over the chosen subset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.core.freshness import FixedOrderPolicy, FreshnessModel
+from repro.core.solver import ScheduleSolution, solve_weighted_problem
+from repro.errors import ValidationError
+from repro.workloads.catalog import Catalog
+
+__all__ = ["SelectionStrategy", "MirrorSelection", "select_mirror",
+           "plan_selected_mirror"]
+
+_DEFAULT_MODEL = FixedOrderPolicy()
+
+
+class SelectionStrategy(str, Enum):
+    """How mirror contents are chosen under a space constraint."""
+
+    INTEREST = "interest"
+    INTEREST_PER_SIZE = "interest-per-size"
+    ACHIEVABLE = "achievable"
+    RANDOM = "random"
+
+    @classmethod
+    def coerce(cls, value: "SelectionStrategy | str") -> "SelectionStrategy":
+        """Accept either a member or its string value."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError as exc:
+            options = ", ".join(member.value for member in cls)
+            raise ValidationError(
+                f"unknown selection strategy {value!r}; expected one "
+                f"of: {options}") from exc
+
+
+@dataclass(frozen=True)
+class MirrorSelection:
+    """A chosen mirror subset and its freshening plan.
+
+    Attributes:
+        indices: Elements included in the mirror, in selection order.
+        frequencies: Full-length frequency vector (zero outside the
+            selection).
+        covered_interest: Total access probability of mirrored
+            elements, ``Σ_{i∈M} pᵢ``.
+        perceived_freshness: System-wide PF with unmirrored accesses
+            counted stale: ``Σ_{i∈M} pᵢ·F̄ᵢ``.
+        space_used: ``Σ_{i∈M} sᵢ``.
+        solution: The Core-Problem solution over the subset.
+    """
+
+    indices: np.ndarray
+    frequencies: np.ndarray
+    covered_interest: float
+    perceived_freshness: float
+    space_used: float
+    solution: ScheduleSolution
+
+
+def select_mirror(catalog: Catalog, capacity: float,
+                  strategy: SelectionStrategy | str = SelectionStrategy.
+                  INTEREST_PER_SIZE, *,
+                  bandwidth: float | None = None,
+                  model: FreshnessModel | None = None,
+                  rng: np.random.Generator | None = None) -> np.ndarray:
+    """Choose which elements to mirror under a space capacity.
+
+    Greedy by the strategy's score: walk elements in descending score
+    and take everything that still fits (skipping oversized items, as
+    density-greedy knapsack does).
+
+    Args:
+        catalog: The full database.
+        capacity: Mirror space in size units, > 0.
+        strategy: Scoring rule.
+        bandwidth: Needed by :attr:`SelectionStrategy.ACHIEVABLE` to
+            set the reference per-object bandwidth share.
+        model: Freshness model for the achievable score.
+        rng: Needed by :attr:`SelectionStrategy.RANDOM`.
+
+    Returns:
+        Selected element indices (selection order).
+    """
+    strategy = SelectionStrategy.coerce(strategy)
+    if capacity <= 0.0:
+        raise ValidationError(f"capacity must be > 0, got {capacity}")
+    chosen_model = model if model is not None else _DEFAULT_MODEL
+    p = catalog.access_probabilities
+    sizes = catalog.sizes
+
+    if strategy is SelectionStrategy.RANDOM:
+        if rng is None:
+            raise ValidationError("random selection requires an rng")
+        order = rng.permutation(catalog.n_elements)
+    elif strategy is SelectionStrategy.INTEREST:
+        order = np.argsort(-p, kind="stable")
+    elif strategy is SelectionStrategy.INTEREST_PER_SIZE:
+        order = np.argsort(-(p / sizes), kind="stable")
+    else:
+        if bandwidth is None:
+            raise ValidationError(
+                "achievable selection requires the bandwidth budget")
+        if bandwidth <= 0.0:
+            raise ValidationError(
+                f"bandwidth must be > 0, got {bandwidth}")
+        # Reference share: the bandwidth one object would get if the
+        # budget were spread over the space-capacity's worth of
+        # mean-sized objects.
+        mean_size = float(sizes.mean())
+        expected_objects = max(capacity / mean_size, 1.0)
+        reference_bandwidth = bandwidth / expected_objects
+        reference_freqs = reference_bandwidth / sizes
+        score = p * chosen_model.freshness(catalog.change_rates,
+                                           reference_freqs)
+        order = np.argsort(-(score / sizes), kind="stable")
+
+    selected = []
+    remaining = capacity
+    for element in order.tolist():
+        if sizes[element] <= remaining:
+            selected.append(element)
+            remaining -= sizes[element]
+    return np.array(selected, dtype=np.int64)
+
+
+def plan_selected_mirror(catalog: Catalog, capacity: float,
+                         bandwidth: float, *,
+                         strategy: SelectionStrategy | str =
+                         SelectionStrategy.INTEREST_PER_SIZE,
+                         model: FreshnessModel | None = None,
+                         rng: np.random.Generator | None = None,
+                         ) -> MirrorSelection:
+    """Select mirror contents and solve the Core Problem over them.
+
+    Args:
+        catalog: The full database.
+        capacity: Mirror space in size units.
+        bandwidth: Sync bandwidth budget per period.
+        strategy: Selection scoring rule.
+        model: Freshness model.
+        rng: Needed for random selection.
+
+    Returns:
+        The :class:`MirrorSelection`; its ``perceived_freshness``
+        charges accesses to unmirrored objects as stale, making
+        selections comparable system-wide.
+    """
+    indices = select_mirror(catalog, capacity, strategy,
+                            bandwidth=bandwidth, model=model, rng=rng)
+    frequencies = np.zeros(catalog.n_elements)
+    if indices.size == 0:
+        return MirrorSelection(indices=indices, frequencies=frequencies,
+                               covered_interest=0.0,
+                               perceived_freshness=0.0, space_used=0.0,
+                               solution=ScheduleSolution(
+                                   frequencies=np.empty(0),
+                                   multiplier=0.0, bandwidth=0.0,
+                                   objective=0.0, iterations=0))
+    solution = solve_weighted_problem(
+        catalog.access_probabilities[indices],
+        catalog.change_rates[indices], catalog.sizes[indices],
+        bandwidth, model=model)
+    frequencies[indices] = solution.frequencies
+    covered = float(catalog.access_probabilities[indices].sum())
+    return MirrorSelection(
+        indices=indices,
+        frequencies=frequencies,
+        covered_interest=covered,
+        perceived_freshness=solution.objective,
+        space_used=float(catalog.sizes[indices].sum()),
+        solution=solution,
+    )

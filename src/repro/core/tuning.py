@@ -1,0 +1,128 @@
+"""Automatic partition-count tuning (paper §4.1.2's stated goal).
+
+"For large cases, the goal is to use the smallest number of
+partitions to achieve a good approximate answer."  The paper finds
+its sweet spots by hand (50 partitions + 10 iterations at Table-3
+scale); this module automates the search:
+
+:func:`auto_tune_partitions` doubles k from a small start, planning
+and scoring at each step, and stops when the relative PF gain of the
+last doubling falls below ``gain_tolerance`` or a wall-clock planning
+budget is exhausted.  Because heuristic quality is monotone in k only
+*statistically*, the tuner keeps the best plan seen rather than
+assuming the last is best.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.allocation import AllocationPolicy
+from repro.core.freshener import FresheningPlan, PartitionedFreshener
+from repro.core.partitioning import PartitioningStrategy
+from repro.errors import ValidationError
+from repro.workloads.catalog import Catalog
+
+__all__ = ["TuningResult", "auto_tune_partitions"]
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Outcome of the partition-count search.
+
+    Attributes:
+        n_partitions: The chosen k.
+        plan: The best plan found.
+        evaluations: ``(k, perceived_freshness, seconds)`` per step,
+            in search order.
+        stopped_by: ``"converged"`` (marginal gain below tolerance),
+            ``"time"`` (planning budget exhausted), or ``"exhausted"``
+            (k reached the catalog size).
+    """
+
+    n_partitions: int
+    plan: FresheningPlan
+    evaluations: tuple[tuple[int, float, float], ...]
+    stopped_by: str
+
+
+def auto_tune_partitions(catalog: Catalog, bandwidth: float, *,
+                         strategy: PartitioningStrategy | str =
+                         PartitioningStrategy.PF,
+                         cluster_iterations: int = 0,
+                         allocation: AllocationPolicy | str =
+                         AllocationPolicy.FIXED_BANDWIDTH,
+                         start: int = 16,
+                         gain_tolerance: float = 0.005,
+                         time_budget: float | None = None,
+                         ) -> TuningResult:
+    """Find the smallest useful partition count by doubling.
+
+    Args:
+        catalog: Workload description.
+        bandwidth: Sync bandwidth budget per period.
+        strategy: Partitioning criterion.
+        cluster_iterations: k-means refinement per evaluation.
+        allocation: Intra-partition allocation policy.
+        start: First k tried (clipped to the catalog size), >= 1.
+        gain_tolerance: Stop when a doubling improves PF by less than
+            this *relative* amount.
+        time_budget: Optional cap in seconds on total planning time;
+            the search stops after the step that exceeds it.
+
+    Returns:
+        The :class:`TuningResult` carrying the best plan seen.
+    """
+    if start < 1:
+        raise ValidationError(f"start must be >= 1, got {start}")
+    if gain_tolerance <= 0.0:
+        raise ValidationError(
+            f"gain_tolerance must be > 0, got {gain_tolerance}")
+    if time_budget is not None and time_budget <= 0.0:
+        raise ValidationError(
+            f"time_budget must be > 0, got {time_budget}")
+
+    n = catalog.n_elements
+    evaluations: list[tuple[int, float, float]] = []
+    best_plan: FresheningPlan | None = None
+    best_k = 0
+    previous_pf = -np.inf
+    k = min(start, n)
+    stopped_by = "exhausted"
+    search_start = time.perf_counter()
+
+    while True:
+        step_start = time.perf_counter()
+        planner = PartitionedFreshener(
+            k, strategy=strategy,
+            cluster_iterations=cluster_iterations,
+            allocation=allocation)
+        plan = planner.plan(catalog, bandwidth)
+        elapsed = time.perf_counter() - step_start
+        pf = plan.perceived_freshness
+        evaluations.append((k, pf, elapsed))
+        if best_plan is None or pf > best_plan.perceived_freshness:
+            best_plan = plan
+            best_k = k
+
+        gain = (pf - previous_pf) / max(abs(previous_pf), 1e-12)
+        if np.isfinite(previous_pf) and gain < gain_tolerance:
+            stopped_by = "converged"
+            break
+        previous_pf = pf
+        if k >= n:
+            stopped_by = "exhausted"
+            break
+        if (time_budget is not None
+                and time.perf_counter() - search_start >= time_budget):
+            stopped_by = "time"
+            break
+        k = min(2 * k, n)
+
+    assert best_plan is not None
+    return TuningResult(n_partitions=best_k, plan=best_plan,
+                        evaluations=tuple(evaluations),
+                        stopped_by=stopped_by)

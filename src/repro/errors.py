@@ -1,0 +1,55 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised by the library derives from :class:`ReproError` so
+that callers can catch library failures with a single ``except`` clause
+while still distinguishing the common failure categories below.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "ConvergenceError",
+    "InfeasibleProblemError",
+    "SimulationError",
+    "ScheduleError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An input (workload, profile, parameter) failed validation.
+
+    Also a :class:`ValueError` so that code written against plain
+    Python conventions keeps working.
+    """
+
+
+class ConvergenceError(ReproError, ArithmeticError):
+    """A numerical routine failed to converge within its budget."""
+
+    def __init__(self, message: str, *, iterations: int | None = None,
+                 residual: float | None = None) -> None:
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class InfeasibleProblemError(ReproError, ValueError):
+    """The optimization problem has no feasible solution.
+
+    Raised, for example, when the bandwidth budget is negative or when
+    a sized problem is given non-positive object sizes.
+    """
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class ScheduleError(ReproError, ValueError):
+    """A synchronization schedule is malformed or cannot be built."""

@@ -1,0 +1,33 @@
+"""Change-rate estimation substrates (paper references [4], [6], [7]).
+
+The scheduler assumes update frequencies are known; these modules
+provide the machinery the paper cites for obtaining them — censored
+Poisson estimation from poll histories, sampling-based change
+detection, and TTL metadata conversion — plus the observer needed to
+close the estimate-schedule loop in simulation.
+"""
+
+from repro.estimation.change_rate import (
+    ChangeObserver,
+    bias_reduced_rate_estimate,
+    mle_rate_estimate,
+    naive_rate_estimate,
+)
+from repro.estimation.sampling import SamplingRefreshPolicy, SamplingRoundResult
+from repro.estimation.ttl import (
+    expected_fresh_probability,
+    rate_from_ttl,
+    ttl_for_confidence,
+)
+
+__all__ = [
+    "bias_reduced_rate_estimate",
+    "ChangeObserver",
+    "expected_fresh_probability",
+    "mle_rate_estimate",
+    "naive_rate_estimate",
+    "rate_from_ttl",
+    "SamplingRefreshPolicy",
+    "SamplingRoundResult",
+    "ttl_for_confidence",
+]

@@ -1,0 +1,174 @@
+"""Estimating element change rates from poll observations (ref [4]).
+
+The scheduler needs each element's Poisson change rate λ, but a
+polling mirror only observes a *censored* signal: at each poll it
+learns whether the element changed at all since the previous poll —
+not how many times.  Cho & Garcia-Molina ("Estimating frequency of
+change") analyze exactly this setting; this module implements their
+estimators:
+
+* :func:`naive_rate_estimate` — changes seen / time observed.  Biased
+  low: multiple changes between polls are counted once.
+* :func:`mle_rate_estimate` — inverts the detection probability
+  ``P(change observed) = 1 − e^(−λI)`` for polls at interval I:
+  ``λ̂ = −ln(1 − k/n)/I``.  Consistent, but undefined when every poll
+  saw a change.
+* :func:`bias_reduced_rate_estimate` — Cho & Garcia-Molina's
+  bias-reduced variant ``λ̂ = −ln((n − k + 0.5)/(n + 0.5))/I``, which
+  stays finite at k = n and has lower small-sample bias.
+
+:class:`ChangeObserver` accumulates the (n, k) statistics per element
+during simulation so a scheduler can be driven by *estimated* rates —
+the paper's §6 argues PF is robust to such imperfect knowledge, and
+the benchmark suite includes an experiment confirming it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "naive_rate_estimate",
+    "mle_rate_estimate",
+    "bias_reduced_rate_estimate",
+    "ChangeObserver",
+]
+
+
+def _validate_counts(polls: np.ndarray, changes: np.ndarray,
+                     interval: float) -> tuple[np.ndarray, np.ndarray]:
+    polls = np.asarray(polls, dtype=float)
+    changes = np.asarray(changes, dtype=float)
+    if polls.shape != changes.shape:
+        raise ValidationError(
+            f"polls {polls.shape} and changes {changes.shape} must match")
+    if (polls < 0).any() or (changes < 0).any():
+        raise ValidationError("poll and change counts must be nonnegative")
+    if (changes > polls).any():
+        raise ValidationError("cannot observe more changes than polls")
+    if interval <= 0.0:
+        raise ValidationError(f"interval must be > 0, got {interval}")
+    return polls, changes
+
+
+def naive_rate_estimate(polls: np.ndarray, changes: np.ndarray,
+                        interval: float) -> np.ndarray:
+    """Changes observed per unit time (biased low).
+
+    Args:
+        polls: Polls performed per element, n.
+        changes: Polls that detected a change, k.
+        interval: Time between consecutive polls, I.
+
+    Returns:
+        ``k/(n·I)`` per element (0 where nothing was polled).
+    """
+    polls, changes = _validate_counts(polls, changes, interval)
+    with np.errstate(invalid="ignore"):
+        estimate = np.where(polls > 0, changes / np.maximum(polls, 1.0), 0.0)
+    return estimate / interval
+
+
+def mle_rate_estimate(polls: np.ndarray, changes: np.ndarray,
+                      interval: float) -> np.ndarray:
+    """Maximum-likelihood estimate ``−ln(1 − k/n)/I``.
+
+    Args:
+        polls: Polls performed per element, n (> 0 where estimated).
+        changes: Polls that detected a change, k.
+        interval: Time between consecutive polls, I.
+
+    Returns:
+        Per-element rate estimates; ``inf`` where every poll saw a
+        change (the MLE diverges there — use the bias-reduced
+        estimator instead) and 0 where nothing was polled.
+    """
+    polls, changes = _validate_counts(polls, changes, interval)
+    ratio = np.where(polls > 0, changes / np.maximum(polls, 1.0), 0.0)
+    with np.errstate(divide="ignore"):
+        estimate = -np.log1p(-ratio) / interval
+    return np.where(polls > 0, estimate, 0.0)
+
+
+def bias_reduced_rate_estimate(polls: np.ndarray, changes: np.ndarray,
+                               interval: float) -> np.ndarray:
+    """Cho/Garcia-Molina bias-reduced estimator.
+
+    ``λ̂ = −ln((n − k + 0.5)/(n + 0.5)) / I`` — finite for all
+    observable (n, k) and markedly less biased for small n.
+
+    Args:
+        polls: Polls performed per element, n.
+        changes: Polls that detected a change, k.
+        interval: Time between consecutive polls, I.
+
+    Returns:
+        Per-element rate estimates (0 where nothing was polled).
+    """
+    polls, changes = _validate_counts(polls, changes, interval)
+    numerator = polls - changes + 0.5
+    denominator = polls + 0.5
+    estimate = -np.log(numerator / denominator) / interval
+    return np.where(polls > 0, estimate, 0.0)
+
+
+class ChangeObserver:
+    """Accumulates per-element (polls, changes-detected) statistics.
+
+    Args:
+        n_elements: Number of tracked elements.
+    """
+
+    def __init__(self, n_elements: int) -> None:
+        if n_elements < 1:
+            raise ValidationError(
+                f"n_elements must be >= 1, got {n_elements}")
+        self._polls = np.zeros(n_elements, dtype=np.int64)
+        self._changes = np.zeros(n_elements, dtype=np.int64)
+
+    @property
+    def n_elements(self) -> int:
+        """Number of tracked elements."""
+        return int(self._polls.shape[0])
+
+    def record_poll(self, element: int, changed: bool) -> None:
+        """Record one poll and whether it detected a change.
+
+        Args:
+            element: Element index.
+            changed: True if the poll found a new version (the return
+                value of :meth:`repro.sim.mirror.Mirror.sync`).
+        """
+        if not 0 <= element < self.n_elements:
+            raise ValidationError(
+                f"element {element} outside [0, {self.n_elements})")
+        self._polls[element] += 1
+        if changed:
+            self._changes[element] += 1
+
+    def estimate_rates(self, interval: float, *,
+                       method: str = "bias-reduced",
+                       default_rate: float = 0.0) -> np.ndarray:
+        """Estimate every element's change rate.
+
+        Args:
+            interval: Poll interval used during observation.
+            method: ``"naive"``, ``"mle"`` or ``"bias-reduced"``.
+            default_rate: Rate assigned to never-polled elements.
+
+        Returns:
+            Per-element rate estimates.
+        """
+        estimators = {
+            "naive": naive_rate_estimate,
+            "mle": mle_rate_estimate,
+            "bias-reduced": bias_reduced_rate_estimate,
+        }
+        if method not in estimators:
+            raise ValidationError(
+                f"unknown method {method!r}; expected one of "
+                f"{sorted(estimators)}")
+        estimates = estimators[method](self._polls, self._changes, interval)
+        return np.where(self._polls > 0, estimates, default_rate)

@@ -1,0 +1,95 @@
+"""Time-To-Live freshness estimation (ref [7], web cache coherence).
+
+A TTL declares how long a fetched copy should be *assumed* fresh.
+For a Poisson-updated element the probability the copy is still fresh
+``t`` after a sync is ``e^(−λt)``, so:
+
+* :func:`ttl_for_confidence` — the TTL guaranteeing a target
+  freshness probability: ``t = −ln(confidence)/λ``;
+* :func:`rate_from_ttl` — the inverse, recovering an implied change
+  rate from a server-declared TTL and the convention that a copy is
+  "probably fresh" within it;
+* :func:`expected_fresh_probability` — the survival curve itself.
+
+These conversions let TTL metadata (HTTP ``Expires``-style hints) be
+folded into the catalog's change-rate vector when no poll history
+exists yet.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["ttl_for_confidence", "rate_from_ttl",
+           "expected_fresh_probability"]
+
+
+def expected_fresh_probability(change_rates: np.ndarray,
+                               age: float) -> np.ndarray:
+    """Probability a copy is still fresh ``age`` after its last sync.
+
+    Args:
+        change_rates: Poisson change rates λ ≥ 0.
+        age: Time since the last sync, ≥ 0.
+
+    Returns:
+        ``e^(−λ·age)`` per element.
+    """
+    lam = np.asarray(change_rates, dtype=float)
+    if (lam < 0.0).any():
+        raise ValidationError("change rates must be nonnegative")
+    if age < 0.0:
+        raise ValidationError(f"age must be >= 0, got {age}")
+    return np.exp(-lam * age)
+
+
+def ttl_for_confidence(change_rates: np.ndarray,
+                       confidence: float) -> np.ndarray:
+    """The TTL after which freshness confidence drops to ``confidence``.
+
+    Args:
+        change_rates: Poisson change rates λ ≥ 0.
+        confidence: Required freshness probability in (0, 1).
+
+    Returns:
+        ``−ln(confidence)/λ`` per element (``inf`` for λ = 0).
+    """
+    lam = np.asarray(change_rates, dtype=float)
+    if (lam < 0.0).any():
+        raise ValidationError("change rates must be nonnegative")
+    if not 0.0 < confidence < 1.0:
+        raise ValidationError(
+            f"confidence must be in (0, 1), got {confidence}")
+    with np.errstate(divide="ignore"):
+        return np.where(lam > 0.0,
+                        -np.log(confidence) / np.maximum(lam, 1e-300),
+                        np.inf)
+
+
+def rate_from_ttl(ttls: np.ndarray, *, confidence: float = 0.5,
+                  ) -> np.ndarray:
+    """Implied change rate from declared TTLs.
+
+    Interprets a TTL as "freshness probability is ``confidence`` at
+    expiry", giving ``λ = −ln(confidence)/TTL``.
+
+    Args:
+        ttls: Declared TTLs, > 0 (``inf`` allowed: never changes).
+        confidence: The freshness probability the TTL is assumed to
+            encode at expiry, in (0, 1).
+
+    Returns:
+        Per-element rate estimates (0 for infinite TTLs).
+    """
+    ttls = np.asarray(ttls, dtype=float)
+    if (ttls <= 0.0).any():
+        raise ValidationError("TTLs must be strictly positive")
+    if not 0.0 < confidence < 1.0:
+        raise ValidationError(
+            f"confidence must be in (0, 1), got {confidence}")
+    finite = np.isfinite(ttls)
+    rates = np.zeros_like(ttls)
+    rates[finite] = -np.log(confidence) / ttls[finite]
+    return rates

@@ -1,0 +1,174 @@
+"""Seeded Lloyd's-algorithm k-means.
+
+The cluster-refinement heuristic (paper §4.1.3) starts from the
+contiguous sort-based partitions and runs a handful of k-means
+iterations in the ``(p, λ̂)`` feature plane.  The paper's experiments
+sweep the *number of iterations* explicitly (Figures 8 and 9), so this
+implementation exposes a per-iteration generator in addition to the
+usual run-to-budget entry point.
+
+Everything is deterministic: initialization comes from the caller
+(either labels or centroids), never from internal randomness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["KMeansResult", "kmeans", "kmeans_iterate"]
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """State of a k-means clustering after some number of iterations.
+
+    Attributes:
+        labels: Cluster index per point, shape ``(n,)``.
+        centroids: Cluster centers, shape ``(k, d)``.  Empty clusters
+            keep their previous centroid.
+        inertia: Sum of squared distances of points to their assigned
+            centroid.
+        iterations: Number of completed Lloyd iterations.
+        converged: True if the last iteration moved no point.
+    """
+
+    labels: np.ndarray
+    centroids: np.ndarray
+    inertia: float
+    iterations: int
+    converged: bool
+
+
+def _validate(points: np.ndarray, labels: np.ndarray, k: int) -> None:
+    if points.ndim != 2:
+        raise ValidationError(f"points must be 2-D, got shape {points.shape}")
+    if labels.shape != (points.shape[0],):
+        raise ValidationError(
+            f"labels shape {labels.shape} does not match {points.shape[0]} points"
+        )
+    if k < 1:
+        raise ValidationError(f"k must be >= 1, got {k}")
+    if labels.size and (labels.min() < 0 or labels.max() >= k):
+        raise ValidationError(
+            f"labels must lie in [0, {k}), got range "
+            f"[{labels.min()}, {labels.max()}]"
+        )
+
+
+def _centroids_from_labels(points: np.ndarray, labels: np.ndarray, k: int,
+                           previous: np.ndarray | None) -> np.ndarray:
+    """Mean of each cluster; empty clusters inherit their old centroid."""
+    d = points.shape[1]
+    sums = np.zeros((k, d))
+    np.add.at(sums, labels, points)
+    counts = np.bincount(labels, minlength=k).astype(float)
+    occupied = counts > 0
+    centroids = np.empty((k, d))
+    centroids[occupied] = sums[occupied] / counts[occupied, None]
+    if previous is None:
+        # Park empty clusters far away so nothing is assigned to them.
+        centroids[~occupied] = np.inf
+    else:
+        centroids[~occupied] = previous[~occupied]
+    return centroids
+
+
+def _assign(points: np.ndarray, centroids: np.ndarray) -> tuple[np.ndarray, float]:
+    """Nearest-centroid labels and the resulting inertia.
+
+    Uses the ``‖x‖² − 2x·c + ‖c‖²`` expansion so the (n, k) distance
+    matrix is one GEMM — the difference between seconds and minutes at
+    catalog scale (n = 500 000).  Centroids parked at infinity (empty
+    clusters with no history) are masked out.
+    """
+    finite = np.isfinite(centroids).all(axis=1)
+    safe = np.where(finite[:, None], centroids, 0.0)
+    point_norms = np.einsum("nd,nd->n", points, points)
+    centroid_norms = np.einsum("kd,kd->k", safe, safe)
+    sq_dists = (point_norms[:, None] - 2.0 * (points @ safe.T)
+                + centroid_norms[None, :])
+    sq_dists[:, ~finite] = np.inf
+    labels = np.argmin(sq_dists, axis=1)
+    chosen = sq_dists[np.arange(points.shape[0]), labels]
+    # The expansion can go epsilon-negative; clamp before summing.
+    inertia = float(np.maximum(chosen, 0.0).sum())
+    return labels, inertia
+
+
+def kmeans_iterate(points: np.ndarray, initial_labels: np.ndarray,
+                   k: int) -> Iterator[KMeansResult]:
+    """Yield the clustering state after each Lloyd iteration.
+
+    Iteration ``t`` recomputes centroids from the iteration ``t−1``
+    labels and reassigns every point to its nearest centroid.  The
+    generator yields forever (callers bound it); once converged, the
+    yielded states repeat with ``converged=True``.
+
+    Args:
+        points: Feature matrix, shape ``(n, d)``.
+        initial_labels: Starting assignment, e.g. the contiguous
+            sort-based partitions.
+        k: Number of clusters.
+
+    Yields:
+        A :class:`KMeansResult` per completed iteration.
+    """
+    points = np.asarray(points, dtype=float)
+    initial_labels = np.asarray(initial_labels, dtype=int)
+    _validate(points, initial_labels, k)
+
+    labels = initial_labels.copy()
+    centroids: np.ndarray | None = None
+    iteration = 0
+    while True:
+        iteration += 1
+        centroids = _centroids_from_labels(points, labels, k, centroids)
+        new_labels, inertia = _assign(points, centroids)
+        converged = bool(np.array_equal(new_labels, labels))
+        labels = new_labels
+        yield KMeansResult(labels=labels.copy(), centroids=centroids.copy(),
+                           inertia=inertia, iterations=iteration,
+                           converged=converged)
+
+
+def kmeans(points: np.ndarray, initial_labels: np.ndarray, k: int, *,
+           iterations: int) -> KMeansResult:
+    """Run exactly ``iterations`` Lloyd iterations (or stop at convergence).
+
+    Args:
+        points: Feature matrix, shape ``(n, d)``.
+        initial_labels: Starting assignment.
+        k: Number of clusters.
+        iterations: Iteration budget.  ``0`` returns the initial
+            assignment unchanged (with centroids computed from it).
+
+    Returns:
+        The final :class:`KMeansResult`.
+    """
+    points = np.asarray(points, dtype=float)
+    initial_labels = np.asarray(initial_labels, dtype=int)
+    _validate(points, initial_labels, k)
+    if iterations < 0:
+        raise ValidationError(f"iterations must be >= 0, got {iterations}")
+
+    if iterations == 0:
+        centroids = _centroids_from_labels(points, initial_labels, k, None)
+        finite = np.isfinite(centroids).all(axis=1)
+        safe = np.where(finite[:, None], centroids,
+                        points.mean(axis=0, keepdims=True))
+        assigned = safe[initial_labels]
+        inertia = float(((points - assigned) ** 2).sum())
+        return KMeansResult(labels=initial_labels.copy(), centroids=safe,
+                            inertia=inertia, iterations=0, converged=False)
+
+    result: KMeansResult | None = None
+    for result in kmeans_iterate(points, initial_labels, k):
+        if result.iterations >= iterations or result.converged:
+            break
+    assert result is not None
+    return result

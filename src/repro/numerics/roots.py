@@ -1,0 +1,141 @@
+"""Scalar root finding used by the freshening solvers.
+
+These routines are deliberately small and dependency-free: the exact
+Core-Problem solver only ever needs to find roots of smooth monotone
+functions on known brackets, so plain bisection plus a guarded Newton
+step is both robust and fast.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConvergenceError, ValidationError
+
+__all__ = ["bisect", "newton_bisect_increasing"]
+
+#: Default absolute tolerance on the root location.
+DEFAULT_XTOL = 1e-12
+#: Default maximum number of iterations for the iterative solvers.
+DEFAULT_MAXITER = 200
+
+
+def bisect(func: Callable[[float], float], lo: float, hi: float, *,
+           xtol: float = DEFAULT_XTOL,
+           maxiter: int = DEFAULT_MAXITER) -> float:
+    """Find a root of ``func`` on ``[lo, hi]`` by bisection.
+
+    ``func(lo)`` and ``func(hi)`` must have opposite signs (either may
+    be zero, in which case that endpoint is returned immediately).
+
+    Args:
+        func: Continuous scalar function.
+        lo: Lower bracket endpoint.
+        hi: Upper bracket endpoint, strictly greater than ``lo``.
+        xtol: Stop when the bracket width falls below this value.
+        maxiter: Hard cap on bisection steps.
+
+    Returns:
+        The midpoint of the final bracket.
+
+    Raises:
+        ValidationError: If the bracket is invalid or does not straddle
+            a sign change.
+        ConvergenceError: If ``maxiter`` steps do not shrink the
+            bracket below ``xtol``.
+    """
+    if not lo < hi:
+        raise ValidationError(f"invalid bracket: lo={lo!r} must be < hi={hi!r}")
+    f_lo = func(lo)
+    f_hi = func(hi)
+    if f_lo == 0.0:
+        return lo
+    if f_hi == 0.0:
+        return hi
+    if (f_lo > 0.0) == (f_hi > 0.0):
+        raise ValidationError(
+            f"func must change sign on bracket: f({lo})={f_lo}, f({hi})={f_hi}"
+        )
+    for _ in range(maxiter):
+        mid = 0.5 * (lo + hi)
+        if hi - lo < xtol:
+            return mid
+        f_mid = func(mid)
+        if f_mid == 0.0:
+            return mid
+        if (f_mid > 0.0) == (f_hi > 0.0):
+            hi, f_hi = mid, f_mid
+        else:
+            lo, f_lo = mid, f_mid
+    raise ConvergenceError(
+        f"bisection did not converge below xtol={xtol} in {maxiter} steps",
+        iterations=maxiter, residual=hi - lo,
+    )
+
+
+def newton_bisect_increasing(
+    func: Callable[[float], float],
+    deriv: Callable[[float], float],
+    lo: float,
+    hi: float,
+    *,
+    xtol: float = DEFAULT_XTOL,
+    maxiter: int = DEFAULT_MAXITER,
+) -> float:
+    """Root of a strictly increasing ``func`` via safeguarded Newton.
+
+    Newton steps are taken when they land inside the current bracket;
+    otherwise the step falls back to bisection.  Because ``func`` is
+    strictly increasing the bracket is maintained exactly.
+
+    Args:
+        func: Strictly increasing continuous function with
+            ``func(lo) <= 0 <= func(hi)``.
+        deriv: Derivative of ``func``.
+        lo: Lower bracket endpoint.
+        hi: Upper bracket endpoint.
+        xtol: Absolute tolerance on the root.
+        maxiter: Iteration cap.
+
+    Returns:
+        The located root.
+
+    Raises:
+        ValidationError: If the bracket does not straddle the root.
+        ConvergenceError: If the iteration cap is exhausted.
+    """
+    if not lo < hi:
+        raise ValidationError(f"invalid bracket: lo={lo!r} must be < hi={hi!r}")
+    f_lo = func(lo)
+    f_hi = func(hi)
+    if f_lo == 0.0:
+        return lo
+    if f_hi == 0.0:
+        return hi
+    if f_lo > 0.0 or f_hi < 0.0:
+        raise ValidationError(
+            "increasing func must satisfy func(lo) <= 0 <= func(hi): "
+            f"f({lo})={f_lo}, f({hi})={f_hi}"
+        )
+    x = 0.5 * (lo + hi)
+    for _ in range(maxiter):
+        f_x = func(x)
+        if f_x == 0.0 or hi - lo < xtol:
+            return x
+        if f_x > 0.0:
+            hi = x
+        else:
+            lo = x
+        d_x = deriv(x)
+        if d_x > 0.0:
+            step = x - f_x / d_x
+        else:
+            step = lo - 1.0  # force bisection fallback
+        if lo < step < hi:
+            x = step
+        else:
+            x = 0.5 * (lo + hi)
+    raise ConvergenceError(
+        f"newton/bisection did not converge below xtol={xtol} in "
+        f"{maxiter} steps", iterations=maxiter, residual=hi - lo,
+    )

@@ -1,0 +1,138 @@
+"""Small-sample statistics for simulation replications.
+
+Simulation results are random; a single run proves little.  This
+module provides Student-t confidence intervals for replication means
+— self-contained (no scipy): two-sided t critical values are tabled
+for small degrees of freedom and approximated by the Cornish-Fisher
+expansion beyond the table, accurate to ~1e-3 over the confidence
+levels experiments use (0.9, 0.95, 0.99).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["ConfidenceInterval", "t_critical_value",
+           "mean_confidence_interval"]
+
+# Two-sided critical values t_{df, 1-α/2} for common confidences.
+_T_TABLE = {
+    0.90: [6.3138, 2.9200, 2.3534, 2.1318, 2.0150, 1.9432, 1.8946,
+           1.8595, 1.8331, 1.8125, 1.7959, 1.7823, 1.7709, 1.7613,
+           1.7531, 1.7459, 1.7396, 1.7341, 1.7291, 1.7247, 1.7207,
+           1.7171, 1.7139, 1.7109, 1.7081, 1.7056, 1.7033, 1.7011,
+           1.6991, 1.6973],
+    0.95: [12.7062, 4.3027, 3.1824, 2.7764, 2.5706, 2.4469, 2.3646,
+           2.3060, 2.2622, 2.2281, 2.2010, 2.1788, 2.1604, 2.1448,
+           2.1314, 2.1199, 2.1098, 2.1009, 2.0930, 2.0860, 2.0796,
+           2.0739, 2.0687, 2.0639, 2.0595, 2.0555, 2.0518, 2.0484,
+           2.0452, 2.0423],
+    0.99: [63.6567, 9.9248, 5.8409, 4.6041, 4.0321, 3.7074, 3.4995,
+           3.3554, 3.2498, 3.1693, 3.1058, 3.0545, 3.0123, 2.9768,
+           2.9467, 2.9208, 2.8982, 2.8784, 2.8609, 2.8453, 2.8314,
+           2.8188, 2.8073, 2.7969, 2.7874, 2.7787, 2.7707, 2.7633,
+           2.7564, 2.7500],
+}
+
+# Standard normal two-sided critical values for the same confidences.
+_Z_VALUES = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A replication-mean confidence interval.
+
+    Attributes:
+        mean: Sample mean.
+        half_width: Half-width of the interval.
+        confidence: Nominal coverage (e.g. 0.95).
+        n_samples: Number of replications.
+    """
+
+    mean: float
+    half_width: float
+    confidence: float
+    n_samples: int
+
+    @property
+    def low(self) -> float:
+        """Lower endpoint."""
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        """Upper endpoint."""
+        return self.mean + self.half_width
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the interval."""
+        return bool(self.low <= value <= self.high)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"{self.mean:.4f} ± {self.half_width:.4f} "
+                f"({self.confidence:.0%}, n={self.n_samples})")
+
+
+def t_critical_value(df: int, confidence: float) -> float:
+    """Two-sided Student-t critical value ``t_{df, 1−α/2}``.
+
+    Args:
+        df: Degrees of freedom, >= 1.
+        confidence: One of 0.90, 0.95, 0.99.
+
+    Returns:
+        The critical value (tabled for df <= 30; Cornish–Fisher
+        corrected normal beyond).
+
+    Raises:
+        ValidationError: On unsupported confidence or df < 1.
+    """
+    if df < 1:
+        raise ValidationError(f"df must be >= 1, got {df}")
+    if confidence not in _T_TABLE:
+        raise ValidationError(
+            f"confidence must be one of {sorted(_T_TABLE)}, got "
+            f"{confidence}")
+    table = _T_TABLE[confidence]
+    if df <= len(table):
+        return table[df - 1]
+    # Cornish–Fisher: t ≈ z + (z³ + z)/(4·df).
+    z = _Z_VALUES[confidence]
+    return z + (z ** 3 + z) / (4.0 * df)
+
+
+def mean_confidence_interval(samples: np.ndarray, *,
+                             confidence: float = 0.95
+                             ) -> ConfidenceInterval:
+    """Student-t confidence interval for the mean of replications.
+
+    Args:
+        samples: Replication values, at least 2.
+        confidence: Nominal coverage.
+
+    Returns:
+        The :class:`ConfidenceInterval`.
+
+    Raises:
+        ValidationError: With fewer than 2 samples (no variance
+            estimate) or non-finite values.
+    """
+    samples = np.asarray(samples, dtype=float)
+    if samples.ndim != 1:
+        raise ValidationError("samples must be 1-D")
+    if samples.size < 2:
+        raise ValidationError(
+            f"need at least 2 replications, got {samples.size}")
+    if not np.isfinite(samples).all():
+        raise ValidationError("samples must be finite")
+    n = samples.size
+    mean = float(samples.mean())
+    std_error = float(samples.std(ddof=1)) / np.sqrt(n)
+    t_value = t_critical_value(n - 1, confidence)
+    return ConfidenceInterval(mean=mean,
+                              half_width=t_value * std_error,
+                              confidence=confidence, n_samples=n)

@@ -1,0 +1,193 @@
+"""Generic water-filling for separable concave resource allocation.
+
+Problems of the form ``max Σ uᵢ(xᵢ) s.t. Σ cᵢ·xᵢ = B, xᵢ ≥ 0`` with
+each ``uᵢ`` smooth, increasing and strictly concave are solved exactly
+by their KKT conditions: there is a multiplier ``μ ≥ 0`` such that
+
+* ``uᵢ'(xᵢ) = μ·cᵢ`` for every item with ``xᵢ > 0``, and
+* ``uᵢ'(0⁺) ≤ μ·cᵢ`` for every item with ``xᵢ = 0``.
+
+The caller supplies ``allocate_at(μ)``, which inverts the marginal
+conditions item-by-item (typically vectorized), and this module runs
+the outer search for the ``μ`` whose total cost matches the budget.
+Total cost is strictly decreasing in ``μ``, so plain bisection on a
+bracket is exact and robust.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+import numpy as np
+
+from repro.errors import ConvergenceError, InfeasibleProblemError, ValidationError
+
+__all__ = ["WaterfillResult", "waterfill"]
+
+#: Relative tolerance on the allocated budget.
+DEFAULT_BUDGET_RTOL = 1e-10
+#: Cap on outer bisection iterations.
+DEFAULT_MAXITER = 200
+
+#: ``allocate_at(μ)`` returns ``(allocations, total_cost)``.
+AllocateAt = Callable[[float], Tuple[np.ndarray, float]]
+
+
+@dataclass(frozen=True)
+class WaterfillResult:
+    """Outcome of a water-filling search.
+
+    Attributes:
+        allocations: Per-item allocation ``xᵢ`` (1-D float array).
+        multiplier: The KKT multiplier ``μ`` at the solution.
+        cost: Total cost ``Σ cᵢ·xᵢ`` of the returned allocations
+            (equal to the budget up to the requested tolerance).
+        iterations: Outer bisection iterations performed.
+    """
+
+    allocations: np.ndarray
+    multiplier: float
+    cost: float
+    iterations: int
+
+
+def waterfill(allocate_at: AllocateAt, budget: float, mu_max: float, *,
+              budget_rtol: float = DEFAULT_BUDGET_RTOL,
+              maxiter: int = DEFAULT_MAXITER,
+              snap: bool = True,
+              bracket: Tuple[float, float] | None = None
+              ) -> WaterfillResult:
+    """Find the multiplier whose allocation consumes exactly ``budget``.
+
+    Args:
+        allocate_at: Maps a multiplier ``μ > 0`` to the KKT-optimal
+            allocations and their total cost.  Cost must be continuous
+            and nonincreasing in ``μ``.
+        budget: Total budget ``B > 0``.
+        mu_max: A multiplier at (or above) which every allocation is
+            zero — i.e. ``max uᵢ'(0⁺)/cᵢ``.
+        budget_rtol: Stop when ``|cost − budget| ≤ budget_rtol·budget``.
+        maxiter: Cap on bisection iterations.
+        snap: Rescale the final allocations onto the budget exactly.
+            Callers that post-process degenerate (threshold) items —
+            like the Core-Problem solver — pass False and snap
+            themselves.
+        bracket: Optional warm-start bracket ``(μ_lo, μ_hi)`` already
+            known to satisfy ``cost(μ_lo) ≥ budget ≥ cost(μ_hi)`` —
+            skips the geometric bracketing phase (used by the
+            incremental solver).
+
+    Returns:
+        A :class:`WaterfillResult` whose allocations are rescaled so
+        the cost matches ``budget`` exactly — unless the utilities
+        saturate below the budget, in which case the saturated
+        allocation is returned with ``multiplier`` 0 and its true
+        (smaller) cost.
+
+    Raises:
+        InfeasibleProblemError: If ``budget`` or ``mu_max`` is not
+            positive.
+        ConvergenceError: If the iteration cap is exhausted without
+            meeting the budget tolerance.
+    """
+    if budget <= 0.0:
+        raise InfeasibleProblemError(f"budget must be positive, got {budget!r}")
+    if not np.isfinite(budget):
+        raise ValidationError(f"budget must be finite, got {budget!r}")
+    if mu_max <= 0.0:
+        raise InfeasibleProblemError(
+            f"mu_max must be positive, got {mu_max!r}; "
+            "no item has positive marginal utility"
+        )
+
+    if bracket is not None:
+        mu_lo, mu_hi = bracket
+        if not 0.0 < mu_lo < mu_hi:
+            raise ValidationError(
+                f"invalid warm bracket ({mu_lo}, {mu_hi})")
+        _, cost_lo = allocate_at(mu_lo)
+        _, cost_hi = allocate_at(mu_hi)
+        if not cost_hi <= budget <= cost_lo:
+            raise ValidationError(
+                "warm bracket does not straddle the budget: "
+                f"cost({mu_lo})={cost_lo}, cost({mu_hi})={cost_hi}, "
+                f"budget={budget}")
+    else:
+        # Establish the bracket [mu_lo, mu_hi] with cost(mu_lo) >=
+        # budget >= cost(mu_hi).  cost(mu_max) == 0 <= budget by
+        # definition.
+        mu_hi = mu_max
+        mu_lo = mu_max
+        cost_lo = 0.0
+        cost_hi = 0.0
+        for _ in range(maxiter):
+            mu_lo *= 0.5
+            _, cost_lo = allocate_at(mu_lo)
+            if cost_lo >= budget:
+                break
+        else:
+            # The utilities saturate: even an (effectively) zero price
+            # does not spend the budget.  With the constraint read as
+            # Σcᵢxᵢ ≤ B — the natural form for a resource *budget* —
+            # the saturated allocation is optimal, so return it
+            # unscaled.
+            allocations, cost = allocate_at(mu_lo)
+            return WaterfillResult(allocations=allocations,
+                                   multiplier=0.0, cost=cost,
+                                   iterations=maxiter)
+
+    # Illinois (modified regula falsi) on f(μ) = cost(μ) − budget over
+    # the bracket: superlinear on the smooth segments of the cost
+    # curve, and the maintained bracket keeps it safe across the kinks
+    # at activation thresholds.  Each evaluation is a full vectorized
+    # allocation, so cutting evaluations from ~100 (bisection) to
+    # ~10-20 matters at catalog scale.
+    allocations, cost = allocate_at(mu_lo)
+    mu = mu_lo
+    f_lo = cost_lo - budget
+    f_hi = cost_hi - budget
+    last_side = 0
+    iterations = 0
+    for iterations in range(1, maxiter + 1):
+        denom = f_hi - f_lo
+        if denom < 0.0:
+            mu = mu_hi - f_hi * (mu_hi - mu_lo) / denom
+        else:
+            mu = 0.5 * (mu_lo + mu_hi)
+        if not mu_lo < mu < mu_hi:
+            mu = 0.5 * (mu_lo + mu_hi)
+        allocations, cost = allocate_at(mu)
+        residual = cost - budget
+        if abs(residual) <= budget_rtol * budget:
+            break
+        # The μ bracket can bottom out at float precision while the
+        # cost residual is still above an aggressive tolerance (the
+        # inner inversion has its own tolerance).  The final snap onto
+        # the budget makes that residual harmless, so accept.
+        if mu_hi - mu_lo <= 4.0 * np.finfo(float).eps * mu_hi:
+            break
+        if residual > 0.0:
+            mu_lo, f_lo = mu, residual
+            if last_side == 1:
+                f_hi *= 0.5  # Illinois: halve the stagnant endpoint
+            last_side = 1
+        else:
+            mu_hi, f_hi = mu, residual
+            if last_side == -1:
+                f_lo *= 0.5
+            last_side = -1
+    else:
+        raise ConvergenceError(
+            f"water-filling did not reach budget rtol {budget_rtol} in "
+            f"{maxiter} iterations (cost={cost}, budget={budget})",
+            iterations=maxiter, residual=abs(cost - budget),
+        )
+
+    # Snap the (already extremely close) allocation onto the budget so
+    # downstream equality checks hold exactly.
+    if snap and cost > 0.0:
+        allocations = allocations * (budget / cost)
+        cost = budget
+    return WaterfillResult(allocations=allocations, multiplier=mu,
+                           cost=cost, iterations=iterations)

@@ -1,0 +1,18 @@
+"""User profiles: specification, aggregation, and learning.
+
+Profiles are the "application-aware" half of the paper: a declarative
+statement of how interesting each mirrored element is, aggregated
+across users into the master profile the scheduler optimizes for.
+"""
+
+from repro.profiles.aggregation import aggregate_profiles, profile_divergence
+from repro.profiles.learning import ProfileLearner, estimate_profile
+from repro.profiles.profile import UserProfile
+
+__all__ = [
+    "aggregate_profiles",
+    "estimate_profile",
+    "profile_divergence",
+    "ProfileLearner",
+    "UserProfile",
+]

@@ -1,0 +1,69 @@
+"""Master-profile aggregation (paper §2).
+
+"The mirror collects all the user profiles and aggregates them into
+one master profile that is a combined frequency distribution for all
+users."  Aggregation is an importance-weighted mixture: user u with
+access share proportional to their importance contributes
+``importance_u · p_u`` to the combined frequency distribution, which
+is then renormalized.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.profiles.profile import UserProfile
+
+__all__ = ["aggregate_profiles", "profile_divergence"]
+
+
+def aggregate_profiles(profiles: Iterable[UserProfile]) -> UserProfile:
+    """Combine user profiles into the master profile.
+
+    Args:
+        profiles: The user profiles; all must cover the same number of
+            elements.  Each profile's ``importance`` scales its
+            contribution.
+
+    Returns:
+        The master :class:`UserProfile` (importance 1.0).
+
+    Raises:
+        ValidationError: If no profiles are given or sizes disagree.
+    """
+    collected: Sequence[UserProfile] = list(profiles)
+    if not collected:
+        raise ValidationError("cannot aggregate zero profiles")
+    n = collected[0].n_elements
+    combined = np.zeros(n)
+    for profile in collected:
+        if profile.n_elements != n:
+            raise ValidationError(
+                f"profile {profile.name!r} covers {profile.n_elements} "
+                f"elements, expected {n}")
+        combined += profile.importance * profile.probabilities
+    return UserProfile.from_weights(combined, name="master")
+
+
+def profile_divergence(first: UserProfile, second: UserProfile) -> float:
+    """Total-variation distance between two profiles.
+
+    A convenient scalar for "how much did interest drift" — the
+    re-planning triggers in long-running mirrors key off it.
+
+    Args:
+        first: One profile.
+        second: Another profile of the same size.
+
+    Returns:
+        ``½·Σ|p − q|`` in ``[0, 1]``.
+    """
+    if first.n_elements != second.n_elements:
+        raise ValidationError(
+            f"profiles cover {first.n_elements} and {second.n_elements} "
+            "elements; they must match")
+    return float(0.5 * np.abs(first.probabilities
+                              - second.probabilities).sum())

@@ -1,0 +1,130 @@
+"""Learning the master profile from the request log (paper §7).
+
+The paper's conclusion proposes "a simple learning algorithm that
+monitors the system request log" instead of requiring users to submit
+profiles.  This module implements that algorithm:
+
+* :class:`ProfileLearner` maintains exponentially decayed access
+  counts with Laplace smoothing.  Decay lets the estimate track
+  drifting interest; smoothing keeps never-yet-accessed elements from
+  being starved forever (they may become interesting).
+* :func:`estimate_profile` is the one-shot batch variant for a
+  recorded :class:`~repro.workloads.accesses.AccessSet`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.profiles.profile import UserProfile
+from repro.workloads.accesses import AccessSet
+
+__all__ = ["ProfileLearner", "estimate_profile"]
+
+
+def estimate_profile(accesses: AccessSet, n_elements: int, *,
+                     smoothing: float = 1.0) -> UserProfile:
+    """Batch-estimate a profile from one recorded access set.
+
+    Args:
+        accesses: Observed accesses.
+        n_elements: Mirror size.
+        smoothing: Laplace pseudo-count added to every element
+            (``0`` disables smoothing but then requires at least one
+            observed access).
+
+    Returns:
+        The smoothed empirical profile
+        ``pᵢ = (mᵢ + smoothing) / (M + N·smoothing)``.
+    """
+    if smoothing < 0.0:
+        raise ValidationError(f"smoothing must be >= 0, got {smoothing}")
+    counts = accesses.access_counts(n_elements).astype(float)
+    counts += smoothing
+    total = counts.sum()
+    if total <= 0.0:
+        raise ValidationError(
+            "no accesses and no smoothing: profile is undefined")
+    return UserProfile(probabilities=counts / total, name="learned")
+
+
+class ProfileLearner:
+    """Online profile estimation with exponential decay.
+
+    Counts are decayed by ``decay`` once per period boundary, so an
+    element's influence on the estimate halves every
+    ``ln 2 / ln(1/decay)`` periods.
+
+    Args:
+        n_elements: Mirror size.
+        decay: Multiplicative decay per period, in ``(0, 1]`` (1.0
+            never forgets).
+        smoothing: Laplace pseudo-count applied when reading the
+            estimate.
+    """
+
+    def __init__(self, n_elements: int, *, decay: float = 0.9,
+                 smoothing: float = 1.0) -> None:
+        if n_elements < 1:
+            raise ValidationError(
+                f"n_elements must be >= 1, got {n_elements}")
+        if not 0.0 < decay <= 1.0:
+            raise ValidationError(f"decay must be in (0, 1], got {decay}")
+        if smoothing < 0.0:
+            raise ValidationError(f"smoothing must be >= 0, got {smoothing}")
+        self._counts = np.zeros(n_elements)
+        self._decay = decay
+        self._smoothing = smoothing
+        self._observed = 0
+
+    @property
+    def n_elements(self) -> int:
+        """Mirror size the learner tracks."""
+        return int(self._counts.shape[0])
+
+    @property
+    def total_observed(self) -> int:
+        """Raw (undecayed) number of accesses ever observed."""
+        return self._observed
+
+    def observe(self, elements: np.ndarray) -> None:
+        """Record a batch of accessed element indices.
+
+        Args:
+            elements: Element indices, each in ``[0, N)``.
+        """
+        elements = np.asarray(elements, dtype=np.int64)
+        if elements.size == 0:
+            return
+        if elements.min() < 0 or elements.max() >= self.n_elements:
+            raise ValidationError(
+                f"element indices must lie in [0, {self.n_elements})")
+        self._counts += np.bincount(elements, minlength=self.n_elements)
+        self._observed += int(elements.size)
+
+    def observe_access_set(self, accesses: AccessSet) -> None:
+        """Record every access of an :class:`AccessSet`."""
+        self.observe(accesses.elements)
+
+    def end_period(self) -> None:
+        """Apply one period's exponential decay to the counts."""
+        self._counts *= self._decay
+
+    def estimate(self) -> UserProfile:
+        """The current smoothed profile estimate.
+
+        Returns:
+            A :class:`UserProfile`; uniform when nothing has been
+            observed and smoothing is positive.
+
+        Raises:
+            ValidationError: If nothing was observed and smoothing is
+                zero.
+        """
+        weights = self._counts + self._smoothing
+        total = weights.sum()
+        if total <= 0.0:
+            raise ValidationError(
+                "no observations and no smoothing: estimate is undefined")
+        return UserProfile(probabilities=weights / total, name="learned")

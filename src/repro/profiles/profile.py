@@ -1,0 +1,164 @@
+"""User profiles: declarative interest specifications (paper §2).
+
+A profile states the relative importance of each element in the
+mirror.  The paper's model is deliberately simple — interest is
+proportional to access frequency — and this module keeps that model
+while supporting the refinements the paper mentions in passing:
+
+* profiles may be given as raw interest *weights* (any nonnegative
+  numbers) and are normalized to probabilities,
+* individual profiles can carry an importance weight of their own
+  ("generals or higher-paying customers") used during aggregation,
+* a profile may be cast as a density over a measurable attribute of
+  the objects (e.g. importance vs. ticker symbol) via
+  :meth:`UserProfile.from_attribute`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["UserProfile"]
+
+
+@dataclass(frozen=True)
+class UserProfile:
+    """One user's interest distribution over the mirror's elements.
+
+    Attributes:
+        probabilities: Access-probability vector (Σ = 1).
+        importance: Relative weight of this user during aggregation
+            (1.0 for ordinary users).
+        name: Optional label for diagnostics.
+    """
+
+    probabilities: np.ndarray
+    importance: float = 1.0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        p = np.asarray(self.probabilities, dtype=float)
+        if p.ndim != 1 or p.size == 0:
+            raise ValidationError("probabilities must be a non-empty vector")
+        if not np.isfinite(p).all():
+            raise ValidationError("probabilities must be finite")
+        if (p < 0.0).any():
+            raise ValidationError("probabilities must be nonnegative")
+        if abs(p.sum() - 1.0) > 1e-8:
+            raise ValidationError(
+                f"probabilities must sum to 1, got {p.sum()!r}")
+        if self.importance <= 0.0:
+            raise ValidationError(
+                f"importance must be > 0, got {self.importance}")
+        p = p.copy()
+        p.flags.writeable = False
+        object.__setattr__(self, "probabilities", p)
+
+    @property
+    def n_elements(self) -> int:
+        """Number of mirror elements the profile covers."""
+        return int(self.probabilities.shape[0])
+
+    @classmethod
+    def from_weights(cls, weights: np.ndarray, *, importance: float = 1.0,
+                     name: str = "") -> "UserProfile":
+        """Build a profile from unnormalized interest weights.
+
+        Args:
+            weights: Nonnegative interest per element; at least one
+                positive.
+            importance: Aggregation weight of this user.
+            name: Optional label.
+
+        Returns:
+            A normalized :class:`UserProfile`.
+        """
+        w = np.asarray(weights, dtype=float)
+        if w.ndim != 1 or w.size == 0:
+            raise ValidationError("weights must be a non-empty vector")
+        if (w < 0.0).any():
+            raise ValidationError("weights must be nonnegative")
+        total = w.sum()
+        if total <= 0.0:
+            raise ValidationError("weights must include a positive entry")
+        return cls(probabilities=w / total, importance=importance, name=name)
+
+    @classmethod
+    def from_access_counts(cls, counts: Mapping[int, int] | np.ndarray,
+                           n_elements: int, *, importance: float = 1.0,
+                           name: str = "") -> "UserProfile":
+        """Build a profile from observed access counts.
+
+        Args:
+            counts: Either a dense count vector or a sparse
+                ``{element: count}`` mapping.
+            n_elements: Mirror size.
+            importance: Aggregation weight.
+            name: Optional label.
+
+        Returns:
+            The empirical profile ``pᵢ = mᵢ/M``.
+        """
+        if isinstance(counts, Mapping):
+            dense = np.zeros(n_elements)
+            for element, count in counts.items():
+                if not 0 <= int(element) < n_elements:
+                    raise ValidationError(
+                        f"element {element} outside [0, {n_elements})")
+                if count < 0:
+                    raise ValidationError("counts must be nonnegative")
+                dense[int(element)] = float(count)
+        else:
+            dense = np.asarray(counts, dtype=float)
+            if dense.shape != (n_elements,):
+                raise ValidationError(
+                    f"counts shape {dense.shape} does not match "
+                    f"n_elements={n_elements}")
+        return cls.from_weights(dense, importance=importance, name=name)
+
+    @classmethod
+    def from_attribute(cls, attribute_values: np.ndarray,
+                       density: Callable[[np.ndarray], np.ndarray], *,
+                       importance: float = 1.0,
+                       name: str = "") -> "UserProfile":
+        """Profile as a density over a measurable object attribute.
+
+        The paper's stock-market example: importance as a function of
+        ticker volatility, price, or sector code.
+
+        Args:
+            attribute_values: The attribute per element (e.g. price).
+            density: Maps attribute values to nonnegative interest.
+            importance: Aggregation weight.
+            name: Optional label.
+
+        Returns:
+            The induced :class:`UserProfile`.
+        """
+        values = np.asarray(attribute_values, dtype=float)
+        weights = np.asarray(density(values), dtype=float)
+        if weights.shape != values.shape:
+            raise ValidationError(
+                "density must return one weight per attribute value")
+        return cls.from_weights(weights, importance=importance, name=name)
+
+    def uniform_mixture(self, epsilon: float) -> "UserProfile":
+        """Blend with the uniform distribution (exploration smoothing).
+
+        Args:
+            epsilon: Uniform mass in ``[0, 1]``.
+
+        Returns:
+            ``(1 − ε)·p + ε·uniform`` as a new profile.
+        """
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValidationError(f"epsilon must be in [0, 1], got {epsilon}")
+        uniform = np.full(self.n_elements, 1.0 / self.n_elements)
+        blended = (1.0 - epsilon) * self.probabilities + epsilon * uniform
+        return UserProfile(probabilities=blended,
+                           importance=self.importance, name=self.name)

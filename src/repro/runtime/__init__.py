@@ -1,0 +1,15 @@
+"""Adaptive mirror operation: the observe → estimate → replan loop.
+
+The paper's schedulers consume a known profile and known change
+rates; this subpackage closes the loop for deployments where neither
+is given: :class:`~repro.runtime.beliefs.BeliefState` estimates both
+from the request log and poll outcomes, and :class:`~repro.runtime.
+manager.AdaptiveMirrorManager` periodically re-solves the Core
+Problem as the beliefs drift — the operational mode §3 of the paper
+argues the heuristics exist for.
+"""
+
+from repro.runtime.beliefs import BeliefState
+from repro.runtime.manager import AdaptiveMirrorManager, PeriodReport
+
+__all__ = ["AdaptiveMirrorManager", "BeliefState", "PeriodReport"]

@@ -1,0 +1,197 @@
+"""The mirror site's beliefs: what it thinks p and λ currently are.
+
+The paper's schedulers assume the master profile and the change rates
+are known.  A deployed mirror has neither — it has a request log and
+the changed/unchanged bit of every poll it performed.  A
+:class:`BeliefState` maintains the mirror's working estimates of both
+from exactly those observations:
+
+* the profile comes from a :class:`~repro.profiles.learning.
+  ProfileLearner` (exponentially decayed counts + smoothing);
+* the change rates come from accumulated censored poll statistics
+  fed to the Cho/Garcia-Molina bias-reduced estimator, with a prior
+  rate for never-polled (or rarely-polled) elements.
+
+The state also reports how far the believed profile has drifted from
+the profile the current schedule was planned for — the replanning
+trigger the paper's §3 motivates ("for large real-world problems ...
+we would need to periodically solve the Core Problem").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.estimation.change_rate import bias_reduced_rate_estimate
+from repro.profiles.learning import ProfileLearner
+from repro.workloads.catalog import Catalog
+
+__all__ = ["BeliefState"]
+
+
+class BeliefState:
+    """Running estimates of the master profile and change rates.
+
+    Args:
+        n_elements: Mirror size.
+        sizes: Object sizes (carried into the believed catalogs).
+        prior_rate: Change rate assumed for elements with little or no
+            poll history, > 0.  A reasonable choice is the expected
+            mean rate (e.g. updates-per-period / N).
+        profile_decay: Per-period decay of the learned profile counts.
+        profile_smoothing: Laplace smoothing of the learned profile.
+        rate_blend_polls: Number of polls at which the estimated rate
+            carries equal weight to the prior (simple shrinkage; keeps
+            single-poll estimates from whipsawing the schedule).
+        rate_decay: Per-period decay of the accumulated poll
+            statistics, in ``(0, 1]``.  1.0 (default) never forgets —
+            right for stationary sources; values below 1 let the rate
+            estimates track *drifting* change rates the same way the
+            profile learner tracks drifting interest.
+    """
+
+    def __init__(self, n_elements: int, *,
+                 sizes: np.ndarray | None = None,
+                 prior_rate: float = 1.0,
+                 profile_decay: float = 0.9,
+                 profile_smoothing: float = 0.5,
+                 rate_blend_polls: float = 4.0,
+                 rate_decay: float = 1.0) -> None:
+        if n_elements < 1:
+            raise ValidationError(
+                f"n_elements must be >= 1, got {n_elements}")
+        if prior_rate <= 0.0:
+            raise ValidationError(
+                f"prior_rate must be > 0, got {prior_rate}")
+        if rate_blend_polls <= 0.0:
+            raise ValidationError(
+                f"rate_blend_polls must be > 0, got {rate_blend_polls}")
+        if not 0.0 < rate_decay <= 1.0:
+            raise ValidationError(
+                f"rate_decay must be in (0, 1], got {rate_decay}")
+        self._rate_decay = rate_decay
+        self._n = n_elements
+        if sizes is None:
+            self._sizes = np.ones(n_elements)
+        else:
+            self._sizes = np.asarray(sizes, dtype=float)
+            if self._sizes.shape != (n_elements,):
+                raise ValidationError(
+                    f"sizes shape {self._sizes.shape} does not match "
+                    f"{n_elements} elements")
+        self._prior_rate = prior_rate
+        self._blend = rate_blend_polls
+        self._learner = ProfileLearner(n_elements, decay=profile_decay,
+                                       smoothing=profile_smoothing)
+        self._polls = np.zeros(n_elements)
+        self._changes = np.zeros(n_elements)
+        self._poll_time = np.zeros(n_elements)
+
+    @property
+    def n_elements(self) -> int:
+        """Mirror size."""
+        return self._n
+
+    def observe_period(self, access_counts: np.ndarray,
+                       poll_counts: np.ndarray,
+                       changed_poll_counts: np.ndarray,
+                       frequencies: np.ndarray) -> None:
+        """Fold one period's observations into the beliefs.
+
+        Args:
+            access_counts: Accesses per element this period.
+            poll_counts: Polls per element this period.
+            changed_poll_counts: Polls that found a change.
+            frequencies: The schedule that produced the polls (per
+                period) — needed to convert poll counts into observed
+                poll *intervals* for the rate estimator.
+        """
+        access_counts = np.asarray(access_counts, dtype=np.int64)
+        poll_counts = np.asarray(poll_counts, dtype=float)
+        changed = np.asarray(changed_poll_counts, dtype=float)
+        frequencies = np.asarray(frequencies, dtype=float)
+        for name, array in (("access_counts", access_counts),
+                            ("poll_counts", poll_counts),
+                            ("changed_poll_counts", changed),
+                            ("frequencies", frequencies)):
+            if array.shape != (self._n,):
+                raise ValidationError(
+                    f"{name} shape {array.shape} does not match "
+                    f"{self._n} elements")
+        if (changed > poll_counts).any():
+            raise ValidationError(
+                "cannot observe more changed polls than polls")
+
+        self._learner.observe(
+            np.repeat(np.arange(self._n), access_counts))
+        self._learner.end_period()
+        if self._rate_decay < 1.0:
+            self._polls *= self._rate_decay
+            self._changes *= self._rate_decay
+            self._poll_time *= self._rate_decay
+        self._polls += poll_counts
+        self._changes += changed
+        # Accumulate observed polling *time* so elements polled at
+        # different frequencies are comparable: n polls at frequency f
+        # observe n/f periods of the change process.
+        with np.errstate(divide="ignore", invalid="ignore"):
+            spans = np.where(frequencies > 0.0,
+                             poll_counts / np.maximum(frequencies,
+                                                      1e-300), 0.0)
+        self._poll_time += spans
+
+    def believed_profile(self) -> np.ndarray:
+        """Current profile estimate (a probability vector)."""
+        return self._learner.estimate().probabilities
+
+    def believed_rates(self) -> np.ndarray:
+        """Current change-rate estimates, shrunk toward the prior.
+
+        Elements are treated as if all their polls happened at their
+        average observed interval; the bias-reduced estimator then
+        applies, and the result is blended with the prior by poll
+        count: ``(n·λ̂ + n₀·λ₀) / (n + n₀)``.
+        """
+        rates = np.full(self._n, self._prior_rate)
+        observed = self._polls > 0
+        if observed.any():
+            intervals = self._poll_time[observed] / self._polls[observed]
+            intervals = np.maximum(intervals, 1e-12)
+            # The estimator is vectorized over elements but assumes
+            # one shared interval; normalize each element's counts to
+            # a unit interval instead: scale λ̂ by 1/interval.
+            unit = bias_reduced_rate_estimate(self._polls[observed],
+                                              self._changes[observed],
+                                              1.0)
+            estimates = unit / intervals
+            weight = self._polls[observed] / (self._polls[observed]
+                                              + self._blend)
+            rates[observed] = (weight * estimates
+                               + (1.0 - weight) * self._prior_rate)
+        return rates
+
+    def believed_catalog(self) -> Catalog:
+        """The catalog the scheduler should currently plan against."""
+        return Catalog(access_probabilities=self.believed_profile(),
+                       change_rates=self.believed_rates(),
+                       sizes=self._sizes.copy())
+
+    def profile_divergence_from(self,
+                                reference: np.ndarray) -> float:
+        """Total-variation distance of current beliefs from ``reference``.
+
+        Args:
+            reference: The profile the active schedule was planned on.
+
+        Returns:
+            ``½ Σ |p_now − p_ref|`` in [0, 1] — compare against a
+            replan threshold.
+        """
+        reference = np.asarray(reference, dtype=float)
+        if reference.shape != (self._n,):
+            raise ValidationError(
+                f"reference shape {reference.shape} does not match "
+                f"{self._n} elements")
+        return float(0.5 * np.abs(self.believed_profile()
+                                  - reference).sum())

@@ -1,0 +1,220 @@
+"""The adaptive mirror manager: observe → estimate → replan → run.
+
+The paper (§3) motivates its heuristics with exactly this loop: "for
+large real-world problems for which the contents of the mirror or the
+user interests might change, we would need to periodically solve the
+Core Problem".  :class:`AdaptiveMirrorManager` runs that loop against
+the discrete-event simulator:
+
+1. plan a schedule from the current :class:`~repro.runtime.beliefs.
+   BeliefState` (profile learned from the request log, rates
+   estimated from poll outcomes);
+2. execute one period in the simulator against the *true* (hidden)
+   workload;
+3. fold the period's observations back into the beliefs;
+4. replan when the believed profile has drifted past a threshold (or
+   on a fixed cadence), using either the exact solver or the scalable
+   partitioned pipeline.
+
+Nothing in the manager ever reads the true catalog's profile or
+rates — only sizes (known to any mirror) and the observable event
+outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.freshener import Freshener, PerceivedFreshener
+from repro.core.metrics import perceived_freshness
+from repro.errors import ValidationError
+from repro.runtime.beliefs import BeliefState
+from repro.sim.simulation import Simulation
+from repro.workloads.catalog import Catalog
+
+__all__ = ["PeriodReport", "AdaptiveMirrorManager"]
+
+
+@dataclass(frozen=True)
+class PeriodReport:
+    """What happened in one period of the adaptive loop.
+
+    Attributes:
+        period: 1-based period index.
+        replanned: Whether a new schedule was computed this period.
+        believed_pf: PF the manager *expected* (scored on its
+            beliefs).
+        achieved_pf: PF actually delivered (analytic, on the true
+            workload).
+        monitored_pf: Fraction of simulated accesses that saw fresh
+            data.
+        profile_divergence: TV distance between beliefs and the
+            profile the active schedule was planned on, measured
+            before the replan decision.
+        n_accesses: Accesses served this period.
+        wasted_polls: Fraction of polls that found no change.
+    """
+
+    period: int
+    replanned: bool
+    believed_pf: float
+    achieved_pf: float
+    monitored_pf: float
+    profile_divergence: float
+    n_accesses: int
+    wasted_polls: float
+
+
+class AdaptiveMirrorManager:
+    """Runs the observe/estimate/replan loop against a hidden workload.
+
+    Args:
+        true_catalog: The real workload (hidden: the manager only uses
+            its sizes and the simulated event outcomes).
+        bandwidth: Sync bandwidth budget per period.
+        request_rate: User accesses per period.
+        rng: Drives the simulator.
+        freshener: Planner used at each replan (exact
+            :class:`PerceivedFreshener` by default; pass a
+            :class:`~repro.core.freshener.PartitionedFreshener` for
+            catalog-scale runs).
+        beliefs: Initial belief state; a fresh uniform-profile,
+            prior-rate state by default.
+        replan_divergence: Replan when the believed profile drifts
+            this far (TV distance) from the planned-on profile.
+        replan_every: Also replan unconditionally every this many
+            periods (0 disables the cadence).
+    """
+
+    def __init__(self, true_catalog: Catalog, bandwidth: float, *,
+                 request_rate: float, rng: np.random.Generator,
+                 freshener: Freshener | None = None,
+                 beliefs: BeliefState | None = None,
+                 replan_divergence: float = 0.05,
+                 replan_every: int = 0) -> None:
+        if bandwidth <= 0.0:
+            raise ValidationError(
+                f"bandwidth must be > 0, got {bandwidth}")
+        if not 0.0 <= replan_divergence <= 1.0:
+            raise ValidationError(
+                "replan_divergence must be in [0, 1], got "
+                f"{replan_divergence}")
+        if replan_every < 0:
+            raise ValidationError(
+                f"replan_every must be >= 0, got {replan_every}")
+        self._true_catalog = true_catalog
+        self._bandwidth = bandwidth
+        self._request_rate = request_rate
+        self._rng = rng
+        self._freshener = (freshener if freshener is not None
+                           else PerceivedFreshener())
+        mean_rate = float(true_catalog.change_rates.mean())
+        self._beliefs = beliefs if beliefs is not None else BeliefState(
+            true_catalog.n_elements, sizes=true_catalog.sizes,
+            prior_rate=max(mean_rate, 1e-6))
+        self._replan_divergence = replan_divergence
+        self._replan_every = replan_every
+        self._planned_profile: np.ndarray | None = None
+        self._frequencies: np.ndarray | None = None
+        self._periods_since_replan = 0
+
+    @property
+    def beliefs(self) -> BeliefState:
+        """The manager's current belief state."""
+        return self._beliefs
+
+    @property
+    def current_frequencies(self) -> np.ndarray | None:
+        """The active schedule (None before the first period)."""
+        return self._frequencies
+
+    def replace_world(self, true_catalog: Catalog) -> None:
+        """Swap the hidden true workload (for drift experiments).
+
+        The manager's beliefs and active schedule are deliberately
+        left untouched — discovering the change from observations is
+        the point.
+
+        Args:
+            true_catalog: The new hidden workload; must have the same
+                number of elements.
+        """
+        if true_catalog.n_elements != self._true_catalog.n_elements:
+            raise ValidationError(
+                f"new world has {true_catalog.n_elements} elements, "
+                f"expected {self._true_catalog.n_elements}")
+        self._true_catalog = true_catalog
+
+    def _replan(self) -> float:
+        believed = self._beliefs.believed_catalog()
+        plan = self._freshener.plan(believed, self._bandwidth)
+        self._frequencies = plan.frequencies
+        self._planned_profile = believed.access_probabilities.copy()
+        self._periods_since_replan = 0
+        return plan.perceived_freshness
+
+    def run_period(self, period: int) -> PeriodReport:
+        """Execute one period of the adaptive loop.
+
+        Args:
+            period: 1-based index, for the report.
+
+        Returns:
+            The :class:`PeriodReport`.
+        """
+        if self._planned_profile is None:
+            divergence = 1.0
+        else:
+            divergence = self._beliefs.profile_divergence_from(
+                self._planned_profile)
+        cadence_due = (self._replan_every > 0 and
+                       self._periods_since_replan >= self._replan_every)
+        replanned = (self._frequencies is None
+                     or divergence > self._replan_divergence
+                     or cadence_due)
+        if replanned:
+            believed_pf = self._replan()
+        else:
+            believed_pf = perceived_freshness(
+                self._beliefs.believed_catalog(), self._frequencies)
+        assert self._frequencies is not None
+
+        simulation = Simulation(self._true_catalog, self._frequencies,
+                                request_rate=self._request_rate,
+                                rng=self._rng)
+        result = simulation.run(n_periods=1)
+        self._beliefs.observe_period(result.access_counts,
+                                     result.poll_counts,
+                                     result.changed_poll_counts,
+                                     self._frequencies)
+        self._periods_since_replan += 1
+
+        achieved = perceived_freshness(self._true_catalog,
+                                       self._frequencies)
+        return PeriodReport(
+            period=period,
+            replanned=replanned,
+            believed_pf=believed_pf,
+            achieved_pf=achieved,
+            monitored_pf=result.monitored_perceived_freshness,
+            profile_divergence=divergence,
+            n_accesses=result.n_accesses,
+            wasted_polls=result.wasted_sync_fraction,
+        )
+
+    def run(self, n_periods: int) -> list[PeriodReport]:
+        """Run the loop for ``n_periods`` periods.
+
+        Args:
+            n_periods: Number of periods, >= 1.
+
+        Returns:
+            One :class:`PeriodReport` per period.
+        """
+        if n_periods < 1:
+            raise ValidationError(
+                f"n_periods must be >= 1, got {n_periods}")
+        return [self.run_period(period)
+                for period in range(1, n_periods + 1)]

@@ -1,0 +1,94 @@
+"""Event representation for the freshening simulator.
+
+The simulator is event-driven: three kinds of events touch an element
+— a source-side *update*, a mirror-side *sync*, and a user *access*.
+Streams of homogeneous events are generated in bulk (vectorized) and
+then merged into one time-ordered tape which the simulation replays.
+
+Tie-breaking at identical timestamps is by event kind: updates apply
+before syncs (a sync at the same instant picks up the new version),
+and accesses observe last (they see the post-sync state).  This makes
+simultaneous-event semantics deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["EventKind", "EventStream", "merge_streams"]
+
+
+class EventKind(IntEnum):
+    """Event kinds, ordered by same-instant application priority."""
+
+    UPDATE = 0
+    SYNC = 1
+    ACCESS = 2
+
+
+@dataclass(frozen=True)
+class EventStream:
+    """A homogeneous, time-sorted stream of events.
+
+    Attributes:
+        kind: The event kind shared by the whole stream.
+        times: Event instants, nondecreasing.
+        elements: Element index per event.
+    """
+
+    kind: EventKind
+    times: np.ndarray
+    elements: np.ndarray
+
+    def __post_init__(self) -> None:
+        times = np.asarray(self.times, dtype=float)
+        elements = np.asarray(self.elements, dtype=np.int64)
+        if times.ndim != 1 or elements.ndim != 1:
+            raise ValidationError("times and elements must be 1-D")
+        if times.shape != elements.shape:
+            raise ValidationError(
+                f"times {times.shape} and elements {elements.shape} must "
+                "have equal length")
+        if times.size and (np.diff(times) < 0.0).any():
+            raise ValidationError("event times must be nondecreasing")
+        times = times.copy()
+        elements = elements.copy()
+        times.flags.writeable = False
+        elements.flags.writeable = False
+        object.__setattr__(self, "times", times)
+        object.__setattr__(self, "elements", elements)
+
+    def __len__(self) -> int:
+        return int(self.times.shape[0])
+
+
+def merge_streams(streams: Iterable[EventStream],
+                  ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Merge event streams into one time-ordered tape.
+
+    Args:
+        streams: Any number of homogeneous streams.
+
+    Returns:
+        ``(times, elements, kinds)`` sorted by time with kind priority
+        breaking ties (updates < syncs < accesses).
+    """
+    collected = list(streams)
+    if not collected:
+        empty_f = np.empty(0)
+        empty_i = np.empty(0, dtype=np.int64)
+        return empty_f, empty_i, empty_i
+    times = np.concatenate([stream.times for stream in collected])
+    elements = np.concatenate([stream.elements for stream in collected])
+    kinds = np.concatenate([
+        np.full(len(stream), int(stream.kind), dtype=np.int64)
+        for stream in collected
+    ])
+    order = np.lexsort((kinds, times))
+    return times[order], elements[order], kinds[order]

@@ -1,0 +1,100 @@
+"""Workload generators feeding the simulator (Figure 4's two inputs).
+
+* :class:`UpdateGenerator` drives the source: each element is updated
+  by an independent Poisson process at its catalog change rate
+  (rates are per *period*; the generator converts to clock time).
+* :class:`RequestGenerator` drives the mirror: a Poisson stream of
+  user accesses whose element choice follows the master profile.
+
+Both produce bulk :class:`~repro.sim.events.EventStream` tapes for a
+whole horizon — statistically identical to step-by-step generation
+but far faster, and trivially reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.sim.events import EventKind, EventStream
+from repro.workloads.catalog import Catalog
+
+__all__ = ["UpdateGenerator", "RequestGenerator"]
+
+
+class UpdateGenerator:
+    """Poisson update processes for every element of a catalog.
+
+    Args:
+        catalog: Supplies per-element change rates (per period).
+        period_length: Clock length of one period.
+        rng: Seeded generator.
+    """
+
+    def __init__(self, catalog: Catalog, *, period_length: float = 1.0,
+                 rng: np.random.Generator) -> None:
+        if period_length <= 0.0:
+            raise ValidationError(
+                f"period_length must be > 0, got {period_length}")
+        self._rates = catalog.change_rates / period_length  # per clock unit
+        self._rng = rng
+
+    def generate(self, horizon: float) -> EventStream:
+        """All update events in ``[0, horizon)``.
+
+        A Poisson process with rate r over a window of length H has
+        Poisson(r·H) events at i.i.d. uniform instants; sampling that
+        way is exact and vectorizes across elements.
+
+        Args:
+            horizon: Clock length of the simulated window, > 0.
+
+        Returns:
+            A time-sorted UPDATE stream.
+        """
+        if horizon <= 0.0:
+            raise ValidationError(f"horizon must be > 0, got {horizon}")
+        counts = self._rng.poisson(self._rates * horizon)
+        total = int(counts.sum())
+        elements = np.repeat(np.arange(self._rates.shape[0],
+                                       dtype=np.int64), counts)
+        times = self._rng.uniform(0.0, horizon, size=total)
+        order = np.argsort(times, kind="stable")
+        return EventStream(kind=EventKind.UPDATE, times=times[order],
+                           elements=elements[order])
+
+
+class RequestGenerator:
+    """Poisson user-request stream following the master profile.
+
+    Args:
+        catalog: Supplies the master profile.
+        rate: Total accesses per clock unit, > 0.
+        rng: Seeded generator.
+    """
+
+    def __init__(self, catalog: Catalog, *, rate: float,
+                 rng: np.random.Generator) -> None:
+        if rate <= 0.0:
+            raise ValidationError(f"rate must be > 0, got {rate}")
+        self._probabilities = catalog.access_probabilities
+        self._rate = rate
+        self._rng = rng
+
+    def generate(self, horizon: float) -> EventStream:
+        """All access events in ``[0, horizon)``.
+
+        Args:
+            horizon: Clock length of the simulated window, > 0.
+
+        Returns:
+            A time-sorted ACCESS stream.
+        """
+        if horizon <= 0.0:
+            raise ValidationError(f"horizon must be > 0, got {horizon}")
+        count = int(self._rng.poisson(self._rate * horizon))
+        times = np.sort(self._rng.uniform(0.0, horizon, size=count))
+        elements = self._rng.choice(self._probabilities.shape[0],
+                                    size=count, p=self._probabilities)
+        return EventStream(kind=EventKind.ACCESS, times=times,
+                           elements=elements.astype(np.int64))

@@ -1,0 +1,105 @@
+"""The mirror: local copies refreshed by polling (Figure 4, right).
+
+The mirror stores, per element, the source version it last copied.
+Syncing an element polls the source and installs its current version;
+serving an access reports whether the stored copy is up to date.
+The mirror also counts the sync operations and bandwidth it spends,
+so simulations can verify the schedule respected its budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.source import Source
+
+__all__ = ["Mirror"]
+
+
+class Mirror:
+    """Local copies of a source's elements.
+
+    Copies start synchronized (version 0 everywhere, matching a
+    freshly cloned mirror).
+
+    Args:
+        source: The source this mirror replicates.
+        sizes: Optional per-element sizes for bandwidth accounting
+            (defaults to 1.0 each).
+    """
+
+    def __init__(self, source: Source,
+                 sizes: np.ndarray | None = None) -> None:
+        self._source = source
+        n = source.n_elements
+        if sizes is None:
+            self._sizes = np.ones(n)
+        else:
+            self._sizes = np.asarray(sizes, dtype=float)
+            if self._sizes.shape != (n,):
+                raise SimulationError(
+                    f"sizes shape {self._sizes.shape} does not match "
+                    f"{n} elements")
+            if (self._sizes <= 0.0).any():
+                raise SimulationError("sizes must be strictly positive")
+        self._copy_versions = source.versions().copy()
+        self._sync_count = 0
+        self._bandwidth_used = 0.0
+
+    @property
+    def n_elements(self) -> int:
+        """Number of local copies."""
+        return int(self._copy_versions.shape[0])
+
+    @property
+    def total_syncs(self) -> int:
+        """Sync operations performed so far."""
+        return self._sync_count
+
+    @property
+    def bandwidth_used(self) -> float:
+        """Total bandwidth spent on syncs, ``Σ size of synced objects``."""
+        return self._bandwidth_used
+
+    def sync(self, element: int) -> bool:
+        """Poll the source and refresh one local copy.
+
+        Args:
+            element: Element index.
+
+        Returns:
+            True if the poll found a new version (the copy actually
+            changed), False if the sync was wasted on an unchanged
+            element — the resource-waste signal the paper's
+            introduction worries about.
+        """
+        self._check(element)
+        current = self._source.version_of(element)
+        changed = current != int(self._copy_versions[element])
+        self._copy_versions[element] = current
+        self._sync_count += 1
+        self._bandwidth_used += float(self._sizes[element])
+        return changed
+
+    def is_fresh(self, element: int) -> bool:
+        """Whether a local copy matches the source right now."""
+        self._check(element)
+        return (int(self._copy_versions[element])
+                == self._source.version_of(element))
+
+    def serve_access(self, element: int) -> bool:
+        """Serve a user access; report whether it saw fresh data.
+
+        This is the "keeping score at each access" of Definition 3.
+        """
+        return self.is_fresh(element)
+
+    def freshness_vector(self) -> np.ndarray:
+        """Instantaneous freshness of every copy (Definition 1/2)."""
+        return (self._copy_versions == self._source.versions()).astype(float)
+
+    def _check(self, element: int) -> None:
+        if not 0 <= element < self.n_elements:
+            raise SimulationError(
+                f"element {element} outside [0, {self.n_elements})")

@@ -1,0 +1,70 @@
+"""The master data source (left half of the paper's Figure 4).
+
+The source holds the authoritative value of every element, modeled as
+a monotonically increasing version counter: each update event bumps
+the element's version.  A mirror copy is fresh exactly when its
+stored version equals the source's current version.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["Source"]
+
+
+class Source:
+    """Authoritative versioned store for N elements.
+
+    Args:
+        n_elements: Number of elements at the source.
+    """
+
+    def __init__(self, n_elements: int) -> None:
+        if n_elements < 1:
+            raise SimulationError(
+                f"n_elements must be >= 1, got {n_elements}")
+        self._versions = np.zeros(n_elements, dtype=np.int64)
+        self._update_count = 0
+
+    @property
+    def n_elements(self) -> int:
+        """Number of elements at the source."""
+        return int(self._versions.shape[0])
+
+    @property
+    def total_updates(self) -> int:
+        """Total update events applied so far."""
+        return self._update_count
+
+    def apply_update(self, element: int) -> int:
+        """Apply one update to an element.
+
+        Args:
+            element: Element index in ``[0, N)``.
+
+        Returns:
+            The element's new version number.
+        """
+        self._check(element)
+        self._versions[element] += 1
+        self._update_count += 1
+        return int(self._versions[element])
+
+    def version_of(self, element: int) -> int:
+        """Current version of an element."""
+        self._check(element)
+        return int(self._versions[element])
+
+    def versions(self) -> np.ndarray:
+        """A read-only snapshot of all current versions."""
+        snapshot = self._versions.copy()
+        snapshot.flags.writeable = False
+        return snapshot
+
+    def _check(self, element: int) -> None:
+        if not 0 <= element < self.n_elements:
+            raise SimulationError(
+                f"element {element} outside [0, {self.n_elements})")

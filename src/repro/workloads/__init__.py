@@ -1,0 +1,61 @@
+"""Synthetic workload generation: catalogs, distributions, access sets.
+
+The paper's experiments are fully synthetic — Zipf access profiles,
+gamma change rates, Pareto object sizes — under three possible
+alignments of interest and volatility.  This subpackage reproduces
+those generators and the two parameter presets (Tables 2 and 3).
+"""
+
+from repro.workloads.accesses import AccessSet, sample_access_times
+from repro.workloads.alignment import Alignment, align_values
+from repro.workloads.builder import WorkloadBuilder
+from repro.workloads.catalog import Catalog
+from repro.workloads.distributions import (
+    gamma_change_rates,
+    pareto_mean,
+    pareto_sizes,
+    zipf_probabilities,
+)
+from repro.workloads.trace import (
+    catalog_from_json,
+    catalog_to_json,
+    load_access_set,
+    load_catalog,
+    save_access_set,
+    save_catalog,
+)
+from repro.workloads.presets import (
+    BIG_SETUP,
+    IDEAL_SETUP,
+    TOY_BANDWIDTH,
+    TOY_PROFILES,
+    ExperimentSetup,
+    build_catalog,
+    toy_example_catalog,
+)
+
+__all__ = [
+    "AccessSet",
+    "catalog_from_json",
+    "catalog_to_json",
+    "load_access_set",
+    "load_catalog",
+    "save_access_set",
+    "save_catalog",
+    "WorkloadBuilder",
+    "Alignment",
+    "align_values",
+    "BIG_SETUP",
+    "build_catalog",
+    "Catalog",
+    "ExperimentSetup",
+    "gamma_change_rates",
+    "IDEAL_SETUP",
+    "pareto_mean",
+    "pareto_sizes",
+    "sample_access_times",
+    "TOY_BANDWIDTH",
+    "TOY_PROFILES",
+    "toy_example_catalog",
+    "zipf_probabilities",
+]

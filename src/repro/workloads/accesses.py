@@ -1,0 +1,105 @@
+"""Access sets: concrete sequences of user requests (paper §2.1).
+
+An *access set* A = {a₁ … a_M} is the multiset of element references
+the mirror serves over a period.  The empirical perceived-freshness
+metrics (Definitions 3–4) and the simulator's monitored evaluator
+consume access sets; this module samples them from a master profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["AccessSet", "sample_access_times"]
+
+
+@dataclass(frozen=True)
+class AccessSet:
+    """A timed sequence of element accesses.
+
+    Attributes:
+        times: Access instants, nondecreasing, shape ``(M,)``.
+        elements: Element index referenced by each access, ``(M,)``.
+    """
+
+    times: np.ndarray
+    elements: np.ndarray
+
+    def __post_init__(self) -> None:
+        times = np.asarray(self.times, dtype=float)
+        elements = np.asarray(self.elements, dtype=np.int64)
+        if times.ndim != 1 or elements.ndim != 1:
+            raise ValidationError("times and elements must be 1-D")
+        if times.shape != elements.shape:
+            raise ValidationError(
+                f"times {times.shape} and elements {elements.shape} "
+                "must have the same length")
+        if times.size and (np.diff(times) < 0.0).any():
+            raise ValidationError("access times must be nondecreasing")
+        if elements.size and elements.min() < 0:
+            raise ValidationError("element indices must be nonnegative")
+        times = times.copy()
+        elements = elements.copy()
+        times.flags.writeable = False
+        elements.flags.writeable = False
+        object.__setattr__(self, "times", times)
+        object.__setattr__(self, "elements", elements)
+
+    def __len__(self) -> int:
+        return int(self.times.shape[0])
+
+    def access_counts(self, n_elements: int) -> np.ndarray:
+        """Accesses per element (the mᵢ of §2.1).
+
+        Args:
+            n_elements: Catalog size; indices must be below it.
+
+        Returns:
+            Integer counts, shape ``(n_elements,)``.
+        """
+        if len(self) and int(self.elements.max()) >= n_elements:
+            raise ValidationError(
+                f"access set references element {int(self.elements.max())} "
+                f"but the catalog has only {n_elements} elements")
+        return np.bincount(self.elements, minlength=n_elements)
+
+    def empirical_probabilities(self, n_elements: int) -> np.ndarray:
+        """The empirical access distribution pᵢ = mᵢ / M."""
+        counts = self.access_counts(n_elements)
+        total = counts.sum()
+        if total == 0:
+            raise ValidationError("cannot normalize an empty access set")
+        return counts / float(total)
+
+
+def sample_access_times(access_probabilities: np.ndarray, *,
+                        rate: float, horizon: float,
+                        rng: np.random.Generator) -> AccessSet:
+    """Sample a Poisson stream of accesses from a master profile.
+
+    Accesses arrive as a Poisson process at total ``rate``; each
+    access independently references element i with probability pᵢ —
+    the paper's model of "many users frequently accessing the mirror".
+
+    Args:
+        access_probabilities: Master profile, summing to 1.
+        rate: Total accesses per unit time, > 0.
+        horizon: Length of the observation window, > 0.
+        rng: Seeded generator.
+
+    Returns:
+        A time-sorted :class:`AccessSet`.
+    """
+    p = np.asarray(access_probabilities, dtype=float)
+    if rate <= 0.0:
+        raise ValidationError(f"rate must be > 0, got {rate}")
+    if horizon <= 0.0:
+        raise ValidationError(f"horizon must be > 0, got {horizon}")
+    count = int(rng.poisson(rate * horizon))
+    times = np.sort(rng.uniform(0.0, horizon, size=count))
+    elements = rng.choice(p.shape[0], size=count, p=p)
+    return AccessSet(times=times, elements=elements)

@@ -1,0 +1,76 @@
+"""Alignment of change rates (and sizes) with the access profile.
+
+The paper studies three relationships between how often objects
+change and how often users access them (§2.2.2, Figure 2):
+
+* **aligned** — the hottest objects change the most (day-traders
+  chasing volatile stocks),
+* **reverse** — the hottest objects change the least (popular static
+  pages),
+* **shuffled** — no relationship; change rates are randomly permuted
+  against the profile.
+
+Access probabilities are always laid out hottest-first (index 0 is
+the most popular element), so aligning means sorting the companion
+attribute descending and reversing means sorting it ascending.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["Alignment", "align_values"]
+
+
+class Alignment(str, Enum):
+    """How a per-element attribute relates to access popularity."""
+
+    ALIGNED = "aligned"
+    REVERSE = "reverse"
+    SHUFFLED = "shuffled"
+
+    @classmethod
+    def coerce(cls, value: "Alignment | str") -> "Alignment":
+        """Accept either an :class:`Alignment` or its string name."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError as exc:
+            options = ", ".join(member.value for member in cls)
+            raise ValidationError(
+                f"unknown alignment {value!r}; expected one of: {options}"
+            ) from exc
+
+
+def align_values(values: np.ndarray, alignment: Alignment | str, *,
+                 rng: np.random.Generator | None = None) -> np.ndarray:
+    """Arrange ``values`` against a hottest-first access ordering.
+
+    Args:
+        values: Per-element attribute samples (change rates or sizes).
+        alignment: Desired relationship with popularity.
+        rng: Required for :attr:`Alignment.SHUFFLED`; ignored
+            otherwise.
+
+    Returns:
+        A new array: sorted descending for ``aligned`` (element 0 —
+        the hottest — gets the largest value), ascending for
+        ``reverse``, and randomly permuted for ``shuffled``.
+
+    Raises:
+        ValidationError: If shuffling is requested without a generator.
+    """
+    alignment = Alignment.coerce(alignment)
+    values = np.asarray(values, dtype=float)
+    if alignment is Alignment.ALIGNED:
+        return np.sort(values)[::-1].copy()
+    if alignment is Alignment.REVERSE:
+        return np.sort(values).copy()
+    if rng is None:
+        raise ValidationError("shuffled alignment requires an rng")
+    return rng.permutation(values)

@@ -1,0 +1,142 @@
+"""Fluent workload construction.
+
+:class:`WorkloadBuilder` composes the generators in
+:mod:`repro.workloads.distributions` into a readable pipeline::
+
+    catalog = (WorkloadBuilder(10_000, seed=7)
+               .zipf_profile(theta=1.2)
+               .gamma_rates(mean=2.0, std_dev=1.0)
+               .pareto_sizes(shape=1.1)
+               .align_rates("shuffled")
+               .align_sizes("reverse")
+               .build())
+
+Every stage is optional: omitted profiles default to uniform, omitted
+rates to a unit-rate Poisson per element, omitted sizes to 1.0.  The
+builder is immutable-by-convention — each call returns ``self`` for
+chaining but the terminal :meth:`build` validates everything through
+the normal :class:`~repro.workloads.catalog.Catalog` constructor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.workloads.alignment import Alignment, align_values
+from repro.workloads.catalog import Catalog
+from repro.workloads.distributions import (
+    gamma_change_rates,
+    pareto_sizes,
+    zipf_probabilities,
+)
+
+__all__ = ["WorkloadBuilder"]
+
+
+class WorkloadBuilder:
+    """Compose a catalog from named distribution stages.
+
+    Args:
+        n_elements: Catalog size, >= 1.
+        seed: Seed or generator for all sampling stages.
+    """
+
+    def __init__(self, n_elements: int, *,
+                 seed: int | np.random.Generator = 0) -> None:
+        if n_elements < 1:
+            raise ValidationError(
+                f"n_elements must be >= 1, got {n_elements}")
+        self._n = n_elements
+        self._rng = (seed if isinstance(seed, np.random.Generator)
+                     else np.random.default_rng(seed))
+        self._profile: np.ndarray | None = None
+        self._rates: np.ndarray | None = None
+        self._sizes: np.ndarray | None = None
+        self._rate_alignment: Alignment | None = None
+        self._size_alignment: Alignment | None = None
+
+    def zipf_profile(self, theta: float) -> "WorkloadBuilder":
+        """Zipf access probabilities with skew ``theta`` (hot first)."""
+        self._profile = zipf_probabilities(self._n, theta)
+        return self
+
+    def custom_profile(self,
+                       probabilities: np.ndarray) -> "WorkloadBuilder":
+        """An explicit access-probability vector."""
+        probabilities = np.asarray(probabilities, dtype=float)
+        if probabilities.shape != (self._n,):
+            raise ValidationError(
+                f"profile shape {probabilities.shape} does not match "
+                f"n_elements={self._n}")
+        self._profile = probabilities
+        return self
+
+    def gamma_rates(self, *, mean: float,
+                    std_dev: float) -> "WorkloadBuilder":
+        """Gamma-distributed change rates (the paper's update model)."""
+        self._rates = gamma_change_rates(self._n, mean=mean,
+                                         std_dev=std_dev,
+                                         rng=self._rng)
+        return self
+
+    def custom_rates(self, rates: np.ndarray) -> "WorkloadBuilder":
+        """Explicit per-element change rates."""
+        rates = np.asarray(rates, dtype=float)
+        if rates.shape != (self._n,):
+            raise ValidationError(
+                f"rates shape {rates.shape} does not match "
+                f"n_elements={self._n}")
+        self._rates = rates
+        return self
+
+    def pareto_sizes(self, *, shape: float,
+                     mean: float = 1.0) -> "WorkloadBuilder":
+        """Heavy-tailed object sizes (the paper's web-size model)."""
+        self._sizes = pareto_sizes(self._n, shape=shape, mean=mean,
+                                   rng=self._rng)
+        return self
+
+    def custom_sizes(self, sizes: np.ndarray) -> "WorkloadBuilder":
+        """Explicit per-element sizes."""
+        sizes = np.asarray(sizes, dtype=float)
+        if sizes.shape != (self._n,):
+            raise ValidationError(
+                f"sizes shape {sizes.shape} does not match "
+                f"n_elements={self._n}")
+        self._sizes = sizes
+        return self
+
+    def align_rates(self,
+                    alignment: Alignment | str) -> "WorkloadBuilder":
+        """Relate change rates to popularity (aligned/reverse/shuffled)."""
+        self._rate_alignment = Alignment.coerce(alignment)
+        return self
+
+    def align_sizes(self,
+                    alignment: Alignment | str) -> "WorkloadBuilder":
+        """Relate sizes to popularity (aligned/reverse/shuffled)."""
+        self._size_alignment = Alignment.coerce(alignment)
+        return self
+
+    def build(self) -> Catalog:
+        """Materialize and validate the catalog.
+
+        Returns:
+            The composed :class:`Catalog`.  Defaults: uniform profile,
+            unit change rates, unit sizes; alignments are applied only
+            to sampled (or explicitly supplied) attributes.
+        """
+        profile = (self._profile if self._profile is not None
+                   else np.full(self._n, 1.0 / self._n))
+        rates = (self._rates if self._rates is not None
+                 else np.ones(self._n))
+        if self._rate_alignment is not None:
+            rates = align_values(rates, self._rate_alignment,
+                                 rng=self._rng)
+        sizes = self._sizes
+        if sizes is not None and self._size_alignment is not None:
+            sizes = align_values(sizes, self._size_alignment,
+                                 rng=self._rng)
+        return Catalog(access_probabilities=profile,
+                       change_rates=rates, sizes=sizes)

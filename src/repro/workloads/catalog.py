@@ -1,0 +1,161 @@
+"""The :class:`Catalog`: per-element workload description.
+
+A catalog bundles, for each of the mirror's N elements, the three
+quantities the freshening problem is defined over:
+
+* ``access_probabilities`` — the master profile ``p`` (Σp = 1),
+* ``change_rates`` — Poisson update rates ``λ`` per sync period,
+* ``sizes`` — object sizes ``s`` in bandwidth units (all 1.0 for the
+  paper's fixed-size sections).
+
+Catalogs are immutable; transformations return new catalogs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["Catalog"]
+
+#: Tolerance on Σp = 1 during validation.
+_PROB_ATOL = 1e-8
+
+
+def _as_vector(values: np.ndarray, name: str) -> np.ndarray:
+    array = np.asarray(values, dtype=float)
+    if array.ndim != 1:
+        raise ValidationError(f"{name} must be 1-D, got shape {array.shape}")
+    if array.size == 0:
+        raise ValidationError(f"{name} must not be empty")
+    if not np.isfinite(array).all():
+        raise ValidationError(f"{name} must be finite")
+    return array
+
+
+@dataclass(frozen=True)
+class Catalog:
+    """Immutable per-element workload description.
+
+    Attributes:
+        access_probabilities: Master-profile access probabilities,
+            nonnegative, summing to 1.
+        change_rates: Poisson change rates per sync period,
+            nonnegative.
+        sizes: Object sizes in bandwidth units, strictly positive.
+            Defaults to all ones (the fixed-size model).
+    """
+
+    access_probabilities: np.ndarray
+    change_rates: np.ndarray
+    sizes: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        p = _as_vector(self.access_probabilities, "access_probabilities")
+        lam = _as_vector(self.change_rates, "change_rates")
+        if self.sizes is None:
+            s = np.ones_like(p)
+        else:
+            s = _as_vector(self.sizes, "sizes")
+        if not (p.shape == lam.shape == s.shape):
+            raise ValidationError(
+                "access_probabilities, change_rates and sizes must have "
+                f"matching shapes, got {p.shape}, {lam.shape}, {s.shape}"
+            )
+        if (p < 0.0).any():
+            raise ValidationError("access probabilities must be nonnegative")
+        if abs(p.sum() - 1.0) > _PROB_ATOL:
+            raise ValidationError(
+                f"access probabilities must sum to 1, got {p.sum()!r}")
+        if (lam < 0.0).any():
+            raise ValidationError("change rates must be nonnegative")
+        if (s <= 0.0).any():
+            raise ValidationError("sizes must be strictly positive")
+        for name, array in (("access_probabilities", p),
+                            ("change_rates", lam), ("sizes", s)):
+            array = array.copy()
+            array.flags.writeable = False
+            object.__setattr__(self, name, array)
+
+    @property
+    def n_elements(self) -> int:
+        """Number of elements in the catalog."""
+        return int(self.access_probabilities.shape[0])
+
+    @property
+    def has_uniform_sizes(self) -> bool:
+        """True if every object has the same size."""
+        sizes = self.sizes
+        return bool(np.all(sizes == sizes[0]))
+
+    @classmethod
+    def from_counts(cls, access_counts: np.ndarray,
+                    change_rates: np.ndarray,
+                    sizes: np.ndarray | None = None) -> "Catalog":
+        """Build a catalog from raw access counts (normalized to ``p``).
+
+        Args:
+            access_counts: Nonnegative access counts per element; at
+                least one must be positive.
+            change_rates: Poisson change rates per period.
+            sizes: Optional object sizes.
+
+        Returns:
+            A validated :class:`Catalog`.
+        """
+        counts = _as_vector(np.asarray(access_counts, dtype=float),
+                            "access_counts")
+        total = counts.sum()
+        if total <= 0.0:
+            raise ValidationError("access counts must include a positive entry")
+        return cls(access_probabilities=counts / total,
+                   change_rates=np.asarray(change_rates, dtype=float),
+                   sizes=None if sizes is None
+                   else np.asarray(sizes, dtype=float))
+
+    def with_uniform_profile(self) -> "Catalog":
+        """The same elements under a uniform (profile-blind) profile.
+
+        This is exactly what the General Freshening baseline optimizes
+        for: every element equally interesting.
+        """
+        n = self.n_elements
+        return replace(self, access_probabilities=np.full(n, 1.0 / n))
+
+    def with_profile(self, access_probabilities: np.ndarray) -> "Catalog":
+        """The same elements under a different master profile."""
+        return replace(self, access_probabilities=np.asarray(
+            access_probabilities, dtype=float))
+
+    def with_change_rates(self, change_rates: np.ndarray) -> "Catalog":
+        """The same elements with different change rates."""
+        return replace(self,
+                       change_rates=np.asarray(change_rates, dtype=float))
+
+    def with_sizes(self, sizes: np.ndarray) -> "Catalog":
+        """The same elements with different object sizes."""
+        return replace(self, sizes=np.asarray(sizes, dtype=float))
+
+    def subset(self, indices: np.ndarray) -> "Catalog":
+        """A catalog restricted to ``indices``, profile renormalized.
+
+        Used by mirror-selection experiments: dropping elements from
+        the mirror concentrates the remaining access probability.
+        """
+        indices = np.asarray(indices)
+        p = self.access_probabilities[indices]
+        total = p.sum()
+        if total <= 0.0:
+            raise ValidationError(
+                "subset must retain positive total access probability")
+        return Catalog(access_probabilities=p / total,
+                       change_rates=self.change_rates[indices],
+                       sizes=self.sizes[indices])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Catalog(n={self.n_elements}, "
+                f"mean_rate={self.change_rates.mean():.3g}, "
+                f"uniform_sizes={self.has_uniform_sizes})")

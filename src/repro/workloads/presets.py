@@ -1,0 +1,176 @@
+"""Parameter presets and catalog builders for the paper's experiments.
+
+Table 2 ("Ideal Experiments", used by Figures 3, 5, 6, 8):
+
+    NumObjects 500, NumUpdatesPerPeriod 1000, NumSyncsPerPeriod 250,
+    Theta 0.0–1.6, UpdateStdDev 1.0
+
+Table 3 ("Partitioning Experiments", used by Figure 7):
+
+    NumObjects 500000, NumUpdatesPerPeriod 1000000,
+    NumSyncsPerPeriod 250000, Theta 1.0, UpdateStdDev 2.0
+
+The toy example of §2.2.1 (five elements, λ = 1..5, B = 5, profiles
+P1/P2/P3) backing Table 1 is also provided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.workloads.alignment import Alignment, align_values
+from repro.workloads.catalog import Catalog
+from repro.workloads.distributions import (
+    gamma_change_rates,
+    pareto_sizes,
+    zipf_probabilities,
+)
+
+__all__ = [
+    "ExperimentSetup",
+    "IDEAL_SETUP",
+    "BIG_SETUP",
+    "build_catalog",
+    "toy_example_catalog",
+    "TOY_PROFILES",
+    "TOY_BANDWIDTH",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentSetup:
+    """One row of the paper's setup tables.
+
+    Attributes:
+        n_objects: Database size N.
+        updates_per_period: Total expected updates per sync period
+            (mean change rate is this divided by N).
+        syncs_per_period: Bandwidth budget B in syncs per period.
+        theta: Zipf skew of the access profile.
+        update_std_dev: Standard deviation σ of the gamma change-rate
+            distribution.
+    """
+
+    n_objects: int
+    updates_per_period: float
+    syncs_per_period: float
+    theta: float
+    update_std_dev: float
+
+    def __post_init__(self) -> None:
+        if self.n_objects < 1:
+            raise ValidationError(
+                f"n_objects must be >= 1, got {self.n_objects}")
+        if self.updates_per_period <= 0.0:
+            raise ValidationError("updates_per_period must be > 0")
+        if self.syncs_per_period <= 0.0:
+            raise ValidationError("syncs_per_period must be > 0")
+        if self.theta < 0.0:
+            raise ValidationError("theta must be >= 0")
+        if self.update_std_dev <= 0.0:
+            raise ValidationError("update_std_dev must be > 0")
+
+    @property
+    def mean_change_rate(self) -> float:
+        """Mean updates per object per period."""
+        return self.updates_per_period / self.n_objects
+
+    def with_theta(self, theta: float) -> "ExperimentSetup":
+        """The same setup at a different Zipf skew."""
+        return ExperimentSetup(
+            n_objects=self.n_objects,
+            updates_per_period=self.updates_per_period,
+            syncs_per_period=self.syncs_per_period,
+            theta=theta,
+            update_std_dev=self.update_std_dev,
+        )
+
+
+#: Table 2 — the "ideal experiments" setup (θ is swept 0.0–1.6; the
+#: preset pins the midpoint used by the partitioning figures).
+IDEAL_SETUP = ExperimentSetup(n_objects=500, updates_per_period=1000.0,
+                              syncs_per_period=250.0, theta=1.0,
+                              update_std_dev=1.0)
+
+#: Table 3 — the "big case" partitioning setup.
+BIG_SETUP = ExperimentSetup(n_objects=500_000,
+                            updates_per_period=1_000_000.0,
+                            syncs_per_period=250_000.0, theta=1.0,
+                            update_std_dev=2.0)
+
+
+def build_catalog(setup: ExperimentSetup, *,
+                  alignment: Alignment | str = Alignment.SHUFFLED,
+                  seed: int | np.random.Generator = 0,
+                  theta: float | None = None,
+                  size_shape: float | None = None,
+                  size_alignment: Alignment | str | None = None) -> Catalog:
+    """Materialize a catalog for an experiment setup.
+
+    Args:
+        setup: The parameter preset.
+        alignment: Relationship between change rates and popularity.
+        seed: Seed or generator for all sampling.
+        theta: Optional Zipf-skew override (for θ sweeps).
+        size_shape: If given, sample Pareto object sizes with this
+            shape (mean 1.0); otherwise all sizes are 1.
+        size_alignment: Relationship between sizes and popularity;
+            defaults to the change-rate alignment when sizes are used.
+
+    Returns:
+        A fully populated :class:`Catalog`.
+    """
+    rng = (seed if isinstance(seed, np.random.Generator)
+           else np.random.default_rng(seed))
+    skew = setup.theta if theta is None else theta
+    probabilities = zipf_probabilities(setup.n_objects, skew)
+    raw_rates = gamma_change_rates(setup.n_objects,
+                                   mean=setup.mean_change_rate,
+                                   std_dev=setup.update_std_dev, rng=rng)
+    rates = align_values(raw_rates, alignment, rng=rng)
+    sizes = None
+    if size_shape is not None:
+        raw_sizes = pareto_sizes(setup.n_objects, shape=size_shape,
+                                 mean=1.0, rng=rng)
+        chosen = (alignment if size_alignment is None else size_alignment)
+        sizes = align_values(raw_sizes, chosen, rng=rng)
+    return Catalog(access_probabilities=probabilities, change_rates=rates,
+                   sizes=sizes)
+
+
+#: The three access-probability profiles of the §2.2.1 toy example.
+TOY_PROFILES = {
+    "P1": np.full(5, 1.0 / 5.0),
+    "P2": np.arange(1, 6, dtype=float) / 15.0,
+    "P3": np.arange(5, 0, -1, dtype=float) / 15.0,
+}
+
+#: The toy example's bandwidth constraint (elements/day).
+TOY_BANDWIDTH = 5.0
+
+
+def toy_example_catalog(profile: str = "P1") -> Catalog:
+    """The five-element example behind Table 1.
+
+    Elements change at 1..5 times/day; ``profile`` selects P1
+    (uniform), P2 (hottest change the most) or P3 (hottest change the
+    least).
+
+    Args:
+        profile: One of ``"P1"``, ``"P2"``, ``"P3"``.
+
+    Returns:
+        The example catalog.
+
+    Raises:
+        ValidationError: For an unknown profile name.
+    """
+    if profile not in TOY_PROFILES:
+        raise ValidationError(
+            f"unknown toy profile {profile!r}; expected one of "
+            f"{sorted(TOY_PROFILES)}")
+    return Catalog(access_probabilities=TOY_PROFILES[profile].copy(),
+                   change_rates=np.arange(1, 6, dtype=float))

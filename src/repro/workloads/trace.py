@@ -1,0 +1,156 @@
+"""Persistence for workloads: save/load catalogs and access sets.
+
+A deployed mirror wants to snapshot its believed catalog, archive
+request logs, and replay recorded workloads through the simulator.
+Two formats:
+
+* **NPZ** (:func:`save_catalog` / :func:`load_catalog`,
+  :func:`save_access_set` / :func:`load_access_set`) — compact binary
+  for programmatic round-trips;
+* **JSON** (:func:`catalog_to_json` / :func:`catalog_from_json`) —
+  interoperable text for configuration files and other tools.
+
+All loaders re-validate through the normal constructors, so a
+corrupted or hand-edited file fails loudly with a
+:class:`~repro.errors.ValidationError` rather than poisoning a
+schedule.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.workloads.accesses import AccessSet
+from repro.workloads.catalog import Catalog
+
+__all__ = [
+    "save_catalog",
+    "load_catalog",
+    "catalog_to_json",
+    "catalog_from_json",
+    "save_access_set",
+    "load_access_set",
+]
+
+_CATALOG_KEYS = ("access_probabilities", "change_rates", "sizes")
+_FORMAT_VERSION = 1
+
+
+def save_catalog(catalog: Catalog, path: str | Path) -> None:
+    """Write a catalog to an ``.npz`` file.
+
+    Args:
+        catalog: The catalog to persist.
+        path: Destination path (conventionally ``*.npz``).
+    """
+    np.savez_compressed(
+        Path(path),
+        version=np.int64(_FORMAT_VERSION),
+        access_probabilities=catalog.access_probabilities,
+        change_rates=catalog.change_rates,
+        sizes=catalog.sizes,
+    )
+
+
+def load_catalog(path: str | Path) -> Catalog:
+    """Read a catalog from an ``.npz`` file written by :func:`save_catalog`.
+
+    Args:
+        path: Source path.
+
+    Returns:
+        The validated :class:`Catalog`.
+
+    Raises:
+        ValidationError: If required arrays are missing or invalid.
+    """
+    with np.load(Path(path)) as data:
+        missing = [key for key in _CATALOG_KEYS if key not in data]
+        if missing:
+            raise ValidationError(
+                f"catalog file {path} is missing arrays: {missing}")
+        return Catalog(access_probabilities=data["access_probabilities"],
+                       change_rates=data["change_rates"],
+                       sizes=data["sizes"])
+
+
+def catalog_to_json(catalog: Catalog) -> str:
+    """Serialize a catalog as a JSON document.
+
+    Args:
+        catalog: The catalog to serialize.
+
+    Returns:
+        A JSON string with a version marker and the three arrays.
+    """
+    return json.dumps({
+        "version": _FORMAT_VERSION,
+        "access_probabilities": catalog.access_probabilities.tolist(),
+        "change_rates": catalog.change_rates.tolist(),
+        "sizes": catalog.sizes.tolist(),
+    })
+
+
+def catalog_from_json(document: str) -> Catalog:
+    """Parse a catalog from :func:`catalog_to_json` output.
+
+    Args:
+        document: The JSON string.
+
+    Returns:
+        The validated :class:`Catalog`.
+
+    Raises:
+        ValidationError: On malformed JSON or missing/invalid fields.
+    """
+    try:
+        payload = json.loads(document)
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"invalid catalog JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ValidationError("catalog JSON must be an object")
+    missing = [key for key in _CATALOG_KEYS if key not in payload]
+    if missing:
+        raise ValidationError(
+            f"catalog JSON is missing fields: {missing}")
+    return Catalog(
+        access_probabilities=np.asarray(payload["access_probabilities"],
+                                        dtype=float),
+        change_rates=np.asarray(payload["change_rates"], dtype=float),
+        sizes=np.asarray(payload["sizes"], dtype=float),
+    )
+
+
+def save_access_set(accesses: AccessSet, path: str | Path) -> None:
+    """Write an access set (request log) to an ``.npz`` file.
+
+    Args:
+        accesses: The access set to persist.
+        path: Destination path.
+    """
+    np.savez_compressed(Path(path), version=np.int64(_FORMAT_VERSION),
+                        times=accesses.times, elements=accesses.elements)
+
+
+def load_access_set(path: str | Path) -> AccessSet:
+    """Read an access set from an ``.npz`` file.
+
+    Args:
+        path: Source path.
+
+    Returns:
+        The validated :class:`AccessSet`.
+
+    Raises:
+        ValidationError: If required arrays are missing or invalid.
+    """
+    with np.load(Path(path)) as data:
+        for key in ("times", "elements"):
+            if key not in data:
+                raise ValidationError(
+                    f"access-set file {path} is missing array {key!r}")
+        return AccessSet(times=data["times"], elements=data["elements"])

@@ -1,0 +1,117 @@
+"""Tests for repro.analysis.calibration — model fitting from logs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.calibration import (
+    calibrate_setup,
+    fit_gamma_rates,
+    fit_zipf_theta,
+)
+from repro.errors import ValidationError
+from repro.workloads.accesses import AccessSet, sample_access_times
+from repro.workloads.distributions import (
+    gamma_change_rates,
+    zipf_probabilities,
+)
+
+
+class TestFitZipfTheta:
+    @pytest.mark.parametrize("theta", [0.4, 0.8, 1.2])
+    def test_recovers_known_skew(self, theta, rng):
+        p = zipf_probabilities(300, theta)
+        counts = rng.multinomial(300_000, p)
+        fitted = fit_zipf_theta(counts, min_count=20)
+        assert fitted == pytest.approx(theta, abs=0.1)
+
+    def test_uniform_profile_fits_near_zero(self, rng):
+        counts = rng.multinomial(100_000, np.full(100, 0.01))
+        assert fit_zipf_theta(counts, min_count=10) < 0.1
+
+    def test_exactly_flat_counts_fit_zero(self):
+        # Equal counts at every rank: slope 0 (up to float rounding
+        # of the log covariances), θ ≈ 0.
+        assert fit_zipf_theta(np.full(50, 100.0)) == pytest.approx(
+            0.0, abs=1e-12)
+
+    def test_order_invariant(self, rng):
+        counts = rng.multinomial(50_000, zipf_probabilities(80, 1.0))
+        shuffled = rng.permutation(counts)
+        assert fit_zipf_theta(counts, min_count=10) == pytest.approx(
+            fit_zipf_theta(shuffled, min_count=10))
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            fit_zipf_theta(np.array([5.0, 3.0]))  # too few ranks
+        with pytest.raises(ValidationError):
+            fit_zipf_theta(np.array([-1.0, 2.0, 3.0, 4.0]))
+        with pytest.raises(ValidationError):
+            fit_zipf_theta(np.zeros(10))
+
+
+class TestFitGammaRates:
+    def test_recovers_known_moments(self, rng):
+        rates = gamma_change_rates(100_000, mean=2.0, std_dev=1.5,
+                                   rng=rng)
+        fit = fit_gamma_rates(rates)
+        assert fit.mean == pytest.approx(2.0, rel=0.03)
+        assert fit.std_dev == pytest.approx(1.5, rel=0.03)
+        assert fit.shape == pytest.approx((2.0 / 1.5) ** 2, rel=0.08)
+
+    def test_shape_scale_consistency(self):
+        fit = fit_gamma_rates(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert fit.shape * fit.scale == pytest.approx(fit.mean)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            fit_gamma_rates(np.array([1.0]))
+        with pytest.raises(ValidationError):
+            fit_gamma_rates(np.array([1.0, 0.0]))
+        with pytest.raises(ValidationError):
+            fit_gamma_rates(np.full(5, 2.0))  # zero spread
+
+
+class TestCalibrateSetup:
+    def test_roundtrip_through_synthetic_world(self, rng):
+        """Calibrating on a synthetic world recovers its parameters."""
+        true_theta, true_mean, true_std = 1.0, 2.0, 1.0
+        n = 400
+        p = zipf_probabilities(n, true_theta)
+        accesses = sample_access_times(p, rate=200_000.0, horizon=1.0,
+                                       rng=rng)
+        rates = gamma_change_rates(n, mean=true_mean,
+                                   std_dev=true_std, rng=rng)
+        setup = calibrate_setup(accesses, rates, bandwidth=200.0,
+                                min_count=20)
+        assert setup.n_objects == n
+        assert setup.theta == pytest.approx(true_theta, abs=0.15)
+        assert setup.mean_change_rate == pytest.approx(true_mean,
+                                                       rel=0.1)
+        assert setup.update_std_dev == pytest.approx(true_std,
+                                                     rel=0.1)
+        assert setup.syncs_per_period == 200.0
+
+    def test_calibrated_setup_drives_the_harness(self, rng):
+        """The fitted setup plugs straight into build_catalog and the
+        planners — the advertised what-if workflow."""
+        from repro.core.freshener import PerceivedFreshener
+        from repro.workloads.presets import build_catalog
+
+        p = zipf_probabilities(100, 0.9)
+        accesses = sample_access_times(p, rate=50_000.0, horizon=1.0,
+                                       rng=rng)
+        rates = gamma_change_rates(100, mean=2.0, std_dev=1.0, rng=rng)
+        setup = calibrate_setup(accesses, rates, bandwidth=50.0,
+                                min_count=10)
+        catalog = build_catalog(setup, seed=1)
+        plan = PerceivedFreshener().plan(catalog,
+                                         setup.syncs_per_period)
+        assert 0.0 < plan.perceived_freshness < 1.0
+
+    def test_validation(self):
+        accesses = AccessSet(times=np.empty(0),
+                             elements=np.empty(0, dtype=np.int64))
+        with pytest.raises(ValidationError):
+            calibrate_setup(accesses, np.empty(0), bandwidth=1.0)

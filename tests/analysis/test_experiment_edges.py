@@ -1,0 +1,82 @@
+"""Edge-path coverage for experiment runners and CLI rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import experiments
+from repro.cli import main
+from repro.workloads.presets import ExperimentSetup
+
+TINY = ExperimentSetup(n_objects=50, updates_per_period=100.0,
+                       syncs_per_period=25.0, theta=1.0,
+                       update_std_dev=1.0)
+
+
+class TestFigure9SolverPaths:
+    def test_exact_and_nlp_paths_agree_on_quality(self):
+        """Figure 9's two solver backends reach comparable PF — only
+        their cost differs."""
+        common = dict(setup=TINY,
+                      cluster_line_counts=np.array([5, 15]),
+                      iteration_path_counts=(8,),
+                      iteration_counts=(0, 1), seed=0)
+        exact = experiments.figure9(solver="exact", **common)
+        nlp = experiments.figure9(solver="nlp", **common)
+        exact_pf = exact.get("CLUSTER_LINE").y
+        nlp_pf = nlp.get("CLUSTER_LINE").y
+        assert np.allclose(exact_pf, nlp_pf, atol=1e-3)
+
+    def test_notes_record_solver(self):
+        sweep = experiments.figure9(
+            setup=TINY, cluster_line_counts=np.array([5]),
+            iteration_path_counts=(), iteration_counts=(0,),
+            solver="exact")
+        assert sweep.notes["solver"] == "exact"
+
+
+class TestFigure1Overrides:
+    def test_custom_rate_grid(self):
+        grid = np.linspace(0.5, 2.0, 7)
+        sweep = experiments.figure1(rate_grid=grid)
+        assert np.array_equal(sweep.series[0].x, grid)
+
+    def test_custom_multiplier_shifts_cutoffs(self):
+        low = experiments.figure1(multiplier=0.01)
+        high = experiments.figure1(multiplier=0.03)
+        # Higher μ ⇒ earlier cutoff ⇒ fewer active grid points.
+        label = "p=0.0667"
+        assert (high.get(label).y > 0).sum() < \
+            (low.get(label).y > 0).sum()
+
+
+class TestCliRendering:
+    def test_svg_flag_writes_files(self, tmp_path, capsys):
+        assert main(["figure1", "--svg", str(tmp_path)]) == 0
+        output = capsys.readouterr().out
+        assert "wrote" in output
+        files = list(tmp_path.glob("*.svg"))
+        assert files and files[0].read_text().startswith("<svg")
+
+    def test_plot_flag_renders_ascii(self, capsys):
+        assert main(["figure1", "--plot"]) == 0
+        assert "legend:" in capsys.readouterr().out
+
+    def test_mirror_selection_command(self, capsys):
+        assert main(["mirror-selection"]) == 0
+        assert "greedy by interest" in capsys.readouterr().out
+
+    def test_policy_ablation_command(self, capsys):
+        assert main(["policy-ablation"]) == 0
+        out = capsys.readouterr().out
+        assert "fixed-order" in out and "poisson-sync" in out
+
+
+class TestImperfectKnowledgeEdges:
+    def test_zero_noise_is_exactly_clean(self):
+        sweep = experiments.imperfect_knowledge(
+            setup=TINY, noise_levels=np.array([0.0]), n_seeds=2)
+        noisy = sweep.get("noisy rates").y[0]
+        clean = sweep.get("perfect knowledge").y[0]
+        assert noisy == pytest.approx(clean, abs=1e-12)

@@ -1,0 +1,271 @@
+"""Tests for the experiment runners (tiny-scale invariants).
+
+Every runner is exercised at a shrunken scale; the assertions check
+the *shapes* the paper reports — who wins, where the curves touch —
+rather than absolute values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import experiments
+from repro.workloads.presets import ExperimentSetup
+
+TINY = ExperimentSetup(n_objects=60, updates_per_period=120.0,
+                       syncs_per_period=30.0, theta=1.0,
+                       update_std_dev=1.0)
+TINY_SIZED = ExperimentSetup(n_objects=80, updates_per_period=160.0,
+                             syncs_per_period=40.0, theta=1.0,
+                             update_std_dev=2.0)
+
+
+class TestTable1:
+    def test_matches_paper(self):
+        results = experiments.table1()
+        assert np.round(results["P1"], 2).tolist() == [
+            1.15, 1.36, 1.35, 1.14, 0.00]
+        assert np.round(results["P2"], 2).tolist() == [
+            0.33, 0.67, 1.00, 1.33, 1.67]
+        assert results["P3"] == pytest.approx(
+            [1.685, 1.83, 1.49, 0.0, 0.0], abs=0.01)
+
+    def test_all_budgets_spent(self):
+        results = experiments.table1()
+        for profile in ("P1", "P2", "P3"):
+            assert results[profile].sum() == pytest.approx(5.0, rel=1e-8)
+
+
+class TestFigure1:
+    def test_higher_p_gets_more_bandwidth_everywhere_active(self):
+        sweep = experiments.figure1()
+        low = sweep.get("p=0.0333")
+        high = sweep.get("p=0.1333")
+        active = (low.y > 0.0) & (high.y > 0.0)
+        assert (high.y[active] >= low.y[active]).all()
+
+    def test_cutoff_rate_scales_with_p(self):
+        """Each curve hits zero at λ = p/μ."""
+        sweep = experiments.figure1()
+        mu = sweep.notes["multiplier"]
+        for p in (1.0 / 30.0, 1.0 / 15.0, 2.0 / 15.0):
+            series = sweep.get(f"p={p:.4f}")
+            cutoff = p / mu
+            beyond = series.x > cutoff * 1.02
+            within = series.x < cutoff * 0.98
+            assert (series.y[beyond] == 0.0).all()
+            assert (series.y[within] > 0.0).all()
+
+    def test_rejects_bad_multiplier(self):
+        from repro.errors import ValidationError
+        with pytest.raises(ValidationError):
+            experiments.figure1(multiplier=0.0)
+
+
+class TestFigure2:
+    def test_alignment_shapes(self):
+        results = experiments.figure2(setup=TINY, seed=0)
+        aligned = results["aligned"].get("change frequency")
+        reverse = results["reverse"].get("change frequency")
+        assert (np.diff(aligned.y) <= 0.0).all()
+        assert (np.diff(reverse.y) >= 0.0).all()
+
+    def test_access_curve_always_descending(self):
+        results = experiments.figure2(setup=TINY, seed=0)
+        for sweep in results.values():
+            access = sweep.get("access frequency")
+            assert (np.diff(access.y) <= 1e-12).all()
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return experiments.figure3(setup=TINY,
+                                   thetas=np.array([0.0, 0.8, 1.6]),
+                                   n_seeds=2)
+
+    def test_pf_never_below_gf(self, results):
+        for sweep in results.values():
+            pf = sweep.get("PF_TECHNIQUE").y
+            gf = sweep.get("GF_TECHNIQUE").y
+            assert (pf >= gf - 1e-9).all()
+
+    def test_equal_at_theta_zero(self, results):
+        for sweep in results.values():
+            pf = sweep.get("PF_TECHNIQUE").y[0]
+            gf = sweep.get("GF_TECHNIQUE").y[0]
+            assert pf == pytest.approx(gf, abs=1e-9)
+
+    def test_pf_increases_with_skew(self, results):
+        for sweep in results.values():
+            pf = sweep.get("PF_TECHNIQUE").y
+            assert pf[-1] > pf[0]
+
+    def test_aligned_gf_collapses(self, results):
+        aligned = results["aligned"]
+        gf = aligned.get("GF_TECHNIQUE").y
+        assert gf[-1] < 0.2 * gf[0] + 0.05
+
+
+class TestFigure5:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return experiments.figure5(
+            setup=TINY, partition_counts=np.array([3, 10, 30, 60]),
+            seed=0)
+
+    def test_heuristics_below_best_case(self, results):
+        for sweep in results.values():
+            best = sweep.get("best_case").y
+            for label in sweep.labels:
+                if label == "best_case":
+                    continue
+                assert (sweep.get(label).y <= best + 1e-8).all()
+
+    def test_full_partitioning_reaches_best_case(self, results):
+        for sweep in results.values():
+            best = sweep.get("best_case").y[-1]
+            pf = sweep.get("PF_PARTITIONING").y[-1]
+            assert pf == pytest.approx(best, abs=1e-6)
+
+    def test_lambda_partitioning_trails_under_shuffle(self, results):
+        shuffled = results["shuffled"]
+        lam = shuffled.get("LAMBDA_PARTITIONING").y
+        pf = shuffled.get("PF_PARTITIONING").y
+        # At modest k the lambda sort is clearly worse.
+        assert pf[1] > lam[1]
+
+
+class TestFigure6:
+    def test_all_techniques_rise_with_skew(self):
+        sweep = experiments.figure6(setup=TINY,
+                                    thetas=np.array([0.4, 1.0, 1.6]),
+                                    n_partitions=10, seed=0)
+        for label in sweep.labels:
+            y = sweep.get(label).y
+            assert y[-1] > y[0]
+
+
+class TestFigure7:
+    def test_runs_at_reduced_scale(self):
+        sweep = experiments.figure7(
+            setup=TINY_SIZED,
+            partition_counts=np.array([5, 20, 40]), seed=0)
+        best = sweep.get("best_case").y
+        pf = sweep.get("PF_PARTITIONING").y
+        assert (pf <= best + 1e-8).all()
+        assert pf[-1] >= pf[0] - 1e-6
+
+
+class TestFigure8:
+    def test_clustering_never_hurts_much(self):
+        sweep = experiments.figure8(
+            setup=TINY_SIZED, partition_counts=np.array([4, 10]),
+            iteration_counts=(0, 3), seed=0)
+        zero = sweep.get("0 iterations").y
+        three = sweep.get("3 iterations").y
+        assert (three >= zero - 0.02).all()
+
+    def test_clustering_helps_at_coarse_k(self):
+        # Large enough for the refinement signal to rise above the
+        # k-means-optimizes-inertia-not-PF noise floor.
+        setup = ExperimentSetup(n_objects=1000,
+                                updates_per_period=2000.0,
+                                syncs_per_period=500.0, theta=1.0,
+                                update_std_dev=2.0)
+        sweep = experiments.figure8(
+            setup=setup, partition_counts=np.array([10]),
+            iteration_counts=(0, 5), seed=0)
+        assert sweep.get("5 iterations").y[0] > \
+            sweep.get("0 iterations").y[0]
+
+
+class TestFigure9:
+    def test_structure(self):
+        sweep = experiments.figure9(
+            setup=TINY_SIZED,
+            cluster_line_counts=np.array([4, 10]),
+            iteration_path_counts=(6,), iteration_counts=(0, 2),
+            seed=0, solver="exact")
+        assert "CLUSTER_LINE" in sweep.labels
+        assert "6 CLUSTERS" in sweep.labels
+        line = sweep.get("CLUSTER_LINE")
+        assert (line.x > 0.0).all()  # measured times
+
+
+class TestFigure10:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return experiments.figure10(n_objects=100, bandwidth=50.0,
+                                    seed=0)
+
+    def test_pareto_gets_more_syncs_for_same_bandwidth(self, results):
+        freq = results["frequency"]
+        uniform = freq.get("Uniform Size Distribution").y.sum()
+        pareto = freq.get("Pareto_Shape (a) = 1.1").y.sum()
+        assert pareto > uniform
+
+    def test_bandwidth_totals_equal(self, results):
+        bw = results["bandwidth"]
+        totals = [series.y.sum() for series in bw.series]
+        assert totals[0] == pytest.approx(totals[1], rel=1e-6)
+
+    def test_size_aware_beats_blind_in_sized_world(self, results):
+        assert results["pf_size_aware"] >= \
+            results["pf_blind_in_sized_world"] - 1e-9
+
+    def test_sized_world_beats_uniform_world(self, results):
+        """The paper's 0.312 vs 0.586 direction."""
+        assert results["pf_size_aware"] > results["pf_uniform_world"]
+
+    def test_high_change_objects_unsynced(self, results):
+        """'All sync resources go to pages with the lowest change rates'."""
+        freq = results["frequency"].get("Uniform Size Distribution").y
+        # Objects are ordered by descending change rate: the head of
+        # the array (fastest changers) gets nothing.
+        assert freq[0] == 0.0
+        assert freq[-1] > 0.0
+
+
+class TestFigure11:
+    def test_fba_dominates_ffa(self):
+        sweep = experiments.figure11(
+            setup=TINY_SIZED, partition_counts=np.array([4, 10, 25]),
+            seed=0)
+        fba = sweep.get("FIXED BANDWIDTH (FBA)").y
+        ffa = sweep.get("FIXED FREQUENCY (FFA)").y
+        assert (fba >= ffa - 1e-6).all()
+
+
+class TestExtensions:
+    def test_imperfect_knowledge_degrades_gracefully(self):
+        sweep = experiments.imperfect_knowledge(
+            setup=TINY, noise_levels=np.array([0.0, 1.0]), n_seeds=2)
+        noisy = sweep.get("noisy rates").y
+        clean = sweep.get("perfect knowledge").y
+        assert noisy[0] == pytest.approx(clean[0], abs=1e-9)
+        assert (noisy <= clean + 1e-9).all()
+        # §6 claim: still well above zero under heavy noise.
+        assert noisy[-1] > 0.5 * clean[-1]
+
+    def test_mirror_selection_greedy_beats_random(self):
+        sweep = experiments.mirror_selection(
+            setup=TINY, capacities=np.array([15, 30, 60]), seed=0)
+        greedy = sweep.get("greedy by interest").y
+        random = sweep.get("random selection").y
+        assert (greedy >= random - 1e-9).all()
+
+    def test_mirror_selection_full_capacity_matches_optimal(self):
+        sweep = experiments.mirror_selection(
+            setup=TINY, capacities=np.array([60]), seed=0)
+        greedy = sweep.get("greedy by interest").y[0]
+        random = sweep.get("random selection").y[0]
+        assert greedy == pytest.approx(random, abs=1e-9)
+
+    def test_policy_ablation_fixed_order_wins(self):
+        sweep = experiments.policy_ablation(
+            setup=TINY, thetas=np.array([0.0, 1.0]), seed=0)
+        fixed = sweep.get("fixed-order").y
+        poisson = sweep.get("poisson-sync").y
+        assert (fixed >= poisson - 1e-9).all()

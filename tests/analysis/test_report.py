@@ -1,0 +1,48 @@
+"""Tests for the reproduction report generator."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.report import generate_report, write_report
+
+
+class TestGenerateReport:
+    def test_quick_report_all_sections_pass(self):
+        sections = generate_report(quick=True, seed=0)
+        assert len(sections) >= 8
+        for section in sections:
+            assert section.passed, f"{section.title} failed"
+            assert section.seconds >= 0.0
+            assert section.body
+
+    def test_sections_cover_core_experiments(self):
+        sections = generate_report(quick=True, seed=0)
+        titles = " | ".join(section.title for section in sections)
+        for token in ("Table 1", "Figure 3", "Figure 5", "Figure 7",
+                      "Figure 8", "Figure 10", "Figure 11"):
+            assert token in titles
+
+    def test_different_seed_still_passes(self):
+        """The shape claims must hold for any workload draw, not just
+        the default seed."""
+        sections = generate_report(quick=True, seed=42)
+        assert all(section.passed for section in sections)
+
+
+class TestWriteReport:
+    def test_writes_markdown(self, tmp_path):
+        path = tmp_path / "REPORT.md"
+        sections = write_report(path, quick=True, seed=0)
+        text = path.read_text()
+        assert text.startswith("# Reproduction report")
+        assert f"{len(sections)}/{len(sections)} sections PASS" in text
+        assert "PASS" in text
+        assert "```" in text
+
+    def test_contains_table1_numbers(self, tmp_path):
+        path = tmp_path / "REPORT.md"
+        write_report(path, quick=True, seed=0)
+        text = path.read_text()
+        assert "1.15" in text
+        assert "1.67" in text

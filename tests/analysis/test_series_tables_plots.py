@@ -1,0 +1,129 @@
+"""Tests for analysis result containers and rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.plots import ascii_plot
+from repro.analysis.series import Series, SweepResult
+from repro.analysis.tables import format_sweep, format_table
+from repro.errors import ValidationError
+
+
+def make_sweep():
+    x = np.array([1.0, 2.0, 3.0])
+    return SweepResult(name="demo", x_label="k", y_label="pf",
+                       series=(Series(label="a", x=x,
+                                      y=np.array([0.1, 0.2, 0.3])),
+                               Series(label="b", x=x,
+                                      y=np.array([0.3, 0.2, 0.1]))))
+
+
+class TestSeries:
+    def test_validates_shapes(self):
+        with pytest.raises(ValidationError):
+            Series(label="bad", x=np.array([1.0]),
+                   y=np.array([1.0, 2.0]))
+        with pytest.raises(ValidationError):
+            Series(label="bad", x=np.ones((2, 2)), y=np.ones((2, 2)))
+
+    def test_len(self):
+        series = Series(label="s", x=np.arange(4.0), y=np.arange(4.0))
+        assert len(series) == 4
+
+
+class TestSweepResult:
+    def test_get_by_label(self):
+        sweep = make_sweep()
+        assert sweep.get("a").y[0] == pytest.approx(0.1)
+
+    def test_get_unknown_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            make_sweep().get("zzz")
+
+    def test_labels(self):
+        assert make_sweep().labels == ["a", "b"]
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        table = format_table(["name", "value"],
+                             [["x", 0.5], ["longer", 1.25]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "0.5000" in table
+        assert "1.2500" in table
+        # All lines equal width.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_custom_float_format(self):
+        table = format_table(["v"], [[0.123456]],
+                             float_format="{:.2f}")
+        assert "0.12" in table
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValidationError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_non_float_cells_stringified(self):
+        table = format_table(["n"], [[42], ["text"]])
+        assert "42" in table
+        assert "text" in table
+
+
+class TestFormatSweep:
+    def test_contains_all_series(self):
+        output = format_sweep(make_sweep())
+        assert "demo" in output
+        assert "a" in output and "b" in output
+        assert "0.3000" in output
+
+    def test_rejects_mismatched_grids(self):
+        sweep = SweepResult(
+            name="bad", x_label="x", y_label="y",
+            series=(Series(label="a", x=np.array([1.0]),
+                           y=np.array([1.0])),
+                    Series(label="b", x=np.array([2.0]),
+                           y=np.array([2.0]))))
+        with pytest.raises(ValidationError):
+            format_sweep(sweep)
+
+    def test_empty_sweep(self):
+        sweep = SweepResult(name="empty", x_label="x", y_label="y",
+                            series=())
+        assert "no series" in format_sweep(sweep)
+
+
+class TestAsciiPlot:
+    def test_renders_with_legend(self):
+        output = ascii_plot(make_sweep())
+        assert "legend:" in output
+        assert "* a" in output
+        assert "o b" in output
+
+    def test_plot_area_contains_markers(self):
+        output = ascii_plot(make_sweep())
+        assert "*" in output
+        assert "o" in output
+
+    def test_rejects_tiny_area(self):
+        with pytest.raises(ValidationError):
+            ascii_plot(make_sweep(), width=2, height=2)
+
+    def test_handles_constant_series(self):
+        x = np.array([1.0, 2.0])
+        sweep = SweepResult(name="flat", x_label="x", y_label="y",
+                            series=(Series(label="c", x=x,
+                                           y=np.array([1.0, 1.0])),))
+        output = ascii_plot(sweep)
+        assert "flat" in output
+
+    def test_skips_non_finite_points(self):
+        x = np.array([1.0, 2.0, 3.0])
+        sweep = SweepResult(
+            name="gaps", x_label="x", y_label="y",
+            series=(Series(label="g", x=x,
+                           y=np.array([1.0, np.inf, 2.0])),))
+        output = ascii_plot(sweep)
+        assert "gaps" in output

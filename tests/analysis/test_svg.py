@@ -1,0 +1,97 @@
+"""Tests for the SVG chart writer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.series import Series, SweepResult
+from repro.analysis.svg import sweep_to_svg, write_svg
+from repro.errors import ValidationError
+
+
+def make_sweep():
+    x = np.array([1.0, 2.0, 3.0, 4.0])
+    return SweepResult(
+        name="demo", x_label="k", y_label="pf",
+        series=(Series(label="alpha", x=x,
+                       y=np.array([0.1, 0.3, 0.35, 0.4])),
+                Series(label="beta", x=x,
+                       y=np.array([0.4, 0.3, 0.2, 0.15]))))
+
+
+class TestSweepToSvg:
+    def test_well_formed_document(self):
+        svg = sweep_to_svg(make_sweep())
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert 'xmlns="http://www.w3.org/2000/svg"' in svg
+
+    def test_contains_labels_and_legend(self):
+        svg = sweep_to_svg(make_sweep())
+        assert "demo" in svg
+        assert "alpha" in svg and "beta" in svg
+        assert ">k</text>" in svg
+        assert "pf" in svg
+
+    def test_one_polyline_per_series(self):
+        svg = sweep_to_svg(make_sweep())
+        assert svg.count("<polyline") == 2
+
+    def test_markers_per_point(self):
+        svg = sweep_to_svg(make_sweep())
+        assert svg.count("<circle") == 8
+
+    def test_infinite_points_split_segments(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        sweep = SweepResult(
+            name="gap", x_label="x", y_label="y",
+            series=(Series(label="s", x=x,
+                           y=np.array([1.0, 2.0, np.inf, 3.0, 4.0])),))
+        svg = sweep_to_svg(sweep)
+        # The infinity splits the curve into two polylines.
+        assert svg.count("<polyline") == 2
+        assert svg.count("<circle") == 4
+
+    def test_constant_series_renders(self):
+        sweep = SweepResult(
+            name="flat", x_label="x", y_label="y",
+            series=(Series(label="c", x=np.array([1.0, 2.0]),
+                           y=np.array([5.0, 5.0])),))
+        svg = sweep_to_svg(sweep)
+        assert "<polyline" in svg
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            sweep_to_svg(make_sweep(), width=10, height=10)
+        empty = SweepResult(name="empty", x_label="x", y_label="y",
+                            series=())
+        with pytest.raises(ValidationError):
+            sweep_to_svg(empty)
+        all_inf = SweepResult(
+            name="inf", x_label="x", y_label="y",
+            series=(Series(label="s", x=np.array([1.0]),
+                           y=np.array([np.inf])),))
+        with pytest.raises(ValidationError):
+            sweep_to_svg(all_inf)
+
+    def test_coordinates_inside_canvas(self):
+        import re
+        svg = sweep_to_svg(make_sweep(), width=400, height=300)
+        for match in re.finditer(r'cx="([\d.]+)" cy="([\d.]+)"', svg):
+            cx, cy = float(match.group(1)), float(match.group(2))
+            assert 0.0 <= cx <= 400.0
+            assert 0.0 <= cy <= 300.0
+
+
+class TestWriteSvg:
+    def test_writes_file(self, tmp_path):
+        path = tmp_path / "chart.svg"
+        write_svg(make_sweep(), path)
+        text = path.read_text()
+        assert text.startswith("<svg")
+
+    def test_real_experiment_renders(self, tmp_path):
+        from repro.analysis.experiments import figure1
+        write_svg(figure1(), tmp_path / "fig1.svg")
+        assert (tmp_path / "fig1.svg").stat().st_size > 1000

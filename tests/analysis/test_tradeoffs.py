@@ -1,0 +1,79 @@
+"""Tests for the baseline-comparison and freshness/age trade-off runs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.sensitivity import (
+    baseline_comparison,
+    freshness_age_tradeoff,
+)
+from repro.workloads.presets import ExperimentSetup
+
+TINY = ExperimentSetup(n_objects=80, updates_per_period=160.0,
+                       syncs_per_period=40.0, theta=1.0,
+                       update_std_dev=1.0)
+
+
+class TestBaselineComparison:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return baseline_comparison(setup=TINY,
+                                   thetas=np.array([0.0, 0.8, 1.6]))
+
+    def test_pf_tops_every_policy(self, sweep):
+        """Only PF-optimal is guaranteed best on perceived freshness."""
+        pf = sweep.get("PF_OPTIMAL").y
+        for label in ("GF_OPTIMAL", "UNIFORM", "PROPORTIONAL"):
+            assert (pf >= sweep.get(label).y - 1e-9).all()
+
+    def test_gf_can_lose_to_uniform_under_skew(self, sweep):
+        """Optimizing the wrong objective is worse than not
+        optimizing: at high skew GF's perceived freshness drops below
+        naive uniform polling."""
+        gf = sweep.get("GF_OPTIMAL").y
+        uniform = sweep.get("UNIFORM").y
+        assert gf[-1] < uniform[-1]
+
+    def test_proportional_exactly_theta_invariant(self, sweep):
+        """fᵢ ∝ λᵢ gives every element the same staleness ratio, so
+        perceived freshness is the same constant at every skew."""
+        proportional = sweep.get("PROPORTIONAL").y
+        assert np.allclose(proportional, proportional[0], atol=1e-9)
+
+    def test_pf_margin_grows_with_skew(self, sweep):
+        gap = sweep.get("PF_OPTIMAL").y - sweep.get("GF_OPTIMAL").y
+        assert gap[-1] > gap[0]
+
+
+class TestFreshnessAgeTradeoff:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return freshness_age_tradeoff(
+            setup=TINY, blend_weights=np.linspace(0.0, 1.0, 6))
+
+    def test_freshness_monotone_in_blend(self, sweep):
+        pf = sweep.get("perceived freshness").y
+        assert (np.diff(pf) >= -1e-9).all()
+
+    def test_age_monotone_in_blend(self, sweep):
+        age = sweep.get("perceived age").y
+        finite = np.isfinite(age)
+        assert (np.diff(age[finite]) >= -1e-9).all()
+
+    def test_endpoints(self, sweep):
+        """α = 0 is the age optimum; α = 1 the freshness optimum with
+        (typically) infinite age."""
+        age = sweep.get("perceived age").y
+        assert np.isfinite(age[0])
+        assert sweep.notes["freshness_optimal_age"] == age[-1]
+
+    def test_interior_blends_feasible_compromises(self, sweep):
+        pf = sweep.get("perceived freshness").y
+        age = sweep.get("perceived age").y
+        # A mid blend keeps age finite while recovering most of the
+        # freshness gap.
+        middle = len(pf) // 2
+        assert np.isfinite(age[middle])
+        assert pf[middle] > pf[0]

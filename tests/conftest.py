@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads import Catalog, ExperimentSetup
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh seeded generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_catalog() -> Catalog:
+    """A hand-built five-element catalog with skewed interest."""
+    return Catalog(
+        access_probabilities=np.array([0.4, 0.25, 0.2, 0.1, 0.05]),
+        change_rates=np.array([3.0, 0.5, 2.0, 1.0, 4.0]),
+    )
+
+
+@pytest.fixture
+def sized_catalog() -> Catalog:
+    """A five-element catalog with non-uniform object sizes."""
+    return Catalog(
+        access_probabilities=np.array([0.4, 0.25, 0.2, 0.1, 0.05]),
+        change_rates=np.array([3.0, 0.5, 2.0, 1.0, 4.0]),
+        sizes=np.array([0.5, 2.0, 1.0, 4.0, 0.25]),
+    )
+
+
+@pytest.fixture
+def tiny_setup() -> ExperimentSetup:
+    """A shrunken Table-2 setup for fast experiment tests."""
+    return ExperimentSetup(n_objects=60, updates_per_period=120.0,
+                           syncs_per_period=30.0, theta=1.0,
+                           update_std_dev=1.0)
+
+
+def random_catalog(rng: np.random.Generator, n: int, *,
+                   sized: bool = False) -> Catalog:
+    """A random valid catalog for property-based tests."""
+    weights = rng.uniform(0.01, 1.0, size=n)
+    rates = rng.uniform(0.05, 8.0, size=n)
+    sizes = rng.uniform(0.2, 5.0, size=n) if sized else None
+    return Catalog(access_probabilities=weights / weights.sum(),
+                   change_rates=rates, sizes=sizes)

@@ -1,0 +1,250 @@
+"""Tests for repro.core.age — the age metric and age-optimal solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.age import (
+    age_marginal_reduction,
+    fixed_order_age,
+    invert_age_marginal,
+    perceived_age,
+    solve_min_age_problem,
+)
+from repro.core.solver import solve_core_problem
+from repro.errors import InfeasibleProblemError, ValidationError
+from repro.workloads.catalog import Catalog
+from repro.workloads.presets import TOY_BANDWIDTH, toy_example_catalog
+
+from tests.conftest import random_catalog
+
+positive = st.floats(min_value=1e-2, max_value=30.0)
+
+
+class TestFixedOrderAge:
+    def test_static_element_has_zero_age(self):
+        assert fixed_order_age(np.array([0.0]), np.array([0.0])) == 0.0
+
+    def test_starved_element_has_infinite_age(self):
+        assert np.isinf(fixed_order_age(np.array([2.0]),
+                                        np.array([0.0])))
+
+    def test_fast_sync_drives_age_to_zero(self):
+        age = fixed_order_age(np.array([1.0]), np.array([1e6]))
+        assert age == pytest.approx(0.0, abs=1e-5)
+
+    def test_very_volatile_element_ages_at_half_interval(self):
+        age = fixed_order_age(np.array([1e9]), np.array([4.0]))
+        assert age == pytest.approx(1.0 / 8.0, rel=1e-3)
+
+    def test_known_value(self):
+        # λ = f = 1, r = 1: Ā = 1/2 − 1 + (1 − e^{-1}) = 1/2 − e^{-1}.
+        age = fixed_order_age(np.array([1.0]), np.array([1.0]))
+        assert age == pytest.approx(0.5 - np.exp(-1.0))
+
+    @given(positive, positive)
+    @settings(max_examples=100)
+    def test_nonnegative_and_finite(self, lam, f):
+        age = fixed_order_age(np.array([lam]), np.array([f]))
+        assert 0.0 <= age < np.inf
+
+    @given(positive, positive, st.floats(min_value=1.1, max_value=5.0))
+    @settings(max_examples=100)
+    def test_monotone_decreasing_in_frequency(self, lam, f, factor):
+        slower = fixed_order_age(np.array([lam]), np.array([f]))
+        faster = fixed_order_age(np.array([lam]),
+                                 np.array([f * factor]))
+        assert faster < slower + 1e-15
+
+    @given(positive, positive, st.floats(min_value=1.1, max_value=5.0))
+    @settings(max_examples=100)
+    def test_monotone_increasing_in_rate(self, lam, f, factor):
+        calm = fixed_order_age(np.array([lam]), np.array([f]))
+        volatile = fixed_order_age(np.array([lam * factor]),
+                                   np.array([f]))
+        assert volatile >= calm - 1e-12
+
+
+class TestAgeMarginal:
+    def test_matches_finite_difference(self):
+        lam, f, h = 3.0, 0.7, 1e-6
+        numeric = -(fixed_order_age(np.array([lam]),
+                                    np.array([f + h]))
+                    - fixed_order_age(np.array([lam]),
+                                      np.array([f - h]))) / (2 * h)
+        analytic = age_marginal_reduction(np.array([lam]),
+                                          np.array([f]))
+        assert numeric[0] == pytest.approx(analytic[0], rel=1e-5)
+
+    def test_infinite_at_zero_frequency(self):
+        assert np.isinf(age_marginal_reduction(np.array([1.0]),
+                                               np.array([0.0])))
+
+    def test_decreasing_in_frequency(self):
+        freqs = np.array([0.2, 0.5, 1.0, 3.0, 10.0])
+        marginals = age_marginal_reduction(np.full(5, 2.0), freqs)
+        assert (np.diff(marginals) < 0.0).all()
+
+    @given(positive, st.floats(min_value=1e-4, max_value=100.0))
+    @settings(max_examples=100)
+    def test_inversion_roundtrip(self, lam, target):
+        f = invert_age_marginal(np.array([lam]), np.array([target]))
+        recovered = age_marginal_reduction(np.array([lam]), f)
+        assert recovered[0] == pytest.approx(target, rel=1e-6)
+
+    def test_inversion_validates(self):
+        with pytest.raises(ValidationError):
+            invert_age_marginal(np.array([0.0]), np.array([1.0]))
+        with pytest.raises(ValidationError):
+            invert_age_marginal(np.array([1.0]), np.array([0.0]))
+
+
+class TestPerceivedAge:
+    def test_weights_by_profile(self):
+        catalog = Catalog(access_probabilities=np.array([1.0, 0.0]),
+                          change_rates=np.array([1.0, 1.0]))
+        freqs = np.array([1.0, 0.0])
+        # Element 1 is never synced but never accessed: finite.
+        expected = fixed_order_age(np.array([1.0]),
+                                   np.array([1.0]))[0]
+        assert perceived_age(catalog, freqs) == pytest.approx(expected)
+
+    def test_infinite_when_accessed_element_starved(self, small_catalog):
+        freqs = np.array([1.0, 1.0, 1.0, 1.0, 0.0])
+        assert perceived_age(small_catalog, freqs) == np.inf
+
+    def test_validates_shape(self, small_catalog):
+        with pytest.raises(ValidationError):
+            perceived_age(small_catalog, np.ones(3))
+
+
+class TestSolveMinAge:
+    def test_no_element_starved(self):
+        catalog = toy_example_catalog("P1")
+        solution = solve_min_age_problem(catalog, TOY_BANDWIDTH)
+        assert (solution.frequencies > 0.0).all()
+        assert solution.bandwidth == pytest.approx(TOY_BANDWIDTH,
+                                                   rel=1e-8)
+
+    def test_freshness_optimum_can_have_infinite_age(self):
+        """The freshness/age tension, concretely."""
+        catalog = toy_example_catalog("P1")
+        freshness_solution = solve_core_problem(catalog, TOY_BANDWIDTH)
+        assert perceived_age(catalog,
+                             freshness_solution.frequencies) == np.inf
+        age_solution = solve_min_age_problem(catalog, TOY_BANDWIDTH)
+        assert np.isfinite(age_solution.objective)
+
+    def test_age_optimum_beats_alternatives(self, small_catalog):
+        solution = solve_min_age_problem(small_catalog, 4.0)
+        uniform = np.full(5, 4.0 / 5.0)
+        assert solution.objective <= perceived_age(small_catalog,
+                                                   uniform) + 1e-9
+
+    def test_kkt_equalized_marginals(self, small_catalog):
+        solution = solve_min_age_problem(small_catalog, 4.0)
+        marginals = (small_catalog.access_probabilities
+                     * age_marginal_reduction(small_catalog.change_rates,
+                                              solution.frequencies))
+        positive_p = small_catalog.access_probabilities > 0.0
+        active = marginals[positive_p]
+        assert np.allclose(active, active.mean(), rtol=1e-4)
+
+    def test_rejects_bad_bandwidth(self, small_catalog):
+        with pytest.raises(InfeasibleProblemError):
+            solve_min_age_problem(small_catalog, 0.0)
+
+    def test_all_static_catalog(self):
+        catalog = Catalog(access_probabilities=np.array([0.5, 0.5]),
+                          change_rates=np.zeros(2))
+        solution = solve_min_age_problem(catalog, 2.0)
+        assert (solution.frequencies == 0.0).all()
+        assert solution.objective == 0.0
+
+    @given(st.integers(min_value=1, max_value=25),
+           st.floats(min_value=0.5, max_value=50.0),
+           st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_feasible_and_all_positive(self, n, bandwidth, seed):
+        rng = np.random.default_rng(seed)
+        catalog = random_catalog(rng, n, sized=True)
+        solution = solve_min_age_problem(catalog, bandwidth)
+        assert solution.bandwidth == pytest.approx(bandwidth, rel=1e-6)
+        assert (solution.frequencies > 0.0).all()
+        assert np.isfinite(solution.objective)
+
+    @given(st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_more_bandwidth_lowers_age(self, seed):
+        rng = np.random.default_rng(seed)
+        catalog = random_catalog(rng, 12)
+        scarce = solve_min_age_problem(catalog, 2.0)
+        plenty = solve_min_age_problem(catalog, 8.0)
+        assert plenty.objective < scarce.objective
+
+
+class TestWeightedAgeProblem:
+    def test_partitioned_age_approaches_exact(self):
+        """The transformed (partitioned) age problem converges to the
+        exact age optimum as partitions shrink to singletons."""
+        from repro.core.age import solve_weighted_age_problem
+        from repro.core.allocation import (
+            AllocationPolicy,
+            expand_partition_frequencies,
+        )
+        from repro.core.partitioning import (
+            PartitioningStrategy,
+            partition_catalog,
+        )
+        from repro.core.representatives import build_representatives
+        from repro.workloads.presets import ExperimentSetup, build_catalog
+
+        setup = ExperimentSetup(n_objects=60,
+                                updates_per_period=120.0,
+                                syncs_per_period=30.0, theta=1.0,
+                                update_std_dev=1.0)
+        catalog = build_catalog(setup, seed=1)
+        exact = solve_min_age_problem(catalog, 30.0)
+
+        scores = []
+        for k in (5, 20, 60):
+            assignment = partition_catalog(catalog, k,
+                                           PartitioningStrategy.PF)
+            problem = build_representatives(catalog, assignment)
+            solution = solve_weighted_age_problem(
+                problem.weights, problem.mean_change_rates,
+                np.maximum(problem.costs, 1e-300), 30.0)
+            freqs = expand_partition_frequencies(
+                catalog, problem, solution.frequencies,
+                AllocationPolicy.FIXED_BANDWIDTH)
+            scores.append(perceived_age(catalog, freqs))
+        # Heuristic age never beats the optimum and improves with k.
+        assert all(score >= exact.objective - 1e-9 for score in scores)
+        assert scores[-1] == pytest.approx(exact.objective, rel=1e-4)
+        assert scores[-1] <= scores[0] + 1e-9
+
+    def test_validation(self):
+        from repro.core.age import solve_weighted_age_problem
+        with pytest.raises(ValidationError):
+            solve_weighted_age_problem(np.array([1.0]),
+                                       np.array([1.0, 2.0]),
+                                       np.ones(2), 1.0)
+        with pytest.raises(ValidationError):
+            solve_weighted_age_problem(np.array([-1.0]),
+                                       np.array([1.0]), np.ones(1),
+                                       1.0)
+        with pytest.raises(InfeasibleProblemError):
+            solve_weighted_age_problem(np.array([1.0]),
+                                       np.array([1.0]), np.ones(1),
+                                       0.0)
+
+    def test_zero_weight_element_starved_but_objective_finite(self):
+        from repro.core.age import solve_weighted_age_problem
+        solution = solve_weighted_age_problem(
+            np.array([0.0, 1.0]), np.array([2.0, 2.0]), np.ones(2),
+            2.0)
+        assert solution.frequencies[0] == 0.0
+        assert np.isfinite(solution.objective)

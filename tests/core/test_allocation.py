@@ -1,0 +1,121 @@
+"""Tests for repro.core.allocation — FFA vs FBA expansion."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocation import (
+    AllocationPolicy,
+    expand_partition_frequencies,
+)
+from repro.core.partitioning import PartitionAssignment, partition_catalog
+from repro.core.representatives import build_representatives
+from repro.errors import ValidationError
+
+from tests.conftest import random_catalog
+
+
+def build_problem(catalog, k):
+    assignment = partition_catalog(catalog, k, "pf")
+    return build_representatives(catalog, assignment)
+
+
+class TestAllocationPolicyCoerce:
+    def test_accepts_strings(self):
+        assert AllocationPolicy.coerce("ffa") is \
+            AllocationPolicy.FIXED_FREQUENCY
+        assert AllocationPolicy.coerce("FBA") is \
+            AllocationPolicy.FIXED_BANDWIDTH
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValidationError):
+            AllocationPolicy.coerce("proportional")
+
+
+class TestFfa:
+    def test_every_member_gets_partition_frequency(self, sized_catalog):
+        problem = build_problem(sized_catalog, 2)
+        partition_freqs = np.array([2.0, 0.5])
+        freqs = expand_partition_frequencies(
+            sized_catalog, problem, partition_freqs,
+            AllocationPolicy.FIXED_FREQUENCY)
+        for element, label in enumerate(problem.assignment.labels):
+            assert freqs[element] == partition_freqs[label]
+
+    def test_bandwidth_conserved(self, sized_catalog):
+        problem = build_problem(sized_catalog, 2)
+        partition_freqs = np.array([2.0, 0.5])
+        freqs = expand_partition_frequencies(
+            sized_catalog, problem, partition_freqs, "ffa")
+        spent = float(sized_catalog.sizes @ freqs)
+        planned = float(problem.costs @ partition_freqs)
+        assert spent == pytest.approx(planned, rel=1e-12)
+
+
+class TestFba:
+    def test_frequency_inverse_to_size(self, sized_catalog):
+        problem = build_problem(sized_catalog, 1)
+        freqs = expand_partition_frequencies(
+            sized_catalog, problem, np.array([1.0]), "fba")
+        # Same bandwidth per element: f_j * s_j constant.
+        bandwidths = freqs * sized_catalog.sizes
+        assert np.allclose(bandwidths, bandwidths[0])
+
+    def test_smaller_objects_synced_more(self, sized_catalog):
+        problem = build_problem(sized_catalog, 1)
+        freqs = expand_partition_frequencies(
+            sized_catalog, problem, np.array([1.0]), "fba")
+        order = np.argsort(sized_catalog.sizes)
+        assert (np.diff(freqs[order]) <= 1e-12).all()
+
+    def test_bandwidth_conserved(self, sized_catalog):
+        problem = build_problem(sized_catalog, 2)
+        partition_freqs = np.array([1.5, 0.25])
+        freqs = expand_partition_frequencies(
+            sized_catalog, problem, partition_freqs, "fba")
+        spent = float(sized_catalog.sizes @ freqs)
+        planned = float(problem.costs @ partition_freqs)
+        assert spent == pytest.approx(planned, rel=1e-12)
+
+    def test_equals_ffa_for_uniform_sizes(self, rng):
+        catalog = random_catalog(rng, 20)  # sizes all 1
+        problem = build_problem(catalog, 4)
+        partition_freqs = rng.uniform(0.1, 2.0, size=4)
+        ffa = expand_partition_frequencies(catalog, problem,
+                                           partition_freqs, "ffa")
+        fba = expand_partition_frequencies(catalog, problem,
+                                           partition_freqs, "fba")
+        assert np.allclose(ffa, fba)
+
+
+class TestValidation:
+    def test_rejects_wrong_frequency_count(self, sized_catalog):
+        problem = build_problem(sized_catalog, 2)
+        with pytest.raises(ValidationError):
+            expand_partition_frequencies(sized_catalog, problem,
+                                         np.ones(3), "ffa")
+
+    def test_rejects_negative_frequencies(self, sized_catalog):
+        problem = build_problem(sized_catalog, 2)
+        with pytest.raises(ValidationError):
+            expand_partition_frequencies(sized_catalog, problem,
+                                         np.array([1.0, -0.5]), "fba")
+
+    @given(st.integers(min_value=1, max_value=8),
+           st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_both_policies_conserve_bandwidth(self, k, seed):
+        rng = np.random.default_rng(seed)
+        catalog = random_catalog(rng, 24, sized=True)
+        problem = build_problem(catalog, k)
+        partition_freqs = rng.uniform(0.0, 2.0, size=problem.n_partitions)
+        planned = float(problem.costs @ partition_freqs)
+        for policy in AllocationPolicy:
+            freqs = expand_partition_frequencies(catalog, problem,
+                                                 partition_freqs, policy)
+            assert (freqs >= 0.0).all()
+            spent = float(catalog.sizes @ freqs)
+            assert spent == pytest.approx(planned, rel=1e-9)

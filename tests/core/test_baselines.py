@@ -1,0 +1,101 @@
+"""Tests for repro.core.baselines — uniform and proportional policies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.baselines import ProportionalFreshener, UniformFreshener
+from repro.core.freshener import GeneralFreshener, PerceivedFreshener
+from repro.errors import InfeasibleProblemError
+from repro.workloads.catalog import Catalog
+
+from tests.conftest import random_catalog
+
+
+class TestUniformFreshener:
+    def test_equal_frequencies(self, small_catalog):
+        plan = UniformFreshener().plan(small_catalog, 5.0)
+        assert np.allclose(plan.frequencies, 1.0)
+
+    def test_budget_respected_with_sizes(self, sized_catalog):
+        plan = UniformFreshener().plan(sized_catalog, 3.0)
+        assert plan.bandwidth == pytest.approx(3.0, rel=1e-12)
+        assert np.allclose(plan.frequencies, plan.frequencies[0])
+
+    def test_rejects_bad_bandwidth(self, small_catalog):
+        with pytest.raises(InfeasibleProblemError):
+            UniformFreshener().plan(small_catalog, 0.0)
+
+    def test_metadata(self, small_catalog):
+        plan = UniformFreshener().plan(small_catalog, 5.0)
+        assert plan.metadata["technique"] == "uniform-baseline"
+
+
+class TestProportionalFreshener:
+    def test_frequencies_track_rates(self, small_catalog):
+        plan = ProportionalFreshener().plan(small_catalog, 5.0)
+        ratio = plan.frequencies / small_catalog.change_rates
+        assert np.allclose(ratio, ratio[0])
+
+    def test_budget_respected(self, sized_catalog):
+        plan = ProportionalFreshener().plan(sized_catalog, 3.0)
+        assert plan.bandwidth == pytest.approx(3.0, rel=1e-12)
+
+    def test_static_elements_unsynced(self):
+        catalog = Catalog(access_probabilities=np.array([0.5, 0.5]),
+                          change_rates=np.array([0.0, 2.0]))
+        plan = ProportionalFreshener().plan(catalog, 2.0)
+        assert plan.frequencies[0] == 0.0
+        assert plan.frequencies[1] == pytest.approx(2.0)
+
+    def test_all_static_catalog(self):
+        catalog = Catalog(access_probabilities=np.array([0.5, 0.5]),
+                          change_rates=np.zeros(2))
+        plan = ProportionalFreshener().plan(catalog, 2.0)
+        assert (plan.frequencies == 0.0).all()
+        assert plan.general_freshness == pytest.approx(1.0)
+
+
+class TestChoGarciaMolinaOrdering:
+    """Ref [5]'s counterintuitive result: uniform ≥ proportional, and
+    the optimal GF schedule ≥ uniform — on *average* freshness."""
+
+    @given(st.integers(min_value=2, max_value=40),
+           st.floats(min_value=1.0, max_value=40.0),
+           st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_uniform_beats_proportional_on_general_freshness(
+            self, n, bandwidth, seed):
+        rng = np.random.default_rng(seed)
+        catalog = random_catalog(rng, n)
+        uniform = UniformFreshener().plan(catalog, bandwidth)
+        proportional = ProportionalFreshener().plan(catalog, bandwidth)
+        assert uniform.general_freshness >= \
+            proportional.general_freshness - 1e-9
+
+    @given(st.integers(min_value=2, max_value=40),
+           st.floats(min_value=1.0, max_value=40.0),
+           st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_optimal_beats_uniform(self, n, bandwidth, seed):
+        rng = np.random.default_rng(seed)
+        catalog = random_catalog(rng, n)
+        optimal = GeneralFreshener().plan(catalog, bandwidth)
+        uniform = UniformFreshener().plan(catalog, bandwidth)
+        assert optimal.general_freshness >= \
+            uniform.general_freshness - 1e-9
+
+    @given(st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_pf_beats_all_baselines_on_perceived_freshness(self, seed):
+        rng = np.random.default_rng(seed)
+        catalog = random_catalog(rng, 30)
+        bandwidth = 15.0
+        pf = PerceivedFreshener().plan(catalog, bandwidth)
+        for baseline in (UniformFreshener(), ProportionalFreshener()):
+            plan = baseline.plan(catalog, bandwidth)
+            assert pf.perceived_freshness >= \
+                plan.perceived_freshness - 1e-9

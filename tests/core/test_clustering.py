@@ -1,0 +1,121 @@
+"""Tests for repro.core.clustering — k-means partition refinement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.clustering import clustering_features, refine_partitions
+from repro.core.metrics import perceived_freshness
+from repro.core.partitioning import PartitioningStrategy, partition_catalog
+from repro.core.solver import solve_core_problem
+from repro.errors import ValidationError
+from repro.workloads.presets import ExperimentSetup, build_catalog
+
+from tests.conftest import random_catalog
+
+
+@pytest.fixture
+def medium_catalog():
+    setup = ExperimentSetup(n_objects=120, updates_per_period=240.0,
+                            syncs_per_period=60.0, theta=1.0,
+                            update_std_dev=1.5)
+    return build_catalog(setup, alignment="shuffled", seed=3)
+
+
+class TestClusteringFeatures:
+    def test_two_columns_by_default(self, small_catalog):
+        features = clustering_features(small_catalog)
+        assert features.shape == (5, 2)
+
+    def test_rates_normalized_to_unit_sum(self, small_catalog):
+        features = clustering_features(small_catalog)
+        assert features[:, 1].sum() == pytest.approx(1.0)
+
+    def test_first_column_is_profile(self, small_catalog):
+        features = clustering_features(small_catalog)
+        assert np.array_equal(features[:, 0],
+                              small_catalog.access_probabilities)
+
+    def test_sizes_column_when_requested(self, sized_catalog):
+        features = clustering_features(sized_catalog, include_sizes=True)
+        assert features.shape == (5, 3)
+        assert features[:, 2].sum() == pytest.approx(1.0)
+
+    def test_all_static_catalog_rates_column_zero(self):
+        from repro.workloads.catalog import Catalog
+        catalog = Catalog(access_probabilities=np.array([0.5, 0.5]),
+                          change_rates=np.zeros(2))
+        features = clustering_features(catalog)
+        assert (features[:, 1] == 0.0).all()
+
+
+class TestRefinePartitions:
+    def test_step_zero_matches_unrefined_heuristic(self, medium_catalog):
+        initial = partition_catalog(medium_catalog, 8,
+                                    PartitioningStrategy.PF)
+        steps = refine_partitions(medium_catalog, 60.0, initial,
+                                  iterations=0)
+        assert len(steps) == 1
+        assert steps[0].iterations == 0
+        assert np.array_equal(steps[0].assignment.labels, initial.labels)
+        recomputed = perceived_freshness(medium_catalog,
+                                         steps[0].frequencies)
+        assert steps[0].perceived_freshness == pytest.approx(recomputed)
+
+    def test_refinement_improves_coarse_partitions(self, medium_catalog):
+        initial = partition_catalog(medium_catalog, 6,
+                                    PartitioningStrategy.PF)
+        steps = refine_partitions(medium_catalog, 60.0, initial,
+                                  iterations=10)
+        assert steps[-1].perceived_freshness >= \
+            steps[0].perceived_freshness - 1e-6
+
+    def test_never_beats_exact_optimum(self, medium_catalog):
+        exact = solve_core_problem(medium_catalog, 60.0)
+        initial = partition_catalog(medium_catalog, 10,
+                                    PartitioningStrategy.PF)
+        steps = refine_partitions(medium_catalog, 60.0, initial,
+                                  iterations=8)
+        for step in steps:
+            assert step.perceived_freshness <= exact.objective + 1e-8
+
+    def test_stops_on_convergence(self, rng):
+        catalog = random_catalog(rng, 20)
+        initial = partition_catalog(catalog, 4, PartitioningStrategy.PF)
+        steps = refine_partitions(catalog, 10.0, initial, iterations=100)
+        # Far fewer than 100 iterations are needed at this size.
+        assert steps[-1].iterations < 50
+        assert steps[-1].converged
+
+    def test_iteration_numbers_sequential(self, rng):
+        catalog = random_catalog(rng, 30)
+        initial = partition_catalog(catalog, 5, PartitioningStrategy.PF)
+        steps = refine_partitions(catalog, 12.0, initial, iterations=4)
+        assert [step.iterations for step in steps] == list(
+            range(len(steps)))
+
+    def test_rejects_negative_iterations(self, small_catalog):
+        initial = partition_catalog(small_catalog, 2,
+                                    PartitioningStrategy.PF)
+        with pytest.raises(ValidationError):
+            refine_partitions(small_catalog, 2.0, initial, iterations=-1)
+
+    def test_sized_catalog_defaults_to_size_features(self, rng):
+        catalog = random_catalog(rng, 25, sized=True)
+        initial = partition_catalog(catalog, 5,
+                                    PartitioningStrategy.PF_OVER_SIZE)
+        steps = refine_partitions(catalog, 12.0, initial, iterations=3)
+        assert steps  # runs without error and produces steps
+        for step in steps:
+            spent = float(catalog.sizes @ step.frequencies)
+            assert spent == pytest.approx(12.0, rel=1e-6)
+
+    def test_bandwidth_conserved_every_step(self, medium_catalog):
+        initial = partition_catalog(medium_catalog, 7,
+                                    PartitioningStrategy.PF)
+        steps = refine_partitions(medium_catalog, 60.0, initial,
+                                  iterations=5)
+        for step in steps:
+            spent = float(medium_catalog.sizes @ step.frequencies)
+            assert spent == pytest.approx(60.0, rel=1e-6)

@@ -1,0 +1,147 @@
+"""Tests for repro.core.freshener — the high-level facade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.freshener import (
+    GeneralFreshener,
+    PartitionedFreshener,
+    PerceivedFreshener,
+)
+from repro.core.partitioning import PartitioningStrategy
+from repro.core.solver import solve_core_problem
+from repro.errors import ValidationError
+from repro.workloads.presets import ExperimentSetup, build_catalog
+
+from tests.conftest import random_catalog
+
+
+@pytest.fixture
+def experiment_catalog():
+    setup = ExperimentSetup(n_objects=100, updates_per_period=200.0,
+                            syncs_per_period=50.0, theta=1.0,
+                            update_std_dev=1.0)
+    return build_catalog(setup, alignment="shuffled", seed=1)
+
+
+class TestPerceivedFreshener:
+    def test_plan_is_the_exact_optimum(self, experiment_catalog):
+        plan = PerceivedFreshener().plan(experiment_catalog, 50.0)
+        exact = solve_core_problem(experiment_catalog, 50.0)
+        assert np.allclose(plan.frequencies, exact.frequencies)
+        assert plan.perceived_freshness == pytest.approx(exact.objective)
+
+    def test_plan_consumes_budget(self, experiment_catalog):
+        plan = PerceivedFreshener().plan(experiment_catalog, 50.0)
+        assert plan.bandwidth == pytest.approx(50.0, rel=1e-8)
+
+    def test_metadata(self, experiment_catalog):
+        plan = PerceivedFreshener().plan(experiment_catalog, 50.0)
+        assert plan.metadata["technique"] == "PF"
+
+    def test_schedule_roundtrip(self, experiment_catalog):
+        plan = PerceivedFreshener().plan(experiment_catalog, 50.0)
+        schedule = plan.schedule(period_length=2.0)
+        assert schedule.syncs_per_period() == pytest.approx(
+            plan.frequencies.sum())
+        assert schedule.period_length == 2.0
+
+
+class TestGeneralFreshener:
+    def test_ignores_profile(self, experiment_catalog):
+        gf_plan = GeneralFreshener().plan(experiment_catalog, 50.0)
+        uniform = experiment_catalog.with_uniform_profile()
+        uniform_plan = PerceivedFreshener().plan(uniform, 50.0)
+        assert np.allclose(gf_plan.frequencies, uniform_plan.frequencies)
+
+    def test_gf_maximizes_general_freshness(self, experiment_catalog):
+        gf_plan = GeneralFreshener().plan(experiment_catalog, 50.0)
+        pf_plan = PerceivedFreshener().plan(experiment_catalog, 50.0)
+        assert gf_plan.general_freshness >= pf_plan.general_freshness - 1e-9
+
+    def test_pf_beats_gf_on_perceived_freshness(self, experiment_catalog):
+        """The paper's central claim, as an invariant."""
+        gf_plan = GeneralFreshener().plan(experiment_catalog, 50.0)
+        pf_plan = PerceivedFreshener().plan(experiment_catalog, 50.0)
+        assert pf_plan.perceived_freshness >= \
+            gf_plan.perceived_freshness - 1e-9
+
+    def test_equal_under_uniform_profile(self, rng):
+        catalog = random_catalog(rng, 40).with_uniform_profile()
+        gf_plan = GeneralFreshener().plan(catalog, 20.0)
+        pf_plan = PerceivedFreshener().plan(catalog, 20.0)
+        assert pf_plan.perceived_freshness == pytest.approx(
+            gf_plan.perceived_freshness, abs=1e-9)
+
+
+class TestPartitionedFreshener:
+    def test_validates_configuration(self):
+        with pytest.raises(ValidationError):
+            PartitionedFreshener(0)
+        with pytest.raises(ValidationError):
+            PartitionedFreshener(5, cluster_iterations=-1)
+        with pytest.raises(ValidationError):
+            PartitionedFreshener(5, solver="imsl")
+        with pytest.raises(ValidationError):
+            PartitionedFreshener(5, strategy="nope")
+
+    def test_never_beats_optimum(self, experiment_catalog):
+        exact = solve_core_problem(experiment_catalog, 50.0)
+        for k in (2, 5, 20, 50):
+            plan = PartitionedFreshener(k).plan(experiment_catalog, 50.0)
+            assert plan.perceived_freshness <= exact.objective + 1e-8
+
+    def test_quality_improves_with_partitions(self, experiment_catalog):
+        coarse = PartitionedFreshener(2).plan(experiment_catalog, 50.0)
+        fine = PartitionedFreshener(50).plan(experiment_catalog, 50.0)
+        assert fine.perceived_freshness >= coarse.perceived_freshness
+
+    def test_k_equals_n_matches_optimum(self, experiment_catalog):
+        plan = PartitionedFreshener(100).plan(experiment_catalog, 50.0)
+        exact = solve_core_problem(experiment_catalog, 50.0)
+        assert plan.perceived_freshness == pytest.approx(exact.objective,
+                                                         abs=1e-6)
+
+    def test_clustering_helps_coarse_partitions(self, experiment_catalog):
+        plain = PartitionedFreshener(5).plan(experiment_catalog, 50.0)
+        refined = PartitionedFreshener(
+            5, cluster_iterations=5).plan(experiment_catalog, 50.0)
+        assert refined.perceived_freshness >= \
+            plain.perceived_freshness - 1e-6
+
+    def test_nlp_solver_path_agrees(self, experiment_catalog):
+        exact_path = PartitionedFreshener(10).plan(experiment_catalog,
+                                                   50.0)
+        nlp_path = PartitionedFreshener(10, solver="nlp").plan(
+            experiment_catalog, 50.0)
+        assert nlp_path.perceived_freshness == pytest.approx(
+            exact_path.perceived_freshness, abs=1e-5)
+
+    def test_budget_respected(self, experiment_catalog):
+        plan = PartitionedFreshener(8).plan(experiment_catalog, 50.0)
+        assert plan.bandwidth == pytest.approx(50.0, rel=1e-6)
+
+    def test_metadata_records_configuration(self, experiment_catalog):
+        plan = PartitionedFreshener(
+            8, strategy="p", cluster_iterations=2,
+            allocation="ffa").plan(experiment_catalog, 50.0)
+        assert plan.metadata["strategy"] == "p"
+        assert plan.metadata["n_partitions"] == 8
+        assert plan.metadata["allocation"] == "ffa"
+
+    @given(st.sampled_from(list(PartitioningStrategy)),
+           st.integers(min_value=1, max_value=12),
+           st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_any_strategy_produces_feasible_plan(self, strategy, k, seed):
+        rng = np.random.default_rng(seed)
+        catalog = random_catalog(rng, 30, sized=True)
+        plan = PartitionedFreshener(k, strategy=strategy).plan(catalog,
+                                                               10.0)
+        assert (plan.frequencies >= 0.0).all()
+        assert plan.bandwidth == pytest.approx(10.0, rel=1e-6)
+        assert 0.0 <= plan.perceived_freshness <= 1.0

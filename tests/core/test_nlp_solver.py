@@ -1,0 +1,65 @@
+"""Tests for repro.core.nlp_solver — the generic-NLP (IMSL) path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.nlp_solver import (
+    solve_core_problem_nlp,
+    solve_weighted_problem_nlp,
+)
+from repro.core.solver import solve_core_problem
+from repro.errors import InfeasibleProblemError, ValidationError
+from repro.workloads.presets import TOY_BANDWIDTH, toy_example_catalog
+
+from tests.conftest import random_catalog
+
+
+class TestNlpAgreement:
+    """The NLP path must independently reproduce the exact solver."""
+
+    @pytest.mark.parametrize("profile", ["P1", "P2", "P3"])
+    def test_matches_exact_on_toy_example(self, profile):
+        catalog = toy_example_catalog(profile)
+        exact = solve_core_problem(catalog, TOY_BANDWIDTH)
+        nlp = solve_core_problem_nlp(catalog, TOY_BANDWIDTH)
+        assert nlp.objective == pytest.approx(exact.objective, abs=1e-6)
+        assert np.allclose(nlp.frequencies, exact.frequencies, atol=1e-3)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_exact_on_random_catalogs(self, seed):
+        rng = np.random.default_rng(seed)
+        catalog = random_catalog(rng, 25)
+        exact = solve_core_problem(catalog, 12.0)
+        nlp = solve_core_problem_nlp(catalog, 12.0)
+        assert nlp.objective == pytest.approx(exact.objective, abs=1e-6)
+
+    def test_matches_exact_with_sizes(self):
+        rng = np.random.default_rng(9)
+        catalog = random_catalog(rng, 15, sized=True)
+        exact = solve_core_problem(catalog, 8.0)
+        nlp = solve_core_problem_nlp(catalog, 8.0)
+        assert nlp.objective == pytest.approx(exact.objective, abs=1e-6)
+
+
+class TestNlpContract:
+    def test_solution_feasible(self, small_catalog):
+        solution = solve_core_problem_nlp(small_catalog, 3.0)
+        assert (solution.frequencies >= 0.0).all()
+        assert solution.bandwidth == pytest.approx(3.0, rel=1e-6)
+
+    def test_rejects_nonpositive_bandwidth(self, small_catalog):
+        with pytest.raises(InfeasibleProblemError):
+            solve_core_problem_nlp(small_catalog, 0.0)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            solve_weighted_problem_nlp(np.array([1.0]),
+                                       np.array([1.0, 2.0]),
+                                       np.ones(2), 1.0)
+
+    def test_iteration_budget_respected(self, small_catalog):
+        solution = solve_core_problem_nlp(small_catalog, 3.0,
+                                          max_iterations=3)
+        assert solution.iterations <= 3

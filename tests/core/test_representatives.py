@@ -1,0 +1,118 @@
+"""Tests for repro.core.representatives — the Transformed Problem."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partitioning import (
+    PartitionAssignment,
+    PartitioningStrategy,
+    partition_catalog,
+)
+from repro.core.representatives import (
+    build_representatives,
+    solve_transformed_problem,
+)
+from repro.core.solver import solve_core_problem
+from repro.errors import ValidationError
+from repro.workloads.catalog import Catalog
+
+from tests.conftest import random_catalog
+
+
+class TestBuildRepresentatives:
+    def test_means_are_partition_means(self, small_catalog):
+        labels = np.array([0, 0, 1, 1, 1])
+        assignment = PartitionAssignment(labels=labels, n_partitions=2)
+        problem = build_representatives(small_catalog, assignment)
+        p = small_catalog.access_probabilities
+        lam = small_catalog.change_rates
+        assert problem.counts.tolist() == [2.0, 3.0]
+        assert problem.mean_probabilities[0] == pytest.approx(
+            p[:2].mean())
+        assert problem.mean_change_rates[1] == pytest.approx(
+            lam[2:].mean())
+
+    def test_weights_and_costs(self, sized_catalog):
+        labels = np.array([0, 1, 0, 1, 0])
+        assignment = PartitionAssignment(labels=labels, n_partitions=2)
+        problem = build_representatives(sized_catalog, assignment)
+        # weights are n_k * mean p = sum of p in partition.
+        p = sized_catalog.access_probabilities
+        assert problem.weights[0] == pytest.approx(p[[0, 2, 4]].sum())
+        s = sized_catalog.sizes
+        assert problem.costs[1] == pytest.approx(s[[1, 3]].sum())
+
+    def test_empty_partition_harmless(self, small_catalog):
+        labels = np.zeros(5, dtype=int)
+        assignment = PartitionAssignment(labels=labels, n_partitions=3)
+        problem = build_representatives(small_catalog, assignment)
+        assert problem.counts.tolist() == [5.0, 0.0, 0.0]
+        assert problem.weights[1] == 0.0
+
+    def test_rejects_size_mismatch(self, small_catalog):
+        assignment = PartitionAssignment(labels=np.zeros(3, dtype=int),
+                                         n_partitions=1)
+        with pytest.raises(ValidationError):
+            build_representatives(small_catalog, assignment)
+
+
+class TestSolveTransformedProblem:
+    def test_n_partitions_equals_n_recovers_exact_solution(self,
+                                                           small_catalog):
+        """With one element per partition the heuristic IS the optimum."""
+        assignment = partition_catalog(small_catalog, 5,
+                                       PartitioningStrategy.PF)
+        problem = build_representatives(small_catalog, assignment)
+        transformed = solve_transformed_problem(problem, 3.0)
+        exact = solve_core_problem(small_catalog, 3.0)
+        expanded = transformed.frequencies[assignment.labels]
+        assert np.allclose(np.sort(expanded),
+                           np.sort(exact.frequencies), atol=1e-6)
+
+    def test_bandwidth_respected(self, small_catalog):
+        assignment = partition_catalog(small_catalog, 2,
+                                       PartitioningStrategy.PF)
+        problem = build_representatives(small_catalog, assignment)
+        solution = solve_transformed_problem(problem, 3.0)
+        consumed = float(problem.costs @ solution.frequencies)
+        assert consumed == pytest.approx(3.0, rel=1e-8)
+
+    def test_single_partition_spreads_uniformly(self, small_catalog):
+        assignment = partition_catalog(small_catalog, 1,
+                                       PartitioningStrategy.PF)
+        problem = build_representatives(small_catalog, assignment)
+        solution = solve_transformed_problem(problem, 5.0)
+        # One representative, budget 5 over 5 identical elements.
+        assert solution.frequencies[0] == pytest.approx(1.0)
+
+    def test_identical_elements_lossless_at_any_k(self):
+        catalog = Catalog(access_probabilities=np.full(6, 1.0 / 6.0),
+                          change_rates=np.full(6, 2.0))
+        exact = solve_core_problem(catalog, 6.0)
+        assignment = partition_catalog(catalog, 2,
+                                       PartitioningStrategy.PF)
+        problem = build_representatives(catalog, assignment)
+        solution = solve_transformed_problem(problem, 6.0)
+        expanded = solution.frequencies[assignment.labels]
+        assert np.allclose(expanded, exact.frequencies, atol=1e-8)
+
+    @given(st.integers(min_value=1, max_value=10),
+           st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_heuristic_never_beats_optimum(self, k, seed):
+        rng = np.random.default_rng(seed)
+        catalog = random_catalog(rng, 30)
+        bandwidth = 15.0
+        exact = solve_core_problem(catalog, bandwidth)
+        assignment = partition_catalog(catalog, k,
+                                       PartitioningStrategy.PF)
+        problem = build_representatives(catalog, assignment)
+        solution = solve_transformed_problem(problem, bandwidth)
+        from repro.core.metrics import perceived_freshness
+        heuristic = perceived_freshness(
+            catalog, solution.frequencies[assignment.labels])
+        assert heuristic <= exact.objective + 1e-8

@@ -1,0 +1,137 @@
+"""Tests for repro.core.scheduler — timed Fixed-Order schedules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scheduler import PhasePolicy, SyncSchedule
+from repro.errors import ScheduleError
+
+
+class TestFromFrequencies:
+    def test_zero_phase_policy(self):
+        schedule = SyncSchedule.from_frequencies(
+            np.array([2.0, 4.0]), phase_policy=PhasePolicy.ZERO)
+        assert (schedule.phases == 0.0).all()
+
+    def test_staggered_phases_within_interval(self):
+        schedule = SyncSchedule.from_frequencies(
+            np.array([1.0, 2.0, 5.0]),
+            phase_policy=PhasePolicy.STAGGERED)
+        intervals = schedule.intervals()
+        assert (schedule.phases < intervals).all()
+        assert (schedule.phases >= 0.0).all()
+
+    def test_random_phases_need_rng(self):
+        with pytest.raises(ScheduleError):
+            SyncSchedule.from_frequencies(np.ones(2),
+                                          phase_policy=PhasePolicy.RANDOM)
+
+    def test_random_phases_reproducible(self):
+        one = SyncSchedule.from_frequencies(
+            np.ones(5), phase_policy="random",
+            rng=np.random.default_rng(0))
+        two = SyncSchedule.from_frequencies(
+            np.ones(5), phase_policy="random",
+            rng=np.random.default_rng(0))
+        assert np.array_equal(one.phases, two.phases)
+
+    def test_rejects_negative_frequency(self):
+        with pytest.raises(ScheduleError):
+            SyncSchedule.from_frequencies(np.array([-1.0]))
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ScheduleError):
+            SyncSchedule.from_frequencies(np.ones(1), period_length=0.0)
+
+
+class TestSyncTimes:
+    def test_evenly_spaced(self):
+        schedule = SyncSchedule.from_frequencies(
+            np.array([4.0]), phase_policy=PhasePolicy.ZERO)
+        times = schedule.sync_times(0, 1.0)
+        assert np.allclose(times, [0.0, 0.25, 0.5, 0.75])
+
+    def test_phase_offsets_all_times(self):
+        schedule = SyncSchedule(frequencies=np.array([2.0]),
+                                period_length=1.0,
+                                phases=np.array([0.1]))
+        times = schedule.sync_times(0, 1.0)
+        assert np.allclose(times, [0.1, 0.6])
+
+    def test_zero_frequency_never_synced(self):
+        schedule = SyncSchedule.from_frequencies(
+            np.array([0.0, 1.0]), phase_policy=PhasePolicy.ZERO)
+        assert schedule.sync_times(0, 10.0).size == 0
+
+    def test_count_scales_with_horizon(self):
+        schedule = SyncSchedule.from_frequencies(
+            np.array([3.0]), phase_policy=PhasePolicy.ZERO)
+        assert schedule.sync_times(0, 10.0).size == 30
+
+    def test_period_length_scales_intervals(self):
+        schedule = SyncSchedule.from_frequencies(
+            np.array([2.0]), period_length=10.0,
+            phase_policy=PhasePolicy.ZERO)
+        times = schedule.sync_times(0, 10.0)
+        assert np.allclose(times, [0.0, 5.0])
+
+    def test_rejects_bad_horizon(self):
+        schedule = SyncSchedule.from_frequencies(np.ones(1))
+        with pytest.raises(ScheduleError):
+            schedule.sync_times(0, 0.0)
+
+
+class TestEventsUntil:
+    def test_sorted_and_complete(self):
+        schedule = SyncSchedule.from_frequencies(
+            np.array([2.0, 3.0, 0.0]),
+            phase_policy=PhasePolicy.STAGGERED)
+        times, elements = schedule.events_until(4.0)
+        assert (np.diff(times) >= 0.0).all()
+        # 2*4 + 3*4 events expected.
+        assert times.size == 20
+        assert set(elements.tolist()) == {0, 1}
+
+    def test_empty_schedule(self):
+        schedule = SyncSchedule.from_frequencies(
+            np.zeros(3), phase_policy=PhasePolicy.ZERO)
+        times, elements = schedule.events_until(5.0)
+        assert times.size == 0
+        assert elements.size == 0
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=8.0),
+                    min_size=1, max_size=10),
+           st.floats(min_value=0.5, max_value=20.0))
+    @settings(max_examples=40, deadline=None)
+    def test_event_count_matches_per_element_counts(self, freqs, horizon):
+        schedule = SyncSchedule.from_frequencies(
+            np.array(freqs), phase_policy=PhasePolicy.STAGGERED)
+        times, elements = schedule.events_until(horizon)
+        for element in range(len(freqs)):
+            expected = schedule.sync_times(element, horizon).size
+            assert int((elements == element).sum()) == expected
+
+
+class TestAccounting:
+    def test_syncs_per_period(self):
+        schedule = SyncSchedule.from_frequencies(np.array([1.0, 2.5]))
+        assert schedule.syncs_per_period() == pytest.approx(3.5)
+
+    def test_bandwidth_per_period(self):
+        schedule = SyncSchedule.from_frequencies(np.array([1.0, 2.0]))
+        assert schedule.bandwidth_per_period(
+            np.array([3.0, 0.5])) == pytest.approx(4.0)
+
+    def test_bandwidth_rejects_shape_mismatch(self):
+        schedule = SyncSchedule.from_frequencies(np.ones(2))
+        with pytest.raises(ScheduleError):
+            schedule.bandwidth_per_period(np.ones(3))
+
+    def test_arrays_immutable(self):
+        schedule = SyncSchedule.from_frequencies(np.ones(2))
+        with pytest.raises(ValueError):
+            schedule.frequencies[0] = 5.0

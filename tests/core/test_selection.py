@@ -1,0 +1,156 @@
+"""Tests for repro.core.selection — profile-driven mirror selection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.selection import (
+    SelectionStrategy,
+    plan_selected_mirror,
+    select_mirror,
+)
+from repro.core.solver import solve_core_problem
+from repro.errors import ValidationError
+from repro.workloads.catalog import Catalog
+
+from tests.conftest import random_catalog
+
+
+class TestSelectionStrategyCoerce:
+    def test_accepts_strings(self):
+        assert SelectionStrategy.coerce("interest") is \
+            SelectionStrategy.INTEREST
+        assert SelectionStrategy.coerce("INTEREST-PER-SIZE") is \
+            SelectionStrategy.INTEREST_PER_SIZE
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValidationError):
+            SelectionStrategy.coerce("alphabetical")
+
+
+class TestSelectMirror:
+    def test_interest_takes_hottest(self, small_catalog):
+        indices = select_mirror(small_catalog, capacity=2.0,
+                                strategy="interest")
+        # Capacity 2 with unit sizes: the two hottest elements.
+        assert set(indices.tolist()) == {0, 1}
+
+    def test_capacity_respected(self, sized_catalog):
+        indices = select_mirror(sized_catalog, capacity=3.0,
+                                strategy="interest-per-size")
+        assert sized_catalog.sizes[indices].sum() <= 3.0
+
+    def test_oversized_items_skipped_not_blocking(self):
+        catalog = Catalog(
+            access_probabilities=np.array([0.9, 0.1]),
+            change_rates=np.ones(2),
+            sizes=np.array([10.0, 1.0]))
+        indices = select_mirror(catalog, capacity=2.0,
+                                strategy="interest")
+        # The huge hot object does not fit; the small one still does.
+        assert indices.tolist() == [1]
+
+    def test_interest_per_size_prefers_density(self):
+        catalog = Catalog(
+            access_probabilities=np.array([0.5, 0.5]),
+            change_rates=np.ones(2),
+            sizes=np.array([4.0, 1.0]))
+        indices = select_mirror(catalog, capacity=1.0,
+                                strategy="interest-per-size")
+        assert indices.tolist() == [1]
+
+    def test_random_requires_rng(self, small_catalog):
+        with pytest.raises(ValidationError):
+            select_mirror(small_catalog, capacity=2.0,
+                          strategy="random")
+
+    def test_achievable_requires_bandwidth(self, small_catalog):
+        with pytest.raises(ValidationError):
+            select_mirror(small_catalog, capacity=2.0,
+                          strategy="achievable")
+
+    def test_achievable_discounts_hopeless_elements(self):
+        # Two equally hot objects; one changes so fast the reference
+        # bandwidth cannot keep it remotely fresh.
+        catalog = Catalog(
+            access_probabilities=np.array([0.5, 0.5]),
+            change_rates=np.array([1000.0, 1.0]))
+        indices = select_mirror(catalog, capacity=1.0,
+                                strategy="achievable", bandwidth=2.0)
+        assert indices.tolist() == [1]
+
+    def test_rejects_bad_capacity(self, small_catalog):
+        with pytest.raises(ValidationError):
+            select_mirror(small_catalog, capacity=0.0)
+
+    def test_full_capacity_takes_everything(self, small_catalog):
+        indices = select_mirror(small_catalog, capacity=5.0,
+                                strategy="interest")
+        assert sorted(indices.tolist()) == [0, 1, 2, 3, 4]
+
+
+class TestPlanSelectedMirror:
+    def test_unselected_elements_get_zero(self, small_catalog):
+        selection = plan_selected_mirror(small_catalog, capacity=2.0,
+                                         bandwidth=2.0,
+                                         strategy="interest")
+        outside = np.setdiff1d(np.arange(5), selection.indices)
+        assert (selection.frequencies[outside] == 0.0).all()
+
+    def test_bandwidth_spent_within_selection(self, sized_catalog):
+        selection = plan_selected_mirror(sized_catalog, capacity=4.0,
+                                         bandwidth=3.0)
+        spent = float(sized_catalog.sizes @ selection.frequencies)
+        assert spent == pytest.approx(3.0, rel=1e-6)
+
+    def test_full_capacity_matches_core_problem(self, small_catalog):
+        selection = plan_selected_mirror(small_catalog, capacity=5.0,
+                                         bandwidth=3.0,
+                                         strategy="interest")
+        exact = solve_core_problem(small_catalog, 3.0)
+        assert selection.perceived_freshness == pytest.approx(
+            exact.objective, abs=1e-9)
+
+    def test_coverage_bounds_pf(self, small_catalog):
+        selection = plan_selected_mirror(small_catalog, capacity=2.0,
+                                         bandwidth=3.0,
+                                         strategy="interest")
+        assert selection.perceived_freshness <= \
+            selection.covered_interest + 1e-12
+
+    def test_space_used_reported(self, sized_catalog):
+        selection = plan_selected_mirror(sized_catalog, capacity=4.0,
+                                         bandwidth=3.0)
+        assert selection.space_used == pytest.approx(
+            sized_catalog.sizes[selection.indices].sum())
+        assert selection.space_used <= 4.0
+
+    @given(st.floats(min_value=1.0, max_value=20.0),
+           st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_greedy_interest_beats_random(self, capacity, seed):
+        rng = np.random.default_rng(seed)
+        catalog = random_catalog(rng, 25)
+        greedy = plan_selected_mirror(catalog, capacity, bandwidth=5.0,
+                                      strategy="interest")
+        random_pick = plan_selected_mirror(
+            catalog, capacity, bandwidth=5.0, strategy="random",
+            rng=np.random.default_rng(seed + 1))
+        assert greedy.covered_interest >= \
+            random_pick.covered_interest - 1e-9
+
+    @given(st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_more_capacity_never_hurts(self, seed):
+        rng = np.random.default_rng(seed)
+        catalog = random_catalog(rng, 20, sized=True)
+        small = plan_selected_mirror(catalog, capacity=5.0,
+                                     bandwidth=4.0,
+                                     strategy="interest-per-size")
+        large = plan_selected_mirror(catalog, capacity=15.0,
+                                     bandwidth=4.0,
+                                     strategy="interest-per-size")
+        assert large.covered_interest >= small.covered_interest - 1e-9

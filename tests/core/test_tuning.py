@@ -1,0 +1,88 @@
+"""Tests for repro.core.tuning — automatic partition-count search."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.solver import solve_core_problem
+from repro.core.tuning import auto_tune_partitions
+from repro.errors import ValidationError
+from repro.workloads.presets import ExperimentSetup, build_catalog
+
+SETUP = ExperimentSetup(n_objects=400, updates_per_period=800.0,
+                        syncs_per_period=200.0, theta=1.0,
+                        update_std_dev=1.5)
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_catalog(SETUP, alignment="shuffled", seed=8)
+
+
+class TestAutoTune:
+    def test_converges_near_the_optimum(self, catalog):
+        result = auto_tune_partitions(catalog,
+                                      SETUP.syncs_per_period)
+        optimum = solve_core_problem(
+            catalog, SETUP.syncs_per_period).objective
+        assert result.plan.perceived_freshness > 0.95 * optimum
+        assert result.plan.perceived_freshness <= optimum + 1e-8
+
+    def test_chooses_far_fewer_partitions_than_elements(self, catalog):
+        result = auto_tune_partitions(catalog, SETUP.syncs_per_period,
+                                      gain_tolerance=0.01)
+        assert result.n_partitions < catalog.n_elements
+        assert result.stopped_by in ("converged", "exhausted")
+
+    def test_evaluations_are_doublings(self, catalog):
+        result = auto_tune_partitions(catalog, SETUP.syncs_per_period,
+                                      start=8)
+        ks = [k for k, _, _ in result.evaluations]
+        for before, after in zip(ks, ks[1:]):
+            assert after == min(2 * before, catalog.n_elements)
+
+    def test_best_plan_matches_best_evaluation(self, catalog):
+        result = auto_tune_partitions(catalog, SETUP.syncs_per_period)
+        best_pf = max(pf for _, pf, _ in result.evaluations)
+        assert result.plan.perceived_freshness == pytest.approx(
+            best_pf)
+
+    def test_tight_tolerance_pushes_to_larger_k(self, catalog):
+        loose = auto_tune_partitions(catalog, SETUP.syncs_per_period,
+                                     gain_tolerance=0.05)
+        tight = auto_tune_partitions(catalog, SETUP.syncs_per_period,
+                                     gain_tolerance=1e-5)
+        assert tight.n_partitions >= loose.n_partitions
+        assert tight.plan.perceived_freshness >= \
+            loose.plan.perceived_freshness - 1e-9
+
+    def test_time_budget_halts_search(self, catalog):
+        result = auto_tune_partitions(catalog, SETUP.syncs_per_period,
+                                      gain_tolerance=1e-12,
+                                      time_budget=1e-9)
+        # The budget expires after the very first evaluation window.
+        assert len(result.evaluations) <= 2
+        assert result.stopped_by == "time"
+
+    def test_tiny_catalog_exhausts(self, small_catalog):
+        result = auto_tune_partitions(small_catalog, 3.0, start=2,
+                                      gain_tolerance=1e-12)
+        assert result.stopped_by in ("exhausted", "converged")
+        ks = [k for k, _, _ in result.evaluations]
+        assert ks[-1] <= small_catalog.n_elements
+
+    def test_validation(self, small_catalog):
+        with pytest.raises(ValidationError):
+            auto_tune_partitions(small_catalog, 3.0, start=0)
+        with pytest.raises(ValidationError):
+            auto_tune_partitions(small_catalog, 3.0,
+                                 gain_tolerance=0.0)
+        with pytest.raises(ValidationError):
+            auto_tune_partitions(small_catalog, 3.0, time_budget=0.0)
+
+    def test_refinement_supported(self, catalog):
+        result = auto_tune_partitions(catalog, SETUP.syncs_per_period,
+                                      cluster_iterations=2,
+                                      gain_tolerance=0.02)
+        assert result.plan.metadata["cluster_iterations"] >= 1

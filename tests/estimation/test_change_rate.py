@@ -1,0 +1,163 @@
+"""Tests for repro.estimation.change_rate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.estimation.change_rate import (
+    ChangeObserver,
+    bias_reduced_rate_estimate,
+    mle_rate_estimate,
+    naive_rate_estimate,
+)
+
+
+def observe_poisson(rng: np.random.Generator, rate: float,
+                    interval: float, polls: int) -> tuple[int, int]:
+    """Simulate polling a Poisson-updated element."""
+    changed = rng.poisson(rate * interval, size=polls) > 0
+    return polls, int(changed.sum())
+
+
+class TestNaiveEstimate:
+    def test_simple_ratio(self):
+        estimate = naive_rate_estimate(np.array([10.0]), np.array([5.0]),
+                                       interval=0.5)
+        assert estimate == pytest.approx([1.0])
+
+    def test_biased_low_for_fast_changers(self, rng):
+        rate, interval = 5.0, 1.0  # multiple changes between polls
+        polls, changes = observe_poisson(rng, rate, interval, 20_000)
+        estimate = naive_rate_estimate(np.array([float(polls)]),
+                                       np.array([float(changes)]),
+                                       interval)
+        assert estimate[0] < rate * 0.5
+
+    def test_zero_polls_gives_zero(self):
+        estimate = naive_rate_estimate(np.zeros(1), np.zeros(1), 1.0)
+        assert estimate[0] == 0.0
+
+
+class TestMleEstimate:
+    @pytest.mark.parametrize("rate", [0.3, 1.0, 2.0])
+    def test_recovers_true_rate(self, rng, rate):
+        interval = 0.5
+        polls, changes = observe_poisson(rng, rate, interval, 50_000)
+        estimate = mle_rate_estimate(np.array([float(polls)]),
+                                     np.array([float(changes)]),
+                                     interval)
+        assert estimate[0] == pytest.approx(rate, rel=0.05)
+
+    def test_diverges_when_all_polls_saw_changes(self):
+        estimate = mle_rate_estimate(np.array([10.0]), np.array([10.0]),
+                                     1.0)
+        assert np.isinf(estimate[0])
+
+    def test_beats_naive_for_fast_changers(self, rng):
+        rate, interval = 2.0, 1.0
+        polls, changes = observe_poisson(rng, rate, interval, 50_000)
+        n = np.array([float(polls)])
+        k = np.array([float(changes)])
+        mle = mle_rate_estimate(n, k, interval)[0]
+        naive = naive_rate_estimate(n, k, interval)[0]
+        assert abs(mle - rate) < abs(naive - rate)
+
+
+class TestBiasReducedEstimate:
+    def test_finite_at_saturation(self):
+        estimate = bias_reduced_rate_estimate(np.array([10.0]),
+                                              np.array([10.0]), 1.0)
+        assert np.isfinite(estimate[0])
+        assert estimate[0] > 0.0
+
+    @pytest.mark.parametrize("rate", [0.5, 1.5])
+    def test_recovers_true_rate(self, rng, rate):
+        interval = 0.5
+        polls, changes = observe_poisson(rng, rate, interval, 50_000)
+        estimate = bias_reduced_rate_estimate(np.array([float(polls)]),
+                                              np.array([float(changes)]),
+                                              interval)
+        assert estimate[0] == pytest.approx(rate, rel=0.05)
+
+    def test_close_to_mle_away_from_saturation(self):
+        n = np.array([1000.0])
+        k = np.array([400.0])
+        mle = mle_rate_estimate(n, k, 1.0)
+        reduced = bias_reduced_rate_estimate(n, k, 1.0)
+        assert reduced[0] == pytest.approx(mle[0], rel=0.01)
+
+
+class TestValidation:
+    def test_rejects_more_changes_than_polls(self):
+        with pytest.raises(ValidationError):
+            naive_rate_estimate(np.array([2.0]), np.array([3.0]), 1.0)
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValidationError):
+            mle_rate_estimate(np.array([-1.0]), np.array([0.0]), 1.0)
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValidationError):
+            bias_reduced_rate_estimate(np.array([1.0]), np.array([0.0]),
+                                       0.0)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            naive_rate_estimate(np.array([1.0, 2.0]), np.array([1.0]),
+                                1.0)
+
+    @given(st.integers(min_value=1, max_value=1000),
+           st.floats(min_value=0.05, max_value=5.0))
+    @settings(max_examples=50)
+    def test_estimators_nonnegative(self, polls, interval):
+        n = np.array([float(polls)])
+        for changes in (0, polls // 2, polls):
+            k = np.array([float(changes)])
+            assert naive_rate_estimate(n, k, interval)[0] >= 0.0
+            assert bias_reduced_rate_estimate(n, k, interval)[0] >= 0.0
+
+
+class TestChangeObserver:
+    def test_records_and_estimates(self):
+        observer = ChangeObserver(2)
+        for _ in range(10):
+            observer.record_poll(0, changed=True)
+            observer.record_poll(1, changed=False)
+        rates = observer.estimate_rates(1.0, method="bias-reduced")
+        assert rates[0] > rates[1]
+        assert rates[1] == pytest.approx(
+            -np.log(10.5 / 10.5) / 1.0, abs=0.05)
+
+    def test_default_rate_for_unpolled(self):
+        observer = ChangeObserver(2)
+        observer.record_poll(0, changed=True)
+        rates = observer.estimate_rates(1.0, default_rate=7.0)
+        assert rates[1] == 7.0
+
+    def test_rejects_unknown_method(self):
+        observer = ChangeObserver(1)
+        with pytest.raises(ValidationError):
+            observer.estimate_rates(1.0, method="bayesian")
+
+    def test_rejects_bad_element(self):
+        observer = ChangeObserver(1)
+        with pytest.raises(ValidationError):
+            observer.record_poll(1, changed=True)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            ChangeObserver(0)
+
+    def test_closed_loop_recovery(self, rng):
+        """Poll a simulated Poisson element and recover its rate."""
+        observer = ChangeObserver(1)
+        rate, interval = 1.2, 0.5
+        for _ in range(20_000):
+            observer.record_poll(0, changed=bool(
+                rng.poisson(rate * interval) > 0))
+        estimate = observer.estimate_rates(interval)[0]
+        assert estimate == pytest.approx(rate, rel=0.05)

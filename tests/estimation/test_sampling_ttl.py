@@ -1,0 +1,123 @@
+"""Tests for repro.estimation.sampling and repro.estimation.ttl."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.estimation.sampling import SamplingRefreshPolicy
+from repro.estimation.ttl import (
+    expected_fresh_probability,
+    rate_from_ttl,
+    ttl_for_confidence,
+)
+
+
+class TestSamplingRefreshPolicy:
+    def make_policy(self, rng, servers=4, per_server=25, sample=3):
+        server_of = np.repeat(np.arange(servers), per_server)
+        return SamplingRefreshPolicy(server_of, sample_size=sample,
+                                     rng=rng), server_of
+
+    def test_round_refreshes_within_budget(self, rng):
+        policy, server_of = self.make_policy(rng)
+        stale = np.zeros(server_of.size, dtype=bool)
+        result = policy.plan_round(stale, budget=40)
+        assert result.refreshed.size <= 40
+        assert np.unique(result.refreshed).size == result.refreshed.size
+
+    def test_sampled_elements_included_in_refresh(self, rng):
+        policy, server_of = self.make_policy(rng)
+        stale = np.ones(server_of.size, dtype=bool)
+        result = policy.plan_round(stale, budget=30)
+        assert set(result.sampled.tolist()) <= set(
+            result.refreshed.tolist())
+
+    def test_greedy_prefers_high_change_server(self, rng):
+        policy, server_of = self.make_policy(rng, servers=2,
+                                             per_server=50, sample=5)
+        # Server 1 fully stale, server 0 fully fresh.
+        stale = server_of == 1
+        result = policy.plan_round(stale, budget=30)
+        assert result.change_ratios[1] > result.change_ratios[0]
+        extra = np.setdiff1d(result.refreshed, result.sampled)
+        # All non-sample budget goes to the stale server.
+        assert (server_of[extra] == 1).all()
+
+    def test_change_ratio_estimates_sensible(self, rng):
+        policy, server_of = self.make_policy(rng, servers=1,
+                                             per_server=200, sample=50)
+        stale = np.zeros(200, dtype=bool)
+        stale[:100] = True  # half stale
+        result = policy.plan_round(stale, budget=60)
+        assert result.change_ratios[0] == pytest.approx(0.5, abs=0.2)
+
+    def test_rejects_budget_below_sample_cost(self, rng):
+        policy, server_of = self.make_policy(rng, servers=4, sample=3)
+        stale = np.zeros(server_of.size, dtype=bool)
+        with pytest.raises(ValidationError):
+            policy.plan_round(stale, budget=5)
+
+    def test_rejects_bad_construction(self, rng):
+        with pytest.raises(ValidationError):
+            SamplingRefreshPolicy(np.empty(0, dtype=int), sample_size=1,
+                                  rng=rng)
+        with pytest.raises(ValidationError):
+            SamplingRefreshPolicy(np.array([0, 2]), sample_size=1,
+                                  rng=rng)  # server 1 empty
+        with pytest.raises(ValidationError):
+            SamplingRefreshPolicy(np.array([0]), sample_size=0, rng=rng)
+
+    def test_rejects_wrong_staleness_shape(self, rng):
+        policy, _ = self.make_policy(rng)
+        with pytest.raises(ValidationError):
+            policy.plan_round(np.zeros(3, dtype=bool), budget=50)
+
+
+class TestTtl:
+    def test_survival_curve(self):
+        p = expected_fresh_probability(np.array([2.0]), age=0.5)
+        assert p == pytest.approx(np.exp(-1.0))
+
+    def test_survival_at_zero_age_is_one(self):
+        assert expected_fresh_probability(np.array([5.0]), 0.0) == 1.0
+
+    def test_static_element_always_fresh(self):
+        assert expected_fresh_probability(np.array([0.0]), 100.0) == 1.0
+
+    def test_ttl_for_confidence_roundtrip(self):
+        rates = np.array([0.5, 2.0, 8.0])
+        ttls = ttl_for_confidence(rates, confidence=0.7)
+        survived = expected_fresh_probability(rates, 1.0)  # placeholder
+        for rate, ttl in zip(rates, ttls):
+            assert np.exp(-rate * ttl) == pytest.approx(0.7)
+        assert survived.shape == rates.shape
+
+    def test_ttl_infinite_for_static(self):
+        ttls = ttl_for_confidence(np.array([0.0]), confidence=0.5)
+        assert np.isinf(ttls[0])
+
+    def test_rate_from_ttl_roundtrip(self):
+        rates = np.array([0.3, 1.0, 4.0])
+        ttls = ttl_for_confidence(rates, confidence=0.5)
+        recovered = rate_from_ttl(ttls, confidence=0.5)
+        assert np.allclose(recovered, rates)
+
+    def test_rate_from_infinite_ttl_is_zero(self):
+        rates = rate_from_ttl(np.array([np.inf]))
+        assert rates[0] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            expected_fresh_probability(np.array([-1.0]), 1.0)
+        with pytest.raises(ValidationError):
+            expected_fresh_probability(np.array([1.0]), -1.0)
+        with pytest.raises(ValidationError):
+            ttl_for_confidence(np.array([1.0]), confidence=1.0)
+        with pytest.raises(ValidationError):
+            ttl_for_confidence(np.array([1.0]), confidence=0.0)
+        with pytest.raises(ValidationError):
+            rate_from_ttl(np.array([0.0]))
+        with pytest.raises(ValidationError):
+            rate_from_ttl(np.array([1.0]), confidence=2.0)

@@ -1,0 +1,115 @@
+"""Tests for repro.numerics.kmeans."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.numerics.kmeans import kmeans, kmeans_iterate
+
+
+def two_blobs(rng: np.random.Generator, per_blob: int = 20):
+    """Two well-separated Gaussian blobs in 2-D."""
+    left = rng.normal(loc=(-5.0, 0.0), scale=0.3, size=(per_blob, 2))
+    right = rng.normal(loc=(5.0, 0.0), scale=0.3, size=(per_blob, 2))
+    return np.vstack([left, right])
+
+
+class TestKMeans:
+    def test_separates_two_blobs_from_bad_init(self, rng):
+        points = two_blobs(rng)
+        n = points.shape[0]
+        # Deliberately interleaved initial labels.
+        initial = np.arange(n) % 2
+        result = kmeans(points, initial, 2, iterations=20)
+        labels = result.labels
+        assert result.converged
+        # Each blob must be pure (up to global label swap).
+        first_half = labels[: n // 2]
+        second_half = labels[n // 2:]
+        assert len(set(first_half.tolist())) == 1
+        assert len(set(second_half.tolist())) == 1
+        assert first_half[0] != second_half[0]
+
+    def test_zero_iterations_keeps_labels(self, rng):
+        points = two_blobs(rng)
+        initial = np.arange(points.shape[0]) % 2
+        result = kmeans(points, initial, 2, iterations=0)
+        assert np.array_equal(result.labels, initial)
+        assert result.iterations == 0
+
+    def test_inertia_non_increasing_across_iterations(self, rng):
+        points = rng.uniform(size=(50, 2))
+        initial = np.arange(50) % 5
+        inertias = []
+        for state in kmeans_iterate(points, initial, 5):
+            inertias.append(state.inertia)
+            if state.converged or state.iterations >= 10:
+                break
+        # Lloyd's algorithm never increases inertia after the first
+        # assignment step.
+        for before, after in zip(inertias, inertias[1:]):
+            assert after <= before + 1e-9
+
+    def test_empty_cluster_keeps_previous_centroid(self):
+        points = np.array([[0.0, 0.0], [0.1, 0.0], [0.2, 0.0]])
+        # Cluster 2 is empty from the start.
+        initial = np.array([0, 0, 1])
+        result = kmeans(points, initial, 3, iterations=3)
+        assert result.centroids.shape == (3, 2)
+        assert np.isfinite(result.centroids[:2]).all()
+
+    def test_single_cluster(self):
+        points = np.array([[1.0, 2.0], [3.0, 4.0]])
+        result = kmeans(points, np.zeros(2, dtype=int), 1, iterations=5)
+        assert np.array_equal(result.labels, [0, 0])
+        assert result.centroids[0] == pytest.approx([2.0, 3.0])
+
+    def test_deterministic(self, rng):
+        points = rng.uniform(size=(30, 2))
+        initial = np.arange(30) % 3
+        first = kmeans(points, initial, 3, iterations=7)
+        second = kmeans(points, initial, 3, iterations=7)
+        assert np.array_equal(first.labels, second.labels)
+        assert first.inertia == second.inertia
+
+    def test_rejects_bad_inputs(self):
+        points = np.zeros((4, 2))
+        with pytest.raises(ValidationError):
+            kmeans(points, np.zeros(3, dtype=int), 2, iterations=1)
+        with pytest.raises(ValidationError):
+            kmeans(points, np.zeros(4, dtype=int), 0, iterations=1)
+        with pytest.raises(ValidationError):
+            kmeans(points, np.full(4, 5), 2, iterations=1)
+        with pytest.raises(ValidationError):
+            kmeans(points, np.zeros(4, dtype=int), 2, iterations=-1)
+        with pytest.raises(ValidationError):
+            kmeans(np.zeros(4), np.zeros(4, dtype=int), 2, iterations=1)
+
+    def test_converged_state_is_stable(self, rng):
+        points = two_blobs(rng, per_blob=10)
+        initial = np.arange(points.shape[0]) % 2
+        states = []
+        for state in kmeans_iterate(points, initial, 2):
+            states.append(state)
+            if len(states) >= 2 and states[-2].converged:
+                break
+            if len(states) > 30:
+                break
+        converged = [s for s in states if s.converged]
+        assert converged
+        assert np.array_equal(converged[0].labels, states[-1].labels)
+
+    @given(st.integers(min_value=1, max_value=6),
+           st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_labels_always_within_range(self, k, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.uniform(size=(25, 2))
+        initial = rng.integers(0, k, size=25)
+        result = kmeans(points, initial, k, iterations=5)
+        assert result.labels.min() >= 0
+        assert result.labels.max() < k

@@ -1,0 +1,154 @@
+"""Tests for repro.numerics.optimize (the IMSL-substitute NLP path)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InfeasibleProblemError, ValidationError
+from repro.numerics.optimize import (
+    ProjectedGradientSolver,
+    project_onto_scaled_simplex,
+)
+
+
+class TestProjection:
+    def test_feasible_point_costs_budget(self):
+        y = np.array([3.0, -1.0, 0.5])
+        costs = np.array([1.0, 2.0, 0.5])
+        x = project_onto_scaled_simplex(y, costs, budget=2.0)
+        assert (x >= 0.0).all()
+        assert float(costs @ x) == pytest.approx(2.0, rel=1e-9)
+
+    def test_projection_is_idempotent(self):
+        y = np.array([5.0, 0.0, 1.0])
+        costs = np.ones(3)
+        x = project_onto_scaled_simplex(y, costs, budget=3.0)
+        again = project_onto_scaled_simplex(x, costs, budget=3.0)
+        assert np.allclose(x, again, atol=1e-8)
+
+    def test_uniform_point_projects_to_itself(self):
+        x = np.full(4, 0.25)
+        projected = project_onto_scaled_simplex(x, np.ones(4), budget=1.0)
+        assert np.allclose(projected, x, atol=1e-9)
+
+    def test_matches_known_simplex_projection(self):
+        # Projection of (1, 0.5) onto the probability simplex is
+        # (0.75, 0.25): shift both by tau = 0.25.
+        x = project_onto_scaled_simplex(np.array([1.0, 0.5]), np.ones(2),
+                                        budget=1.0)
+        assert x == pytest.approx([0.75, 0.25], abs=1e-8)
+
+    def test_negative_coordinates_clipped(self):
+        x = project_onto_scaled_simplex(np.array([10.0, -50.0]),
+                                        np.ones(2), budget=1.0)
+        assert x == pytest.approx([1.0, 0.0], abs=1e-8)
+
+    def test_rejects_bad_budget_and_costs(self):
+        with pytest.raises(InfeasibleProblemError):
+            project_onto_scaled_simplex(np.ones(2), np.ones(2), budget=0.0)
+        with pytest.raises(ValidationError):
+            project_onto_scaled_simplex(np.ones(2),
+                                        np.array([1.0, 0.0]), budget=1.0)
+
+    @given(st.integers(min_value=1, max_value=12),
+           st.floats(min_value=0.1, max_value=20.0),
+           st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_projection_feasibility_random(self, n, budget, seed):
+        rng = np.random.default_rng(seed)
+        y = rng.normal(scale=3.0, size=n)
+        costs = rng.uniform(0.2, 4.0, size=n)
+        x = project_onto_scaled_simplex(y, costs, budget)
+        assert (x >= 0.0).all()
+        assert float(costs @ x) == pytest.approx(budget, rel=1e-6)
+
+    @given(st.integers(min_value=2, max_value=8),
+           st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_projection_is_nearest_feasible_point(self, n, seed):
+        rng = np.random.default_rng(seed)
+        y = rng.normal(scale=2.0, size=n)
+        costs = rng.uniform(0.5, 2.0, size=n)
+        budget = 3.0
+        x = project_onto_scaled_simplex(y, costs, budget)
+        # Any random feasible point must be at least as far from y.
+        raw = rng.uniform(0.0, 1.0, size=n)
+        feasible = raw * (budget / float(costs @ raw))
+        assert (np.linalg.norm(x - y)
+                <= np.linalg.norm(feasible - y) + 1e-6)
+
+
+class TestProjectedGradientSolver:
+    def test_solves_separable_quadratic(self):
+        # max 4a - a^2 + 2b - b^2 s.t. a + b = 1:  a - b = 1 => (1, 0).
+        def objective(x):
+            value = 4.0 * x[0] - x[0] ** 2 + 2.0 * x[1] - x[1] ** 2
+            grad = np.array([4.0 - 2.0 * x[0], 2.0 - 2.0 * x[1]])
+            return float(value), grad
+
+        solver = ProjectedGradientSolver(objective)
+        result = solver.solve(np.ones(2), budget=1.0)
+        assert result.x == pytest.approx([1.0, 0.0], abs=1e-5)
+        assert result.converged
+
+    def test_interior_optimum(self):
+        # max -(a-0.3)^2 - (b-0.7)^2 s.t. a + b = 1: (0.3, 0.7).
+        def objective(x):
+            value = -((x[0] - 0.3) ** 2) - ((x[1] - 0.7) ** 2)
+            grad = np.array([-2.0 * (x[0] - 0.3), -2.0 * (x[1] - 0.7)])
+            return float(value), grad
+
+        result = ProjectedGradientSolver(objective).solve(np.ones(2), 1.0)
+        assert result.x == pytest.approx([0.3, 0.7], abs=1e-5)
+
+    def test_respects_costs(self):
+        # max log-like utility with uneven costs; optimum must be
+        # feasible and improve on the uniform start.
+        def objective(x):
+            value = float(np.sum(np.log1p(x)))
+            grad = 1.0 / (1.0 + x)
+            return value, grad
+
+        costs = np.array([1.0, 3.0])
+        result = ProjectedGradientSolver(objective).solve(costs, 2.0)
+        assert float(costs @ result.x) == pytest.approx(2.0, rel=1e-6)
+        uniform = np.full(2, 2.0 / costs.sum())
+        assert result.value >= objective(uniform)[0] - 1e-12
+
+    def test_custom_start_point(self):
+        def objective(x):
+            return float(-np.sum(x ** 2)), -2.0 * x
+
+        solver = ProjectedGradientSolver(objective)
+        result = solver.solve(np.ones(3), 1.0,
+                              x0=np.array([1.0, 0.0, 0.0]))
+        assert result.x == pytest.approx(np.full(3, 1.0 / 3.0), abs=1e-4)
+
+    def test_rejects_empty_problem(self):
+        solver = ProjectedGradientSolver(lambda x: (0.0, x))
+        with pytest.raises(ValidationError):
+            solver.solve(np.empty(0), 1.0)
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ValidationError):
+            ProjectedGradientSolver(lambda x: (0.0, x), max_iterations=0)
+        with pytest.raises(ValidationError):
+            ProjectedGradientSolver(lambda x: (0.0, x), tolerance=0.0)
+
+    def test_iterate_stays_feasible_throughout(self):
+        seen = []
+
+        def objective(x):
+            seen.append(x.copy())
+            return float(np.sum(np.sqrt(np.maximum(x, 0.0)))), \
+                0.5 / np.sqrt(np.maximum(x, 1e-12))
+
+        costs = np.array([1.0, 2.0, 0.5])
+        ProjectedGradientSolver(objective, max_iterations=50).solve(
+            costs, 4.0)
+        for x in seen:
+            assert (x >= -1e-12).all()
+            assert float(costs @ x) == pytest.approx(4.0, rel=1e-6)

@@ -1,0 +1,103 @@
+"""Tests for repro.numerics.roots."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.numerics.roots import bisect, newton_bisect_increasing
+
+
+class TestBisect:
+    def test_finds_simple_root(self):
+        root = bisect(lambda x: x - 2.0, 0.0, 10.0)
+        assert root == pytest.approx(2.0, abs=1e-10)
+
+    def test_finds_root_of_decreasing_function(self):
+        root = bisect(lambda x: 5.0 - x ** 2, 0.0, 10.0)
+        assert root == pytest.approx(math.sqrt(5.0), abs=1e-9)
+
+    def test_returns_endpoint_when_root_at_lo(self):
+        assert bisect(lambda x: x, 0.0, 1.0) == 0.0
+
+    def test_returns_endpoint_when_root_at_hi(self):
+        assert bisect(lambda x: x - 1.0, 0.0, 1.0) == 1.0
+
+    def test_rejects_inverted_bracket(self):
+        with pytest.raises(ValidationError):
+            bisect(lambda x: x, 1.0, 0.0)
+
+    def test_rejects_degenerate_bracket(self):
+        with pytest.raises(ValidationError):
+            bisect(lambda x: x, 1.0, 1.0)
+
+    def test_rejects_bracket_without_sign_change(self):
+        with pytest.raises(ValidationError):
+            bisect(lambda x: x + 10.0, 0.0, 1.0)
+
+    def test_respects_xtol(self):
+        root = bisect(lambda x: x - math.pi, 0.0, 10.0, xtol=1e-3)
+        assert abs(root - math.pi) < 1e-3
+
+    @given(st.floats(min_value=-100.0, max_value=100.0))
+    @settings(max_examples=50)
+    def test_recovers_arbitrary_linear_root(self, target):
+        root = bisect(lambda x: x - target, target - 5.0, target + 7.0)
+        assert root == pytest.approx(target, abs=1e-9)
+
+    @given(st.floats(min_value=0.01, max_value=0.99))
+    @settings(max_examples=50)
+    def test_recovers_exponential_root(self, target):
+        # Solve 1 - exp(-x) = target.
+        root = bisect(lambda x: 1.0 - math.exp(-x) - target, 0.0, 50.0)
+        assert 1.0 - math.exp(-root) == pytest.approx(target, abs=1e-9)
+
+
+class TestNewtonBisectIncreasing:
+    def test_finds_cubic_root(self):
+        root = newton_bisect_increasing(
+            lambda x: x ** 3 - 8.0, lambda x: 3.0 * x ** 2, 0.0, 10.0)
+        assert root == pytest.approx(2.0, abs=1e-10)
+
+    def test_handles_zero_derivative_gracefully(self):
+        # Derivative is zero at the left endpoint; the fallback to
+        # bisection must keep progress.
+        root = newton_bisect_increasing(
+            lambda x: x ** 3 - 1.0, lambda x: 3.0 * x ** 2, -1.0, 5.0)
+        assert root == pytest.approx(1.0, abs=1e-9)
+
+    def test_returns_endpoint_roots(self):
+        assert newton_bisect_increasing(
+            lambda x: x, lambda _: 1.0, 0.0, 1.0) == 0.0
+        assert newton_bisect_increasing(
+            lambda x: x - 1.0, lambda _: 1.0, 0.0, 1.0) == 1.0
+
+    def test_rejects_bracket_not_straddling_root(self):
+        with pytest.raises(ValidationError):
+            newton_bisect_increasing(
+                lambda x: x + 5.0, lambda _: 1.0, 0.0, 1.0)
+
+    def test_rejects_inverted_bracket(self):
+        with pytest.raises(ValidationError):
+            newton_bisect_increasing(
+                lambda x: x, lambda _: 1.0, 2.0, 1.0)
+
+    @given(st.floats(min_value=0.05, max_value=0.95))
+    @settings(max_examples=50)
+    def test_matches_bisect_on_marginal_kernel(self, target):
+        # The exact function the water-filling solver inverts:
+        # g(r) = 1 - (1+r) e^{-r}.
+        def g(r: float) -> float:
+            return 1.0 - (1.0 + r) * math.exp(-r) - target
+
+        def g_prime(r: float) -> float:
+            return r * math.exp(-r)
+
+        newton_root = newton_bisect_increasing(g, g_prime, 0.0, 100.0)
+        bisect_root = bisect(g, 1e-12, 100.0)
+        assert newton_root == pytest.approx(bisect_root, abs=1e-8)

@@ -1,0 +1,131 @@
+"""Tests for repro.numerics.stats and the replication harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.replication import replicate, simulated_pf_interval
+from repro.core.freshener import PerceivedFreshener
+from repro.errors import ValidationError
+from repro.numerics.stats import (
+    mean_confidence_interval,
+    t_critical_value,
+)
+from repro.workloads.presets import ExperimentSetup, build_catalog
+
+
+class TestTCriticalValue:
+    def test_known_small_sample_values(self):
+        assert t_critical_value(1, 0.95) == pytest.approx(12.7062)
+        assert t_critical_value(10, 0.95) == pytest.approx(2.2281)
+        assert t_critical_value(30, 0.99) == pytest.approx(2.7500)
+
+    def test_large_df_approaches_normal(self):
+        assert t_critical_value(10_000, 0.95) == pytest.approx(
+            1.96, abs=0.005)
+        assert t_critical_value(10_000, 0.90) == pytest.approx(
+            1.645, abs=0.005)
+
+    def test_approximation_accuracy_beyond_table(self):
+        # scipy reference: t_{40, 0.975} = 2.0211, t_{60, 0.975} = 2.0003.
+        assert t_critical_value(40, 0.95) == pytest.approx(2.0211,
+                                                           abs=0.005)
+        assert t_critical_value(60, 0.95) == pytest.approx(2.0003,
+                                                           abs=0.005)
+
+    def test_monotone_decreasing_in_df(self):
+        values = [t_critical_value(df, 0.95)
+                  for df in (1, 2, 5, 10, 30, 50, 100)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            t_critical_value(0, 0.95)
+        with pytest.raises(ValidationError):
+            t_critical_value(5, 0.80)
+
+
+class TestMeanConfidenceInterval:
+    def test_exact_two_point_case(self):
+        interval = mean_confidence_interval(np.array([0.0, 2.0]))
+        assert interval.mean == 1.0
+        # s = sqrt(2), SE = 1, t_{1,0.975} = 12.7062.
+        assert interval.half_width == pytest.approx(12.7062, rel=1e-4)
+
+    def test_contains(self):
+        interval = mean_confidence_interval(
+            np.array([1.0, 1.1, 0.9, 1.05, 0.95]))
+        assert interval.contains(1.0)
+        assert not interval.contains(5.0)
+
+    def test_zero_variance(self):
+        interval = mean_confidence_interval(np.full(5, 3.0))
+        assert interval.mean == 3.0
+        assert interval.half_width == 0.0
+
+    def test_coverage_on_normal_samples(self):
+        """~95% of 95% intervals cover the true mean."""
+        rng = np.random.default_rng(0)
+        hits = 0
+        trials = 400
+        for _ in range(trials):
+            samples = rng.normal(10.0, 2.0, size=8)
+            if mean_confidence_interval(samples).contains(10.0):
+                hits += 1
+        assert hits / trials == pytest.approx(0.95, abs=0.03)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            mean_confidence_interval(np.array([1.0]))
+        with pytest.raises(ValidationError):
+            mean_confidence_interval(np.array([1.0, np.nan]))
+        with pytest.raises(ValidationError):
+            mean_confidence_interval(np.ones((2, 2)))
+
+
+class TestReplicate:
+    def test_deterministic_experiment(self):
+        estimate = replicate(lambda seed: float(seed),
+                             n_replications=5, base_seed=10)
+        assert estimate.interval.mean == pytest.approx(12.0)
+        assert np.array_equal(estimate.samples,
+                              [10.0, 11.0, 12.0, 13.0, 14.0])
+
+    def test_reference_agreement(self):
+        estimate = replicate(
+            lambda seed: 1.0 + 0.01 * (seed % 3 - 1),
+            n_replications=6, reference=1.0)
+        assert estimate.agrees is True
+        off = replicate(lambda seed: 1.0, n_replications=3,
+                        reference=2.0)
+        assert off.agrees is False
+
+    def test_no_reference(self):
+        estimate = replicate(lambda seed: 1.0, n_replications=2)
+        assert estimate.agrees is None
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            replicate(lambda seed: 1.0, n_replications=1)
+
+
+class TestSimulatedPfInterval:
+    def test_analytic_value_inside_interval(self):
+        setup = ExperimentSetup(n_objects=60,
+                                updates_per_period=120.0,
+                                syncs_per_period=30.0, theta=1.0,
+                                update_std_dev=1.0)
+        catalog = build_catalog(setup, seed=2)
+        plan = PerceivedFreshener().plan(catalog, 30.0)
+        estimate = simulated_pf_interval(catalog, plan.frequencies,
+                                         n_replications=5,
+                                         n_periods=60,
+                                         request_rate=300.0)
+        assert estimate.reference == pytest.approx(
+            plan.perceived_freshness)
+        assert estimate.agrees, (
+            f"analytic {estimate.reference} outside "
+            f"[{estimate.interval.low}, {estimate.interval.high}]")
+        # Replications genuinely vary.
+        assert estimate.samples.std() > 0.0

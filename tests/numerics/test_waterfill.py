@@ -1,0 +1,110 @@
+"""Tests for repro.numerics.waterfill."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InfeasibleProblemError
+from repro.numerics.waterfill import waterfill
+
+
+def quadratic_allocator(slopes: np.ndarray, costs: np.ndarray):
+    """Allocator for u_i(x) = slopes_i * x - x^2 / 2 with costs.
+
+    KKT: slopes_i - x_i = mu * costs_i  =>  x_i = max(slopes_i -
+    mu*costs_i, 0).  The exact solution is analytic, so water-filling
+    can be checked against ground truth.
+    """
+
+    def allocate_at(mu: float):
+        x = np.maximum(slopes - mu * costs, 0.0)
+        return x, float(costs @ x)
+
+    return allocate_at
+
+
+class TestWaterfillQuadratic:
+    def test_matches_analytic_two_items(self):
+        slopes = np.array([3.0, 1.0])
+        costs = np.ones(2)
+        allocate = quadratic_allocator(slopes, costs)
+        result = waterfill(allocate, budget=2.0, mu_max=3.0)
+        # mu solves (3-mu) + (1-mu) = 2 while both active: mu = 1.
+        assert result.allocations == pytest.approx([2.0, 0.0], abs=1e-8)
+
+    def test_inactive_item_gets_zero(self):
+        slopes = np.array([5.0, 0.1])
+        costs = np.ones(2)
+        allocate = quadratic_allocator(slopes, costs)
+        result = waterfill(allocate, budget=1.0, mu_max=5.0)
+        # Budget 1 < 4.9 gap, so only the strong item is active.
+        assert result.allocations[1] == 0.0
+        assert result.allocations[0] == pytest.approx(1.0, abs=1e-8)
+
+    def test_budget_exactly_consumed(self):
+        slopes = np.array([2.0, 3.0, 4.0])
+        costs = np.array([1.0, 2.0, 0.5])
+        allocate = quadratic_allocator(slopes, costs)
+        result = waterfill(allocate, budget=1.7, mu_max=8.0)
+        assert float(costs @ result.allocations) == pytest.approx(1.7,
+                                                                  rel=1e-9)
+        assert result.cost == pytest.approx(1.7)
+
+    def test_rejects_nonpositive_budget(self):
+        allocate = quadratic_allocator(np.array([1.0]), np.ones(1))
+        with pytest.raises(InfeasibleProblemError):
+            waterfill(allocate, budget=0.0, mu_max=1.0)
+        with pytest.raises(InfeasibleProblemError):
+            waterfill(allocate, budget=-1.0, mu_max=1.0)
+
+    def test_rejects_nonpositive_mu_max(self):
+        allocate = quadratic_allocator(np.array([1.0]), np.ones(1))
+        with pytest.raises(InfeasibleProblemError):
+            waterfill(allocate, budget=1.0, mu_max=0.0)
+
+    @given(st.integers(min_value=1, max_value=20),
+           st.floats(min_value=0.1, max_value=50.0),
+           st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_kkt_holds_for_random_problems(self, n, budget, seed):
+        rng = np.random.default_rng(seed)
+        slopes = rng.uniform(0.5, 10.0, size=n)
+        costs = rng.uniform(0.2, 3.0, size=n)
+        allocate = quadratic_allocator(slopes, costs)
+        result = waterfill(allocate, budget=budget,
+                           mu_max=float((slopes / costs).max()))
+        x = result.allocations
+        assert (x >= 0.0).all()
+        saturation_cost = float(costs @ slopes)
+        if budget <= saturation_cost:
+            assert float(costs @ x) == pytest.approx(budget, rel=1e-6)
+        else:
+            # Budget exceeds the unconstrained optimum: the saturated
+            # allocation (x = slopes) must come back, under budget.
+            assert result.multiplier == 0.0
+            assert np.allclose(x, slopes, rtol=1e-6)
+            assert float(costs @ x) <= budget
+        # KKT: marginal per unit cost equal on active items, lower on
+        # inactive ones.  (Allocations were snapped onto the budget,
+        # so allow a modest tolerance.)
+        marginals = (slopes - x) / costs
+        active = x > 1e-9
+        if active.any():
+            mu = marginals[active].mean()
+            assert np.allclose(marginals[active], mu, atol=1e-4)
+            if (~active).any():
+                assert (marginals[~active] <= mu + 1e-4).all()
+
+    @given(st.floats(min_value=0.2, max_value=5.0),
+           st.floats(min_value=1.05, max_value=4.0))
+    @settings(max_examples=40, deadline=None)
+    def test_multiplier_decreases_as_budget_grows(self, budget, factor):
+        slopes = np.array([4.0, 2.0, 1.0])
+        costs = np.ones(3)
+        allocate = quadratic_allocator(slopes, costs)
+        small = waterfill(allocate, budget=budget, mu_max=4.0)
+        large = waterfill(allocate, budget=budget * factor, mu_max=4.0)
+        assert large.multiplier < small.multiplier + 1e-9

@@ -1,0 +1,175 @@
+"""Tests for repro.profiles.aggregation and learning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.profiles.aggregation import aggregate_profiles, profile_divergence
+from repro.profiles.learning import ProfileLearner, estimate_profile
+from repro.profiles.profile import UserProfile
+from repro.workloads.accesses import AccessSet
+
+
+class TestAggregateProfiles:
+    def test_equal_users_average(self):
+        first = UserProfile(probabilities=np.array([1.0, 0.0]))
+        second = UserProfile(probabilities=np.array([0.0, 1.0]))
+        master = aggregate_profiles([first, second])
+        assert master.probabilities == pytest.approx([0.5, 0.5])
+
+    def test_importance_weights_users(self):
+        # The paper: "profiles can be weighted... (e.g., generals)".
+        general = UserProfile(probabilities=np.array([1.0, 0.0]),
+                              importance=3.0)
+        private = UserProfile(probabilities=np.array([0.0, 1.0]))
+        master = aggregate_profiles([general, private])
+        assert master.probabilities == pytest.approx([0.75, 0.25])
+
+    def test_single_profile_identity(self):
+        profile = UserProfile(probabilities=np.array([0.3, 0.7]))
+        master = aggregate_profiles([profile])
+        assert master.probabilities == pytest.approx([0.3, 0.7])
+
+    def test_master_named(self):
+        profile = UserProfile(probabilities=np.array([1.0]))
+        assert aggregate_profiles([profile]).name == "master"
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            aggregate_profiles([])
+
+    def test_rejects_size_mismatch(self):
+        first = UserProfile(probabilities=np.array([1.0]))
+        second = UserProfile(probabilities=np.array([0.5, 0.5]))
+        with pytest.raises(ValidationError):
+            aggregate_profiles([first, second])
+
+    def test_accepts_generator(self):
+        master = aggregate_profiles(
+            UserProfile(probabilities=np.array([0.5, 0.5]))
+            for _ in range(3))
+        assert master.probabilities == pytest.approx([0.5, 0.5])
+
+
+class TestProfileDivergence:
+    def test_zero_for_identical(self):
+        profile = UserProfile(probabilities=np.array([0.2, 0.8]))
+        assert profile_divergence(profile, profile) == 0.0
+
+    def test_one_for_disjoint(self):
+        first = UserProfile(probabilities=np.array([1.0, 0.0]))
+        second = UserProfile(probabilities=np.array([0.0, 1.0]))
+        assert profile_divergence(first, second) == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        first = UserProfile(probabilities=np.array([0.7, 0.3]))
+        second = UserProfile(probabilities=np.array([0.2, 0.8]))
+        assert profile_divergence(first, second) == pytest.approx(
+            profile_divergence(second, first))
+
+    def test_rejects_mismatched_sizes(self):
+        first = UserProfile(probabilities=np.array([1.0]))
+        second = UserProfile(probabilities=np.array([0.5, 0.5]))
+        with pytest.raises(ValidationError):
+            profile_divergence(first, second)
+
+
+class TestEstimateProfile:
+    def test_smoothed_estimate(self):
+        accesses = AccessSet(times=np.array([0.0, 1.0, 2.0]),
+                             elements=np.array([0, 0, 1]))
+        profile = estimate_profile(accesses, 3, smoothing=1.0)
+        assert profile.probabilities == pytest.approx(
+            [3.0 / 6.0, 2.0 / 6.0, 1.0 / 6.0])
+
+    def test_unsmoothed_is_empirical(self):
+        accesses = AccessSet(times=np.array([0.0, 1.0, 2.0, 3.0]),
+                             elements=np.array([0, 0, 1, 1]))
+        profile = estimate_profile(accesses, 2, smoothing=0.0)
+        assert profile.probabilities == pytest.approx([0.5, 0.5])
+
+    def test_rejects_empty_without_smoothing(self):
+        accesses = AccessSet(times=np.empty(0),
+                             elements=np.empty(0, dtype=int))
+        with pytest.raises(ValidationError):
+            estimate_profile(accesses, 2, smoothing=0.0)
+
+    def test_rejects_negative_smoothing(self):
+        accesses = AccessSet(times=np.empty(0),
+                             elements=np.empty(0, dtype=int))
+        with pytest.raises(ValidationError):
+            estimate_profile(accesses, 2, smoothing=-1.0)
+
+
+class TestProfileLearner:
+    def test_estimate_uniform_before_observations(self):
+        learner = ProfileLearner(4, smoothing=1.0)
+        assert np.allclose(learner.estimate().probabilities, 0.25)
+
+    def test_learns_observed_skew(self):
+        learner = ProfileLearner(3, smoothing=0.0)
+        learner.observe(np.array([0, 0, 0, 1]))
+        assert learner.estimate().probabilities == pytest.approx(
+            [0.75, 0.25, 0.0])
+
+    def test_decay_forgets_old_interest(self):
+        learner = ProfileLearner(2, decay=0.1, smoothing=0.0)
+        learner.observe(np.array([0] * 100))
+        learner.end_period()
+        learner.end_period()
+        learner.observe(np.array([1] * 10))
+        estimate = learner.estimate()
+        # Element 1's recent interest dominates the decayed history.
+        assert estimate.probabilities[1] > estimate.probabilities[0]
+
+    def test_no_decay_keeps_counts(self):
+        learner = ProfileLearner(2, decay=1.0, smoothing=0.0)
+        learner.observe(np.array([0, 1]))
+        learner.end_period()
+        assert learner.estimate().probabilities == pytest.approx(
+            [0.5, 0.5])
+
+    def test_observe_access_set(self):
+        learner = ProfileLearner(2, smoothing=0.0)
+        accesses = AccessSet(times=np.array([0.0, 1.0]),
+                             elements=np.array([1, 1]))
+        learner.observe_access_set(accesses)
+        assert learner.total_observed == 2
+        assert learner.estimate().probabilities == pytest.approx(
+            [0.0, 1.0])
+
+    def test_empty_observation_is_noop(self):
+        learner = ProfileLearner(2)
+        learner.observe(np.empty(0, dtype=int))
+        assert learner.total_observed == 0
+
+    def test_rejects_out_of_range_elements(self):
+        learner = ProfileLearner(2)
+        with pytest.raises(ValidationError):
+            learner.observe(np.array([2]))
+        with pytest.raises(ValidationError):
+            learner.observe(np.array([-1]))
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ValidationError):
+            ProfileLearner(0)
+        with pytest.raises(ValidationError):
+            ProfileLearner(2, decay=0.0)
+        with pytest.raises(ValidationError):
+            ProfileLearner(2, decay=1.5)
+        with pytest.raises(ValidationError):
+            ProfileLearner(2, smoothing=-0.5)
+
+    def test_rejects_estimate_with_nothing(self):
+        learner = ProfileLearner(2, smoothing=0.0)
+        with pytest.raises(ValidationError):
+            learner.estimate()
+
+    def test_converges_to_true_profile(self, rng):
+        true = np.array([0.5, 0.3, 0.15, 0.05])
+        learner = ProfileLearner(4, decay=1.0, smoothing=1.0)
+        learner.observe(rng.choice(4, size=20_000, p=true))
+        estimate = learner.estimate().probabilities
+        assert np.allclose(estimate, true, atol=0.02)

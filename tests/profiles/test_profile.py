@@ -1,0 +1,115 @@
+"""Tests for repro.profiles.profile."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.profiles.profile import UserProfile
+
+
+class TestUserProfileValidation:
+    def test_valid_profile(self):
+        profile = UserProfile(probabilities=np.array([0.6, 0.4]))
+        assert profile.n_elements == 2
+        assert profile.importance == 1.0
+
+    def test_rejects_not_summing_to_one(self):
+        with pytest.raises(ValidationError):
+            UserProfile(probabilities=np.array([0.6, 0.6]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            UserProfile(probabilities=np.array([1.4, -0.4]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            UserProfile(probabilities=np.empty(0))
+
+    def test_rejects_nonpositive_importance(self):
+        with pytest.raises(ValidationError):
+            UserProfile(probabilities=np.array([1.0]), importance=0.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            UserProfile(probabilities=np.array([np.nan, 1.0]))
+
+    def test_probabilities_immutable(self):
+        profile = UserProfile(probabilities=np.array([0.5, 0.5]))
+        with pytest.raises(ValueError):
+            profile.probabilities[0] = 0.9
+
+
+class TestConstructors:
+    def test_from_weights_normalizes(self):
+        profile = UserProfile.from_weights(np.array([3.0, 1.0]))
+        assert profile.probabilities == pytest.approx([0.75, 0.25])
+
+    def test_from_weights_rejects_all_zero(self):
+        with pytest.raises(ValidationError):
+            UserProfile.from_weights(np.zeros(3))
+
+    def test_from_weights_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            UserProfile.from_weights(np.array([1.0, -1.0]))
+
+    def test_from_access_counts_dense(self):
+        profile = UserProfile.from_access_counts(
+            np.array([2.0, 0.0, 6.0]), 3)
+        assert profile.probabilities == pytest.approx([0.25, 0.0, 0.75])
+
+    def test_from_access_counts_sparse(self):
+        profile = UserProfile.from_access_counts({0: 1, 2: 3}, 4)
+        assert profile.probabilities == pytest.approx(
+            [0.25, 0.0, 0.75, 0.0])
+
+    def test_from_access_counts_rejects_out_of_range(self):
+        with pytest.raises(ValidationError):
+            UserProfile.from_access_counts({5: 1}, 3)
+
+    def test_from_access_counts_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            UserProfile.from_access_counts({0: -1}, 3)
+
+    def test_from_access_counts_rejects_wrong_shape(self):
+        with pytest.raises(ValidationError):
+            UserProfile.from_access_counts(np.array([1.0, 2.0]), 3)
+
+    def test_from_attribute(self):
+        # A day-trader profile: interest proportional to volatility.
+        volatility = np.array([0.5, 2.0, 1.5])
+        profile = UserProfile.from_attribute(volatility,
+                                             lambda v: v ** 2)
+        expected = volatility ** 2 / (volatility ** 2).sum()
+        assert profile.probabilities == pytest.approx(expected)
+
+    def test_from_attribute_rejects_shape_change(self):
+        with pytest.raises(ValidationError):
+            UserProfile.from_attribute(np.array([1.0, 2.0]),
+                                       lambda v: v[:1])
+
+
+class TestUniformMixture:
+    def test_epsilon_zero_is_identity(self):
+        profile = UserProfile(probabilities=np.array([0.9, 0.1]))
+        blended = profile.uniform_mixture(0.0)
+        assert np.allclose(blended.probabilities,
+                           profile.probabilities)
+
+    def test_epsilon_one_is_uniform(self):
+        profile = UserProfile(probabilities=np.array([0.9, 0.1]))
+        blended = profile.uniform_mixture(1.0)
+        assert np.allclose(blended.probabilities, 0.5)
+
+    def test_intermediate_mix(self):
+        profile = UserProfile(probabilities=np.array([1.0, 0.0]))
+        blended = profile.uniform_mixture(0.5)
+        assert blended.probabilities == pytest.approx([0.75, 0.25])
+
+    def test_rejects_bad_epsilon(self):
+        profile = UserProfile(probabilities=np.array([1.0]))
+        with pytest.raises(ValidationError):
+            profile.uniform_mixture(1.5)
+        with pytest.raises(ValidationError):
+            profile.uniform_mixture(-0.1)

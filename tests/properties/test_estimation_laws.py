@@ -1,0 +1,120 @@
+"""Statistical laws of the change-rate estimators.
+
+Consistency, bias ordering, and invariances that must hold for the
+censored-Poisson machinery the adaptive runtime leans on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.estimation.change_rate import (
+    bias_reduced_rate_estimate,
+    mle_rate_estimate,
+    naive_rate_estimate,
+)
+from repro.estimation.ttl import (
+    expected_fresh_probability,
+    rate_from_ttl,
+    ttl_for_confidence,
+)
+
+
+def observed_changes(rng, rate, interval, polls):
+    return float((rng.poisson(rate * interval, size=polls) > 0).sum())
+
+
+class TestConsistency:
+    @pytest.mark.parametrize("rate", [0.5, 2.0])
+    def test_error_shrinks_with_sample_size(self, rate):
+        """RMSE of the bias-reduced estimator over many repetitions
+        falls as the poll count grows (consistency)."""
+        rng = np.random.default_rng(0)
+        interval = 0.5
+
+        def rmse(polls: int, repetitions: int = 200) -> float:
+            errors = []
+            for _ in range(repetitions):
+                k = observed_changes(rng, rate, interval, polls)
+                estimate = bias_reduced_rate_estimate(
+                    np.array([float(polls)]), np.array([k]),
+                    interval)[0]
+                errors.append((estimate - rate) ** 2)
+            return float(np.sqrt(np.mean(errors)))
+
+        assert rmse(800) < rmse(50)
+
+    @given(st.floats(min_value=0.1, max_value=4.0),
+           st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_naive_never_exceeds_mle(self, rate, seed):
+        """−ln(1−x) ≥ x: the censoring correction only raises the
+        estimate."""
+        rng = np.random.default_rng(seed)
+        interval = 0.5
+        polls = 500
+        k = observed_changes(rng, rate, interval, polls)
+        if k == polls:
+            return  # MLE undefined at saturation
+        naive = naive_rate_estimate(np.array([float(polls)]),
+                                    np.array([k]), interval)[0]
+        mle = mle_rate_estimate(np.array([float(polls)]),
+                                np.array([k]), interval)[0]
+        assert naive <= mle + 1e-12
+
+    @given(st.integers(min_value=1, max_value=2000),
+           st.floats(min_value=0.05, max_value=4.0))
+    @settings(max_examples=50)
+    def test_bias_reduced_below_mle_and_finite(self, polls, interval):
+        """The +0.5 corrections shrink the estimate slightly and keep
+        it finite even at saturation."""
+        n = np.array([float(polls)])
+        for k in (0.0, polls / 2.0, float(polls)):
+            reduced = bias_reduced_rate_estimate(n, np.array([k]),
+                                                 interval)[0]
+            assert np.isfinite(reduced)
+            mle = mle_rate_estimate(n, np.array([k]), interval)[0]
+            assert reduced <= mle + 1e-12
+
+    @given(st.floats(min_value=0.1, max_value=5.0),
+           st.floats(min_value=0.1, max_value=2.0),
+           st.floats(min_value=1.5, max_value=4.0))
+    @settings(max_examples=40)
+    def test_interval_scale_invariance(self, rate, interval, factor):
+        """The same change *fraction* observed at interval c·I implies
+        a rate c times smaller — exactly."""
+        n = np.array([100.0])
+        k = np.array([40.0])
+        base = mle_rate_estimate(n, k, interval)[0]
+        stretched = mle_rate_estimate(n, k, interval * factor)[0]
+        assert stretched * factor == pytest.approx(base, rel=1e-12)
+
+
+class TestTtlLaws:
+    @given(st.floats(min_value=0.05, max_value=10.0),
+           st.floats(min_value=0.05, max_value=0.95))
+    @settings(max_examples=60)
+    def test_ttl_survival_consistency(self, rate, confidence):
+        """Survival at the fitted TTL equals the stated confidence."""
+        ttl = ttl_for_confidence(np.array([rate]), confidence)[0]
+        survived = expected_fresh_probability(np.array([rate]),
+                                              float(ttl))[0]
+        assert survived == pytest.approx(confidence, rel=1e-9)
+
+    @given(st.floats(min_value=0.05, max_value=10.0),
+           st.floats(min_value=0.05, max_value=0.95))
+    @settings(max_examples=60)
+    def test_rate_ttl_inverse_pair(self, rate, confidence):
+        ttl = ttl_for_confidence(np.array([rate]), confidence)
+        recovered = rate_from_ttl(ttl, confidence=confidence)[0]
+        assert recovered == pytest.approx(rate, rel=1e-9)
+
+    @given(st.floats(min_value=0.05, max_value=10.0))
+    @settings(max_examples=40)
+    def test_higher_confidence_means_shorter_ttl(self, rate):
+        loose = ttl_for_confidence(np.array([rate]), 0.5)[0]
+        strict = ttl_for_confidence(np.array([rate]), 0.9)[0]
+        assert strict < loose

@@ -1,0 +1,143 @@
+"""Structural laws of the heuristic pipeline.
+
+Partitioning, representatives, refinement and allocation must satisfy
+exact relationships (lossless cases, bounds, conservation) for any
+workload — these are the properties that make the heuristic *safe*
+to deploy, not merely usually-good.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocation import AllocationPolicy, expand_partition_frequencies
+from repro.core.clustering import refine_partitions
+from repro.core.freshener import PartitionedFreshener
+from repro.core.metrics import perceived_freshness
+from repro.core.partitioning import PartitioningStrategy, partition_catalog
+from repro.core.representatives import (
+    build_representatives,
+    solve_transformed_problem,
+)
+from repro.core.solver import solve_core_problem
+from repro.workloads.catalog import Catalog
+
+from tests.conftest import random_catalog
+
+seeds = st.integers(min_value=0, max_value=2 ** 31 - 1)
+strategies = st.sampled_from(list(PartitioningStrategy))
+
+
+class TestHeuristicBounds:
+    @given(seeds, strategies, st.integers(min_value=1, max_value=20))
+    @settings(max_examples=50, deadline=None)
+    def test_heuristic_bounded_by_optimum(self, seed, strategy, k):
+        rng = np.random.default_rng(seed)
+        catalog = random_catalog(rng, 25, sized=True)
+        bandwidth = 10.0
+        optimum = solve_core_problem(catalog, bandwidth).objective
+        plan = PartitionedFreshener(k, strategy=strategy).plan(
+            catalog, bandwidth)
+        assert plan.perceived_freshness <= optimum + 1e-8
+
+    @given(seeds, strategies)
+    @settings(max_examples=40, deadline=None)
+    def test_singleton_partitions_are_lossless(self, seed, strategy):
+        rng = np.random.default_rng(seed)
+        catalog = random_catalog(rng, 12, sized=True)
+        bandwidth = 6.0
+        optimum = solve_core_problem(catalog, bandwidth).objective
+        plan = PartitionedFreshener(12, strategy=strategy).plan(
+            catalog, bandwidth)
+        assert plan.perceived_freshness == pytest.approx(optimum,
+                                                         abs=1e-6)
+
+    @given(seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_identical_elements_lossless_at_any_k(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 12
+        rate = float(rng.uniform(0.5, 4.0))
+        catalog = Catalog(access_probabilities=np.full(n, 1.0 / n),
+                          change_rates=np.full(n, rate))
+        bandwidth = 6.0
+        optimum = solve_core_problem(catalog, bandwidth).objective
+        for k in (1, 3, 6):
+            plan = PartitionedFreshener(k).plan(catalog, bandwidth)
+            assert plan.perceived_freshness == pytest.approx(
+                optimum, abs=1e-8)
+
+
+class TestBudgetConservation:
+    @given(seeds, strategies, st.integers(min_value=1, max_value=15),
+           st.sampled_from(list(AllocationPolicy)))
+    @settings(max_examples=50, deadline=None)
+    def test_full_pipeline_spends_exactly_the_budget(self, seed,
+                                                     strategy, k,
+                                                     policy):
+        rng = np.random.default_rng(seed)
+        catalog = random_catalog(rng, 20, sized=True)
+        bandwidth = 8.0
+        assignment = partition_catalog(catalog, k, strategy)
+        problem = build_representatives(catalog, assignment)
+        solution = solve_transformed_problem(problem, bandwidth)
+        frequencies = expand_partition_frequencies(
+            catalog, problem, solution.frequencies, policy)
+        assert float(catalog.sizes @ frequencies) == pytest.approx(
+            bandwidth, rel=1e-6)
+
+    @given(seeds, st.integers(min_value=2, max_value=8),
+           st.integers(min_value=0, max_value=6))
+    @settings(max_examples=30, deadline=None)
+    def test_refinement_preserves_budget(self, seed, k, iterations):
+        rng = np.random.default_rng(seed)
+        catalog = random_catalog(rng, 24)
+        bandwidth = 10.0
+        initial = partition_catalog(catalog, k, PartitioningStrategy.PF)
+        steps = refine_partitions(catalog, bandwidth, initial,
+                                  iterations=iterations)
+        for step in steps:
+            assert float(catalog.sizes @ step.frequencies) == \
+                pytest.approx(bandwidth, rel=1e-6)
+
+
+class TestInterestConservation:
+    @given(seeds, strategies, st.integers(min_value=1, max_value=10))
+    @settings(max_examples=40, deadline=None)
+    def test_representatives_preserve_total_interest_and_count(
+            self, seed, strategy, k):
+        rng = np.random.default_rng(seed)
+        catalog = random_catalog(rng, 18, sized=True)
+        assignment = partition_catalog(catalog, k, strategy)
+        problem = build_representatives(catalog, assignment)
+        assert problem.counts.sum() == pytest.approx(18.0)
+        # Σ nₖ·p̄ₖ = Σ pᵢ = 1: the transformed objective sees all the
+        # interest.
+        assert problem.weights.sum() == pytest.approx(1.0)
+        # Σ nₖ·λ̄ₖ = Σ λᵢ with plain-mean representatives.
+        assert float((problem.counts
+                      * problem.mean_change_rates).sum()) == \
+            pytest.approx(float(catalog.change_rates.sum()))
+
+    @given(seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_transformed_objective_bounds_expanded_objective(self, seed):
+        """The transformed problem's objective (identical elements
+        assumption) is an estimate; the expanded schedule's true PF
+        can differ, but both are bounded by the true optimum."""
+        rng = np.random.default_rng(seed)
+        catalog = random_catalog(rng, 20)
+        bandwidth = 8.0
+        optimum = solve_core_problem(catalog, bandwidth).objective
+        assignment = partition_catalog(catalog, 4,
+                                       PartitioningStrategy.PF)
+        problem = build_representatives(catalog, assignment)
+        solution = solve_transformed_problem(problem, bandwidth)
+        frequencies = expand_partition_frequencies(
+            catalog, problem, solution.frequencies,
+            AllocationPolicy.FIXED_FREQUENCY)
+        true_pf = perceived_freshness(catalog, frequencies)
+        assert true_pf <= optimum + 1e-8

@@ -1,0 +1,175 @@
+"""Metamorphic properties of the Core-Problem solver.
+
+Each test states a transformation of the input whose effect on the
+*optimal solution* is known a priori — powerful correctness checks
+that need no reference values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import perceived_freshness
+from repro.core.solver import solve_core_problem, solve_weighted_problem
+from repro.workloads.catalog import Catalog
+
+from tests.conftest import random_catalog
+
+seeds = st.integers(min_value=0, max_value=2 ** 31 - 1)
+
+
+class TestPermutationEquivariance:
+    @given(seeds, st.integers(min_value=2, max_value=30))
+    @settings(max_examples=40, deadline=None)
+    def test_solution_permutes_with_catalog(self, seed, n):
+        rng = np.random.default_rng(seed)
+        catalog = random_catalog(rng, n)
+        solution = solve_core_problem(catalog, 0.5 * n)
+        permutation = rng.permutation(n)
+        permuted = Catalog(
+            access_probabilities=catalog.access_probabilities[permutation],
+            change_rates=catalog.change_rates[permutation],
+            sizes=catalog.sizes[permutation])
+        permuted_solution = solve_core_problem(permuted, 0.5 * n)
+        assert np.allclose(permuted_solution.frequencies,
+                           solution.frequencies[permutation],
+                           atol=1e-7)
+
+
+class TestCloningIdentity:
+    @given(seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_cloning_an_element_extends_the_solution(self, seed):
+        """Add a clone of element 0 (same weight, rate, cost) and one
+        clone's worth of extra budget: the clone and the original each
+        take the original frequency and every other element's
+        allocation is untouched — the KKT system extends verbatim."""
+        rng = np.random.default_rng(seed)
+        n = 10
+        catalog = random_catalog(rng, n)
+        bandwidth = 5.0
+        weights = catalog.access_probabilities
+        lam = catalog.change_rates
+        costs = catalog.sizes
+        base = solve_weighted_problem(weights, lam, costs, bandwidth)
+
+        cloned_weights = np.concatenate([[weights[0]], weights])
+        cloned_lam = np.concatenate([[lam[0]], lam])
+        cloned_costs = np.concatenate([[costs[0]], costs])
+        extra = float(costs[0] * base.frequencies[0])
+        cloned = solve_weighted_problem(cloned_weights, cloned_lam,
+                                        cloned_costs,
+                                        bandwidth + extra
+                                        if extra > 0 else bandwidth)
+        assert cloned.frequencies[0] == pytest.approx(
+            cloned.frequencies[1], rel=1e-6, abs=1e-9)
+        assert cloned.frequencies[0] == pytest.approx(
+            base.frequencies[0], rel=1e-4, abs=1e-6)
+        assert np.allclose(cloned.frequencies[1:], base.frequencies,
+                           atol=1e-5)
+
+
+class TestScalingInvariances:
+    @given(seeds, st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=40, deadline=None)
+    def test_joint_rate_bandwidth_scaling(self, seed, factor):
+        """Scaling all rates AND the budget by c scales frequencies by
+        c and leaves freshness unchanged (time-unit change)."""
+        rng = np.random.default_rng(seed)
+        catalog = random_catalog(rng, 12)
+        base = solve_core_problem(catalog, 6.0)
+        scaled_catalog = catalog.with_change_rates(
+            factor * catalog.change_rates)
+        scaled = solve_core_problem(scaled_catalog, factor * 6.0)
+        assert np.allclose(scaled.frequencies,
+                           factor * base.frequencies, rtol=1e-5,
+                           atol=1e-8)
+        assert scaled.objective == pytest.approx(base.objective,
+                                                 abs=1e-8)
+
+    @given(seeds, st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=40, deadline=None)
+    def test_joint_size_bandwidth_scaling(self, seed, factor):
+        """Scaling all sizes and the budget by c leaves frequencies
+        unchanged (bandwidth-unit change)."""
+        rng = np.random.default_rng(seed)
+        catalog = random_catalog(rng, 12, sized=True)
+        base = solve_core_problem(catalog, 6.0)
+        scaled = solve_core_problem(
+            catalog.with_sizes(factor * catalog.sizes), factor * 6.0)
+        assert np.allclose(scaled.frequencies, base.frequencies,
+                           rtol=1e-6, atol=1e-9)
+
+
+class TestMonotonicityProperties:
+    @given(seeds, st.floats(min_value=1.1, max_value=5.0))
+    @settings(max_examples=40, deadline=None)
+    def test_pf_monotone_in_bandwidth(self, seed, factor):
+        rng = np.random.default_rng(seed)
+        catalog = random_catalog(rng, 15)
+        low = solve_core_problem(catalog, 3.0)
+        high = solve_core_problem(catalog, 3.0 * factor)
+        assert high.objective >= low.objective - 1e-10
+
+    @given(seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_boosting_an_elements_interest_never_lowers_its_bandwidth(
+            self, seed):
+        rng = np.random.default_rng(seed)
+        catalog = random_catalog(rng, 10)
+        base = solve_core_problem(catalog, 5.0)
+        # Double element 3's weight (unnormalized weighted problem, so
+        # other weights stay fixed).
+        boosted = catalog.access_probabilities.copy()
+        boosted[3] *= 2.0
+        boosted_solution = solve_weighted_problem(
+            boosted, catalog.change_rates, catalog.sizes, 5.0)
+        assert boosted_solution.frequencies[3] >= \
+            base.frequencies[3] - 1e-8
+
+    @given(seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_dominated_element_gets_less_bandwidth(self, seed):
+        """If element a has lower interest AND higher change rate AND
+        larger size than element b, it cannot receive a higher sync
+        frequency at the optimum."""
+        rng = np.random.default_rng(seed)
+        n = 8
+        weights = rng.uniform(0.05, 1.0, size=n)
+        rates = rng.uniform(0.2, 5.0, size=n)
+        sizes = rng.uniform(0.5, 2.0, size=n)
+        # Force domination: element 0 dominated by element 1.
+        weights[0] = weights[1] * 0.5
+        rates[0] = rates[1] * 2.0
+        sizes[0] = sizes[1] * 1.5
+        solution = solve_weighted_problem(weights, rates, sizes, 4.0)
+        assert solution.frequencies[0] <= solution.frequencies[1] + 1e-8
+
+
+class TestOptimalityCertificates:
+    @given(seeds, st.integers(min_value=2, max_value=15))
+    @settings(max_examples=30, deadline=None)
+    def test_random_feasible_perturbations_never_improve(self, seed, n):
+        """First-order optimality, checked directly: moving budget
+        between any two elements of the optimum lowers PF."""
+        rng = np.random.default_rng(seed)
+        catalog = random_catalog(rng, n)
+        bandwidth = 0.6 * n
+        solution = solve_core_problem(catalog, bandwidth)
+        base_pf = solution.objective
+        for _ in range(10):
+            i, j = rng.integers(0, n, size=2)
+            if i == j:
+                continue
+            shift = min(0.1, float(solution.frequencies[i]
+                                   * catalog.sizes[i]))
+            if shift <= 0.0:
+                continue
+            perturbed = solution.frequencies.copy()
+            perturbed[i] -= shift / catalog.sizes[i]
+            perturbed[j] += shift / catalog.sizes[j]
+            assert perceived_freshness(catalog, perturbed) <= \
+                base_pf + 1e-9

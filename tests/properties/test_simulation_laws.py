@@ -1,0 +1,191 @@
+"""Statistical laws connecting the simulator to the analytic model.
+
+These are the deep integration properties: the simulator must obey
+the closed forms the schedulers optimize — not just for optimal
+schedules (covered in tests/sim) but for *arbitrary* ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.freshness import fixed_order_freshness
+from repro.core.metrics import element_freshness
+from repro.sim.simulation import Simulation
+from repro.workloads.catalog import Catalog
+
+from tests.conftest import random_catalog
+
+seeds = st.integers(min_value=0, max_value=2 ** 31 - 1)
+
+
+def simulate(catalog, frequencies, seed, *, periods=150,
+             request_rate=40.0):
+    sim = Simulation(catalog, frequencies, request_rate=request_rate,
+                     rng=np.random.default_rng(seed))
+    return sim.run(n_periods=periods)
+
+
+class TestDefinitionFourEquivalence:
+    """Access-scored PF ≈ time-averaged PF ≈ Σ pᵢ F̄ᵢ (PASTA)."""
+
+    @given(seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_arbitrary_schedules(self, seed):
+        rng = np.random.default_rng(seed)
+        catalog = random_catalog(rng, 8)
+        frequencies = rng.uniform(0.0, 3.0, size=8)
+        result = simulate(catalog, frequencies, seed)
+        analytic = float(catalog.access_probabilities
+                         @ element_freshness(catalog, frequencies))
+        assert result.monitored_time_perceived == pytest.approx(
+            analytic, abs=0.05)
+        assert result.monitored_perceived_freshness == pytest.approx(
+            analytic, abs=0.06)
+
+    def test_per_element_closed_form(self):
+        """Each element's observed time-average matches F̄(λ, f)."""
+        catalog = Catalog(
+            access_probabilities=np.array([0.25, 0.25, 0.25, 0.25]),
+            change_rates=np.array([0.5, 1.0, 2.0, 4.0]))
+        frequencies = np.array([1.0, 1.0, 1.0, 1.0])
+        result = simulate(catalog, frequencies, seed=3, periods=800,
+                          request_rate=10.0)
+        expected = fixed_order_freshness(catalog.change_rates,
+                                         frequencies)
+        assert np.allclose(result.element_time_freshness, expected,
+                           atol=0.04)
+
+    def test_access_weighted_equals_profile_weighted(self):
+        """Accesses sample elements by p, so the access-average of
+        per-element freshness reproduces the p-weighted average even
+        under a very skewed profile."""
+        catalog = Catalog(
+            access_probabilities=np.array([0.85, 0.1, 0.05]),
+            change_rates=np.array([3.0, 1.0, 0.2]))
+        frequencies = np.array([1.5, 0.5, 0.0])
+        result = simulate(catalog, frequencies, seed=9, periods=400,
+                          request_rate=100.0)
+        analytic = float(catalog.access_probabilities
+                         @ element_freshness(catalog, frequencies))
+        assert result.monitored_perceived_freshness == pytest.approx(
+            analytic, abs=0.02)
+
+
+class TestConservationLaws:
+    @given(seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_sync_count_matches_schedule(self, seed):
+        rng = np.random.default_rng(seed)
+        catalog = random_catalog(rng, 6)
+        frequencies = rng.uniform(0.5, 4.0, size=6)
+        periods = 50
+        result = simulate(catalog, frequencies, seed, periods=periods,
+                          request_rate=5.0)
+        expected = frequencies.sum() * periods
+        # Deterministic fixed-order schedule: off by at most one sync
+        # per element from phase truncation.
+        assert abs(result.n_syncs - expected) <= 6
+
+    @given(seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_bandwidth_usage_matches_sizes(self, seed):
+        rng = np.random.default_rng(seed)
+        catalog = random_catalog(rng, 6, sized=True)
+        frequencies = rng.uniform(0.5, 3.0, size=6)
+        periods = 40
+        result = simulate(catalog, frequencies, seed, periods=periods,
+                          request_rate=5.0)
+        expected = float(catalog.sizes @ frequencies) * periods
+        assert result.bandwidth_used == pytest.approx(
+            expected, rel=0.05)
+
+    def test_wasted_polls_match_detection_probability(self):
+        """A poll at interval I finds a change with probability
+        1 − e^(−λI); the wasted fraction must match its complement."""
+        catalog = Catalog(access_probabilities=np.array([1.0]),
+                          change_rates=np.array([1.0]))
+        frequencies = np.array([2.0])  # I = 0.5, waste = e^{-0.5}
+        result = simulate(catalog, frequencies, seed=5, periods=2000,
+                          request_rate=2.0)
+        assert result.wasted_sync_fraction == pytest.approx(
+            np.exp(-0.5), abs=0.03)
+
+
+class TestStochasticOrdering:
+    def test_more_bandwidth_is_fresher_in_simulation(self):
+        rng = np.random.default_rng(4)
+        catalog = random_catalog(rng, 10)
+        slow = simulate(catalog, np.full(10, 0.2), seed=11,
+                        periods=200)
+        fast = simulate(catalog, np.full(10, 2.0), seed=11,
+                        periods=200)
+        assert fast.monitored_time_perceived > \
+            slow.monitored_time_perceived
+
+    def test_faster_changing_world_is_staler(self):
+        rng = np.random.default_rng(6)
+        base = random_catalog(rng, 10)
+        calm = simulate(base, np.ones(10), seed=13, periods=200)
+        volatile_catalog = base.with_change_rates(
+            4.0 * base.change_rates)
+        volatile = simulate(volatile_catalog, np.ones(10), seed=13,
+                            periods=200)
+        assert calm.monitored_time_perceived > \
+            volatile.monitored_time_perceived
+
+
+class TestAgeClosedForm:
+    """The simulator's age integral must obey Ā(λ, f) —
+    an independent check on docs/THEORY.md §4."""
+
+    def test_single_element_age_matches_formula(self):
+        from repro.core.age import fixed_order_age
+
+        catalog = Catalog(access_probabilities=np.array([1.0]),
+                          change_rates=np.array([2.0]))
+        result = simulate(catalog, np.array([2.0]), seed=0,
+                          periods=2000, request_rate=2.0)
+        expected = fixed_order_age(np.array([2.0]),
+                                   np.array([2.0]))[0]
+        assert result.monitored_perceived_age == pytest.approx(
+            expected, rel=0.1)
+
+    def test_per_element_ages_match(self):
+        from repro.core.age import fixed_order_age
+
+        catalog = Catalog(
+            access_probabilities=np.full(4, 0.25),
+            change_rates=np.array([0.5, 1.0, 2.0, 4.0]))
+        frequencies = np.full(4, 1.0)
+        result = simulate(catalog, frequencies, seed=2, periods=1500,
+                          request_rate=4.0)
+        expected = fixed_order_age(catalog.change_rates, frequencies)
+        assert np.allclose(result.element_time_age, expected,
+                           rtol=0.15, atol=0.01)
+
+    def test_age_optimal_schedule_achieves_its_objective(self):
+        from repro.core.age import solve_min_age_problem
+
+        rng = np.random.default_rng(3)
+        catalog = random_catalog(rng, 6)
+        solution = solve_min_age_problem(catalog, 3.0)
+        result = simulate(catalog, solution.frequencies, seed=4,
+                          periods=1200, request_rate=10.0)
+        assert result.monitored_perceived_age == pytest.approx(
+            solution.objective, rel=0.15)
+
+    def test_unsynced_element_age_grows_with_horizon(self):
+        catalog = Catalog(access_probabilities=np.array([1.0]),
+                          change_rates=np.array([5.0]))
+        short = simulate(catalog, np.array([0.0]), seed=5,
+                         periods=20, request_rate=2.0)
+        long = simulate(catalog, np.array([0.0]), seed=5,
+                        periods=200, request_rate=2.0)
+        # With no syncs, age at time t is ≈ t − first-update; its time
+        # average grows ~linearly with the horizon.
+        assert long.monitored_perceived_age > \
+            5.0 * short.monitored_perceived_age

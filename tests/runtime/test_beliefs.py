@@ -1,0 +1,116 @@
+"""Tests for repro.runtime.beliefs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.runtime.beliefs import BeliefState
+
+
+def observe_uniform_polls(state: BeliefState, *, frequency: float,
+                          change_probability: np.ndarray,
+                          periods: int,
+                          rng: np.random.Generator) -> None:
+    """Feed synthetic poll outcomes for several periods."""
+    n = state.n_elements
+    freqs = np.full(n, frequency)
+    polls_per_period = np.full(n, int(frequency))
+    for _ in range(periods):
+        changed = rng.binomial(polls_per_period, change_probability)
+        state.observe_period(np.zeros(n, dtype=int), polls_per_period,
+                             changed, freqs)
+
+
+class TestConstruction:
+    def test_defaults(self):
+        state = BeliefState(4)
+        assert state.n_elements == 4
+        assert np.allclose(state.believed_profile(), 0.25)
+        assert np.allclose(state.believed_rates(), 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            BeliefState(0)
+        with pytest.raises(ValidationError):
+            BeliefState(2, prior_rate=0.0)
+        with pytest.raises(ValidationError):
+            BeliefState(2, rate_blend_polls=0.0)
+        with pytest.raises(ValidationError):
+            BeliefState(2, sizes=np.ones(3))
+
+
+class TestProfileLearning:
+    def test_profile_tracks_observed_accesses(self):
+        state = BeliefState(3, profile_smoothing=0.0)
+        freqs = np.ones(3)
+        state.observe_period(np.array([8, 2, 0]), np.zeros(3),
+                             np.zeros(3), freqs)
+        profile = state.believed_profile()
+        assert profile[0] > profile[1] > profile[2]
+        assert profile.sum() == pytest.approx(1.0)
+
+    def test_divergence_measured_against_reference(self):
+        state = BeliefState(2, profile_smoothing=0.0)
+        state.observe_period(np.array([10, 0]), np.zeros(2),
+                             np.zeros(2), np.ones(2))
+        assert state.profile_divergence_from(
+            np.array([1.0, 0.0])) == pytest.approx(0.0)
+        assert state.profile_divergence_from(
+            np.array([0.0, 1.0])) == pytest.approx(1.0)
+
+    def test_divergence_validates_shape(self):
+        state = BeliefState(2)
+        with pytest.raises(ValidationError):
+            state.profile_divergence_from(np.ones(3))
+
+
+class TestRateEstimation:
+    def test_recovers_rates_from_polls(self, rng):
+        true_rates = np.array([0.5, 2.0, 4.0])
+        state = BeliefState(3, prior_rate=2.0)
+        # Polling at frequency 4/period: interval 0.25.
+        change_probability = 1.0 - np.exp(-true_rates * 0.25)
+        observe_uniform_polls(state, frequency=4.0,
+                              change_probability=change_probability,
+                              periods=2000, rng=rng)
+        estimates = state.believed_rates()
+        assert np.allclose(estimates, true_rates, rtol=0.1)
+
+    def test_unpolled_elements_keep_prior(self):
+        state = BeliefState(2, prior_rate=0.5)
+        freqs = np.array([1.0, 0.0])
+        state.observe_period(np.zeros(2, dtype=int),
+                             np.array([5.0, 0.0]),
+                             np.array([5.0, 0.0]), freqs)
+        rates = state.believed_rates()
+        assert rates[1] == pytest.approx(0.5)  # never polled: prior
+        assert rates[0] > 0.5  # every poll saw a change: rate is up
+
+    def test_shrinkage_toward_prior_with_few_polls(self):
+        state = BeliefState(1, prior_rate=1.0, rate_blend_polls=10.0)
+        # One poll that saw a change: the raw estimate is large, but
+        # one observation should barely move the belief.
+        state.observe_period(np.zeros(1, dtype=int), np.ones(1),
+                             np.ones(1), np.ones(1))
+        assert state.believed_rates()[0] < 2.0
+
+    def test_observe_validates(self):
+        state = BeliefState(2)
+        with pytest.raises(ValidationError):
+            state.observe_period(np.zeros(3, dtype=int), np.zeros(2),
+                                 np.zeros(2), np.ones(2))
+        with pytest.raises(ValidationError):
+            state.observe_period(np.zeros(2, dtype=int), np.ones(2),
+                                 np.full(2, 2.0), np.ones(2))
+
+
+class TestBelievedCatalog:
+    def test_catalog_is_valid_and_sized(self):
+        sizes = np.array([1.0, 2.5])
+        state = BeliefState(2, sizes=sizes)
+        catalog = state.believed_catalog()
+        assert catalog.n_elements == 2
+        assert np.array_equal(catalog.sizes, sizes)
+        assert catalog.access_probabilities.sum() == pytest.approx(1.0)

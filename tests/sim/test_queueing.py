@@ -1,0 +1,121 @@
+"""Tests for repro.sim.queueing — the physical link model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.freshener import PerceivedFreshener
+from repro.errors import SimulationError
+from repro.sim.queueing import SyncLink
+from repro.workloads.presets import ExperimentSetup, build_catalog
+
+
+class TestSyncLinkBasics:
+    def test_idle_link_transfers_on_time(self):
+        link = SyncLink(capacity=2.0)
+        result = link.replay(np.array([0.0, 10.0]), np.array([0, 1]),
+                             np.array([1.0, 4.0]), horizon=20.0)
+        assert np.allclose(result.start_times, [0.0, 10.0])
+        assert np.allclose(result.completion_times, [0.5, 12.0])
+        assert result.max_lateness == pytest.approx(2.0)
+
+    def test_fifo_queueing(self):
+        link = SyncLink(capacity=1.0)
+        # Two unit transfers requested simultaneously: the second
+        # waits for the first.
+        result = link.replay(np.array([0.0, 0.0]), np.array([0, 1]),
+                             np.ones(2), horizon=5.0)
+        assert np.allclose(result.completion_times, [1.0, 2.0])
+        assert result.mean_lateness == pytest.approx(1.5)
+
+    def test_utilization(self):
+        link = SyncLink(capacity=1.0)
+        result = link.replay(np.array([0.0, 5.0]), np.array([0, 0]),
+                             np.array([2.0]), horizon=10.0)
+        assert result.utilization == pytest.approx(0.4)
+
+    def test_backlog_counted(self):
+        link = SyncLink(capacity=0.1)
+        result = link.replay(np.array([0.0, 0.1, 0.2]),
+                             np.zeros(3, dtype=int),
+                             np.array([5.0]), horizon=1.0)
+        assert result.backlog_at_end == 3
+
+    def test_empty_replay(self):
+        link = SyncLink(capacity=1.0)
+        result = link.replay(np.empty(0), np.empty(0, dtype=int),
+                             np.ones(1), horizon=1.0)
+        assert result.utilization == 0.0
+        assert result.mean_lateness == 0.0
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            SyncLink(capacity=0.0)
+        link = SyncLink(capacity=1.0)
+        with pytest.raises(SimulationError):
+            link.replay(np.array([1.0, 0.0]), np.array([0, 0]),
+                        np.ones(1), horizon=1.0)
+        with pytest.raises(SimulationError):
+            link.replay(np.array([0.0]), np.array([2]), np.ones(1),
+                        horizon=1.0)
+        with pytest.raises(SimulationError):
+            link.replay(np.array([0.0]), np.array([0]), np.zeros(1),
+                        horizon=1.0)
+        with pytest.raises(SimulationError):
+            link.replay(np.array([0.0]), np.array([0]), np.ones(1),
+                        horizon=0.0)
+
+
+class TestRequiredCapacity:
+    def test_matches_offered_load(self):
+        link = SyncLink(capacity=1.0)
+        load = link.required_capacity(np.array([2.0, 1.0]),
+                                      np.array([1.0, 3.0]))
+        assert load == pytest.approx(5.0)
+
+    def test_period_length_scales(self):
+        link = SyncLink(capacity=1.0)
+        load = link.required_capacity(np.array([2.0]), np.array([1.0]),
+                                      period_length=4.0)
+        assert load == pytest.approx(0.5)
+
+
+class TestScheduleStability:
+    """The paper's rate-cap abstraction is valid because planned
+    schedules keep the physical link stable."""
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        setup = ExperimentSetup(n_objects=100, updates_per_period=200.0,
+                                syncs_per_period=50.0, theta=1.0,
+                                update_std_dev=1.0)
+        catalog = build_catalog(setup, seed=3, size_shape=2.0)
+        plan = PerceivedFreshener().plan(catalog, 50.0)
+        schedule = plan.schedule(period_length=1.0)
+        times, elements = schedule.events_until(20.0)
+        return catalog, plan, times, elements
+
+    def test_planned_schedule_is_stable_with_headroom(self, workload):
+        catalog, plan, times, elements = workload
+        load = SyncLink(capacity=1.0).required_capacity(
+            plan.frequencies, catalog.sizes)
+        link = SyncLink(capacity=1.3 * load)
+        result = link.replay(times, elements, catalog.sizes,
+                             horizon=20.0)
+        assert result.utilization < 1.0
+        # Lateness is bounded by a few transfer times, not growing.
+        assert result.max_lateness < 2.0
+        assert result.backlog_at_end <= 2
+
+    def test_underprovisioned_link_diverges(self, workload):
+        catalog, plan, times, elements = workload
+        load = SyncLink(capacity=1.0).required_capacity(
+            plan.frequencies, catalog.sizes)
+        link = SyncLink(capacity=0.5 * load)
+        result = link.replay(times, elements, catalog.sizes,
+                             horizon=20.0)
+        # Offered load 2x capacity: the queue grows without bound.
+        assert result.utilization == pytest.approx(1.0, abs=0.05)
+        assert result.max_lateness > 5.0
+        assert result.backlog_at_end > 10

@@ -1,0 +1,158 @@
+"""Tests for repro.sim.rounds — round-based policy simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.sensitivity import crawler_comparison
+from repro.errors import SimulationError, ValidationError
+from repro.sim.rounds import (
+    RandomPollPolicy,
+    SamplingCrawlerPolicy,
+    SchedulePolicy,
+    simulate_rounds,
+)
+from repro.workloads.catalog import Catalog
+from repro.workloads.presets import ExperimentSetup, build_catalog
+
+
+@pytest.fixture
+def catalog():
+    return Catalog(access_probabilities=np.array([0.5, 0.3, 0.2]),
+                   change_rates=np.array([3.0, 1.0, 0.2]))
+
+
+class TestSchedulePolicy:
+    def test_integer_frequencies_poll_every_round(self):
+        policy = SchedulePolicy(np.array([2.0, 1.0, 0.0]))
+        rng = np.random.default_rng(0)
+        polls = policy.choose(0, rng)
+        counts = np.bincount(polls, minlength=3)
+        assert counts.tolist() == [2, 1, 0]
+
+    def test_fractional_frequencies_accumulate(self):
+        policy = SchedulePolicy(np.array([0.5]))
+        rng = np.random.default_rng(0)
+        first = policy.choose(0, rng)
+        second = policy.choose(1, rng)
+        assert first.size + second.size == 1  # one poll per 2 rounds
+
+    def test_long_run_rate_matches(self):
+        freqs = np.array([0.3, 1.7, 0.0])
+        policy = SchedulePolicy(freqs)
+        rng = np.random.default_rng(0)
+        total = np.zeros(3)
+        rounds = 100
+        for round_index in range(rounds):
+            polls = policy.choose(round_index, rng)
+            total += np.bincount(polls, minlength=3)
+        assert np.allclose(total / rounds, freqs, atol=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            SchedulePolicy(np.array([-1.0]))
+        with pytest.raises(ValidationError):
+            SchedulePolicy(np.ones((2, 2)))
+
+
+class TestRandomPollPolicy:
+    def test_budget_and_uniqueness(self):
+        policy = RandomPollPolicy(20, budget=5)
+        polls = policy.choose(0, np.random.default_rng(0))
+        assert polls.size == 5
+        assert np.unique(polls).size == 5
+
+    def test_budget_clipped_to_catalog(self):
+        policy = RandomPollPolicy(3, budget=10)
+        polls = policy.choose(0, np.random.default_rng(0))
+        assert polls.size == 3
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            RandomPollPolicy(0, budget=1)
+        with pytest.raises(ValidationError):
+            RandomPollPolicy(5, budget=0)
+
+
+class TestSamplingCrawlerPolicy:
+    def test_stays_within_budget(self):
+        server_of = np.arange(30) % 3
+        policy = SamplingCrawlerPolicy(server_of, sample_size=2,
+                                       budget=12,
+                                       rng=np.random.default_rng(0))
+        polls = policy.choose(0, np.random.default_rng(1))
+        assert polls.size <= 12
+        assert np.unique(polls).size == polls.size
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            SamplingCrawlerPolicy(np.arange(4) % 2, sample_size=1,
+                                  budget=0,
+                                  rng=np.random.default_rng(0))
+
+
+class TestSimulateRounds:
+    def test_full_polling_is_nearly_fresh(self, catalog):
+        # Poll everything every round: only same-round updates that
+        # precede an access can be stale.
+        policy = SchedulePolicy(np.array([1.0, 1.0, 1.0]))
+        result = simulate_rounds(catalog, policy, n_rounds=100,
+                                 requests_per_round=50.0,
+                                 rng=np.random.default_rng(0))
+        assert result.perceived_freshness > 0.3
+        assert result.n_polls == 300
+
+    def test_no_polling_goes_stale(self, catalog):
+        policy = SchedulePolicy(np.zeros(3))
+        result = simulate_rounds(catalog, policy, n_rounds=60,
+                                 requests_per_round=50.0,
+                                 rng=np.random.default_rng(0))
+        assert result.perceived_freshness < 0.2
+        assert result.n_polls == 0
+
+    def test_more_polling_is_fresher(self, catalog):
+        rng_seed = 7
+        sparse = simulate_rounds(
+            catalog, SchedulePolicy(np.full(3, 0.25)), n_rounds=200,
+            requests_per_round=30.0,
+            rng=np.random.default_rng(rng_seed))
+        dense = simulate_rounds(
+            catalog, SchedulePolicy(np.full(3, 1.0)), n_rounds=200,
+            requests_per_round=30.0,
+            rng=np.random.default_rng(rng_seed))
+        assert dense.perceived_freshness > sparse.perceived_freshness
+
+    def test_budget_enforced(self, catalog):
+        policy = SchedulePolicy(np.array([5.0, 5.0, 5.0]))
+        with pytest.raises(SimulationError):
+            simulate_rounds(catalog, policy, n_rounds=2,
+                            requests_per_round=10.0,
+                            rng=np.random.default_rng(0),
+                            poll_budget=3)
+
+    def test_validation(self, catalog):
+        policy = SchedulePolicy(np.ones(3))
+        with pytest.raises(ValidationError):
+            simulate_rounds(catalog, policy, n_rounds=0,
+                            requests_per_round=10.0,
+                            rng=np.random.default_rng(0))
+        with pytest.raises(ValidationError):
+            simulate_rounds(catalog, policy, n_rounds=5,
+                            requests_per_round=0.0,
+                            rng=np.random.default_rng(0))
+
+
+class TestCrawlerComparison:
+    def test_knowledge_hierarchy(self):
+        """PF (full knowledge) >= sampling crawler (sampled
+        knowledge) >= random polling (no knowledge)."""
+        setup = ExperimentSetup(n_objects=120,
+                                updates_per_period=240.0,
+                                syncs_per_period=60.0, theta=1.0,
+                                update_std_dev=1.0)
+        sweep = crawler_comparison(setup=setup, n_rounds=50,
+                                   requests_per_round=1500.0, seed=0)
+        scores = sweep.notes["scores"]
+        assert scores["PF_SCHEDULE"] > scores["RANDOM_POLLING"]
+        assert scores["SAMPLING_CRAWLER"] > scores["RANDOM_POLLING"]

@@ -1,0 +1,80 @@
+"""Tests for the CLI entry point."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_rejects_unknown_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["figure4"])
+
+    def test_parses_flags(self):
+        args = build_parser().parse_args(
+            ["figure3", "--seed", "7", "--quick", "--plot"])
+        assert args.command == "figure3"
+        assert args.seed == 7
+        assert args.quick
+        assert args.plot
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in ("table1", "figure1", "figure2", "figure3",
+                        "figure5", "figure6", "figure7", "figure8",
+                        "figure9", "figure10", "figure11",
+                        "imperfect-knowledge", "mirror-selection",
+                        "policy-ablation", "bandwidth-sensitivity",
+                        "dispersion-sensitivity", "scale-sensitivity",
+                        "representative-ablation", "adaptive",
+                        "baseline-comparison", "freshness-age",
+                        "burstiness", "report",
+                        "crawler-comparison"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+
+class TestExecution:
+    def test_table1_output(self, capsys):
+        assert main(["table1"]) == 0
+        output = capsys.readouterr().out
+        assert "Table 1" in output
+        assert "1.15" in output
+        assert "1.67" in output
+
+    def test_figure1_output(self, capsys):
+        assert main(["figure1"]) == 0
+        output = capsys.readouterr().out
+        assert "figure1" in output
+        assert "p=0.0333" in output
+
+    def test_figure1_with_plot(self, capsys):
+        assert main(["figure1", "--plot"]) == 0
+        output = capsys.readouterr().out
+        assert "legend:" in output
+
+    def test_figure10_output(self, capsys):
+        assert main(["figure10"]) == 0
+        output = capsys.readouterr().out
+        assert "figure10a" in output
+        assert "perceived freshness" in output
+
+    def test_freshness_age_output(self, capsys):
+        assert main(["freshness-age"]) == 0
+        output = capsys.readouterr().out
+        assert "perceived age" in output
+        assert "inf" in output
+
+    def test_adaptive_quick_output(self, capsys):
+        assert main(["adaptive", "--quick"]) == 0
+        output = capsys.readouterr().out
+        assert "adaptive manager" in output
+        assert "oracle" in output

@@ -1,0 +1,70 @@
+"""Smoke tests: every shipped example must run end to end.
+
+Examples are documentation that executes; a broken example is a
+broken promise.  Each test runs the example's ``main()`` with stdout
+captured and checks for its headline output.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}",
+                                                  path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        output = run_example("quickstart", capsys)
+        assert "Sync frequencies" in output
+        assert "PF technique" in output
+        assert "simulated" in output
+
+    def test_stock_ticker(self, capsys):
+        output = run_example("stock_ticker", capsys)
+        assert "profile-blind starvation" in output
+        assert "quote lookups saw a fresh price" in output
+
+    def test_web_mirror(self, capsys):
+        output = run_example("web_mirror", capsys)
+        assert "warm-up estimation" in output
+        assert "exact optimum, true" in output
+
+    def test_capacity_planning(self, capsys):
+        output = run_example("capacity_planning", capsys)
+        assert "smallest budget meeting the SLO" in output
+        assert "underprovisioned" in output
+
+    @pytest.mark.slow
+    def test_profile_learning(self, capsys):
+        output = run_example("profile_learning", capsys)
+        assert "recovered" in output
+
+    @pytest.mark.slow
+    def test_adaptive_mirror(self, capsys):
+        output = run_example("adaptive_mirror", capsys)
+        assert "user interest flips" in output
+        assert "post-drift oracle" in output
+
+    @pytest.mark.slow
+    def test_calibrate_from_logs(self, capsys):
+        output = run_example("calibrate_from_logs", capsys)
+        assert "calibrated: theta" in output
+        assert "what-if" in output

@@ -1,0 +1,81 @@
+"""Golden regression values for the headline experiments.
+
+Shape assertions live in the benchmarks; these tests additionally pin
+*exact* values at the default seed, so any unintended numerical
+change — a solver tweak, a generator reorder, a tolerance slip —
+trips immediately.  If a change is intentional, regenerate the values
+and say so in the commit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.freshener import GeneralFreshener, PerceivedFreshener
+from repro.core.solver import solve_core_problem
+from repro.workloads.presets import (
+    IDEAL_SETUP,
+    TOY_BANDWIDTH,
+    build_catalog,
+    toy_example_catalog,
+)
+
+
+class TestGoldenTable1:
+    def test_exact_frequencies(self):
+        expected = {
+            "P1": [1.149892, 1.358412, 1.353835, 1.137860, 0.0],
+            "P2": [0.333333, 0.666667, 1.000000, 1.333333, 1.666667],
+            "P3": [1.685736, 1.826306, 1.487958, 0.0, 0.0],
+        }
+        for profile, values in expected.items():
+            solution = solve_core_problem(toy_example_catalog(profile),
+                                          TOY_BANDWIDTH)
+            # The solver's bisection tolerance leaves ~1e-3 wiggle in
+            # the near-degenerate P1/P3 frequencies; objectives are
+            # pinned far tighter below.
+            assert solution.frequencies == pytest.approx(values,
+                                                         abs=5e-3)
+
+    def test_exact_objectives(self):
+        expected = {"P1": 0.373889, "P2": 0.316738, "P3": 0.499469}
+        for profile, value in expected.items():
+            solution = solve_core_problem(toy_example_catalog(profile),
+                                          TOY_BANDWIDTH)
+            assert solution.objective == pytest.approx(value, abs=5e-5)
+
+
+class TestGoldenIdealSetup:
+    """Table-2 workload at seed 0, shuffled, θ = 1."""
+
+    @pytest.fixture(scope="class")
+    def catalog(self):
+        return build_catalog(IDEAL_SETUP, alignment="shuffled", seed=0)
+
+    def test_workload_statistics(self, catalog):
+        assert catalog.change_rates.sum() == pytest.approx(
+            962.118, abs=0.01)
+        assert catalog.access_probabilities[0] == pytest.approx(
+            0.147214, abs=1e-5)
+
+    def test_pf_optimum(self, catalog):
+        plan = PerceivedFreshener().plan(catalog,
+                                         IDEAL_SETUP.syncs_per_period)
+        assert plan.perceived_freshness == pytest.approx(0.622519,
+                                                         abs=1e-4)
+
+    def test_gf_baseline(self, catalog):
+        plan = GeneralFreshener().plan(catalog,
+                                       IDEAL_SETUP.syncs_per_period)
+        assert plan.perceived_freshness == pytest.approx(0.272822,
+                                                         abs=1e-3)
+        assert plan.general_freshness == pytest.approx(0.316002,
+                                                       abs=1e-3)
+
+    def test_heuristic_at_fifty_partitions(self, catalog):
+        from repro.core.freshener import PartitionedFreshener
+        plan = PartitionedFreshener(50).plan(
+            catalog, IDEAL_SETUP.syncs_per_period)
+        assert plan.perceived_freshness == pytest.approx(0.601359,
+                                                         abs=1e-3)

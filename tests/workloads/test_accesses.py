@@ -1,0 +1,102 @@
+"""Tests for repro.workloads.accesses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.workloads.accesses import AccessSet, sample_access_times
+
+
+class TestAccessSet:
+    def test_valid_access_set(self):
+        accesses = AccessSet(times=np.array([0.0, 1.0, 1.0, 2.0]),
+                             elements=np.array([0, 1, 0, 2]))
+        assert len(accesses) == 4
+
+    def test_rejects_decreasing_times(self):
+        with pytest.raises(ValidationError, match="nondecreasing"):
+            AccessSet(times=np.array([1.0, 0.5]),
+                      elements=np.array([0, 1]))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            AccessSet(times=np.array([0.0]), elements=np.array([0, 1]))
+
+    def test_rejects_negative_elements(self):
+        with pytest.raises(ValidationError):
+            AccessSet(times=np.array([0.0]), elements=np.array([-1]))
+
+    def test_empty_access_set_allowed(self):
+        accesses = AccessSet(times=np.empty(0), elements=np.empty(0,
+                                                                  dtype=int))
+        assert len(accesses) == 0
+
+    def test_access_counts(self):
+        accesses = AccessSet(times=np.array([0.0, 1.0, 2.0]),
+                             elements=np.array([2, 0, 2]))
+        counts = accesses.access_counts(4)
+        assert np.array_equal(counts, [1, 0, 2, 0])
+
+    def test_access_counts_rejects_out_of_range(self):
+        accesses = AccessSet(times=np.array([0.0]),
+                             elements=np.array([5]))
+        with pytest.raises(ValidationError, match="references element"):
+            accesses.access_counts(3)
+
+    def test_empirical_probabilities(self):
+        accesses = AccessSet(times=np.array([0.0, 1.0, 2.0, 3.0]),
+                             elements=np.array([0, 0, 0, 1]))
+        p = accesses.empirical_probabilities(2)
+        assert p == pytest.approx([0.75, 0.25])
+
+    def test_empirical_probabilities_rejects_empty(self):
+        accesses = AccessSet(times=np.empty(0),
+                             elements=np.empty(0, dtype=int))
+        with pytest.raises(ValidationError):
+            accesses.empirical_probabilities(2)
+
+    def test_arrays_immutable(self):
+        accesses = AccessSet(times=np.array([0.0]),
+                             elements=np.array([0]))
+        with pytest.raises(ValueError):
+            accesses.times[0] = 5.0
+
+
+class TestSampleAccessTimes:
+    def test_times_sorted_within_horizon(self, rng):
+        accesses = sample_access_times(np.array([0.5, 0.5]), rate=100.0,
+                                       horizon=2.0, rng=rng)
+        assert (np.diff(accesses.times) >= 0.0).all()
+        assert accesses.times.min() >= 0.0
+        assert accesses.times.max() < 2.0
+
+    def test_count_near_expectation(self, rng):
+        accesses = sample_access_times(np.array([1.0]), rate=1000.0,
+                                       horizon=10.0, rng=rng)
+        assert len(accesses) == pytest.approx(10_000, rel=0.05)
+
+    def test_element_distribution_follows_profile(self, rng):
+        p = np.array([0.7, 0.2, 0.1])
+        accesses = sample_access_times(p, rate=2000.0, horizon=10.0,
+                                       rng=rng)
+        empirical = accesses.empirical_probabilities(3)
+        assert np.allclose(empirical, p, atol=0.02)
+
+    def test_rejects_bad_parameters(self, rng):
+        with pytest.raises(ValidationError):
+            sample_access_times(np.array([1.0]), rate=0.0, horizon=1.0,
+                                rng=rng)
+        with pytest.raises(ValidationError):
+            sample_access_times(np.array([1.0]), rate=1.0, horizon=0.0,
+                                rng=rng)
+
+    def test_reproducible(self):
+        p = np.array([0.3, 0.7])
+        first = sample_access_times(p, rate=50.0, horizon=1.0,
+                                    rng=np.random.default_rng(1))
+        second = sample_access_times(p, rate=50.0, horizon=1.0,
+                                     rng=np.random.default_rng(1))
+        assert np.array_equal(first.times, second.times)
+        assert np.array_equal(first.elements, second.elements)

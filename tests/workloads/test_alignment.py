@@ -1,0 +1,63 @@
+"""Tests for repro.workloads.alignment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.workloads.alignment import Alignment, align_values
+
+
+class TestAlignmentCoerce:
+    def test_accepts_members(self):
+        assert Alignment.coerce(Alignment.ALIGNED) is Alignment.ALIGNED
+
+    def test_accepts_strings_case_insensitively(self):
+        assert Alignment.coerce("ALIGNED") is Alignment.ALIGNED
+        assert Alignment.coerce("reverse") is Alignment.REVERSE
+        assert Alignment.coerce("Shuffled") is Alignment.SHUFFLED
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValidationError, match="unknown alignment"):
+            Alignment.coerce("diagonal")
+
+
+class TestAlignValues:
+    def test_aligned_is_descending(self):
+        values = np.array([2.0, 5.0, 1.0, 4.0])
+        aligned = align_values(values, Alignment.ALIGNED)
+        assert np.array_equal(aligned, [5.0, 4.0, 2.0, 1.0])
+
+    def test_reverse_is_ascending(self):
+        values = np.array([2.0, 5.0, 1.0, 4.0])
+        reverse = align_values(values, Alignment.REVERSE)
+        assert np.array_equal(reverse, [1.0, 2.0, 4.0, 5.0])
+
+    def test_shuffled_preserves_multiset(self, rng):
+        values = np.arange(100, dtype=float)
+        shuffled = align_values(values, Alignment.SHUFFLED, rng=rng)
+        assert sorted(shuffled.tolist()) == values.tolist()
+
+    def test_shuffled_requires_rng(self):
+        with pytest.raises(ValidationError, match="requires an rng"):
+            align_values(np.ones(3), Alignment.SHUFFLED)
+
+    def test_shuffled_reproducible(self):
+        values = np.arange(50, dtype=float)
+        first = align_values(values, "shuffled",
+                             rng=np.random.default_rng(3))
+        second = align_values(values, "shuffled",
+                              rng=np.random.default_rng(3))
+        assert np.array_equal(first, second)
+
+    def test_does_not_mutate_input(self):
+        values = np.array([3.0, 1.0, 2.0])
+        original = values.copy()
+        align_values(values, Alignment.ALIGNED)
+        assert np.array_equal(values, original)
+
+    def test_string_alignment_accepted(self):
+        values = np.array([1.0, 3.0, 2.0])
+        assert np.array_equal(align_values(values, "aligned"),
+                              [3.0, 2.0, 1.0])

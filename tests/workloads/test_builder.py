@@ -1,0 +1,124 @@
+"""Tests for repro.workloads.builder — the fluent WorkloadBuilder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.workloads.builder import WorkloadBuilder
+
+
+class TestDefaults:
+    def test_empty_builder_gives_uniform_unit_catalog(self):
+        catalog = WorkloadBuilder(5).build()
+        assert np.allclose(catalog.access_probabilities, 0.2)
+        assert np.allclose(catalog.change_rates, 1.0)
+        assert catalog.has_uniform_sizes
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValidationError):
+            WorkloadBuilder(0)
+
+
+class TestStages:
+    def test_zipf_profile(self):
+        catalog = WorkloadBuilder(10).zipf_profile(1.0).build()
+        assert (np.diff(catalog.access_probabilities) < 0.0).all()
+
+    def test_gamma_rates_moments(self):
+        catalog = WorkloadBuilder(50_000, seed=1).gamma_rates(
+            mean=2.0, std_dev=1.0).build()
+        assert catalog.change_rates.mean() == pytest.approx(2.0,
+                                                            rel=0.05)
+
+    def test_pareto_sizes(self):
+        catalog = WorkloadBuilder(1000, seed=2).pareto_sizes(
+            shape=2.0).build()
+        assert not catalog.has_uniform_sizes
+        assert (catalog.sizes > 0.0).all()
+
+    def test_custom_stages(self):
+        catalog = (WorkloadBuilder(3)
+                   .custom_profile(np.array([0.5, 0.3, 0.2]))
+                   .custom_rates(np.array([1.0, 2.0, 3.0]))
+                   .custom_sizes(np.array([1.0, 0.5, 2.0]))
+                   .build())
+        assert catalog.access_probabilities[0] == 0.5
+        assert catalog.change_rates[2] == 3.0
+        assert catalog.sizes[2] == 2.0
+
+    def test_custom_stage_shape_validation(self):
+        builder = WorkloadBuilder(3)
+        with pytest.raises(ValidationError):
+            builder.custom_profile(np.array([0.5, 0.5]))
+        with pytest.raises(ValidationError):
+            builder.custom_rates(np.ones(4))
+        with pytest.raises(ValidationError):
+            builder.custom_sizes(np.ones(2))
+
+
+class TestAlignments:
+    def test_reverse_aligned_rates(self):
+        catalog = (WorkloadBuilder(20, seed=3)
+                   .zipf_profile(1.0)
+                   .gamma_rates(mean=2.0, std_dev=1.0)
+                   .align_rates("reverse")
+                   .build())
+        assert (np.diff(catalog.change_rates) >= 0.0).all()
+
+    def test_aligned_sizes(self):
+        catalog = (WorkloadBuilder(20, seed=3)
+                   .zipf_profile(1.0)
+                   .pareto_sizes(shape=2.0)
+                   .align_sizes("aligned")
+                   .build())
+        assert (np.diff(catalog.sizes) <= 0.0).all()
+
+    def test_paper_style_web_workload(self):
+        """The README-style chained build works end to end."""
+        catalog = (WorkloadBuilder(500, seed=7)
+                   .zipf_profile(theta=1.2)
+                   .gamma_rates(mean=2.0, std_dev=1.0)
+                   .pareto_sizes(shape=1.1)
+                   .align_rates("shuffled")
+                   .align_sizes("reverse")
+                   .build())
+        assert catalog.n_elements == 500
+        # Reverse sizes: biggest objects are least popular.
+        assert catalog.sizes[0] == catalog.sizes.min()
+
+    def test_reproducible(self):
+        def make():
+            return (WorkloadBuilder(30, seed=11)
+                    .zipf_profile(1.0)
+                    .gamma_rates(mean=2.0, std_dev=1.0)
+                    .align_rates("shuffled")
+                    .build())
+        first, second = make(), make()
+        assert np.array_equal(first.change_rates, second.change_rates)
+
+
+class TestSchedulerWindows:
+    def test_events_between_partitions_the_horizon(self):
+        from repro.core.scheduler import PhasePolicy, SyncSchedule
+        schedule = SyncSchedule.from_frequencies(
+            np.array([2.0, 3.0]), phase_policy=PhasePolicy.STAGGERED)
+        full_times, full_elements = schedule.events_until(10.0)
+        first_times, first_elements = schedule.events_between(0.0, 4.0)
+        second_times, second_elements = schedule.events_between(4.0,
+                                                                10.0)
+        assert np.allclose(np.concatenate([first_times, second_times]),
+                           full_times)
+        assert np.array_equal(
+            np.concatenate([first_elements, second_elements]),
+            full_elements)
+
+    def test_events_between_validation(self):
+        from repro.core.scheduler import SyncSchedule
+        from repro.errors import ScheduleError
+        schedule = SyncSchedule.from_frequencies(np.ones(1))
+        with pytest.raises(ScheduleError):
+            schedule.events_between(-1.0, 2.0)
+        with pytest.raises(ScheduleError):
+            schedule.events_between(2.0, 2.0)

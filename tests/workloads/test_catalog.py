@@ -1,0 +1,159 @@
+"""Tests for repro.workloads.catalog."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.workloads.catalog import Catalog
+
+
+def make_catalog(n: int = 4) -> Catalog:
+    return Catalog(access_probabilities=np.full(n, 1.0 / n),
+                   change_rates=np.arange(1, n + 1, dtype=float))
+
+
+class TestCatalogValidation:
+    def test_valid_catalog(self):
+        catalog = make_catalog()
+        assert catalog.n_elements == 4
+        assert catalog.has_uniform_sizes
+
+    def test_default_sizes_are_ones(self):
+        assert np.array_equal(make_catalog().sizes, np.ones(4))
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValidationError, match="matching shapes"):
+            Catalog(access_probabilities=np.array([0.5, 0.5]),
+                    change_rates=np.array([1.0]))
+
+    def test_rejects_probabilities_not_summing_to_one(self):
+        with pytest.raises(ValidationError, match="sum to 1"):
+            Catalog(access_probabilities=np.array([0.5, 0.4]),
+                    change_rates=np.ones(2))
+
+    def test_rejects_negative_probability(self):
+        with pytest.raises(ValidationError, match="nonnegative"):
+            Catalog(access_probabilities=np.array([1.5, -0.5]),
+                    change_rates=np.ones(2))
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValidationError, match="change rates"):
+            Catalog(access_probabilities=np.array([0.5, 0.5]),
+                    change_rates=np.array([1.0, -1.0]))
+
+    def test_rejects_nonpositive_sizes(self):
+        with pytest.raises(ValidationError, match="sizes"):
+            Catalog(access_probabilities=np.array([0.5, 0.5]),
+                    change_rates=np.ones(2),
+                    sizes=np.array([1.0, 0.0]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            Catalog(access_probabilities=np.empty(0),
+                    change_rates=np.empty(0))
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValidationError):
+            Catalog(access_probabilities=np.array([np.nan, 1.0]),
+                    change_rates=np.ones(2))
+        with pytest.raises(ValidationError):
+            Catalog(access_probabilities=np.array([0.5, 0.5]),
+                    change_rates=np.array([np.inf, 1.0]))
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValidationError, match="1-D"):
+            Catalog(access_probabilities=np.full((2, 2), 0.25),
+                    change_rates=np.ones((2, 2)))
+
+    def test_arrays_are_immutable(self):
+        catalog = make_catalog()
+        with pytest.raises(ValueError):
+            catalog.access_probabilities[0] = 0.9
+        with pytest.raises(ValueError):
+            catalog.change_rates[0] = 0.0
+        with pytest.raises(ValueError):
+            catalog.sizes[0] = 5.0
+
+    def test_allows_zero_change_rate(self):
+        catalog = Catalog(access_probabilities=np.array([0.5, 0.5]),
+                          change_rates=np.array([0.0, 1.0]))
+        assert catalog.change_rates[0] == 0.0
+
+
+class TestCatalogTransforms:
+    def test_with_uniform_profile(self):
+        catalog = Catalog(access_probabilities=np.array([0.9, 0.1]),
+                          change_rates=np.ones(2))
+        uniform = catalog.with_uniform_profile()
+        assert np.allclose(uniform.access_probabilities, 0.5)
+        assert np.array_equal(uniform.change_rates, catalog.change_rates)
+
+    def test_with_profile(self):
+        catalog = make_catalog()
+        new = catalog.with_profile(np.array([0.7, 0.1, 0.1, 0.1]))
+        assert new.access_probabilities[0] == pytest.approx(0.7)
+
+    def test_with_change_rates(self):
+        catalog = make_catalog()
+        new = catalog.with_change_rates(np.full(4, 9.0))
+        assert (new.change_rates == 9.0).all()
+        assert np.array_equal(new.access_probabilities,
+                              catalog.access_probabilities)
+
+    def test_with_sizes(self):
+        catalog = make_catalog()
+        new = catalog.with_sizes(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert not new.has_uniform_sizes
+
+    def test_transforms_validate(self):
+        catalog = make_catalog()
+        with pytest.raises(ValidationError):
+            catalog.with_profile(np.array([0.5, 0.5, 0.5, 0.5]))
+        with pytest.raises(ValidationError):
+            catalog.with_sizes(np.zeros(4))
+
+    def test_from_counts_normalizes(self):
+        catalog = Catalog.from_counts(np.array([3.0, 1.0]),
+                                      np.array([1.0, 2.0]))
+        assert catalog.access_probabilities == pytest.approx([0.75, 0.25])
+
+    def test_from_counts_rejects_all_zero(self):
+        with pytest.raises(ValidationError, match="positive entry"):
+            Catalog.from_counts(np.zeros(3), np.ones(3))
+
+
+class TestCatalogSubset:
+    def test_subset_renormalizes(self):
+        catalog = Catalog(
+            access_probabilities=np.array([0.5, 0.3, 0.2]),
+            change_rates=np.array([1.0, 2.0, 3.0]))
+        subset = catalog.subset(np.array([0, 2]))
+        assert subset.n_elements == 2
+        assert subset.access_probabilities == pytest.approx(
+            [0.5 / 0.7, 0.2 / 0.7])
+        assert np.array_equal(subset.change_rates, [1.0, 3.0])
+
+    def test_subset_rejects_zero_mass(self):
+        catalog = Catalog(
+            access_probabilities=np.array([1.0, 0.0, 0.0]),
+            change_rates=np.ones(3))
+        with pytest.raises(ValidationError):
+            catalog.subset(np.array([1, 2]))
+
+    @given(st.integers(min_value=2, max_value=30),
+           st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=40)
+    def test_subset_preserves_relative_interest(self, n, seed):
+        generator = np.random.default_rng(seed)
+        weights = generator.uniform(0.1, 1.0, size=n)
+        catalog = Catalog(access_probabilities=weights / weights.sum(),
+                          change_rates=np.ones(n))
+        keep = np.arange(0, n, 2)
+        subset = catalog.subset(keep)
+        original = catalog.access_probabilities[keep]
+        ratio = subset.access_probabilities / original
+        assert np.allclose(ratio, ratio[0])

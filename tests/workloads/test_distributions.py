@@ -1,0 +1,129 @@
+"""Tests for repro.workloads.distributions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.workloads.distributions import (
+    gamma_change_rates,
+    pareto_mean,
+    pareto_sizes,
+    zipf_probabilities,
+)
+
+
+class TestZipf:
+    def test_sums_to_one(self):
+        assert zipf_probabilities(100, 1.0).sum() == pytest.approx(1.0)
+
+    def test_theta_zero_is_uniform(self):
+        p = zipf_probabilities(10, 0.0)
+        assert np.allclose(p, 0.1)
+
+    def test_hottest_first_ordering(self):
+        p = zipf_probabilities(50, 0.8)
+        assert (np.diff(p) <= 0.0).all()
+        assert p[0] == p.max()
+
+    def test_skew_increases_head_mass(self):
+        mild = zipf_probabilities(100, 0.5)
+        steep = zipf_probabilities(100, 1.6)
+        assert steep[0] > mild[0]
+        assert steep[-1] < mild[-1]
+
+    def test_exact_ratios(self):
+        p = zipf_probabilities(3, 1.0)
+        # p_i proportional to 1/i: ratios 1 : 1/2 : 1/3.
+        assert p[0] / p[1] == pytest.approx(2.0)
+        assert p[0] / p[2] == pytest.approx(3.0)
+
+    def test_single_element(self):
+        assert zipf_probabilities(1, 1.2) == pytest.approx([1.0])
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValidationError):
+            zipf_probabilities(0, 1.0)
+        with pytest.raises(ValidationError):
+            zipf_probabilities(5, -0.1)
+
+    @given(st.integers(min_value=1, max_value=500),
+           st.floats(min_value=0.0, max_value=2.0))
+    @settings(max_examples=50)
+    def test_always_a_distribution(self, n, theta):
+        p = zipf_probabilities(n, theta)
+        assert p.shape == (n,)
+        assert (p > 0.0).all()
+        assert p.sum() == pytest.approx(1.0)
+
+
+class TestGammaRates:
+    def test_matches_requested_moments(self, rng):
+        rates = gamma_change_rates(200_000, mean=2.0, std_dev=1.0, rng=rng)
+        assert rates.mean() == pytest.approx(2.0, rel=0.02)
+        assert rates.std() == pytest.approx(1.0, rel=0.02)
+
+    def test_strictly_positive(self, rng):
+        rates = gamma_change_rates(10_000, mean=2.0, std_dev=2.0, rng=rng)
+        assert (rates > 0.0).all()
+
+    def test_reproducible_from_seed(self):
+        first = gamma_change_rates(100, mean=2.0, std_dev=1.0,
+                                   rng=np.random.default_rng(7))
+        second = gamma_change_rates(100, mean=2.0, std_dev=1.0,
+                                    rng=np.random.default_rng(7))
+        assert np.array_equal(first, second)
+
+    def test_rejects_bad_inputs(self, rng):
+        with pytest.raises(ValidationError):
+            gamma_change_rates(0, mean=2.0, std_dev=1.0, rng=rng)
+        with pytest.raises(ValidationError):
+            gamma_change_rates(5, mean=0.0, std_dev=1.0, rng=rng)
+        with pytest.raises(ValidationError):
+            gamma_change_rates(5, mean=2.0, std_dev=0.0, rng=rng)
+
+
+class TestParetoSizes:
+    def test_mean_close_to_requested(self, rng):
+        # Shape 3 has finite variance, so the sample mean settles.
+        sizes = pareto_sizes(200_000, shape=3.0, mean=1.0, rng=rng)
+        assert sizes.mean() == pytest.approx(1.0, rel=0.05)
+
+    def test_minimum_is_the_scale(self, rng):
+        shape, mean = 1.1, 1.0
+        sizes = pareto_sizes(50_000, shape=shape, mean=mean, rng=rng)
+        scale = mean * (shape - 1.0) / shape
+        assert sizes.min() >= scale
+        assert sizes.min() == pytest.approx(scale, rel=0.01)
+
+    def test_heavy_tail_present(self, rng):
+        sizes = pareto_sizes(50_000, shape=1.1, mean=1.0, rng=rng)
+        # With shape 1.1 the max dwarfs the median.
+        assert sizes.max() > 20.0 * np.median(sizes)
+
+    def test_rejects_bad_inputs(self, rng):
+        with pytest.raises(ValidationError):
+            pareto_sizes(0, shape=1.1, mean=1.0, rng=rng)
+        with pytest.raises(ValidationError):
+            pareto_sizes(5, shape=1.0, mean=1.0, rng=rng)
+        with pytest.raises(ValidationError):
+            pareto_sizes(5, shape=1.1, mean=0.0, rng=rng)
+
+
+class TestParetoMean:
+    def test_known_value(self):
+        assert pareto_mean(2.0, 1.0) == pytest.approx(2.0)
+
+    def test_consistent_with_sampler_scale(self):
+        shape, mean = 1.5, 3.0
+        scale = mean * (shape - 1.0) / shape
+        assert pareto_mean(shape, scale) == pytest.approx(mean)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValidationError):
+            pareto_mean(1.0, 1.0)
+        with pytest.raises(ValidationError):
+            pareto_mean(2.0, 0.0)

@@ -1,0 +1,133 @@
+"""Tests for repro.workloads.presets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.workloads.alignment import Alignment
+from repro.workloads.presets import (
+    BIG_SETUP,
+    IDEAL_SETUP,
+    TOY_BANDWIDTH,
+    TOY_PROFILES,
+    ExperimentSetup,
+    build_catalog,
+    toy_example_catalog,
+)
+
+
+class TestExperimentSetup:
+    def test_table2_parameters(self):
+        assert IDEAL_SETUP.n_objects == 500
+        assert IDEAL_SETUP.updates_per_period == 1000.0
+        assert IDEAL_SETUP.syncs_per_period == 250.0
+        assert IDEAL_SETUP.update_std_dev == 1.0
+        assert IDEAL_SETUP.mean_change_rate == pytest.approx(2.0)
+
+    def test_table3_parameters(self):
+        assert BIG_SETUP.n_objects == 500_000
+        assert BIG_SETUP.updates_per_period == 1_000_000.0
+        assert BIG_SETUP.syncs_per_period == 250_000.0
+        assert BIG_SETUP.update_std_dev == 2.0
+        assert BIG_SETUP.mean_change_rate == pytest.approx(2.0)
+
+    def test_with_theta(self):
+        altered = IDEAL_SETUP.with_theta(0.4)
+        assert altered.theta == 0.4
+        assert altered.n_objects == IDEAL_SETUP.n_objects
+
+    def test_rejects_invalid_parameters(self):
+        with pytest.raises(ValidationError):
+            ExperimentSetup(n_objects=0, updates_per_period=1.0,
+                            syncs_per_period=1.0, theta=0.0,
+                            update_std_dev=1.0)
+        with pytest.raises(ValidationError):
+            ExperimentSetup(n_objects=10, updates_per_period=0.0,
+                            syncs_per_period=1.0, theta=0.0,
+                            update_std_dev=1.0)
+        with pytest.raises(ValidationError):
+            ExperimentSetup(n_objects=10, updates_per_period=1.0,
+                            syncs_per_period=1.0, theta=-1.0,
+                            update_std_dev=1.0)
+
+
+class TestBuildCatalog:
+    def test_dimensions_and_mean_rate(self, tiny_setup):
+        catalog = build_catalog(tiny_setup, seed=0)
+        assert catalog.n_elements == tiny_setup.n_objects
+        assert catalog.change_rates.mean() == pytest.approx(
+            tiny_setup.mean_change_rate, rel=0.4)
+
+    def test_reproducible_by_seed(self, tiny_setup):
+        first = build_catalog(tiny_setup, seed=5)
+        second = build_catalog(tiny_setup, seed=5)
+        assert np.array_equal(first.change_rates, second.change_rates)
+
+    def test_different_seeds_differ(self, tiny_setup):
+        first = build_catalog(tiny_setup, seed=1)
+        second = build_catalog(tiny_setup, seed=2)
+        assert not np.array_equal(first.change_rates, second.change_rates)
+
+    def test_aligned_rates_descend_with_popularity(self, tiny_setup):
+        catalog = build_catalog(tiny_setup, alignment=Alignment.ALIGNED,
+                                seed=0)
+        assert (np.diff(catalog.change_rates) <= 0.0).all()
+
+    def test_reverse_rates_ascend_with_popularity(self, tiny_setup):
+        catalog = build_catalog(tiny_setup, alignment=Alignment.REVERSE,
+                                seed=0)
+        assert (np.diff(catalog.change_rates) >= 0.0).all()
+
+    def test_theta_override(self, tiny_setup):
+        catalog = build_catalog(tiny_setup, seed=0, theta=0.0)
+        assert np.allclose(catalog.access_probabilities,
+                           1.0 / tiny_setup.n_objects)
+
+    def test_sizes_sampled_when_requested(self, tiny_setup):
+        catalog = build_catalog(tiny_setup, seed=0, size_shape=1.1)
+        assert not catalog.has_uniform_sizes
+
+    def test_size_alignment_defaults_to_rate_alignment(self, tiny_setup):
+        catalog = build_catalog(tiny_setup, alignment=Alignment.ALIGNED,
+                                seed=0, size_shape=2.0)
+        assert (np.diff(catalog.sizes) <= 0.0).all()
+
+    def test_size_alignment_override(self, tiny_setup):
+        catalog = build_catalog(tiny_setup, alignment=Alignment.ALIGNED,
+                                seed=0, size_shape=2.0,
+                                size_alignment=Alignment.REVERSE)
+        assert (np.diff(catalog.sizes) >= 0.0).all()
+
+    def test_accepts_generator_as_seed(self, tiny_setup):
+        catalog = build_catalog(tiny_setup,
+                                seed=np.random.default_rng(42))
+        assert catalog.n_elements == tiny_setup.n_objects
+
+
+class TestToyExample:
+    def test_profiles_are_distributions(self):
+        for profile in TOY_PROFILES.values():
+            assert profile.sum() == pytest.approx(1.0)
+
+    def test_bandwidth(self):
+        assert TOY_BANDWIDTH == 5.0
+
+    def test_p1_uniform(self):
+        catalog = toy_example_catalog("P1")
+        assert np.allclose(catalog.access_probabilities, 0.2)
+        assert np.array_equal(catalog.change_rates, [1, 2, 3, 4, 5])
+
+    def test_p2_hottest_change_most(self):
+        catalog = toy_example_catalog("P2")
+        # P2: access probability rises with change rate.
+        assert (np.diff(catalog.access_probabilities) > 0.0).all()
+
+    def test_p3_hottest_change_least(self):
+        catalog = toy_example_catalog("P3")
+        assert (np.diff(catalog.access_probabilities) < 0.0).all()
+
+    def test_rejects_unknown_profile(self):
+        with pytest.raises(ValidationError, match="unknown toy profile"):
+            toy_example_catalog("P4")

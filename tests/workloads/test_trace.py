@@ -1,0 +1,121 @@
+"""Tests for repro.workloads.trace — workload persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.workloads.accesses import AccessSet
+from repro.workloads.catalog import Catalog
+from repro.workloads.trace import (
+    catalog_from_json,
+    catalog_to_json,
+    load_access_set,
+    load_catalog,
+    save_access_set,
+    save_catalog,
+)
+
+from tests.conftest import random_catalog
+
+
+class TestCatalogNpz:
+    def test_roundtrip(self, tmp_path, rng):
+        catalog = random_catalog(rng, 20, sized=True)
+        path = tmp_path / "catalog.npz"
+        save_catalog(catalog, path)
+        loaded = load_catalog(path)
+        assert np.array_equal(loaded.access_probabilities,
+                              catalog.access_probabilities)
+        assert np.array_equal(loaded.change_rates,
+                              catalog.change_rates)
+        assert np.array_equal(loaded.sizes, catalog.sizes)
+
+    def test_missing_arrays_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, change_rates=np.ones(2))
+        with pytest.raises(ValidationError, match="missing arrays"):
+            load_catalog(path)
+
+    def test_corrupted_contents_fail_validation(self, tmp_path):
+        path = tmp_path / "corrupt.npz"
+        np.savez(path, access_probabilities=np.array([0.9, 0.9]),
+                 change_rates=np.ones(2), sizes=np.ones(2))
+        with pytest.raises(ValidationError):
+            load_catalog(path)
+
+
+class TestCatalogJson:
+    def test_roundtrip(self, rng):
+        catalog = random_catalog(rng, 7, sized=True)
+        loaded = catalog_from_json(catalog_to_json(catalog))
+        assert np.allclose(loaded.access_probabilities,
+                           catalog.access_probabilities)
+        assert np.allclose(loaded.change_rates, catalog.change_rates)
+        assert np.allclose(loaded.sizes, catalog.sizes)
+
+    def test_rejects_invalid_json(self):
+        with pytest.raises(ValidationError, match="invalid catalog JSON"):
+            catalog_from_json("{not json")
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ValidationError, match="must be an object"):
+            catalog_from_json("[1, 2, 3]")
+
+    def test_rejects_missing_fields(self):
+        with pytest.raises(ValidationError, match="missing fields"):
+            catalog_from_json('{"change_rates": [1.0]}')
+
+    def test_rejects_invalid_values(self):
+        document = ('{"access_probabilities": [0.9, 0.9], '
+                    '"change_rates": [1.0, 1.0], "sizes": [1.0, 1.0]}')
+        with pytest.raises(ValidationError):
+            catalog_from_json(document)
+
+    def test_json_is_plain_text(self, small_catalog):
+        document = catalog_to_json(small_catalog)
+        assert '"version"' in document
+        assert '"change_rates"' in document
+
+
+class TestAccessSetNpz:
+    def test_roundtrip(self, tmp_path):
+        accesses = AccessSet(times=np.array([0.0, 0.5, 2.0]),
+                             elements=np.array([2, 0, 2]))
+        path = tmp_path / "log.npz"
+        save_access_set(accesses, path)
+        loaded = load_access_set(path)
+        assert np.array_equal(loaded.times, accesses.times)
+        assert np.array_equal(loaded.elements, accesses.elements)
+
+    def test_empty_roundtrip(self, tmp_path):
+        accesses = AccessSet(times=np.empty(0),
+                             elements=np.empty(0, dtype=np.int64))
+        path = tmp_path / "empty.npz"
+        save_access_set(accesses, path)
+        assert len(load_access_set(path)) == 0
+
+    def test_missing_arrays_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, times=np.array([0.0]))
+        with pytest.raises(ValidationError, match="missing array"):
+            load_access_set(path)
+
+    def test_corrupted_order_rejected(self, tmp_path):
+        path = tmp_path / "unsorted.npz"
+        np.savez(path, times=np.array([2.0, 1.0]),
+                 elements=np.array([0, 1]))
+        with pytest.raises(ValidationError):
+            load_access_set(path)
+
+
+class TestEndToEnd:
+    def test_saved_catalog_plans_identically(self, tmp_path, rng):
+        from repro.core.freshener import PerceivedFreshener
+        catalog = random_catalog(rng, 15)
+        path = tmp_path / "c.npz"
+        save_catalog(catalog, path)
+        original = PerceivedFreshener().plan(catalog, 6.0)
+        reloaded = PerceivedFreshener().plan(load_catalog(path), 6.0)
+        assert np.allclose(original.frequencies, reloaded.frequencies)
