@@ -96,8 +96,9 @@ def fit_gamma_rates(rates: np.ndarray) -> GammaFit:
     """Fit a gamma distribution to observed change rates by moments.
 
     Args:
-        rates: Positive rate sample (e.g. censored-MLE estimates from
-            a polling phase), at least 2 values with spread.
+        rates: Positive rate sample in changes per period (e.g.
+            censored-MLE estimates from a polling phase), at least 2
+            values with spread.
 
     Returns:
         The :class:`GammaFit`.

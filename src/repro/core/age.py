@@ -53,8 +53,9 @@ def fixed_order_age(change_rates: np.ndarray,
     """Time-averaged age ``Ā(λ, f)`` under the Fixed-Order policy.
 
     Args:
-        change_rates: Poisson change rates ``λ ≥ 0``.
-        frequencies: Sync frequencies ``f ≥ 0``.
+        change_rates: Poisson change rates ``λ ≥ 0``, in changes per
+            period.
+        frequencies: Sync frequencies ``f ≥ 0``, in syncs per period.
 
     Returns:
         Element-wise ages in periods: 0 for static elements, ``inf``
@@ -88,8 +89,10 @@ def age_marginal_reduction(change_rates: np.ndarray,
     element's age, unlike its (bounded-marginal) freshness.
 
     Args:
-        change_rates: Poisson change rates ``λ ≥ 0``.
-        frequencies: Sync frequencies ``f > 0`` where λ > 0.
+        change_rates: Poisson change rates ``λ ≥ 0``, in changes per
+            period.
+        frequencies: Sync frequencies ``f > 0`` where λ > 0, in syncs
+            per period.
 
     Returns:
         ``1/(2f²) − g(λ/f)/λ²`` element-wise (0 for static elements,
@@ -119,7 +122,7 @@ def invert_age_marginal(change_rates: np.ndarray, targets: np.ndarray,
     converges unconditionally.
 
     Args:
-        change_rates: Rates ``λ > 0``.
+        change_rates: Rates ``λ > 0``, in changes per period.
         targets: Required marginal reductions, ``> 0``.
         iterations: Bisection steps (2⁻⁸⁰ relative bracket).
 
@@ -148,7 +151,8 @@ def perceived_age(catalog: Catalog, frequencies: np.ndarray) -> float:
 
     Args:
         catalog: Workload description.
-        frequencies: Sync frequencies per element.
+        frequencies: Sync frequencies per element, in syncs per
+            period.
 
     Returns:
         The perceived age in periods; ``inf`` if any accessed,
@@ -181,9 +185,11 @@ def solve_weighted_age_problem(weights: np.ndarray,
 
     Args:
         weights: Nonnegative objective weights.
-        change_rates: Poisson change rates ``λ ≥ 0``.
-        costs: Strictly positive bandwidth costs.
-        bandwidth: Budget ``B > 0``.
+        change_rates: Poisson change rates ``λ ≥ 0``, in changes per
+            period.
+        costs: Strictly positive bandwidth cost per sync, in size
+            units.
+        bandwidth: Budget ``B > 0``, in size units per period.
         budget_rtol: Relative budget tolerance.
 
     Returns:
@@ -257,7 +263,7 @@ def solve_min_age_problem(catalog: Catalog, bandwidth: float, *,
 
     Args:
         catalog: Workload description.
-        bandwidth: Budget ``B > 0``.
+        bandwidth: Budget ``B > 0``, in size units per period.
         budget_rtol: Relative budget tolerance.
 
     Returns:

@@ -60,7 +60,8 @@ def expand_partition_frequencies(catalog: Catalog,
     Args:
         catalog: Workload description (supplies member sizes).
         problem: The representatives the frequencies were solved for.
-        partition_frequencies: fₖ per partition, shape ``(k,)``.
+        partition_frequencies: fₖ per partition in syncs per period,
+            shape ``(k,)``.
         policy: FFA or FBA.
 
     Returns:

@@ -20,9 +20,16 @@ size coordinate, mirroring how PF/s-partitioning folds size in.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
 import numpy as np
 
+from repro.contracts import (
+    check_budget_feasible,
+    check_nonnegative,
+    check_partition_labels,
+    postcondition,
+)
 from repro.core.allocation import AllocationPolicy, expand_partition_frequencies
 from repro.core.freshness import FreshnessModel
 from repro.core.metrics import perceived_freshness
@@ -84,6 +91,28 @@ def clustering_features(catalog: Catalog, *,
     return np.column_stack(columns)
 
 
+def _check_refinement_steps(steps: "list[ClusterRefinementStep]",
+                            arguments: Mapping[str, object]) -> None:
+    """Postcondition: every step is a feasible heuristic solution.
+
+    Each k-means step's expanded frequencies must stay within the
+    bandwidth budget (FBA/FFA expansion preserves ``Σ sⱼfⱼ``) and its
+    labels must remain a valid assignment — a point dropped by an
+    empty-cluster edge case would silently leak profile mass.
+    """
+    catalog: Catalog = arguments["catalog"]  # type: ignore[assignment]
+    bandwidth = float(arguments["bandwidth"])  # type: ignore[arg-type]
+    where = "refine_partitions"
+    for step in steps:
+        check_partition_labels(step.assignment.labels,
+                               step.assignment.n_partitions, where=where)
+        check_nonnegative(step.frequencies, name="frequencies",
+                          where=where)
+        check_budget_feasible(catalog.sizes, step.frequencies,
+                              bandwidth, where=where)
+
+
+@postcondition(_check_refinement_steps)
 def refine_partitions(catalog: Catalog, bandwidth: float,
                       initial: PartitionAssignment, *,
                       iterations: int,
@@ -96,7 +125,7 @@ def refine_partitions(catalog: Catalog, bandwidth: float,
 
     Args:
         catalog: Workload description.
-        bandwidth: Sync bandwidth budget B.
+        bandwidth: Sync bandwidth budget B, in size units per period.
         initial: Starting partitioning (typically PF-partitioning).
         iterations: Maximum k-means iterations to run.
         model: Freshness model for the transformed solves.

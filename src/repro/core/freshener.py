@@ -104,7 +104,11 @@ class Freshener(ABC):
 
     @abstractmethod
     def plan(self, catalog: Catalog, bandwidth: float) -> FresheningPlan:
-        """Compute a refresh plan within the bandwidth budget."""
+        """Compute a refresh plan within the bandwidth budget.
+
+        ``bandwidth`` is in size units per period; the plan's
+        frequencies are in syncs per period.
+        """
 
     def _finish(self, catalog: Catalog, frequencies: np.ndarray,
                 metadata: Mapping[str, Any]) -> FresheningPlan:

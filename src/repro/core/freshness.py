@@ -54,9 +54,10 @@ def fixed_order_freshness(change_rates: np.ndarray,
     gives freshness 1 (never changes, always fresh).
 
     Args:
-        change_rates: Poisson change rates ``λ ≥ 0``.
-        frequencies: Sync frequencies ``f ≥ 0`` (same broadcastable
-            shape).
+        change_rates: Poisson change rates ``λ ≥ 0``, in changes per
+            period.
+        frequencies: Sync frequencies ``f ≥ 0``, in syncs per period
+            (same broadcastable shape).
 
     Returns:
         Element-wise freshness in ``[0, 1]``.
@@ -174,20 +175,30 @@ class FreshnessModel(ABC):
     @abstractmethod
     def freshness(self, change_rates: np.ndarray,
                   frequencies: np.ndarray) -> np.ndarray:
-        """Time-averaged freshness ``F̄(λ, f)``, element-wise."""
+        """Time-averaged freshness ``F̄(λ, f)``, element-wise.
+
+        ``change_rates`` are in changes per period, ``frequencies``
+        in syncs per period; the result is dimensionless in [0, 1].
+        """
 
     @abstractmethod
     def derivative(self, change_rates: np.ndarray,
                    frequencies: np.ndarray) -> np.ndarray:
-        """Marginal freshness ``∂F̄/∂f``, element-wise."""
+        """Marginal freshness ``∂F̄/∂f``, element-wise.
+
+        ``change_rates`` are in changes per period, ``frequencies``
+        in syncs per period; the marginal is in periods per sync.
+        """
 
     @abstractmethod
     def frequency_for_marginal(self, change_rates: np.ndarray,
                                marginals: np.ndarray) -> np.ndarray:
         """Invert the marginal: the ``f`` with ``∂F̄/∂f = m``.
 
-        Only defined for ``0 < m < ∂F̄/∂f|_{f→0⁺}``; the water-filling
-        solver guarantees this precondition.
+        ``change_rates`` are in changes per period and the returned
+        frequencies in syncs per period.  Only defined for ``0 < m <
+        ∂F̄/∂f|_{f→0⁺}``; the water-filling solver guarantees this
+        precondition.
         """
 
 

@@ -67,7 +67,7 @@ class IncrementalSolver:
 
         Args:
             catalog: Workload description.
-            bandwidth: Budget ``B > 0``.
+            bandwidth: Budget ``B > 0``, in size units per period.
 
         Returns:
             The optimal :class:`ScheduleSolution` — identical (to

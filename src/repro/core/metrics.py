@@ -42,7 +42,8 @@ def element_freshness(catalog: Catalog, frequencies: np.ndarray, *,
 
     Args:
         catalog: Workload description.
-        frequencies: Sync frequencies per element, ``f ≥ 0``.
+        frequencies: Sync frequencies per element, ``f ≥ 0``, in
+            syncs per period.
         model: Synchronization-policy model; Fixed-Order by default.
 
     Returns:
@@ -60,7 +61,8 @@ def weighted_freshness(catalog: Catalog, frequencies: np.ndarray,
 
     Args:
         catalog: Workload description.
-        frequencies: Sync frequencies per element.
+        frequencies: Sync frequencies per element, in syncs per
+            period.
         weights: Nonnegative weights with a positive sum.
         model: Synchronization-policy model; Fixed-Order by default.
 
@@ -87,7 +89,8 @@ def general_freshness(catalog: Catalog, frequencies: np.ndarray, *,
 
     Args:
         catalog: Workload description.
-        frequencies: Sync frequencies per element.
+        frequencies: Sync frequencies per element, in syncs per
+            period.
         model: Synchronization-policy model; Fixed-Order by default.
 
     Returns:
@@ -103,7 +106,8 @@ def perceived_freshness(catalog: Catalog, frequencies: np.ndarray, *,
 
     Args:
         catalog: Workload description (supplies the master profile).
-        frequencies: Sync frequencies per element.
+        frequencies: Sync frequencies per element, in syncs per
+            period.
         model: Synchronization-policy model; Fixed-Order by default.
 
     Returns:

@@ -44,9 +44,11 @@ def solve_weighted_problem_nlp(weights: np.ndarray,
 
     Args:
         weights: Nonnegative objective weights.
-        change_rates: Poisson change rates ``λ ≥ 0``.
-        costs: Strictly positive bandwidth costs.
-        bandwidth: Budget ``B > 0``.
+        change_rates: Poisson change rates ``λ ≥ 0``, in changes per
+            period.
+        costs: Strictly positive bandwidth cost per sync, in size
+            units.
+        bandwidth: Budget ``B > 0``, in size units per period.
         model: Freshness model (Fixed-Order by default).
         max_iterations: Gradient iteration budget.
         tolerance: Stationarity tolerance.

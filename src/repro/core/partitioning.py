@@ -21,11 +21,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
+from typing import Mapping
 
 import numpy as np
 
+from repro.contracts import check_partition_labels, postcondition
 from repro.core.freshness import FixedOrderPolicy, FreshnessModel
-from repro.errors import ValidationError
+from repro.errors import ContractViolationError, ValidationError
 from repro.workloads.catalog import Catalog
 
 __all__ = ["PartitioningStrategy", "PartitionAssignment", "sort_key",
@@ -115,7 +117,7 @@ def sort_key(catalog: Catalog,
         catalog: Workload description.
         strategy: Which criterion to compute.
         model: Freshness model for the PF-style keys.
-        reference_frequency: f₀ in the PF keys.
+        reference_frequency: f₀ in the PF keys, in syncs per period.
 
     Returns:
         One float per element; elements with similar values belong in
@@ -169,6 +171,25 @@ def contiguous_labels(order: np.ndarray, n_partitions: int) -> np.ndarray:
     return labels
 
 
+def _check_partition_assignment(assignment: "PartitionAssignment",
+                                arguments: Mapping[str, object]) -> None:
+    """Postcondition: a complete, in-range labeling of the catalog.
+
+    Every element must land in exactly one of the k partitions —
+    the transformed-problem weights ``nₖ·p̄ₖ`` silently lose profile
+    mass if any element is dropped.
+    """
+    catalog: Catalog = arguments["catalog"]  # type: ignore[assignment]
+    check_partition_labels(assignment.labels, assignment.n_partitions,
+                           where="partition_catalog")
+    if assignment.labels.shape[0] != catalog.n_elements:
+        raise ContractViolationError(
+            "contract violated in partition_catalog: complete labeling "
+            f"- produced {assignment.labels.shape[0]} labels for "
+            f"{catalog.n_elements} elements")
+
+
+@postcondition(_check_partition_assignment)
 def partition_catalog(catalog: Catalog, n_partitions: int,
                       strategy: PartitioningStrategy | str, *,
                       model: FreshnessModel | None = None,
@@ -181,7 +202,7 @@ def partition_catalog(catalog: Catalog, n_partitions: int,
         n_partitions: Number of partitions k.
         strategy: Sort criterion.
         model: Freshness model for PF-style keys.
-        reference_frequency: f₀ in the PF keys.
+        reference_frequency: f₀ in the PF keys, in syncs per period.
 
     Returns:
         The :class:`PartitionAssignment` (k is clipped to N when

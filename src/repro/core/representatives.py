@@ -172,7 +172,8 @@ def solve_transformed_problem(problem: RepresentativeProblem,
 
     Args:
         problem: Representatives from :func:`build_representatives`.
-        bandwidth: The full bandwidth budget B.
+        bandwidth: The full bandwidth budget B, in size units per
+            period.
         model: Freshness model (Fixed-Order by default).
 
     Returns:

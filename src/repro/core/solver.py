@@ -28,9 +28,17 @@ heuristic.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
 import numpy as np
 
+from repro.contracts import (
+    check_budget_feasible,
+    check_kkt_stationarity,
+    check_nonnegative,
+    check_simplex,
+    postcondition,
+)
 from repro.core.freshness import FixedOrderPolicy, FreshnessModel
 from repro.errors import InfeasibleProblemError, ValidationError
 from repro.numerics.waterfill import waterfill
@@ -62,6 +70,27 @@ class ScheduleSolution:
     iterations: int
 
 
+def _check_weighted_solution(solution: "ScheduleSolution",
+                             arguments: Mapping[str, object]) -> None:
+    """Postcondition: the paper's feasibility + stationarity invariants."""
+    where = "solve_weighted_problem"
+    costs = np.asarray(arguments["costs"], dtype=float)
+    bandwidth = float(arguments["bandwidth"])  # type: ignore[arg-type]
+    model = arguments.get("model")
+    check_nonnegative(solution.frequencies, name="frequencies",
+                      where=where)
+    check_budget_feasible(costs, solution.frequencies, bandwidth,
+                          where=where)
+    residual = kkt_residual(solution, np.asarray(arguments["weights"]),
+                            np.asarray(arguments["change_rates"]),
+                            costs,
+                            model=model if isinstance(model,
+                                                      FreshnessModel)
+                            else None)
+    check_kkt_stationarity(residual, solution.multiplier, where=where)
+
+
+@postcondition(_check_weighted_solution)
 def solve_weighted_problem(weights: np.ndarray, change_rates: np.ndarray,
                            costs: np.ndarray, bandwidth: float, *,
                            model: FreshnessModel | None = None,
@@ -72,9 +101,11 @@ def solve_weighted_problem(weights: np.ndarray, change_rates: np.ndarray,
 
     Args:
         weights: Nonnegative objective weights ``w``.
-        change_rates: Poisson change rates ``λ ≥ 0``.
-        costs: Strictly positive bandwidth cost per unit frequency.
-        bandwidth: Budget ``B > 0``.
+        change_rates: Poisson change rates ``λ ≥ 0``, in changes per
+            period.
+        costs: Strictly positive bandwidth cost per sync, in size
+            units.
+        bandwidth: Budget ``B > 0``, in size units per period.
         model: Freshness model (Fixed-Order by default).
         budget_rtol: Relative tolerance on the consumed budget.
         bracket: Optional warm-start multiplier bracket ``(μ_lo,
@@ -176,6 +207,21 @@ def solve_weighted_problem(weights: np.ndarray, change_rates: np.ndarray,
                             iterations=result.iterations)
 
 
+def _check_core_inputs(solution: "ScheduleSolution",
+                       arguments: Mapping[str, object]) -> None:
+    """Postcondition: the catalog's profile is simplex-valid.
+
+    Feasibility and stationarity of ``solution`` are already checked
+    by the inner :func:`solve_weighted_problem` contract; this adds
+    the access-profile invariant Definition 4 relies on (Σp = 1 makes
+    perceived freshness a true expectation).
+    """
+    catalog: Catalog = arguments["catalog"]  # type: ignore[assignment]
+    check_simplex(catalog.access_probabilities,
+                  where="solve_core_problem")
+
+
+@postcondition(_check_core_inputs)
 def solve_core_problem(catalog: Catalog, bandwidth: float, *,
                        model: FreshnessModel | None = None,
                        budget_rtol: float = 1e-10) -> ScheduleSolution:
@@ -216,7 +262,8 @@ def kkt_residual(solution: ScheduleSolution, weights: np.ndarray,
     Args:
         solution: A solution from this module's solvers.
         weights: Objective weights used in the solve.
-        change_rates: Change rates used in the solve.
+        change_rates: Change rates used in the solve, in changes per
+            period.
         costs: Costs used in the solve.
         model: Freshness model used in the solve.
 

@@ -11,6 +11,7 @@ __all__ = [
     "ReproError",
     "ValidationError",
     "ConvergenceError",
+    "ContractViolationError",
     "InfeasibleProblemError",
     "SimulationError",
     "ScheduleError",
@@ -44,6 +45,16 @@ class InfeasibleProblemError(ReproError, ValueError):
 
     Raised, for example, when the bandwidth budget is negative or when
     a sized problem is given non-positive object sizes.
+    """
+
+
+class ContractViolationError(ReproError, AssertionError):
+    """A runtime contract (solver postcondition) failed.
+
+    Raised only while contracts are enabled (``REPRO_CONTRACTS=1`` or
+    :func:`repro.contracts.enable_contracts`).  Also an
+    :class:`AssertionError`: a violation means library code broke its
+    own invariant, not that the caller passed bad input.
     """
 
 

@@ -154,12 +154,14 @@ class ChangeObserver:
         """Estimate every element's change rate.
 
         Args:
-            interval: Poll interval used during observation.
+            interval: Poll interval used during observation, in
+                periods.
             method: ``"naive"``, ``"mle"`` or ``"bias-reduced"``.
-            default_rate: Rate assigned to never-polled elements.
+            default_rate: Rate assigned to never-polled elements, in
+                changes per period.
 
         Returns:
-            Per-element rate estimates.
+            Per-element rate estimates, in changes per period.
         """
         estimators = {
             "naive": naive_rate_estimate,

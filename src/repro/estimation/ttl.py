@@ -31,8 +31,9 @@ def expected_fresh_probability(change_rates: np.ndarray,
     """Probability a copy is still fresh ``age`` after its last sync.
 
     Args:
-        change_rates: Poisson change rates λ ≥ 0.
-        age: Time since the last sync, ≥ 0.
+        change_rates: Poisson change rates λ ≥ 0, in changes per
+            period.
+        age: Time since the last sync, in periods, ≥ 0.
 
     Returns:
         ``e^(−λ·age)`` per element.
@@ -50,7 +51,8 @@ def ttl_for_confidence(change_rates: np.ndarray,
     """The TTL after which freshness confidence drops to ``confidence``.
 
     Args:
-        change_rates: Poisson change rates λ ≥ 0.
+        change_rates: Poisson change rates λ ≥ 0, in changes per
+            period.
         confidence: Required freshness probability in (0, 1).
 
     Returns:

@@ -14,11 +14,12 @@ Everything is deterministic: initialization comes from the caller
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, Mapping
 
 import numpy as np
 
-from repro.errors import ValidationError
+from repro.contracts import check_partition_labels, postcondition
+from repro.errors import ContractViolationError, ValidationError
 
 __all__ = ["KMeansResult", "kmeans", "kmeans_iterate"]
 
@@ -136,6 +137,30 @@ def kmeans_iterate(points: np.ndarray, initial_labels: np.ndarray,
                            converged=converged)
 
 
+def _check_kmeans_result(result: "KMeansResult",
+                         arguments: Mapping[str, object]) -> None:
+    """Postcondition: a valid clustering state.
+
+    Labels stay in ``[0, k)`` for every point, and the inertia — a
+    sum of squared distances — is finite and nonnegative (a NaN here
+    means a centroid escaped to infinity while still owning points).
+    """
+    where = "kmeans"
+    k = int(arguments["k"])  # type: ignore[arg-type]
+    points = np.asarray(arguments["points"])
+    check_partition_labels(result.labels, k, where=where)
+    if result.labels.shape[0] != points.shape[0]:
+        raise ContractViolationError(
+            f"contract violated in {where}: complete labeling - "
+            f"{result.labels.shape[0]} labels for {points.shape[0]} "
+            "points")
+    if not np.isfinite(result.inertia) or result.inertia < 0.0:
+        raise ContractViolationError(
+            f"contract violated in {where}: inertia finite and >= 0 - "
+            f"got {result.inertia!r}")
+
+
+@postcondition(_check_kmeans_result)
 def kmeans(points: np.ndarray, initial_labels: np.ndarray, k: int, *,
            iterations: int) -> KMeansResult:
     """Run exactly ``iterations`` Lloyd iterations (or stop at convergence).

@@ -17,10 +17,15 @@ bracket is exact and robust.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Tuple
+from typing import Callable, Mapping, Tuple
 
 import numpy as np
 
+from repro.contracts import (
+    check_budget_feasible,
+    check_nonnegative,
+    postcondition,
+)
 from repro.errors import ConvergenceError, InfeasibleProblemError, ValidationError
 
 __all__ = ["WaterfillResult", "waterfill"]
@@ -52,6 +57,30 @@ class WaterfillResult:
     iterations: int
 
 
+def _check_waterfill_result(result: "WaterfillResult",
+                            arguments: Mapping[str, object]) -> None:
+    """Postcondition: allocations ≥ 0, μ ≥ 0, and budget feasibility.
+
+    The budget bound only applies on the ``snap=True`` path: with
+    ``snap=False`` the caller asked for the raw bisection endpoint,
+    which may sit on the over-budget side of a degenerate activation
+    kink (the Core-Problem solver post-processes and re-snaps it, and
+    its own contract checks the final allocation).
+    """
+    where = "waterfill"
+    budget = float(arguments["budget"])  # type: ignore[arg-type]
+    rtol = float(arguments["budget_rtol"])  # type: ignore[arg-type]
+    check_nonnegative(result.allocations, name="allocations",
+                      where=where)
+    check_nonnegative(np.asarray([result.multiplier]),
+                      name="multiplier", where=where)
+    if arguments["snap"]:
+        check_budget_feasible(np.ones(1), np.asarray([result.cost]),
+                              budget, rtol=max(rtol * 4.0, 1e-12),
+                              where=where)
+
+
+@postcondition(_check_waterfill_result)
 def waterfill(allocate_at: AllocateAt, budget: float, mu_max: float, *,
               budget_rtol: float = DEFAULT_BUDGET_RTOL,
               maxiter: int = DEFAULT_MAXITER,

@@ -81,7 +81,7 @@ class WorkloadBuilder:
         return self
 
     def custom_rates(self, rates: np.ndarray) -> "WorkloadBuilder":
-        """Explicit per-element change rates."""
+        """Explicit per-element change rates, in changes per period."""
         rates = np.asarray(rates, dtype=float)
         if rates.shape != (self._n,):
             raise ValidationError(

@@ -131,7 +131,8 @@ class Catalog:
             access_probabilities, dtype=float))
 
     def with_change_rates(self, change_rates: np.ndarray) -> "Catalog":
-        """The same elements with different change rates."""
+        """The same elements with different change rates (changes per
+        period)."""
         return replace(self,
                        change_rates=np.asarray(change_rates, dtype=float))
 

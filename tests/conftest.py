@@ -2,10 +2,22 @@
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
 import numpy as np
 import pytest
 
 from repro.workloads import Catalog, ExperimentSetup
+
+#: Repository root (tests/ lives directly under it).
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Make the in-repo tooling (tools/freshlint) importable from tests
+# without an install step, mirroring how PYTHONPATH=src exposes repro.
+_TOOLS_DIR = str(REPO_ROOT / "tools")
+if _TOOLS_DIR not in sys.path:
+    sys.path.insert(0, _TOOLS_DIR)
 
 
 @pytest.fixture

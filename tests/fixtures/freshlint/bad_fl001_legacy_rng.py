@@ -1,0 +1,12 @@
+"""Seeded FL001 violations: legacy global-state RNG usage."""
+
+import numpy as np
+from numpy.random import default_rng, rand
+
+
+def sample_change_stream(n):
+    np.random.seed(42)            # FL001: global seeding
+    burst = np.random.rand(n)     # FL001: legacy draw
+    jitter = rand(n)              # FL001: legacy draw via from-import
+    rng = default_rng()           # FL001: unseeded generator
+    return burst + jitter + rng.random(n)

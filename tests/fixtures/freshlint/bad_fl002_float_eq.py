@@ -1,0 +1,9 @@
+"""Seeded FL002 violations: exact equality against nonzero floats."""
+
+
+def is_converged(objective, residual):
+    if objective == 0.97:          # FL002
+        return True
+    if residual != 1e-10:          # FL002
+        return False
+    return -0.5 == objective       # FL002 (negative literal)

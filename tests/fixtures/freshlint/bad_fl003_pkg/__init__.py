@@ -1,0 +1,11 @@
+"""Seeded FL003 violations: __all__ drifted from the re-exports."""
+
+from math import sqrt
+from os.path import join
+
+__all__ = [
+    "sqrt",
+    "sqrt",        # FL003: duplicate entry
+    "phantom",     # FL003: never bound
+    # FL003: "join" is re-exported but missing here
+]

@@ -1,0 +1,15 @@
+"""Seeded FL004 violations: dimensioned parameters without units."""
+
+
+def schedule(change_rates, bandwidth):
+    """Allocate the budget across elements.
+
+    Args:
+        change_rates: How often things change.
+        bandwidth: The budget.
+    """
+    return change_rates * 0 + bandwidth
+
+
+def rescale(frequencies):
+    return frequencies * 2.0

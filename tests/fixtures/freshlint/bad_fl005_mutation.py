@@ -1,0 +1,29 @@
+"""Seeded FL005 violations: in-place mutation of ndarray parameters."""
+
+import numpy as np
+
+
+def clamp_frequencies(frequencies, ceiling):
+    frequencies[frequencies > ceiling] = ceiling   # FL005: subscript store
+    return frequencies
+
+
+def normalize(weights):
+    weights /= weights.sum()                       # FL005: augassign
+    return weights
+
+
+def sort_labels(labels):
+    labels.sort()                                  # FL005: mutating method
+    return labels
+
+
+def scatter(totals, indices, values):
+    np.add.at(totals, indices, values)             # FL005: ufunc.at
+    return totals
+
+
+def launder_via_asarray(frequencies):
+    frequencies = np.asarray(frequencies, dtype=float)
+    frequencies[0] = 0.0                           # FL005: asarray aliases
+    return frequencies

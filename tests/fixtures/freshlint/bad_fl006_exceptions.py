@@ -1,0 +1,22 @@
+"""Seeded FL006 violations: bare, broad, and swallowed handlers."""
+
+
+def risky_solve(problem):
+    try:
+        return problem.solve()
+    except:                      # FL006: bare except
+        return None
+
+
+def swallow(problem):
+    try:
+        return problem.solve()
+    except ValueError:           # FL006 (solver scope): swallowed
+        pass
+
+
+def too_broad(problem):
+    try:
+        return problem.solve()
+    except Exception as error:   # FL006 (solver scope): too broad
+        return error

@@ -1,0 +1,6 @@
+"""Seeded FL007 violation: print in library code."""
+
+
+def solve(problem):
+    print("solving", problem)   # FL007
+    return problem

@@ -1,0 +1,13 @@
+"""FL001-clean randomness: seeded, caller-threaded generators."""
+
+import numpy as np
+
+
+def sample_change_stream(n, rng):
+    """Draw ``n`` arrivals from a caller-owned Generator."""
+    return rng.random(n)
+
+
+def make_rng(seed):
+    """Build a seeded generator (allowed anywhere)."""
+    return np.random.default_rng(seed)

@@ -1,0 +1,10 @@
+"""FL002-clean comparisons: tolerances, and exact-zero sentinels."""
+
+import math
+
+
+def is_converged(objective, residual, frequencies):
+    if math.isclose(objective, 0.97, rel_tol=1e-9):
+        return True
+    never_allocated = frequencies == 0.0   # exact-zero sentinel: allowed
+    return residual <= 1e-10 and never_allocated.any()

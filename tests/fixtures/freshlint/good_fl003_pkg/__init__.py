@@ -1,0 +1,8 @@
+"""FL003-clean package surface: __all__ matches the re-exports."""
+
+from math import sqrt
+from os.path import join
+
+__version__ = "0.0.1"
+
+__all__ = ["__version__", "join", "sqrt"]

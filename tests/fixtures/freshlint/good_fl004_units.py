@@ -1,0 +1,16 @@
+"""FL004-clean docstrings: every dimensioned parameter has units."""
+
+
+def schedule(change_rates, bandwidth):
+    """Allocate the budget across elements.
+
+    Args:
+        change_rates: Poisson rates, in changes per period.
+        bandwidth: Budget, in size units per period.
+    """
+    return change_rates * 0 + bandwidth
+
+
+def _rescale(frequencies):
+    # Private helpers are out of scope for FL004.
+    return frequencies * 2.0

@@ -1,0 +1,26 @@
+"""FL005-clean numerics: parameters stay caller-owned."""
+
+import numpy as np
+
+
+def clamp_frequencies(frequencies, ceiling):
+    """Clamp sync frequencies (in syncs per period) to ``ceiling``."""
+    return np.minimum(frequencies, ceiling)
+
+
+def normalize(weights):
+    weights = np.array(weights, dtype=float)   # real copy launders
+    weights /= weights.sum()
+    return weights
+
+
+def sorted_labels(labels):
+    labels = labels.copy()
+    labels.sort()
+    return labels
+
+
+def accumulate(totals, indices, values):
+    totals = totals.copy()
+    np.add.at(totals, indices, values)
+    return totals

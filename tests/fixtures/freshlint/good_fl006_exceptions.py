@@ -1,0 +1,15 @@
+"""FL006-clean error handling: typed, observable outcomes."""
+
+
+def careful_solve(problem, fallback):
+    try:
+        return problem.solve()
+    except ValueError as error:
+        raise RuntimeError("solve failed on malformed input") from error
+
+
+def with_fallback(problem, fallback):
+    try:
+        return problem.solve()
+    except ArithmeticError:
+        return fallback

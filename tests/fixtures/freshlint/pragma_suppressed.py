@@ -1,0 +1,10 @@
+"""Pragma handling: every seeded violation here is suppressed."""
+# freshlint: disable-file=FL007
+
+import numpy as np
+
+
+def bootstrap_unseeded(n):
+    rng = np.random.default_rng()  # freshlint: disable=FL001
+    print("bootstrapping", n)      # suppressed by the file pragma
+    return rng.random(n)

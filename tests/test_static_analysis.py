@@ -1,0 +1,193 @@
+"""Tier-1 static-analysis gate.
+
+This module is the enforcement point for freshlint: the repository
+tree must lint clean, and the gate must demonstrably *fail* when a
+violation is introduced (negative tests seed FL001/FL003 violations
+into a scratch tree shaped like ``src/`` and assert they are caught).
+
+ruff and mypy are exercised when installed (the CI image installs
+them via the ``lint`` extra); locally they are optional and the tests
+skip rather than fail, keeping tier-1 runnable on the bare toolchain.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from freshlint import run_paths
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = REPO_ROOT / "tests" / "fixtures" / "freshlint"
+
+#: The paths the linter must keep clean (mirrors CI and the docs).
+LINTED_PATHS = ("src", "examples", "benchmarks", "tools")
+
+
+def _lint_repo() -> list:
+    paths = [REPO_ROOT / p for p in LINTED_PATHS if (REPO_ROOT / p).exists()]
+    return run_paths(paths, root=REPO_ROOT)
+
+
+# ---------------------------------------------------------------------------
+# positive gate: the tree is clean
+
+
+def test_repository_tree_is_freshlint_clean() -> None:
+    violations = _lint_repo()
+    rendered = "\n".join(v.render() for v in violations)
+    assert not violations, f"freshlint violations:\n{rendered}"
+
+
+def test_linted_paths_exist() -> None:
+    # Guard against the gate silently passing because a path vanished.
+    for path in ("src", "examples", "benchmarks", "tools"):
+        assert (REPO_ROOT / path).is_dir(), f"missing linted path {path}/"
+
+
+def test_module_invocation_is_clean() -> None:
+    """``python -m freshlint`` (the documented entry point) exits 0."""
+    env_path = str(REPO_ROOT / "tools")
+    result = subprocess.run(
+        [sys.executable, "-m", "freshlint", *LINTED_PATHS, "--quiet"],
+        cwd=REPO_ROOT, capture_output=True, text=True,
+        env={**os.environ, "PYTHONPATH": env_path},
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+# ---------------------------------------------------------------------------
+# negative gate: seeded violations are caught
+
+
+def _seed_tree(base: Path, relative: str, fixture: str) -> Path:
+    """Copy a bad fixture into a src/-shaped scratch tree.
+
+    The scratch root must come from ``tmp_path_factory.mktemp`` with a
+    neutral name: pytest's per-test ``tmp_path`` embeds the test name
+    (``test_...``), which the linter's full-path test-glob fallback
+    would match, exempting the seeded file from test-scoped rules.
+    """
+    destination = base / relative
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    shutil.copy(FIXTURES / fixture, destination)
+    return base
+
+
+def test_gate_catches_seeded_fl001_violation(
+        tmp_path_factory: pytest.TempPathFactory) -> None:
+    root = _seed_tree(tmp_path_factory.mktemp("seeded_tree"),
+                      "src/repro/numerics/streams.py",
+                      "bad_fl001_legacy_rng.py")
+    violations = run_paths([root / "src"], root=root)
+    assert {"FL001"} == {v.code for v in violations}
+    assert len(violations) == 4
+
+
+def test_gate_catches_seeded_fl003_violation(
+        tmp_path_factory: pytest.TempPathFactory) -> None:
+    root = _seed_tree(tmp_path_factory.mktemp("seeded_tree"),
+                      "src/repro/workloads/__init__.py",
+                      "bad_fl003_pkg/__init__.py")
+    violations = run_paths([root / "src"], root=root)
+    assert "FL003" in {v.code for v in violations}
+
+
+def test_gate_catches_seeded_mutation_in_solver_path(
+        tmp_path_factory: pytest.TempPathFactory) -> None:
+    root = _seed_tree(tmp_path_factory.mktemp("seeded_tree"),
+                      "src/repro/core/mutate.py",
+                      "bad_fl005_mutation.py")
+    violations = run_paths([root / "src"], root=root)
+    assert "FL005" in {v.code for v in violations}
+
+
+def test_bad_fixtures_are_not_in_the_linted_tree() -> None:
+    """The seeded-violation fixtures must never be linted by the gate."""
+    linted = {v.path.resolve() for v in _lint_repo()}
+    assert not any(FIXTURES in p.parents for p in linted)
+    # And structurally: fixtures live under tests/, which is not linted.
+    assert FIXTURES.is_relative_to(REPO_ROOT / "tests")
+
+
+# ---------------------------------------------------------------------------
+# ruff / mypy (optional locally, mandatory in CI)
+
+
+def _tool_missing(tool: str) -> bool:
+    return shutil.which(tool) is None
+
+
+@pytest.mark.skipif(_tool_missing("ruff"),
+                    reason="ruff not installed (CI installs the lint extra)")
+def test_ruff_is_clean() -> None:
+    result = subprocess.run(
+        ["ruff", "check", "src", "tools", "examples", "benchmarks",
+         "tests"],
+        cwd=REPO_ROOT, capture_output=True, text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+@pytest.mark.skipif(_tool_missing("mypy"),
+                    reason="mypy not installed (CI installs the lint extra)")
+def test_mypy_is_clean() -> None:
+    result = subprocess.run(
+        ["mypy", "src/repro", "tools/freshlint"],
+        cwd=REPO_ROOT, capture_output=True, text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+# ---------------------------------------------------------------------------
+# pragma hygiene
+
+
+def test_every_pragma_in_the_tree_is_documented() -> None:
+    """Each ``freshlint: disable`` pragma must carry a justification.
+
+    Convention (docs/STATIC_ANALYSIS.md): the pragma line or the line
+    above it must contain a prose comment explaining *why* — a bare
+    suppression is itself a violation of the policy.
+    """
+    import io
+    import tokenize
+
+    pragma_re = re.compile(r"freshlint:\s*disable")
+    offenders: list[str] = []
+    for rel in LINTED_PATHS:
+        base = REPO_ROOT / rel
+        if not base.exists():
+            continue
+        for path in sorted(base.rglob("*.py")):
+            source = path.read_text(encoding="utf-8")
+            lines = source.splitlines()
+            # Tokenize so pragma *examples* inside docstrings (STRING
+            # tokens, e.g. in tools/freshlint/engine.py) don't count.
+            comment_lines = [
+                tok.start[0]
+                for tok in tokenize.generate_tokens(
+                    io.StringIO(source).readline)
+                if tok.type == tokenize.COMMENT
+                and pragma_re.search(tok.string)
+            ]
+            for lineno in comment_lines:
+                line = lines[lineno - 1]
+                match = pragma_re.search(line)
+                tail = line[match.end():] if match else ""
+                # justification after the codes on the same line...
+                justified = "--" in tail or "#" in tail
+                # ...or a comment line directly above.
+                if not justified and lineno > 1:
+                    justified = lines[lineno - 2].lstrip().startswith("#")
+                if not justified:
+                    offenders.append(f"{path}:{lineno}")
+    assert not offenders, (
+        "undocumented freshlint pragmas (add a reason):\n"
+        + "\n".join(offenders))

@@ -1,0 +1,50 @@
+"""freshlint — domain-aware static analysis for the repro codebase.
+
+The freshening solver stack is only correct while a web of unstated
+invariants holds: probability vectors on the simplex, seeded
+``np.random.Generator`` threading, budget feasibility ``Σ cᵢfᵢ ≤ B``,
+KKT residuals near zero.  freshlint encodes the *source-level*
+discipline that keeps those invariants checkable at all — reproducible
+randomness, tolerance-based float comparisons, honest re-export lists,
+unit-documented quantities, no aliasing mutation in the numeric core,
+and no swallowed solver errors.
+
+Run it as a CLI from the repository root::
+
+    PYTHONPATH=tools python -m freshlint src/ examples/ benchmarks/
+
+or programmatically::
+
+    from freshlint import run_paths
+    violations = run_paths(["src/repro"])
+
+Each rule is documented in ``docs/STATIC_ANALYSIS.md`` with the piece
+of the paper's math it protects.
+"""
+
+from __future__ import annotations
+
+from freshlint.engine import (
+    LintConfig,
+    ModuleContext,
+    Violation,
+    iter_python_files,
+    lint_file,
+    run_paths,
+)
+from freshlint.rules import ALL_RULES, Rule, rule_by_code
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_RULES",
+    "LintConfig",
+    "ModuleContext",
+    "Rule",
+    "Violation",
+    "__version__",
+    "iter_python_files",
+    "lint_file",
+    "rule_by_code",
+    "run_paths",
+]

@@ -1,0 +1,14 @@
+"""``python -m freshlint`` entry point.
+
+From the repository root::
+
+    PYTHONPATH=tools python -m freshlint src/ examples/ benchmarks/
+"""
+
+from __future__ import annotations
+
+import sys
+
+from freshlint.cli import main
+
+sys.exit(main())

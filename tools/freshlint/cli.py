@@ -1,0 +1,74 @@
+"""freshlint command-line interface.
+
+Exit codes follow the usual linter convention: 0 clean, 1 violations
+found, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from freshlint.engine import LintConfig, run_paths
+from freshlint.rules import ALL_RULES
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="freshlint",
+        description=("Domain-aware static analysis for the data-"
+                     "freshening codebase (rules FL001-FL007)."),
+    )
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint "
+                             "(default: src)")
+    parser.add_argument("--select", metavar="CODES", default="",
+                        help="comma-separated rule codes to run "
+                             "exclusively (e.g. FL001,FL003)")
+    parser.add_argument("--ignore", metavar="CODES", default="",
+                        help="comma-separated rule codes to skip")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print every rule and exit")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the summary line")
+    return parser
+
+
+def _parse_codes(raw: str) -> tuple[str, ...]:
+    return tuple(code.strip().upper() for code in raw.split(",")
+                 if code.strip())
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Run the linter; returns the process exit code."""
+    parser = _build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.code}  {rule.name:<28} {rule.summary}")
+        return 0
+
+    known = {rule.code for rule in ALL_RULES}
+    select = _parse_codes(options.select)
+    ignore = _parse_codes(options.ignore)
+    unknown = (set(select) | set(ignore)) - known
+    if unknown:
+        parser.error(f"unknown rule code(s): {', '.join(sorted(unknown))}")
+
+    config = LintConfig(select=select, ignore=ignore)
+    violations = run_paths(options.paths, config)
+    for violation in violations:
+        print(violation.render())
+    if not options.quiet:
+        noun = "violation" if len(violations) == 1 else "violations"
+        status = f"freshlint: {len(violations)} {noun}"
+        print(status, file=sys.stderr)
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

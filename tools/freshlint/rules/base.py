@@ -1,0 +1,56 @@
+"""Rule base class and shared AST helpers."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from freshlint.engine import ModuleContext, Violation
+
+__all__ = ["Rule", "function_params", "walk_functions"]
+
+
+class Rule:
+    """One lint rule.
+
+    Subclasses set ``code`` (``FLxxx``), ``name`` (kebab-case slug)
+    and ``summary`` (one line, shown by ``--list-rules``), and
+    implement :meth:`check`.
+    """
+
+    code: str = "FL000"
+    name: str = "abstract-rule"
+    summary: str = ""
+
+    def check(self, context: ModuleContext) -> Iterator[Violation]:
+        """Yield violations found in one module."""
+        raise NotImplementedError
+
+    def violation(self, context: ModuleContext, node: ast.AST,
+                  message: str) -> Violation:
+        """Build a violation anchored at ``node``."""
+        return Violation(code=self.code, path=context.path,
+                         line=getattr(node, "lineno", 1),
+                         column=getattr(node, "col_offset", 0),
+                         message=message)
+
+
+def function_params(node: ast.FunctionDef | ast.AsyncFunctionDef,
+                    ) -> list[str]:
+    """All parameter names of a function, ``self``/``cls`` excluded."""
+    args = node.args
+    names = [a.arg for a in (*args.posonlyargs, *args.args,
+                             *args.kwonlyargs)]
+    if args.vararg is not None:
+        names.append(args.vararg.arg)
+    if args.kwarg is not None:
+        names.append(args.kwarg.arg)
+    return [n for n in names if n not in ("self", "cls")]
+
+
+def walk_functions(tree: ast.Module) -> Iterator[ast.FunctionDef |
+                                                 ast.AsyncFunctionDef]:
+    """Yield every function/method definition in the module."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node

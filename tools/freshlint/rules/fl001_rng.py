@@ -1,0 +1,75 @@
+"""FL001 — reproducible randomness.
+
+Every experiment in the reproduction (Poisson change streams, Zipf
+access draws, trace bootstraps) must be replayable from a seed, so the
+legacy global-state ``numpy.random`` API is banned outright and
+``default_rng()`` without a seed is confined to entry-point scripts.
+Library code must *accept* a ``numpy.random.Generator`` and thread it
+through rather than conjure ambient randomness.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from freshlint.engine import ModuleContext, Violation
+from freshlint.rules.base import Rule
+
+__all__ = ["UnseededRandomness"]
+
+#: Names under ``numpy.random`` that are fine to call or construct.
+_ALLOWED_RANDOM_ATTRS = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+_LEGACY_PREFIXES = ("numpy.random.", "np.random.")
+
+
+def _is_legacy_global_call(target: str) -> bool:
+    for prefix in _LEGACY_PREFIXES:
+        if target.startswith(prefix):
+            attr = target[len(prefix):]
+            return "." not in attr and attr not in _ALLOWED_RANDOM_ATTRS
+    return False
+
+
+class UnseededRandomness(Rule):
+    """Ban legacy ``np.random.*`` and argless ``default_rng()``."""
+
+    code = "FL001"
+    name = "unseeded-randomness"
+    summary = ("legacy np.random.* global-state API, and default_rng() "
+               "without a seed outside entry points")
+
+    def check(self, context: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = context.resolve_call_target(node.func)
+            if target is None:
+                continue
+            if _is_legacy_global_call(target):
+                yield self.violation(
+                    context, node,
+                    f"call to legacy global-state RNG `{target}`; pass a "
+                    "seeded np.random.Generator instead (np.random.* "
+                    "draws are unreplayable and race across threads)")
+            elif (target.endswith("numpy.random.default_rng")
+                  or target == "numpy.random.default_rng"):
+                if not node.args and not node.keywords \
+                        and not context.is_entry_point \
+                        and not context.is_test:
+                    yield self.violation(
+                        context, node,
+                        "default_rng() without a seed in library code; "
+                        "accept a Generator (or a seed) from the caller "
+                        "so Poisson change streams are reproducible")

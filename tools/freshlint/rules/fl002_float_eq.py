@@ -1,0 +1,65 @@
+"""FL002 — no exact equality against nonzero float literals.
+
+The solver pipeline is float arithmetic end-to-end: freshness values,
+KKT multipliers, budgets.  Comparing those with ``==``/``!=`` against
+a nonzero literal is almost always a latent bug — use a tolerance
+(``math.isclose``, ``np.isclose``, or an explicit rtol) instead.
+
+Comparisons against literal ``0.0`` are *allowed* by design: the
+solvers assign exact zeros structurally (``np.zeros_like``, masked
+stores), never compute near-zeros into them, so ``f == 0.0`` is a
+well-defined "was never allocated" sentinel (see ``core/age.py`` and
+``core/freshness.py``).  Test files are exempt — pinning exact
+regression values is their job.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from freshlint.engine import ModuleContext, Violation
+from freshlint.rules.base import Rule
+
+__all__ = ["FloatEqualityComparison"]
+
+
+def _nonzero_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant):
+        value = node.value
+        return isinstance(value, float) and value != 0.0
+    if isinstance(node, ast.UnaryOp) and isinstance(node.operand,
+                                                   ast.Constant):
+        value = node.operand.value
+        return isinstance(value, float) and value != 0.0
+    return False
+
+
+class FloatEqualityComparison(Rule):
+    """Flag ``==``/``!=`` with a nonzero float literal operand."""
+
+    code = "FL002"
+    name = "float-equality"
+    summary = ("==/!= against a nonzero float literal outside tests; "
+               "use a tolerance comparison")
+
+    def check(self, context: ModuleContext) -> Iterator[Violation]:
+        if context.is_test:
+            return
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _nonzero_float_literal(left) or \
+                        _nonzero_float_literal(right):
+                    yield self.violation(
+                        context, node,
+                        "exact ==/!= against a nonzero float literal; "
+                        "solver quantities carry rounding error - "
+                        "compare with math.isclose/np.isclose or an "
+                        "explicit tolerance (exact-zero sentinels are "
+                        "exempt)")
+                    break

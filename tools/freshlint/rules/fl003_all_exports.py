@@ -1,0 +1,114 @@
+"""FL003 — honest ``__all__`` re-export lists.
+
+The package ``__init__.py`` files (``repro``, ``repro.core``, ...) are
+the public API surface, and their ``__all__`` lists are maintained by
+hand.  Drift in either direction is a real failure mode: a name in
+``__all__`` that is not bound breaks ``from repro import *`` and the
+API docs; an imported public name missing from ``__all__`` ships an
+undocumented export that the next refactor silently removes.  This
+rule checks exact agreement, both directions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from freshlint.engine import ModuleContext, Violation
+from freshlint.rules.base import Rule
+
+__all__ = ["AllMatchesReexports"]
+
+
+def _bound_names(tree: ast.Module) -> tuple[set[str], set[str]]:
+    """(names bound at module top level, names bound by from-imports)."""
+    bound: set[str] = set()
+    from_imports: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                name = alias.asname or alias.name
+                bound.add(name)
+                from_imports.add(name)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                bound.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            bound.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    bound.add(target.id)
+                elif isinstance(target, ast.Tuple):
+                    bound.update(e.id for e in target.elts
+                                 if isinstance(e, ast.Name))
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                bound.add(node.target.id)
+    return bound, from_imports
+
+
+def _find_all(tree: ast.Module) -> tuple[ast.Assign | None,
+                                         list[str] | None]:
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            targets = [t for t in node.targets if isinstance(t, ast.Name)]
+            if any(t.id == "__all__" for t in targets):
+                if isinstance(node.value, (ast.List, ast.Tuple)):
+                    names = [e.value for e in node.value.elts
+                             if isinstance(e, ast.Constant)
+                             and isinstance(e.value, str)]
+                    return node, names
+                return node, None
+    return None, None
+
+
+class AllMatchesReexports(Rule):
+    """``__all__`` must exactly match an ``__init__``'s re-exports."""
+
+    code = "FL003"
+    name = "all-matches-reexports"
+    summary = ("package __init__ __all__ must list exactly the names "
+               "re-exported by the module")
+
+    def check(self, context: ModuleContext) -> Iterator[Violation]:
+        if not context.is_package_init:
+            return
+        tree = context.tree
+        bound, from_imports = _bound_names(tree)
+        all_node, exported = _find_all(tree)
+        public_imports = {n for n in from_imports if not n.startswith("_")}
+        if all_node is None:
+            if public_imports:
+                yield self.violation(
+                    context, tree.body[0] if tree.body else tree,
+                    "package __init__ re-exports names but defines no "
+                    "__all__; add one so the public surface is explicit")
+            return
+        if exported is None:
+            yield self.violation(
+                context, all_node,
+                "__all__ is not a literal list/tuple of strings; "
+                "freshlint (and API docs) cannot audit it")
+            return
+        declared = set(exported)
+        for name in sorted(declared - bound):
+            yield self.violation(
+                context, all_node,
+                f"__all__ exports {name!r} but the module never binds "
+                "it; `from package import *` would raise AttributeError")
+        for name in sorted(public_imports - declared):
+            yield self.violation(
+                context, all_node,
+                f"public re-export {name!r} is missing from __all__; "
+                "add it or rename with a leading underscore")
+        duplicates = {n for n in exported if exported.count(n) > 1}
+        for name in sorted(duplicates):
+            yield self.violation(
+                context, all_node,
+                f"__all__ lists {name!r} more than once")

@@ -1,0 +1,125 @@
+"""FL004 — physical quantities must state their units.
+
+The paper's Core Problem mixes three dimensioned quantities: change
+rates λ (changes **per sync period**), sync frequencies f (syncs **per
+period**), and bandwidth B (cost·units **per period**, where cost is
+the object size).  Confusing "per period" with "per second" — or
+feeding a per-day λ to a per-hour budget — produces schedules that are
+silently, plausibly wrong (the solver is scale-covariant, so nothing
+crashes).  Every public library function taking such a parameter must
+say the unit in its docstring.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from freshlint.engine import ModuleContext, Violation
+from freshlint.rules.base import Rule, function_params
+
+__all__ = ["UnitsInDocstring", "UNIT_MARKERS"]
+
+#: Any of these (case-insensitive) counts as a unit statement.
+UNIT_MARKERS = (
+    "per period",
+    "per-period",
+    "per sync period",
+    "per unit time",
+    "per second",
+    "per hour",
+    "per day",
+    "syncs per",
+    "changes per",
+    "accesses per",
+    "polls per",
+    "bandwidth units",
+    "cost units",
+    "size units",
+    "units of",
+    "unit-less",
+    "dimensionless",
+)
+
+
+def _walk_with_override_flag(tree: ast.Module,
+                             ) -> Iterator[tuple[ast.FunctionDef
+                                                 | ast.AsyncFunctionDef,
+                                                 bool]]:
+    """Yield (function, may_inherit_docstring) pairs.
+
+    A method of a class that itself has base classes may rely on the
+    documentation convention that an undocumented override inherits
+    the base method's docstring — those are exempt from the
+    missing-docstring finding (but not from the missing-units finding
+    once they *do* carry a docstring).
+    """
+    class_stack: list[ast.ClassDef] = []
+
+    def visit(node: ast.AST) -> Iterator[tuple[ast.FunctionDef
+                                               | ast.AsyncFunctionDef,
+                                               bool]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                class_stack.append(child)
+                yield from visit(child)
+                class_stack.pop()
+            elif isinstance(child, (ast.FunctionDef,
+                                    ast.AsyncFunctionDef)):
+                in_subclass = bool(class_stack) and bool(
+                    class_stack[-1].bases or class_stack[-1].keywords)
+                yield child, in_subclass
+                yield from visit(child)
+            else:
+                yield from visit(child)
+
+    yield from visit(tree)
+
+
+def _is_dimensioned(param: str) -> bool:
+    return (param == "bandwidth"
+            or param.endswith("bandwidth")
+            or param.endswith("rate")
+            or param.endswith("rates")
+            or param.endswith("frequency")
+            or param.endswith("frequencies"))
+
+
+class UnitsInDocstring(Rule):
+    """Public functions with rate/frequency/bandwidth params need units."""
+
+    code = "FL004"
+    name = "units-in-docstring"
+    summary = ("public library functions taking rates/frequencies/"
+               "bandwidth must state units in their docstring")
+
+    def check(self, context: ModuleContext) -> Iterator[Violation]:
+        if not context.is_library or context.is_test:
+            return
+        for node, may_inherit_doc in _walk_with_override_flag(
+                context.tree):
+            if node.name.startswith("_"):
+                continue
+            dimensioned = [p for p in function_params(node)
+                           if _is_dimensioned(p)]
+            if not dimensioned:
+                continue
+            doc = ast.get_docstring(node)
+            params = ", ".join(dimensioned)
+            if doc is None:
+                if may_inherit_doc:
+                    continue  # override inherits the base docstring
+                yield self.violation(
+                    context, node,
+                    f"public function `{node.name}` takes dimensioned "
+                    f"parameter(s) {params} but has no docstring; state "
+                    "the units (e.g. 'changes per period')")
+                continue
+            lowered = doc.lower()
+            if not any(marker in lowered for marker in UNIT_MARKERS):
+                yield self.violation(
+                    context, node,
+                    f"docstring of `{node.name}` never states units for "
+                    f"{params}; the solver is scale-covariant, so a "
+                    "per-day rate against a per-hour budget fails "
+                    "silently - say e.g. 'changes per period'")

@@ -1,0 +1,184 @@
+"""FL005 — no in-place mutation of ndarray parameters in the core.
+
+The numeric core (``core/``, ``numerics/``) receives caller-owned
+arrays — catalog columns, frequency vectors, partition labels — and
+callers (the incremental solver, the simulator, the benchmark harness)
+rely on them being unchanged across a solve.  A stray ``f[mask] = 0``
+on a parameter corrupts the caller's state one frame up.
+
+The rule is aliasing-aware: rebinding a parameter to a *copy*
+(``x = x.copy()``, ``np.zeros_like``, ``np.array``, ``.astype``)
+launders it, but rebinding through ``np.asarray`` / ``np.asanyarray``
+/ ``np.ascontiguousarray`` / ``np.atleast_1d`` does **not** — those
+return the *same buffer* when the input already has the right dtype,
+which is exactly the common case here (float64 in, float64 out), so
+mutating the result still mutates the caller's array.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from freshlint.engine import ModuleContext, Violation
+from freshlint.rules.base import Rule, function_params
+
+__all__ = ["NdarrayParamMutation"]
+
+#: Call names whose result is a fresh buffer (safe to mutate).
+_COPYING_CALLS = {
+    "copy", "array", "zeros_like", "empty_like", "ones_like",
+    "full_like", "astype", "tolist", "repeat", "tile", "concatenate",
+    "column_stack", "stack", "where", "clip", "sort_values",
+}
+
+#: Call names that may alias their argument (taint survives).
+_ALIASING_CALLS = {
+    "asarray", "asanyarray", "ascontiguousarray", "asfortranarray",
+    "atleast_1d", "atleast_2d", "ravel", "reshape", "view", "squeeze",
+}
+
+#: ndarray methods that mutate the receiver in place.
+_MUTATING_METHODS = {
+    "fill", "sort", "partition", "put", "itemset", "resize",
+    "setfield", "byteswap",
+}
+
+#: numpy module-level functions whose *first argument* is mutated.
+_MUTATING_FIRST_ARG = {"copyto", "put", "place", "putmask", "fill_diagonal"}
+
+
+def _call_basename(node: ast.Call) -> str | None:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _root_name(node: ast.expr) -> str | None:
+    """The base ``Name`` under nested subscripts/attributes, if any."""
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+class _FunctionAuditor(ast.NodeVisitor):
+    """Track tainted (caller-owned) names through one function body."""
+
+    def __init__(self, rule: "NdarrayParamMutation",
+                 context: ModuleContext,
+                 node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.rule = rule
+        self.context = context
+        self.function = node
+        self.tainted = set(function_params(node))
+        self.violations: list[Violation] = []
+
+    # -- taint bookkeeping -------------------------------------------------
+
+    def _value_launders(self, value: ast.expr) -> bool:
+        """True if assigning ``value`` yields a caller-independent object."""
+        if isinstance(value, ast.Call):
+            name = _call_basename(value)
+            if name in _ALIASING_CALLS:
+                return False
+            return True  # copies, constructors, arbitrary calls
+        if isinstance(value, ast.Name):
+            return value.id not in self.tainted
+        # Literals, arithmetic (creates a new array), comprehensions...
+        return not isinstance(value, (ast.Subscript, ast.Attribute,
+                                      ast.IfExp, ast.Starred))
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.generic_visit(node)
+        for target in node.targets:
+            if isinstance(target, ast.Name) and target.id in self.tainted:
+                if self._value_launders(node.value):
+                    self.tainted.discard(target.id)
+            elif isinstance(target, (ast.Subscript, ast.Attribute)):
+                root = _root_name(target)
+                if root in self.tainted:
+                    self._report(target,
+                                 f"in-place store into parameter `{root}`")
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self.generic_visit(node)
+        target = node.target
+        if isinstance(target, ast.Name) and target.id in self.tainted \
+                and node.value is not None \
+                and self._value_launders(node.value):
+            self.tainted.discard(target.id)
+        elif isinstance(target, (ast.Subscript, ast.Attribute)):
+            root = _root_name(target)
+            if root in self.tainted:
+                self._report(target,
+                             f"in-place store into parameter `{root}`")
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self.generic_visit(node)
+        root = _root_name(node.target)
+        if root in self.tainted:
+            self._report(node,
+                         f"augmented assignment mutates parameter "
+                         f"`{root}` in place (ndarray += writes through "
+                         "the caller's buffer)")
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self.generic_visit(node)
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            receiver = func.value
+            if func.attr in _MUTATING_METHODS \
+                    and isinstance(receiver, ast.Name) \
+                    and receiver.id in self.tainted:
+                self._report(node,
+                             f"`{receiver.id}.{func.attr}()` mutates the "
+                             "parameter in place")
+                return
+            # ufunc.at(param, ...) and np.copyto(param, ...) style.
+            if func.attr == "at" and node.args:
+                root = _root_name(node.args[0])
+                if root in self.tainted:
+                    self._report(node,
+                                 f"ufunc .at() scatters into parameter "
+                                 f"`{root}` in place")
+                return
+            if func.attr in _MUTATING_FIRST_ARG and node.args:
+                root = _root_name(node.args[0])
+                if root in self.tainted:
+                    self._report(node,
+                                 f"np.{func.attr}() writes into parameter "
+                                 f"`{root}` in place")
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        if node is not self.function:
+            return  # nested defs are audited separately
+        self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def _report(self, node: ast.AST, detail: str) -> None:
+        self.violations.append(self.rule.violation(
+            self.context, node,
+            f"{detail}; callers own their arrays - work on a copy "
+            "(note: np.asarray aliases, it does not copy)"))
+
+
+class NdarrayParamMutation(Rule):
+    """Ban in-place mutation of parameters in ``core/``/``numerics/``."""
+
+    code = "FL005"
+    name = "ndarray-param-mutation"
+    summary = ("no in-place mutation of (possibly caller-owned) "
+               "parameters in src/repro/core and src/repro/numerics")
+
+    def check(self, context: ModuleContext) -> Iterator[Violation]:
+        if not context.is_solver_path:
+            return
+        for node in ast.walk(context.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                auditor = _FunctionAuditor(self, context, node)
+                auditor.visit(node)
+                yield from auditor.violations

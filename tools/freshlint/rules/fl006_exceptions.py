@@ -1,0 +1,89 @@
+"""FL006 — no bare or swallowed exceptions in solver paths.
+
+The solvers communicate failure through a typed hierarchy
+(:class:`repro.errors.ReproError` and friends): ``ConvergenceError``
+carries the residual, ``InfeasibleProblemError`` marks bad budgets.  A
+bare ``except:`` (which also catches ``KeyboardInterrupt`` and
+``SystemExit``) or an ``except ...: pass`` in ``core/``/``numerics/``
+turns a diagnosable numerical failure into a silently wrong schedule —
+the worst possible outcome for an optimizer whose output *looks* like
+any other allocation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from freshlint.engine import ModuleContext, Violation
+from freshlint.rules.base import Rule
+
+__all__ = ["ExceptionDiscipline"]
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _handler_swallows(handler: ast.ExceptHandler) -> bool:
+    """True if the handler body does nothing observable."""
+    for stmt in handler.body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value,
+                                                     ast.Constant):
+            continue  # docstring / ellipsis
+        if isinstance(stmt, ast.Continue):
+            continue
+        return False
+    return True
+
+
+def _names_caught(handler: ast.ExceptHandler) -> list[str]:
+    node = handler.type
+    if node is None:
+        return []
+    elts = node.elts if isinstance(node, ast.Tuple) else [node]
+    names = []
+    for elt in elts:
+        while isinstance(elt, ast.Attribute):
+            elt = elt.value  # type: ignore[assignment]
+        if isinstance(elt, ast.Name):
+            names.append(elt.id)
+    return names
+
+
+class ExceptionDiscipline(Rule):
+    """Bare ``except`` anywhere; broad/swallowed ``except`` in solvers."""
+
+    code = "FL006"
+    name = "exception-discipline"
+    summary = ("no bare `except:`; no swallowed or overly broad "
+               "handlers in src/repro/core and src/repro/numerics")
+
+    def check(self, context: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.violation(
+                    context, node,
+                    "bare `except:` also catches KeyboardInterrupt and "
+                    "SystemExit; catch a ReproError subclass (or at "
+                    "most Exception) explicitly")
+                continue
+            if not context.is_solver_path:
+                continue
+            caught = _names_caught(node)
+            broad = sorted(_BROAD.intersection(caught))
+            if broad:
+                yield self.violation(
+                    context, node,
+                    f"solver path catches {', '.join(broad)}; catch the "
+                    "typed repro.errors hierarchy so numerical failures "
+                    "stay diagnosable")
+            if _handler_swallows(node):
+                yield self.violation(
+                    context, node,
+                    "solver path swallows an exception (`pass` body); a "
+                    "suppressed ConvergenceError yields a schedule that "
+                    "looks valid but is not optimal - re-raise, handle, "
+                    "or record it")

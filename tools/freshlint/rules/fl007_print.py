@@ -1,0 +1,40 @@
+"""FL007 — no ``print`` in library code.
+
+``src/repro`` is imported by the simulator, the benchmark harness and
+(per the ROADMAP) eventually long-running services; writing to stdout
+from a solver corrupts machine-readable output (the CLI's JSON mode,
+benchmark CSVs) and cannot be routed or silenced.  Entry-point scripts
+(``cli.py``, ``__main__.py``, ``examples/``, ``benchmarks/``) are the
+places that talk to humans.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from freshlint.engine import ModuleContext, Violation
+from freshlint.rules.base import Rule
+
+__all__ = ["NoPrintInLibrary"]
+
+
+class NoPrintInLibrary(Rule):
+    """Flag ``print(...)`` calls in importable library modules."""
+
+    code = "FL007"
+    name = "no-print-in-library"
+    summary = "no print() in src/repro outside cli.py/__main__.py"
+
+    def check(self, context: ModuleContext) -> Iterator[Violation]:
+        if not context.is_library or context.is_entry_point \
+                or context.is_test:
+            return
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Name) \
+                    and node.func.id == "print":
+                yield self.violation(
+                    context, node,
+                    "print() in library code; return the value, raise, "
+                    "or use the logging module so output stays routable")
