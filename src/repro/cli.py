@@ -6,15 +6,22 @@ Usage::
     python -m repro figure3 --quick
     python -m repro figure7
     repro-freshen figure5 --seed 3
+    repro-freshen table1 --quick --telemetry out/
+    repro-freshen obs summary --tape out/telemetry.jsonl
 
 ``--quick`` shrinks grids/sizes so every experiment finishes in a few
-seconds; without it the paper-scale defaults run.
+seconds; without it the paper-scale defaults run.  ``--telemetry
+[DIR]`` runs the experiment with the :mod:`repro.obs` layer enabled
+and writes ``telemetry.jsonl`` (the event tape) plus
+``telemetry.prom`` (Prometheus text format) into DIR, then prints the
+summary table; the ``obs`` subcommand re-renders a saved tape.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Callable, Sequence
 
 import numpy as np
@@ -270,6 +277,40 @@ _COMMANDS: dict[str, tuple[Callable[[argparse.Namespace], None], str]] = {
 }
 
 
+def _run_obs(args: argparse.Namespace) -> int:
+    from repro.obs import export
+
+    try:
+        registry = export.read_jsonl(args.tape)
+    except FileNotFoundError:
+        print(f"repro obs: no tape at {args.tape!r} — run an experiment "
+              "with --telemetry DIR first", file=sys.stderr)
+        return 1
+    if args.action == "prom":
+        print(export.prometheus_text(registry), end="")
+    else:
+        print(export.summary_text(registry))
+    return 0
+
+
+def _run_with_telemetry(runner: Callable[[argparse.Namespace], None],
+                        args: argparse.Namespace) -> None:
+    from repro.obs import export, registry as obs_registry
+
+    directory = Path(args.telemetry)
+    directory.mkdir(parents=True, exist_ok=True)
+    with obs_registry.telemetry() as registry:
+        runner(args)
+        tape = directory / "telemetry.jsonl"
+        prom = directory / "telemetry.prom"
+        export.write_jsonl(registry, tape)
+        prom.write_text(export.prometheus_text(registry),
+                        encoding="utf-8")
+        print()
+        print(export.summary_text(registry))
+        print(f"(wrote {tape} and {prom})")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser.
 
@@ -291,6 +332,20 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also render an ASCII chart")
         sub.add_argument("--svg", metavar="DIR", default=None,
                          help="also write an SVG chart into DIR")
+        sub.add_argument("--telemetry", metavar="DIR", nargs="?",
+                         const=".", default=None,
+                         help="enable telemetry; write telemetry.jsonl"
+                              " and telemetry.prom into DIR (default"
+                              " current directory)")
+    obs_sub = subparsers.add_parser(
+        "obs", help="Re-render a saved telemetry tape")
+    obs_sub.add_argument("action", choices=("summary", "prom"),
+                         help="render the human summary table or the"
+                              " Prometheus text export")
+    obs_sub.add_argument("--tape", metavar="PATH",
+                         default="telemetry.jsonl",
+                         help="JSONL tape written by --telemetry "
+                              "(default telemetry.jsonl)")
     return parser
 
 
@@ -305,8 +360,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     """
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.command == "obs":
+        return _run_obs(args)
     runner, _ = _COMMANDS[args.command]
-    runner(args)
+    if args.telemetry is not None:
+        _run_with_telemetry(runner, args)
+    else:
+        runner(args)
     return 0
 
 

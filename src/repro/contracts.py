@@ -42,6 +42,7 @@ from typing import Any, Callable, Iterator, Mapping, TypeVar
 import numpy as np
 
 from repro.errors import ContractViolationError
+from repro.obs import registry as _obs
 
 __all__ = [
     "BUDGET_RTOL",
@@ -50,9 +51,11 @@ __all__ = [
     "SIMPLEX_ATOL",
     "check_budget_feasible",
     "check_kkt_stationarity",
+    "check_multiplier_in_bracket",
     "check_nonnegative",
     "check_partition_labels",
     "check_simplex",
+    "check_sync_conservation",
     "contracts",
     "contracts_enabled",
     "disable_contracts",
@@ -131,6 +134,12 @@ class contracts:
 
 
 def _fail(func_name: str, invariant: str, detail: str) -> None:
+    # Violations are telemetry events too, so a checked soak run's
+    # JSONL tape shows contract failures next to the metrics that led
+    # up to them (no-op unless REPRO_TELEMETRY is on).
+    _obs.event("contract_violation", where=func_name,
+               invariant=invariant, detail=detail)
+    _obs.counter_add("contracts.violations")
     raise ContractViolationError(
         f"contract violated in {func_name}: {invariant} - {detail}")
 
@@ -196,6 +205,50 @@ def check_partition_labels(labels: np.ndarray, n_partitions: int, *,
     if low < 0 or high >= n_partitions:
         _fail(where, f"labels in [0, {n_partitions})",
               f"observed range [{low}, {high}]")
+
+
+def check_multiplier_in_bracket(multiplier: float,
+                                bracket: tuple[float, float], *,
+                                rtol: float = 1e-9,
+                                where: str = "<direct>") -> None:
+    """Assert a warm-started solve's μ landed inside its bracket.
+
+    The incremental solver hands :func:`repro.numerics.waterfill.
+    waterfill` a bracket ``(μ_lo, μ_hi)`` promised to satisfy
+    ``cost(μ_lo) ≥ B ≥ cost(μ_hi)``; the cost curve is nonincreasing
+    in μ, so the resolved multiplier must land inside (a μ outside
+    means the reuse logic — or the allocator's monotonicity — broke).
+    Quantities are dimensionless multipliers.
+    """
+    mu_lo, mu_hi = bracket
+    slack = rtol * max(abs(mu_hi), 1.0)
+    if not (mu_lo - slack) <= multiplier <= (mu_hi + slack):
+        _fail(where, "warm-start multiplier inside its bracket",
+              f"multiplier {multiplier!r} outside "
+              f"[{mu_lo!r}, {mu_hi!r}] (rtol={rtol!r})")
+
+
+def check_sync_conservation(consumed: float, planned_per_period: float,
+                            n_periods: float, slack: float, *,
+                            rtol: float = BUDGET_RTOL,
+                            where: str = "<direct>") -> None:
+    """Assert the simulator conserved its sync budget.
+
+    Cumulative sync bandwidth consumed over the horizon must not
+    exceed the schedule's planned spend, ``B·T``, plus a granularity
+    ``slack``: a Fixed-Order schedule syncs element *i* at most
+    ``⌈fᵢ·T⌉ ≤ fᵢ·T + 1`` times in ``T`` periods, so one extra sync
+    per scheduled element (``Σ sᵢ`` over elements with ``fᵢ > 0``) is
+    the exact worst case.  Units: ``consumed`` and ``slack`` in size
+    units, ``planned_per_period`` in size units per period,
+    ``n_periods`` in periods.
+    """
+    limit = (planned_per_period * n_periods + slack) * (1.0 + rtol)
+    if consumed > limit:
+        _fail(where, "sync conservation Σ consumed <= B·T + slack",
+              f"consumed {consumed!r} exceeds {limit!r} "
+              f"(B·T = {planned_per_period * n_periods!r}, "
+              f"slack = {slack!r})")
 
 
 def check_kkt_stationarity(residual: float, multiplier: float, *,

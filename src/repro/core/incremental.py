@@ -19,9 +19,11 @@ scale.
 
 from __future__ import annotations
 
+from repro.contracts import check_multiplier_in_bracket, contracts_enabled
 from repro.core.freshness import FixedOrderPolicy, FreshnessModel
 from repro.core.solver import ScheduleSolution, solve_weighted_problem
 from repro.errors import InfeasibleProblemError, ValidationError
+from repro.obs import registry as obs
 from repro.workloads.catalog import Catalog
 
 __all__ = ["IncrementalSolver"]
@@ -88,9 +90,21 @@ class IncrementalSolver:
                     budget_rtol=self._budget_rtol, bracket=bracket)
             except ValidationError:
                 solution = None  # bracket missed: problem jumped
+                obs.counter_add("incremental.warm_misses")
             if solution is not None:
+                if contracts_enabled():
+                    # ROADMAP contract: a reused bracket must have
+                    # straddled the budget, which (waterfill's cost
+                    # curve being monotone) pins the resolved μ inside
+                    # it.
+                    check_multiplier_in_bracket(
+                        solution.multiplier, bracket,
+                        where="IncrementalSolver.solve")
                 self._warm_hits += 1
                 self._last_multiplier = solution.multiplier
+                obs.counter_add("incremental.warm_hits")
+                obs.gauge_set("incremental.last_multiplier",
+                              solution.multiplier)
                 return solution
         self._cold_solves += 1
         solution = solve_weighted_problem(
@@ -98,4 +112,6 @@ class IncrementalSolver:
             catalog.sizes, bandwidth, model=self._model,
             budget_rtol=self._budget_rtol)
         self._last_multiplier = solution.multiplier
+        obs.counter_add("incremental.cold_solves")
+        obs.gauge_set("incremental.last_multiplier", solution.multiplier)
         return solution

@@ -42,6 +42,7 @@ from repro.contracts import (
 from repro.core.freshness import FixedOrderPolicy, FreshnessModel
 from repro.errors import InfeasibleProblemError, ValidationError
 from repro.numerics.waterfill import waterfill
+from repro.obs import registry as obs
 from repro.workloads.catalog import Catalog
 
 __all__ = ["ScheduleSolution", "solve_core_problem", "solve_weighted_problem",
@@ -123,6 +124,51 @@ def solve_weighted_problem(weights: np.ndarray, change_rates: np.ndarray,
         InfeasibleProblemError: If the budget is not positive.
         ValidationError: On malformed inputs.
     """
+    with obs.span("solver.solve_weighted"):
+        solution = _solve_weighted(weights, change_rates, costs,
+                                   bandwidth, model=model,
+                                   budget_rtol=budget_rtol,
+                                   bracket=bracket)
+    if obs.telemetry_enabled():
+        _record_solver_telemetry(solution, weights, change_rates, costs,
+                                 model)
+    return solution
+
+
+def _record_solver_telemetry(solution: ScheduleSolution,
+                             weights: np.ndarray,
+                             change_rates: np.ndarray, costs: np.ndarray,
+                             model: FreshnessModel | None) -> None:
+    """Record one solve outcome (μ, iterations, KKT residual).
+
+    The KKT residual is recomputed here — one vectorized derivative
+    pass — so it is only paid while telemetry is on.  All quantities
+    are per period / dimensionless, matching the solver's units.
+    """
+    residual = kkt_residual(solution, weights, change_rates, costs,
+                            model=model)
+    obs.counter_add("solver.calls")
+    obs.counter_add("solver.iterations", solution.iterations)
+    obs.observe("solver.iterations", solution.iterations)
+    obs.gauge_set("solver.multiplier", solution.multiplier)
+    obs.gauge_set("solver.kkt_residual", residual)
+    obs.gauge_set("solver.objective", solution.objective)
+    obs.event("solver.solve",
+              n_elements=int(np.asarray(weights).shape[0]),
+              iterations=solution.iterations,
+              multiplier=solution.multiplier,
+              bandwidth=solution.bandwidth,
+              objective=solution.objective,
+              kkt_residual=residual)
+
+
+def _solve_weighted(weights: np.ndarray, change_rates: np.ndarray,
+                    costs: np.ndarray, bandwidth: float, *,
+                    model: FreshnessModel | None,
+                    budget_rtol: float,
+                    bracket: tuple[float, float] | None,
+                    ) -> ScheduleSolution:
+    """The undecorated solve (see :func:`solve_weighted_problem`)."""
     weights = np.asarray(weights, dtype=float)
     change_rates = np.asarray(change_rates, dtype=float)
     costs = np.asarray(costs, dtype=float)
@@ -189,6 +235,7 @@ def solve_weighted_problem(weights: np.ndarray, change_rates: np.ndarray,
         # frequency.
         threshold = np.abs(ceilings - mu) <= 1e-6 * mu
         if threshold.any():
+            obs.counter_add("solver.threshold_degeneracies")
             live_freqs[threshold] = 0.0
             gap = bandwidth - float(c @ live_freqs)
             if gap > 0.0:

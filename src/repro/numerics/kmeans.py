@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.contracts import check_partition_labels, postcondition
 from repro.errors import ContractViolationError, ValidationError
+from repro.obs import registry as obs
 
 __all__ = ["KMeansResult", "kmeans", "kmeans_iterate"]
 
@@ -131,6 +132,11 @@ def kmeans_iterate(points: np.ndarray, initial_labels: np.ndarray,
         centroids = _centroids_from_labels(points, labels, k, centroids)
         new_labels, inertia = _assign(points, centroids)
         converged = bool(np.array_equal(new_labels, labels))
+        if obs.telemetry_enabled():
+            obs.counter_add("kmeans.iterations")
+            obs.counter_add("kmeans.reassignments",
+                            int((new_labels != labels).sum()))
+            obs.gauge_set("kmeans.inertia", inertia)
         labels = new_labels
         yield KMeansResult(labels=labels.copy(), centroids=centroids.copy(),
                            inertia=inertia, iterations=iteration,
@@ -192,8 +198,10 @@ def kmeans(points: np.ndarray, initial_labels: np.ndarray, k: int, *,
                             inertia=inertia, iterations=0, converged=False)
 
     result: KMeansResult | None = None
-    for result in kmeans_iterate(points, initial_labels, k):
-        if result.iterations >= iterations or result.converged:
-            break
+    with obs.span("kmeans.run"):
+        for result in kmeans_iterate(points, initial_labels, k):
+            if result.iterations >= iterations or result.converged:
+                break
     assert result is not None
+    obs.counter_add("kmeans.runs")
     return result

@@ -27,6 +27,7 @@ from repro.contracts import (
     postcondition,
 )
 from repro.errors import ConvergenceError, InfeasibleProblemError, ValidationError
+from repro.obs import registry as obs
 
 __all__ = ["WaterfillResult", "waterfill"]
 
@@ -80,6 +81,26 @@ def _check_waterfill_result(result: "WaterfillResult",
                               where=where)
 
 
+def _record_telemetry(expansions: int, iterations: int, cost: float,
+                      budget: float, *, saturated: bool) -> None:
+    """Record one waterfill outcome into the telemetry registry.
+
+    ``cost``/``budget`` are in the caller's cost units per period;
+    the exit residual gauge is their relative gap (dimensionless).
+    """
+    if not obs.telemetry_enabled():
+        return
+    obs.counter_add("waterfill.calls")
+    obs.counter_add("waterfill.iterations", iterations)
+    obs.observe("waterfill.iterations", iterations)
+    if expansions:
+        obs.counter_add("waterfill.bracket_expansions", expansions)
+    if saturated:
+        obs.counter_add("waterfill.saturated_exits")
+    obs.gauge_set("waterfill.exit_residual",
+                  abs(cost - budget) / budget if budget else 0.0)
+
+
 @postcondition(_check_waterfill_result)
 def waterfill(allocate_at: AllocateAt, budget: float, mu_max: float, *,
               budget_rtol: float = DEFAULT_BUDGET_RTOL,
@@ -130,6 +151,7 @@ def waterfill(allocate_at: AllocateAt, budget: float, mu_max: float, *,
             "no item has positive marginal utility"
         )
 
+    expansions = 0
     if bracket is not None:
         mu_lo, mu_hi = bracket
         if not 0.0 < mu_lo < mu_hi:
@@ -150,7 +172,7 @@ def waterfill(allocate_at: AllocateAt, budget: float, mu_max: float, *,
         mu_lo = mu_max
         cost_lo = 0.0
         cost_hi = 0.0
-        for _ in range(maxiter):
+        for expansions in range(1, maxiter + 1):
             mu_lo *= 0.5
             _, cost_lo = allocate_at(mu_lo)
             if cost_lo >= budget:
@@ -162,6 +184,8 @@ def waterfill(allocate_at: AllocateAt, budget: float, mu_max: float, *,
             # the saturated allocation is optimal, so return it
             # unscaled.
             allocations, cost = allocate_at(mu_lo)
+            _record_telemetry(expansions, maxiter, cost, budget,
+                              saturated=True)
             return WaterfillResult(allocations=allocations,
                                    multiplier=0.0, cost=cost,
                                    iterations=maxiter)
@@ -207,12 +231,15 @@ def waterfill(allocate_at: AllocateAt, budget: float, mu_max: float, *,
                 f_lo *= 0.5
             last_side = -1
     else:
+        obs.counter_add("waterfill.convergence_failures")
         raise ConvergenceError(
             f"water-filling did not reach budget rtol {budget_rtol} in "
             f"{maxiter} iterations (cost={cost}, budget={budget})",
             iterations=maxiter, residual=abs(cost - budget),
         )
 
+    _record_telemetry(expansions, iterations, cost, budget,
+                      saturated=False)
     # Snap the (already extremely close) allocation onto the budget so
     # downstream equality checks hold exactly.
     if snap and cost > 0.0:

@@ -1,0 +1,64 @@
+"""freshtrace — zero-overhead observability for the freshening stack.
+
+Process-local metrics (counters, gauges, fixed-bucket histograms),
+nested wall-time spans, and a structured event tape, gated behind the
+``REPRO_TELEMETRY`` environment variable exactly like the runtime
+contracts: when disabled every instrumentation point costs one
+attribute load and one branch.
+
+* :mod:`repro.obs.registry` — the :class:`MetricsRegistry`, the
+  process gate, and the facade the hot paths call.
+* :mod:`repro.obs.export` — the JSONL event tape, the Prometheus text
+  format, and the human summary table.
+
+See docs/OBSERVABILITY.md for the metric name catalogue and span
+hierarchy.
+"""
+
+from repro.obs.export import (
+    prometheus_text,
+    read_jsonl,
+    summary_text,
+    write_jsonl,
+)
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    SpanHandle,
+    counter_add,
+    disable_telemetry,
+    enable_telemetry,
+    event,
+    gauge_set,
+    get_registry,
+    observe,
+    refresh_from_env,
+    reset_telemetry,
+    span,
+    telemetry,
+    telemetry_enabled,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanHandle",
+    "counter_add",
+    "disable_telemetry",
+    "enable_telemetry",
+    "event",
+    "gauge_set",
+    "get_registry",
+    "observe",
+    "prometheus_text",
+    "read_jsonl",
+    "refresh_from_env",
+    "reset_telemetry",
+    "span",
+    "summary_text",
+    "telemetry",
+    "telemetry_enabled",
+    "write_jsonl",
+]

@@ -1,0 +1,233 @@
+"""freshtrace exporters: JSONL tape, Prometheus text, summary table.
+
+Three consumers, three formats:
+
+* :func:`write_jsonl` / :func:`read_jsonl` — the **event tape**: one
+  JSON object per line, every tape event first (in append order),
+  then one ``metric`` line per counter/gauge/histogram/span-total
+  final value.  A tape round-trips: ``read_jsonl`` rebuilds a
+  :class:`~repro.obs.registry.MetricsRegistry` whose exports are
+  byte-identical to the live one's.
+* :func:`prometheus_text` — the Prometheus text exposition format
+  (``repro_`` prefix, counters suffixed ``_total``, histograms with
+  cumulative ``_bucket{le=...}`` series, spans as summaries).
+* :func:`summary_text` — the human table behind
+  ``repro obs summary`` and the ``--telemetry`` epilogue.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.obs.registry import Histogram, MetricsRegistry
+
+__all__ = [
+    "prometheus_text",
+    "read_jsonl",
+    "summary_text",
+    "write_jsonl",
+]
+
+_PROM_SANITIZE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _coerce(value: Any) -> Any:
+    """JSON fallback: numpy scalars and other floatables become float."""
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return str(value)
+
+
+def write_jsonl(registry: MetricsRegistry, path: str | Path) -> Path:
+    """Write a registry to a JSONL tape file.
+
+    Args:
+        registry: The registry to serialize.
+        path: Destination file path.
+
+    Returns:
+        The path written, for chaining.
+    """
+    path = Path(path)
+    lines: List[str] = []
+    for record in registry.events:
+        lines.append(json.dumps(record, default=_coerce))
+    for name, value in sorted(registry.counters.items()):
+        lines.append(json.dumps({"kind": "metric", "type": "counter",
+                                 "name": name, "value": value}))
+    for name, value in sorted(registry.gauges.items()):
+        lines.append(json.dumps({"kind": "metric", "type": "gauge",
+                                 "name": name, "value": value}))
+    for name, histogram in sorted(registry.histograms.items()):
+        lines.append(json.dumps(
+            {"kind": "metric", "type": "histogram", "name": name,
+             "buckets": list(histogram.buckets),
+             "counts": list(histogram.counts),
+             "total": histogram.total, "count": histogram.count}))
+    for span_path, (count, total) in sorted(registry.span_totals.items()):
+        lines.append(json.dumps(
+            {"kind": "metric", "type": "span", "name": span_path,
+             "count": count, "total_s": total}))
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path
+
+
+def read_jsonl(path: str | Path) -> MetricsRegistry:
+    """Rebuild a registry from a JSONL tape.
+
+    Tape events are replayed onto the event list verbatim; ``metric``
+    lines restore the counter/gauge/histogram/span-total snapshots, so
+    :func:`prometheus_text` and :func:`summary_text` render the same
+    output from the reloaded registry as from the original.
+
+    Args:
+        path: A tape produced by :func:`write_jsonl`.
+
+    Returns:
+        The reconstructed registry.
+    """
+    registry = MetricsRegistry()
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        record: Dict[str, Any] = json.loads(line)
+        if record.get("kind") != "metric":
+            registry.events.append(record)
+            continue
+        kind = record.get("type")
+        name = record["name"]
+        if kind == "counter":
+            registry.counters[name] = float(record["value"])
+        elif kind == "gauge":
+            registry.gauges[name] = float(record["value"])
+        elif kind == "histogram":
+            histogram = Histogram(record["buckets"])
+            histogram.counts = [int(n) for n in record["counts"]]
+            histogram.total = float(record["total"])
+            histogram.count = int(record["count"])
+            registry.histograms[name] = histogram
+        elif kind == "span":
+            registry.span_totals[name] = [float(record["count"]),
+                                          float(record["total_s"])]
+    return registry
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+def _prom_name(name: str) -> str:
+    return "repro_" + _PROM_SANITIZE.sub("_", name)
+
+
+def _prom_number(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render a registry in the Prometheus text exposition format.
+
+    Counters are suffixed ``_total``, histograms emit cumulative
+    ``_bucket{le="..."}`` series plus ``_sum``/``_count``, and span
+    totals appear as ``repro_span_seconds`` summaries labelled by
+    span path (seconds of monotonic wall time).
+    """
+    out: List[str] = []
+    for name, value in sorted(registry.counters.items()):
+        metric = _prom_name(name) + "_total"
+        out.append(f"# TYPE {metric} counter")
+        out.append(f"{metric} {_prom_number(value)}")
+    for name, value in sorted(registry.gauges.items()):
+        metric = _prom_name(name)
+        out.append(f"# TYPE {metric} gauge")
+        out.append(f"{metric} {_prom_number(value)}")
+    for name, histogram in sorted(registry.histograms.items()):
+        metric = _prom_name(name)
+        out.append(f"# TYPE {metric} histogram")
+        for bound, cumulative in histogram.cumulative():
+            out.append(f'{metric}_bucket{{le="{_prom_number(bound)}"}} '
+                       f"{cumulative}")
+        out.append(f"{metric}_sum {_prom_number(histogram.total)}")
+        out.append(f"{metric}_count {histogram.count}")
+    if registry.span_totals:
+        out.append("# TYPE repro_span_seconds summary")
+        for span_path, (count, total) in sorted(
+                registry.span_totals.items()):
+            out.append(f'repro_span_seconds_sum{{span="{span_path}"}} '
+                       f"{_prom_number(total)}")
+            out.append(f'repro_span_seconds_count{{span="{span_path}"}} '
+                       f"{int(count)}")
+    return "\n".join(out) + ("\n" if out else "")
+
+
+# ---------------------------------------------------------------------------
+# Human summary
+# ---------------------------------------------------------------------------
+
+def _format_table(headers: Sequence[str],
+                  rows: Sequence[Sequence[Any]]) -> str:
+    cells = [[str(cell) for cell in row] for row in rows]
+    widths = [max(len(header), *(len(row[i]) for row in cells))
+              if cells else len(header)
+              for i, header in enumerate(headers)]
+    def line(row: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width)
+                         for cell, width in zip(row, widths)).rstrip()
+    rule = "  ".join("-" * width for width in widths)
+    return "\n".join([line(list(headers)), rule,
+                      *(line(row) for row in cells)])
+
+
+def summary_text(registry: MetricsRegistry) -> str:
+    """Render the human summary table for a registry.
+
+    Sections (each omitted when empty): counters, gauges, histograms
+    (count/mean), spans (count, total and mean seconds of wall time),
+    and event-tape kinds with their record counts.
+    """
+    sections: List[str] = []
+    if registry.counters:
+        rows = [(name, f"{value:g}")
+                for name, value in sorted(registry.counters.items())]
+        sections.append("counters\n"
+                        + _format_table(["name", "total"], rows))
+    if registry.gauges:
+        rows = [(name, f"{value:.6g}")
+                for name, value in sorted(registry.gauges.items())]
+        sections.append("gauges\n"
+                        + _format_table(["name", "value"], rows))
+    if registry.histograms:
+        rows = [(name, histogram.count, f"{histogram.mean:.3g}",
+                 f"{histogram.total:g}")
+                for name, histogram in sorted(
+                    registry.histograms.items())]
+        sections.append("histograms\n" + _format_table(
+            ["name", "count", "mean", "sum"], rows))
+    if registry.span_totals:
+        span_rows: List[Tuple[str, int, str, str]] = []
+        for span_path, (count, total) in sorted(
+                registry.span_totals.items()):
+            mean = total / count if count else 0.0
+            span_rows.append((span_path, int(count), f"{total:.4f}",
+                              f"{mean:.4f}"))
+        sections.append("spans (wall seconds)\n" + _format_table(
+            ["path", "count", "total_s", "mean_s"], span_rows))
+    kinds: Dict[str, int] = {}
+    for record in registry.events:
+        kind = str(record.get("kind", "?"))
+        kinds[kind] = kinds.get(kind, 0) + 1
+    if kinds:
+        rows = [(kind, count) for kind, count in sorted(kinds.items())]
+        sections.append("event tape\n"
+                        + _format_table(["kind", "records"], rows))
+    if not sections:
+        return "telemetry: registry is empty\n"
+    return "\n\n".join(sections) + "\n"

@@ -1,0 +1,394 @@
+"""freshtrace core: the process-local metrics registry and gate.
+
+The observability layer mirrors the runtime-contract design
+(:mod:`repro.contracts`): a single process-global switch, off by
+default, that instrumented hot paths consult before doing any work.
+When telemetry is **disabled** every facade call costs one attribute
+load and one branch — unmeasurable next to a real solve — so the
+instrumentation stays woven through ``numerics``, ``core``, ``sim``
+and ``runtime`` permanently.  When **enabled** (environment variable
+``REPRO_TELEMETRY=1`` or :func:`enable_telemetry`), the shared
+:class:`MetricsRegistry` accumulates:
+
+* **counters** — monotone totals (solver iterations, syncs issued),
+* **gauges** — last-written values (exit residuals, multipliers),
+* **histograms** — fixed-bucket distributions (iterations per call),
+* **spans** — nested wall-time timings via :func:`span`, and
+* **events** — an append-only tape of structured records (per-period
+  simulator series, contract violations, replan decisions).
+
+Clock discipline: spans read ``time.perf_counter()`` — a *monotonic*
+wall clock — and never ``time.time()``; solver and simulator metrics
+carry only simulated-clock quantities.  freshlint rule FL009 polices
+this.  The registry is process-local and not thread-safe by design
+(the solver stack is single-threaded); see docs/OBSERVABILITY.md.
+
+Example::
+
+    REPRO_TELEMETRY=1 python -m repro table1   # instrumented run
+
+    from repro.obs import telemetry, get_registry
+    with telemetry():
+        solve_core_problem(catalog, bandwidth=2.0)
+    get_registry().counters["solver.calls"]
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict, Iterator, List, Mapping, Sequence, Tuple
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "MAX_EVENTS",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanHandle",
+    "counter_add",
+    "disable_telemetry",
+    "enable_telemetry",
+    "event",
+    "gauge_set",
+    "get_registry",
+    "observe",
+    "refresh_from_env",
+    "reset_telemetry",
+    "span",
+    "telemetry",
+    "telemetry_enabled",
+]
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+#: Default histogram bucket upper bounds (dimensionless; tuned for
+#: iteration counts — override per metric via ``observe(buckets=...)``).
+DEFAULT_BUCKETS: Tuple[float, ...] = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0,
+                                      100.0, 200.0, 500.0)
+
+#: Event-tape cap: beyond this, events are dropped (and counted in the
+#: ``obs.dropped_events`` counter) so a long telemetry-on soak cannot
+#: exhaust memory.
+MAX_EVENTS = 100_000
+
+
+class Histogram:
+    """A fixed-bucket histogram (Prometheus-style cumulative export).
+
+    Attributes:
+        buckets: Sorted upper bounds; observations above the last
+            bound land in the implicit ``+Inf`` bucket.
+        counts: Per-bucket observation counts, one entry per bound
+            plus the ``+Inf`` overflow slot.
+        total: Sum of observed values.
+        count: Number of observations.
+    """
+
+    __slots__ = ("buckets", "counts", "total", "count")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        self.buckets: Tuple[float, ...] = tuple(sorted(float(b)
+                                                       for b in buckets))
+        self.counts: List[int] = [0] * (len(self.buckets) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation (unit-less: whatever the metric is)."""
+        value = float(value)
+        slot = len(self.buckets)
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                slot = index
+                break
+        self.counts[slot] += 1
+        self.total += value
+        self.count += 1
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ``+Inf`` last."""
+        running = 0
+        out: List[Tuple[float, int]] = []
+        for bound, n in zip(self.buckets, self.counts):
+            running += n
+            out.append((bound, running))
+        out.append((float("inf"), running + self.counts[-1]))
+        return out
+
+    @property
+    def mean(self) -> float:
+        """Mean observed value (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Process-local store for counters, gauges, histograms and spans.
+
+    Metric names are dotted lowercase paths (``waterfill.iterations``,
+    ``sim.period.syncs``); exporters transform them per format.  All
+    mutation goes through the record methods; the mapping attributes
+    are read directly by exporters and tests.
+
+    Attributes:
+        counters: Metric name to monotone total.
+        gauges: Metric name to last-written value.
+        histograms: Metric name to :class:`Histogram`.
+        events: The append-only event tape (bounded by
+            :data:`MAX_EVENTS`).
+        span_totals: Span path to ``[count, total_seconds]``.
+    """
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        self.events: List[Dict[str, Any]] = []
+        self.span_totals: Dict[str, List[float]] = {}
+        self._span_stack: List[str] = []
+        self._sequence = 0
+        self._epoch = time.perf_counter()
+
+    # -- recording -------------------------------------------------
+
+    def counter_add(self, name: str, amount: float = 1.0) -> None:
+        """Add ``amount`` (same unit as the metric) to a counter."""
+        self.counters[name] = self.counters.get(name, 0.0) + float(amount)
+
+    def gauge_set(self, name: str, value: float) -> None:
+        """Set a gauge to ``value`` (same unit as the metric)."""
+        self.gauges[name] = float(value)
+
+    def observe(self, name: str, value: float,
+                buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        """Record ``value`` into a histogram (first call fixes buckets)."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = Histogram(buckets)
+            self.histograms[name] = histogram
+        histogram.observe(value)
+
+    def event(self, kind: str, /, **fields: Any) -> None:
+        """Append a structured record to the event tape.
+
+        Args:
+            kind: Event type slug (``sim.period``, ``span``,
+                ``contract_violation``, ...).
+            **fields: JSON-serializable payload.
+        """
+        if len(self.events) >= MAX_EVENTS:
+            self.counter_add("obs.dropped_events")
+            return
+        self._sequence += 1
+        record: Dict[str, Any] = {
+            "seq": self._sequence,
+            "t": time.perf_counter() - self._epoch,
+            "kind": kind,
+        }
+        record.update(fields)
+        self.events.append(record)
+
+    def span(self, name: str) -> "SpanHandle":
+        """Open a nested wall-time span (use as a context manager).
+
+        Elapsed time is measured with the monotonic
+        ``time.perf_counter`` clock, in seconds.
+        """
+        return SpanHandle(self, name)
+
+    # -- introspection ---------------------------------------------
+
+    def span_records(self) -> List[Dict[str, Any]]:
+        """The completed span events, in completion order."""
+        return [record for record in self.events
+                if record["kind"] == "span"]
+
+    def events_of_kind(self, kind: str) -> List[Dict[str, Any]]:
+        """All tape records of one kind, in append order."""
+        return [record for record in self.events
+                if record["kind"] == kind]
+
+    def _record_span(self, path: str, elapsed: float) -> None:
+        totals = self.span_totals.get(path)
+        if totals is None:
+            self.span_totals[path] = [1.0, elapsed]
+        else:
+            totals[0] += 1.0
+            totals[1] += elapsed
+        self.event("span", path=path, elapsed_s=elapsed)
+
+
+class SpanHandle:
+    """One open span; records its wall time on exit.
+
+    Spans nest through the registry's span stack: a span opened while
+    another is active gets a ``/``-joined path (``manager.period/
+    manager.plan``), which is how the exporters reconstruct the
+    hierarchy.
+    """
+
+    __slots__ = ("_registry", "_name", "_start", "_path")
+
+    def __init__(self, registry: MetricsRegistry, name: str) -> None:
+        self._registry = registry
+        self._name = name
+        self._start = 0.0
+        self._path = name
+
+    def __enter__(self) -> "SpanHandle":
+        stack = self._registry._span_stack
+        self._path = ("/".join((*stack, self._name)) if stack
+                      else self._name)
+        stack.append(self._name)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        elapsed = time.perf_counter() - self._start
+        stack = self._registry._span_stack
+        if stack and stack[-1] == self._name:
+            stack.pop()
+        self._registry._record_span(self._path, elapsed)
+
+
+class _NoOpSpan:
+    """Shared do-nothing span returned while telemetry is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoOpSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NOOP_SPAN = _NoOpSpan()
+
+
+class _State:
+    """Single shared switch; attribute lookup is the entire off-cost."""
+
+    __slots__ = ("enabled", "registry")
+
+    def __init__(self) -> None:
+        self.enabled = os.environ.get(
+            "REPRO_TELEMETRY", "").strip().lower() in _TRUTHY
+        self.registry = MetricsRegistry()
+
+
+_state = _State()
+
+
+def telemetry_enabled() -> bool:
+    """Whether instrumented hot paths currently record."""
+    return _state.enabled
+
+
+def enable_telemetry(registry: MetricsRegistry | None = None) -> None:
+    """Turn telemetry on, optionally installing a fresh registry."""
+    if registry is not None:
+        _state.registry = registry
+    _state.enabled = True
+
+
+def disable_telemetry() -> None:
+    """Turn telemetry off (the registry keeps its accumulated data)."""
+    _state.enabled = False
+
+
+def reset_telemetry() -> MetricsRegistry:
+    """Install (and return) a fresh empty registry.
+
+    The enabled/disabled switch is left untouched, so a CLI run can
+    reset between commands without re-reading the environment.
+    """
+    _state.registry = MetricsRegistry()
+    return _state.registry
+
+
+def refresh_from_env() -> None:
+    """Re-read ``REPRO_TELEMETRY`` (useful after monkeypatched env)."""
+    _state.enabled = os.environ.get(
+        "REPRO_TELEMETRY", "").strip().lower() in _TRUTHY
+
+
+def get_registry() -> MetricsRegistry:
+    """The currently installed registry (always exists, may be idle)."""
+    return _state.registry
+
+
+class telemetry:
+    """Context manager enabling (or disabling) telemetry temporarily.
+
+    ``with telemetry():`` records into a **fresh** registry inside the
+    block and restores the previous switch state on exit (the registry
+    stays installed so callers can read it afterwards).  Pass
+    ``enabled=False`` to silence an instrumented region inside an
+    otherwise telemetered process, or ``fresh=False`` to keep
+    accumulating into the current registry.
+    """
+
+    def __init__(self, enabled: bool = True, *, fresh: bool = True) -> None:
+        self._target = enabled
+        self._fresh = fresh
+        self._previous = False
+
+    def __enter__(self) -> MetricsRegistry:
+        self._previous = _state.enabled
+        if self._target and self._fresh:
+            reset_telemetry()
+        _state.enabled = self._target
+        return _state.registry
+
+    def __exit__(self, *exc_info: object) -> None:
+        _state.enabled = self._previous
+
+
+# ---------------------------------------------------------------------------
+# Facade: what the instrumented hot paths call.  Each function is one
+# branch when telemetry is off.
+# ---------------------------------------------------------------------------
+
+def counter_add(name: str, amount: float = 1.0) -> None:
+    """Add to a counter if telemetry is on (no-op branch otherwise)."""
+    if _state.enabled:
+        _state.registry.counter_add(name, amount)
+
+
+def gauge_set(name: str, value: float) -> None:
+    """Set a gauge if telemetry is on (no-op branch otherwise)."""
+    if _state.enabled:
+        _state.registry.gauge_set(name, value)
+
+
+def observe(name: str, value: float,
+            buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+    """Histogram an observation if telemetry is on."""
+    if _state.enabled:
+        _state.registry.observe(name, value, buckets)
+
+
+def event(kind: str, /, **fields: Any) -> None:
+    """Append an event to the tape if telemetry is on."""
+    if _state.enabled:
+        _state.registry.event(kind, **fields)
+
+
+def span(name: str) -> SpanHandle | _NoOpSpan:
+    """A wall-time span when telemetry is on; a shared no-op when off."""
+    if _state.enabled:
+        return _state.registry.span(name)
+    return _NOOP_SPAN
+
+
+def iter_metric_names(registry: MetricsRegistry) -> Iterator[str]:
+    """Every metric name in a registry, sorted, without duplicates."""
+    seen = sorted(set(registry.counters) | set(registry.gauges)
+                  | set(registry.histograms))
+    yield from seen
+
+
+def as_mapping(registry: MetricsRegistry) -> Mapping[str, Any]:
+    """A plain-dict snapshot of scalars (for quick assertions/JSON)."""
+    return {"counters": dict(registry.counters),
+            "gauges": dict(registry.gauges)}

@@ -30,6 +30,7 @@ import numpy as np
 from repro.core.freshener import Freshener, PerceivedFreshener
 from repro.core.metrics import perceived_freshness
 from repro.errors import ValidationError
+from repro.obs import registry as obs
 from repro.runtime.beliefs import BeliefState
 from repro.sim.simulation import Simulation
 from repro.workloads.catalog import Catalog
@@ -148,8 +149,9 @@ class AdaptiveMirrorManager:
         self._true_catalog = true_catalog
 
     def _replan(self) -> float:
-        believed = self._beliefs.believed_catalog()
-        plan = self._freshener.plan(believed, self._bandwidth)
+        with obs.span("manager.plan"):
+            believed = self._beliefs.believed_catalog()
+            plan = self._freshener.plan(believed, self._bandwidth)
         self._frequencies = plan.frequencies
         self._planned_profile = believed.access_probabilities.copy()
         self._periods_since_replan = 0
@@ -171,10 +173,17 @@ class AdaptiveMirrorManager:
                 self._planned_profile)
         cadence_due = (self._replan_every > 0 and
                        self._periods_since_replan >= self._replan_every)
-        replanned = (self._frequencies is None
-                     or divergence > self._replan_divergence
-                     or cadence_due)
+        drift_due = (self._frequencies is not None
+                     and divergence > self._replan_divergence)
+        replanned = (self._frequencies is None or drift_due or cadence_due)
+        tel = obs.telemetry_enabled()
         if replanned:
+            if tel:
+                obs.counter_add("manager.replans")
+                if drift_due:
+                    obs.counter_add("manager.drift_replans")
+                elif cadence_due:
+                    obs.counter_add("manager.cadence_replans")
             believed_pf = self._replan()
         else:
             believed_pf = perceived_freshness(
@@ -184,15 +193,27 @@ class AdaptiveMirrorManager:
         simulation = Simulation(self._true_catalog, self._frequencies,
                                 request_rate=self._request_rate,
                                 rng=self._rng)
-        result = simulation.run(n_periods=1)
-        self._beliefs.observe_period(result.access_counts,
-                                     result.poll_counts,
-                                     result.changed_poll_counts,
-                                     self._frequencies)
+        with obs.span("manager.simulate"):
+            result = simulation.run(n_periods=1)
+        with obs.span("manager.estimate"):
+            self._beliefs.observe_period(result.access_counts,
+                                         result.poll_counts,
+                                         result.changed_poll_counts,
+                                         self._frequencies)
         self._periods_since_replan += 1
 
         achieved = perceived_freshness(self._true_catalog,
                                        self._frequencies)
+        if tel:
+            obs.counter_add("manager.periods")
+            obs.gauge_set("manager.profile_divergence", divergence)
+            obs.gauge_set("manager.achieved_pf", achieved)
+            obs.event("manager.period", period=period,
+                      replanned=replanned, believed_pf=believed_pf,
+                      achieved_pf=achieved,
+                      monitored_pf=result.monitored_perceived_freshness,
+                      profile_divergence=divergence,
+                      wasted_polls=result.wasted_sync_fraction)
         return PeriodReport(
             period=period,
             replanned=replanned,

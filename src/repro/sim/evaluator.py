@@ -24,6 +24,7 @@ import numpy as np
 from repro.core.freshness import FreshnessModel
 from repro.core.metrics import general_freshness, perceived_freshness
 from repro.errors import SimulationError
+from repro.obs import registry as obs
 from repro.workloads.catalog import Catalog
 
 __all__ = ["FreshnessMonitor", "SimulationResult"]
@@ -107,6 +108,16 @@ class FreshnessMonitor:
             self._age_integral[stale] += 0.5 * (
                 (self._horizon - since) ** 2 - (start - since) ** 2)
         self._closed = True
+        if obs.telemetry_enabled():
+            total = int(self._total_accesses.sum())
+            fresh = int(self._fresh_accesses.sum())
+            obs.gauge_set("monitor.mean_time_freshness",
+                          float((self._fresh_time / self._horizon).mean()))
+            obs.gauge_set("monitor.mean_time_age",
+                          float((self._age_integral / self._horizon).mean()))
+            obs.event("monitor.close", horizon=self._horizon,
+                      accesses=total, fresh_accesses=fresh,
+                      fresh_fraction=(fresh / total if total else 1.0))
 
     def element_time_freshness(self) -> np.ndarray:
         """Observed time-averaged freshness per element."""

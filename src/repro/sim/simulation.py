@@ -19,8 +19,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.contracts import check_sync_conservation, contracts_enabled
 from repro.core.scheduler import PhasePolicy, SyncSchedule
 from repro.errors import ValidationError
+from repro.obs import registry as obs
 from repro.sim.events import EventKind, EventStream, merge_streams
 from repro.sim.evaluator import FreshnessMonitor, SimulationResult
 from repro.sim.generators import RequestGenerator, UpdateGenerator
@@ -29,6 +31,84 @@ from repro.sim.source import Source
 from repro.workloads.catalog import Catalog
 
 __all__ = ["Simulation"]
+
+
+class _PeriodTracker:
+    """Per-period telemetry accumulator for :meth:`Simulation.run`.
+
+    Only instantiated when telemetry is enabled, so the event loop
+    pays a single ``is not None`` test per event otherwise.  Emits one
+    ``"sim.period"`` event per completed sync period carrying the
+    series the paper's figures are built from: syncs issued, budget
+    utilization, accesses and their fresh fraction, and the mirror's
+    instantaneous mean freshness at the period boundary.
+    """
+
+    __slots__ = ("_sizes", "_period_length", "_mirror", "_planned",
+                 "_period", "syncs", "bandwidth", "updates",
+                 "accesses", "fresh_accesses")
+
+    def __init__(self, catalog: Catalog, frequencies: np.ndarray,
+                 period_length: float, mirror: Mirror) -> None:
+        self._sizes = catalog.sizes
+        self._period_length = period_length
+        self._mirror = mirror
+        self._planned = float(catalog.sizes @ frequencies)
+        self._period = 0
+        self.syncs = 0
+        self.bandwidth = 0.0
+        self.updates = 0
+        self.accesses = 0
+        self.fresh_accesses = 0
+
+    def advance_to(self, time: float) -> None:
+        """Flush any periods fully elapsed before ``time``."""
+        period = int(time / self._period_length)
+        while self._period < period:
+            self._flush()
+            self._period += 1
+
+    def note_sync(self, element: int) -> None:
+        """Record one sync of ``element`` in the current period."""
+        self.syncs += 1
+        self.bandwidth += float(self._sizes[element])
+
+    def note_access(self, fresh: bool) -> None:
+        """Record one served access and whether it saw fresh data."""
+        self.accesses += 1
+        if fresh:
+            self.fresh_accesses += 1
+
+    def finish(self, n_periods: float) -> None:
+        """Flush through the final (possibly partial) period."""
+        last = max(int(np.ceil(n_periods)) - 1, 0)
+        while self._period < last:
+            self._flush()
+            self._period += 1
+        self._flush()
+
+    def _flush(self) -> None:
+        utilization = (self.bandwidth / self._planned
+                       if self._planned else 0.0)
+        obs.event(
+            "sim.period",
+            period=self._period,
+            syncs=self.syncs,
+            bandwidth=self.bandwidth,
+            budget_utilization=utilization,
+            updates=self.updates,
+            accesses=self.accesses,
+            fresh_fraction=(self.fresh_accesses / self.accesses
+                            if self.accesses else 1.0),
+            mean_freshness=float(self._mirror.freshness_vector().mean()),
+        )
+        obs.counter_add("sim.periods")
+        obs.gauge_set("sim.budget_utilization", utilization)
+        self.syncs = 0
+        self.bandwidth = 0.0
+        self.updates = 0
+        self.accesses = 0
+        self.fresh_accesses = 0
 
 
 class Simulation:
@@ -119,31 +199,73 @@ class Simulation:
         changed_polls = np.zeros(self._catalog.n_elements, dtype=np.int64)
         update_kind = int(EventKind.UPDATE)
         sync_kind = int(EventKind.SYNC)
-        for time, element, kind in zip(times.tolist(), elements.tolist(),
-                                       kinds.tolist()):
-            if kind == update_kind:
-                source.apply_update(element)
-                monitor.note_update(element, time)
-                n_updates += 1
-            elif kind == sync_kind:
-                polls[element] += 1
-                if mirror.sync(element):
-                    useful_syncs += 1
-                    changed_polls[element] += 1
-                monitor.note_sync(element, time)
-            else:
-                fresh = mirror.serve_access(element)
-                monitor.note_access(element, time, fresh)
-                n_accesses += 1
-                if fresh:
-                    fresh_accesses += 1
+        # Per-period series tracker: hoisted to a local so the event
+        # loop pays one bool test per event when telemetry is off.
+        tracker = (_PeriodTracker(self._catalog, self._frequencies,
+                                  self._period_length, mirror)
+                   if obs.telemetry_enabled() else None)
+        sim_span = obs.span("sim.run")
+        with sim_span:
+            for time, element, kind in zip(times.tolist(),
+                                           elements.tolist(),
+                                           kinds.tolist()):
+                if tracker is not None:
+                    tracker.advance_to(time)
+                if kind == update_kind:
+                    source.apply_update(element)
+                    monitor.note_update(element, time)
+                    n_updates += 1
+                    if tracker is not None:
+                        tracker.updates += 1
+                elif kind == sync_kind:
+                    polls[element] += 1
+                    if mirror.sync(element):
+                        useful_syncs += 1
+                        changed_polls[element] += 1
+                    monitor.note_sync(element, time)
+                    if tracker is not None:
+                        tracker.note_sync(element)
+                else:
+                    fresh = mirror.serve_access(element)
+                    monitor.note_access(element, time, fresh)
+                    n_accesses += 1
+                    if fresh:
+                        fresh_accesses += 1
+                    if tracker is not None:
+                        tracker.note_access(fresh)
+            if tracker is not None:
+                tracker.finish(n_periods)
         monitor.close()
+
+        if contracts_enabled():
+            # Conservation law (ROADMAP): the schedule may not spend
+            # more sync bandwidth than planned, up to Fixed-Order
+            # granularity (at most one extra sync per scheduled
+            # element over the horizon).
+            scheduled = self._frequencies > 0.0
+            check_sync_conservation(
+                mirror.bandwidth_used,
+                float(self._catalog.sizes @ self._frequencies),
+                n_periods,
+                float(self._catalog.sizes[scheduled].sum()),
+                where="Simulation.run")
 
         element_freshness = monitor.element_time_freshness()
         element_age = monitor.element_time_age()
         p = self._catalog.access_probabilities
         perceived_by_accesses = (fresh_accesses / n_accesses
                                  if n_accesses else float(p @ element_freshness))
+        if tracker is not None:
+            obs.counter_add("sim.runs")
+            obs.counter_add("sim.syncs", mirror.total_syncs)
+            obs.counter_add("sim.useful_syncs", useful_syncs)
+            obs.counter_add("sim.updates", n_updates)
+            obs.counter_add("sim.accesses", n_accesses)
+            obs.gauge_set("sim.bandwidth_used", mirror.bandwidth_used)
+            obs.gauge_set("sim.monitored_perceived_freshness",
+                          float(perceived_by_accesses))
+            obs.gauge_set("sim.monitored_general_freshness",
+                          float(element_freshness.mean()))
         return SimulationResult(
             catalog=self._catalog,
             frequencies=self._frequencies,

@@ -1,0 +1,1 @@
+"""FL008 fixture: package whose two modules import each other."""

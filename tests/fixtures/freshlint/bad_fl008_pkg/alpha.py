@@ -1,0 +1,10 @@
+"""One half of the cycle: imports beta at module level."""
+
+from bad_fl008_pkg import beta
+
+__all__ = ["double"]
+
+
+def double(value: float) -> float:
+    """Twice ``value`` (dimensionless)."""
+    return beta.identity(value) * 2.0

@@ -1,0 +1,15 @@
+"""FL009 fixture: wall-clock reads in clock-disciplined code."""
+
+import time
+from datetime import date, datetime
+from time import time as wall_clock
+
+__all__ = ["stamp_events"]
+
+
+def stamp_events() -> list[float]:
+    """Wall-clock timestamps, four different spellings (seconds)."""
+    stamps = [time.time(), wall_clock()]
+    stamps.append(datetime.now().timestamp())
+    stamps.append(float(date.today().toordinal()))
+    return stamps

@@ -1,0 +1,1 @@
+"""FL008-clean package: cycles broken by the approved idioms."""

@@ -1,0 +1,10 @@
+"""Imports beta at module level — the single forward edge."""
+
+from good_fl008_pkg import beta
+
+__all__ = ["double"]
+
+
+def double(value: float) -> float:
+    """Twice ``value`` (dimensionless)."""
+    return beta.identity(value) * 2.0

@@ -1,0 +1,20 @@
+"""Back edges only via TYPE_CHECKING and function-scope imports."""
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # annotations only: no import at runtime
+    from good_fl008_pkg import alpha
+
+__all__ = ["identity", "quadruple"]
+
+
+def identity(value: float) -> float:
+    """``value`` unchanged (dimensionless)."""
+    return value
+
+
+def quadruple(value: float) -> float:
+    """Four times ``value`` (dimensionless)."""
+    from good_fl008_pkg import alpha  # deferred: breaks the cycle
+
+    return alpha.double(value) * 2.0

@@ -1,0 +1,22 @@
+"""FL009-clean timing: monotonic durations, injected timestamps."""
+
+import time
+from datetime import datetime, timezone
+
+__all__ = ["measure", "label_run"]
+
+
+def measure() -> float:
+    """Elapsed wall seconds for a no-op, measured monotonically."""
+    start = time.perf_counter()
+    time.monotonic()
+    return time.perf_counter() - start
+
+
+def label_run(started_at: datetime) -> str:
+    """ISO label for a run whose start time the caller provides.
+
+    An explicit tz-aware ``now(timezone.utc)`` is also acceptable.
+    """
+    explicit = datetime.now(timezone.utc)
+    return f"{started_at.isoformat()}/{explicit.isoformat()}"

@@ -1,0 +1,17 @@
+"""Shared fixtures for the observability-layer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import registry as obs_registry
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_restored_between_tests():
+    """Leave the process-global switch and registry as found."""
+    previous_enabled = obs_registry.telemetry_enabled()
+    previous_registry = obs_registry.get_registry()
+    yield
+    obs_registry._state.enabled = previous_enabled
+    obs_registry._state.registry = previous_registry

@@ -1,0 +1,88 @@
+"""Exporter tests: JSONL round-trip, Prometheus text, summary table."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.export import (
+    prometheus_text,
+    read_jsonl,
+    summary_text,
+    write_jsonl,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+def populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter_add("solver.calls", 3.0)
+    registry.counter_add("sim.syncs", 42.0)
+    registry.gauge_set("sim.budget_utilization", 0.95)
+    registry.observe("solver.iterations", 12.0, buckets=(5.0, 10.0, 20.0))
+    registry.observe("solver.iterations", 7.0)
+    with registry.span("manager.plan"):
+        with registry.span("solver.solve_weighted"):
+            pass
+    registry.event("sim.period", period=0, syncs=4, bandwidth=8.0)
+    return registry
+
+
+def test_write_jsonl_emits_events_then_metric_snapshot(tmp_path):
+    registry = populated_registry()
+    path = write_jsonl(registry, tmp_path / "tape.jsonl")
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    kinds = [line["kind"] for line in lines]
+    first_metric = kinds.index("metric")
+    assert "metric" not in kinds[:first_metric]
+    assert all(kind == "metric" for kind in kinds[first_metric:])
+    assert lines[0]["kind"] == "span" or lines[0]["kind"] == "sim.period"
+    types = {line["type"] for line in lines[first_metric:]}
+    assert types == {"counter", "gauge", "histogram", "span"}
+
+
+def test_jsonl_round_trip_preserves_both_renderings(tmp_path):
+    registry = populated_registry()
+    path = write_jsonl(registry, tmp_path / "tape.jsonl")
+    rebuilt = read_jsonl(path)
+    assert prometheus_text(rebuilt) == prometheus_text(registry)
+    assert summary_text(rebuilt) == summary_text(registry)
+
+
+def test_prometheus_counters_get_total_suffix_and_type_lines():
+    text = prometheus_text(populated_registry())
+    assert "# TYPE repro_solver_calls_total counter" in text
+    assert "repro_solver_calls_total 3.0" in text
+    assert "# TYPE repro_sim_budget_utilization gauge" in text
+    assert "repro_sim_budget_utilization 0.95" in text
+
+
+def test_prometheus_histograms_are_cumulative_with_inf_bucket():
+    text = prometheus_text(populated_registry())
+    assert 'repro_solver_iterations_bucket{le="10.0"} 1' in text
+    assert 'repro_solver_iterations_bucket{le="20.0"} 2' in text
+    assert 'repro_solver_iterations_bucket{le="+Inf"} 2' in text
+    assert "repro_solver_iterations_sum 19.0" in text
+    assert "repro_solver_iterations_count 2" in text
+
+
+def test_prometheus_spans_export_as_summary_pairs():
+    text = prometheus_text(populated_registry())
+    assert 'repro_span_seconds_count{span="manager.plan"} 1' in text
+    assert (
+        'repro_span_seconds_count{span="manager.plan/solver.solve_weighted"} 1'
+        in text
+    )
+    assert 'repro_span_seconds_sum{span="manager.plan"}' in text
+
+
+def test_summary_text_sections_cover_every_store():
+    text = summary_text(populated_registry())
+    for heading in ("counters", "gauges", "histograms",
+                    "spans (wall seconds)", "event tape"):
+        assert heading in text
+    assert "solver.calls" in text
+    assert "manager.plan/solver.solve_weighted" in text
+
+
+def test_summary_text_of_empty_registry_says_so():
+    assert summary_text(MetricsRegistry()) == "telemetry: registry is empty\n"

@@ -1,0 +1,191 @@
+"""Unit tests for the telemetry registry: metrics, spans, event tape."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs import registry as obs
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    MAX_EVENTS,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestHistogram:
+    def test_buckets_are_sorted_and_counts_have_overflow_slot(self):
+        hist = Histogram((5.0, 1.0, 2.0))
+        assert hist.buckets == (1.0, 2.0, 5.0)
+        assert len(hist.counts) == 4
+
+    def test_observations_land_in_first_bucket_with_bound_ge_value(self):
+        hist = Histogram((1.0, 2.0, 5.0))
+        for value in (0.5, 1.0, 1.5, 4.0, 100.0):
+            hist.observe(value)
+        assert hist.counts == [2, 1, 1, 1]
+
+    def test_cumulative_ends_with_inf_and_total_count(self):
+        hist = Histogram((1.0, 2.0))
+        for value in (0.5, 1.5, 9.0):
+            hist.observe(value)
+        cumulative = hist.cumulative()
+        assert cumulative[-1] == (math.inf, 3)
+        assert cumulative[0] == (1.0, 1)
+        assert cumulative[1] == (2.0, 2)
+
+    def test_mean_tracks_sum_over_count(self):
+        hist = Histogram(DEFAULT_BUCKETS)
+        hist.observe(2.0)
+        hist.observe(4.0)
+        assert hist.mean == pytest.approx(3.0)
+
+    def test_mean_of_empty_histogram_is_zero(self):
+        assert Histogram(DEFAULT_BUCKETS).mean == 0.0
+
+
+class TestMetricsRegistry:
+    def test_counter_add_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter_add("x")
+        registry.counter_add("x", 2.5)
+        assert registry.counters["x"] == pytest.approx(3.5)
+
+    def test_gauge_set_keeps_last_value(self):
+        registry = MetricsRegistry()
+        registry.gauge_set("g", 1.0)
+        registry.gauge_set("g", -2.0)
+        assert registry.gauges["g"] == -2.0
+
+    def test_observe_creates_histogram_on_first_use(self):
+        registry = MetricsRegistry()
+        registry.observe("h", 3.0, buckets=(1.0, 10.0))
+        registry.observe("h", 30.0)
+        hist = registry.histograms["h"]
+        assert hist.buckets == (1.0, 10.0)
+        assert hist.counts == [0, 1, 1]
+
+    def test_event_records_kind_sequence_and_fields(self):
+        registry = MetricsRegistry()
+        registry.event("sync", element=7, size=2.0)
+        registry.event("sync", element=8, size=1.0)
+        events = registry.events_of_kind("sync")
+        assert len(events) == 2
+        assert events[0]["element"] == 7
+        assert events[1]["seq"] > events[0]["seq"]
+        assert all(event["kind"] == "sync" for event in events)
+
+    def test_event_tape_is_bounded_and_drops_are_counted(self):
+        registry = MetricsRegistry()
+        registry.events.extend(
+            {"kind": "filler", "seq": i, "t": 0.0} for i in range(MAX_EVENTS)
+        )
+        registry.event("overflow")
+        assert len(registry.events) == MAX_EVENTS
+        assert registry.counters["obs.dropped_events"] == 1.0
+        assert registry.events_of_kind("overflow") == []
+
+    def test_spans_nest_into_slash_separated_paths(self):
+        registry = MetricsRegistry()
+        with registry.span("outer"):
+            with registry.span("inner"):
+                pass
+        assert set(registry.span_totals) == {"outer", "outer/inner"}
+        count, total = registry.span_totals["outer/inner"]
+        assert count == 1
+        assert total >= 0.0
+        paths = [event["path"] for event in registry.events_of_kind("span")]
+        assert paths == ["outer/inner", "outer"]
+
+    def test_span_records_list_completions_in_order(self):
+        registry = MetricsRegistry()
+        for _ in range(3):
+            with registry.span("b"):
+                pass
+        with registry.span("a"):
+            pass
+        records = registry.span_records()
+        assert [record["path"] for record in records] == ["b", "b", "b", "a"]
+        assert all(record["elapsed_s"] >= 0.0 for record in records)
+        assert registry.span_totals["b"][0] == 3
+
+
+class TestGlobalSwitch:
+    def test_facades_are_inert_when_disabled(self):
+        obs.disable_telemetry()
+        registry = obs.reset_telemetry()
+        obs.counter_add("c")
+        obs.gauge_set("g", 1.0)
+        obs.observe("h", 1.0)
+        obs.event("e")
+        with obs.span("s"):
+            pass
+        assert not registry.counters
+        assert not registry.gauges
+        assert not registry.histograms
+        assert not registry.events
+        assert not registry.span_totals
+
+    def test_disabled_span_returns_the_shared_noop_singleton(self):
+        obs.disable_telemetry()
+        assert obs.span("a") is obs.span("b")
+
+    def test_facades_record_when_enabled(self):
+        registry = obs.reset_telemetry()
+        obs.enable_telemetry()
+        obs.counter_add("c", 2.0)
+        with obs.span("s"):
+            obs.event("e", x=1)
+        assert registry.counters["c"] == 2.0
+        assert registry.span_totals["s"][0] == 1
+        assert registry.events_of_kind("e")[0]["x"] == 1
+
+    def test_enable_telemetry_can_install_a_custom_registry(self):
+        mine = MetricsRegistry()
+        obs.enable_telemetry(mine)
+        assert obs.telemetry_enabled()
+        assert obs.get_registry() is mine
+
+    def test_reset_telemetry_installs_a_fresh_registry(self):
+        before = obs.get_registry()
+        after = obs.reset_telemetry()
+        assert after is not before
+        assert obs.get_registry() is after
+
+    def test_refresh_from_env_reads_repro_telemetry(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY", "1")
+        obs.refresh_from_env()
+        assert obs.telemetry_enabled()
+        monkeypatch.setenv("REPRO_TELEMETRY", "off")
+        obs.refresh_from_env()
+        assert not obs.telemetry_enabled()
+        monkeypatch.delenv("REPRO_TELEMETRY")
+        obs.refresh_from_env()
+        assert not obs.telemetry_enabled()
+
+
+class TestTelemetryContextManager:
+    def test_installs_fresh_registry_and_restores_switch(self):
+        obs.disable_telemetry()
+        outer = obs.get_registry()
+        with obs.telemetry() as registry:
+            assert obs.telemetry_enabled()
+            assert registry is not outer
+            obs.counter_add("inside")
+        assert not obs.telemetry_enabled()
+        assert registry.counters["inside"] == 1.0
+
+    def test_enabled_false_turns_telemetry_off_inside(self):
+        obs.enable_telemetry()
+        with obs.telemetry(enabled=False) as registry:
+            assert not obs.telemetry_enabled()
+            obs.counter_add("ghost")
+        assert obs.telemetry_enabled()
+        assert "ghost" not in registry.counters
+
+    def test_fresh_false_reuses_the_current_registry(self):
+        current = obs.reset_telemetry()
+        with obs.telemetry(fresh=False) as registry:
+            assert registry is current

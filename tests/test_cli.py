@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -78,3 +80,65 @@ class TestExecution:
         output = capsys.readouterr().out
         assert "adaptive manager" in output
         assert "oracle" in output
+
+
+class TestTelemetry:
+    def test_telemetry_flag_parses_with_and_without_directory(self):
+        parser = build_parser()
+        assert parser.parse_args(["table1"]).telemetry is None
+        assert parser.parse_args(["table1", "--telemetry"]).telemetry == "."
+        args = parser.parse_args(["table1", "--telemetry", "out"])
+        assert args.telemetry == "out"
+
+    def test_obs_subcommand_parses(self):
+        args = build_parser().parse_args(
+            ["obs", "prom", "--tape", "t.jsonl"])
+        assert args.command == "obs"
+        assert args.action == "prom"
+        assert args.tape == "t.jsonl"
+
+    def test_telemetry_run_writes_tape_and_prom(self, capsys, tmp_path):
+        assert main(["table1", "--quick",
+                     "--telemetry", str(tmp_path)]) == 0
+        output = capsys.readouterr().out
+        assert "Table 1" in output
+        assert "telemetry summary" in output or "counters" in output
+        tape = tmp_path / "telemetry.jsonl"
+        prom = tmp_path / "telemetry.prom"
+        assert tape.exists() and prom.exists()
+        lines = [json.loads(line)
+                 for line in tape.read_text().splitlines()]
+        spans = [line for line in lines if line.get("kind") == "span"]
+        assert any(line["path"].endswith("solver.solve_weighted")
+                   for line in spans)
+        assert "repro_solver_calls_total" in prom.read_text()
+
+    def test_telemetry_sim_run_records_period_series(self, capsys,
+                                                     tmp_path):
+        assert main(["burstiness", "--quick",
+                     "--telemetry", str(tmp_path)]) == 0
+        lines = [json.loads(line) for line in
+                 (tmp_path / "telemetry.jsonl").read_text().splitlines()]
+        periods = [line for line in lines
+                   if line.get("kind") == "sim.period"]
+        assert periods
+        assert all("budget_utilization" in line for line in periods)
+
+    def test_obs_missing_tape_fails_cleanly(self, capsys, tmp_path):
+        missing = str(tmp_path / "nope.jsonl")
+        assert main(["obs", "summary", "--tape", missing]) == 1
+        captured = capsys.readouterr()
+        assert "no tape at" in captured.err
+        assert "--telemetry" in captured.err
+
+    def test_obs_summary_round_trips_a_tape(self, capsys, tmp_path):
+        assert main(["table1", "--quick",
+                     "--telemetry", str(tmp_path)]) == 0
+        capsys.readouterr()
+        tape = str(tmp_path / "telemetry.jsonl")
+        assert main(["obs", "summary", "--tape", tape]) == 0
+        summary = capsys.readouterr().out
+        assert "solver.calls" in summary
+        assert main(["obs", "prom", "--tape", tape]) == 0
+        prom = capsys.readouterr().out
+        assert prom == (tmp_path / "telemetry.prom").read_text()

@@ -19,9 +19,11 @@ from repro.contracts import (
     ContractViolationError,
     check_budget_feasible,
     check_kkt_stationarity,
+    check_multiplier_in_bracket,
     check_nonnegative,
     check_partition_labels,
     check_simplex,
+    check_sync_conservation,
     contracts,
     contracts_enabled,
     disable_contracts,
@@ -134,6 +136,50 @@ def test_check_kkt_stationarity_scales_with_multiplier() -> None:
     check_kkt_stationarity(5e-3, 100.0)  # residual small at μ scale
     with pytest.raises(ContractViolationError, match="stationarity"):
         check_kkt_stationarity(1e-2, 0.5)
+
+
+def test_check_multiplier_in_bracket() -> None:
+    check_multiplier_in_bracket(0.5, (0.1, 1.0))
+    check_multiplier_in_bracket(0.1, (0.1, 1.0))  # endpoints included
+    check_multiplier_in_bracket(1.0 + 1e-12, (0.1, 1.0))  # rtol slack
+    with pytest.raises(ContractViolationError, match="bracket"):
+        check_multiplier_in_bracket(1.5, (0.1, 1.0))
+    with pytest.raises(ContractViolationError, match="bracket"):
+        check_multiplier_in_bracket(0.05, (0.1, 1.0))
+
+
+def test_check_sync_conservation_allows_granularity_slack() -> None:
+    # 10 size units/period over 20 periods + 3 units of ceil slack.
+    check_sync_conservation(200.0, 10.0, 20.0, 3.0)
+    check_sync_conservation(203.0, 10.0, 20.0, 3.0)  # exactly at limit
+    with pytest.raises(ContractViolationError, match="conservation"):
+        check_sync_conservation(204.0, 10.0, 20.0, 3.0)
+
+
+def test_simulation_runs_clean_under_conservation_contract(rng) -> None:
+    from repro.core.freshener import PerceivedFreshener
+    from repro.sim.simulation import Simulation
+
+    catalog = random_catalog(rng, 30)
+    plan = PerceivedFreshener().plan(catalog, bandwidth=20.0)
+    enable_contracts()
+    simulation = Simulation(catalog, plan.frequencies,
+                            request_rate=50.0,
+                            rng=np.random.default_rng(7))
+    result = simulation.run(n_periods=10)
+    assert result.bandwidth_used <= 20.0 * 10.0 + catalog.sizes.sum()
+
+
+def test_incremental_warm_solve_checks_bracket(rng) -> None:
+    from repro.core.incremental import IncrementalSolver
+
+    catalog = random_catalog(rng, 40)
+    enable_contracts()
+    incremental = IncrementalSolver()
+    cold = incremental.solve(catalog, 10.0)
+    warm = incremental.solve(catalog, 10.0)  # reuses the μ bracket
+    assert incremental.warm_hits == 1
+    assert warm.multiplier == pytest.approx(cold.multiplier, rel=1e-6)
 
 
 # ---------------------------------------------------------------------------

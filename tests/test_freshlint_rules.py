@@ -22,7 +22,8 @@ FIXTURES = REPO_ROOT / "tests" / "fixtures" / "freshlint"
 
 #: Everything is in scope; nothing is excused as a test/entry point.
 STRICT = LintConfig(entry_point_globs=(), test_globs=(),
-                    library_globs=("*",), solver_globs=("*",))
+                    library_globs=("*",), solver_globs=("*",),
+                    clock_globs=("*",))
 
 
 def codes_in(path: Path, config: LintConfig = STRICT) -> list[str]:
@@ -37,7 +38,7 @@ def test_registry_codes_are_unique_and_sorted() -> None:
     codes = [rule.code for rule in ALL_RULES]
     assert codes == sorted(set(codes))
     assert codes == ["FL001", "FL002", "FL003", "FL004", "FL005",
-                     "FL006", "FL007"]
+                     "FL006", "FL007", "FL008", "FL009"]
 
 
 def test_rule_by_code_round_trips() -> None:
@@ -187,6 +188,57 @@ def test_fl007_allows_entry_point_print() -> None:
 
 
 # ---------------------------------------------------------------------------
+# FL008 — import cycles
+
+
+def test_fl008_flags_both_halves_of_a_cycle() -> None:
+    alpha = codes_in(FIXTURES / "bad_fl008_pkg" / "alpha.py")
+    beta = codes_in(FIXTURES / "bad_fl008_pkg" / "beta.py")
+    assert alpha.count("FL008") == 1
+    assert beta.count("FL008") == 1
+
+
+def test_fl008_names_the_cycle_in_the_message() -> None:
+    path = FIXTURES / "bad_fl008_pkg" / "alpha.py"
+    violations = [v for v in lint_file(path, STRICT, root=REPO_ROOT)
+                  if v.code == "FL008"]
+    assert "bad_fl008_pkg.alpha -> bad_fl008_pkg.beta" \
+        in violations[0].message
+
+
+def test_fl008_clean_with_deferred_and_type_checking_imports() -> None:
+    for name in ("alpha.py", "beta.py", "__init__.py"):
+        assert codes_in(FIXTURES / "good_fl008_pkg" / name) == []
+
+
+def test_fl008_ignores_loose_modules() -> None:
+    # Not in a package: no graph to build, even with imports present.
+    assert "FL008" not in codes_in(FIXTURES / "bad_fl001_legacy_rng.py")
+
+
+# ---------------------------------------------------------------------------
+# FL009 — wall-clock reads
+
+
+def test_fl009_flags_every_wall_clock_spelling() -> None:
+    codes = codes_in(FIXTURES / "bad_fl009_wall_clock.py")
+    # time.time(), aliased time(), argless datetime.now(), date.today()
+    assert codes.count("FL009") == 4
+
+
+def test_fl009_clean_on_monotonic_and_injected_time() -> None:
+    assert codes_in(FIXTURES / "good_fl009_monotonic.py") == []
+
+
+def test_fl009_scoped_to_clock_paths() -> None:
+    outside = LintConfig(entry_point_globs=(), test_globs=(),
+                         library_globs=("*",), solver_globs=("*",),
+                         clock_globs=())
+    assert "FL009" not in codes_in(FIXTURES / "bad_fl009_wall_clock.py",
+                                   outside)
+
+
+# ---------------------------------------------------------------------------
 # pragmas, select/ignore, syntax errors
 
 
@@ -217,7 +269,7 @@ def test_run_paths_walks_directories() -> None:
     violations = run_paths([FIXTURES], STRICT, root=REPO_ROOT)
     assert {v.code for v in violations} >= {"FL001", "FL002", "FL003",
                                             "FL004", "FL005", "FL006",
-                                            "FL007"}
+                                            "FL007", "FL008", "FL009"}
 
 
 # ---------------------------------------------------------------------------

@@ -108,6 +108,32 @@ def test_gate_catches_seeded_mutation_in_solver_path(
     assert "FL005" in {v.code for v in violations}
 
 
+def test_gate_catches_seeded_import_cycle(
+        tmp_path_factory: pytest.TempPathFactory) -> None:
+    root = tmp_path_factory.mktemp("seeded_tree")
+    package = root / "src" / "repro"
+    package.mkdir(parents=True)
+    (package / "__init__.py").write_text('"""Seeded pkg."""\n',
+                                         encoding="utf-8")
+    (package / "first.py").write_text(
+        '"""Half a cycle."""\nfrom repro import second\n',
+        encoding="utf-8")
+    (package / "second.py").write_text(
+        '"""Other half."""\nfrom repro import first\n',
+        encoding="utf-8")
+    violations = run_paths([root / "src"], root=root)
+    assert "FL008" in {v.code for v in violations}
+
+
+def test_gate_catches_seeded_wall_clock_in_sim_path(
+        tmp_path_factory: pytest.TempPathFactory) -> None:
+    root = _seed_tree(tmp_path_factory.mktemp("seeded_tree"),
+                      "src/repro/sim/clocked.py",
+                      "bad_fl009_wall_clock.py")
+    violations = run_paths([root / "src"], root=root)
+    assert "FL009" in {v.code for v in violations}
+
+
 def test_bad_fixtures_are_not_in_the_linted_tree() -> None:
     """The seeded-violation fixtures must never be linted by the gate."""
     linted = {v.path.resolve() for v in _lint_repo()}

@@ -101,6 +101,14 @@ class LintConfig:
         "src/repro/core/*.py",
         "src/repro/numerics/*.py",
     )
+    #: Clock-disciplined paths: FL009 bans wall-clock reads
+    #: (``time.time()``, argless ``datetime.now()``) here — simulated
+    #: time and monotonic interval timers only.
+    clock_globs: tuple[str, ...] = (
+        "src/repro/core/*.py",
+        "src/repro/numerics/*.py",
+        "src/repro/sim/*.py",
+    )
     select: tuple[str, ...] = ()
     ignore: tuple[str, ...] = ()
 
@@ -147,6 +155,12 @@ class ModuleContext:
         """True for the numeric core (``core/`` and ``numerics/``)."""
         return _match_any(self.relative_path, str(self.path),
                           self.config.solver_globs)
+
+    @property
+    def is_clock_path(self) -> bool:
+        """True where wall-clock reads are banned (FL009)."""
+        return _match_any(self.relative_path, str(self.path),
+                          self.config.clock_globs)
 
     @property
     def is_package_init(self) -> bool:

@@ -10,17 +10,21 @@ from freshlint.rules.fl004_units import UnitsInDocstring
 from freshlint.rules.fl005_ndarray_mutation import NdarrayParamMutation
 from freshlint.rules.fl006_exceptions import ExceptionDiscipline
 from freshlint.rules.fl007_print import NoPrintInLibrary
+from freshlint.rules.fl008_import_cycles import ImportCycles
+from freshlint.rules.fl009_wall_clock import WallClockRead
 
 __all__ = [
     "ALL_RULES",
     "AllMatchesReexports",
     "ExceptionDiscipline",
     "FloatEqualityComparison",
+    "ImportCycles",
     "NdarrayParamMutation",
     "NoPrintInLibrary",
     "Rule",
     "UnitsInDocstring",
     "UnseededRandomness",
+    "WallClockRead",
     "rule_by_code",
 ]
 
@@ -32,6 +36,8 @@ ALL_RULES: tuple[Rule, ...] = (
     NdarrayParamMutation(),
     ExceptionDiscipline(),
     NoPrintInLibrary(),
+    ImportCycles(),
+    WallClockRead(),
 )
 
 

@@ -1,0 +1,189 @@
+"""FL008 — no import cycles inside a package.
+
+Import cycles are how "just add one import" turns into
+``ImportError: partially initialized module``: whether the program
+crashes depends on which module happens to be imported first.  The
+repository's layering (``errors`` < ``obs`` < ``contracts`` <
+``numerics`` < ``core`` < ``sim`` < ``runtime``) only stays acyclic if
+something checks it, so this rule builds the module-level import graph
+of the package containing the linted file and flags every import that
+lies on a cycle.
+
+Only imports executed at module import time count: imports inside
+``if TYPE_CHECKING:`` blocks (annotations only) and inside function
+bodies (deferred, the standard cycle-breaking idiom) are excluded.
+Class bodies are also excluded — a class-level import is exotic enough
+that deferring judgement beats false positives.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from pathlib import Path
+from typing import Iterator, Mapping
+
+from freshlint.engine import ModuleContext, Violation
+from freshlint.rules.base import Rule
+
+__all__ = ["ImportCycles"]
+
+#: One import edge: (target module, source line, source column).
+_Edge = tuple[str, int, int]
+
+
+def _package_root(path: Path) -> Path | None:
+    """Topmost package directory containing ``path`` (None if loose)."""
+    directory = path.parent
+    if not (directory / "__init__.py").exists():
+        return None
+    while (directory.parent / "__init__.py").exists():
+        directory = directory.parent
+    return directory
+
+
+def _module_name(path: Path, root: Path) -> str:
+    """Dotted module name of ``path`` relative to ``root``'s parent."""
+    relative = path.resolve().relative_to(root.parent.resolve())
+    parts = list(relative.with_suffix("").parts)
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+def _mentions_type_checking(test: ast.expr) -> bool:
+    return any((isinstance(node, ast.Name)
+                and node.id == "TYPE_CHECKING")
+               or (isinstance(node, ast.Attribute)
+                   and node.attr == "TYPE_CHECKING")
+               for node in ast.walk(test))
+
+
+def _import_time_statements(tree: ast.Module) -> Iterator[ast.stmt]:
+    """Statements executed when the module is imported.
+
+    Descends through module-level ``if``/``try`` blocks (minus
+    ``if TYPE_CHECKING:`` bodies) but never into function or class
+    bodies.
+    """
+    pending: deque[ast.stmt] = deque(tree.body)
+    while pending:
+        statement = pending.popleft()
+        if isinstance(statement, ast.If):
+            if not _mentions_type_checking(statement.test):
+                pending.extend(statement.body)
+            pending.extend(statement.orelse)
+        elif isinstance(statement, ast.Try):
+            pending.extend(statement.body)
+            for handler in statement.handlers:
+                pending.extend(handler.body)
+            pending.extend(statement.orelse)
+            pending.extend(statement.finalbody)
+        else:
+            yield statement
+
+
+def _edges_of(tree: ast.Module, module: str, is_package: bool,
+              modules: frozenset[str]) -> list[_Edge]:
+    """Intra-package import edges of one module."""
+    edges: list[_Edge] = []
+
+    def add(target: str, node: ast.stmt) -> None:
+        if target in modules and target != module:
+            edges.append((target, node.lineno, node.col_offset))
+
+    package_parts = module.split(".") if is_package \
+        else module.split(".")[:-1]
+    for statement in _import_time_statements(tree):
+        if isinstance(statement, ast.Import):
+            for name in statement.names:
+                add(name.name, statement)
+        elif isinstance(statement, ast.ImportFrom):
+            if statement.level:
+                base = package_parts[:len(package_parts)
+                                     - (statement.level - 1)]
+                if not base:
+                    continue  # relative import escaping the package
+                prefix = base + (statement.module.split(".")
+                                 if statement.module else [])
+            elif statement.module is not None:
+                prefix = statement.module.split(".")
+            else:
+                continue
+            dotted = ".".join(prefix)
+            for name in statement.names:
+                submodule = f"{dotted}.{name.name}"
+                if submodule in modules:
+                    add(submodule, statement)
+                else:
+                    add(dotted, statement)
+    return edges
+
+
+class ImportCycles(Rule):
+    """Flag module-level imports that close an import cycle."""
+
+    code = "FL008"
+    name = "no-import-cycles"
+    summary = "no module-level import cycles within a package"
+
+    def __init__(self) -> None:
+        self._graphs: dict[Path, Mapping[str, list[_Edge]]] = {}
+
+    def _graph_for(self, root: Path) -> Mapping[str, list[_Edge]]:
+        """Import graph of the package rooted at ``root`` (cached)."""
+        cached = self._graphs.get(root)
+        if cached is not None:
+            return cached
+        modules: dict[str, tuple[ast.Module, bool]] = {}
+        for path in sorted(root.rglob("*.py")):
+            try:
+                tree = ast.parse(path.read_text(encoding="utf-8"),
+                                 filename=str(path))
+            except SyntaxError:
+                continue  # FL999 already covers unparsable files
+            modules[_module_name(path, root)] = (
+                tree, path.name == "__init__.py")
+        names = frozenset(modules)
+        graph = {module: _edges_of(tree, module, is_package, names)
+                 for module, (tree, is_package) in modules.items()}
+        self._graphs[root] = graph
+        return graph
+
+    @staticmethod
+    def _path_back(graph: Mapping[str, list[_Edge]], start: str,
+                   goal: str) -> list[str] | None:
+        """Shortest import chain ``start -> ... -> goal`` (BFS)."""
+        parents: dict[str, str | None] = {start: None}
+        queue: deque[str] = deque([start])
+        while queue:
+            module = queue.popleft()
+            if module == goal:
+                chain = [module]
+                while parents[chain[-1]] is not None:
+                    chain.append(parents[chain[-1]])  # type: ignore[arg-type]
+                return list(reversed(chain))
+            for target, _, _ in graph.get(module, ()):
+                if target not in parents:
+                    parents[target] = module
+                    queue.append(target)
+        return None
+
+    def check(self, context: ModuleContext) -> Iterator[Violation]:
+        if not context.is_library:
+            return
+        root = _package_root(context.path)
+        if root is None:
+            return
+        graph = self._graph_for(root)
+        module = _module_name(context.path, root)
+        for target, lineno, column in graph.get(module, ()):
+            chain = self._path_back(graph, target, module)
+            if chain is not None:
+                cycle = " -> ".join([module, *chain])
+                yield Violation(
+                    code=self.code, path=context.path, line=lineno,
+                    column=column,
+                    message=f"import cycle: {cycle}; break it with a "
+                            "deferred (function-scope) import or by "
+                            "moving the shared piece down a layer")

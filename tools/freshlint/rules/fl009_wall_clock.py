@@ -1,0 +1,62 @@
+"""FL009 — no wall-clock reads in solver/simulator paths.
+
+The solver and the simulator run on *simulated* time: every timestamp
+they handle is either an event time from the generators or a duration
+measured for telemetry.  ``time.time()`` (and argless
+``datetime.now()``/``today()``) smuggles the host's wall clock into
+that world — it jumps under NTP adjustments, breaks replay
+determinism, and silently couples test outcomes to the machine's
+clock.  Durations belong to ``time.perf_counter()`` /
+``time.monotonic()`` (what :mod:`repro.obs` spans use); calendar
+timestamps, if ever needed, must be injected by the caller.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from freshlint.engine import ModuleContext, Violation
+from freshlint.rules.base import Rule
+
+__all__ = ["WallClockRead"]
+
+#: Always banned in clock paths, however it is called.
+_BANNED = {
+    "time.time": "time.time()",
+    "datetime.datetime.today": "datetime.today()",
+    "datetime.date.today": "date.today()",
+}
+#: Banned only when called with no arguments (a tz-aware
+#: ``now(timezone.utc)`` is at least explicit about being a wall
+#: clock, so it is left to review).
+_BANNED_ARGLESS = {
+    "datetime.datetime.now": "datetime.now()",
+}
+
+
+class WallClockRead(Rule):
+    """Flag wall-clock reads on clock-disciplined paths."""
+
+    code = "FL009"
+    name = "no-wall-clock"
+    summary = "no time.time()/argless datetime.now() in solver/sim code"
+
+    def check(self, context: ModuleContext) -> Iterator[Violation]:
+        if not context.is_clock_path or context.is_test:
+            return
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = context.resolve_call_target(node.func)
+            if target is None:
+                continue
+            spelled = _BANNED.get(target)
+            if spelled is None and not node.args and not node.keywords:
+                spelled = _BANNED_ARGLESS.get(target)
+            if spelled is not None:
+                yield self.violation(
+                    context, node,
+                    f"{spelled} reads the wall clock; use "
+                    "time.perf_counter()/time.monotonic() for "
+                    "durations or take the timestamp as a parameter")
