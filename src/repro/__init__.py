@@ -59,6 +59,15 @@ from repro.core.selection import (
     plan_selected_mirror,
     select_mirror,
 )
+from repro.faults import (
+    CHAOS_SCENARIOS,
+    ChaosScenario,
+    CircuitBreaker,
+    FaultPlan,
+    PollOutcome,
+    RetryPolicy,
+    SyncChannel,
+)
 from repro.profiles import ProfileLearner, UserProfile, aggregate_profiles
 from repro.runtime import AdaptiveMirrorManager, BeliefState, PeriodReport
 from repro.core.incremental import IncrementalSolver
@@ -84,8 +93,12 @@ __all__ = [
     "BIG_SETUP",
     "build_catalog",
     "Catalog",
+    "CHAOS_SCENARIOS",
+    "ChaosScenario",
+    "CircuitBreaker",
     "ConvergenceError",
     "ExperimentSetup",
+    "FaultPlan",
     "FixedOrderPolicy",
     "Freshener",
     "FresheningPlan",
@@ -109,6 +122,9 @@ __all__ = [
     "perceived_freshness",
     "PhasePolicy",
     "PoissonSyncPolicy",
+    "PollOutcome",
+    "RetryPolicy",
+    "SyncChannel",
     "perceived_age",
     "ProfileLearner",
     "ProportionalFreshener",

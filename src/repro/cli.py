@@ -8,6 +8,8 @@ Usage::
     repro-freshen figure5 --seed 3
     repro-freshen table1 --quick --telemetry out/
     repro-freshen obs summary --tape out/telemetry.jsonl
+    repro-freshen chaos --scenario iid20
+    repro-freshen adapt --scenario outage --quick
 
 ``--quick`` shrinks grids/sizes so every experiment finishes in a few
 seconds; without it the paper-scale defaults run.  ``--telemetry
@@ -236,6 +238,61 @@ def _run_adaptive(args: argparse.Namespace) -> None:
                 args.plot)
 
 
+def _run_chaos(args: argparse.Namespace) -> None:
+    from repro.analysis.chaos import format_chaos_report, run_chaos
+    from repro.faults.scenarios import CHAOS_SCENARIOS
+
+    names = (list(CHAOS_SCENARIOS) if args.scenario == "all"
+             else [args.scenario])
+    n_periods = 24 if args.quick else args.periods
+    warmup = min(4 if args.quick else 10, n_periods - 1)
+    every = 2 if args.quick else 5
+    for name in names:
+        report = run_chaos(name, n_periods=n_periods, warmup=warmup,
+                           seed=args.seed)
+        print(format_chaos_report(report, every=every))
+        print()
+
+
+def _run_adapt(args: argparse.Namespace) -> None:
+    from repro.analysis.chaos import CHAOS_SETUP
+    from repro.faults.breaker import CircuitBreaker
+    from repro.faults.scenarios import CHAOS_SCENARIOS
+    from repro.runtime.manager import AdaptiveMirrorManager
+    from repro.workloads.presets import build_catalog
+
+    catalog = build_catalog(CHAOS_SETUP, seed=args.seed)
+    periods = 12 if args.quick else args.periods
+    kwargs = {}
+    title = "adaptive loop (fault-free)"
+    if args.scenario is not None:
+        scenario = CHAOS_SCENARIOS[args.scenario]
+        kwargs["fault_plan"] = scenario.plan(catalog.n_elements,
+                                             float(periods))
+        kwargs["retry_policy"] = scenario.retry_policy
+        if scenario.breaker_threshold is not None:
+            kwargs["breaker"] = CircuitBreaker(
+                scenario.n_shards(catalog.n_elements),
+                failure_threshold=scenario.breaker_threshold,
+                cooldown=scenario.breaker_cooldown)
+            kwargs["shard_of"] = scenario.shard_of(catalog.n_elements)
+        title = f"adaptive loop under chaos scenario {args.scenario!r}"
+    manager = AdaptiveMirrorManager(
+        catalog, CHAOS_SETUP.syncs_per_period,
+        request_rate=12.0 * CHAOS_SETUP.n_objects,
+        rng=np.random.default_rng(args.seed),
+        replan_every=3, **kwargs)
+    reports = manager.run(periods)
+    print(title)
+    rows = [(r.period, "yes" if r.replanned else "",
+             f"{r.believed_pf:.4f}", f"{r.achieved_pf:.4f}",
+             f"{r.monitored_pf:.4f}", r.failed_polls, r.retries)
+            for r in reports]
+    print(format_table(
+        ["period", "replanned", "believed", "achieved", "monitored",
+         "failed", "retries"], rows))
+
+
 _COMMANDS: dict[str, tuple[Callable[[argparse.Namespace], None], str]] = {
     "table1": (_run_table1, "Toy-example optimal sync frequencies"),
     "figure1": (_run_figure1, "Solution locus f(lambda) per p"),
@@ -272,6 +329,10 @@ _COMMANDS: dict[str, tuple[Callable[[argparse.Namespace], None], str]] = {
                            "PF vs sampling crawler vs random polls"),
     "burstiness": (_run_burstiness,
                    "Poisson-planned schedules on bursty sources"),
+    "adapt": (_run_adapt,
+              "Adaptive-loop period table (optionally under chaos)"),
+    "chaos": (_run_chaos,
+              "Fault scenarios: blind vs degraded-mode replanning"),
     "report": (_run_report,
                "Run every experiment and write REPORT.md"),
 }
@@ -337,6 +398,26 @@ def build_parser() -> argparse.ArgumentParser:
                          help="enable telemetry; write telemetry.jsonl"
                               " and telemetry.prom into DIR (default"
                               " current directory)")
+        if name in ("chaos", "adapt"):
+            from repro.faults.scenarios import CHAOS_SCENARIOS
+
+            choices = sorted(CHAOS_SCENARIOS)
+            if name == "chaos":
+                sub.add_argument(
+                    "--scenario", choices=[*choices, "all"],
+                    default="iid20",
+                    help="fault scenario to run (default iid20)")
+                sub.add_argument(
+                    "--periods", type=int, default=60,
+                    help="periods per arm (default 60)")
+            else:
+                sub.add_argument(
+                    "--scenario", choices=choices, default=None,
+                    help="optional fault scenario for the loop "
+                         "(default: fault-free)")
+                sub.add_argument(
+                    "--periods", type=int, default=30,
+                    help="periods to run (default 30)")
     obs_sub = subparsers.add_parser(
         "obs", help="Re-render a saved telemetry tape")
     obs_sub.add_argument("action", choices=("summary", "prom"),

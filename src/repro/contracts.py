@@ -49,6 +49,7 @@ __all__ = [
     "KKT_RTOL",
     "NONNEG_ATOL",
     "SIMPLEX_ATOL",
+    "check_attempt_budget",
     "check_budget_feasible",
     "check_kkt_stationarity",
     "check_multiplier_in_bracket",
@@ -248,6 +249,31 @@ def check_sync_conservation(consumed: float, planned_per_period: float,
         _fail(where, "sync conservation Σ consumed <= B·T + slack",
               f"consumed {consumed!r} exceeds {limit!r} "
               f"(B·T = {planned_per_period * n_periods!r}, "
+              f"slack = {slack!r})")
+
+
+def check_attempt_budget(attempted: float, budget_per_period: float,
+                         n_periods: float, slack: float, *,
+                         rtol: float = BUDGET_RTOL,
+                         where: str = "<direct>") -> None:
+    """Assert the sync channel never overdrew the attempt budget.
+
+    Under fault injection every *attempt* — successful poll, failed
+    poll, retry — burns bandwidth, so the Core Problem's constraint
+    binds on attempts, not on successes: cumulative attempted
+    bandwidth over the horizon must stay within ``B·T`` plus the
+    Fixed-Order granularity ``slack`` (one extra scheduled sync per
+    element, exactly as :func:`check_sync_conservation` allows).
+    Units: ``attempted`` and ``slack`` in size units,
+    ``budget_per_period`` in size units per period, ``n_periods`` in
+    periods.
+    """
+    limit = (budget_per_period * n_periods + slack) * (1.0 + rtol)
+    if attempted > limit:
+        _fail(where,
+              "attempt budget Σ attempted <= B·T + slack",
+              f"attempted {attempted!r} exceeds {limit!r} "
+              f"(B·T = {budget_per_period * n_periods!r}, "
               f"slack = {slack!r})")
 
 

@@ -1,0 +1,56 @@
+"""faultline — seeded fault injection and resilience primitives.
+
+The third leg of the production story: the paper's model assumes
+every synchronization succeeds; this subpackage models the ways real
+polls fail and the machinery that keeps perceived freshness up when
+they do.
+
+* :mod:`repro.faults.model` — deterministic, seeded fault models
+  (:class:`FaultPlan`: i.i.d. loss, Gilbert–Elliott bursts, timed
+  shard outages, latency/timeout draws).
+* :mod:`repro.faults.retry` — bounded exponential backoff with
+  decorrelated jitter, all randomness and clocks injected (FL010).
+* :mod:`repro.faults.breaker` — per-shard closed → open → half-open
+  circuit breakers on simulated time.
+* :mod:`repro.faults.channel` — the retrying :class:`SyncChannel`
+  the simulator polls through, with per-period budget accounting.
+* :mod:`repro.faults.scenarios` — named chaos scenarios consumed by
+  the ``repro chaos`` harness (:mod:`repro.analysis.chaos`).
+"""
+
+from repro.faults.breaker import BreakerState, CircuitBreaker
+from repro.faults.channel import PollReport, SyncChannel
+from repro.faults.model import (
+    FaultModel,
+    FaultPlan,
+    GilbertElliottFaultModel,
+    IIDFaultModel,
+    LatencyFaultModel,
+    OutageWindow,
+    PollOutcome,
+)
+from repro.faults.retry import (
+    RetryBudgetExhaustedError,
+    RetryPolicy,
+    execute_with_retry,
+)
+from repro.faults.scenarios import CHAOS_SCENARIOS, ChaosScenario
+
+__all__ = [
+    "BreakerState",
+    "CHAOS_SCENARIOS",
+    "ChaosScenario",
+    "CircuitBreaker",
+    "execute_with_retry",
+    "FaultModel",
+    "FaultPlan",
+    "GilbertElliottFaultModel",
+    "IIDFaultModel",
+    "LatencyFaultModel",
+    "OutageWindow",
+    "PollOutcome",
+    "PollReport",
+    "RetryBudgetExhaustedError",
+    "RetryPolicy",
+    "SyncChannel",
+]

@@ -1,0 +1,174 @@
+"""Per-shard circuit breakers for the sync channel.
+
+A breaker guards each shard of the source: after ``failure_threshold``
+consecutive failed polls the shard's circuit *opens* and further polls
+fast-fail without burning bandwidth; after a cooldown the circuit
+goes *half-open* and admits probe polls; a successful probe closes
+it, a failed probe re-opens it.  This is the standard
+closed → open → half-open machine, run on *simulated* time (the
+caller passes every timestamp, so replay is deterministic).
+
+State transitions are emitted on the telemetry tape as
+``breaker.transition`` events and counted under ``breaker.opened`` /
+``breaker.closed`` / ``breaker.probes`` (no-ops unless telemetry is
+enabled).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.obs import registry as obs
+
+__all__ = ["BreakerState", "CircuitBreaker"]
+
+
+class BreakerState(Enum):
+    """The three classic circuit-breaker states."""
+
+    #: Polls flow normally; consecutive failures are counted.
+    CLOSED = 0
+    #: Polls fast-fail; no bandwidth is spent on the shard.
+    OPEN = 1
+    #: Probe polls are admitted to test whether the shard recovered.
+    HALF_OPEN = 2
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breakers, one per shard.
+
+    Args:
+        n_shards: Number of guarded shards, >= 1.
+        failure_threshold: Consecutive failures that open a closed
+            circuit, >= 1 (dimensionless count).
+        cooldown: Simulated time an open circuit waits before going
+            half-open, in period units, > 0.
+    """
+
+    def __init__(self, n_shards: int, *, failure_threshold: int = 3,
+                 cooldown: float = 1.0) -> None:
+        if n_shards < 1:
+            raise ValidationError(
+                f"n_shards must be >= 1, got {n_shards}")
+        if failure_threshold < 1:
+            raise ValidationError(
+                f"failure_threshold must be >= 1, got "
+                f"{failure_threshold}")
+        if cooldown <= 0.0:
+            raise ValidationError(
+                f"cooldown must be > 0, got {cooldown}")
+        self._n = n_shards
+        self._threshold = failure_threshold
+        self._cooldown = cooldown
+        self._state = np.full(n_shards, BreakerState.CLOSED.value,
+                              dtype=np.int8)
+        self._streak = np.zeros(n_shards, dtype=np.int64)
+        self._opened_at = np.zeros(n_shards)
+        self._transitions = 0
+
+    @property
+    def n_shards(self) -> int:
+        """Number of guarded shards."""
+        return self._n
+
+    @property
+    def total_transitions(self) -> int:
+        """State transitions performed so far (dimensionless count)."""
+        return self._transitions
+
+    def state_of(self, shard: int) -> BreakerState:
+        """The shard's current state."""
+        self._check(shard)
+        return BreakerState(int(self._state[shard]))
+
+    def open_mask(self) -> np.ndarray:
+        """Boolean mask of shards whose circuit is currently OPEN.
+
+        Half-open shards are *not* included: they are already probing
+        and should stay in the replanner's reachable set.
+        """
+        return self._state == BreakerState.OPEN.value
+
+    def tripped_mask(self) -> np.ndarray:
+        """Boolean mask of shards not fully closed (OPEN or HALF_OPEN)."""
+        return self._state != BreakerState.CLOSED.value
+
+    def allow(self, shard: int, time: float) -> bool:
+        """Whether a poll of ``shard`` may proceed at simulated ``time``.
+
+        An open circuit past its cooldown transitions to half-open
+        here (and admits the poll as a probe).
+
+        Args:
+            shard: Shard index.
+            time: Simulated clock time, in period units.
+
+        Returns:
+            True when the poll should be attempted.
+        """
+        self._check(shard)
+        state = self._state[shard]
+        if state == BreakerState.CLOSED.value:
+            return True
+        if state == BreakerState.OPEN.value:
+            if time >= self._opened_at[shard] + self._cooldown:
+                self._transition(shard, BreakerState.HALF_OPEN, time)
+                obs.counter_add("breaker.probes")
+                return True
+            return False
+        obs.counter_add("breaker.probes")
+        return True
+
+    def record_success(self, shard: int, time: float) -> None:
+        """Record a successful poll: reset the streak, close the circuit.
+
+        Args:
+            shard: Shard index.
+            time: Simulated clock time, in period units.
+        """
+        self._check(shard)
+        self._streak[shard] = 0
+        if self._state[shard] != BreakerState.CLOSED.value:
+            self._transition(shard, BreakerState.CLOSED, time)
+            obs.counter_add("breaker.closed")
+
+    def record_failure(self, shard: int, time: float) -> None:
+        """Record a failed poll: bump the streak, maybe open the circuit.
+
+        A half-open probe failure re-opens immediately; a closed
+        circuit opens once the consecutive-failure streak reaches the
+        threshold.
+
+        Args:
+            shard: Shard index.
+            time: Simulated clock time, in period units.
+        """
+        self._check(shard)
+        self._streak[shard] += 1
+        state = self._state[shard]
+        if state == BreakerState.HALF_OPEN.value:
+            self._opened_at[shard] = time
+            self._transition(shard, BreakerState.OPEN, time)
+            obs.counter_add("breaker.opened")
+        elif (state == BreakerState.CLOSED.value
+              and self._streak[shard] >= self._threshold):
+            self._opened_at[shard] = time
+            self._transition(shard, BreakerState.OPEN, time)
+            obs.counter_add("breaker.opened")
+
+    def _transition(self, shard: int, to: BreakerState,
+                    time: float) -> None:
+        before = BreakerState(int(self._state[shard]))
+        self._state[shard] = to.value
+        self._transitions += 1
+        obs.event("breaker.transition", shard=int(shard),
+                  from_state=before.name.lower(),
+                  to_state=to.name.lower(), sim_time=float(time))
+
+    def _check(self, shard: int) -> None:
+        if not 0 <= shard < self._n:
+            raise ValidationError(
+                f"shard {shard} outside [0, {self._n})")

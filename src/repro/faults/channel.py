@@ -1,0 +1,315 @@
+"""The retrying sync channel between a mirror and its source.
+
+:class:`SyncChannel` replaces the simulator's "every poll succeeds"
+assumption with the full production story: each scheduled sync
+becomes one or more *attempts* whose outcomes are drawn from a
+:class:`~repro.faults.model.FaultPlan`; failed retryable attempts are
+retried under a :class:`~repro.faults.retry.RetryPolicy` (backoff
+delays advance the attempt's simulated timestamp, so an outage can
+outlast a retry burst); a per-shard
+:class:`~repro.faults.breaker.CircuitBreaker` fast-fails polls of
+shards that look dead.
+
+Bandwidth accounting follows the paper's Core Problem constraint:
+a failed transfer (``timeout``/``error``) still burns the element's
+size from the period budget B — only ``unreachable`` fast-fails are
+free.  The channel keeps a per-period ledger and *every* attempt,
+initial or retry, must fit in it: once a period's budget is spent
+the pipe is saturated and further polls are denied outright.  That
+hard cap is what makes degraded-mode planning matter: a schedule
+planned against the full B saturates the ledger with first attempts
+and loses its late-period polls, one planned against ``B·(1−loss)``
+leaves the headroom its retries are granted from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import SimulationError, ValidationError
+from repro.faults.breaker import CircuitBreaker
+from repro.faults.model import FaultPlan, PollOutcome
+from repro.faults.retry import RetryPolicy
+from repro.obs import registry as obs
+
+if TYPE_CHECKING:  # keeps faults below sim in the layering
+    from repro.sim.mirror import Mirror
+
+__all__ = ["PollReport", "SyncChannel"]
+
+
+@dataclass(frozen=True)
+class PollReport:
+    """What one scheduled sync actually did on the wire.
+
+    Attributes:
+        outcome: The final attempt's :class:`PollOutcome` (``ok``
+            when any attempt succeeded).
+        attempts: Attempts made, including the first (0 when the
+            breaker fast-failed the poll).
+        retries: Attempts beyond the first.
+        changed: Whether the successful sync found a new version
+            (meaningful only when ``outcome`` is ``ok``).
+        bandwidth: Bandwidth burned across all attempts, in size
+            units.
+    """
+
+    outcome: PollOutcome
+    attempts: int
+    retries: int
+    changed: bool
+    bandwidth: float
+
+
+class SyncChannel:
+    """A faulty, retrying link executing scheduled syncs.
+
+    Args:
+        mirror: The mirror whose copies are refreshed on success.
+        plan: Fault plan drawn per attempt.
+        rng: Seeded generator driving fault draws and retry jitter.
+        retry_policy: Backoff policy for retryable failures (None
+            disables retries).
+        breaker: Optional per-shard circuit breaker.
+        shard_of: Maps each element to its breaker shard; identity
+            (one shard per element) by default.  Required shape
+            ``(n_elements,)`` when given.
+        bandwidth_budget: Per-period attempt budget B, in size units
+            per period; any attempt — initial or retry — that would
+            overdraw it is denied (None disables the ledger —
+            attempts are bounded only by the schedule and the retry
+            policy).
+        period_length: Clock length of one budget period, in the
+            simulation's time units, > 0.
+        record_trace: When True, keep a per-attempt trace (time,
+            element, outcome) for determinism audits.
+    """
+
+    def __init__(self, mirror: Mirror, *, plan: FaultPlan,
+                 rng: np.random.Generator,
+                 retry_policy: RetryPolicy | None = None,
+                 breaker: CircuitBreaker | None = None,
+                 shard_of: np.ndarray | None = None,
+                 bandwidth_budget: float | None = None,
+                 period_length: float = 1.0,
+                 record_trace: bool = False) -> None:
+        n = mirror.n_elements
+        if shard_of is None:
+            self._shard_of = np.arange(n, dtype=np.int64)
+        else:
+            self._shard_of = np.asarray(shard_of, dtype=np.int64)
+            if self._shard_of.shape != (n,):
+                raise ValidationError(
+                    f"shard_of shape {self._shard_of.shape} does not "
+                    f"match {n} elements")
+        if breaker is not None and self._shard_of.size:
+            highest = int(self._shard_of.max())
+            if highest >= breaker.n_shards or int(self._shard_of.min()) < 0:
+                raise ValidationError(
+                    f"shard_of maps into [{int(self._shard_of.min())}, "
+                    f"{highest}], breaker has {breaker.n_shards} shards")
+        if bandwidth_budget is not None and bandwidth_budget <= 0.0:
+            raise ValidationError(
+                f"bandwidth_budget must be > 0, got {bandwidth_budget}")
+        if period_length <= 0.0:
+            raise ValidationError(
+                f"period_length must be > 0, got {period_length}")
+        self._mirror = mirror
+        self._sizes = mirror.sizes
+        self._plan = plan
+        self._rng = rng
+        self._retry = retry_policy
+        self._breaker = breaker
+        self._budget = bandwidth_budget
+        self._period_length = period_length
+        self._period = 0
+        self._period_spent = 0.0
+        self._attempted_polls = 0
+        self._failed_polls = 0
+        self._unreachable_polls = 0
+        self._retries = 0
+        self._breaker_skips = 0
+        self._denied_polls = 0
+        self._denied_retries = 0
+        self._attempted_bandwidth = 0.0
+        self._attempt_counts = np.zeros(n, dtype=np.int64)
+        self._failed_counts = np.zeros(n, dtype=np.int64)
+        self._unreachable_counts = np.zeros(n, dtype=np.int64)
+        self._trace: list[tuple[float, int, str]] | None = (
+            [] if record_trace else None)
+
+    # -- accounting ------------------------------------------------
+
+    @property
+    def attempted_polls(self) -> int:
+        """Total attempts made (initial polls + retries)."""
+        return self._attempted_polls
+
+    @property
+    def failed_polls(self) -> int:
+        """Attempts that failed (any non-``ok`` outcome)."""
+        return self._failed_polls
+
+    @property
+    def unreachable_polls(self) -> int:
+        """Failed attempts that never reached the wire
+        (``unreachable`` fast-fails, which burn no bandwidth).
+        Subtract from the totals to get *transfer-level* loss — the
+        kind that wastes budget and warrants derated planning."""
+        return self._unreachable_polls
+
+    @property
+    def retries(self) -> int:
+        """Attempts beyond the first, across all scheduled syncs."""
+        return self._retries
+
+    @property
+    def breaker_skips(self) -> int:
+        """Scheduled syncs fast-failed by an open circuit."""
+        return self._breaker_skips
+
+    @property
+    def denied_polls(self) -> int:
+        """Scheduled syncs denied outright by a saturated period
+        budget (the pipe was full before the first attempt)."""
+        return self._denied_polls
+
+    @property
+    def denied_retries(self) -> int:
+        """Retries refused because the period budget was exhausted."""
+        return self._denied_retries
+
+    @property
+    def attempted_bandwidth(self) -> float:
+        """Bandwidth burned across every attempt, in size units."""
+        return self._attempted_bandwidth
+
+    def attempted_poll_counts(self) -> np.ndarray:
+        """Attempts per element (dimensionless counts)."""
+        return self._attempt_counts.copy()
+
+    def failed_poll_counts(self) -> np.ndarray:
+        """Failed attempts per element (dimensionless counts)."""
+        return self._failed_counts.copy()
+
+    def unreachable_poll_counts(self) -> np.ndarray:
+        """Unreachable fast-fails per element (dimensionless counts)."""
+        return self._unreachable_counts.copy()
+
+    def unreachable_mask(self) -> np.ndarray:
+        """Boolean mask of elements whose breaker shard is OPEN.
+
+        All-False when the channel has no breaker.
+        """
+        if self._breaker is None:
+            return np.zeros(self._shard_of.shape[0], dtype=bool)
+        return self._breaker.open_mask()[self._shard_of]
+
+    def trace(self) -> list[tuple[float, int, str]]:
+        """The recorded per-attempt trace.
+
+        Each entry is ``(attempt_time, element, outcome_value)``;
+        raises unless the channel was built with ``record_trace``.
+        """
+        if self._trace is None:
+            raise SimulationError(
+                "channel was not built with record_trace=True")
+        return list(self._trace)
+
+    # -- the poll path ---------------------------------------------
+
+    def sync(self, element: int, time: float) -> PollReport:
+        """Execute one scheduled sync through the faulty link.
+
+        Args:
+            element: Element index to refresh.
+            time: Simulated clock time of the scheduled sync, in the
+                simulation's time units.
+
+        Returns:
+            The :class:`PollReport` of what happened.
+        """
+        self._roll_period(time)
+        shard = int(self._shard_of[element])
+        if self._breaker is not None and \
+                not self._breaker.allow(shard, time):
+            self._breaker_skips += 1
+            obs.counter_add("faults.breaker_skips")
+            return PollReport(outcome=PollOutcome.UNREACHABLE,
+                              attempts=0, retries=0, changed=False,
+                              bandwidth=0.0)
+        size = float(self._sizes[element])
+        if self._budget is not None and \
+                self._period_spent + size > self._budget:
+            # The pipe is saturated for this period: the scheduled
+            # poll never makes it onto the wire.  Not a breaker
+            # signal — the source did nothing wrong.
+            self._denied_polls += 1
+            obs.counter_add("faults.denied_polls")
+            return PollReport(outcome=PollOutcome.UNREACHABLE,
+                              attempts=0, retries=0, changed=False,
+                              bandwidth=0.0)
+        attempts = 0
+        burned = 0.0
+        delay = 0.0
+        attempt_time = time
+        outcome = PollOutcome.UNREACHABLE
+        while True:
+            attempts += 1
+            self._attempted_polls += 1
+            self._attempt_counts[element] += 1
+            outcome = self._plan.outcome(element, attempt_time,
+                                         self._rng)
+            if self._trace is not None:
+                self._trace.append((attempt_time, int(element),
+                                    outcome.value))
+            if outcome is not PollOutcome.UNREACHABLE:
+                # The transfer ran (successfully or not): it burned
+                # the element's size from the period budget.
+                burned += size
+                self._period_spent += size
+                self._attempted_bandwidth += size
+            if outcome is PollOutcome.OK:
+                break
+            self._failed_polls += 1
+            if outcome is PollOutcome.UNREACHABLE:
+                self._unreachable_polls += 1
+                self._unreachable_counts[element] += 1
+            self._failed_counts[element] += 1
+            obs.counter_add(f"faults.{outcome.value}")
+            if not outcome.is_retryable or self._retry is None:
+                break
+            if attempts > self._retry.max_retries:
+                break
+            if self._budget is not None and \
+                    self._period_spent + size > self._budget:
+                self._denied_retries += 1
+                obs.counter_add("faults.denied_retries")
+                break
+            delay = self._retry.next_delay(delay, self._rng)
+            attempt_time += delay
+            self._retries += 1
+            obs.counter_add("faults.retries")
+
+        if outcome is PollOutcome.OK:
+            if self._breaker is not None:
+                self._breaker.record_success(shard, attempt_time)
+            changed = self._mirror.sync(element)
+            return PollReport(outcome=outcome, attempts=attempts,
+                              retries=attempts - 1, changed=changed,
+                              bandwidth=burned)
+        if self._breaker is not None:
+            self._breaker.record_failure(shard, attempt_time)
+        obs.counter_add("faults.failed_syncs")
+        return PollReport(outcome=outcome, attempts=attempts,
+                          retries=attempts - 1, changed=False,
+                          bandwidth=burned)
+
+    def _roll_period(self, time: float) -> None:
+        period = int(time / self._period_length)
+        if period > self._period:
+            self._period = period
+            self._period_spent = 0.0

@@ -1,0 +1,162 @@
+"""Retry policies: exponential backoff with decorrelated jitter.
+
+Backoff code is where wall clocks and ambient randomness sneak into
+otherwise reproducible systems, so this module obeys (and freshlint
+rule FL010 enforces) two injection rules:
+
+* all jitter draws come from an injected ``np.random.Generator``;
+* all sleeping and deadline arithmetic goes through injected
+  callables (a ``sleep`` function and a *monotonic* ``clock``) — the
+  simulator passes virtual time, production passes ``time.sleep`` /
+  ``time.monotonic``.
+
+The delay sequence is AWS-style *decorrelated jitter*: each delay is
+drawn uniformly from ``[base, 3·previous]`` and clamped to a cap,
+which spreads concurrent retriers apart instead of synchronizing
+them the way plain exponential backoff does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["RetryBudgetExhaustedError", "RetryPolicy",
+           "execute_with_retry"]
+
+T = TypeVar("T")
+
+
+class RetryBudgetExhaustedError(Exception):
+    """Every allowed attempt failed; carries the last error.
+
+    Attributes:
+        attempts: Total attempts made (initial try + retries).
+    """
+
+    def __init__(self, message: str, *, attempts: int) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with decorrelated jitter.
+
+    Attributes:
+        max_retries: Retries allowed after the initial attempt, >= 0.
+        base_delay: Lower bound of every jittered delay, in the
+            caller's clock units (period units in the simulator,
+            seconds in production), > 0.
+        max_delay: Upper clamp on any single delay, in the same clock
+            units, >= ``base_delay``.
+    """
+
+    max_retries: int = 3
+    base_delay: float = 0.01
+    max_delay: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValidationError(
+                f"max_retries must be >= 0, got {self.max_retries}")
+        if self.base_delay <= 0.0:
+            raise ValidationError(
+                f"base_delay must be > 0, got {self.base_delay}")
+        if self.max_delay < self.base_delay:
+            raise ValidationError(
+                f"max_delay must be >= base_delay, got "
+                f"{self.max_delay} < {self.base_delay}")
+
+    def next_delay(self, previous: float,
+                   rng: np.random.Generator) -> float:
+        """Draw the next backoff delay.
+
+        Args:
+            previous: The previous delay in clock units (pass 0.0
+                before the first retry).
+            rng: Seeded generator supplying the jitter.
+
+        Returns:
+            The next delay, in the caller's clock units, inside
+            ``[base_delay, max_delay]``.
+        """
+        anchor = max(3.0 * previous, self.base_delay)
+        drawn = float(rng.uniform(self.base_delay, anchor))
+        return min(drawn, self.max_delay)
+
+    def delays(self, rng: np.random.Generator) -> list[float]:
+        """The full delay sequence for one operation's retries.
+
+        Args:
+            rng: Seeded generator supplying the jitter.
+
+        Returns:
+            ``max_retries`` delays in clock units, in order.
+        """
+        out: list[float] = []
+        previous = 0.0
+        for _ in range(self.max_retries):
+            previous = self.next_delay(previous, rng)
+            out.append(previous)
+        return out
+
+
+def execute_with_retry(operation: Callable[[], T], *,
+                       policy: RetryPolicy,
+                       rng: np.random.Generator,
+                       sleep: Callable[[float], None],
+                       clock: Callable[[], float],
+                       deadline: float | None = None,
+                       retryable: tuple[type[BaseException], ...] =
+                       (Exception,)) -> T:
+    """Run ``operation`` under a retry policy with injected effects.
+
+    The production-side counterpart of the simulator's
+    :class:`~repro.faults.channel.SyncChannel` retry loop.  Both the
+    sleeper and the clock are injected so callers control real time
+    (``time.sleep`` / ``time.monotonic``) and tests control virtual
+    time; per FL010 neither is read ambiently here.
+
+    Args:
+        operation: The zero-argument callable to attempt.
+        policy: Backoff policy bounding retries and delays.
+        rng: Seeded generator supplying the jitter.
+        sleep: Called with each backoff delay, in clock units.
+        clock: Monotonic clock; only differences are used, in the
+            same clock units as the delays.
+        deadline: Optional total budget in clock units measured from
+            the first attempt; no retry starts past it.
+        retryable: Exception types that trigger a retry; anything
+            else propagates immediately.
+
+    Returns:
+        The first successful ``operation()`` result.
+
+    Raises:
+        RetryBudgetExhaustedError: When every allowed attempt failed;
+            the final exception is attached as ``__cause__``.
+    """
+    started = clock()
+    previous = 0.0
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            return operation()
+        except retryable as error:
+            if attempts > policy.max_retries:
+                raise RetryBudgetExhaustedError(
+                    f"operation failed after {attempts} attempts",
+                    attempts=attempts) from error
+            previous = policy.next_delay(previous, rng)
+            if deadline is not None and \
+                    (clock() - started) + previous > deadline:
+                raise RetryBudgetExhaustedError(
+                    f"retry deadline exhausted after {attempts} "
+                    "attempts", attempts=attempts) from error
+            sleep(previous)

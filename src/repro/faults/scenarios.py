@@ -1,0 +1,193 @@
+"""Named chaos scenarios: reusable fault configurations.
+
+Each scenario bundles a :class:`~repro.faults.model.FaultPlan`
+builder (parameterized on catalog size and horizon so outage windows
+can scale with the run) with the retry/breaker configuration the
+scenario is meant to exercise.  The ``repro chaos`` harness
+(:mod:`repro.analysis.chaos`) runs each scenario twice — against a
+fault-blind manager and a degraded-mode manager — and reports the
+perceived-freshness degradation and recovery series.
+
+Scenarios only *describe* faults; they import nothing from the
+simulator or runtime layers, so the fault vocabulary stays at the
+bottom of the layering (``errors`` < ``obs`` < ``faults`` < ``sim``
+< ``runtime``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.faults.model import (
+    FaultPlan,
+    GilbertElliottFaultModel,
+    IIDFaultModel,
+    LatencyFaultModel,
+    OutageWindow,
+    PollOutcome,
+)
+from repro.faults.retry import RetryPolicy
+
+__all__ = ["CHAOS_SCENARIOS", "ChaosScenario"]
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One named outage scenario.
+
+    Attributes:
+        name: CLI slug (``repro chaos --scenario NAME``).
+        description: One-line human summary.
+        build_plan: ``(n_elements, horizon) -> FaultPlan`` — horizon
+            in period units; called once per run so stateful models
+            (Gilbert–Elliott) start fresh.
+        retry_policy: Backoff policy the resilient manager uses
+            (None disables retries).
+        breaker_threshold: Consecutive failures that open a circuit,
+            or None for no breaker.
+        breaker_cooldown: Open-circuit cooldown, in period units.
+        grouped_fraction: When set, the first this-fraction of the
+            catalog shares one breaker shard (matching the scenario's
+            outage footprint) and the rest stay per-element.  Shard
+            granularity matters: a shared breaker sees the whole
+            group's poll stream, so it both opens fast and — via any
+            member's half-open probe — closes fast, where a cold
+            element's private breaker can stay open for periods
+            simply because nothing polls it.
+    """
+
+    name: str
+    description: str
+    build_plan: Callable[[int, float], FaultPlan]
+    retry_policy: RetryPolicy | None = RetryPolicy()
+    breaker_threshold: int | None = None
+    breaker_cooldown: float = 1.0
+    grouped_fraction: float | None = None
+
+    def plan(self, n_elements: int, horizon: float) -> FaultPlan:
+        """Build a fresh fault plan for one run.
+
+        Args:
+            n_elements: Catalog size.
+            horizon: Total simulated time, in period units.
+
+        Returns:
+            A new :class:`FaultPlan` (fresh stochastic state).
+        """
+        return self.build_plan(n_elements, horizon)
+
+    def shard_of(self, n_elements: int) -> np.ndarray | None:
+        """Element → breaker-shard map for this scenario.
+
+        Returns:
+            None for identity sharding (one breaker per element);
+            otherwise shape ``(n_elements,)`` where the grouped
+            prefix shares shard 0.
+        """
+        if self.grouped_fraction is None:
+            return None
+        grouped = max(int(n_elements * self.grouped_fraction), 1)
+        shards = np.zeros(n_elements, dtype=np.int64)
+        shards[grouped:] = np.arange(1, n_elements - grouped + 1)
+        return shards
+
+    def n_shards(self, n_elements: int) -> int:
+        """Breaker shard count implied by :meth:`shard_of`."""
+        shards = self.shard_of(n_elements)
+        if shards is None:
+            return n_elements
+        return int(shards.max()) + 1
+
+
+def _iid20_plan(n_elements: int, horizon: float) -> FaultPlan:
+    return FaultPlan.iid(0.2)
+
+
+def _burst_plan(n_elements: int, horizon: float) -> FaultPlan:
+    return FaultPlan(models=(GilbertElliottFaultModel(
+        0.05, 0.25, loss_good=0.02, loss_bad=0.95),))
+
+
+def _outage_plan(n_elements: int, horizon: float) -> FaultPlan:
+    shard = tuple(range(max(n_elements // 5, 1)))
+    window = OutageWindow(start=horizon / 3.0,
+                          end=2.0 * horizon / 3.0,
+                          elements=shard)
+    return FaultPlan(models=(IIDFaultModel(0.02),),
+                     outages=(window,))
+
+
+def _latency_plan(n_elements: int, horizon: float) -> FaultPlan:
+    # exp(-timeout/mean) = exp(-1.9) ~ 15% of attempts blow the
+    # deadline.
+    return FaultPlan(models=(LatencyFaultModel(0.1, 0.19),))
+
+
+def _flaky_shard_plan(n_elements: int, horizon: float) -> FaultPlan:
+    shard = tuple(range(max(n_elements // 10, 1)))
+    flapping = tuple(
+        OutageWindow(start=start, end=start + 1.5, elements=shard)
+        for start in _window_starts(horizon))
+    return FaultPlan(models=(IIDFaultModel(
+        0.05, failure=PollOutcome.TIMEOUT),), outages=flapping)
+
+
+def _window_starts(horizon: float) -> list[float]:
+    starts: list[float] = []
+    start = horizon / 5.0
+    while start + 1.5 < horizon:
+        starts.append(start)
+        start += 4.0
+    return starts or [horizon / 5.0]
+
+
+CHAOS_SCENARIOS: Mapping[str, ChaosScenario] = {
+    scenario.name: scenario
+    for scenario in (
+        ChaosScenario(
+            name="iid20",
+            description="20% i.i.d. poll failure for the whole run",
+            build_plan=_iid20_plan,
+            retry_policy=RetryPolicy(max_retries=3),
+        ),
+        ChaosScenario(
+            name="burst",
+            description="Gilbert-Elliott bursty loss (95% inside "
+                        "bad sojourns)",
+            build_plan=_burst_plan,
+            retry_policy=RetryPolicy(max_retries=2),
+            breaker_threshold=4,
+            breaker_cooldown=2.0,
+        ),
+        ChaosScenario(
+            name="outage",
+            description="middle-third outage of the first fifth of "
+                        "the catalog, plus 2% background loss",
+            build_plan=_outage_plan,
+            retry_policy=RetryPolicy(max_retries=2),
+            breaker_threshold=3,
+            breaker_cooldown=0.5,
+            grouped_fraction=0.2,
+        ),
+        ChaosScenario(
+            name="latency",
+            description="exponential latency draws; ~15% of attempts "
+                        "exceed the deadline",
+            build_plan=_latency_plan,
+            retry_policy=RetryPolicy(max_retries=3),
+        ),
+        ChaosScenario(
+            name="flaky-shard",
+            description="one shard flaps down for 1.5 periods every "
+                        "4, plus 5% timeouts",
+            build_plan=_flaky_shard_plan,
+            retry_policy=RetryPolicy(max_retries=2),
+            breaker_threshold=3,
+            breaker_cooldown=0.5,
+            grouped_fraction=0.1,
+        ),
+    )
+}

@@ -49,6 +49,11 @@ class BeliefState:
             right for stationary sources; values below 1 let the rate
             estimates track *drifting* change rates the same way the
             profile learner tracks drifting interest.
+        loss_decay: Per-period decay of the wire-level attempt
+            statistics behind :meth:`believed_loss_rate`, in
+            ``(0, 1]``.  The default (0.7) weights the last few
+            periods heavily so the loss estimate tracks outages
+            starting and ending within a handful of periods.
     """
 
     def __init__(self, n_elements: int, *,
@@ -57,7 +62,8 @@ class BeliefState:
                  profile_decay: float = 0.9,
                  profile_smoothing: float = 0.5,
                  rate_blend_polls: float = 4.0,
-                 rate_decay: float = 1.0) -> None:
+                 rate_decay: float = 1.0,
+                 loss_decay: float = 0.7) -> None:
         if n_elements < 1:
             raise ValidationError(
                 f"n_elements must be >= 1, got {n_elements}")
@@ -70,7 +76,13 @@ class BeliefState:
         if not 0.0 < rate_decay <= 1.0:
             raise ValidationError(
                 f"rate_decay must be in (0, 1], got {rate_decay}")
+        if not 0.0 < loss_decay <= 1.0:
+            raise ValidationError(
+                f"loss_decay must be in (0, 1], got {loss_decay}")
         self._rate_decay = rate_decay
+        self._loss_decay = loss_decay
+        self._fault_attempts = 0.0
+        self._fault_failures = 0.0
         self._n = n_elements
         if sizes is None:
             self._sizes = np.ones(n_elements)
@@ -140,6 +152,43 @@ class BeliefState:
                              poll_counts / np.maximum(frequencies,
                                                       1e-300), 0.0)
         self._poll_time += spans
+
+    def observe_faults(self, attempted: int, failed: int) -> None:
+        """Fold one period's wire-level attempt accounting in.
+
+        Kept separate from :meth:`observe_period` deliberately:
+        ``poll_counts`` there must only carry *successful* polls (a
+        failed attempt reveals nothing about whether the element
+        changed), while the attempt/failure totals here drive the
+        channel-quality estimate.
+
+        Args:
+            attempted: Poll attempts made on the wire this period
+                (including retries).
+            failed: Attempts that failed, ``0 <= failed <=
+                attempted``.
+        """
+        if attempted < 0 or failed < 0 or failed > attempted:
+            raise ValidationError(
+                f"need 0 <= failed <= attempted, got failed={failed} "
+                f"attempted={attempted}")
+        self._fault_attempts = (self._loss_decay * self._fault_attempts
+                                + attempted)
+        self._fault_failures = (self._loss_decay * self._fault_failures
+                                + failed)
+
+    def believed_loss_rate(self) -> float:
+        """Decayed estimate of the poll-attempt failure rate.
+
+        Returns:
+            The fraction of recent attempts that failed, in
+            ``[0, 1]``; 0.0 before any attempt has been observed (so
+            a fault-free manager plans against exactly B).
+        """
+        if self._fault_attempts <= 0.0:
+            return 0.0
+        return float(min(self._fault_failures / self._fault_attempts,
+                         1.0))
 
     def believed_profile(self) -> np.ndarray:
         """Current profile estimate (a probability vector)."""

@@ -30,8 +30,12 @@ import numpy as np
 from repro.core.freshener import Freshener, PerceivedFreshener
 from repro.core.metrics import perceived_freshness
 from repro.errors import ValidationError
+from repro.faults.breaker import CircuitBreaker
+from repro.faults.model import FaultPlan
+from repro.faults.retry import RetryPolicy
 from repro.obs import registry as obs
 from repro.runtime.beliefs import BeliefState
+from repro.sim.evaluator import SimulationResult
 from repro.sim.simulation import Simulation
 from repro.workloads.catalog import Catalog
 
@@ -56,6 +60,9 @@ class PeriodReport:
             before the replan decision.
         n_accesses: Accesses served this period.
         wasted_polls: Fraction of polls that found no change.
+        failed_polls: Wire attempts that failed this period (0 on a
+            fault-free run).
+        retries: Retry attempts made this period.
     """
 
     period: int
@@ -66,6 +73,8 @@ class PeriodReport:
     profile_divergence: float
     n_accesses: int
     wasted_polls: float
+    failed_polls: int = 0
+    retries: int = 0
 
 
 class AdaptiveMirrorManager:
@@ -87,6 +96,49 @@ class AdaptiveMirrorManager:
             this far (TV distance) from the planned-on profile.
         replan_every: Also replan unconditionally every this many
             periods (0 disables the cadence).
+        fault_plan: Optional fault plan injected into every period's
+            simulation (None, or a quiet plan, keeps the classic
+            fault-free loop bit-identical).
+        retry_policy: Backoff policy the sync channel retries under.
+        breaker: Optional per-shard circuit breaker; held by the
+            manager so its state persists across periods on one
+            global fault clock.
+        shard_of: Element → breaker-shard map (identity by default).
+        fault_aware: When True (default), the manager *plans around*
+            the faults it observes: it derates bandwidth to
+            ``B·(1−loss)`` using the believed loss rate (leaving
+            headroom the channel's ledger grants to retries), and on
+            a detected shard outage zeroes the unreachable elements'
+            frequencies and re-solves the Core Problem over the
+            reachable set.  False gives the fault-*blind* baseline:
+            same faulty channel, planning as if the wire were
+            perfect.
+        replan_loss_drift: Replan when the believed loss rate moves
+            this far from the rate the active schedule was derated
+            for.
+        max_loss_compensation: Cap on the derate factor, so a dead
+            channel still leaves ``B·(1−cap)`` of schedule (the
+            polls themselves are how the manager discovers
+            recovery).
+        probe_frequency: Heartbeat frequency kept on elements a
+            degraded plan marks unreachable (per period).  Nearly
+            free while the shard is down — open-breaker polls are
+            skipped without touching the wire — but without it the
+            breaker would never see the half-open probe that
+            detects recovery, and a dead shard would stay dead
+            forever.  The rate also bounds the recovery lag: after
+            the source comes back, probes are the only syncs the
+            group gets until the next replan restores its full
+            allocation, so one period of roughly ``probe_frequency``
+            coverage is the price of the failover.
+        outage_confirmation: Consecutive end-of-period observations
+            an element must stay unreachable before degraded
+            planning drops it (>= 1).  The debounce that keeps a
+            *flapping* shard from being zeroed during its up-windows:
+            dropping a shard that recovers a moment later costs real
+            polls, while blindly polling a down shard costs nothing
+            (unreachable fast-fails are free), so the replanner
+            should only give up on outages that persist.
     """
 
     def __init__(self, true_catalog: Catalog, bandwidth: float, *,
@@ -94,7 +146,16 @@ class AdaptiveMirrorManager:
                  freshener: Freshener | None = None,
                  beliefs: BeliefState | None = None,
                  replan_divergence: float = 0.05,
-                 replan_every: int = 0) -> None:
+                 replan_every: int = 0,
+                 fault_plan: FaultPlan | None = None,
+                 retry_policy: RetryPolicy | None = None,
+                 breaker: CircuitBreaker | None = None,
+                 shard_of: np.ndarray | None = None,
+                 fault_aware: bool = True,
+                 replan_loss_drift: float = 0.05,
+                 max_loss_compensation: float = 0.95,
+                 probe_frequency: float = 2.0,
+                 outage_confirmation: int = 2) -> None:
         if bandwidth <= 0.0:
             raise ValidationError(
                 f"bandwidth must be > 0, got {bandwidth}")
@@ -105,6 +166,21 @@ class AdaptiveMirrorManager:
         if replan_every < 0:
             raise ValidationError(
                 f"replan_every must be >= 0, got {replan_every}")
+        if not 0.0 <= replan_loss_drift <= 1.0:
+            raise ValidationError(
+                "replan_loss_drift must be in [0, 1], got "
+                f"{replan_loss_drift}")
+        if not 0.0 <= max_loss_compensation < 1.0:
+            raise ValidationError(
+                "max_loss_compensation must be in [0, 1), got "
+                f"{max_loss_compensation}")
+        if probe_frequency < 0.0:
+            raise ValidationError(
+                f"probe_frequency must be >= 0, got {probe_frequency}")
+        if outage_confirmation < 1:
+            raise ValidationError(
+                "outage_confirmation must be >= 1, got "
+                f"{outage_confirmation}")
         self._true_catalog = true_catalog
         self._bandwidth = bandwidth
         self._request_rate = request_rate
@@ -117,9 +193,41 @@ class AdaptiveMirrorManager:
             prior_rate=max(mean_rate, 1e-6))
         self._replan_divergence = replan_divergence
         self._replan_every = replan_every
+        self._fault_plan = fault_plan
+        self._retry_policy = retry_policy
+        self._breaker = breaker
+        self._shard_of = shard_of
+        self._fault_aware = fault_aware
+        self._replan_loss_drift = replan_loss_drift
+        self._max_loss = max_loss_compensation
+        self._probe_frequency = probe_frequency
+        self._outage_confirmation = outage_confirmation
+        self._faulty = (fault_plan is not None
+                        and not fault_plan.is_quiet)
+        # Fault draws live on their own spawned generator so the
+        # workload stream (updates, accesses, phases) drawn from the
+        # main rng is identical across fault-free / blind / aware
+        # runs of the same seed — common random numbers, without
+        # which a chaos comparison mostly measures update-draw luck
+        # on the elements nobody can reach.  spawn() derives the
+        # child from the seed sequence without advancing the parent's
+        # draw stream, so fault-free runs stay bit-identical.
+        self._fault_rng: np.random.Generator | None = None
+        if self._faulty:
+            try:
+                self._fault_rng = rng.spawn(1)[0]
+            except (AttributeError, TypeError, ValueError):
+                # No seed sequence to spawn from (hand-built bit
+                # generator): derive a child the draw-consuming way.
+                self._fault_rng = np.random.default_rng(
+                    int(rng.integers(np.iinfo(np.int64).max)))
         self._planned_profile: np.ndarray | None = None
         self._frequencies: np.ndarray | None = None
         self._periods_since_replan = 0
+        self._planned_loss = 0.0
+        self._planned_unreachable: np.ndarray | None = None
+        self._last_unreachable: np.ndarray | None = None
+        self._outage_streak: np.ndarray | None = None
 
     @property
     def beliefs(self) -> BeliefState:
@@ -148,14 +256,129 @@ class AdaptiveMirrorManager:
                 f"expected {self._true_catalog.n_elements}")
         self._true_catalog = true_catalog
 
+    def _believed_loss(self) -> float:
+        if not self._fault_aware:
+            return 0.0
+        return min(self._beliefs.believed_loss_rate(), self._max_loss)
+
+    def _observe_loss(self, result: SimulationResult) -> None:
+        """Feed this period's wire loss into the belief state.
+
+        Only transfer-level failures count — they burn bandwidth, so
+        derating B compensates for them.  Unreachable fast-fails are
+        free (the outage mask, not the derate, is their remedy), and
+        elements in a *confirmed* outage are excluded entirely:
+        their losses are already answered by zeroing them out of the
+        plan, and double-counting them in the derate would starve
+        the healthy elements too (bursty workloads made this
+        visible — the loss belief soaked up the bad sojourns the
+        breaker had already masked).
+        """
+        attempted = result.attempted_poll_counts
+        failed = result.failed_poll_counts
+        unreachable = result.unreachable_poll_counts
+        if attempted is None or failed is None or unreachable is None:
+            self._beliefs.observe_faults(
+                result.attempted_polls - result.unreachable_polls,
+                result.failed_polls - result.unreachable_polls)
+            return
+        wire_attempts = attempted - unreachable
+        wire_failures = failed - unreachable
+        outage = self._current_outage()
+        if outage is not None:
+            wire_attempts = wire_attempts[~outage]
+            wire_failures = wire_failures[~outage]
+        self._beliefs.observe_faults(int(wire_attempts.sum()),
+                                     int(wire_failures.sum()))
+
+    def _current_outage(self) -> np.ndarray | None:
+        """The unreachable mask degraded planning should honor.
+
+        Only elements unreachable for ``outage_confirmation``
+        consecutive period ends count — a flap shorter than the
+        confirmation window never makes it into a plan.
+        """
+        if not self._fault_aware or self._outage_streak is None:
+            return None
+        confirmed = self._outage_streak >= self._outage_confirmation
+        if not confirmed.any():
+            return None
+        return confirmed
+
+    def _outage_changed(self) -> bool:
+        now = self._current_outage()
+        planned = self._planned_unreachable
+        if now is None and planned is None:
+            return False
+        if now is None or planned is None:
+            return True
+        return bool((now != planned).any())
+
     def _replan(self) -> float:
         with obs.span("manager.plan"):
             believed = self._beliefs.believed_catalog()
-            plan = self._freshener.plan(believed, self._bandwidth)
-        self._frequencies = plan.frequencies
+            loss = self._believed_loss()
+            # Degraded-mode bandwidth: with loss rate ℓ, only
+            # (1−ℓ) of attempts refresh anything, and the failed
+            # ones still burn budget — plan the schedule against the
+            # effective B·(1−ℓ) so the channel's ledger has the
+            # headroom to grant retries.
+            effective = self._bandwidth * (1.0 - loss)
+            unreachable = self._current_outage()
+            if unreachable is None:
+                plan = self._freshener.plan(believed, effective)
+                frequencies = plan.frequencies
+                believed_pf = plan.perceived_freshness
+            elif unreachable.all():
+                # Nothing reachable: schedule heartbeats only, so
+                # recovery is noticed the moment the source returns.
+                frequencies = np.full(believed.n_elements,
+                                      self._probe_frequency)
+                believed_pf = perceived_freshness(believed,
+                                                  np.zeros_like(
+                                                      frequencies))
+            else:
+                # Outage mode: zero the dead elements and re-solve
+                # the Core Problem over the reachable set, with the
+                # believed profile renormalized onto it.
+                reachable = ~unreachable
+                mass = float(
+                    believed.access_probabilities[reachable].sum())
+                if mass > 0.0:
+                    profile = (believed.access_probabilities[reachable]
+                               / mass)
+                else:
+                    n_up = int(reachable.sum())
+                    profile = np.full(n_up, 1.0 / n_up)
+                sub = Catalog(
+                    access_probabilities=profile,
+                    change_rates=believed.change_rates[reachable],
+                    sizes=believed.sizes[reachable])
+                plan = self._freshener.plan(sub, effective)
+                frequencies = np.zeros(believed.n_elements)
+                frequencies[reachable] = plan.frequencies
+                # Expected PF counts only the reachable syncs; the
+                # probe heartbeat below is for recovery detection,
+                # not freshness.
+                believed_pf = perceived_freshness(believed,
+                                                  frequencies)
+                frequencies[unreachable] = self._probe_frequency
+        self._frequencies = frequencies
         self._planned_profile = believed.access_probabilities.copy()
+        self._planned_loss = loss
+        self._planned_unreachable = (unreachable.copy()
+                                     if unreachable is not None
+                                     else None)
         self._periods_since_replan = 0
-        return plan.perceived_freshness
+        if obs.telemetry_enabled():
+            obs.gauge_set("manager.believed_loss", loss)
+            obs.gauge_set("manager.effective_bandwidth", effective)
+            if unreachable is not None:
+                obs.event("manager.degraded_plan",
+                          unreachable=int(unreachable.sum()),
+                          believed_loss=loss,
+                          effective_bandwidth=effective)
+        return float(believed_pf)
 
     def run_period(self, period: int) -> PeriodReport:
         """Execute one period of the adaptive loop.
@@ -175,13 +398,23 @@ class AdaptiveMirrorManager:
                        self._periods_since_replan >= self._replan_every)
         drift_due = (self._frequencies is not None
                      and divergence > self._replan_divergence)
-        replanned = (self._frequencies is None or drift_due or cadence_due)
+        loss_due = (self._frequencies is not None
+                    and abs(self._believed_loss() - self._planned_loss)
+                    > self._replan_loss_drift)
+        outage_due = (self._frequencies is not None
+                      and self._outage_changed())
+        replanned = (self._frequencies is None or drift_due
+                     or cadence_due or loss_due or outage_due)
         tel = obs.telemetry_enabled()
         if replanned:
             if tel:
                 obs.counter_add("manager.replans")
                 if drift_due:
                     obs.counter_add("manager.drift_replans")
+                elif outage_due:
+                    obs.counter_add("manager.outage_replans")
+                elif loss_due:
+                    obs.counter_add("manager.loss_replans")
                 elif cadence_due:
                     obs.counter_add("manager.cadence_replans")
             believed_pf = self._replan()
@@ -192,7 +425,16 @@ class AdaptiveMirrorManager:
 
         simulation = Simulation(self._true_catalog, self._frequencies,
                                 request_rate=self._request_rate,
-                                rng=self._rng)
+                                rng=self._rng,
+                                fault_plan=self._fault_plan,
+                                retry_policy=self._retry_policy,
+                                breaker=self._breaker,
+                                shard_of=self._shard_of,
+                                bandwidth_budget=(self._bandwidth
+                                                  if self._faulty
+                                                  else None),
+                                fault_rng=self._fault_rng,
+                                fault_time_offset=float(period - 1))
         with obs.span("manager.simulate"):
             result = simulation.run(n_periods=1)
         with obs.span("manager.estimate"):
@@ -200,6 +442,17 @@ class AdaptiveMirrorManager:
                                          result.poll_counts,
                                          result.changed_poll_counts,
                                          self._frequencies)
+            if self._faulty:
+                self._last_unreachable = result.unreachable_elements
+                if self._last_unreachable is not None:
+                    if self._outage_streak is None:
+                        self._outage_streak = np.zeros(
+                            self._last_unreachable.shape[0],
+                            dtype=np.int64)
+                    self._outage_streak = np.where(
+                        self._last_unreachable,
+                        self._outage_streak + 1, 0)
+                self._observe_loss(result)
         self._periods_since_replan += 1
 
         achieved = perceived_freshness(self._true_catalog,
@@ -213,7 +466,9 @@ class AdaptiveMirrorManager:
                       achieved_pf=achieved,
                       monitored_pf=result.monitored_perceived_freshness,
                       profile_divergence=divergence,
-                      wasted_polls=result.wasted_sync_fraction)
+                      wasted_polls=result.wasted_sync_fraction,
+                      failed_polls=result.failed_polls,
+                      retries=result.retries)
         return PeriodReport(
             period=period,
             replanned=replanned,
@@ -223,6 +478,8 @@ class AdaptiveMirrorManager:
             profile_divergence=divergence,
             n_accesses=result.n_accesses,
             wasted_polls=result.wasted_sync_fraction,
+            failed_polls=result.failed_polls,
+            retries=result.retries,
         )
 
     def run(self, n_periods: int) -> list[PeriodReport]:

@@ -170,6 +170,35 @@ class SimulationResult:
         changed_poll_counts: Polls that found a new version per
             element — together with ``poll_counts``, the censored
             observations change-rate estimators consume.
+        attempted_polls: Poll attempts made on the wire, including
+            retries (equals ``n_syncs`` on a fault-free run).
+        failed_polls: Attempts that failed (timeout, error, or
+            unreachable); 0 on a fault-free run.
+        unreachable_polls: Failed attempts that never reached the
+            wire (``unreachable`` fast-fails, free of bandwidth) —
+            exclude them from transfer-loss estimates.
+        retries: Attempts beyond each scheduled sync's first; 0
+            without a retry policy.
+        breaker_skips: Scheduled syncs fast-failed by an open
+            circuit breaker without touching the wire.
+        denied_polls: Scheduled syncs denied outright because the
+            period's bandwidth budget was already spent.
+        attempted_bandwidth: Bandwidth burned across every attempt,
+            in size units (equals ``bandwidth_used`` on a fault-free
+            run — failed transfers burn budget without refreshing).
+        attempted_poll_counts: Attempts per element, or None on a
+            fault-free run.
+        failed_poll_counts: Failed attempts per element, or None on
+            a fault-free run.
+        unreachable_poll_counts: Unreachable fast-fails per element,
+            or None on a fault-free run.  ``failed − unreachable``
+            per element is the wire-level loss that actually burned
+            bandwidth.
+        unreachable_elements: Boolean mask of elements whose breaker
+            shard ended the run OPEN, or None without a breaker.
+        fault_trace: Per-attempt ``(time, element, outcome)`` tape
+            when the run was asked to record one, else None — the
+            byte-comparable artifact determinism tests diff.
     """
 
     catalog: Catalog
@@ -190,6 +219,18 @@ class SimulationResult:
     access_counts: np.ndarray
     poll_counts: np.ndarray
     changed_poll_counts: np.ndarray
+    attempted_polls: int = 0
+    failed_polls: int = 0
+    unreachable_polls: int = 0
+    retries: int = 0
+    breaker_skips: int = 0
+    denied_polls: int = 0
+    attempted_bandwidth: float = 0.0
+    attempted_poll_counts: np.ndarray | None = None
+    failed_poll_counts: np.ndarray | None = None
+    unreachable_poll_counts: np.ndarray | None = None
+    unreachable_elements: np.ndarray | None = None
+    fault_trace: tuple[tuple[float, int, str], ...] | None = None
 
     def analytic(self, *, model: FreshnessModel | None = None
                  ) -> tuple[float, float]:
@@ -212,3 +253,10 @@ class SimulationResult:
         if self.n_syncs == 0:
             return 0.0
         return 1.0 - self.useful_syncs / self.n_syncs
+
+    @property
+    def poll_failure_fraction(self) -> float:
+        """Fraction of wire attempts that failed (0 when fault-free)."""
+        if self.attempted_polls == 0:
+            return 0.0
+        return self.failed_polls / self.attempted_polls

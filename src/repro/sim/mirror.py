@@ -53,6 +53,14 @@ class Mirror:
         return int(self._copy_versions.shape[0])
 
     @property
+    def sizes(self) -> np.ndarray:
+        """Per-element sizes used for bandwidth accounting, in size
+        units (read-only view)."""
+        view = self._sizes.view()
+        view.flags.writeable = False
+        return view
+
+    @property
     def total_syncs(self) -> int:
         """Sync operations performed so far."""
         return self._sync_count

@@ -19,9 +19,17 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.contracts import check_sync_conservation, contracts_enabled
+from repro.contracts import (
+    check_attempt_budget,
+    check_sync_conservation,
+    contracts_enabled,
+)
 from repro.core.scheduler import PhasePolicy, SyncSchedule
 from repro.errors import ValidationError
+from repro.faults.breaker import CircuitBreaker
+from repro.faults.channel import SyncChannel
+from repro.faults.model import FaultPlan, PollOutcome
+from repro.faults.retry import RetryPolicy
 from repro.obs import registry as obs
 from repro.sim.events import EventKind, EventStream, merge_streams
 from repro.sim.evaluator import FreshnessMonitor, SimulationResult
@@ -46,7 +54,8 @@ class _PeriodTracker:
 
     __slots__ = ("_sizes", "_period_length", "_mirror", "_planned",
                  "_period", "syncs", "bandwidth", "updates",
-                 "accesses", "fresh_accesses")
+                 "accesses", "fresh_accesses", "failed_polls",
+                 "retries")
 
     def __init__(self, catalog: Catalog, frequencies: np.ndarray,
                  period_length: float, mirror: Mirror) -> None:
@@ -60,6 +69,8 @@ class _PeriodTracker:
         self.updates = 0
         self.accesses = 0
         self.fresh_accesses = 0
+        self.failed_polls = 0
+        self.retries = 0
 
     def advance_to(self, time: float) -> None:
         """Flush any periods fully elapsed before ``time``."""
@@ -101,6 +112,8 @@ class _PeriodTracker:
             fresh_fraction=(self.fresh_accesses / self.accesses
                             if self.accesses else 1.0),
             mean_freshness=float(self._mirror.freshness_vector().mean()),
+            failed_polls=self.failed_polls,
+            retries=self.retries,
         )
         obs.counter_add("sim.periods")
         obs.gauge_set("sim.budget_utilization", utilization)
@@ -109,6 +122,8 @@ class _PeriodTracker:
         self.updates = 0
         self.accesses = 0
         self.fresh_accesses = 0
+        self.failed_polls = 0
+        self.retries = 0
 
 
 class Simulation:
@@ -127,6 +142,37 @@ class Simulation:
             UPDATE events — e.g. :class:`~repro.sim.bursty.
             BurstyUpdateGenerator` for model-misspecification
             studies).  Defaults to the catalog's Poisson processes.
+        fault_plan: Optional fault plan for the sync path.  None (or
+            a quiet plan) keeps the classic fault-free path and is a
+            true no-op: no extra random draws, bit-identical results.
+        retry_policy: Backoff policy for retryable poll failures
+            (only meaningful with a fault plan).
+        breaker: Optional per-shard circuit breaker (only meaningful
+            with a fault plan).
+        shard_of: Element → breaker-shard map, shape
+            ``(n_elements,)``; identity by default.
+        bandwidth_budget: Per-period attempt budget B for the
+            channel's retry ledger, in size units per period.
+            Defaults to the schedule's planned spend
+            ``Σ sizeᵢ·fᵢ`` — a schedule planned below the real
+            budget therefore has retry headroom, a tight one does
+            not.
+        fault_rng: Optional dedicated generator for the fault layer
+            (fault draws, retry jitter).  When given, the workload
+            stream (updates, accesses, phases) drawn from ``rng`` is
+            identical whatever the faults do — the common-random-
+            numbers setup paired fault/no-fault comparisons need.
+            Defaults to sharing ``rng``.
+        record_fault_trace: When True (and a fault plan is active),
+            the result carries the per-attempt ``fault_trace`` tape
+            for determinism audits.
+        fault_time_offset: Added to event times before they reach
+            the fault layer (plan, breaker, retry ledger), in clock
+            units.  Lets a caller that runs one period at a time —
+            the adaptive manager — keep outage windows and breaker
+            cooldowns on one global clock while each run's local
+            clock restarts at zero.  Must be a whole number of
+            periods so the channel's budget ledger stays aligned.
     """
 
     def __init__(self, catalog: Catalog, frequencies: np.ndarray, *,
@@ -134,7 +180,15 @@ class Simulation:
                  period_length: float = 1.0,
                  phase_policy: PhasePolicy | str =
                  PhasePolicy.STAGGERED,
-                 update_generator: UpdateGenerator | None = None
+                 update_generator: UpdateGenerator | None = None,
+                 fault_plan: FaultPlan | None = None,
+                 retry_policy: RetryPolicy | None = None,
+                 breaker: CircuitBreaker | None = None,
+                 shard_of: np.ndarray | None = None,
+                 bandwidth_budget: float | None = None,
+                 fault_rng: np.random.Generator | None = None,
+                 record_fault_trace: bool = False,
+                 fault_time_offset: float = 0.0
                  ) -> None:
         frequencies = np.asarray(frequencies, dtype=float)
         if frequencies.shape != (catalog.n_elements,):
@@ -144,10 +198,27 @@ class Simulation:
         if request_rate <= 0.0:
             raise ValidationError(
                 f"request_rate must be > 0, got {request_rate}")
+        if bandwidth_budget is not None and bandwidth_budget <= 0.0:
+            raise ValidationError(
+                f"bandwidth_budget must be > 0, got {bandwidth_budget}")
+        remainder = fault_time_offset % period_length
+        if fault_time_offset < 0.0 or min(
+                remainder, period_length - remainder) > 1e-9:
+            raise ValidationError(
+                "fault_time_offset must be a non-negative whole "
+                f"number of periods, got {fault_time_offset}")
         self._catalog = catalog
         self._frequencies = frequencies
         self._period_length = period_length
         self._rng = rng
+        self._fault_plan = fault_plan
+        self._retry_policy = retry_policy
+        self._breaker = breaker
+        self._shard_of = shard_of
+        self._bandwidth_budget = bandwidth_budget
+        self._fault_rng = fault_rng
+        self._record_fault_trace = record_fault_trace
+        self._fault_time_offset = fault_time_offset
         self._schedule = SyncSchedule.from_frequencies(
             frequencies, period_length=period_length,
             phase_policy=phase_policy, rng=rng)
@@ -191,6 +262,27 @@ class Simulation:
         mirror = Mirror(source, sizes=self._catalog.sizes)
         monitor = FreshnessMonitor(self._catalog.n_elements, horizon)
 
+        # A quiet (or absent) fault plan bypasses the channel
+        # entirely: the classic path below consumes no extra random
+        # draws, so fault-free results stay bit-identical.
+        planned_per_period = float(self._catalog.sizes @ self._frequencies)
+        channel: SyncChannel | None = None
+        budget: float | None = None
+        if self._fault_plan is not None and not self._fault_plan.is_quiet:
+            budget = (self._bandwidth_budget
+                      if self._bandwidth_budget is not None
+                      else (planned_per_period
+                            if planned_per_period > 0.0 else None))
+            channel = SyncChannel(
+                mirror, plan=self._fault_plan,
+                rng=(self._fault_rng if self._fault_rng is not None
+                     else self._rng),
+                retry_policy=self._retry_policy,
+                breaker=self._breaker, shard_of=self._shard_of,
+                bandwidth_budget=budget,
+                period_length=self._period_length,
+                record_trace=self._record_fault_trace)
+
         useful_syncs = 0
         n_updates = 0
         n_accesses = 0
@@ -218,13 +310,35 @@ class Simulation:
                     if tracker is not None:
                         tracker.updates += 1
                 elif kind == sync_kind:
-                    polls[element] += 1
-                    if mirror.sync(element):
-                        useful_syncs += 1
-                        changed_polls[element] += 1
-                    monitor.note_sync(element, time)
-                    if tracker is not None:
-                        tracker.note_sync(element)
+                    if channel is None:
+                        polls[element] += 1
+                        if mirror.sync(element):
+                            useful_syncs += 1
+                            changed_polls[element] += 1
+                        monitor.note_sync(element, time)
+                        if tracker is not None:
+                            tracker.note_sync(element)
+                    else:
+                        report = channel.sync(
+                            element, time + self._fault_time_offset)
+                        succeeded = report.outcome is PollOutcome.OK
+                        if succeeded:
+                            # Only successful polls count as censored
+                            # change-rate observations — a failed
+                            # attempt reveals nothing about whether
+                            # the element changed.
+                            polls[element] += 1
+                            if report.changed:
+                                useful_syncs += 1
+                                changed_polls[element] += 1
+                            monitor.note_sync(element, time)
+                            if tracker is not None:
+                                tracker.note_sync(element)
+                        if tracker is not None:
+                            tracker.retries += report.retries
+                            tracker.failed_polls += (
+                                report.attempts - 1 if succeeded
+                                else report.attempts)
                 else:
                     fresh = mirror.serve_access(element)
                     monitor.note_access(element, time, fresh)
@@ -243,12 +357,25 @@ class Simulation:
             # granularity (at most one extra sync per scheduled
             # element over the horizon).
             scheduled = self._frequencies > 0.0
+            granularity = float(self._catalog.sizes[scheduled].sum())
             check_sync_conservation(
                 mirror.bandwidth_used,
-                float(self._catalog.sizes @ self._frequencies),
+                planned_per_period,
                 n_periods,
-                float(self._catalog.sizes[scheduled].sum()),
+                granularity,
                 where="Simulation.run")
+            if channel is not None and budget is not None:
+                # Attempt accounting: every attempt, initial or
+                # retry, is gated by the channel's period ledger, so
+                # attempted bandwidth can never exceed B per period
+                # (granularity slack only covers ceil effects at the
+                # horizon's partial last period).
+                check_attempt_budget(
+                    channel.attempted_bandwidth,
+                    budget,
+                    float(np.ceil(n_periods)),
+                    granularity,
+                    where="Simulation.run")
 
         element_freshness = monitor.element_time_freshness()
         element_age = monitor.element_time_age()
@@ -266,6 +393,13 @@ class Simulation:
                           float(perceived_by_accesses))
             obs.gauge_set("sim.monitored_general_freshness",
                           float(element_freshness.mean()))
+            if channel is not None:
+                obs.gauge_set("sim.attempted_bandwidth",
+                              channel.attempted_bandwidth)
+                obs.gauge_set(
+                    "sim.poll_failure_fraction",
+                    (channel.failed_polls / channel.attempted_polls
+                     if channel.attempted_polls else 0.0))
         return SimulationResult(
             catalog=self._catalog,
             frequencies=self._frequencies,
@@ -285,4 +419,32 @@ class Simulation:
             access_counts=monitor.access_counts(),
             poll_counts=polls,
             changed_poll_counts=changed_polls,
+            attempted_polls=(channel.attempted_polls
+                             if channel is not None
+                             else mirror.total_syncs),
+            failed_polls=(channel.failed_polls
+                          if channel is not None else 0),
+            unreachable_polls=(channel.unreachable_polls
+                               if channel is not None else 0),
+            retries=channel.retries if channel is not None else 0,
+            breaker_skips=(channel.breaker_skips
+                           if channel is not None else 0),
+            denied_polls=(channel.denied_polls
+                          if channel is not None else 0),
+            attempted_bandwidth=(channel.attempted_bandwidth
+                                 if channel is not None
+                                 else mirror.bandwidth_used),
+            attempted_poll_counts=(channel.attempted_poll_counts()
+                                   if channel is not None else None),
+            failed_poll_counts=(channel.failed_poll_counts()
+                                if channel is not None else None),
+            unreachable_poll_counts=(channel.unreachable_poll_counts()
+                                     if channel is not None else None),
+            unreachable_elements=(channel.unreachable_mask()
+                                  if channel is not None
+                                  and self._breaker is not None
+                                  else None),
+            fault_trace=(tuple(channel.trace())
+                         if channel is not None
+                         and self._record_fault_trace else None),
         )

@@ -1,0 +1,115 @@
+"""Tests for the chaos harness: scenarios, report, and the headline
+degraded-mode claim.
+
+The expensive end-to-end runs live in one module-scoped fixture so
+the acceptance claim (aware > blind under 20% i.i.d. loss) and the
+report-shape assertions share a single simulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.chaos import (CHAOS_SETUP, ChaosReport,
+                                  format_chaos_report, run_chaos)
+from repro.errors import ValidationError
+from repro.faults.scenarios import CHAOS_SCENARIOS
+from repro.obs import registry as obs
+
+
+@pytest.fixture(scope="module")
+def iid20_report() -> ChaosReport:
+    return run_chaos("iid20", seed=0)
+
+
+class TestScenarioRegistry:
+    def test_expected_scenarios_are_registered(self):
+        assert {"iid20", "burst", "outage", "latency",
+                "flaky-shard"} <= set(CHAOS_SCENARIOS)
+        for name, scenario in CHAOS_SCENARIOS.items():
+            assert scenario.name == name
+            assert scenario.description
+
+    def test_plans_are_rebuilt_fresh_per_run(self):
+        scenario = CHAOS_SCENARIOS["burst"]
+        assert scenario.plan(10, 20.0) is not scenario.plan(10, 20.0)
+
+    def test_grouped_shard_map_shape_and_granularity(self):
+        scenario = CHAOS_SCENARIOS["outage"]
+        shards = scenario.shard_of(60)
+        assert shards.shape == (60,)
+        grouped = int((shards == 0).sum())
+        assert grouped == 12          # first fifth shares shard 0
+        assert scenario.n_shards(60) == 60 - grouped + 1
+        # Identity sharding stays None.
+        assert CHAOS_SCENARIOS["iid20"].shard_of(60) is None
+        assert CHAOS_SCENARIOS["iid20"].n_shards(60) == 60
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(ValidationError):
+            run_chaos("nope", n_periods=4, warmup=1)
+
+    def test_warmup_must_fit_inside_the_run(self):
+        with pytest.raises(ValidationError):
+            run_chaos("iid20", n_periods=5, warmup=5)
+
+
+class TestDegradedModeClaim:
+    def test_aware_manager_beats_blind_under_iid_loss(self, iid20_report):
+        """The tentpole acceptance claim: with 20% i.i.d. loss the
+        degraded-mode manager delivers strictly higher steady-state
+        PF than the fault-blind one."""
+        assert iid20_report.recovery > 0.0
+        assert iid20_report.aware_mean > iid20_report.blind_mean
+
+    def test_faults_cost_the_blind_manager_real_freshness(self,
+                                                          iid20_report):
+        assert iid20_report.degradation > 0.02
+        assert iid20_report.baseline_mean > iid20_report.blind_mean
+
+    def test_series_are_aligned_and_plausible(self, iid20_report):
+        r = iid20_report
+        for series in (r.baseline_pf, r.blind_pf, r.aware_pf):
+            assert series.shape == (r.n_periods,)
+            assert np.all((series >= 0.0) & (series <= 1.0))
+        # The fault-free arm never fails a poll; the faulty arms do.
+        assert r.blind_failed.sum() > 0
+        assert r.aware_failed.sum() > 0
+
+    def test_report_is_deterministic_given_seed(self):
+        a = run_chaos("iid20", n_periods=8, warmup=2, seed=5)
+        b = run_chaos("iid20", n_periods=8, warmup=2, seed=5)
+        assert np.array_equal(a.aware_pf, b.aware_pf)
+        assert np.array_equal(a.blind_pf, b.blind_pf)
+        assert np.array_equal(a.blind_failed, b.blind_failed)
+
+
+class TestReportRendering:
+    def test_format_contains_summary_and_acceptance_line(self,
+                                                         iid20_report):
+        text = format_chaos_report(iid20_report, every=5)
+        assert "iid20" in text
+        assert "recovery" in text
+        assert "degradation" in text
+        assert (f"periods {iid20_report.warmup + 1}-"
+                f"{iid20_report.n_periods}") in text
+
+    def test_chaos_run_emits_telemetry_gauges(self):
+        with obs.telemetry() as registry:
+            run_chaos("iid20", n_periods=6, warmup=2, seed=3)
+        assert "chaos.recovery" in registry.gauges
+        assert "chaos.degradation" in registry.gauges
+        assert any(path.startswith("chaos.iid20")
+                   for path in registry.span_totals)
+
+
+class TestChaosSetup:
+    def test_workload_is_skewed_and_oversubscribed(self):
+        """The default chaos workload must keep the properties the
+        scenario calibration relies on: a hot head (so the blind
+        manager's late-period dead zone costs PF) and more update
+        mass than bandwidth (so lost polls cannot be shrugged off)."""
+        assert CHAOS_SETUP.theta > 1.0
+        assert CHAOS_SETUP.updates_per_period > \
+            CHAOS_SETUP.syncs_per_period

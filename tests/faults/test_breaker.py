@@ -1,0 +1,109 @@
+"""State-machine tests for the per-shard circuit breaker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.faults.breaker import BreakerState, CircuitBreaker
+from repro.obs import registry as obs
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    obs.reset_telemetry()
+    yield
+    obs.reset_telemetry()
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValidationError):
+            CircuitBreaker(0)
+        with pytest.raises(ValidationError):
+            CircuitBreaker(1, failure_threshold=0)
+        with pytest.raises(ValidationError):
+            CircuitBreaker(1, cooldown=0.0)
+
+    def test_rejects_out_of_range_shard(self):
+        breaker = CircuitBreaker(2)
+        with pytest.raises(ValidationError):
+            breaker.allow(2, 0.0)
+        with pytest.raises(ValidationError):
+            breaker.record_failure(-1, 0.0)
+
+
+class TestStateMachine:
+    def test_opens_only_at_the_consecutive_failure_threshold(self):
+        breaker = CircuitBreaker(1, failure_threshold=3, cooldown=1.0)
+        breaker.record_failure(0, 0.0)
+        breaker.record_failure(0, 0.1)
+        assert breaker.state_of(0) is BreakerState.CLOSED
+        breaker.record_failure(0, 0.2)
+        assert breaker.state_of(0) is BreakerState.OPEN
+        assert not breaker.allow(0, 0.3)
+
+    def test_success_resets_the_streak(self):
+        breaker = CircuitBreaker(1, failure_threshold=3, cooldown=1.0)
+        breaker.record_failure(0, 0.0)
+        breaker.record_failure(0, 0.1)
+        breaker.record_success(0, 0.2)
+        breaker.record_failure(0, 0.3)
+        breaker.record_failure(0, 0.4)
+        assert breaker.state_of(0) is BreakerState.CLOSED
+
+    def test_half_open_probe_after_cooldown_then_close_on_success(self):
+        breaker = CircuitBreaker(1, failure_threshold=1, cooldown=1.0)
+        breaker.record_failure(0, 0.0)
+        assert breaker.state_of(0) is BreakerState.OPEN
+        assert not breaker.allow(0, 0.5)
+        # Past the cooldown the breaker admits one probe, half-open.
+        assert breaker.allow(0, 1.5)
+        assert breaker.state_of(0) is BreakerState.HALF_OPEN
+        breaker.record_success(0, 1.5)
+        assert breaker.state_of(0) is BreakerState.CLOSED
+        assert breaker.allow(0, 1.6)
+
+    def test_half_open_probe_failure_reopens_and_restarts_cooldown(self):
+        breaker = CircuitBreaker(1, failure_threshold=1, cooldown=1.0)
+        breaker.record_failure(0, 0.0)
+        assert breaker.allow(0, 1.2)          # probe admitted
+        breaker.record_failure(0, 1.2)        # probe failed
+        assert breaker.state_of(0) is BreakerState.OPEN
+        # Cooldown restarts from the probe failure, not the original
+        # trip.
+        assert not breaker.allow(0, 1.9)
+        assert breaker.allow(0, 2.3)
+
+    def test_masks_distinguish_open_from_half_open(self):
+        breaker = CircuitBreaker(3, failure_threshold=1, cooldown=1.0)
+        breaker.record_failure(0, 0.0)
+        breaker.record_failure(1, 0.0)
+        assert breaker.allow(1, 1.5)          # shard 1 now half-open
+        assert list(breaker.open_mask()) == [True, False, False]
+        assert list(breaker.tripped_mask()) == [True, True, False]
+
+    def test_shards_are_independent(self):
+        breaker = CircuitBreaker(2, failure_threshold=1, cooldown=1.0)
+        breaker.record_failure(0, 0.0)
+        assert breaker.state_of(0) is BreakerState.OPEN
+        assert breaker.state_of(1) is BreakerState.CLOSED
+        assert breaker.allow(1, 0.1)
+
+
+class TestTelemetry:
+    def test_transitions_emit_counters_and_events(self):
+        with obs.telemetry() as registry:
+            breaker = CircuitBreaker(1, failure_threshold=1,
+                                     cooldown=1.0)
+            breaker.record_failure(0, 0.0)    # closed -> open
+            breaker.allow(0, 1.5)             # open -> half-open
+            breaker.record_success(0, 1.5)    # half-open -> closed
+        assert registry.counters["breaker.opened"] == 1
+        assert registry.counters["breaker.probes"] == 1
+        assert registry.counters["breaker.closed"] == 1
+        transitions = registry.events_of_kind("breaker.transition")
+        assert [(e["from_state"], e["to_state"]) for e in transitions] \
+            == [("closed", "open"), ("open", "half_open"),
+                ("half_open", "closed")]
+        assert breaker.total_transitions == 3

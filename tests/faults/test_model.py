@@ -1,0 +1,153 @@
+"""Unit tests for the fault models and their composition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.faults.model import (FaultPlan, GilbertElliottFaultModel,
+                                IIDFaultModel, LatencyFaultModel,
+                                OutageWindow, PollOutcome)
+
+
+class TestPollOutcome:
+    def test_failure_and_retryable_flags(self):
+        assert not PollOutcome.OK.is_failure
+        assert PollOutcome.TIMEOUT.is_failure
+        assert PollOutcome.ERROR.is_failure
+        assert PollOutcome.UNREACHABLE.is_failure
+        assert PollOutcome.TIMEOUT.is_retryable
+        assert PollOutcome.ERROR.is_retryable
+        # Outages end on their own schedule, not the retry policy's.
+        assert not PollOutcome.UNREACHABLE.is_retryable
+        assert not PollOutcome.OK.is_retryable
+
+
+class TestIIDFaultModel:
+    def test_rejects_bad_probability_and_ok_failure(self):
+        with pytest.raises(ValidationError):
+            IIDFaultModel(-0.1)
+        with pytest.raises(ValidationError):
+            IIDFaultModel(1.5)
+        with pytest.raises(ValidationError):
+            IIDFaultModel(0.2, failure=PollOutcome.OK)
+
+    def test_failure_rate_matches_probability(self):
+        model = IIDFaultModel(0.3)
+        rng = np.random.default_rng(0)
+        outcomes = [model.outcome(0, 0.0, rng) for _ in range(4000)]
+        rate = np.mean([o.is_failure for o in outcomes])
+        assert rate == pytest.approx(0.3, abs=0.03)
+
+    def test_edge_probabilities_are_deterministic(self):
+        rng = np.random.default_rng(0)
+        always = IIDFaultModel(1.0, failure=PollOutcome.TIMEOUT)
+        never = IIDFaultModel(0.0)
+        assert all(always.outcome(0, 0.0, rng) is PollOutcome.TIMEOUT
+                   for _ in range(50))
+        assert all(never.outcome(0, 0.0, rng) is PollOutcome.OK
+                   for _ in range(50))
+
+
+class TestGilbertElliott:
+    def test_rejects_out_of_range_parameters(self):
+        with pytest.raises(ValidationError):
+            GilbertElliottFaultModel(1.5, 0.5)
+        with pytest.raises(ValidationError):
+            GilbertElliottFaultModel(0.5, 0.5, loss_bad=2.0)
+
+    def test_loss_is_bursty_not_iid(self):
+        """Failures cluster: consecutive-failure runs are much longer
+        than an i.i.d. channel of the same marginal rate produces."""
+        model = GilbertElliottFaultModel(0.05, 0.1, loss_good=0.0,
+                                         loss_bad=1.0)
+        rng = np.random.default_rng(1)
+        fails = np.array([model.outcome(0, 0.0, rng).is_failure
+                          for _ in range(6000)])
+        rate = fails.mean()
+        assert 0.05 < rate < 0.6
+        # Mean failure-run length ~ 1/p_bad_to_good = 10; an i.i.d.
+        # channel at the same rate would give ~1/(1-rate) < 2.5.
+        runs, current = [], 0
+        for f in fails:
+            if f:
+                current += 1
+            elif current:
+                runs.append(current)
+                current = 0
+        assert np.mean(runs) > 3.0
+
+    def test_per_element_chains_are_independent(self):
+        model = GilbertElliottFaultModel(0.0, 1.0, loss_good=0.0,
+                                         loss_bad=1.0)
+        rng = np.random.default_rng(2)
+        # p_good_to_bad = 0: every element stays good forever,
+        # regardless of how many elements share the model.
+        for element in range(5):
+            assert model.outcome(element, 0.0, rng) is PollOutcome.OK
+
+
+class TestLatencyModel:
+    def test_rejects_nonpositive_parameters(self):
+        with pytest.raises(ValidationError):
+            LatencyFaultModel(0.0, 1.0)
+        with pytest.raises(ValidationError):
+            LatencyFaultModel(1.0, 0.0)
+
+    def test_timeout_rate_matches_exponential_tail(self):
+        model = LatencyFaultModel(1.0, 1.0)
+        rng = np.random.default_rng(3)
+        outcomes = [model.outcome(0, 0.0, rng) for _ in range(4000)]
+        rate = np.mean([o is PollOutcome.TIMEOUT for o in outcomes])
+        assert rate == pytest.approx(np.exp(-1.0), abs=0.03)
+
+
+class TestOutageWindow:
+    def test_rejects_empty_window(self):
+        with pytest.raises(ValidationError):
+            OutageWindow(start=2.0, end=2.0, elements=(0,))
+
+    def test_covers_is_half_open_in_time_and_exact_in_elements(self):
+        window = OutageWindow(start=1.0, end=3.0, elements=(2, 5))
+        assert window.covers(2, 1.0)
+        assert window.covers(5, 2.9)
+        assert not window.covers(2, 3.0)
+        assert not window.covers(2, 0.5)
+        assert not window.covers(3, 2.0)
+
+
+class TestFaultPlan:
+    def test_quiet_plan_is_quiet(self):
+        assert FaultPlan.quiet().is_quiet
+        assert not FaultPlan.iid(0.2).is_quiet
+        outage = OutageWindow(start=0.0, end=1.0, elements=(0,))
+        assert not FaultPlan(outages=(outage,)).is_quiet
+
+    def test_outages_win_without_consuming_randomness(self):
+        outage = OutageWindow(start=0.0, end=10.0, elements=(0,))
+        plan = FaultPlan(models=(IIDFaultModel(0.5),),
+                         outages=(outage,))
+        rng = np.random.default_rng(4)
+        before = rng.bit_generator.state
+        assert plan.outcome(0, 5.0, rng) is PollOutcome.UNREACHABLE
+        assert rng.bit_generator.state == before
+
+    def test_first_failing_model_wins(self):
+        plan = FaultPlan(models=(
+            IIDFaultModel(1.0, failure=PollOutcome.TIMEOUT),
+            IIDFaultModel(1.0, failure=PollOutcome.ERROR)))
+        rng = np.random.default_rng(5)
+        assert plan.outcome(0, 0.0, rng) is PollOutcome.TIMEOUT
+
+    def test_same_seed_replays_identical_outcome_sequence(self):
+        def draw_tape(seed: int) -> list[str]:
+            plan = FaultPlan(models=(
+                IIDFaultModel(0.3),
+                GilbertElliottFaultModel(0.1, 0.2)))
+            rng = np.random.default_rng(seed)
+            return [plan.outcome(i % 4, 0.1 * i, rng).value
+                    for i in range(300)]
+
+        assert draw_tape(6) == draw_tape(6)
+        assert draw_tape(6) != draw_tape(7)

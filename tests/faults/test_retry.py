@@ -1,0 +1,129 @@
+"""Unit tests for the retry policy and injected-effects executor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.faults.retry import (RetryBudgetExhaustedError, RetryPolicy,
+                                execute_with_retry)
+
+
+class FakeClock:
+    """A virtual monotonic clock advanced by the injected sleeper."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.sleeps: list[float] = []
+
+    def sleep(self, delay: float) -> None:
+        self.sleeps.append(delay)
+        self.now += delay
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestRetryPolicy:
+    def test_rejects_invalid_parameters(self):
+        with pytest.raises(ValidationError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValidationError):
+            RetryPolicy(base_delay=0.0)
+        with pytest.raises(ValidationError):
+            RetryPolicy(base_delay=0.5, max_delay=0.1)
+
+    def test_delays_stay_inside_the_clamp(self):
+        policy = RetryPolicy(max_retries=50, base_delay=0.01,
+                             max_delay=0.2)
+        delays = policy.delays(np.random.default_rng(0))
+        assert len(delays) == 50
+        assert all(0.01 <= d <= 0.2 for d in delays)
+
+    def test_same_seed_same_jitter(self):
+        policy = RetryPolicy(max_retries=10)
+        a = policy.delays(np.random.default_rng(1))
+        b = policy.delays(np.random.default_rng(1))
+        assert a == b
+
+    def test_decorrelated_jitter_grows_from_previous(self):
+        policy = RetryPolicy(base_delay=0.01, max_delay=100.0)
+        rng = np.random.default_rng(2)
+        # The anchor is 3x the previous delay, so the draw can never
+        # exceed it.
+        assert policy.next_delay(5.0, rng) <= 15.0
+
+
+class TestExecuteWithRetry:
+    def test_returns_first_success_without_sleeping(self):
+        clock = FakeClock()
+        result = execute_with_retry(
+            lambda: 42, policy=RetryPolicy(),
+            rng=np.random.default_rng(0), sleep=clock.sleep,
+            clock=clock)
+        assert result == 42
+        assert clock.sleeps == []
+
+    def test_retries_until_success_advancing_virtual_time(self):
+        clock = FakeClock()
+        calls = {"n": 0}
+
+        def flaky() -> str:
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError("transient")
+            return "ok"
+
+        result = execute_with_retry(
+            flaky, policy=RetryPolicy(max_retries=3),
+            rng=np.random.default_rng(3), sleep=clock.sleep,
+            clock=clock)
+        assert result == "ok"
+        assert calls["n"] == 3
+        assert len(clock.sleeps) == 2
+        assert clock.now == pytest.approx(sum(clock.sleeps))
+
+    def test_exhaustion_raises_with_cause_and_attempt_count(self):
+        clock = FakeClock()
+
+        def always_fails() -> None:
+            raise OSError("down")
+
+        with pytest.raises(RetryBudgetExhaustedError) as excinfo:
+            execute_with_retry(
+                always_fails, policy=RetryPolicy(max_retries=2),
+                rng=np.random.default_rng(4), sleep=clock.sleep,
+                clock=clock)
+        assert excinfo.value.attempts == 3
+        assert isinstance(excinfo.value.__cause__, OSError)
+
+    def test_non_retryable_exceptions_propagate_immediately(self):
+        clock = FakeClock()
+
+        def typed_failure() -> None:
+            raise ValueError("permanent")
+
+        with pytest.raises(ValueError):
+            execute_with_retry(
+                typed_failure, policy=RetryPolicy(max_retries=5),
+                rng=np.random.default_rng(5), sleep=clock.sleep,
+                clock=clock, retryable=(OSError,))
+        assert clock.sleeps == []
+
+    def test_deadline_cuts_the_retry_budget_short(self):
+        clock = FakeClock()
+
+        def always_fails() -> None:
+            raise OSError("down")
+
+        with pytest.raises(RetryBudgetExhaustedError):
+            execute_with_retry(
+                always_fails,
+                policy=RetryPolicy(max_retries=50, base_delay=1.0,
+                                   max_delay=1.0),
+                rng=np.random.default_rng(6), sleep=clock.sleep,
+                clock=clock, deadline=3.0)
+        # With 1s deterministic delays and a 3s deadline, far fewer
+        # than 50 retries ran.
+        assert len(clock.sleeps) <= 3

@@ -1,0 +1,22 @@
+"""Bad: wall-clock sleeps and an rng-less retry loop (FL010)."""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["poll_with_retry", "settle"]
+
+
+def poll_with_retry(operation, attempts: int):
+    """Retry loop with no injected rng: jitterless retry herd."""
+    for attempt in range(attempts):
+        try:
+            return operation()
+        except OSError:
+            time.sleep(2 ** attempt)
+    raise OSError("exhausted")
+
+
+def settle():
+    """A lone wall-clock sleep outside any retry context."""
+    time.sleep(0.5)

@@ -1,0 +1,30 @@
+"""Good: retry loop with injected rng, sleep callable, and clock."""
+
+from __future__ import annotations
+
+__all__ = ["retry_with_backoff"]
+
+
+def retry_with_backoff(operation, *, max_retries: int, rng, sleep,
+                       clock):
+    """Deterministic decorrelated-jitter retries, fully injected.
+
+    Args:
+        operation: Zero-argument callable to attempt.
+        max_retries: Attempts beyond the first, >= 0.
+        rng: Seeded ``numpy.random.Generator`` for jitter draws.
+        sleep: Callable consuming a delay in seconds (simulated or
+            real — the caller decides).
+        clock: Zero-argument monotonic clock, in seconds.
+    """
+    delay = 0.01
+    started = clock()
+    for attempt in range(max_retries + 1):
+        try:
+            return operation()
+        except OSError:
+            if attempt == max_retries:
+                raise
+            delay = float(rng.uniform(0.01, 3.0 * delay))
+            sleep(delay)
+    raise OSError(f"unreachable after {clock() - started}s")

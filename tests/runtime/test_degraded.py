@@ -1,0 +1,159 @@
+"""Degraded-mode replanning tests for the adaptive manager.
+
+Covers the fault-aware loop: loss-rate learning, bandwidth derating,
+outage detection with confirmation debounce, recovery after the
+window, and world drift layered on top of an outage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults.breaker import CircuitBreaker
+from repro.obs import registry as obs
+from repro.faults.model import FaultPlan, OutageWindow
+from repro.faults.retry import RetryPolicy
+from repro.runtime.manager import AdaptiveMirrorManager
+from repro.workloads.presets import ExperimentSetup, build_catalog
+
+SETUP = ExperimentSetup(n_objects=40, updates_per_period=80.0,
+                        syncs_per_period=20.0, theta=1.2,
+                        update_std_dev=1.0)
+
+#: The first quarter of the catalog, grouped into one breaker shard.
+GROUP = tuple(range(10))
+
+
+@pytest.fixture
+def world():
+    return build_catalog(SETUP, alignment="shuffled", seed=4)
+
+
+def group_shards(n: int) -> np.ndarray:
+    shards = np.zeros(n, dtype=np.int64)
+    shards[len(GROUP):] = np.arange(1, n - len(GROUP) + 1)
+    return shards
+
+
+def make_manager(world, **kwargs):
+    defaults = dict(request_rate=600.0,
+                    rng=np.random.default_rng(0),
+                    replan_every=2)
+    defaults.update(kwargs)
+    return AdaptiveMirrorManager(world, SETUP.syncs_per_period,
+                                 **defaults)
+
+
+def outage_manager(world, *, start: float, end: float, **kwargs):
+    plan = FaultPlan(outages=(OutageWindow(start=start, end=end,
+                                           elements=GROUP),))
+    return make_manager(
+        world, fault_plan=plan,
+        retry_policy=RetryPolicy(max_retries=2),
+        breaker=CircuitBreaker(world.n_elements - len(GROUP) + 1,
+                               failure_threshold=3, cooldown=0.5),
+        shard_of=group_shards(world.n_elements), **kwargs)
+
+
+class TestLossLearning:
+    def test_believed_loss_tracks_the_injected_rate(self, world):
+        manager = make_manager(world, fault_plan=FaultPlan.iid(0.3))
+        manager.run(8)
+        assert manager.beliefs.believed_loss_rate() == \
+            pytest.approx(0.3, abs=0.12)
+
+    def test_aware_manager_derates_planned_bandwidth(self, world):
+        """The degraded plan spends B·(1−loss); a blind one spends B."""
+        def planned_spend(fault_aware: bool) -> float:
+            manager = make_manager(world,
+                                   fault_plan=FaultPlan.iid(0.3),
+                                   fault_aware=fault_aware)
+            manager.run(8)
+            return float(world.sizes @ manager.current_frequencies)
+
+        blind = planned_spend(False)
+        aware = planned_spend(True)
+        assert blind == pytest.approx(SETUP.syncs_per_period, rel=0.02)
+        assert aware < 0.85 * blind
+
+    def test_fault_free_manager_believes_zero_loss(self, world):
+        manager = make_manager(world)
+        manager.run(4)
+        assert manager.beliefs.believed_loss_rate() == 0.0
+
+
+class TestOutageReplanning:
+    def test_confirmed_outage_drops_to_probe_heartbeat(self, world):
+        manager = outage_manager(world, start=1.0, end=9.0,
+                                 probe_frequency=2.0)
+        manager.run(6)
+        freqs = manager.current_frequencies
+        group = np.array(GROUP)
+        # The dead group is down to the recovery heartbeat; the
+        # reachable rest got the reallocated budget.
+        assert np.all(freqs[group] == 2.0)
+        reachable = np.setdiff1d(np.arange(world.n_elements), group)
+        assert float(freqs[reachable].sum()) > 0.0
+
+    def test_short_flap_never_confirms(self, world):
+        """An outage shorter than the confirmation window must not
+        trigger a degraded replan."""
+        manager = outage_manager(world, start=2.0, end=3.0,
+                                 outage_confirmation=2)
+        with obs.telemetry() as registry:
+            manager.run(6)
+        freqs = manager.current_frequencies
+        assert not np.all(freqs[np.array(GROUP)] == 2.0)
+        # Drift/cadence replans may fire, but never an outage replan.
+        assert registry.counters.get("manager.outage_replans", 0) == 0
+        assert registry.events_of_kind("manager.degraded_plan") == []
+
+    def test_recovery_restores_the_group(self, world):
+        manager = outage_manager(world, start=1.0, end=6.0,
+                                 probe_frequency=2.0)
+        manager.run(5)
+        during = manager.current_frequencies.copy()
+        group = np.array(GROUP)
+        assert np.all(during[group] == 2.0)
+        manager.run(12)
+        after = manager.current_frequencies
+        # Post-recovery the group is planned again, not probed: the
+        # solver's continuous output will not land every element on
+        # exactly the probe value.
+        assert not np.all(after[group] == 2.0)
+
+    def test_reports_carry_fault_accounting(self, world):
+        manager = make_manager(world,
+                               fault_plan=FaultPlan.iid(0.25),
+                               retry_policy=RetryPolicy(max_retries=2))
+        reports = manager.run(4)
+        assert sum(r.failed_polls for r in reports) > 0
+        assert sum(r.retries for r in reports) > 0
+
+
+class TestDriftUnderOutage:
+    def test_interest_flip_during_an_outage_still_recovers(self, world):
+        """replace_world drift combined with an outage window: the
+        manager must ride out the outage *and* re-learn the flipped
+        profile once polls flow again."""
+        manager = outage_manager(world, start=8.0, end=13.0,
+                                 replan_divergence=0.03)
+        manager.run(8)
+        drifted = world.with_profile(
+            world.access_probabilities[::-1].copy())
+        manager.replace_world(drifted)
+        crash = manager.run_period(9)      # outage + stale profile
+        recovery = manager.run(16)
+        assert recovery[-1].achieved_pf > crash.achieved_pf + 0.05
+
+    def test_deterministic_given_seed_under_faults(self, world):
+        def run(seed: int):
+            manager = outage_manager(
+                world, start=1.0, end=5.0,
+                rng=np.random.default_rng(seed))
+            return [(r.monitored_pf, r.failed_polls, r.retries)
+                    for r in manager.run(7)]
+
+        assert run(3) == run(3)
+        assert run(3) != run(4)

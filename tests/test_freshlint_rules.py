@@ -38,7 +38,7 @@ def test_registry_codes_are_unique_and_sorted() -> None:
     codes = [rule.code for rule in ALL_RULES]
     assert codes == sorted(set(codes))
     assert codes == ["FL001", "FL002", "FL003", "FL004", "FL005",
-                     "FL006", "FL007", "FL008", "FL009"]
+                     "FL006", "FL007", "FL008", "FL009", "FL010"]
 
 
 def test_rule_by_code_round_trips() -> None:
@@ -239,6 +239,28 @@ def test_fl009_scoped_to_clock_paths() -> None:
 
 
 # ---------------------------------------------------------------------------
+# FL010 — retry/backoff discipline
+
+
+def test_fl010_flags_sleeps_and_rngless_retry_loop() -> None:
+    codes = codes_in(FIXTURES / "bad_fl010_sleep_loop.py")
+    # two time.sleep() calls + the rng-less retry function
+    assert codes.count("FL010") == 3
+    assert set(codes) == {"FL010"}
+
+
+def test_fl010_clean_on_injected_backoff() -> None:
+    assert codes_in(FIXTURES / "good_fl010_injected_backoff.py") == []
+
+
+def test_fl010_exempts_tests_and_entry_points() -> None:
+    exempt = LintConfig(entry_point_globs=("*",), test_globs=(),
+                        library_globs=("*",), solver_globs=("*",))
+    assert "FL010" not in codes_in(FIXTURES / "bad_fl010_sleep_loop.py",
+                                   exempt)
+
+
+# ---------------------------------------------------------------------------
 # pragmas, select/ignore, syntax errors
 
 
@@ -269,7 +291,8 @@ def test_run_paths_walks_directories() -> None:
     violations = run_paths([FIXTURES], STRICT, root=REPO_ROOT)
     assert {v.code for v in violations} >= {"FL001", "FL002", "FL003",
                                             "FL004", "FL005", "FL006",
-                                            "FL007", "FL008", "FL009"}
+                                            "FL007", "FL008", "FL009",
+                                            "FL010"}
 
 
 # ---------------------------------------------------------------------------

@@ -108,6 +108,7 @@ class LintConfig:
         "src/repro/core/*.py",
         "src/repro/numerics/*.py",
         "src/repro/sim/*.py",
+        "src/repro/faults/*.py",
     )
     select: tuple[str, ...] = ()
     ignore: tuple[str, ...] = ()

@@ -12,6 +12,7 @@ from freshlint.rules.fl006_exceptions import ExceptionDiscipline
 from freshlint.rules.fl007_print import NoPrintInLibrary
 from freshlint.rules.fl008_import_cycles import ImportCycles
 from freshlint.rules.fl009_wall_clock import WallClockRead
+from freshlint.rules.fl010_retry_discipline import RetryDiscipline
 
 __all__ = [
     "ALL_RULES",
@@ -21,6 +22,7 @@ __all__ = [
     "ImportCycles",
     "NdarrayParamMutation",
     "NoPrintInLibrary",
+    "RetryDiscipline",
     "Rule",
     "UnitsInDocstring",
     "UnseededRandomness",
@@ -38,6 +40,7 @@ ALL_RULES: tuple[Rule, ...] = (
     NoPrintInLibrary(),
     ImportCycles(),
     WallClockRead(),
+    RetryDiscipline(),
 )
 
 

@@ -1,0 +1,80 @@
+"""FL010 — retry/backoff loops must inject their randomness and clock.
+
+The repo's resilience layer (:mod:`repro.faults.retry`) runs retry
+loops inside a *simulation*: backoff jitter comes from an injected
+``numpy`` generator and "sleeping" advances an injected clock, so a
+retry storm replays bit-identically from a seed.  Two idioms break
+that discipline and are banned in library code:
+
+* ``time.sleep(...)`` — blocks the host thread for real wall time.
+  A backoff delay belongs to an injected ``sleep`` callable (or an
+  advanced simulated timestamp), never to the process clock.
+* a retry/backoff function with a loop but no ``rng`` parameter —
+  its jitter is either missing (synchronized retry herds) or drawn
+  from ambient randomness (unreplayable).  Decorrelated jitter wants
+  an injected, seeded generator.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from freshlint.engine import ModuleContext, Violation
+from freshlint.rules.base import Rule
+
+__all__ = ["RetryDiscipline"]
+
+#: Function-name fragments that mark a retry/backoff implementation.
+_RETRY_NAMES = ("retry", "backoff")
+
+
+def _has_loop(function: ast.AST) -> bool:
+    return any(isinstance(node, (ast.While, ast.For, ast.AsyncFor))
+               for node in ast.walk(function))
+
+
+def _has_rng_parameter(function: ast.FunctionDef
+                       | ast.AsyncFunctionDef) -> bool:
+    arguments = function.args
+    names = [arg.arg for arg in (*arguments.posonlyargs,
+                                 *arguments.args,
+                                 *arguments.kwonlyargs)]
+    return any(name == "rng" or name.endswith("_rng")
+               for name in names)
+
+
+class RetryDiscipline(Rule):
+    """Flag wall-clock sleeps and rng-less retry loops in the library."""
+
+    code = "FL010"
+    name = "seeded-retry"
+    summary = ("retry/backoff loops must take an injected rng; no "
+               "time.sleep in library code")
+
+    def check(self, context: ModuleContext) -> Iterator[Violation]:
+        if not context.is_library or context.is_test \
+                or context.is_entry_point:
+            return
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Call):
+                target = context.resolve_call_target(node.func)
+                if target == "time.sleep":
+                    yield self.violation(
+                        context, node,
+                        "time.sleep() blocks on the wall clock; "
+                        "inject a sleep callable (or advance a "
+                        "simulated timestamp) so retries replay "
+                        "deterministically")
+            elif isinstance(node, (ast.FunctionDef,
+                                   ast.AsyncFunctionDef)):
+                lowered = node.name.lower()
+                if not any(part in lowered for part in _RETRY_NAMES):
+                    continue
+                if _has_loop(node) and not _has_rng_parameter(node):
+                    yield self.violation(
+                        context, node,
+                        f"retry/backoff function {node.name!r} loops "
+                        "without an injected rng parameter; backoff "
+                        "jitter must come from a seeded generator "
+                        "(see repro.faults.retry.RetryPolicy)")
