@@ -1,0 +1,171 @@
+"""Simulation engine benchmarks: kernel speedup and ``--jobs`` scaling.
+
+Two benches, one durable record.  The first replays identical event
+tapes through the reference per-event loop and the vectorized
+fastpath kernel and compares *replay-only* time — the ``sim.run``
+telemetry span covers exactly the replay in both engines (streams are
+generated before the span opens), so the ratio isolates the kernel
+from shared stream generation.  The second runs a 16-point burstiness
+sweep serially and through the process-pool executor and records the
+wall-clock ratio.  Both write machine-readable rows to
+``benchmarks/results/BENCH_sim.json`` for CI's perf-smoke job to
+archive and diff.
+
+On a single-core box the executor resolves to one inline worker, so
+the scaling assertion only fires where it is meaningful (workers > 1);
+the equality assertions — fastpath bit-identical to reference, jobs>1
+bit-identical to serial — always fire.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.sensitivity import burstiness_robustness
+from repro.core.freshener import PerceivedFreshener
+from repro.obs import registry as obs
+from repro.parallel import resolve_jobs
+from repro.sim.simulation import Simulation
+from repro.workloads.presets import ExperimentSetup, build_catalog
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Catalog sizes for the kernel comparison (elements).
+KERNEL_SIZES = (1_000, 10_000)
+#: The paper-scale size at which the >=5x claim is asserted.
+CLAIM_SIZE = 10_000
+CLAIM_SPEEDUP = 5.0
+
+SWEEP_POINTS = 16
+
+SWEEP_SETUP = ExperimentSetup(n_objects=40, updates_per_period=80.0,
+                              syncs_per_period=20.0, theta=1.0,
+                              update_std_dev=1.0)
+
+
+def _engine_timing(catalog, frequencies, *, engine: str,
+                   n_periods: float, request_rate: float) -> dict:
+    """One full run; replay-only seconds come from the sim.run span."""
+    sim = Simulation(catalog, frequencies,
+                     request_rate=request_rate,
+                     rng=np.random.default_rng(7))
+    with obs.telemetry() as registry:
+        start = time.perf_counter()
+        result = sim.run(n_periods, engine=engine)
+        total = time.perf_counter() - start
+    _, replay = registry.span_totals["sim.run"]
+    return {"engine": engine, "total_seconds": total,
+            "replay_seconds": replay, "result": result}
+
+
+def _kernel_row(n: int) -> dict:
+    setup = ExperimentSetup(n_objects=n, updates_per_period=2.0 * n,
+                            syncs_per_period=0.5 * n, theta=1.0,
+                            update_std_dev=2.0)
+    catalog = build_catalog(setup, seed=0)
+    plan = PerceivedFreshener().plan(catalog, setup.syncs_per_period)
+    kwargs = dict(n_periods=10.0, request_rate=float(n))
+    # Warm caches (imports, allocator) off the small engine first so
+    # the measured pair sees comparable conditions.
+    _engine_timing(catalog, plan.frequencies, engine="fastpath",
+                   **kwargs)
+    reference = _engine_timing(catalog, plan.frequencies,
+                               engine="reference", **kwargs)
+    fastpath = _engine_timing(catalog, plan.frequencies,
+                              engine="fastpath", **kwargs)
+    ref_result, fast_result = reference["result"], fastpath["result"]
+    assert fast_result.monitored_perceived_freshness == \
+        ref_result.monitored_perceived_freshness
+    assert fast_result.n_syncs == ref_result.n_syncs
+    assert np.array_equal(
+        fast_result.element_time_freshness.view(np.uint64),
+        ref_result.element_time_freshness.view(np.uint64))
+    return {
+        "n_elements": n,
+        "n_events": int(ref_result.n_updates + ref_result.n_syncs
+                        + ref_result.n_accesses),
+        "reference_replay_seconds": reference["replay_seconds"],
+        "fastpath_replay_seconds": fastpath["replay_seconds"],
+        "reference_total_seconds": reference["total_seconds"],
+        "fastpath_total_seconds": fastpath["total_seconds"],
+        "kernel_speedup": (reference["replay_seconds"]
+                           / fastpath["replay_seconds"]),
+        "end_to_end_speedup": (reference["total_seconds"]
+                               / fastpath["total_seconds"]),
+    }
+
+
+def test_kernel_speedup_bench(benchmark):
+    """Fastpath must beat the reference replay >=5x at paper scale."""
+    rows = benchmark.pedantic(
+        lambda: [_kernel_row(n) for n in KERNEL_SIZES],
+        rounds=1, iterations=1)
+    claim = next(r for r in rows if r["n_elements"] == CLAIM_SIZE)
+    assert claim["kernel_speedup"] >= CLAIM_SPEEDUP, claim
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = _load_payload()
+    payload["kernel"] = {"rows": rows,
+                         "claim_speedup": CLAIM_SPEEDUP,
+                         "claim_n_elements": CLAIM_SIZE}
+    _write_payload(payload)
+
+
+def _sweep_seconds(jobs: int) -> tuple[float, object]:
+    levels = np.linspace(0.0, 0.75, SWEEP_POINTS)
+    start = time.perf_counter()
+    sweep = burstiness_robustness(setup=SWEEP_SETUP,
+                                  burstiness_levels=levels,
+                                  n_periods=4, request_rate=80.0,
+                                  jobs=jobs)
+    return time.perf_counter() - start, sweep
+
+
+def test_parallel_scaling_bench(benchmark):
+    """A 16-point sweep through the executor vs the serial loop."""
+    workers = resolve_jobs(0)
+
+    def _measure():
+        serial_s, serial = _sweep_seconds(1)
+        parallel_s, parallel = _sweep_seconds(0)
+        return serial_s, serial, parallel_s, parallel
+
+    serial_s, serial, parallel_s, parallel = benchmark.pedantic(
+        _measure, rounds=1, iterations=1)
+    for index, series in enumerate(serial.series):
+        assert np.array_equal(
+            series.y.view(np.uint64),
+            parallel.series[index].y.view(np.uint64))
+    speedup = serial_s / parallel_s
+    efficiency = speedup / workers
+    if workers > 1:
+        # Near-linear scaling: the tasks are independent and the
+        # per-task payload dwarfs pickling, so most of each extra
+        # core should show up in the wall clock.
+        assert efficiency >= 0.6, (serial_s, parallel_s, workers)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = _load_payload()
+    payload["parallel"] = {
+        "sweep_points": SWEEP_POINTS,
+        "workers": workers,
+        "serial_seconds": serial_s,
+        "parallel_seconds": parallel_s,
+        "speedup": speedup,
+        "efficiency": efficiency,
+    }
+    _write_payload(payload)
+
+
+def _load_payload() -> dict:
+    path = RESULTS_DIR / "BENCH_sim.json"
+    if path.exists():
+        return json.loads(path.read_text(encoding="utf-8"))
+    return {"benchmark": "simulation_engines"}
+
+
+def _write_payload(payload: dict) -> None:
+    (RESULTS_DIR / "BENCH_sim.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8")

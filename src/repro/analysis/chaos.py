@@ -20,6 +20,7 @@ recovery (degraded − blind).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
@@ -28,6 +29,7 @@ from repro.errors import ValidationError
 from repro.faults.breaker import CircuitBreaker
 from repro.faults.scenarios import CHAOS_SCENARIOS, ChaosScenario
 from repro.obs import registry as obs
+from repro.parallel import parallel_map, seed_rng
 from repro.runtime.manager import AdaptiveMirrorManager, PeriodReport
 from repro.workloads.catalog import Catalog
 from repro.workloads.presets import ExperimentSetup, build_catalog
@@ -111,6 +113,7 @@ def _run_arm(catalog: Catalog, scenario: ChaosScenario, *,
              fault_aware: bool, bandwidth: float,
              request_rate: float, n_periods: int, seed: int,
              replan_every: int) -> list[PeriodReport]:
+    """One chaos arm (module-level so ``jobs>1`` can pickle it)."""
     plan = (scenario.plan(catalog.n_elements, float(n_periods))
             if faulty else None)
     breaker = None
@@ -123,7 +126,7 @@ def _run_arm(catalog: Catalog, scenario: ChaosScenario, *,
         shard_of = scenario.shard_of(catalog.n_elements)
     manager = AdaptiveMirrorManager(
         catalog, bandwidth, request_rate=request_rate,
-        rng=np.random.default_rng(seed),
+        rng=seed_rng(seed),
         fault_plan=plan,
         retry_policy=scenario.retry_policy if faulty else None,
         breaker=breaker,
@@ -133,11 +136,32 @@ def _run_arm(catalog: Catalog, scenario: ChaosScenario, *,
     return manager.run(n_periods)
 
 
+def _run_arm_spec(spec: tuple[str, bool, bool],
+                  catalog: Catalog, scenario: ChaosScenario, *,
+                  bandwidth: float, request_rate: float,
+                  n_periods: int, seed: int,
+                  replan_every: int) -> list[PeriodReport]:
+    """Adapt an ``(label, faulty, aware)`` spec for the executor."""
+    _, faulty, aware = spec
+    return _run_arm(catalog, scenario, faulty=faulty,
+                    fault_aware=aware, bandwidth=bandwidth,
+                    request_rate=request_rate, n_periods=n_periods,
+                    seed=seed, replan_every=replan_every)
+
+
+#: The three arms every chaos run compares.
+_ARM_SPECS: tuple[tuple[str, bool, bool], ...] = (
+    ("baseline", False, True),
+    ("blind", True, False),
+    ("aware", True, True),
+)
+
+
 def run_chaos(scenario: str | ChaosScenario, *,
               setup: ExperimentSetup | None = None,
               n_periods: int = 60, warmup: int = 10, seed: int = 0,
               request_rate: float | None = None,
-              replan_every: int = 3) -> ChaosReport:
+              replan_every: int = 3, jobs: int = 1) -> ChaosReport:
     """Run one chaos scenario: fault-free vs blind vs degraded.
 
     Args:
@@ -151,6 +175,9 @@ def run_chaos(scenario: str | ChaosScenario, *,
             ``12 × n_objects`` — enough samples that per-period PF is
             a stable estimate).
         replan_every: Replan cadence handed to every manager.
+        jobs: Worker processes for the three arms (1 = serial,
+            bit-identical; the arms share the same derived seed
+            either way, preserving the paired-series design).
 
     Returns:
         The :class:`ChaosReport` with the three aligned series.
@@ -173,15 +200,15 @@ def run_chaos(scenario: str | ChaosScenario, *,
         request_rate = 12.0 * setup.n_objects
 
     with obs.span(f"chaos.{scenario.name}"):
-        arms = {}
-        for label, faulty, aware in (("baseline", False, True),
-                                     ("blind", True, False),
-                                     ("aware", True, True)):
-            arms[label] = _run_arm(
-                catalog, scenario, faulty=faulty, fault_aware=aware,
-                bandwidth=bandwidth, request_rate=request_rate,
-                n_periods=n_periods, seed=seed + 1,
-                replan_every=replan_every)
+        runner = partial(_run_arm_spec, catalog=catalog,
+                         scenario=scenario, bandwidth=bandwidth,
+                         request_rate=request_rate,
+                         n_periods=n_periods, seed=seed + 1,
+                         replan_every=replan_every)
+        arm_results = parallel_map(runner, _ARM_SPECS, jobs=jobs,
+                                   label="parallel.chaos")
+        arms = {spec[0]: result
+                for spec, result in zip(_ARM_SPECS, arm_results)}
 
     def series(label: str, pick) -> np.ndarray:
         return np.array([pick(report) for report in arms[label]])

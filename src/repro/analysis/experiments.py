@@ -28,6 +28,7 @@ and :func:`policy_ablation` cover the future-work/robustness claims.
 from __future__ import annotations
 
 import time
+from functools import partial
 
 import numpy as np
 
@@ -48,6 +49,7 @@ from repro.core.metrics import perceived_freshness
 from repro.core.partitioning import PartitioningStrategy, partition_catalog
 from repro.core.solver import solve_core_problem, solve_weighted_problem
 from repro.errors import ValidationError
+from repro.parallel import parallel_map
 from repro.workloads.alignment import Alignment
 from repro.workloads.catalog import Catalog
 from repro.workloads.distributions import (
@@ -190,9 +192,32 @@ def _catalogs_for(setup: ExperimentSetup, alignment: Alignment | str,
                           theta=theta) for seed in seeds]
 
 
+def _figure3_point(spec: tuple[str, float], *, setup: ExperimentSetup,
+                   n_seeds: int,
+                   base_seed: int) -> tuple[float, float]:
+    """Seed-averaged (PF, GF) scores at one (alignment, θ) point.
+
+    Module-level so ``jobs>1`` can pickle it; pure given its spec, so
+    results are jobs-invariant.
+    """
+    alignment, theta = spec
+    catalogs = _catalogs_for(setup, alignment, float(theta),
+                             range(base_seed, base_seed + n_seeds))
+    pf_planner = PerceivedFreshener()
+    gf_planner = GeneralFreshener()
+    pf = float(np.mean([
+        pf_planner.plan(catalog, setup.syncs_per_period)
+        .perceived_freshness for catalog in catalogs]))
+    gf = float(np.mean([
+        gf_planner.plan(catalog, setup.syncs_per_period)
+        .perceived_freshness for catalog in catalogs]))
+    return pf, gf
+
+
 def figure3(*, setup: ExperimentSetup = IDEAL_SETUP,
             thetas: np.ndarray | None = None, n_seeds: int = 3,
-            base_seed: int = 0) -> dict[str, SweepResult]:
+            base_seed: int = 0,
+            jobs: int = 1) -> dict[str, SweepResult]:
     """PF vs θ for the PF and GF techniques, per alignment (Figure 3).
 
     The PF technique solves the Core Problem under the real profile;
@@ -207,6 +232,8 @@ def figure3(*, setup: ExperimentSetup = IDEAL_SETUP,
         thetas: Skew grid (default 0.0..1.6 in steps of 0.2).
         n_seeds: Workload draws averaged per point.
         base_seed: First seed.
+        jobs: Worker processes for the (alignment, θ) grid points
+            (1 = serial, identical results — each point is pure).
 
     Returns:
         ``{"shuffled": ..., "aligned": ..., "reverse": ...}`` sweeps
@@ -214,22 +241,21 @@ def figure3(*, setup: ExperimentSetup = IDEAL_SETUP,
     """
     grid = (np.arange(0.0, 1.601, 0.2) if thetas is None
             else np.asarray(thetas, dtype=float))
-    pf_planner = PerceivedFreshener()
-    gf_planner = GeneralFreshener()
+    alignments = (Alignment.SHUFFLED, Alignment.ALIGNED,
+                  Alignment.REVERSE)
+    specs = [(alignment.value, float(theta))
+             for alignment in alignments for theta in grid]
+    point = partial(_figure3_point, setup=setup, n_seeds=n_seeds,
+                    base_seed=base_seed)
+    scores = parallel_map(point, specs, jobs=jobs,
+                          label="parallel.figure3")
     results = {}
-    for alignment in (Alignment.SHUFFLED, Alignment.ALIGNED,
-                      Alignment.REVERSE):
-        pf_scores = np.zeros_like(grid)
-        gf_scores = np.zeros_like(grid)
-        for index, theta in enumerate(grid):
-            catalogs = _catalogs_for(setup, alignment, float(theta),
-                                     range(base_seed, base_seed + n_seeds))
-            pf_scores[index] = float(np.mean([
-                pf_planner.plan(catalog, setup.syncs_per_period)
-                .perceived_freshness for catalog in catalogs]))
-            gf_scores[index] = float(np.mean([
-                gf_planner.plan(catalog, setup.syncs_per_period)
-                .perceived_freshness for catalog in catalogs]))
+    for block, alignment in enumerate(alignments):
+        start = block * grid.shape[0]
+        pf_scores = np.array([pf for pf, _ in
+                              scores[start:start + grid.shape[0]]])
+        gf_scores = np.array([gf for _, gf in
+                              scores[start:start + grid.shape[0]]])
         results[alignment.value] = SweepResult(
             name=f"figure3-{alignment.value}",
             x_label="zipf skew (theta)", y_label="perceived freshness",
@@ -258,10 +284,26 @@ def _partitioner_sweep(catalog: Catalog, bandwidth: float,
     return curves
 
 
+def _figure5_curve(spec: tuple[str, PartitioningStrategy], *,
+                   setup: ExperimentSetup, counts: np.ndarray,
+                   theta: float, seed: int) -> np.ndarray:
+    """One partitioner's PF-vs-k curve (module-level so it pickles)."""
+    alignment, strategy = spec
+    catalog = build_catalog(setup, alignment=alignment, seed=seed,
+                            theta=theta)
+    scores = np.zeros(counts.shape[0])
+    for index, k in enumerate(counts):
+        planner = PartitionedFreshener(int(k), strategy=strategy)
+        scores[index] = planner.plan(
+            catalog, setup.syncs_per_period).perceived_freshness
+    return scores
+
+
 def figure5(*, setup: ExperimentSetup = IDEAL_SETUP,
             partition_counts: np.ndarray | None = None,
             theta: float = 1.0, seed: int = 0,
-            include_best_case: bool = True) -> dict[str, SweepResult]:
+            include_best_case: bool = True,
+            jobs: int = 1) -> dict[str, SweepResult]:
     """PF vs #partitions for the four partitioners (Figure 5).
 
     Args:
@@ -271,6 +313,9 @@ def figure5(*, setup: ExperimentSetup = IDEAL_SETUP,
         seed: Workload seed.
         include_best_case: Add the exact optimum as a flat reference
             curve (the paper's ``best_case``).
+        jobs: Worker processes, one task per (alignment, partitioner)
+            curve (1 = serial, identical results — each curve is
+            pure).
 
     Returns:
         One sweep per alignment.  Expected shapes: every curve rises
@@ -282,14 +327,25 @@ def figure5(*, setup: ExperimentSetup = IDEAL_SETUP,
     counts = (np.array([10, 25, 50, 100, 150, 200, 300, 400, 500])
               if partition_counts is None
               else np.asarray(partition_counts, dtype=int))
+    alignments = (Alignment.SHUFFLED, Alignment.ALIGNED,
+                  Alignment.REVERSE)
+    strategies = list(_PARTITIONER_LABELS)
+    specs = [(alignment.value, strategy)
+             for alignment in alignments for strategy in strategies]
+    curve = partial(_figure5_curve, setup=setup, counts=counts,
+                    theta=theta, seed=seed)
+    curve_scores = parallel_map(curve, specs, jobs=jobs,
+                                label="parallel.figure5")
     results = {}
-    for alignment in (Alignment.SHUFFLED, Alignment.ALIGNED,
-                      Alignment.REVERSE):
-        catalog = build_catalog(setup, alignment=alignment, seed=seed,
-                                theta=theta)
-        curves = _partitioner_sweep(catalog, setup.syncs_per_period,
-                                    counts, _PARTITIONER_LABELS)
+    for block, alignment in enumerate(alignments):
+        start = block * len(strategies)
+        curves = [Series(label=_PARTITIONER_LABELS[strategy],
+                         x=counts.astype(float),
+                         y=curve_scores[start + offset])
+                  for offset, strategy in enumerate(strategies)]
         if include_best_case:
+            catalog = build_catalog(setup, alignment=alignment,
+                                    seed=seed, theta=theta)
             best = solve_core_problem(catalog, setup.syncs_per_period)
             curves.append(Series(label="best_case",
                                  x=counts.astype(float),

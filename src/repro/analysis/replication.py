@@ -12,6 +12,7 @@ agreement the paper verified by hand).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable
 
 import numpy as np
@@ -19,6 +20,7 @@ import numpy as np
 from repro.core.metrics import perceived_freshness
 from repro.errors import ValidationError
 from repro.numerics.stats import ConfidenceInterval, mean_confidence_interval
+from repro.parallel import parallel_map, seed_rng
 from repro.sim.simulation import Simulation
 from repro.workloads.catalog import Catalog
 
@@ -53,15 +55,20 @@ class ReplicatedEstimate:
 def replicate(experiment: Callable[[int], float], *,
               n_replications: int, base_seed: int = 0,
               confidence: float = 0.95,
-              reference: float | None = None) -> ReplicatedEstimate:
+              reference: float | None = None,
+              jobs: int = 1) -> ReplicatedEstimate:
     """Run a seeded experiment K times and summarize.
 
     Args:
-        experiment: Maps a seed to a scalar outcome.
+        experiment: Maps a seed to a scalar outcome.  Must be
+            picklable (a module-level function or a
+            :func:`functools.partial` over one) when ``jobs != 1``.
         n_replications: Number of independent runs, >= 2.
         base_seed: Seeds used are ``base_seed .. base_seed+K−1``.
         confidence: Interval coverage.
         reference: Optional analytic value to validate.
+        jobs: Worker processes for the replications; 1 (default)
+            runs them serially in-process, bit-identically.
 
     Returns:
         The :class:`ReplicatedEstimate`.
@@ -70,12 +77,25 @@ def replicate(experiment: Callable[[int], float], *,
         raise ValidationError(
             f"n_replications must be >= 2, got {n_replications}")
     samples = np.array([
-        float(experiment(seed))
-        for seed in range(base_seed, base_seed + n_replications)
+        float(value) for value in parallel_map(
+            experiment,
+            range(base_seed, base_seed + n_replications),
+            jobs=jobs, label="parallel.replicate")
     ])
     interval = mean_confidence_interval(samples, confidence=confidence)
     return ReplicatedEstimate(interval=interval, samples=samples,
                               reference=reference)
+
+
+def _pf_replication(seed: int, *, catalog: Catalog,
+                    frequencies: np.ndarray, n_periods: float,
+                    request_rate: float) -> float:
+    """One monitored-PF replication (module-level so it pickles)."""
+    simulation = Simulation(catalog, frequencies,
+                            request_rate=request_rate,
+                            rng=seed_rng(seed))
+    return simulation.run(
+        n_periods=n_periods).monitored_perceived_freshness
 
 
 def simulated_pf_interval(catalog: Catalog, frequencies: np.ndarray, *,
@@ -83,8 +103,8 @@ def simulated_pf_interval(catalog: Catalog, frequencies: np.ndarray, *,
                           n_periods: float = 50,
                           request_rate: float = 500.0,
                           base_seed: int = 0,
-                          confidence: float = 0.95
-                          ) -> ReplicatedEstimate:
+                          confidence: float = 0.95,
+                          jobs: int = 1) -> ReplicatedEstimate:
     """Replicated monitored PF of a schedule, vs its analytic value.
 
     Args:
@@ -95,20 +115,19 @@ def simulated_pf_interval(catalog: Catalog, frequencies: np.ndarray, *,
         request_rate: Accesses per period.
         base_seed: First replication seed.
         confidence: Interval coverage.
+        jobs: Worker processes for the replications (1 = serial,
+            bit-identical; each worker reseeds from its own
+            ``SeedSequence``, preserving CRN pairing).
 
     Returns:
         A :class:`ReplicatedEstimate` whose ``reference`` is the
         closed-form perceived freshness.
     """
     frequencies = np.asarray(frequencies, dtype=float)
-
-    def run(seed: int) -> float:
-        simulation = Simulation(catalog, frequencies,
-                                request_rate=request_rate,
-                                rng=np.random.default_rng(seed))
-        return simulation.run(
-            n_periods=n_periods).monitored_perceived_freshness
-
+    run = partial(_pf_replication, catalog=catalog,
+                  frequencies=frequencies, n_periods=n_periods,
+                  request_rate=request_rate)
     return replicate(run, n_replications=n_replications,
                      base_seed=base_seed, confidence=confidence,
-                     reference=perceived_freshness(catalog, frequencies))
+                     reference=perceived_freshness(catalog, frequencies),
+                     jobs=jobs)

@@ -14,11 +14,18 @@ design-choice ablations DESIGN.md commits to:
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
 from repro.analysis.series import Series, SweepResult
 from repro.core.allocation import AllocationPolicy, expand_partition_frequencies
-from repro.core.freshener import GeneralFreshener, PerceivedFreshener
+from repro.core.freshener import (
+    Freshener,
+    FresheningPlan,
+    GeneralFreshener,
+    PerceivedFreshener,
+)
 from repro.core.metrics import perceived_freshness
 from repro.core.partitioning import PartitioningStrategy, partition_catalog
 from repro.core.representatives import (
@@ -27,9 +34,41 @@ from repro.core.representatives import (
     solve_transformed_problem,
 )
 from repro.core.solver import solve_core_problem
+from repro.errors import ValidationError
+from repro.parallel import parallel_map, seed_rng
 from repro.runtime.manager import AdaptiveMirrorManager
+from repro.sim.bursty import BurstyUpdateGenerator
+from repro.sim.simulation import Simulation
 from repro.workloads.alignment import Alignment
+from repro.workloads.catalog import Catalog
 from repro.workloads.presets import ExperimentSetup, build_catalog
+
+#: Warm-start bracket half-width for sweep loops, as a relative
+#: factor: a previous point's μ seeds ``[μ/4, μ·4]``.  Sweep steps
+#: move the budget by up to 2×, which moves μ further than the
+#: incremental solver's tight window; a wide bracket still skips the
+#: cold geometric expansion phase entirely.
+_SWEEP_WARM_WINDOW = 4.0
+
+
+def _plan_warm(planner: Freshener, catalog: Catalog,
+               bandwidth: float,
+               multiplier: float | None) -> FresheningPlan:
+    """Plan with a warm μ bracket from the previous sweep point.
+
+    Falls back to a cold solve when there is no usable previous
+    multiplier or the warm bracket fails to straddle the budget
+    (adjacent sweep points normally keep μ within the window, as
+    :class:`~repro.core.incremental.IncrementalSolver` exploits).
+    """
+    if multiplier is not None and multiplier > 0.0:
+        bracket = (multiplier / _SWEEP_WARM_WINDOW,
+                   multiplier * _SWEEP_WARM_WINDOW)
+        try:
+            return planner.plan(catalog, bandwidth, bracket=bracket)
+        except ValidationError:
+            pass  # μ jumped out of the window: re-solve cold
+    return planner.plan(catalog, bandwidth)
 
 __all__ = [
     "bandwidth_sensitivity",
@@ -75,12 +114,16 @@ def bandwidth_sensitivity(*, setup: ExperimentSetup | None = None,
     gf_scores = np.zeros_like(grid)
     pf_planner = PerceivedFreshener()
     gf_planner = GeneralFreshener()
+    pf_mu: float | None = None
+    gf_mu: float | None = None
     for index, ratio in enumerate(grid):
         bandwidth = float(ratio) * base.updates_per_period
-        pf_scores[index] = pf_planner.plan(
-            catalog, bandwidth).perceived_freshness
-        gf_scores[index] = gf_planner.plan(
-            catalog, bandwidth).perceived_freshness
+        pf_plan = _plan_warm(pf_planner, catalog, bandwidth, pf_mu)
+        gf_plan = _plan_warm(gf_planner, catalog, bandwidth, gf_mu)
+        pf_mu = pf_plan.metadata["multiplier"]
+        gf_mu = gf_plan.metadata["multiplier"]
+        pf_scores[index] = pf_plan.perceived_freshness
+        gf_scores[index] = gf_plan.perceived_freshness
     return SweepResult(
         name="bandwidth-sensitivity",
         x_label="bandwidth / updates", y_label="perceived freshness",
@@ -115,6 +158,10 @@ def dispersion_sensitivity(*, setup: ExperimentSetup | None = None,
             if std_devs is None else np.asarray(std_devs, dtype=float))
     pf_scores = np.zeros_like(grid)
     gf_scores = np.zeros_like(grid)
+    pf_planner = PerceivedFreshener()
+    gf_planner = GeneralFreshener()
+    pf_mu: float | None = None
+    gf_mu: float | None = None
     for index, sigma in enumerate(grid):
         varied = ExperimentSetup(
             n_objects=base.n_objects,
@@ -123,10 +170,14 @@ def dispersion_sensitivity(*, setup: ExperimentSetup | None = None,
             update_std_dev=float(sigma))
         catalog = build_catalog(varied, alignment=Alignment.SHUFFLED,
                                 seed=seed)
-        pf_scores[index] = PerceivedFreshener().plan(
-            catalog, base.syncs_per_period).perceived_freshness
-        gf_scores[index] = GeneralFreshener().plan(
-            catalog, base.syncs_per_period).perceived_freshness
+        pf_plan = _plan_warm(pf_planner, catalog,
+                             base.syncs_per_period, pf_mu)
+        gf_plan = _plan_warm(gf_planner, catalog,
+                             base.syncs_per_period, gf_mu)
+        pf_mu = pf_plan.metadata["multiplier"]
+        gf_mu = gf_plan.metadata["multiplier"]
+        pf_scores[index] = pf_plan.perceived_freshness
+        gf_scores[index] = gf_plan.perceived_freshness
     return SweepResult(
         name="dispersion-sensitivity",
         x_label="update std dev (sigma)",
@@ -394,11 +445,30 @@ def freshness_age_tradeoff(*, setup: ExperimentSetup | None = None,
                    catalog, fresh.frequencies))})
 
 
+def _burstiness_point(spec: tuple[int, float], *, catalog: Catalog,
+                      frequencies: np.ndarray, n_periods: int,
+                      request_rate: float, seed: int) -> float:
+    """Measure one burstiness level (module-level so it pickles).
+
+    The generator and simulator share one per-point generator seeded
+    ``seed + 1000 + index`` — the same derivation the serial loop
+    always used, so results are jobs-invariant.
+    """
+    index, level = spec
+    rng = seed_rng(seed + 1000 + index)
+    generator = BurstyUpdateGenerator(catalog, burstiness=float(level),
+                                      rng=rng)
+    simulation = Simulation(catalog, frequencies,
+                            request_rate=request_rate, rng=rng,
+                            update_generator=generator)
+    return simulation.run(n_periods=n_periods).monitored_time_perceived
+
+
 def burstiness_robustness(*, setup: ExperimentSetup | None = None,
                           burstiness_levels: np.ndarray | None = None,
                           n_periods: int = 60,
                           request_rate: float = 2000.0,
-                          seed: int = 0) -> SweepResult:
+                          seed: int = 0, jobs: int = 1) -> SweepResult:
     """Model misspecification: Poisson-planned schedules, bursty world.
 
     The schedule is the PF optimum for the catalog's *long-run* rates;
@@ -419,14 +489,13 @@ def burstiness_robustness(*, setup: ExperimentSetup | None = None,
         n_periods: Simulated periods per point.
         request_rate: Accesses per period.
         seed: Workload and simulation seed.
+        jobs: Worker processes for the sweep points (1 = serial,
+            bit-identical; each point is independently seeded).
 
     Returns:
         Measured PF per burstiness level plus the flat Poisson
         prediction.
     """
-    from repro.sim.bursty import BurstyUpdateGenerator
-    from repro.sim.simulation import Simulation
-
     base = setup if setup is not None else ExperimentSetup(
         n_objects=200, updates_per_period=400.0,
         syncs_per_period=100.0, theta=1.0, update_std_dev=1.0)
@@ -438,17 +507,13 @@ def burstiness_robustness(*, setup: ExperimentSetup | None = None,
     plan = PerceivedFreshener().plan(catalog, base.syncs_per_period)
     prediction = plan.perceived_freshness
 
-    measured = np.zeros_like(grid)
-    for index, level in enumerate(grid):
-        rng = np.random.default_rng(seed + 1000 + index)
-        generator = BurstyUpdateGenerator(catalog,
-                                          burstiness=float(level),
-                                          rng=rng)
-        simulation = Simulation(catalog, plan.frequencies,
-                                request_rate=request_rate, rng=rng,
-                                update_generator=generator)
-        result = simulation.run(n_periods=n_periods)
-        measured[index] = result.monitored_time_perceived
+    point = partial(_burstiness_point, catalog=catalog,
+                    frequencies=plan.frequencies, n_periods=n_periods,
+                    request_rate=request_rate, seed=seed)
+    measured = np.array(parallel_map(
+        point, [(index, float(level)) for index, level in
+                enumerate(grid)],
+        jobs=jobs, label="parallel.burstiness"))
     return SweepResult(
         name="burstiness-robustness", x_label="burstiness",
         y_label="perceived freshness",

@@ -17,6 +17,9 @@ seconds; without it the paper-scale defaults run.  ``--telemetry
 and writes ``telemetry.jsonl`` (the event tape) plus
 ``telemetry.prom`` (Prometheus text format) into DIR, then prints the
 summary table; the ``obs`` subcommand re-renders a saved tape.
+``--jobs N`` fans seed-replicated experiments out over N worker
+processes (``0`` = all cores) with results bit-identical to the
+default serial run — see ``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations
@@ -88,14 +91,16 @@ def _run_figure2(args: argparse.Namespace) -> None:
 def _run_figure3(args: argparse.Namespace) -> None:
     n_seeds = 1 if args.quick else 3
     for sweep in experiments.figure3(n_seeds=n_seeds,
-                                     base_seed=args.seed).values():
+                                     base_seed=args.seed,
+                                     jobs=args.jobs).values():
         _emit_sweep(sweep, args.plot, args.svg)
 
 
 def _run_figure5(args: argparse.Namespace) -> None:
     counts = (np.array([10, 50, 100, 200]) if args.quick else None)
     for sweep in experiments.figure5(partition_counts=counts,
-                                     seed=args.seed).values():
+                                     seed=args.seed,
+                                     jobs=args.jobs).values():
         _emit_sweep(sweep, args.plot, args.svg)
 
 
@@ -196,7 +201,8 @@ def _run_representative_ablation(args: argparse.Namespace) -> None:
 def _run_burstiness(args: argparse.Namespace) -> None:
     periods = 30 if args.quick else 60
     _emit_sweep(sensitivity.burstiness_robustness(n_periods=periods,
-                                                  seed=args.seed),
+                                                  seed=args.seed,
+                                                  jobs=args.jobs),
                 args.plot)
 
 
@@ -249,7 +255,7 @@ def _run_chaos(args: argparse.Namespace) -> None:
     every = 2 if args.quick else 5
     for name in names:
         report = run_chaos(name, n_periods=n_periods, warmup=warmup,
-                           seed=args.seed)
+                           seed=args.seed, jobs=args.jobs)
         print(format_chaos_report(report, every=every))
         print()
 
@@ -398,6 +404,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="enable telemetry; write telemetry.jsonl"
                               " and telemetry.prom into DIR (default"
                               " current directory)")
+        sub.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker processes for experiments that "
+                              "fan out (0 = all cores; default 1 = "
+                              "serial, bit-identical)")
         if name in ("chaos", "adapt"):
             from repro.faults.scenarios import CHAOS_SCENARIOS
 

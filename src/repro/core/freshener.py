@@ -130,8 +130,22 @@ class PerceivedFreshener(Freshener):
     Solves the Core Problem exactly for the catalog's master profile.
     """
 
-    def plan(self, catalog: Catalog, bandwidth: float) -> FresheningPlan:
-        solution = solve_core_problem(catalog, bandwidth, model=self._model)
+    def plan(self, catalog: Catalog, bandwidth: float, *,
+             bracket: tuple[float, float] | None = None
+             ) -> FresheningPlan:
+        """Compute the optimal PF plan.
+
+        Args:
+            catalog: Workload description.
+            bandwidth: Budget in size units per period.
+            bracket: Optional warm-start multiplier bracket from a
+                neighbouring plan (its ``metadata["multiplier"]``);
+                raises :class:`~repro.errors.ValidationError` when it
+                does not straddle the budget, so sweep loops can fall
+                back to a cold solve.
+        """
+        solution = solve_core_problem(catalog, bandwidth,
+                                      model=self._model, bracket=bracket)
         return self._finish(catalog, solution.frequencies,
                             {"technique": "PF", "solver": "water-filling",
                              "multiplier": solution.multiplier})
@@ -146,12 +160,23 @@ class GeneralFreshener(Freshener):
     costs.
     """
 
-    def plan(self, catalog: Catalog, bandwidth: float) -> FresheningPlan:
+    def plan(self, catalog: Catalog, bandwidth: float, *,
+             bracket: tuple[float, float] | None = None
+             ) -> FresheningPlan:
+        """Compute the optimal GF plan.
+
+        Args:
+            catalog: Workload description.
+            bandwidth: Budget in size units per period.
+            bracket: Optional warm-start multiplier bracket (see
+                :meth:`PerceivedFreshener.plan`).
+        """
         n = catalog.n_elements
         uniform = np.full(n, 1.0 / n)
         solution = solve_weighted_problem(uniform, catalog.change_rates,
                                           catalog.sizes, bandwidth,
-                                          model=self._model)
+                                          model=self._model,
+                                          bracket=bracket)
         return self._finish(catalog, solution.frequencies,
                             {"technique": "GF", "solver": "water-filling",
                              "multiplier": solution.multiplier})

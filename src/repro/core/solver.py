@@ -271,7 +271,9 @@ def _check_core_inputs(solution: "ScheduleSolution",
 @postcondition(_check_core_inputs)
 def solve_core_problem(catalog: Catalog, bandwidth: float, *,
                        model: FreshnessModel | None = None,
-                       budget_rtol: float = 1e-10) -> ScheduleSolution:
+                       budget_rtol: float = 1e-10,
+                       bracket: tuple[float, float] | None = None
+                       ) -> ScheduleSolution:
     """Optimal Perceived-Freshening schedule for a catalog.
 
     Maximizes ``Σ pᵢ·F̄(λᵢ, fᵢ)`` subject to ``Σ sᵢ·fᵢ = B`` — the
@@ -283,6 +285,10 @@ def solve_core_problem(catalog: Catalog, bandwidth: float, *,
         bandwidth: Sync bandwidth budget per period.
         model: Freshness model (Fixed-Order by default).
         budget_rtol: Relative tolerance on the consumed budget.
+        bracket: Optional warm-start multiplier bracket ``(μ_lo,
+            μ_hi)`` from a neighbouring solve; a
+            :class:`~repro.errors.ValidationError` is raised if it
+            does not straddle the budget.
 
     Returns:
         The optimal :class:`ScheduleSolution`; its ``objective`` is
@@ -292,7 +298,8 @@ def solve_core_problem(catalog: Catalog, bandwidth: float, *,
     return solve_weighted_problem(catalog.access_probabilities,
                                   catalog.change_rates, catalog.sizes,
                                   bandwidth, model=model,
-                                  budget_rtol=budget_rtol)
+                                  budget_rtol=budget_rtol,
+                                  bracket=bracket)
 
 
 def kkt_residual(solution: ScheduleSolution, weights: np.ndarray,

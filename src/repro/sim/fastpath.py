@@ -1,0 +1,440 @@
+"""Vectorized fault-free replay of the simulation event tape.
+
+:func:`replay_fastpath` consumes the *same* merged event tape the
+per-event reference loop in :meth:`repro.sim.simulation.Simulation.run`
+walks, and produces a :class:`~repro.sim.evaluator.SimulationResult`
+that is **bit-identical** — not merely statistically equivalent — to
+the reference loop's.  The random draws all happen upstream (schedule
+phases, update stream, request stream), so the kernel is pure replay:
+it consumes no RNG and only has to reproduce the reference loop's
+floating-point operation *order*, element by element.
+
+How the loop is vectorized
+--------------------------
+
+The tape is regrouped per element with a stable sort, which preserves
+each element's global event order (updates before syncs before
+accesses at equal timestamps, courtesy of the merge's lexsort).  The
+per-element monitor state machine is then reconstructed with segment
+operations:
+
+* the fresh/stale flag before each event comes from the last
+  update/sync strictly before it (a segmented running maximum over
+  state-change positions);
+* stale-run start times (``stale_since``) carry forward from each
+  run-opening update by the same trick;
+* fresh-time and age-integral increments are computed for every event
+  at once and folded per element with :func:`numpy.bincount`.
+
+Bit-identity notes (all verified by the equivalence suite):
+
+* ``np.bincount`` accumulates its weights as an exact sequential
+  left-fold per bin in input order — unlike ``np.sum`` or
+  ``np.add.reduceat``, which use pairwise summation and would break
+  bit-identity with the loop's ``+=``.
+* The reference loop squares *scalars* (``(time - since) ** 2`` on
+  ``np.float64`` goes through libm ``pow``), while the monitor's
+  ``close()`` squares *arrays* (``** 2`` lowers to ``x*x``).  These
+  differ in the last bit for ~0.1% of inputs, so the kernel uses
+  ``np.float_power`` (bit-equal to scalar ``pow``) for per-event
+  trapezoids and array ``** 2`` for the horizon flush.
+* Adding the ``0.0`` increments the loop never performs is safe here:
+  no accumulator can hold ``-0.0``.
+
+The fault-injection path (a non-quiet
+:class:`~repro.faults.model.FaultPlan`) is stateful in ways that do
+not vectorize — retry ledgers, breakers, per-period budgets — and
+stays on the reference loop; :meth:`Simulation.run` dispatches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.obs import registry as obs
+from repro.sim.events import EventKind
+from repro.sim.evaluator import SimulationResult
+from repro.workloads.catalog import Catalog
+
+__all__ = ["replay_fastpath"]
+
+
+def _segment_starts(elements_sorted: np.ndarray
+                    ) -> tuple[np.ndarray, np.ndarray]:
+    """First-event flag and per-event segment-start position.
+
+    Args:
+        elements_sorted: Element ids after the stable per-element sort.
+
+    Returns:
+        ``(new_segment, segment_start_of)`` — a boolean mask of
+        segment-opening events and, per event, the global position of
+        its segment's first event.
+    """
+    n_events = elements_sorted.shape[0]
+    new_segment = np.empty(n_events, dtype=bool)
+    new_segment[0] = True
+    np.not_equal(elements_sorted[1:], elements_sorted[:-1],
+                 out=new_segment[1:])
+    start_positions = np.flatnonzero(new_segment)
+    segment_ids = np.cumsum(new_segment) - 1
+    return new_segment, start_positions[segment_ids]
+
+
+def _shift_within_segment(values: np.ndarray, new_segment: np.ndarray,
+                          fill: float) -> np.ndarray:
+    """Previous event's value within each segment (``fill`` at starts)."""
+    shifted = np.empty_like(values)
+    shifted[0] = fill
+    shifted[1:] = values[:-1]
+    shifted[new_segment] = fill
+    return shifted
+
+
+def _last_position_at_or_before(candidate_positions: np.ndarray,
+                                segment_start_of: np.ndarray
+                                ) -> np.ndarray:
+    """Segmented running maximum of marked positions (−1 = none yet).
+
+    ``candidate_positions`` holds each event's own global position
+    where the event is a mark and −1 elsewhere; the result holds, per
+    event, the latest marked position at or before it *within its
+    segment*.
+    """
+    running = np.maximum.accumulate(candidate_positions)
+    return np.where(running >= segment_start_of, running, -1)
+
+
+def replay_fastpath(catalog: Catalog, frequencies: np.ndarray,
+                    times: np.ndarray, elements: np.ndarray,
+                    kinds: np.ndarray, *, horizon: float,
+                    period_length: float, n_periods: float
+                    ) -> SimulationResult:
+    """Replay a merged fault-free event tape without the Python loop.
+
+    Args:
+        catalog: The simulated workload.
+        frequencies: The schedule's per-element sync frequencies, in
+            syncs per period.
+        times: Merged event times, globally time-ordered.
+        elements: Element id per merged event.
+        kinds: :class:`~repro.sim.events.EventKind` per merged event.
+        horizon: Total simulated clock time.
+        period_length: Clock length of one sync period.
+        n_periods: Periods simulated (may be fractional).
+
+    Returns:
+        A :class:`SimulationResult` bit-identical to the reference
+        loop's for the same tape.
+    """
+    n_elements = catalog.n_elements
+    n_events = int(times.shape[0])
+    sizes = np.asarray(catalog.sizes, dtype=float)
+
+    update_kind = int(EventKind.UPDATE)
+    sync_kind = int(EventKind.SYNC)
+
+    if n_events:
+        order = np.argsort(elements, kind="stable")
+        element_of = elements[order]
+        time_of = times[order]
+        kind_of = kinds[order]
+        positions = np.arange(n_events, dtype=np.int64)
+
+        new_segment, segment_start_of = _segment_starts(element_of)
+        segment_start_positions = np.flatnonzero(new_segment)
+        segment_end_positions = np.append(
+            segment_start_positions[1:] - 1, n_events - 1)
+        present = element_of[segment_start_positions]
+
+        previous_time = _shift_within_segment(time_of, new_segment, 0.0)
+        if (time_of < previous_time).any():
+            raise SimulationError("event tape is not time-ordered")
+        elapsed = time_of - previous_time
+
+        is_update = kind_of == update_kind
+        is_sync = kind_of == sync_kind
+        is_access = ~is_update & ~is_sync
+
+        # --- monitor state before each event -------------------------
+        # The fresh flag before event k is decided by the last update
+        # or sync strictly before k in its segment (fresh initially).
+        state_change_positions = np.where(is_update | is_sync,
+                                          positions, -1)
+        last_state_change = _last_position_at_or_before(
+            state_change_positions, segment_start_of)
+        previous_state_change = np.empty_like(last_state_change)
+        previous_state_change[0] = -1
+        previous_state_change[1:] = last_state_change[:-1]
+        previous_state_change = np.where(
+            previous_state_change >= segment_start_of,
+            previous_state_change, -1)
+        fresh_before = ((previous_state_change < 0)
+                        | (kind_of[np.maximum(previous_state_change, 0)]
+                           == sync_kind))
+
+        # The first unseen update opens a stale run and pins
+        # stale_since; later updates extend it without resetting.
+        run_start = is_update & fresh_before
+        run_start_positions = np.where(run_start, positions, -1)
+        # Inclusive-at-k is safe: a run-starting event is itself fresh
+        # and never reads `since`.
+        since_position = _last_position_at_or_before(
+            run_start_positions, segment_start_of)
+        stale_since = time_of[np.maximum(since_position, 0)]
+
+        # --- per-event increments, folded per element ----------------
+        # The reference loop squares np.float64 *scalars* (libm pow);
+        # np.float_power is the array op that matches it bit-for-bit,
+        # where array ** 2 (x*x) would not.
+        end_offset = time_of - stale_since
+        start_offset = previous_time - stale_since
+        age_increment = 0.5 * (np.float_power(end_offset, 2.0)
+                               - np.float_power(start_offset, 2.0))
+        fresh_time = np.bincount(
+            element_of, weights=np.where(fresh_before, elapsed, 0.0),
+            minlength=n_elements)
+        age_integral = np.bincount(
+            element_of,
+            weights=np.where(fresh_before, 0.0, age_increment),
+            minlength=n_elements)
+
+        # --- final state per element, for the horizon flush ----------
+        last_time = np.zeros(n_elements)
+        last_time[present] = time_of[segment_end_positions]
+        final_state_change = last_state_change[segment_end_positions]
+        fresh_final = np.ones(n_elements, dtype=bool)
+        fresh_final[present] = (
+            (final_state_change < 0)
+            | (kind_of[np.maximum(final_state_change, 0)] == sync_kind))
+        final_since_position = since_position[segment_end_positions]
+        stale_since_final = np.zeros(n_elements)
+        stale_since_final[present] = np.where(
+            final_since_position >= 0,
+            time_of[np.maximum(final_since_position, 0)], 0.0)
+
+        # --- mirror bookkeeping: polls, changed polls, accesses ------
+        # Version arithmetic is integer-exact: the source version of
+        # an element at any event equals its update count so far, and
+        # a poll finds a change iff that count grew since its previous
+        # poll (the copy starts at version 0 = zero updates).
+        updates_so_far = np.cumsum(is_update)
+        updates_before = ((updates_so_far - is_update)
+                          - (updates_so_far[segment_start_of]
+                             - is_update[segment_start_of]))
+        sync_positions = np.flatnonzero(is_sync)
+        sync_elements = element_of[sync_positions]
+        sync_versions = updates_before[sync_positions]
+        previous_versions = np.zeros_like(sync_versions)
+        if sync_versions.shape[0]:
+            previous_versions[1:] = sync_versions[:-1]
+            first_poll = np.empty(sync_versions.shape[0], dtype=bool)
+            first_poll[0] = True
+            np.not_equal(sync_elements[1:], sync_elements[:-1],
+                         out=first_poll[1:])
+            previous_versions[first_poll] = 0
+        changed = sync_versions > previous_versions
+
+        poll_counts = np.bincount(
+            sync_elements, minlength=n_elements).astype(np.int64)
+        changed_poll_counts = np.bincount(
+            sync_elements[changed],
+            minlength=n_elements).astype(np.int64)
+        useful_syncs = int(np.count_nonzero(changed))
+        n_syncs = int(sync_positions.shape[0])
+        n_updates = int(np.count_nonzero(is_update))
+
+        access_positions = np.flatnonzero(is_access)
+        access_elements = element_of[access_positions]
+        # An access sees fresh data iff the copy version equals the
+        # source version, which is exactly the monitor's flag.
+        access_fresh = fresh_before[access_positions]
+        n_accesses = int(access_positions.shape[0])
+        fresh_accesses = int(np.count_nonzero(access_fresh))
+        access_counts = np.bincount(
+            access_elements, minlength=n_elements).astype(np.int64)
+
+        # Bandwidth is a sequential float fold over syncs in *global*
+        # time order (the mirror accumulates across elements as the
+        # tape plays); a single-bin bincount reproduces the fold.
+        global_sync = kinds == sync_kind
+        sync_sizes = sizes[elements[global_sync]]
+        bandwidth_used = float(np.bincount(
+            np.zeros(sync_sizes.shape[0], dtype=np.intp),
+            weights=sync_sizes, minlength=1)[0])
+    else:  # an empty tape: every copy stays fresh to the horizon
+        fresh_time = np.zeros(n_elements)
+        age_integral = np.zeros(n_elements)
+        last_time = np.zeros(n_elements)
+        fresh_final = np.ones(n_elements, dtype=bool)
+        stale_since_final = np.zeros(n_elements)
+        poll_counts = np.zeros(n_elements, dtype=np.int64)
+        changed_poll_counts = np.zeros(n_elements, dtype=np.int64)
+        access_counts = np.zeros(n_elements, dtype=np.int64)
+        useful_syncs = n_syncs = n_updates = 0
+        n_accesses = fresh_accesses = 0
+        bandwidth_used = 0.0
+
+    # --- horizon flush: mirrors FreshnessMonitor.close() exactly ----
+    # (array ** 2 here on purpose — close() squares arrays).
+    remaining = horizon - last_time
+    if (remaining < -1e-9).any():
+        raise SimulationError("events were recorded beyond the horizon")
+    fresh_time += np.maximum(remaining, 0.0) * fresh_final
+    stale = ~fresh_final & (remaining > 0.0)
+    if stale.any():
+        since = stale_since_final[stale]
+        start = last_time[stale]
+        age_integral[stale] += 0.5 * (
+            (horizon - since) ** 2 - (start - since) ** 2)
+
+    element_freshness = fresh_time / horizon
+    element_age = age_integral / horizon
+    p = catalog.access_probabilities
+    perceived_by_accesses = (fresh_accesses / n_accesses
+                             if n_accesses
+                             else float(p @ element_freshness))
+
+    if obs.telemetry_enabled():
+        _emit_period_series(
+            times, elements, kinds, sizes,
+            order if n_events else None,
+            fresh_before if n_events else None,
+            run_start if n_events else None,
+            is_sync if n_events else None,
+            n_elements, period_length=period_length,
+            n_periods=n_periods, planned=float(sizes @ frequencies))
+        obs.gauge_set("monitor.mean_time_freshness",
+                      float(element_freshness.mean()))
+        obs.gauge_set("monitor.mean_time_age",
+                      float(element_age.mean()))
+        obs.event("monitor.close", horizon=horizon,
+                  accesses=n_accesses, fresh_accesses=fresh_accesses,
+                  fresh_fraction=(fresh_accesses / n_accesses
+                                  if n_accesses else 1.0))
+        obs.counter_add("sim.runs")
+        obs.counter_add("sim.fastpath_runs")
+        obs.counter_add("sim.syncs", n_syncs)
+        obs.counter_add("sim.useful_syncs", useful_syncs)
+        obs.counter_add("sim.updates", n_updates)
+        obs.counter_add("sim.accesses", n_accesses)
+        obs.gauge_set("sim.bandwidth_used", bandwidth_used)
+        obs.gauge_set("sim.monitored_perceived_freshness",
+                      float(perceived_by_accesses))
+        obs.gauge_set("sim.monitored_general_freshness",
+                      float(element_freshness.mean()))
+
+    return SimulationResult(
+        catalog=catalog,
+        frequencies=frequencies,
+        horizon=horizon,
+        period_length=period_length,
+        n_updates=n_updates,
+        n_syncs=n_syncs,
+        n_accesses=n_accesses,
+        useful_syncs=useful_syncs,
+        bandwidth_used=bandwidth_used,
+        monitored_perceived_freshness=float(perceived_by_accesses),
+        monitored_time_perceived=float(p @ element_freshness),
+        monitored_general_freshness=float(element_freshness.mean()),
+        element_time_freshness=element_freshness,
+        element_time_age=element_age,
+        monitored_perceived_age=float(p @ element_age),
+        access_counts=access_counts,
+        poll_counts=poll_counts,
+        changed_poll_counts=changed_poll_counts,
+        attempted_polls=n_syncs,
+        attempted_bandwidth=bandwidth_used,
+    )
+
+
+def _emit_period_series(times: np.ndarray, elements: np.ndarray,
+                        kinds: np.ndarray, sizes: np.ndarray,
+                        order: np.ndarray | None,
+                        fresh_before: np.ndarray | None,
+                        run_start: np.ndarray | None,
+                        is_sync: np.ndarray | None,
+                        n_elements: int, *, period_length: float,
+                        n_periods: float, planned: float) -> None:
+    """Emit the per-period ``"sim.period"`` telemetry series.
+
+    Reproduces the reference loop's :class:`_PeriodTracker` output:
+    one event per completed (or final partial) period with the same
+    integer counts, the same sequentially folded bandwidth, and the
+    mirror's instantaneous mean freshness at each period boundary.
+    """
+    last_period = max(int(np.ceil(n_periods)) - 1, 0)
+    n_buckets = last_period + 1
+    n_events = int(times.shape[0])
+
+    if n_events:
+        assert (order is not None and fresh_before is not None
+                and run_start is not None and is_sync is not None)
+        period_index = (times / period_length).astype(np.int64)
+        update_kind = int(EventKind.UPDATE)
+        sync_kind = int(EventKind.SYNC)
+        global_update = kinds == update_kind
+        global_sync = kinds == sync_kind
+        global_access = ~global_update & ~global_sync
+
+        def per_period(mask: np.ndarray) -> np.ndarray:
+            return np.bincount(period_index[mask], minlength=n_buckets)
+
+        # Scatter the per-element flags back to global tape order.
+        fresh_before_global = np.empty(n_events, dtype=bool)
+        fresh_before_global[order] = fresh_before
+        run_start_global = np.empty(n_events, dtype=bool)
+        run_start_global[order] = run_start
+
+        syncs_per_period = per_period(global_sync)
+        updates_per_period = per_period(global_update)
+        accesses_per_period = per_period(global_access)
+        fresh_accesses_per_period = per_period(
+            global_access & fresh_before_global)
+        bandwidth_per_period = np.bincount(
+            period_index[global_sync],
+            weights=sizes[elements[global_sync]], minlength=n_buckets)
+
+        # Instantaneous fresh-copy count after each event: −1 when a
+        # run-opening update stales a copy, +1 when a sync refreshes
+        # a stale one.
+        delta = np.zeros(n_events, dtype=np.int64)
+        becomes_fresh = np.empty(n_events, dtype=bool)
+        becomes_fresh[order] = is_sync & ~fresh_before
+        delta[run_start_global] = -1
+        delta[becomes_fresh] = 1
+        fresh_count = n_elements + np.cumsum(delta)
+        boundary = np.searchsorted(period_index,
+                                   np.arange(n_buckets), side="right") - 1
+        mean_freshness = np.where(
+            boundary >= 0,
+            fresh_count[np.maximum(boundary, 0)], n_elements
+        ) / n_elements
+    else:
+        zeros = np.zeros(n_buckets, dtype=np.int64)
+        syncs_per_period = updates_per_period = zeros
+        accesses_per_period = fresh_accesses_per_period = zeros
+        bandwidth_per_period = np.zeros(n_buckets)
+        mean_freshness = np.ones(n_buckets)
+
+    for period in range(n_buckets):
+        accesses = int(accesses_per_period[period])
+        fresh = int(fresh_accesses_per_period[period])
+        bandwidth = float(bandwidth_per_period[period])
+        utilization = bandwidth / planned if planned else 0.0
+        obs.event(
+            "sim.period",
+            period=period,
+            syncs=int(syncs_per_period[period]),
+            bandwidth=bandwidth,
+            budget_utilization=utilization,
+            updates=int(updates_per_period[period]),
+            accesses=accesses,
+            fresh_fraction=(fresh / accesses if accesses else 1.0),
+            mean_freshness=float(mean_freshness[period]),
+            failed_polls=0,
+            retries=0,
+        )
+        obs.counter_add("sim.periods")
+        obs.gauge_set("sim.budget_utilization", utilization)

@@ -33,6 +33,7 @@ from repro.faults.retry import RetryPolicy
 from repro.obs import registry as obs
 from repro.sim.events import EventKind, EventStream, merge_streams
 from repro.sim.evaluator import FreshnessMonitor, SimulationResult
+from repro.sim.fastpath import replay_fastpath
 from repro.sim.generators import RequestGenerator, UpdateGenerator
 from repro.sim.mirror import Mirror
 from repro.sim.source import Source
@@ -57,12 +58,12 @@ class _PeriodTracker:
                  "accesses", "fresh_accesses", "failed_polls",
                  "retries")
 
-    def __init__(self, catalog: Catalog, frequencies: np.ndarray,
+    def __init__(self, catalog: Catalog, planned_per_period: float,
                  period_length: float, mirror: Mirror) -> None:
         self._sizes = catalog.sizes
         self._period_length = period_length
         self._mirror = mirror
-        self._planned = float(catalog.sizes @ frequencies)
+        self._planned = planned_per_period
         self._period = 0
         self.syncs = 0
         self.bandwidth = 0.0
@@ -219,6 +220,10 @@ class Simulation:
         self._fault_rng = fault_rng
         self._record_fault_trace = record_fault_trace
         self._fault_time_offset = fault_time_offset
+        # Planned bandwidth spend per period, Σ sizeᵢ·fᵢ — computed
+        # once here instead of per run (it used to be duplicated in
+        # run() and the period tracker).
+        self._planned_per_period = float(catalog.sizes @ frequencies)
         self._schedule = SyncSchedule.from_frequencies(
             frequencies, period_length=period_length,
             phase_policy=phase_policy, rng=rng)
@@ -234,17 +239,30 @@ class Simulation:
         """The timed Fixed-Order schedule the mirror executes."""
         return self._schedule
 
-    def run(self, n_periods: float) -> SimulationResult:
+    def run(self, n_periods: float, *,
+            engine: str = "auto") -> SimulationResult:
         """Simulate ``n_periods`` sync periods.
 
         Args:
             n_periods: Number of periods to simulate, > 0 (several
                 periods are needed for the monitored metrics to settle
                 near the analytic values).
+            engine: ``"auto"`` (default) replays fault-free tapes with
+                the vectorized kernel (:mod:`repro.sim.fastpath`) and
+                falls back to the per-event reference loop whenever a
+                non-quiet fault plan is active; ``"fastpath"`` insists
+                on the kernel (an error under faults); ``"reference"``
+                forces the loop.  The engines are bit-identical, so
+                this knob exists for equivalence tests and debugging,
+                not for correctness.
 
         Returns:
             The measured :class:`SimulationResult`.
         """
+        if engine not in ("auto", "fastpath", "reference"):
+            raise ValidationError(
+                f"engine must be 'auto', 'fastpath' or 'reference', "
+                f"got {engine!r}")
         if n_periods <= 0.0:
             raise ValidationError(f"n_periods must be > 0, got {n_periods}")
         horizon = n_periods * self._period_length
@@ -258,14 +276,37 @@ class Simulation:
         ]
         times, elements, kinds = merge_streams(streams)
 
+        # A quiet (or absent) fault plan bypasses the channel
+        # entirely: the fault-free paths below consume no extra
+        # random draws, so results stay bit-identical.
+        planned_per_period = self._planned_per_period
+        fault_free = self._fault_plan is None or self._fault_plan.is_quiet
+        if engine == "fastpath" and not fault_free:
+            raise ValidationError(
+                "engine='fastpath' cannot replay a non-quiet fault "
+                "plan; use 'auto' or 'reference'")
+        if fault_free and engine != "reference":
+            with obs.span("sim.run"):
+                result = replay_fastpath(
+                    self._catalog, self._frequencies, times, elements,
+                    kinds, horizon=horizon,
+                    period_length=self._period_length,
+                    n_periods=n_periods)
+            if contracts_enabled():
+                scheduled = self._frequencies > 0.0
+                granularity = float(self._catalog.sizes[scheduled].sum())
+                check_sync_conservation(
+                    result.bandwidth_used,
+                    planned_per_period,
+                    n_periods,
+                    granularity,
+                    where="Simulation.run")
+            return result
+
         source = Source(self._catalog.n_elements)
         mirror = Mirror(source, sizes=self._catalog.sizes)
         monitor = FreshnessMonitor(self._catalog.n_elements, horizon)
 
-        # A quiet (or absent) fault plan bypasses the channel
-        # entirely: the classic path below consumes no extra random
-        # draws, so fault-free results stay bit-identical.
-        planned_per_period = float(self._catalog.sizes @ self._frequencies)
         channel: SyncChannel | None = None
         budget: float | None = None
         if self._fault_plan is not None and not self._fault_plan.is_quiet:
@@ -293,7 +334,7 @@ class Simulation:
         sync_kind = int(EventKind.SYNC)
         # Per-period series tracker: hoisted to a local so the event
         # loop pays one bool test per event when telemetry is off.
-        tracker = (_PeriodTracker(self._catalog, self._frequencies,
+        tracker = (_PeriodTracker(self._catalog, planned_per_period,
                                   self._period_length, mirror)
                    if obs.telemetry_enabled() else None)
         sim_span = obs.span("sim.run")

@@ -6,9 +6,12 @@ import numpy as np
 import pytest
 
 from repro.analysis import sensitivity
+from repro.core.freshener import GeneralFreshener, PerceivedFreshener
 from repro.core.partitioning import PartitioningStrategy, partition_catalog
 from repro.core.representatives import build_representatives
 from repro.errors import ValidationError
+from repro.obs import registry as obs
+from repro.workloads.alignment import Alignment
 from repro.workloads.presets import ExperimentSetup, build_catalog
 
 TINY = ExperimentSetup(n_objects=80, updates_per_period=160.0,
@@ -34,6 +37,36 @@ class TestBandwidthSensitivity:
         advantage = sweep.get("PF_ADVANTAGE").y
         assert advantage[-1] < advantage.max()
         assert (advantage >= -1e-9).all()
+
+    def test_warm_start_reduces_bracket_expansions(self):
+        """Adjacent sweep points share a warm μ bracket, so the sweep
+        must spend fewer cold geometric bracket expansions than
+        planning every point from scratch (the satellite claim)."""
+        ratios = np.array([0.1, 0.15, 0.25, 0.4, 0.6, 1.0])
+        with obs.telemetry() as registry:
+            warm_sweep = sensitivity.bandwidth_sensitivity(
+                setup=TINY, ratios=ratios)
+        warm = registry.counters.get("waterfill.bracket_expansions",
+                                     0.0)
+        catalog = build_catalog(TINY, alignment=Alignment.SHUFFLED,
+                                seed=0)
+        cold_pf = np.zeros_like(ratios)
+        cold_gf = np.zeros_like(ratios)
+        with obs.telemetry() as registry:
+            for index, ratio in enumerate(ratios):
+                bandwidth = float(ratio) * TINY.updates_per_period
+                cold_pf[index] = PerceivedFreshener().plan(
+                    catalog, bandwidth).perceived_freshness
+                cold_gf[index] = GeneralFreshener().plan(
+                    catalog, bandwidth).perceived_freshness
+        cold = registry.counters.get("waterfill.bracket_expansions",
+                                     0.0)
+        assert warm < cold
+        # Warm starting is a speedup, not a different answer.
+        np.testing.assert_allclose(warm_sweep.get("PF_TECHNIQUE").y,
+                                   cold_pf, rtol=1e-9)
+        np.testing.assert_allclose(warm_sweep.get("GF_TECHNIQUE").y,
+                                   cold_gf, rtol=1e-9)
 
 
 class TestDispersionSensitivity:

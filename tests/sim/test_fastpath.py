@@ -1,0 +1,228 @@
+"""Equivalence suite: the vectorized kernel vs the reference loop.
+
+The fastpath's contract is **bit-identity**, not statistical
+agreement: for every fault-free tape, :func:`repro.sim.fastpath.
+replay_fastpath` must return a :class:`SimulationResult` whose every
+field — floats included — equals the reference loop's exactly.  These
+tests drive both engines from identically seeded simulations across
+presets, phase policies, object sizes, partial final periods and a
+bursty (non-Poisson) update process, then diff the results bit for
+bit.  A seeded hypothesis sweep over random catalogs guards the
+corners no fixture thought of.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.freshener import GeneralFreshener, PerceivedFreshener
+from repro.errors import ValidationError
+from repro.faults.model import FaultPlan, IIDFaultModel
+from repro.obs import registry as obs
+from repro.sim.bursty import BurstyUpdateGenerator
+from repro.sim.simulation import Simulation
+from repro.workloads.catalog import Catalog
+from repro.workloads.presets import ExperimentSetup, build_catalog
+
+from tests.conftest import random_catalog
+
+
+def bits(array: np.ndarray) -> np.ndarray:
+    """Reinterpret a float array's bytes for exact comparison."""
+    return np.ascontiguousarray(np.asarray(array, dtype=np.float64)
+                                ).view(np.uint64)
+
+
+def assert_bit_identical(fast, reference) -> None:
+    """Every ``SimulationResult`` field must match exactly."""
+    for field in dataclasses.fields(reference):
+        a = getattr(fast, field.name)
+        b = getattr(reference, field.name)
+        if isinstance(b, float):
+            assert bits(np.array([a])) == bits(np.array([b])), field.name
+        elif isinstance(b, np.ndarray) and b.dtype.kind == "f":
+            assert np.array_equal(bits(a), bits(b)), field.name
+        elif isinstance(b, np.ndarray):
+            assert np.array_equal(a, b), field.name
+        else:
+            assert a == b, field.name
+
+
+def run_engine(catalog: Catalog, frequencies: np.ndarray, *,
+               engine: str, seed: int, n_periods: float,
+               request_rate: float = 80.0, **kwargs):
+    """One simulation run with a per-call generator (same seed ⇒
+    identical event streams, so the engines see the same tape)."""
+    if "update_generator" in kwargs:
+        kwargs = dict(kwargs)
+        factory = kwargs.pop("update_generator")
+        kwargs["update_generator"] = factory(catalog)
+    sim = Simulation(catalog, frequencies, request_rate=request_rate,
+                     rng=np.random.default_rng(seed), **kwargs)
+    return sim.run(n_periods=n_periods, engine=engine)
+
+
+def assert_engines_agree(catalog: Catalog, frequencies: np.ndarray, *,
+                         seed: int, n_periods: float, **kwargs) -> None:
+    fast = run_engine(catalog, frequencies, engine="fastpath",
+                      seed=seed, n_periods=n_periods, **kwargs)
+    reference = run_engine(catalog, frequencies, engine="reference",
+                           seed=seed, n_periods=n_periods, **kwargs)
+    assert_bit_identical(fast, reference)
+
+
+@pytest.fixture
+def preset_catalog():
+    setup = ExperimentSetup(n_objects=40, updates_per_period=80.0,
+                            syncs_per_period=20.0, theta=1.0,
+                            update_std_dev=1.0)
+    return build_catalog(setup, alignment="shuffled", seed=11)
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("theta", [0.0, 1.0, 1.6])
+    def test_preset_catalogs(self, theta):
+        setup = ExperimentSetup(n_objects=50, updates_per_period=100.0,
+                                syncs_per_period=25.0, theta=theta,
+                                update_std_dev=1.0)
+        catalog = build_catalog(setup, alignment="shuffled", seed=3)
+        plan = PerceivedFreshener().plan(catalog, 25.0)
+        assert_engines_agree(catalog, plan.frequencies, seed=17,
+                             n_periods=10.0)
+
+    @pytest.mark.parametrize("phase_policy", ["staggered", "zero"])
+    def test_phase_policies(self, preset_catalog, phase_policy):
+        plan = GeneralFreshener().plan(preset_catalog, 20.0)
+        assert_engines_agree(preset_catalog, plan.frequencies, seed=5,
+                             n_periods=6.0, phase_policy=phase_policy)
+
+    def test_variable_sizes(self, sized_catalog):
+        plan = PerceivedFreshener().plan(sized_catalog, 6.0)
+        assert_engines_agree(sized_catalog, plan.frequencies, seed=23,
+                             n_periods=12.0, request_rate=40.0)
+
+    @pytest.mark.parametrize("n_periods", [0.75, 7.25, 1.0])
+    def test_partial_final_periods(self, preset_catalog, n_periods):
+        plan = PerceivedFreshener().plan(preset_catalog, 20.0)
+        assert_engines_agree(preset_catalog, plan.frequencies, seed=31,
+                             n_periods=n_periods)
+
+    def test_non_unit_period_length(self, preset_catalog):
+        plan = PerceivedFreshener().plan(preset_catalog, 20.0)
+        assert_engines_agree(preset_catalog, plan.frequencies, seed=41,
+                             n_periods=5.5, period_length=2.5)
+
+    def test_bursty_updates(self, preset_catalog):
+        plan = PerceivedFreshener().plan(preset_catalog, 20.0)
+        assert_engines_agree(
+            preset_catalog, plan.frequencies, seed=47, n_periods=8.0,
+            update_generator=lambda catalog: BurstyUpdateGenerator(
+                catalog, burstiness=0.7, cycle_length=2.0,
+                rng=np.random.default_rng(99)))
+
+    def test_zero_frequency_elements_idle(self, small_catalog):
+        frequencies = np.array([4.0, 0.0, 2.0, 0.0, 1.0])
+        assert_engines_agree(small_catalog, frequencies, seed=53,
+                             n_periods=9.0, request_rate=30.0)
+
+    def test_quiet_fault_plan_stays_on_fastpath(self, preset_catalog):
+        plan = PerceivedFreshener().plan(preset_catalog, 20.0)
+        fast = run_engine(preset_catalog, plan.frequencies,
+                          engine="auto", seed=61, n_periods=5.0,
+                          fault_plan=FaultPlan.quiet())
+        reference = run_engine(preset_catalog, plan.frequencies,
+                               engine="reference", seed=61,
+                               n_periods=5.0,
+                               fault_plan=FaultPlan.quiet())
+        assert_bit_identical(fast, reference)
+
+
+class TestPropertyRandomCatalogs:
+    @given(seed=st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_random_catalogs_bit_identical(self, seed):
+        rng = np.random.default_rng(seed)
+        catalog = random_catalog(rng, int(rng.integers(3, 40)),
+                                 sized=bool(rng.integers(0, 2)))
+        bandwidth = float(catalog.sizes.sum()
+                          * rng.uniform(0.2, 2.0))
+        plan = PerceivedFreshener().plan(catalog, bandwidth)
+        assert_engines_agree(
+            catalog, plan.frequencies, seed=seed,
+            n_periods=float(rng.uniform(0.5, 9.0)),
+            request_rate=float(rng.uniform(5.0, 120.0)))
+
+
+class TestDispatch:
+    def test_auto_faulted_falls_back_to_reference(self, preset_catalog):
+        """With a non-quiet plan, auto must match a forced reference
+        run draw for draw (the fault layer shares the stream RNG)."""
+        plan = PerceivedFreshener().plan(preset_catalog, 20.0)
+        faults = FaultPlan(models=(IIDFaultModel(0.4),))
+        auto = run_engine(preset_catalog, plan.frequencies,
+                          engine="auto", seed=71, n_periods=5.0,
+                          fault_plan=faults)
+        reference = run_engine(preset_catalog, plan.frequencies,
+                               engine="reference", seed=71,
+                               n_periods=5.0, fault_plan=faults)
+        assert auto.failed_polls > 0
+        assert_bit_identical(auto, reference)
+
+    def test_fastpath_engine_rejects_faults(self, preset_catalog):
+        plan = PerceivedFreshener().plan(preset_catalog, 20.0)
+        faults = FaultPlan(models=(IIDFaultModel(0.9),))
+        sim = Simulation(preset_catalog, plan.frequencies,
+                         request_rate=40.0,
+                         rng=np.random.default_rng(0),
+                         fault_plan=faults)
+        with pytest.raises(ValidationError):
+            sim.run(n_periods=2.0, engine="fastpath")
+
+    def test_unknown_engine_rejected(self, preset_catalog):
+        plan = PerceivedFreshener().plan(preset_catalog, 20.0)
+        sim = Simulation(preset_catalog, plan.frequencies,
+                         request_rate=40.0,
+                         rng=np.random.default_rng(0))
+        with pytest.raises(ValidationError):
+            sim.run(n_periods=2.0, engine="turbo")
+
+
+class TestTelemetryParity:
+    """Both engines must emit the same period series and gauges."""
+
+    @staticmethod
+    def _tape(preset_catalog, engine: str, n_periods: float):
+        plan = PerceivedFreshener().plan(preset_catalog, 20.0)
+        with obs.telemetry() as registry:
+            run_engine(preset_catalog, plan.frequencies, engine=engine,
+                       seed=83, n_periods=n_periods)
+        periods = [{k: v for k, v in record.items()
+                    if k not in ("seq", "t")}
+                   for record in registry.events_of_kind("sim.period")]
+        return periods, dict(registry.counters), dict(registry.gauges)
+
+    @pytest.mark.parametrize("n_periods", [6.0, 4.5])
+    def test_period_series_match(self, preset_catalog, n_periods):
+        fast_periods, fast_counters, fast_gauges = self._tape(
+            preset_catalog, "fastpath", n_periods)
+        ref_periods, ref_counters, ref_gauges = self._tape(
+            preset_catalog, "reference", n_periods)
+        assert fast_periods == ref_periods
+        assert fast_gauges == ref_gauges
+        assert fast_counters.pop("sim.fastpath_runs") == 1.0
+        assert fast_counters == ref_counters
+
+    def test_fastpath_counter_increments(self, preset_catalog):
+        plan = PerceivedFreshener().plan(preset_catalog, 20.0)
+        with obs.telemetry() as registry:
+            run_engine(preset_catalog, plan.frequencies, engine="auto",
+                       seed=89, n_periods=3.0)
+        assert registry.counters.get("sim.fastpath_runs") == 1.0
+        spans = [record["path"]
+                 for record in registry.span_records()]
+        assert "sim.run" in spans
