@@ -27,6 +27,8 @@ import numpy as np
 
 from repro.analysis.sensitivity import burstiness_robustness
 from repro.core.freshener import PerceivedFreshener
+from repro.faults.model import FaultPlan
+from repro.faults.retry import RetryPolicy
 from repro.obs import registry as obs
 from repro.parallel import resolve_jobs
 from repro.sim.simulation import Simulation
@@ -111,6 +113,91 @@ def test_kernel_speedup_bench(benchmark):
     payload["kernel"] = {"rows": rows,
                          "claim_speedup": CLAIM_SPEEDUP,
                          "claim_n_elements": CLAIM_SIZE}
+    _write_payload(payload)
+
+
+#: Faulted-replay scenario: 20% i.i.d. loss with bounded retries (the
+#: ``repro chaos`` workhorse), asserted >=3x at paper scale.
+FAULTED_CLAIM_SPEEDUP = 3.0
+FAULTED_LOSS = 0.2
+
+
+def _faulted_engine_timing(catalog, frequencies, *, engine: str,
+                           n_periods: float,
+                           request_rate: float) -> dict:
+    sim = Simulation(catalog, frequencies,
+                     request_rate=request_rate,
+                     rng=np.random.default_rng(7),
+                     fault_plan=FaultPlan.iid(FAULTED_LOSS),
+                     retry_policy=RetryPolicy(max_retries=3),
+                     fault_rng=np.random.default_rng(11))
+    with obs.telemetry() as registry:
+        start = time.perf_counter()
+        result = sim.run(n_periods, engine=engine)
+        total = time.perf_counter() - start
+    _, replay = registry.span_totals["sim.run"]
+    return {"engine": engine, "total_seconds": total,
+            "replay_seconds": replay, "result": result}
+
+
+def _faulted_row(n: int) -> dict:
+    setup = ExperimentSetup(n_objects=n, updates_per_period=2.0 * n,
+                            syncs_per_period=0.5 * n, theta=1.0,
+                            update_std_dev=2.0)
+    catalog = build_catalog(setup, seed=0)
+    plan = PerceivedFreshener().plan(catalog, setup.syncs_per_period)
+    kwargs = dict(n_periods=10.0, request_rate=float(n))
+    _faulted_engine_timing(catalog, plan.frequencies,
+                           engine="fastpath", **kwargs)
+    reference = _faulted_engine_timing(catalog, plan.frequencies,
+                                       engine="reference", **kwargs)
+    fastpath = _faulted_engine_timing(catalog, plan.frequencies,
+                                      engine="fastpath", **kwargs)
+    ref_result, fast_result = reference["result"], fastpath["result"]
+    assert fast_result.monitored_perceived_freshness == \
+        ref_result.monitored_perceived_freshness
+    assert fast_result.n_syncs == ref_result.n_syncs
+    assert fast_result.failed_polls == ref_result.failed_polls
+    assert fast_result.retries == ref_result.retries
+    assert np.array_equal(
+        fast_result.element_time_freshness.view(np.uint64),
+        ref_result.element_time_freshness.view(np.uint64))
+    return {
+        "n_elements": n,
+        "scenario": "iid20",
+        "loss": FAULTED_LOSS,
+        "n_events": int(ref_result.n_updates + ref_result.n_syncs
+                        + ref_result.n_accesses),
+        "attempted_polls": int(ref_result.attempted_polls),
+        "failed_polls": int(ref_result.failed_polls),
+        "reference_replay_seconds": reference["replay_seconds"],
+        "fastpath_replay_seconds": fastpath["replay_seconds"],
+        "reference_total_seconds": reference["total_seconds"],
+        "fastpath_total_seconds": fastpath["total_seconds"],
+        "kernel_speedup": (reference["replay_seconds"]
+                           / fastpath["replay_seconds"]),
+        "end_to_end_speedup": (reference["total_seconds"]
+                               / fastpath["total_seconds"]),
+    }
+
+
+def test_faulted_kernel_speedup_bench(benchmark):
+    """The faulted kernel must beat the loop >=3x on iid20 at paper
+    scale (lossy replay does strictly more work per sync than quiet
+    replay — the ledger walk — so its bar sits below the quiet 5x)."""
+    rows = benchmark.pedantic(
+        lambda: [_faulted_row(n) for n in KERNEL_SIZES],
+        rounds=1, iterations=1)
+    claim = next(r for r in rows if r["n_elements"] == CLAIM_SIZE)
+    assert claim["kernel_speedup"] >= FAULTED_CLAIM_SPEEDUP, claim
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = _load_payload()
+    payload["faulted_kernel"] = {
+        "rows": rows,
+        "claim_speedup": FAULTED_CLAIM_SPEEDUP,
+        "claim_n_elements": CLAIM_SIZE,
+        "scenario": "iid20",
+    }
     _write_payload(payload)
 
 

@@ -244,35 +244,63 @@ def _run_adaptive(args: argparse.Namespace) -> None:
                 args.plot)
 
 
+def _chaos_scenario_task(name: str, *, n_periods: int, warmup: int,
+                         seed: int):
+    """One full chaos scenario (module-level so workers can pickle
+    it; the three arms run serially inside the worker)."""
+    from repro.analysis.chaos import run_chaos
+
+    return run_chaos(name, n_periods=n_periods, warmup=warmup,
+                     seed=seed, jobs=1)
+
+
 def _run_chaos(args: argparse.Namespace) -> None:
+    from functools import partial
+
     from repro.analysis.chaos import format_chaos_report, run_chaos
     from repro.faults.scenarios import CHAOS_SCENARIOS
+    from repro.parallel import parallel_map
 
     names = (list(CHAOS_SCENARIOS) if args.scenario == "all"
              else [args.scenario])
     n_periods = 24 if args.quick else args.periods
     warmup = min(4 if args.quick else 10, n_periods - 1)
     every = 2 if args.quick else 5
-    for name in names:
-        report = run_chaos(name, n_periods=n_periods, warmup=warmup,
-                           seed=args.seed, jobs=args.jobs)
+    if len(names) > 1:
+        # Scenarios are independent, so ``--scenario all`` fans out
+        # whole scenarios (coarser tasks than the three arms inside
+        # one scenario, and there are more of them).
+        reports = parallel_map(
+            partial(_chaos_scenario_task, n_periods=n_periods,
+                    warmup=warmup, seed=args.seed),
+            names, jobs=args.jobs, label="parallel.chaos_scenarios")
+    else:
+        reports = [run_chaos(names[0], n_periods=n_periods,
+                             warmup=warmup, seed=args.seed,
+                             jobs=args.jobs)]
+    for report in reports:
         print(format_chaos_report(report, every=every))
         print()
 
 
-def _run_adapt(args: argparse.Namespace) -> None:
+def _adapt_scenario_task(scenario_name: str | None, *, seed: int,
+                         periods: int):
+    """One adaptive-loop run (module-level so workers can pickle it).
+
+    Returns:
+        ``(title, reports)`` for the CLI table.
+    """
     from repro.analysis.chaos import CHAOS_SETUP
     from repro.faults.breaker import CircuitBreaker
     from repro.faults.scenarios import CHAOS_SCENARIOS
     from repro.runtime.manager import AdaptiveMirrorManager
     from repro.workloads.presets import build_catalog
 
-    catalog = build_catalog(CHAOS_SETUP, seed=args.seed)
-    periods = 12 if args.quick else args.periods
+    catalog = build_catalog(CHAOS_SETUP, seed=seed)
     kwargs = {}
     title = "adaptive loop (fault-free)"
-    if args.scenario is not None:
-        scenario = CHAOS_SCENARIOS[args.scenario]
+    if scenario_name is not None:
+        scenario = CHAOS_SCENARIOS[scenario_name]
         kwargs["fault_plan"] = scenario.plan(catalog.n_elements,
                                              float(periods))
         kwargs["retry_policy"] = scenario.retry_policy
@@ -282,21 +310,41 @@ def _run_adapt(args: argparse.Namespace) -> None:
                 failure_threshold=scenario.breaker_threshold,
                 cooldown=scenario.breaker_cooldown)
             kwargs["shard_of"] = scenario.shard_of(catalog.n_elements)
-        title = f"adaptive loop under chaos scenario {args.scenario!r}"
+        title = f"adaptive loop under chaos scenario {scenario_name!r}"
     manager = AdaptiveMirrorManager(
         catalog, CHAOS_SETUP.syncs_per_period,
         request_rate=12.0 * CHAOS_SETUP.n_objects,
-        rng=np.random.default_rng(args.seed),
+        rng=np.random.default_rng(seed),
         replan_every=3, **kwargs)
-    reports = manager.run(periods)
-    print(title)
-    rows = [(r.period, "yes" if r.replanned else "",
-             f"{r.believed_pf:.4f}", f"{r.achieved_pf:.4f}",
-             f"{r.monitored_pf:.4f}", r.failed_polls, r.retries)
-            for r in reports]
-    print(format_table(
-        ["period", "replanned", "believed", "achieved", "monitored",
-         "failed", "retries"], rows))
+    return title, manager.run(periods)
+
+
+def _run_adapt(args: argparse.Namespace) -> None:
+    from functools import partial
+
+    from repro.faults.scenarios import CHAOS_SCENARIOS
+    from repro.parallel import parallel_map
+
+    scenarios: list[str | None]
+    if args.scenario == "all":
+        scenarios = [None, *CHAOS_SCENARIOS]
+    else:
+        scenarios = [args.scenario]
+    periods = 12 if args.quick else args.periods
+    tables = parallel_map(
+        partial(_adapt_scenario_task, seed=args.seed,
+                periods=periods),
+        scenarios, jobs=args.jobs, label="parallel.adapt")
+    for title, reports in tables:
+        print(title)
+        rows = [(r.period, "yes" if r.replanned else "",
+                 f"{r.believed_pf:.4f}", f"{r.achieved_pf:.4f}",
+                 f"{r.monitored_pf:.4f}", r.failed_polls, r.retries)
+                for r in reports]
+        print(format_table(
+            ["period", "replanned", "believed", "achieved",
+             "monitored", "failed", "retries"], rows))
+        print()
 
 
 _COMMANDS: dict[str, tuple[Callable[[argparse.Namespace], None], str]] = {
@@ -422,9 +470,11 @@ def build_parser() -> argparse.ArgumentParser:
                     help="periods per arm (default 60)")
             else:
                 sub.add_argument(
-                    "--scenario", choices=choices, default=None,
+                    "--scenario", choices=[*choices, "all"],
+                    default=None,
                     help="optional fault scenario for the loop "
-                         "(default: fault-free)")
+                         "(default: fault-free; 'all' runs the "
+                         "fault-free loop plus every scenario)")
                 sub.add_argument(
                     "--periods", type=int, default=30,
                     help="periods to run (default 30)")

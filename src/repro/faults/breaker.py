@@ -164,7 +164,8 @@ class CircuitBreaker:
         before = BreakerState(int(self._state[shard]))
         self._state[shard] = to.value
         self._transitions += 1
-        obs.event("breaker.transition", shard=int(shard),
+        obs.event("breaker.transition",
+                  shard=obs.element_label(shard),
                   from_state=before.name.lower(),
                   to_state=to.name.lower(), sim_time=float(time))
 

@@ -121,6 +121,16 @@ class IIDFaultModel(FaultModel):
         self._p = failure_probability
         self._failure = failure
 
+    @property
+    def failure_probability(self) -> float:
+        """Per-attempt failure probability (dimensionless)."""
+        return self._p
+
+    @property
+    def failure_outcome(self) -> PollOutcome:
+        """The outcome reported when an attempt fails."""
+        return self._failure
+
     def outcome(self, element: int, time: float,
                 rng: np.random.Generator) -> PollOutcome:
         """Draw one i.i.d. attempt outcome (consumes one draw)."""
@@ -306,6 +316,37 @@ class FaultPlan:
             if drawn.is_failure:
                 return drawn
         return PollOutcome.OK
+
+    def iid_profile(self) -> tuple[float, PollOutcome] | None:
+        """The plan's stateless per-attempt loss profile, if it has one.
+
+        A plan is *stateless per attempt* when its draws depend on
+        nothing but the attempt itself: exactly one
+        :class:`IIDFaultModel` (not a subclass), no outage windows,
+        and a retryable failure outcome.  Such plans consume exactly
+        one uniform draw per attempt with a fixed failure
+        probability, which is what lets the vectorized faulted replay
+        (:func:`repro.sim.fastpath.replay_fastpath_faulted`) pre-draw
+        every outcome and stay bit-identical to the per-event loop.
+        Gilbert–Elliott chains, latency draws, outage windows and
+        multi-model compositions are stateful or variable-draw and
+        return None.
+
+        Returns:
+            ``(failure_probability, failure_outcome)`` when the plan
+            qualifies, else None.
+        """
+        if self.outages or len(self.models) != 1:
+            return None
+        model = self.models[0]
+        if type(model) is not IIDFaultModel:
+            return None
+        if not model.failure_outcome.is_retryable:
+            # An UNREACHABLE failure fast-fails without burning
+            # bandwidth — different ledger semantics than the
+            # retry/burn path the kernel vectorizes.
+            return None
+        return model.failure_probability, model.failure_outcome
 
     @classmethod
     def quiet(cls) -> "FaultPlan":

@@ -23,15 +23,18 @@ from repro.obs.export import (
 )
 from repro.obs.registry import (
     DEFAULT_BUCKETS,
+    DEFAULT_MAX_ELEMENTS,
     Histogram,
     MetricsRegistry,
     SpanHandle,
     counter_add,
     disable_telemetry,
+    element_label,
     enable_telemetry,
     event,
     gauge_set,
     get_registry,
+    max_element_labels,
     observe,
     refresh_from_env,
     reset_telemetry,
@@ -42,15 +45,18 @@ from repro.obs.registry import (
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "DEFAULT_MAX_ELEMENTS",
     "Histogram",
     "MetricsRegistry",
     "SpanHandle",
     "counter_add",
     "disable_telemetry",
+    "element_label",
     "enable_telemetry",
     "event",
     "gauge_set",
     "get_registry",
+    "max_element_labels",
     "observe",
     "prometheus_text",
     "read_jsonl",

@@ -41,16 +41,19 @@ from typing import Any, Dict, Iterator, List, Mapping, Sequence, Tuple
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "DEFAULT_MAX_ELEMENTS",
     "MAX_EVENTS",
     "Histogram",
     "MetricsRegistry",
     "SpanHandle",
     "counter_add",
     "disable_telemetry",
+    "element_label",
     "enable_telemetry",
     "event",
     "gauge_set",
     "get_registry",
+    "max_element_labels",
     "observe",
     "refresh_from_env",
     "reset_telemetry",
@@ -60,6 +63,12 @@ __all__ = [
 ]
 
 _TRUTHY = {"1", "true", "yes", "on"}
+
+#: Default cap on distinct per-element (or per-shard) label values an
+#: event site may emit; indices at or beyond the cap collapse into the
+#: single ``"overflow"`` bucket.  Override with the environment
+#: variable ``REPRO_TELEMETRY_MAX_ELEMENTS`` (``0`` = unlimited).
+DEFAULT_MAX_ELEMENTS = 1024
 
 #: Default histogram bucket upper bounds (dimensionless; tuned for
 #: iteration counts — override per metric via ``observe(buckets=...)``).
@@ -265,15 +274,32 @@ class _NoOpSpan:
 _NOOP_SPAN = _NoOpSpan()
 
 
+def _max_elements_from_env() -> int:
+    """The per-element label cap ``REPRO_TELEMETRY_MAX_ELEMENTS``.
+
+    Unset or unparsable values fall back to
+    :data:`DEFAULT_MAX_ELEMENTS`; ``0`` (or any non-positive value)
+    means unlimited.
+    """
+    raw = os.environ.get("REPRO_TELEMETRY_MAX_ELEMENTS", "").strip()
+    if not raw:
+        return DEFAULT_MAX_ELEMENTS
+    try:
+        return int(raw)
+    except ValueError:
+        return DEFAULT_MAX_ELEMENTS
+
+
 class _State:
     """Single shared switch; attribute lookup is the entire off-cost."""
 
-    __slots__ = ("enabled", "registry")
+    __slots__ = ("enabled", "registry", "max_elements")
 
     def __init__(self) -> None:
         self.enabled = os.environ.get(
             "REPRO_TELEMETRY", "").strip().lower() in _TRUTHY
         self.registry = MetricsRegistry()
+        self.max_elements = _max_elements_from_env()
 
 
 _state = _State()
@@ -307,9 +333,39 @@ def reset_telemetry() -> MetricsRegistry:
 
 
 def refresh_from_env() -> None:
-    """Re-read ``REPRO_TELEMETRY`` (useful after monkeypatched env)."""
+    """Re-read ``REPRO_TELEMETRY`` and the per-element label cap
+    (useful after monkeypatched env)."""
     _state.enabled = os.environ.get(
         "REPRO_TELEMETRY", "").strip().lower() in _TRUTHY
+    _state.max_elements = _max_elements_from_env()
+
+
+def max_element_labels() -> int:
+    """The active per-element label cap (non-positive = unlimited)."""
+    return _state.max_elements
+
+
+def element_label(index: int) -> int | str:
+    """Cap the cardinality of a per-element (or per-shard) label.
+
+    Event sites that tag records with an element or shard index call
+    this instead of emitting the raw index: indices below the cap
+    pass through unchanged, everything else collapses into the single
+    ``"overflow"`` bucket, so a catalog-scale faulted run adds at
+    most ``cap + 1`` distinct label values to the tape however many
+    elements it has.
+
+    Args:
+        index: The element or shard index.
+
+    Returns:
+        ``index`` itself while under the cap, else ``"overflow"``.
+    """
+    cap = _state.max_elements
+    index = int(index)
+    if cap <= 0 or index < cap:
+        return index
+    return "overflow"
 
 
 def get_registry() -> MetricsRegistry:

@@ -36,6 +36,7 @@ from repro.faults.retry import RetryPolicy
 from repro.obs import registry as obs
 from repro.runtime.beliefs import BeliefState
 from repro.sim.evaluator import SimulationResult
+from repro.sim.fastpath import replay_window_tapes
 from repro.sim.simulation import Simulation
 from repro.workloads.catalog import Catalog
 
@@ -380,14 +381,15 @@ class AdaptiveMirrorManager:
                           effective_bandwidth=effective)
         return float(believed_pf)
 
-    def run_period(self, period: int) -> PeriodReport:
-        """Execute one period of the adaptive loop.
-
-        Args:
-            period: 1-based index, for the report.
+    def _pending_triggers(self) -> tuple[float, bool, bool, bool,
+                                         bool]:
+        """The replan triggers as seen from the current beliefs.
 
         Returns:
-            The :class:`PeriodReport`.
+            ``(divergence, drift_due, cadence_due, loss_due,
+            outage_due)``; pure — no state is touched, so the
+            window-batched runner can probe for a mid-window replan
+            after each fold without committing to one.
         """
         if self._planned_profile is None:
             divergence = 1.0
@@ -403,11 +405,32 @@ class AdaptiveMirrorManager:
                     > self._replan_loss_drift)
         outage_due = (self._frequencies is not None
                       and self._outage_changed())
+        return divergence, drift_due, cadence_due, loss_due, outage_due
+
+    def _would_replan(self) -> tuple[bool, float]:
+        """Whether the next period's decision would replan, and why.
+
+        Returns:
+            ``(pending, divergence)``.
+        """
+        divergence, drift, cadence, loss, outage = \
+            self._pending_triggers()
+        pending = (self._frequencies is None or drift or cadence
+                   or loss or outage)
+        return pending, divergence
+
+    def _decide_replan(self) -> tuple[bool, float, float]:
+        """Run one period's replan decision (and the replan itself).
+
+        Returns:
+            ``(replanned, believed_pf, divergence)``.
+        """
+        divergence, drift_due, cadence_due, loss_due, outage_due = \
+            self._pending_triggers()
         replanned = (self._frequencies is None or drift_due
                      or cadence_due or loss_due or outage_due)
-        tel = obs.telemetry_enabled()
         if replanned:
-            if tel:
+            if obs.telemetry_enabled():
                 obs.counter_add("manager.replans")
                 if drift_due:
                     obs.counter_add("manager.drift_replans")
@@ -422,21 +445,26 @@ class AdaptiveMirrorManager:
             believed_pf = perceived_freshness(
                 self._beliefs.believed_catalog(), self._frequencies)
         assert self._frequencies is not None
+        return replanned, believed_pf, divergence
 
-        simulation = Simulation(self._true_catalog, self._frequencies,
-                                request_rate=self._request_rate,
-                                rng=self._rng,
-                                fault_plan=self._fault_plan,
-                                retry_policy=self._retry_policy,
-                                breaker=self._breaker,
-                                shard_of=self._shard_of,
-                                bandwidth_budget=(self._bandwidth
-                                                  if self._faulty
-                                                  else None),
-                                fault_rng=self._fault_rng,
-                                fault_time_offset=float(period - 1))
-        with obs.span("manager.simulate"):
-            result = simulation.run(n_periods=1)
+    def _build_simulation(self, period: int) -> Simulation:
+        """The simulator for one period, on the global fault clock."""
+        assert self._frequencies is not None
+        return Simulation(self._true_catalog, self._frequencies,
+                          request_rate=self._request_rate,
+                          rng=self._rng,
+                          fault_plan=self._fault_plan,
+                          retry_policy=self._retry_policy,
+                          breaker=self._breaker,
+                          shard_of=self._shard_of,
+                          bandwidth_budget=(self._bandwidth
+                                            if self._faulty
+                                            else None),
+                          fault_rng=self._fault_rng,
+                          fault_time_offset=float(period - 1))
+
+    def _fold_observations(self, result: SimulationResult) -> None:
+        """Fold one period's observations into the belief state."""
         with obs.span("manager.estimate"):
             self._beliefs.observe_period(result.access_counts,
                                          result.poll_counts,
@@ -455,9 +483,13 @@ class AdaptiveMirrorManager:
                 self._observe_loss(result)
         self._periods_since_replan += 1
 
+    def _make_report(self, period: int, replanned: bool,
+                     believed_pf: float, divergence: float,
+                     result: SimulationResult) -> PeriodReport:
+        """Assemble (and emit telemetry for) one period's report."""
         achieved = perceived_freshness(self._true_catalog,
                                        self._frequencies)
-        if tel:
+        if obs.telemetry_enabled():
             obs.counter_add("manager.periods")
             obs.gauge_set("manager.profile_divergence", divergence)
             obs.gauge_set("manager.achieved_pf", achieved)
@@ -482,11 +514,120 @@ class AdaptiveMirrorManager:
             retries=result.retries,
         )
 
-    def run(self, n_periods: int) -> list[PeriodReport]:
+    def run_period(self, period: int) -> PeriodReport:
+        """Execute one period of the adaptive loop.
+
+        Args:
+            period: 1-based index, for the report.
+
+        Returns:
+            The :class:`PeriodReport`.
+        """
+        replanned, believed_pf, divergence = self._decide_replan()
+        simulation = self._build_simulation(period)
+        with obs.span("manager.simulate"):
+            result = simulation.run(n_periods=1)
+        self._fold_observations(result)
+        return self._make_report(period, replanned, believed_pf,
+                                 divergence, result)
+
+    def _batchable(self) -> bool:
+        """Whether replan windows may share one kernel call.
+
+        Fault-free loops always qualify.  Faulty loops qualify only
+        when the plan is stateless per attempt (the vectorized
+        faulted kernel's domain: no breaker, single i.i.d. model)
+        *and* the fault draws live on a dedicated generator —
+        per-period runs interleave workload and fault draws, while a
+        batched window draws all tapes before any faults, so a
+        shared stream could not stay bit-identical.
+        """
+        if not self._faulty:
+            return True
+        if self._breaker is not None or self._fault_rng is None:
+            return False
+        assert self._fault_plan is not None
+        return self._fault_plan.iid_profile() is not None
+
+    def _run_window(self, first_period: int, window: int,
+                    replanned: bool, believed_pf: float,
+                    divergence: float) -> list[PeriodReport]:
+        """Run up to ``window`` periods through one kernel call.
+
+        Builds each period's event tape in the exact order the
+        per-period loop would (so the workload stream is CRN-
+        identical), replays the whole window with
+        :func:`~repro.sim.fastpath.replay_window_tapes`, then folds
+        observations period by period.  If folding period ``j``
+        leaves the beliefs wanting a replan, the not-yet-folded tail
+        is *rolled back*: the workload rng rewinds to the snapshot
+        taken before period ``j+1``'s tape was drawn, and the fault
+        rng rewinds to the window start plus exactly the draws the
+        accepted periods consumed — the caller then replans and
+        re-simulates the tail, bit-identical to the sequential loop.
+
+        Returns:
+            Reports for the accepted prefix (>= 1 period).
+        """
+        assert self._frequencies is not None
+        fault_start = (self._fault_rng.bit_generator.state
+                       if self._fault_rng is not None else None)
+        rng_states = []
+        tapes = []
+        fault_args = None
+        for j in range(window):
+            rng_states.append(self._rng.bit_generator.state)
+            simulation = self._build_simulation(first_period + j)
+            tapes.append(simulation.build_tape(1))
+            fault_args = simulation.fault_kernel_args()
+        with obs.span("manager.simulate"):
+            results, consumed = replay_window_tapes(
+                self._true_catalog, self._frequencies, tapes,
+                period_length=1.0, first_global_period=first_period,
+                fault_args=fault_args)
+        reports = []
+        for j, result in enumerate(results):
+            if j > 0:
+                pending, divergence = self._would_replan()
+                if pending:
+                    self._rng.bit_generator.state = rng_states[j]
+                    if fault_args is not None:
+                        rewound = fault_args["rng"]
+                        assert fault_start is not None
+                        rewound.bit_generator.state = fault_start
+                        burned = int(sum(consumed[:j]))
+                        if burned:
+                            rewound.random(burned)
+                    if obs.telemetry_enabled():
+                        obs.counter_add("manager.window_rollbacks")
+                        obs.counter_add(
+                            "manager.rolled_back_periods",
+                            len(results) - j)
+                    break
+                replanned = False
+                believed_pf = perceived_freshness(
+                    self._beliefs.believed_catalog(),
+                    self._frequencies)
+            self._fold_observations(result)
+            reports.append(self._make_report(
+                first_period + j, replanned, believed_pf, divergence,
+                result))
+        return reports
+
+    def run(self, n_periods: int, *,
+            batch: int | None = None) -> list[PeriodReport]:
         """Run the loop for ``n_periods`` periods.
 
         Args:
             n_periods: Number of periods, >= 1.
+            batch: Maximum periods per kernel call.  ``None`` (the
+                default) picks ``replan_every`` when a cadence is
+                set, else 16; ``1`` forces the sequential per-period
+                loop.  Batching applies only when the fault setup is
+                stateless (see :meth:`_batchable`); reports are
+                bit-identical either way — a mid-window replan
+                trigger rolls the unfolded tail back and re-runs it
+                under the new schedule.
 
         Returns:
             One :class:`PeriodReport` per period.
@@ -494,5 +635,29 @@ class AdaptiveMirrorManager:
         if n_periods < 1:
             raise ValidationError(
                 f"n_periods must be >= 1, got {n_periods}")
-        return [self.run_period(period)
-                for period in range(1, n_periods + 1)]
+        if batch is not None and batch < 1:
+            raise ValidationError(
+                f"batch must be >= 1, got {batch}")
+        if batch is None:
+            batch = (self._replan_every if self._replan_every > 0
+                     else 16)
+        if batch == 1 or not self._batchable():
+            return [self.run_period(period)
+                    for period in range(1, n_periods + 1)]
+        reports: list[PeriodReport] = []
+        period = 1
+        while period <= n_periods:
+            replanned, believed_pf, divergence = self._decide_replan()
+            window = min(batch, n_periods - period + 1)
+            if self._replan_every > 0:
+                # The cadence trigger's firing period is known in
+                # advance — stop the window there instead of paying
+                # for a rollback.
+                window = min(window, max(
+                    self._replan_every - self._periods_since_replan,
+                    1))
+            accepted = self._run_window(period, window, replanned,
+                                        believed_pf, divergence)
+            reports.extend(accepted)
+            period += len(accepted)
+        return reports

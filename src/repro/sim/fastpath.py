@@ -1,13 +1,26 @@
-"""Vectorized fault-free replay of the simulation event tape.
+"""Vectorized replay of the simulation event tape.
 
 :func:`replay_fastpath` consumes the *same* merged event tape the
 per-event reference loop in :meth:`repro.sim.simulation.Simulation.run`
 walks, and produces a :class:`~repro.sim.evaluator.SimulationResult`
 that is **bit-identical** — not merely statistically equivalent — to
 the reference loop's.  The random draws all happen upstream (schedule
-phases, update stream, request stream), so the kernel is pure replay:
-it consumes no RNG and only has to reproduce the reference loop's
-floating-point operation *order*, element by element.
+phases, update stream, request stream), so the fault-free kernel is
+pure replay: it consumes no RNG and only has to reproduce the
+reference loop's floating-point operation *order*, element by element.
+
+:func:`replay_fastpath_faulted` extends the same machinery to
+*stateless per-attempt loss* — a :class:`~repro.faults.model.FaultPlan`
+whose :meth:`~repro.faults.model.FaultPlan.iid_profile` is not None
+(one i.i.d. model, no outages; the dispatching `Simulation.run` also
+requires no breaker).  Such plans consume exactly one uniform draw
+per attempt plus one jitter draw per retry, so the whole fault stream
+can be pre-drawn in one vectorized pass and resolved into per-sync
+attempt counts and success flags (:func:`resolve_iid_faults`); the
+successful syncs are then folded through the fault-free copy-state
+machine unchanged.  Stateful plans — Gilbert–Elliott chains, latency
+draws (variable bitstream consumption), outage windows, breakers —
+stay on the reference loop; :meth:`Simulation.run` dispatches.
 
 How the loop is vectorized
 --------------------------
@@ -40,24 +53,44 @@ Bit-identity notes (all verified by the equivalence suite):
   trapezoids and array ``** 2`` for the horizon flush.
 * Adding the ``0.0`` increments the loop never performs is safe here:
   no accumulator can hold ``-0.0``.
+* ``Generator.random(n)`` produces the same values *and* the same
+  post-call state as ``n`` successive scalar ``random()`` calls, and
+  ``Generator.uniform(low, high)`` consumes exactly one draw and
+  equals ``low + (high - low) * random()`` bit-for-bit — which is
+  what lets :func:`resolve_iid_faults` pre-draw an oversized pool,
+  rewind the bit generator, and re-advance it by the exact number of
+  draws the reference channel would have consumed.
 
-The fault-injection path (a non-quiet
-:class:`~repro.faults.model.FaultPlan`) is stateful in ways that do
-not vectorize — retry ledgers, breakers, per-period budgets — and
-stays on the reference loop; :meth:`Simulation.run` dispatches.
+The one sequential piece of the faulted path is the per-period
+bandwidth ledger: how many draws a sync consumes depends on where
+earlier syncs left the pool cursor and the ledger, so the cursor walk
+is a tight O(n_syncs) scalar scan over precomputed attempt tables —
+everything per-event and per-attempt around it (outcome draws, retry
+columns, trace assembly, accounting folds, the tape replay itself)
+is vectorized.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
+from repro.contracts import (
+    check_attempt_budget,
+    check_sync_conservation,
+    contracts_enabled,
+)
 from repro.errors import SimulationError
+from repro.faults.model import PollOutcome
+from repro.faults.retry import RetryPolicy
 from repro.obs import registry as obs
 from repro.sim.events import EventKind
 from repro.sim.evaluator import SimulationResult
 from repro.workloads.catalog import Catalog
 
-__all__ = ["replay_fastpath"]
+__all__ = ["replay_fastpath", "replay_fastpath_faulted",
+           "replay_window_tapes", "resolve_iid_faults"]
 
 
 def _segment_starts(elements_sorted: np.ndarray
@@ -106,32 +139,55 @@ def _last_position_at_or_before(candidate_positions: np.ndarray,
     return np.where(running >= segment_start_of, running, -1)
 
 
-def replay_fastpath(catalog: Catalog, frequencies: np.ndarray,
-                    times: np.ndarray, elements: np.ndarray,
-                    kinds: np.ndarray, *, horizon: float,
-                    period_length: float, n_periods: float
-                    ) -> SimulationResult:
-    """Replay a merged fault-free event tape without the Python loop.
+@dataclass
+class _TapeReplay:
+    """Everything the copy-state machine measures from one tape.
+
+    Per-element arrays have one entry per element; the ``*_global``
+    flag arrays have one entry per tape event in *tape* order (None
+    for an empty tape).  Shared by the fault-free, faulted and
+    window-batched assembly paths.
+    """
+
+    element_freshness: np.ndarray
+    element_age: np.ndarray
+    poll_counts: np.ndarray
+    changed_poll_counts: np.ndarray
+    access_counts: np.ndarray
+    n_updates: int
+    n_syncs: int
+    n_accesses: int
+    useful_syncs: int
+    fresh_accesses: int
+    bandwidth_used: float
+    fresh_before_global: np.ndarray | None
+    run_start_global: np.ndarray | None
+    becomes_fresh_global: np.ndarray | None
+    changed_sync_global: np.ndarray | None
+
+
+def _replay_tape(n_elements: int, sizes: np.ndarray,
+                 times: np.ndarray, elements: np.ndarray,
+                 kinds: np.ndarray, *, horizon: float) -> _TapeReplay:
+    """Replay one merged event tape through the segment kernel.
 
     Args:
-        catalog: The simulated workload.
-        frequencies: The schedule's per-element sync frequencies, in
-            syncs per period.
-        times: Merged event times, globally time-ordered.
+        n_elements: Number of mirrored elements (tape element ids may
+            be tiled copies, as in the window batch path).
+        sizes: Per-element transfer sizes, in size units; shape
+            ``(n_elements,)``.
+        times: Merged event times, globally time-ordered, in clock
+            units.
         elements: Element id per merged event.
         kinds: :class:`~repro.sim.events.EventKind` per merged event.
-        horizon: Total simulated clock time.
-        period_length: Clock length of one sync period.
-        n_periods: Periods simulated (may be fractional).
+        horizon: Total simulated clock time per element, in clock
+            units.
 
     Returns:
-        A :class:`SimulationResult` bit-identical to the reference
-        loop's for the same tape.
+        The :class:`_TapeReplay` measurements, bit-identical to the
+        reference loop's for the same tape.
     """
-    n_elements = catalog.n_elements
     n_events = int(times.shape[0])
-    sizes = np.asarray(catalog.sizes, dtype=float)
-
     update_kind = int(EventKind.UPDATE)
     sync_kind = int(EventKind.SYNC)
 
@@ -263,6 +319,17 @@ def replay_fastpath(catalog: Catalog, frequencies: np.ndarray,
         bandwidth_used = float(np.bincount(
             np.zeros(sync_sizes.shape[0], dtype=np.intp),
             weights=sync_sizes, minlength=1)[0])
+
+        # Scatter the sorted-order flags back to tape order for the
+        # telemetry series and the window-batch split.
+        fresh_before_global = np.empty(n_events, dtype=bool)
+        fresh_before_global[order] = fresh_before
+        run_start_global = np.empty(n_events, dtype=bool)
+        run_start_global[order] = run_start
+        becomes_fresh_global = np.empty(n_events, dtype=bool)
+        becomes_fresh_global[order] = is_sync & ~fresh_before
+        changed_sync_global = np.zeros(n_events, dtype=bool)
+        changed_sync_global[order[sync_positions[changed]]] = True
     else:  # an empty tape: every copy stays fresh to the horizon
         fresh_time = np.zeros(n_elements)
         age_integral = np.zeros(n_elements)
@@ -275,6 +342,10 @@ def replay_fastpath(catalog: Catalog, frequencies: np.ndarray,
         useful_syncs = n_syncs = n_updates = 0
         n_accesses = fresh_accesses = 0
         bandwidth_used = 0.0
+        fresh_before_global = None
+        run_start_global = None
+        becomes_fresh_global = None
+        changed_sync_global = None
 
     # --- horizon flush: mirrors FreshnessMonitor.close() exactly ----
     # (array ** 2 here on purpose — close() squares arrays).
@@ -289,88 +360,585 @@ def replay_fastpath(catalog: Catalog, frequencies: np.ndarray,
         age_integral[stale] += 0.5 * (
             (horizon - since) ** 2 - (start - since) ** 2)
 
-    element_freshness = fresh_time / horizon
-    element_age = age_integral / horizon
+    return _TapeReplay(
+        element_freshness=fresh_time / horizon,
+        element_age=age_integral / horizon,
+        poll_counts=poll_counts,
+        changed_poll_counts=changed_poll_counts,
+        access_counts=access_counts,
+        n_updates=n_updates,
+        n_syncs=n_syncs,
+        n_accesses=n_accesses,
+        useful_syncs=useful_syncs,
+        fresh_accesses=fresh_accesses,
+        bandwidth_used=bandwidth_used,
+        fresh_before_global=fresh_before_global,
+        run_start_global=run_start_global,
+        becomes_fresh_global=becomes_fresh_global,
+        changed_sync_global=changed_sync_global,
+    )
+
+
+def replay_fastpath(catalog: Catalog, frequencies: np.ndarray,
+                    times: np.ndarray, elements: np.ndarray,
+                    kinds: np.ndarray, *, horizon: float,
+                    period_length: float, n_periods: float
+                    ) -> SimulationResult:
+    """Replay a merged fault-free event tape without the Python loop.
+
+    Args:
+        catalog: The simulated workload.
+        frequencies: The schedule's per-element sync frequencies, in
+            syncs per period.
+        times: Merged event times, globally time-ordered.
+        elements: Element id per merged event.
+        kinds: :class:`~repro.sim.events.EventKind` per merged event.
+        horizon: Total simulated clock time.
+        period_length: Clock length of one sync period.
+        n_periods: Periods simulated (may be fractional).
+
+    Returns:
+        A :class:`SimulationResult` bit-identical to the reference
+        loop's for the same tape.
+    """
+    sizes = np.asarray(catalog.sizes, dtype=float)
+    replay = _replay_tape(catalog.n_elements, sizes, times, elements,
+                          kinds, horizon=horizon)
     p = catalog.access_probabilities
-    perceived_by_accesses = (fresh_accesses / n_accesses
-                             if n_accesses
-                             else float(p @ element_freshness))
+    perceived_by_accesses = (
+        replay.fresh_accesses / replay.n_accesses
+        if replay.n_accesses
+        else float(p @ replay.element_freshness))
 
     if obs.telemetry_enabled():
         _emit_period_series(
             times, elements, kinds, sizes,
-            order if n_events else None,
-            fresh_before if n_events else None,
-            run_start if n_events else None,
-            is_sync if n_events else None,
-            n_elements, period_length=period_length,
+            replay.fresh_before_global, replay.run_start_global,
+            replay.becomes_fresh_global,
+            catalog.n_elements, period_length=period_length,
             n_periods=n_periods, planned=float(sizes @ frequencies))
-        obs.gauge_set("monitor.mean_time_freshness",
-                      float(element_freshness.mean()))
-        obs.gauge_set("monitor.mean_time_age",
-                      float(element_age.mean()))
-        obs.event("monitor.close", horizon=horizon,
-                  accesses=n_accesses, fresh_accesses=fresh_accesses,
-                  fresh_fraction=(fresh_accesses / n_accesses
-                                  if n_accesses else 1.0))
+        _emit_monitor_close(replay.element_freshness,
+                            replay.element_age, replay.n_accesses,
+                            replay.fresh_accesses, horizon)
         obs.counter_add("sim.runs")
         obs.counter_add("sim.fastpath_runs")
-        obs.counter_add("sim.syncs", n_syncs)
-        obs.counter_add("sim.useful_syncs", useful_syncs)
-        obs.counter_add("sim.updates", n_updates)
-        obs.counter_add("sim.accesses", n_accesses)
-        obs.gauge_set("sim.bandwidth_used", bandwidth_used)
+        obs.counter_add("sim.syncs", replay.n_syncs)
+        obs.counter_add("sim.useful_syncs", replay.useful_syncs)
+        obs.counter_add("sim.updates", replay.n_updates)
+        obs.counter_add("sim.accesses", replay.n_accesses)
+        obs.gauge_set("sim.bandwidth_used", replay.bandwidth_used)
         obs.gauge_set("sim.monitored_perceived_freshness",
                       float(perceived_by_accesses))
         obs.gauge_set("sim.monitored_general_freshness",
-                      float(element_freshness.mean()))
+                      float(replay.element_freshness.mean()))
 
     return SimulationResult(
         catalog=catalog,
         frequencies=frequencies,
         horizon=horizon,
         period_length=period_length,
-        n_updates=n_updates,
-        n_syncs=n_syncs,
-        n_accesses=n_accesses,
-        useful_syncs=useful_syncs,
-        bandwidth_used=bandwidth_used,
+        n_updates=replay.n_updates,
+        n_syncs=replay.n_syncs,
+        n_accesses=replay.n_accesses,
+        useful_syncs=replay.useful_syncs,
+        bandwidth_used=replay.bandwidth_used,
         monitored_perceived_freshness=float(perceived_by_accesses),
-        monitored_time_perceived=float(p @ element_freshness),
-        monitored_general_freshness=float(element_freshness.mean()),
-        element_time_freshness=element_freshness,
-        element_time_age=element_age,
-        monitored_perceived_age=float(p @ element_age),
-        access_counts=access_counts,
-        poll_counts=poll_counts,
-        changed_poll_counts=changed_poll_counts,
-        attempted_polls=n_syncs,
-        attempted_bandwidth=bandwidth_used,
+        monitored_time_perceived=float(p @ replay.element_freshness),
+        monitored_general_freshness=float(
+            replay.element_freshness.mean()),
+        element_time_freshness=replay.element_freshness,
+        element_time_age=replay.element_age,
+        monitored_perceived_age=float(p @ replay.element_age),
+        access_counts=replay.access_counts,
+        poll_counts=replay.poll_counts,
+        changed_poll_counts=replay.changed_poll_counts,
+        attempted_polls=replay.n_syncs,
+        attempted_bandwidth=replay.bandwidth_used,
     )
+
+
+@dataclass
+class FaultResolution:
+    """Per-sync outcome of the vectorized i.i.d. fault resolution.
+
+    Arrays have one entry per *scheduled* sync in tape order.
+
+    Attributes:
+        attempts: Attempts made per sync (0 = budget-denied outright).
+        success: Whether the sync's final attempt succeeded.
+        denied: Whether the sync was denied before its first attempt.
+        offsets: Each sync's first draw position in the pre-drawn
+            pool (meaningful only where ``attempts > 0``).
+        consumed: RNG draws consumed per sync (``2·attempts − 1``
+            with a retry policy in force, ``attempts`` capped at 1
+            without; 0 for denied syncs).
+        denied_retries: Retries refused by the period budget, total.
+        trace: The reference channel's per-attempt trace —
+            ``(attempt_time, element, outcome_value)`` — or None when
+            not recorded.
+    """
+
+    attempts: np.ndarray
+    success: np.ndarray
+    denied: np.ndarray
+    offsets: np.ndarray
+    consumed: np.ndarray
+    denied_retries: int
+    trace: list[tuple[float, int, str]] | None
+
+
+def resolve_iid_faults(sync_times: np.ndarray,
+                       sync_elements: np.ndarray,
+                       sizes: np.ndarray, *,
+                       failure_probability: float,
+                       failure_outcome: PollOutcome,
+                       retry_policy: RetryPolicy | None,
+                       bandwidth_budget: float | None,
+                       period_length: float,
+                       rng: np.random.Generator,
+                       record_trace: bool = False
+                       ) -> FaultResolution:
+    """Resolve every scheduled sync's fault outcome in one pass.
+
+    Pre-draws an oversized uniform pool from ``rng`` (one vectorized
+    call), classifies every possible attempt start position into
+    "first success at attempt k / no success", then walks the syncs
+    once to place each sync's draw cursor and charge its attempts
+    against the per-period bandwidth ledger — the only inherently
+    sequential part, a tight O(n_syncs) scalar scan.  Finally the bit
+    generator is rewound and re-advanced by exactly the number of
+    draws the reference :class:`~repro.faults.channel.SyncChannel`
+    would have consumed, so downstream draws see an identical stream.
+
+    Args:
+        sync_times: Scheduled sync times *on the fault clock* (local
+            time plus any fault offset), in clock units, nondecreasing.
+        sync_elements: Element index per scheduled sync.
+        sizes: Per-element transfer sizes, in size units.
+        failure_probability: Per-attempt failure probability in
+            ``[0, 1]`` (dimensionless).
+        failure_outcome: Outcome reported on a failed attempt (must
+            be retryable; the dispatcher guarantees this).
+        retry_policy: Backoff policy, or None to disable retries.
+        bandwidth_budget: Per-period attempt budget B in size units
+            per period, or None to disable the ledger.
+        period_length: Clock length of one budget period, > 0.
+        rng: The fault generator (``fault_rng`` or the shared
+            workload generator), advanced exactly as the reference
+            channel would.
+        record_trace: When True, build the reference-identical
+            per-attempt trace (costs a Python loop over attempts).
+
+    Returns:
+        The per-sync :class:`FaultResolution`.
+    """
+    m = int(sync_times.shape[0])
+    max_attempts = (1 if retry_policy is None
+                    else retry_policy.max_retries + 1)
+    width = 2 * max_attempts - 1
+
+    if m == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return FaultResolution(
+            attempts=empty, success=np.zeros(0, dtype=bool),
+            denied=np.zeros(0, dtype=bool), offsets=empty.copy(),
+            consumed=empty.copy(), denied_retries=0,
+            trace=[] if record_trace else None)
+
+    state = rng.bit_generator.state
+    pool = rng.random(m * width + width)
+    pool_span = m * width
+    # ok_cols[t, k]: would the (k+1)-th attempt of a sync whose first
+    # draw sits at pool position t succeed?  Attempt draws are spaced
+    # two apart because each retry interleaves one jitter draw.
+    fail = pool < failure_probability
+    ok_cols = np.empty((pool_span + 1, max_attempts), dtype=bool)
+    for k in range(max_attempts):
+        ok_cols[:, k] = ~fail[2 * k: 2 * k + pool_span + 1]
+    any_ok = ok_cols.any(axis=1)
+    # Attempts the retry policy would allow from each position: stop
+    # at the first success, else exhaust all max_attempts columns.
+    desired = np.where(any_ok, ok_cols.argmax(axis=1) + 1,
+                       max_attempts)
+
+    # --- the ledger walk (the one sequential piece) ------------------
+    desired_list = desired.tolist()
+    any_ok_list = any_ok.tolist()
+    size_list = sizes[sync_elements].tolist()
+    period_list = (sync_times / period_length).astype(np.int64).tolist()
+    out_attempts = [0] * m
+    out_success = [False] * m
+    out_offsets = [0] * m
+    denied_retries = 0
+    cursor = 0
+    current_period = 0
+    spent = 0.0
+    budget = bandwidth_budget
+    for i in range(m):
+        period = period_list[i]
+        if period > current_period:
+            current_period = period
+            spent = 0.0
+        size = size_list[i]
+        if budget is not None and spent + size > budget:
+            continue  # denied outright: zero attempts, zero draws
+        goal = desired_list[cursor]
+        out_offsets[i] = cursor
+        if budget is None:
+            attempts = goal
+        else:
+            attempts = 1
+            spent += size
+            while attempts < goal:
+                if spent + size > budget:
+                    denied_retries += 1
+                    break
+                attempts += 1
+                spent += size
+        out_attempts[i] = attempts
+        out_success[i] = any_ok_list[cursor] and attempts == goal
+        cursor += 2 * attempts - 1
+
+    attempts_arr = np.asarray(out_attempts, dtype=np.int64)
+    success_arr = np.asarray(out_success, dtype=bool)
+    offsets_arr = np.asarray(out_offsets, dtype=np.int64)
+    made = attempts_arr > 0
+    consumed_arr = np.where(made, 2 * attempts_arr - 1, 0)
+
+    # Rewind the oversized pool draw, then advance by exactly what the
+    # reference channel consumed (array and scalar draws advance the
+    # PCG64 state identically).
+    rng.bit_generator.state = state
+    if cursor:
+        rng.random(cursor)
+
+    trace: list[tuple[float, int, str]] | None = None
+    if record_trace:
+        trace = _build_trace(
+            sync_times, sync_elements, attempts_arr, success_arr,
+            offsets_arr, pool, failure_outcome=failure_outcome,
+            retry_policy=retry_policy)
+
+    return FaultResolution(
+        attempts=attempts_arr, success=success_arr,
+        denied=~made, offsets=offsets_arr, consumed=consumed_arr,
+        denied_retries=denied_retries, trace=trace)
+
+
+def _build_trace(sync_times: np.ndarray, sync_elements: np.ndarray,
+                 attempts: np.ndarray, success: np.ndarray,
+                 offsets: np.ndarray, pool: np.ndarray, *,
+                 failure_outcome: PollOutcome,
+                 retry_policy: RetryPolicy | None
+                 ) -> list[tuple[float, int, str]]:
+    """Reconstruct the reference channel's per-attempt trace.
+
+    Retry timestamps replay the decorrelated-jitter chain: each delay
+    is ``min(base + (max(3·prev, base) − base) · u, max_delay)`` with
+    ``u`` the jitter draw interleaved between the attempt draws —
+    bit-equal to ``rng.uniform(base, anchor)`` in the reference.
+    """
+    trace: list[tuple[float, int, str]] = []
+    ok_value = PollOutcome.OK.value
+    fail_value = failure_outcome.value
+    base = retry_policy.base_delay if retry_policy is not None else 0.0
+    cap = retry_policy.max_delay if retry_policy is not None else 0.0
+    pool_list = pool.tolist()
+    times_list = sync_times.tolist()
+    elements_list = sync_elements.tolist()
+    attempts_list = attempts.tolist()
+    success_list = success.tolist()
+    offsets_list = offsets.tolist()
+    for i in range(len(times_list)):
+        n_attempts = attempts_list[i]
+        if n_attempts == 0:
+            continue
+        element = int(elements_list[i])
+        time = times_list[i]
+        offset = offsets_list[i]
+        delay = 0.0
+        for k in range(n_attempts):
+            last = k == n_attempts - 1
+            value = (ok_value if last and success_list[i]
+                     else fail_value)
+            trace.append((time, element, value))
+            if not last:
+                jitter = pool_list[offset + 2 * k + 1]
+                anchor = max(3.0 * delay, base)
+                delay = min(base + (anchor - base) * jitter, cap)
+                time += delay
+    return trace
+
+
+def replay_fastpath_faulted(catalog: Catalog, frequencies: np.ndarray,
+                            times: np.ndarray, elements: np.ndarray,
+                            kinds: np.ndarray, *, horizon: float,
+                            period_length: float, n_periods: float,
+                            failure_probability: float,
+                            failure_outcome: PollOutcome,
+                            rng: np.random.Generator,
+                            retry_policy: RetryPolicy | None = None,
+                            bandwidth_budget: float | None = None,
+                            fault_time_offset: float = 0.0,
+                            record_fault_trace: bool = False
+                            ) -> SimulationResult:
+    """Replay a tape under stateless i.i.d. per-attempt loss.
+
+    Resolves every scheduled sync's fate with
+    :func:`resolve_iid_faults`, then replays the surviving tape —
+    all updates and accesses plus the *successful* syncs — through
+    the fault-free segment kernel.  Bit-identical to the reference
+    loop with a :class:`~repro.faults.channel.SyncChannel`, including
+    attempt/failure accounting, the fault trace and the telemetry
+    period series.
+
+    Args:
+        catalog: The simulated workload.
+        frequencies: Per-element sync frequencies, in syncs/period.
+        times: Merged event times, globally time-ordered.
+        elements: Element id per merged event.
+        kinds: :class:`~repro.sim.events.EventKind` per merged event.
+        horizon: Total simulated clock time.
+        period_length: Clock length of one sync period.
+        n_periods: Periods simulated (may be fractional).
+        failure_probability: Per-attempt loss probability in [0, 1].
+        failure_outcome: Outcome reported on a failed attempt.
+        rng: The fault generator (shared or dedicated).
+        retry_policy: Backoff policy, or None to disable retries.
+        bandwidth_budget: Per-period attempt budget B in size units,
+            or None to disable the ledger.
+        fault_time_offset: Added to event times on the fault clock,
+            in clock units (whole periods).
+        record_fault_trace: Whether to carry the per-attempt trace.
+
+    Returns:
+        A :class:`SimulationResult` bit-identical to the reference
+        loop's for the same tape and fault stream.
+    """
+    n_elements = catalog.n_elements
+    sizes = np.asarray(catalog.sizes, dtype=float)
+    sync_kind = int(EventKind.SYNC)
+    sync_positions = np.flatnonzero(kinds == sync_kind)
+    sync_elements = elements[sync_positions]
+    sync_local_times = times[sync_positions]
+
+    resolution = resolve_iid_faults(
+        sync_local_times + fault_time_offset, sync_elements, sizes,
+        failure_probability=failure_probability,
+        failure_outcome=failure_outcome, retry_policy=retry_policy,
+        bandwidth_budget=bandwidth_budget,
+        period_length=period_length, rng=rng,
+        record_trace=record_fault_trace)
+
+    keep = np.ones(times.shape[0], dtype=bool)
+    keep[sync_positions[~resolution.success]] = False
+    replay = _replay_tape(n_elements, sizes, times[keep],
+                          elements[keep], kinds[keep],
+                          horizon=horizon)
+
+    accounting = _FaultAccounting.from_resolution(
+        resolution, sync_elements, sizes, n_elements)
+    p = catalog.access_probabilities
+    perceived_by_accesses = (
+        replay.fresh_accesses / replay.n_accesses
+        if replay.n_accesses
+        else float(p @ replay.element_freshness))
+
+    if obs.telemetry_enabled():
+        _emit_fault_counters(accounting, failure_outcome)
+        n_buckets = max(int(np.ceil(n_periods)) - 1, 0) + 1
+        sync_buckets = (sync_local_times
+                        / period_length).astype(np.int64)
+        failed_per_period = np.bincount(
+            sync_buckets,
+            weights=(resolution.attempts - resolution.success),
+            minlength=n_buckets).astype(np.int64)
+        retries_per_period = np.bincount(
+            sync_buckets,
+            weights=(resolution.attempts
+                     - (resolution.attempts > 0)),
+            minlength=n_buckets).astype(np.int64)
+        _emit_period_series(
+            times[keep], elements[keep], kinds[keep], sizes,
+            replay.fresh_before_global, replay.run_start_global,
+            replay.becomes_fresh_global,
+            n_elements, period_length=period_length,
+            n_periods=n_periods, planned=float(sizes @ frequencies),
+            failed_per_period=failed_per_period,
+            retries_per_period=retries_per_period)
+        _emit_monitor_close(replay.element_freshness,
+                            replay.element_age, replay.n_accesses,
+                            replay.fresh_accesses, horizon)
+        obs.counter_add("sim.runs")
+        obs.counter_add("sim.fastpath_faulted_runs")
+        obs.counter_add("sim.syncs", replay.n_syncs)
+        obs.counter_add("sim.useful_syncs", replay.useful_syncs)
+        obs.counter_add("sim.updates", replay.n_updates)
+        obs.counter_add("sim.accesses", replay.n_accesses)
+        obs.gauge_set("sim.bandwidth_used", replay.bandwidth_used)
+        obs.gauge_set("sim.monitored_perceived_freshness",
+                      float(perceived_by_accesses))
+        obs.gauge_set("sim.monitored_general_freshness",
+                      float(replay.element_freshness.mean()))
+        obs.gauge_set("sim.attempted_bandwidth",
+                      accounting.attempted_bandwidth)
+        obs.gauge_set(
+            "sim.poll_failure_fraction",
+            (accounting.failed_polls / accounting.attempted_polls
+             if accounting.attempted_polls else 0.0))
+
+    return SimulationResult(
+        catalog=catalog,
+        frequencies=frequencies,
+        horizon=horizon,
+        period_length=period_length,
+        n_updates=replay.n_updates,
+        n_syncs=replay.n_syncs,
+        n_accesses=replay.n_accesses,
+        useful_syncs=replay.useful_syncs,
+        bandwidth_used=replay.bandwidth_used,
+        monitored_perceived_freshness=float(perceived_by_accesses),
+        monitored_time_perceived=float(p @ replay.element_freshness),
+        monitored_general_freshness=float(
+            replay.element_freshness.mean()),
+        element_time_freshness=replay.element_freshness,
+        element_time_age=replay.element_age,
+        monitored_perceived_age=float(p @ replay.element_age),
+        access_counts=replay.access_counts,
+        poll_counts=replay.poll_counts,
+        changed_poll_counts=replay.changed_poll_counts,
+        attempted_polls=accounting.attempted_polls,
+        failed_polls=accounting.failed_polls,
+        unreachable_polls=0,
+        retries=accounting.retries,
+        breaker_skips=0,
+        denied_polls=accounting.denied_polls,
+        attempted_bandwidth=accounting.attempted_bandwidth,
+        attempted_poll_counts=accounting.attempted_poll_counts,
+        failed_poll_counts=accounting.failed_poll_counts,
+        unreachable_poll_counts=np.zeros(n_elements, dtype=np.int64),
+        unreachable_elements=None,
+        fault_trace=(tuple(resolution.trace)
+                     if record_fault_trace
+                     and resolution.trace is not None else None),
+    )
+
+
+@dataclass
+class _FaultAccounting:
+    """Channel-equivalent attempt/failure accounting for one tape."""
+
+    attempted_polls: int
+    failed_polls: int
+    retries: int
+    denied_polls: int
+    denied_retries: int
+    failed_syncs: int
+    attempted_bandwidth: float
+    attempted_poll_counts: np.ndarray
+    failed_poll_counts: np.ndarray
+
+    @classmethod
+    def from_resolution(cls, resolution: FaultResolution,
+                        sync_elements: np.ndarray, sizes: np.ndarray,
+                        n_elements: int) -> "_FaultAccounting":
+        attempts = resolution.attempts
+        attempted_polls = int(attempts.sum())
+        n_success = int(np.count_nonzero(resolution.success))
+        made = int(np.count_nonzero(attempts))
+        denied_polls = int(np.count_nonzero(resolution.denied))
+        # Every attempt burns its element's size; reproduce the
+        # channel's sequential += with a flat per-attempt fold.
+        attempt_sizes = np.repeat(sizes[sync_elements], attempts)
+        attempted_bandwidth = float(np.bincount(
+            np.zeros(attempt_sizes.shape[0], dtype=np.intp),
+            weights=attempt_sizes, minlength=1)[0])
+        attempted_poll_counts = np.bincount(
+            sync_elements, weights=attempts,
+            minlength=n_elements).astype(np.int64)
+        failed_poll_counts = np.bincount(
+            sync_elements, weights=attempts - resolution.success,
+            minlength=n_elements).astype(np.int64)
+        return cls(
+            attempted_polls=attempted_polls,
+            failed_polls=attempted_polls - n_success,
+            retries=attempted_polls - made,
+            denied_polls=denied_polls,
+            denied_retries=resolution.denied_retries,
+            failed_syncs=made - n_success,
+            attempted_bandwidth=attempted_bandwidth,
+            attempted_poll_counts=attempted_poll_counts,
+            failed_poll_counts=failed_poll_counts,
+        )
+
+
+def _emit_fault_counters(accounting: _FaultAccounting,
+                         failure_outcome: PollOutcome) -> None:
+    """Emit the ``faults.*`` counter totals the channel would have.
+
+    The reference channel bumps each counter once per attempt; the
+    aggregated adds land on the same totals.  Zero totals are skipped
+    so counters that never fired stay absent, as in the reference.
+    """
+    if accounting.failed_polls:
+        obs.counter_add(f"faults.{failure_outcome.value}",
+                        accounting.failed_polls)
+    if accounting.retries:
+        obs.counter_add("faults.retries", accounting.retries)
+    if accounting.denied_polls:
+        obs.counter_add("faults.denied_polls",
+                        accounting.denied_polls)
+    if accounting.denied_retries:
+        obs.counter_add("faults.denied_retries",
+                        accounting.denied_retries)
+    if accounting.failed_syncs:
+        obs.counter_add("faults.failed_syncs",
+                        accounting.failed_syncs)
+
+
+def _emit_monitor_close(element_freshness: np.ndarray,
+                        element_age: np.ndarray, n_accesses: int,
+                        fresh_accesses: int, horizon: float) -> None:
+    """Emit the monitor's close-time gauges and event."""
+    obs.gauge_set("monitor.mean_time_freshness",
+                  float(element_freshness.mean()))
+    obs.gauge_set("monitor.mean_time_age",
+                  float(element_age.mean()))
+    obs.event("monitor.close", horizon=horizon,
+              accesses=n_accesses,
+              fresh_accesses=fresh_accesses,
+              fresh_fraction=(fresh_accesses / n_accesses
+                              if n_accesses else 1.0))
 
 
 def _emit_period_series(times: np.ndarray, elements: np.ndarray,
                         kinds: np.ndarray, sizes: np.ndarray,
-                        order: np.ndarray | None,
-                        fresh_before: np.ndarray | None,
-                        run_start: np.ndarray | None,
-                        is_sync: np.ndarray | None,
-                        n_elements: int, *, period_length: float,
-                        n_periods: float, planned: float) -> None:
+                        fresh_before_global: np.ndarray | None,
+                        run_start_global: np.ndarray | None,
+                        becomes_fresh_global: np.ndarray | None,
+                        n_elements: int, *,
+                        period_length: float, n_periods: float,
+                        planned: float,
+                        failed_per_period: np.ndarray | None = None,
+                        retries_per_period: np.ndarray | None = None
+                        ) -> None:
     """Emit the per-period ``"sim.period"`` telemetry series.
 
     Reproduces the reference loop's :class:`_PeriodTracker` output:
     one event per completed (or final partial) period with the same
     integer counts, the same sequentially folded bandwidth, and the
     mirror's instantaneous mean freshness at each period boundary.
+    ``failed_per_period`` / ``retries_per_period`` carry the faulted
+    path's per-period attempt accounting (zeros when absent).
     """
     last_period = max(int(np.ceil(n_periods)) - 1, 0)
     n_buckets = last_period + 1
     n_events = int(times.shape[0])
 
     if n_events:
-        assert (order is not None and fresh_before is not None
-                and run_start is not None and is_sync is not None)
+        assert (fresh_before_global is not None
+                and run_start_global is not None
+                and becomes_fresh_global is not None)
         period_index = (times / period_length).astype(np.int64)
         update_kind = int(EventKind.UPDATE)
         sync_kind = int(EventKind.SYNC)
@@ -380,12 +948,6 @@ def _emit_period_series(times: np.ndarray, elements: np.ndarray,
 
         def per_period(mask: np.ndarray) -> np.ndarray:
             return np.bincount(period_index[mask], minlength=n_buckets)
-
-        # Scatter the per-element flags back to global tape order.
-        fresh_before_global = np.empty(n_events, dtype=bool)
-        fresh_before_global[order] = fresh_before
-        run_start_global = np.empty(n_events, dtype=bool)
-        run_start_global[order] = run_start
 
         syncs_per_period = per_period(global_sync)
         updates_per_period = per_period(global_update)
@@ -400,10 +962,8 @@ def _emit_period_series(times: np.ndarray, elements: np.ndarray,
         # run-opening update stales a copy, +1 when a sync refreshes
         # a stale one.
         delta = np.zeros(n_events, dtype=np.int64)
-        becomes_fresh = np.empty(n_events, dtype=bool)
-        becomes_fresh[order] = is_sync & ~fresh_before
         delta[run_start_global] = -1
-        delta[becomes_fresh] = 1
+        delta[becomes_fresh_global] = 1
         fresh_count = n_elements + np.cumsum(delta)
         boundary = np.searchsorted(period_index,
                                    np.arange(n_buckets), side="right") - 1
@@ -417,6 +977,11 @@ def _emit_period_series(times: np.ndarray, elements: np.ndarray,
         accesses_per_period = fresh_accesses_per_period = zeros
         bandwidth_per_period = np.zeros(n_buckets)
         mean_freshness = np.ones(n_buckets)
+
+    if failed_per_period is None:
+        failed_per_period = np.zeros(n_buckets, dtype=np.int64)
+    if retries_per_period is None:
+        retries_per_period = np.zeros(n_buckets, dtype=np.int64)
 
     for period in range(n_buckets):
         accesses = int(accesses_per_period[period])
@@ -433,8 +998,285 @@ def _emit_period_series(times: np.ndarray, elements: np.ndarray,
             accesses=accesses,
             fresh_fraction=(fresh / accesses if accesses else 1.0),
             mean_freshness=float(mean_freshness[period]),
-            failed_polls=0,
-            retries=0,
+            failed_polls=int(failed_per_period[period]),
+            retries=int(retries_per_period[period]),
         )
         obs.counter_add("sim.periods")
         obs.gauge_set("sim.budget_utilization", utilization)
+
+
+def replay_window_tapes(catalog: Catalog, frequencies: np.ndarray,
+                        tapes: list[tuple[np.ndarray, np.ndarray,
+                                          np.ndarray]], *,
+                        period_length: float,
+                        first_global_period: int,
+                        fault_args: dict | None = None
+                        ) -> tuple[list[SimulationResult], list[int]]:
+    """Replay several consecutive one-period tapes in one kernel call.
+
+    The window-batched adaptive manager generates one event tape per
+    period (preserving the per-period draw order, so common-random-
+    number seeds line up with per-period runs), then hands the whole
+    replan window here.  Each period's elements are *tiled* — period
+    ``j`` maps element ``e`` to segment id ``e + j·n`` — so one
+    segmented replay over ``W·n`` virtual elements reproduces ``W``
+    independent single-period replays, bit for bit: every per-element
+    fold sees exactly the events, in exactly the order, the
+    per-period kernel would have seen.
+
+    Args:
+        catalog: The simulated workload (all periods share it).
+        frequencies: Per-element sync frequencies, in syncs/period
+            (constant within a replan window by construction).
+        tapes: One ``(times, elements, kinds)`` merged tape per
+            period, with *local* times in ``[0, period_length)``.
+        period_length: Clock length of one sync period.
+        first_global_period: 1-based global index of the window's
+            first period; period ``j`` of the window runs on the
+            fault clock at offset
+            ``(first_global_period + j − 1) · period_length``.
+        fault_args: The dispatch arguments from
+            :meth:`repro.sim.simulation.Simulation.fault_kernel_args`
+            (failure probability/outcome, retry policy, budget,
+            rng), or None for a fault-free window.  The fault rng
+            must be *dedicated* (not shared with the workload rng):
+            per-period runs interleave workload and fault draws on a
+            shared stream, while a batched window draws all tapes
+            before any faults — only a separate fault generator keeps
+            both orders bit-identical.
+
+    Returns:
+        ``(results, consumed)`` — one :class:`SimulationResult` per
+        period, bit-identical to running each period separately, and
+        the number of fault-rng draws consumed per period (all zeros
+        when fault-free), which the manager uses to rewind the fault
+        stream when a mid-window replan trigger forces a rollback.
+    """
+    n_elements = catalog.n_elements
+    n_windows = len(tapes)
+    sizes = np.asarray(catalog.sizes, dtype=float)
+    planned = float(sizes @ frequencies)
+    sync_kind = int(EventKind.SYNC)
+    update_kind = int(EventKind.UPDATE)
+
+    counts = np.array([tape[0].shape[0] for tape in tapes],
+                      dtype=np.int64)
+    bounds = np.concatenate([np.zeros(1, dtype=np.int64),
+                             np.cumsum(counts)])
+    times = np.concatenate([tape[0] for tape in tapes])
+    elements_local = np.concatenate([tape[1] for tape in tapes])
+    kinds = np.concatenate([tape[2] for tape in tapes])
+    tile_of_event = np.repeat(np.arange(n_windows, dtype=np.int64),
+                              counts)
+    elements_tiled = elements_local + tile_of_event * n_elements
+    tiled_sizes = np.tile(sizes, n_windows)
+
+    sync_positions = np.flatnonzero(kinds == sync_kind)
+    sync_elements = elements_local[sync_positions]
+    sync_tiles = tile_of_event[sync_positions]
+    sync_bounds = np.searchsorted(sync_tiles,
+                                  np.arange(n_windows + 1))
+
+    resolution: FaultResolution | None = None
+    consumed = [0] * n_windows
+    keep = np.ones(times.shape[0], dtype=bool)
+    if fault_args is not None:
+        fault_offsets = ((first_global_period - 1 + sync_tiles)
+                         * period_length)
+        resolution = resolve_iid_faults(
+            times[sync_positions] + fault_offsets, sync_elements,
+            sizes,
+            failure_probability=fault_args["failure_probability"],
+            failure_outcome=fault_args["failure_outcome"],
+            retry_policy=fault_args["retry_policy"],
+            bandwidth_budget=fault_args["bandwidth_budget"],
+            period_length=period_length, rng=fault_args["rng"],
+            record_trace=False)
+        keep[sync_positions[~resolution.success]] = False
+        consumed = np.bincount(
+            sync_tiles, weights=resolution.consumed,
+            minlength=n_windows).astype(np.int64).tolist()
+
+    times_f = times[keep]
+    elements_f = elements_local[keep]
+    kinds_f = kinds[keep]
+    replay = _replay_tape(n_windows * n_elements, tiled_sizes,
+                          times_f, elements_tiled[keep], kinds_f,
+                          horizon=period_length)
+    filtered_bounds = np.concatenate(
+        [np.zeros(1, dtype=np.int64), np.cumsum(keep)])[bounds]
+
+    empty_flags = np.zeros(0, dtype=bool)
+    fresh_flags = (replay.fresh_before_global
+                   if replay.fresh_before_global is not None
+                   else empty_flags)
+    run_start_flags = (replay.run_start_global
+                       if replay.run_start_global is not None
+                       else empty_flags)
+    becomes_fresh_flags = (replay.becomes_fresh_global
+                           if replay.becomes_fresh_global is not None
+                           else empty_flags)
+    changed_flags = (replay.changed_sync_global
+                     if replay.changed_sync_global is not None
+                     else empty_flags)
+
+    telemetry_on = obs.telemetry_enabled()
+    access_probabilities = catalog.access_probabilities
+    do_contracts = contracts_enabled()
+    granularity = float(sizes[frequencies > 0.0].sum())
+
+    results: list[SimulationResult] = []
+    for j in range(n_windows):
+        event_slice = slice(int(filtered_bounds[j]),
+                            int(filtered_bounds[j + 1]))
+        element_slice = slice(j * n_elements, (j + 1) * n_elements)
+        kinds_j = kinds_f[event_slice]
+        elements_j = elements_f[event_slice]
+        times_j = times_f[event_slice]
+        is_update_j = kinds_j == update_kind
+        is_sync_j = kinds_j == sync_kind
+        is_access_j = ~is_update_j & ~is_sync_j
+        n_updates_j = int(np.count_nonzero(is_update_j))
+        n_syncs_j = int(np.count_nonzero(is_sync_j))
+        n_accesses_j = int(np.count_nonzero(is_access_j))
+        fresh_j = fresh_flags[event_slice]
+        fresh_accesses_j = int(np.count_nonzero(
+            is_access_j & fresh_j))
+        useful_j = int(np.count_nonzero(changed_flags[event_slice]))
+        sync_sizes_j = sizes[elements_j[is_sync_j]]
+        bandwidth_j = float(np.bincount(
+            np.zeros(sync_sizes_j.shape[0], dtype=np.intp),
+            weights=sync_sizes_j, minlength=1)[0])
+
+        freshness_j = replay.element_freshness[element_slice].copy()
+        age_j = replay.element_age[element_slice].copy()
+        perceived_by_accesses_j = (
+            fresh_accesses_j / n_accesses_j if n_accesses_j
+            else float(access_probabilities @ freshness_j))
+
+        accounting: _FaultAccounting | None = None
+        failed_per_period = None
+        retries_per_period = None
+        if resolution is not None:
+            s0, s1 = int(sync_bounds[j]), int(sync_bounds[j + 1])
+            attempts_j = resolution.attempts[s0:s1]
+            window_resolution = FaultResolution(
+                attempts=attempts_j,
+                success=resolution.success[s0:s1],
+                denied=resolution.denied[s0:s1],
+                offsets=resolution.offsets[s0:s1],
+                consumed=resolution.consumed[s0:s1],
+                denied_retries=0, trace=None)
+            accounting = _FaultAccounting.from_resolution(
+                window_resolution, sync_elements[s0:s1], sizes,
+                n_elements)
+            if telemetry_on:
+                failed_per_period = np.asarray([int(
+                    (attempts_j - window_resolution.success).sum())],
+                    dtype=np.int64)
+                retries_per_period = np.asarray(
+                    [int((attempts_j - (attempts_j > 0)).sum())],
+                    dtype=np.int64)
+
+        if telemetry_on:
+            _emit_period_series(
+                times_j, elements_j, kinds_j, sizes,
+                fresh_j, run_start_flags[event_slice],
+                becomes_fresh_flags[event_slice],
+                n_elements, period_length=period_length,
+                n_periods=1.0, planned=planned,
+                failed_per_period=failed_per_period,
+                retries_per_period=retries_per_period)
+            _emit_monitor_close(freshness_j, age_j, n_accesses_j,
+                                fresh_accesses_j, period_length)
+            obs.counter_add("sim.runs")
+            obs.counter_add("sim.fastpath_faulted_runs"
+                            if resolution is not None
+                            else "sim.fastpath_runs")
+            obs.counter_add("sim.syncs", n_syncs_j)
+            obs.counter_add("sim.useful_syncs", useful_j)
+            obs.counter_add("sim.updates", n_updates_j)
+            obs.counter_add("sim.accesses", n_accesses_j)
+            obs.gauge_set("sim.bandwidth_used", bandwidth_j)
+            obs.gauge_set("sim.monitored_perceived_freshness",
+                          float(perceived_by_accesses_j))
+            obs.gauge_set("sim.monitored_general_freshness",
+                          float(freshness_j.mean()))
+            if accounting is not None:
+                obs.gauge_set("sim.attempted_bandwidth",
+                              accounting.attempted_bandwidth)
+                obs.gauge_set(
+                    "sim.poll_failure_fraction",
+                    (accounting.failed_polls
+                     / accounting.attempted_polls
+                     if accounting.attempted_polls else 0.0))
+
+        if do_contracts:
+            check_sync_conservation(
+                bandwidth_j, planned, 1.0, granularity,
+                where="replay_window_tapes")
+            if accounting is not None and \
+                    fault_args is not None and \
+                    fault_args["bandwidth_budget"] is not None:
+                check_attempt_budget(
+                    accounting.attempted_bandwidth,
+                    fault_args["bandwidth_budget"], 1.0, granularity,
+                    where="replay_window_tapes")
+
+        results.append(SimulationResult(
+            catalog=catalog,
+            frequencies=frequencies,
+            horizon=period_length,
+            period_length=period_length,
+            n_updates=n_updates_j,
+            n_syncs=n_syncs_j,
+            n_accesses=n_accesses_j,
+            useful_syncs=useful_j,
+            bandwidth_used=bandwidth_j,
+            monitored_perceived_freshness=float(
+                perceived_by_accesses_j),
+            monitored_time_perceived=float(
+                access_probabilities @ freshness_j),
+            monitored_general_freshness=float(freshness_j.mean()),
+            element_time_freshness=freshness_j,
+            element_time_age=age_j,
+            monitored_perceived_age=float(
+                access_probabilities @ age_j),
+            access_counts=replay.access_counts[element_slice].copy(),
+            poll_counts=replay.poll_counts[element_slice].copy(),
+            changed_poll_counts=replay.changed_poll_counts[
+                element_slice].copy(),
+            attempted_polls=(accounting.attempted_polls
+                             if accounting is not None else n_syncs_j),
+            failed_polls=(accounting.failed_polls
+                          if accounting is not None else 0),
+            unreachable_polls=0,
+            retries=(accounting.retries
+                     if accounting is not None else 0),
+            breaker_skips=0,
+            denied_polls=(accounting.denied_polls
+                          if accounting is not None else 0),
+            attempted_bandwidth=(accounting.attempted_bandwidth
+                                 if accounting is not None
+                                 else bandwidth_j),
+            attempted_poll_counts=(accounting.attempted_poll_counts
+                                   if accounting is not None
+                                   else None),
+            failed_poll_counts=(accounting.failed_poll_counts
+                                if accounting is not None else None),
+            unreachable_poll_counts=(
+                np.zeros(n_elements, dtype=np.int64)
+                if accounting is not None else None),
+            unreachable_elements=None,
+            fault_trace=None,
+        ))
+
+    if telemetry_on and resolution is not None:
+        accounting_total = _FaultAccounting.from_resolution(
+            resolution, sync_elements, sizes, n_elements)
+        _emit_fault_counters(accounting_total,
+                             fault_args["failure_outcome"]
+                             if fault_args is not None
+                             else PollOutcome.ERROR)
+
+    return results, consumed

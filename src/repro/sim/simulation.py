@@ -33,7 +33,7 @@ from repro.faults.retry import RetryPolicy
 from repro.obs import registry as obs
 from repro.sim.events import EventKind, EventStream, merge_streams
 from repro.sim.evaluator import FreshnessMonitor, SimulationResult
-from repro.sim.fastpath import replay_fastpath
+from repro.sim.fastpath import replay_fastpath, replay_fastpath_faulted
 from repro.sim.generators import RequestGenerator, UpdateGenerator
 from repro.sim.mirror import Mirror
 from repro.sim.source import Source
@@ -239,6 +239,61 @@ class Simulation:
         """The timed Fixed-Order schedule the mirror executes."""
         return self._schedule
 
+    def build_tape(self, n_periods: float
+                   ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Draw and merge the run's full event tape.
+
+        Consumes exactly the random draws :meth:`run` would before
+        its replay starts (update stream first, then request stream),
+        which is what lets the window-batched adaptive manager build
+        several periods' tapes back to back and keep the workload
+        stream bit-identical to per-period runs.
+
+        Args:
+            n_periods: Number of periods the tape covers, > 0.
+
+        Returns:
+            ``(times, elements, kinds)`` merged in time order.
+        """
+        horizon = n_periods * self._period_length
+        sync_times, sync_elements = self._schedule.events_until(horizon)
+        streams = [
+            self._updates.generate(horizon),
+            EventStream(kind=EventKind.SYNC, times=sync_times,
+                        elements=sync_elements),
+            self._requests.generate(horizon),
+        ]
+        return merge_streams(streams)
+
+    def fault_kernel_args(self) -> dict | None:
+        """The faulted kernel's plan/ledger arguments, if eligible.
+
+        Returns None when the simulation is fault-free or its plan is
+        stateful (no vectorized replay); otherwise the keyword
+        arguments — failure probability/outcome, retry policy, budget
+        and fault rng — shared by :func:`replay_fastpath_faulted` and
+        :func:`repro.sim.fastpath.replay_window_tapes`.
+        """
+        if self._fault_plan is None or self._fault_plan.is_quiet:
+            return None
+        if self._breaker is not None:
+            return None
+        profile = self._fault_plan.iid_profile()
+        if profile is None:
+            return None
+        budget = (self._bandwidth_budget
+                  if self._bandwidth_budget is not None
+                  else (self._planned_per_period
+                        if self._planned_per_period > 0.0 else None))
+        return {
+            "failure_probability": profile[0],
+            "failure_outcome": profile[1],
+            "retry_policy": self._retry_policy,
+            "bandwidth_budget": budget,
+            "rng": (self._fault_rng if self._fault_rng is not None
+                    else self._rng),
+        }
+
     def run(self, n_periods: float, *,
             engine: str = "auto") -> SimulationResult:
         """Simulate ``n_periods`` sync periods.
@@ -248,13 +303,15 @@ class Simulation:
                 periods are needed for the monitored metrics to settle
                 near the analytic values).
             engine: ``"auto"`` (default) replays fault-free tapes with
-                the vectorized kernel (:mod:`repro.sim.fastpath`) and
-                falls back to the per-event reference loop whenever a
-                non-quiet fault plan is active; ``"fastpath"`` insists
-                on the kernel (an error under faults); ``"reference"``
-                forces the loop.  The engines are bit-identical, so
-                this knob exists for equivalence tests and debugging,
-                not for correctness.
+                the vectorized kernel (:mod:`repro.sim.fastpath`),
+                stateless i.i.d.-loss plans with the vectorized
+                faulted kernel, and falls back to the per-event
+                reference loop for stateful plans (Gilbert–Elliott,
+                latency, outages, breakers); ``"fastpath"`` insists on
+                a kernel (an error for stateful plans);
+                ``"reference"`` forces the loop.  The engines are
+                bit-identical, so this knob exists for equivalence
+                tests and debugging, not for correctness.
 
         Returns:
             The measured :class:`SimulationResult`.
@@ -267,24 +324,23 @@ class Simulation:
             raise ValidationError(f"n_periods must be > 0, got {n_periods}")
         horizon = n_periods * self._period_length
 
-        sync_times, sync_elements = self._schedule.events_until(horizon)
-        streams = [
-            self._updates.generate(horizon),
-            EventStream(kind=EventKind.SYNC, times=sync_times,
-                        elements=sync_elements),
-            self._requests.generate(horizon),
-        ]
-        times, elements, kinds = merge_streams(streams)
+        times, elements, kinds = self.build_tape(n_periods)
 
         # A quiet (or absent) fault plan bypasses the channel
         # entirely: the fault-free paths below consume no extra
-        # random draws, so results stay bit-identical.
+        # random draws, so results stay bit-identical.  Stateless
+        # i.i.d. loss takes the vectorized faulted kernel; stateful
+        # plans (GE/latency/outages/breaker) stay on the loop.
         planned_per_period = self._planned_per_period
         fault_free = self._fault_plan is None or self._fault_plan.is_quiet
-        if engine == "fastpath" and not fault_free:
+        kernel_faults = (None if fault_free
+                         else self.fault_kernel_args())
+        if engine == "fastpath" and not fault_free and \
+                kernel_faults is None:
             raise ValidationError(
-                "engine='fastpath' cannot replay a non-quiet fault "
-                "plan; use 'auto' or 'reference'")
+                "engine='fastpath' cannot replay a stateful fault "
+                "plan (Gilbert–Elliott, latency, outage windows or a "
+                "breaker); use 'auto' or 'reference'")
         if fault_free and engine != "reference":
             with obs.span("sim.run"):
                 result = replay_fastpath(
@@ -301,6 +357,34 @@ class Simulation:
                     n_periods,
                     granularity,
                     where="Simulation.run")
+            return result
+        if kernel_faults is not None and engine != "reference":
+            with obs.span("sim.run"):
+                result = replay_fastpath_faulted(
+                    self._catalog, self._frequencies, times, elements,
+                    kinds, horizon=horizon,
+                    period_length=self._period_length,
+                    n_periods=n_periods,
+                    fault_time_offset=self._fault_time_offset,
+                    record_fault_trace=self._record_fault_trace,
+                    **kernel_faults)
+            if contracts_enabled():
+                scheduled = self._frequencies > 0.0
+                granularity = float(self._catalog.sizes[scheduled].sum())
+                check_sync_conservation(
+                    result.bandwidth_used,
+                    planned_per_period,
+                    n_periods,
+                    granularity,
+                    where="Simulation.run")
+                budget = kernel_faults["bandwidth_budget"]
+                if budget is not None:
+                    check_attempt_budget(
+                        result.attempted_bandwidth,
+                        budget,
+                        float(np.ceil(n_periods)),
+                        granularity,
+                        where="Simulation.run")
             return result
 
         source = Source(self._catalog.n_elements)

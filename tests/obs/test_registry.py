@@ -189,3 +189,50 @@ class TestTelemetryContextManager:
         current = obs.reset_telemetry()
         with obs.telemetry(fresh=False) as registry:
             assert registry is current
+
+
+class TestElementLabelCap:
+    def test_passes_through_under_the_cap(self):
+        assert obs.element_label(0) == 0
+        assert obs.element_label(obs.max_element_labels() - 1) == \
+            obs.max_element_labels() - 1
+
+    def test_collapses_at_and_beyond_the_cap(self):
+        cap = obs.max_element_labels()
+        assert obs.element_label(cap) == "overflow"
+        assert obs.element_label(cap + 10_000) == "overflow"
+
+    def test_env_override_and_unlimited(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY_MAX_ELEMENTS", "4")
+        obs.refresh_from_env()
+        assert obs.max_element_labels() == 4
+        assert obs.element_label(3) == 3
+        assert obs.element_label(4) == "overflow"
+        monkeypatch.setenv("REPRO_TELEMETRY_MAX_ELEMENTS", "0")
+        obs.refresh_from_env()
+        assert obs.element_label(10 ** 9) == 10 ** 9
+        monkeypatch.setenv("REPRO_TELEMETRY_MAX_ELEMENTS", "bogus")
+        obs.refresh_from_env()
+        assert obs.max_element_labels() == obs.DEFAULT_MAX_ELEMENTS
+        monkeypatch.delenv("REPRO_TELEMETRY_MAX_ELEMENTS")
+        obs.refresh_from_env()
+        assert obs.max_element_labels() == obs.DEFAULT_MAX_ELEMENTS
+
+    def test_breaker_transition_labels_respect_the_cap(self,
+                                                      monkeypatch):
+        from repro.faults.breaker import CircuitBreaker
+
+        monkeypatch.setenv("REPRO_TELEMETRY_MAX_ELEMENTS", "2")
+        obs.refresh_from_env()
+        try:
+            breaker = CircuitBreaker(5, failure_threshold=1,
+                                     cooldown=1.0)
+            with obs.telemetry() as registry:
+                for shard in range(5):
+                    breaker.record_failure(shard, time=0.5)
+            shards = {record["shard"] for record
+                      in registry.events_of_kind("breaker.transition")}
+            assert shards == {0, 1, "overflow"}
+        finally:
+            monkeypatch.delenv("REPRO_TELEMETRY_MAX_ELEMENTS")
+            obs.refresh_from_env()

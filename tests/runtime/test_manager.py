@@ -2,11 +2,15 @@
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 import pytest
 
 from repro.core.freshener import PartitionedFreshener, PerceivedFreshener
 from repro.errors import ValidationError
+from repro.faults.model import FaultPlan
+from repro.faults.retry import RetryPolicy
 from repro.runtime.manager import AdaptiveMirrorManager
 from repro.workloads.presets import ExperimentSetup, build_catalog
 
@@ -169,3 +173,61 @@ class TestRateDrift:
             BeliefState(2, rate_decay=0.0)
         with _pytest.raises(ValidationError):
             BeliefState(2, rate_decay=1.5)
+
+
+class TestBatchedWindows:
+    """run(batch=...) must be bit-identical to the sequential loop."""
+
+    @staticmethod
+    def _reports_equal(sequential, batched):
+        assert len(sequential) == len(batched)
+        for seq, bat in zip(sequential, batched):
+            assert dataclasses.asdict(seq) == dataclasses.asdict(bat)
+
+    def test_fault_free_batched_matches_sequential(self, world):
+        sequential = make_manager(world, replan_every=3).run(
+            12, batch=1)
+        batched = make_manager(world, replan_every=3).run(12)
+        self._reports_equal(sequential, batched)
+
+    def test_iid_batched_matches_sequential(self, world):
+        def runner(batch):
+            return make_manager(
+                world, fault_plan=FaultPlan.iid(0.25),
+                retry_policy=RetryPolicy(max_retries=3),
+                replan_every=4).run(12, batch=batch)
+
+        self._reports_equal(runner(1), runner(None))
+
+    def test_drift_rollback_matches_sequential(self, world):
+        """Drift-triggered mid-window replans exercise the rollback
+        path: the rewound rng must replay the discarded periods
+        exactly as the sequential loop first ran them."""
+        def runner(batch):
+            return make_manager(
+                world, fault_plan=FaultPlan.iid(0.25),
+                retry_policy=RetryPolicy(max_retries=3),
+                replan_every=0, replan_divergence=0.03).run(
+                14, batch=batch)
+
+        sequential = runner(1)
+        batched = runner(8)
+        assert any(r.replanned for r in sequential[1:])
+        self._reports_equal(sequential, batched)
+
+    def test_stateful_faults_fall_back_to_sequential(self, world):
+        from repro.faults.model import GilbertElliottFaultModel
+
+        def runner(batch):
+            return make_manager(
+                world,
+                fault_plan=FaultPlan(
+                    models=(GilbertElliottFaultModel(0.2, 0.5),)),
+                retry_policy=RetryPolicy(max_retries=2),
+                replan_every=4).run(6, batch=batch)
+
+        self._reports_equal(runner(1), runner(4))
+
+    def test_batch_validated(self, world):
+        with pytest.raises(ValidationError):
+            make_manager(world).run(3, batch=0)

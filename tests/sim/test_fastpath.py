@@ -22,9 +22,18 @@ from hypothesis import strategies as st
 
 from repro.core.freshener import GeneralFreshener, PerceivedFreshener
 from repro.errors import ValidationError
-from repro.faults.model import FaultPlan, IIDFaultModel
+from repro.faults.model import (
+    FaultPlan,
+    GilbertElliottFaultModel,
+    IIDFaultModel,
+    LatencyFaultModel,
+    OutageWindow,
+    PollOutcome,
+)
+from repro.faults.retry import RetryPolicy
 from repro.obs import registry as obs
 from repro.sim.bursty import BurstyUpdateGenerator
+from repro.sim.fastpath import replay_window_tapes
 from repro.sim.simulation import Simulation
 from repro.workloads.catalog import Catalog
 from repro.workloads.presets import ExperimentSetup, build_catalog
@@ -158,30 +167,114 @@ class TestPropertyRandomCatalogs:
             request_rate=float(rng.uniform(5.0, 120.0)))
 
 
+def _quiet_plan():
+    return FaultPlan.quiet()
+
+
+def _iid_plan():
+    return FaultPlan.iid(0.4)
+
+
+def _iid_timeout_plan():
+    return FaultPlan.iid(0.3, failure=PollOutcome.TIMEOUT)
+
+
+def _iid_unreachable_plan():
+    return FaultPlan(models=(IIDFaultModel(
+        0.3, failure=PollOutcome.UNREACHABLE),))
+
+
+def _ge_plan():
+    return FaultPlan(models=(GilbertElliottFaultModel(0.2, 0.5),))
+
+
+def _latency_plan():
+    return FaultPlan(models=(LatencyFaultModel(0.05, 0.1),))
+
+
+def _outage_plan():
+    return FaultPlan(models=(IIDFaultModel(0.2),),
+                     outages=(OutageWindow(start=1.0, end=2.0,
+                                           elements=(0, 1)),))
+
+
+def _multi_iid_plan():
+    return FaultPlan(models=(IIDFaultModel(0.2), IIDFaultModel(0.1)))
+
+
+#: (plan factory, expected engine under "auto"): the dispatch matrix.
+#: Stateless single-model i.i.d. retryable loss takes the faulted
+#: kernel; everything stateful or variable-draw stays on the loop.
+_DISPATCH_MATRIX = [
+    (None, "fastpath"),
+    (_quiet_plan, "fastpath"),
+    (_iid_plan, "fastpath_faulted"),
+    (_iid_timeout_plan, "fastpath_faulted"),
+    (_iid_unreachable_plan, "reference"),
+    (_ge_plan, "reference"),
+    (_latency_plan, "reference"),
+    (_outage_plan, "reference"),
+    (_multi_iid_plan, "reference"),
+]
+
+
 class TestDispatch:
-    def test_auto_faulted_falls_back_to_reference(self, preset_catalog):
-        """With a non-quiet plan, auto must match a forced reference
-        run draw for draw (the fault layer shares the stream RNG)."""
+    @pytest.mark.parametrize("factory,expected", _DISPATCH_MATRIX)
+    def test_auto_dispatch_matrix(self, preset_catalog, factory,
+                                  expected):
+        """auto must route each plan class to its engine — and stay
+        bit-identical to a forced reference run either way."""
         plan = PerceivedFreshener().plan(preset_catalog, 20.0)
-        faults = FaultPlan(models=(IIDFaultModel(0.4),))
-        auto = run_engine(preset_catalog, plan.frequencies,
-                          engine="auto", seed=71, n_periods=5.0,
-                          fault_plan=faults)
-        reference = run_engine(preset_catalog, plan.frequencies,
-                               engine="reference", seed=71,
-                               n_periods=5.0, fault_plan=faults)
-        assert auto.failed_polls > 0
+        # A fresh plan per run: Gilbert–Elliott chains carry hidden
+        # per-element state across runs, so sharing one object would
+        # leak the first run's bursts into the second.
+        with obs.telemetry() as registry:
+            auto = run_engine(
+                preset_catalog, plan.frequencies, engine="auto",
+                seed=71, n_periods=4.0,
+                fault_plan=factory() if factory is not None else None)
+        kernels = {
+            "fastpath": registry.counters.get("sim.fastpath_runs", 0),
+            "fastpath_faulted": registry.counters.get(
+                "sim.fastpath_faulted_runs", 0),
+        }
+        assert kernels.get(expected, 0) == (
+            1 if expected != "reference" else 0)
+        assert sum(kernels.values()) == (
+            0 if expected == "reference" else 1)
+        reference = run_engine(
+            preset_catalog, plan.frequencies, engine="reference",
+            seed=71, n_periods=4.0,
+            fault_plan=factory() if factory is not None else None)
         assert_bit_identical(auto, reference)
 
-    def test_fastpath_engine_rejects_faults(self, preset_catalog):
+    @pytest.mark.parametrize(
+        "factory,accepted",
+        [(factory, expected != "reference")
+         for factory, expected in _DISPATCH_MATRIX])
+    def test_forced_fastpath_accepts_or_rejects(self, preset_catalog,
+                                                factory, accepted):
+        """engine='fastpath' runs exactly the kernel-eligible plans
+        and raises for stateful ones instead of silently falling
+        back."""
         plan = PerceivedFreshener().plan(preset_catalog, 20.0)
-        faults = FaultPlan(models=(IIDFaultModel(0.9),))
+        faults = factory() if factory is not None else None
         sim = Simulation(preset_catalog, plan.frequencies,
                          request_rate=40.0,
                          rng=np.random.default_rng(0),
                          fault_plan=faults)
-        with pytest.raises(ValidationError):
+        if accepted:
             sim.run(n_periods=2.0, engine="fastpath")
+        else:
+            with pytest.raises(ValidationError):
+                sim.run(n_periods=2.0, engine="fastpath")
+
+    def test_auto_iid_exercises_faults(self, preset_catalog):
+        plan = PerceivedFreshener().plan(preset_catalog, 20.0)
+        auto = run_engine(preset_catalog, plan.frequencies,
+                          engine="auto", seed=71, n_periods=5.0,
+                          fault_plan=FaultPlan.iid(0.4))
+        assert auto.failed_polls > 0
 
     def test_unknown_engine_rejected(self, preset_catalog):
         plan = PerceivedFreshener().plan(preset_catalog, 20.0)
@@ -190,6 +283,195 @@ class TestDispatch:
                          rng=np.random.default_rng(0))
         with pytest.raises(ValidationError):
             sim.run(n_periods=2.0, engine="turbo")
+
+
+class TestFaultedBitIdentity:
+    """The faulted kernel's contract is the same bit-identity bar."""
+
+    @pytest.mark.parametrize("probability", [0.0, 0.3, 1.0])
+    def test_loss_rates(self, preset_catalog, probability):
+        plan = PerceivedFreshener().plan(preset_catalog, 20.0)
+        assert_engines_agree(preset_catalog, plan.frequencies,
+                             seed=101, n_periods=6.0,
+                             fault_plan=FaultPlan.iid(probability),
+                             retry_policy=RetryPolicy(max_retries=3))
+
+    def test_dedicated_fault_rng(self, preset_catalog):
+        plan = PerceivedFreshener().plan(preset_catalog, 20.0)
+        kwargs = dict(fault_plan=FaultPlan.iid(0.35),
+                      retry_policy=RetryPolicy(max_retries=2))
+        fast = run_engine(preset_catalog, plan.frequencies,
+                          engine="fastpath", seed=103, n_periods=5.0,
+                          fault_rng=np.random.default_rng(7),
+                          **kwargs)
+        reference = run_engine(preset_catalog, plan.frequencies,
+                               engine="reference", seed=103,
+                               n_periods=5.0,
+                               fault_rng=np.random.default_rng(7),
+                               **kwargs)
+        assert_bit_identical(fast, reference)
+
+    @pytest.mark.parametrize("budget_scale", [0.15, 0.6, 1.0])
+    def test_tight_budgets_deny_identically(self, sized_catalog,
+                                            budget_scale):
+        plan = PerceivedFreshener().plan(sized_catalog, 6.0)
+        budget = float(
+            sized_catalog.sizes @ plan.frequencies) * budget_scale
+        assert_engines_agree(sized_catalog, plan.frequencies,
+                             seed=107, n_periods=8.0,
+                             request_rate=40.0,
+                             fault_plan=FaultPlan.iid(0.4),
+                             retry_policy=RetryPolicy(max_retries=4),
+                             bandwidth_budget=budget)
+
+    def test_fault_trace_identical(self, sized_catalog):
+        plan = PerceivedFreshener().plan(sized_catalog, 6.0)
+        kwargs = dict(fault_plan=FaultPlan.iid(0.5),
+                      retry_policy=RetryPolicy(max_retries=3),
+                      record_fault_trace=True)
+        fast = run_engine(sized_catalog, plan.frequencies,
+                          engine="fastpath", seed=109, n_periods=4.0,
+                          request_rate=30.0, **kwargs)
+        reference = run_engine(sized_catalog, plan.frequencies,
+                               engine="reference", seed=109,
+                               n_periods=4.0, request_rate=30.0,
+                               **kwargs)
+        assert fast.fault_trace is not None
+        assert fast.fault_trace == reference.fault_trace
+        assert_bit_identical(fast, reference)
+
+    def test_no_retry_policy(self, preset_catalog):
+        plan = PerceivedFreshener().plan(preset_catalog, 20.0)
+        assert_engines_agree(preset_catalog, plan.frequencies,
+                             seed=113, n_periods=5.0,
+                             fault_plan=FaultPlan.iid(0.3))
+
+    def test_fault_time_offset(self, preset_catalog):
+        plan = PerceivedFreshener().plan(preset_catalog, 20.0)
+        assert_engines_agree(preset_catalog, plan.frequencies,
+                             seed=127, n_periods=3.0,
+                             fault_plan=FaultPlan.iid(0.3),
+                             retry_policy=RetryPolicy(max_retries=3),
+                             fault_time_offset=4.0)
+
+    @given(seed=st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_random_faulted_catalogs_bit_identical(self, seed):
+        rng = np.random.default_rng(seed)
+        catalog = random_catalog(rng, int(rng.integers(3, 40)),
+                                 sized=bool(rng.integers(0, 2)))
+        bandwidth = float(catalog.sizes.sum()
+                          * rng.uniform(0.2, 2.0))
+        plan = PerceivedFreshener().plan(catalog, bandwidth)
+        planned = float(catalog.sizes @ plan.frequencies)
+        budget = (planned * float(rng.uniform(0.2, 1.5))
+                  if planned > 0.0 and rng.integers(0, 2) else None)
+        retry = (RetryPolicy(max_retries=int(rng.integers(0, 5)))
+                 if rng.integers(0, 2) else None)
+        failure = (PollOutcome.TIMEOUT if rng.integers(0, 2)
+                   else PollOutcome.ERROR)
+        assert_engines_agree(
+            catalog, plan.frequencies, seed=seed,
+            n_periods=float(rng.uniform(0.5, 9.0)),
+            request_rate=float(rng.uniform(5.0, 120.0)),
+            fault_plan=FaultPlan.iid(float(rng.uniform(0.0, 1.0)),
+                                     failure=failure),
+            retry_policy=retry, bandwidth_budget=budget,
+            record_fault_trace=bool(rng.integers(0, 2)))
+
+
+class TestWindowReplay:
+    """Tiled window batching vs separate per-period runs."""
+
+    @staticmethod
+    def _run_periods(catalog, frequencies, *, n_windows, seed, plan,
+                     retry, budget, first_global, engine):
+        rng = np.random.default_rng(seed)
+        fault_rng = (np.random.default_rng(seed + 1)
+                     if plan is not None else None)
+        results = []
+        for j in range(n_windows):
+            sim = Simulation(
+                catalog, frequencies, request_rate=25.0, rng=rng,
+                fault_plan=plan, retry_policy=retry,
+                bandwidth_budget=budget, fault_rng=fault_rng,
+                fault_time_offset=float(first_global - 1 + j))
+            results.append(sim.run(1, engine=engine))
+        return results
+
+    @pytest.mark.parametrize("faulty,budget_scale", [
+        (False, None), (True, None), (True, 0.5)])
+    def test_window_matches_per_period_runs(self, sized_catalog,
+                                            faulty, budget_scale):
+        frequencies = np.array([4.0, 1.5, 0.0, 2.0, 3.0])
+        plan = FaultPlan.iid(0.3) if faulty else None
+        retry = RetryPolicy(max_retries=3) if faulty else None
+        budget = (float(sized_catalog.sizes @ frequencies)
+                  * budget_scale if budget_scale else None)
+        reference = self._run_periods(
+            sized_catalog, frequencies, n_windows=4, seed=131,
+            plan=plan, retry=retry, budget=budget, first_global=2,
+            engine="reference")
+        rng = np.random.default_rng(131)
+        fault_rng = (np.random.default_rng(132) if faulty else None)
+        tapes = []
+        fault_args = None
+        for j in range(4):
+            sim = Simulation(
+                sized_catalog, frequencies, request_rate=25.0,
+                rng=rng, fault_plan=plan, retry_policy=retry,
+                bandwidth_budget=budget, fault_rng=fault_rng,
+                fault_time_offset=float(1 + j))
+            tapes.append(sim.build_tape(1))
+            fault_args = sim.fault_kernel_args()
+        windowed, consumed = replay_window_tapes(
+            sized_catalog, frequencies, tapes, period_length=1.0,
+            first_global_period=2, fault_args=fault_args)
+        assert len(windowed) == 4
+        assert len(consumed) == 4
+        for ref, win in zip(reference, windowed):
+            assert_bit_identical(win, ref)
+        if not faulty:
+            assert consumed == [0, 0, 0, 0]
+
+    def test_consumed_rewinds_fault_stream(self, sized_catalog):
+        """Replaying ``consumed[:k]`` draws from the window-start
+        state must land the fault rng exactly where k accepted
+        periods left it — the rollback contract."""
+        frequencies = np.array([4.0, 1.5, 1.0, 2.0, 3.0])
+        plan = FaultPlan.iid(0.4)
+        retry = RetryPolicy(max_retries=3)
+        rng = np.random.default_rng(137)
+        fault_rng = np.random.default_rng(138)
+        start = fault_rng.bit_generator.state
+        tapes = []
+        fault_args = None
+        for j in range(3):
+            sim = Simulation(
+                sized_catalog, frequencies, request_rate=25.0,
+                rng=rng, fault_plan=plan, retry_policy=retry,
+                fault_rng=fault_rng,
+                fault_time_offset=float(j))
+            tapes.append(sim.build_tape(1))
+            fault_args = sim.fault_kernel_args()
+        _, consumed = replay_window_tapes(
+            sized_catalog, frequencies, tapes, period_length=1.0,
+            first_global_period=1, fault_args=fault_args)
+        # Accept two periods, roll back the third.
+        fault_rng.bit_generator.state = start
+        fault_rng.random(int(sum(consumed[:2])))
+        partial = fault_rng.bit_generator.state["state"]
+        # A fresh two-period run from the same start must agree.
+        probe = np.random.default_rng(139)
+        probe.bit_generator.state = start
+        rng2 = np.random.default_rng(137)
+        for j in range(2):
+            sim = Simulation(
+                sized_catalog, frequencies, request_rate=25.0,
+                rng=rng2, fault_plan=plan, retry_policy=retry,
+                fault_rng=probe, fault_time_offset=float(j))
+            sim.run(1, engine="reference")
+        assert probe.bit_generator.state["state"] == partial
 
 
 class TestTelemetryParity:

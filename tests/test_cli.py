@@ -81,6 +81,28 @@ class TestExecution:
         assert "adaptive manager" in output
         assert "oracle" in output
 
+    def test_adapt_quick_output(self, capsys):
+        assert main(["adapt", "--quick"]) == 0
+        output = capsys.readouterr().out
+        assert "adaptive loop (fault-free)" in output
+        assert "replanned" in output
+
+    def test_adapt_all_fans_out_scenarios(self, capsys):
+        from repro.faults.scenarios import CHAOS_SCENARIOS
+
+        assert main(["adapt", "--quick", "--scenario", "all",
+                     "--periods", "4"]) == 0
+        output = capsys.readouterr().out
+        assert "adaptive loop (fault-free)" in output
+        for name in CHAOS_SCENARIOS:
+            assert f"chaos scenario {name!r}" in output
+
+    def test_adapt_parses_jobs_and_all(self):
+        args = build_parser().parse_args(
+            ["adapt", "--scenario", "all", "--jobs", "2"])
+        assert args.scenario == "all"
+        assert args.jobs == 2
+
 
 class TestTelemetry:
     def test_telemetry_flag_parses_with_and_without_directory(self):
