@@ -49,7 +49,7 @@ from repro.core.metrics import perceived_freshness
 from repro.core.partitioning import PartitioningStrategy, partition_catalog
 from repro.core.solver import solve_core_problem, solve_weighted_problem
 from repro.errors import ValidationError
-from repro.parallel import parallel_map
+from repro.parallel import parallel_map, seed_rng
 from repro.workloads.alignment import Alignment
 from repro.workloads.catalog import Catalog
 from repro.workloads.distributions import (
@@ -575,7 +575,7 @@ def figure10(*, n_objects: int = 500, bandwidth: float = 250.0,
         "pf_uniform_world": float, "pf_size_aware": float,
         "pf_blind_in_sized_world": float}``.
     """
-    rng = np.random.default_rng(seed)
+    rng = seed_rng(seed)
     probabilities = zipf_probabilities(n_objects, 0.0)
     rates = np.sort(gamma_change_rates(
         n_objects, mean=mean_change_rate, std_dev=update_std_dev,
@@ -649,7 +649,7 @@ def figure11(*, setup: ExperimentSetup = IDEAL_SETUP,
     counts = (np.array([10, 25, 50, 75, 100, 150, 200, 250])
               if partition_counts is None
               else np.asarray(partition_counts, dtype=int))
-    rng = np.random.default_rng(seed)
+    rng = seed_rng(seed)
     probabilities = zipf_probabilities(setup.n_objects, theta)
     rates = rng.permutation(np.sort(gamma_change_rates(
         setup.n_objects, mean=setup.mean_change_rate,
@@ -718,7 +718,7 @@ def imperfect_knowledge(*, setup: ExperimentSetup = IDEAL_SETUP,
         for seed in range(base_seed, base_seed + n_seeds):
             catalog = build_catalog(setup, alignment=Alignment.SHUFFLED,
                                     seed=seed, theta=theta)
-            rng = np.random.default_rng(seed + 10_000)
+            rng = seed_rng(seed + 10_000)
             noise = rng.lognormal(0.0, float(level),
                                   size=catalog.n_elements)
             believed = catalog.with_change_rates(
@@ -767,7 +767,7 @@ def mirror_selection(*, setup: ExperimentSetup = IDEAL_SETUP,
     sizes = (np.array([n // 10, n // 4, n // 2, (3 * n) // 4, n])
              if capacities is None
              else np.asarray(capacities, dtype=int))
-    rng = np.random.default_rng(seed + 1)
+    rng = seed_rng(seed + 1)
     greedy_scores = np.zeros(sizes.shape[0])
     random_scores = np.zeros(sizes.shape[0])
     for index, capacity in enumerate(sizes):

@@ -313,7 +313,7 @@ def adaptive_convergence(*, setup: ExperimentSetup | None = None,
                             seed=seed)
     manager = AdaptiveMirrorManager(
         catalog, base.syncs_per_period, request_rate=request_rate,
-        rng=np.random.default_rng(seed + 100))
+        rng=seed_rng(seed + 100))
     reports = manager.run(n_periods)
 
     oracle = PerceivedFreshener().plan(
@@ -568,7 +568,7 @@ def crawler_comparison(*, setup: ExperimentSetup | None = None,
         "PF_SCHEDULE": SchedulePolicy(plan.frequencies),
         "SAMPLING_CRAWLER": SamplingCrawlerPolicy(
             server_of, sample_size=sample_size, budget=budget,
-            rng=np.random.default_rng(seed + 50)),
+            rng=seed_rng(seed + 50)),
         "RANDOM_POLLING": RandomPollPolicy(base.n_objects, budget),
     }
     labels = []
@@ -577,7 +577,7 @@ def crawler_comparison(*, setup: ExperimentSetup | None = None,
         result = simulate_rounds(
             catalog, policy, n_rounds=n_rounds,
             requests_per_round=requests_per_round,
-            rng=np.random.default_rng(seed + 99))
+            rng=seed_rng(seed + 99))
         labels.append(label)
         scores.append(result.perceived_freshness)
     x = np.arange(len(labels), dtype=float)

@@ -64,10 +64,11 @@ __all__ = [
 
 _TRUTHY = {"1", "true", "yes", "on"}
 
-#: Default cap on distinct per-element (or per-shard) label values an
-#: event site may emit; indices at or beyond the cap collapse into the
-#: single ``"overflow"`` bucket.  Override with the environment
-#: variable ``REPRO_TELEMETRY_MAX_ELEMENTS`` (``0`` = unlimited).
+#: Default cap on distinct per-index label values (element, shard, or
+#: period) an event site may emit; indices at or beyond the cap
+#: collapse into the single ``"overflow"`` bucket.  Override with the
+#: environment variable ``REPRO_TELEMETRY_MAX_ELEMENTS`` (``0`` =
+#: unlimited).
 DEFAULT_MAX_ELEMENTS = 1024
 
 #: Default histogram bucket upper bounds (dimensionless; tuned for
@@ -346,17 +347,20 @@ def max_element_labels() -> int:
 
 
 def element_label(index: int) -> int | str:
-    """Cap the cardinality of a per-element (or per-shard) label.
+    """Cap the cardinality of a per-index label.
 
-    Event sites that tag records with an element or shard index call
-    this instead of emitting the raw index: indices below the cap
-    pass through unchanged, everything else collapses into the single
-    ``"overflow"`` bucket, so a catalog-scale faulted run adds at
-    most ``cap + 1`` distinct label values to the tape however many
-    elements it has.
+    Event sites that tag records with an element, shard, or period
+    index call this instead of emitting the raw index: indices below
+    the cap pass through unchanged, everything else collapses into
+    the single ``"overflow"`` bucket, so a catalog-scale faulted run
+    (or an arbitrarily long soak's period series) adds at most
+    ``cap + 1`` distinct label values to the tape however many
+    indices it spans.  Paired emit sites (reference loop vs fastpath
+    kernel) must both apply the cap, or the telemetry-parity tests
+    diverge at index ``cap``.
 
     Args:
-        index: The element or shard index.
+        index: The element, shard, or period index.
 
     Returns:
         ``index`` itself while under the cap, else ``"overflow"``.

@@ -219,9 +219,12 @@ class AdaptiveMirrorManager:
                 self._fault_rng = rng.spawn(1)[0]
             except (AttributeError, TypeError, ValueError):
                 # No seed sequence to spawn from (hand-built bit
-                # generator): derive a child the draw-consuming way.
+                # generator): derive a child the draw-consuming way,
+                # routing the drawn seed through a SeedSequence so the
+                # child is still CRN-disciplined.
                 self._fault_rng = np.random.default_rng(
-                    int(rng.integers(np.iinfo(np.int64).max)))
+                    np.random.SeedSequence(
+                        int(rng.integers(np.iinfo(np.int64).max))))
         self._planned_profile: np.ndarray | None = None
         self._frequencies: np.ndarray | None = None
         self._periods_since_replan = 0
@@ -493,7 +496,8 @@ class AdaptiveMirrorManager:
             obs.counter_add("manager.periods")
             obs.gauge_set("manager.profile_divergence", divergence)
             obs.gauge_set("manager.achieved_pf", achieved)
-            obs.event("manager.period", period=period,
+            obs.event("manager.period",
+                      period=obs.element_label(period),
                       replanned=replanned, believed_pf=believed_pf,
                       achieved_pf=achieved,
                       monitored_pf=result.monitored_perceived_freshness,

@@ -379,6 +379,7 @@ def _replay_tape(n_elements: int, sizes: np.ndarray,
     )
 
 
+# seedflow: pair=repro.sim.simulation.Simulation.run
 def replay_fastpath(catalog: Catalog, frequencies: np.ndarray,
                     times: np.ndarray, elements: np.ndarray,
                     kinds: np.ndarray, *, horizon: float,
@@ -487,6 +488,7 @@ class FaultResolution:
     trace: list[tuple[float, int, str]] | None
 
 
+# seedflow: pair=repro.faults.channel.SyncChannel.sync
 def resolve_iid_faults(sync_times: np.ndarray,
                        sync_elements: np.ndarray,
                        sizes: np.ndarray, *,
@@ -610,7 +612,10 @@ def resolve_iid_faults(sync_times: np.ndarray,
     # PCG64 state identically).
     rng.bit_generator.state = state
     if cursor:
-        rng.random(cursor)
+        # Data-dependent on purpose: re-advances the rewound stream
+        # by exactly the reference channel's consumption, so this
+        # branch *restores* draw parity rather than breaking it.
+        rng.random(cursor)  # freshlint: disable=FL013
 
     trace: list[tuple[float, int, str]] | None = None
     if record_trace:
@@ -670,6 +675,7 @@ def _build_trace(sync_times: np.ndarray, sync_elements: np.ndarray,
     return trace
 
 
+# seedflow: pair=repro.sim.simulation.Simulation.run
 def replay_fastpath_faulted(catalog: Catalog, frequencies: np.ndarray,
                             times: np.ndarray, elements: np.ndarray,
                             kinds: np.ndarray, *, horizon: float,
@@ -990,7 +996,7 @@ def _emit_period_series(times: np.ndarray, elements: np.ndarray,
         utilization = bandwidth / planned if planned else 0.0
         obs.event(
             "sim.period",
-            period=period,
+            period=obs.element_label(period),
             syncs=int(syncs_per_period[period]),
             bandwidth=bandwidth,
             budget_utilization=utilization,

@@ -104,7 +104,7 @@ class _PeriodTracker:
                        if self._planned else 0.0)
         obs.event(
             "sim.period",
-            period=self._period,
+            period=obs.element_label(self._period),
             syncs=self.syncs,
             bandwidth=self.bandwidth,
             budget_utilization=utilization,

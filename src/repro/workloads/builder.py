@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ValidationError
+from repro.parallel import seed_rng
 from repro.workloads.alignment import Alignment, align_values
 from repro.workloads.catalog import Catalog
 from repro.workloads.distributions import (
@@ -49,7 +50,7 @@ class WorkloadBuilder:
                 f"n_elements must be >= 1, got {n_elements}")
         self._n = n_elements
         self._rng = (seed if isinstance(seed, np.random.Generator)
-                     else np.random.default_rng(seed))
+                     else seed_rng(seed))
         self._profile: np.ndarray | None = None
         self._rates: np.ndarray | None = None
         self._sizes: np.ndarray | None = None

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ValidationError
+from repro.parallel import seed_rng
 from repro.workloads.alignment import Alignment, align_values
 from repro.workloads.catalog import Catalog
 from repro.workloads.distributions import (
@@ -124,7 +125,7 @@ def build_catalog(setup: ExperimentSetup, *,
         A fully populated :class:`Catalog`.
     """
     rng = (seed if isinstance(seed, np.random.Generator)
-           else np.random.default_rng(seed))
+           else seed_rng(seed))
     skew = setup.theta if theta is None else theta
     probabilities = zipf_probabilities(setup.n_objects, skew)
     raw_rates = gamma_change_rates(setup.n_objects,

@@ -1,0 +1,18 @@
+"""FL011 fixture: RNGs created from non-SeedSequence seed material."""
+
+import numpy as np
+
+GLOBAL_RNG = np.random.default_rng(1234)  # module-level raw creation
+
+
+def make_rng(seed):
+    return np.random.default_rng(seed)  # raw int seed, no SeedSequence
+
+
+def make_legacy():
+    return np.random.RandomState(7)  # legacy API is never CRN-safe
+
+
+def derived(seed):
+    base = seed * 2 + 1
+    return np.random.default_rng(base)  # provenance flows from raw int

@@ -1,0 +1,26 @@
+"""FL012 fixture: RNG objects crossing process boundaries."""
+
+from concurrent.futures import ProcessPoolExecutor
+from functools import partial
+
+from repro.parallel import parallel_map, seed_rng
+
+
+def run_shared_stream(specs, seed):
+    rng = seed_rng(seed)
+    return parallel_map(specs, rng)  # rng pickled into every worker
+
+
+def run_closure(specs, seed):
+    rng = seed_rng(seed)
+    task = partial(_simulate, rng)  # partial captures the rng ...
+    return parallel_map(specs, task)  # ... and crosses the boundary
+
+
+def run_executor(jobs, rng: "np.random.Generator"):
+    with ProcessPoolExecutor() as pool:
+        return [pool.submit(_simulate, rng, job) for job in jobs]
+
+
+def _simulate(rng, job):
+    return rng.random() + job

@@ -1,0 +1,17 @@
+"""FL013 fixture: paired kernel diverges from its reference."""
+
+
+# seedflow: pair=reference_replay
+def kernel_replay(tape, rng):
+    total = 0.0
+    noise = rng.random(len(tape))  # unconditional: matches reference
+    for item in tape:
+        if item > 0:
+            total += rng.random()  # conditional draw: diverges
+    total += rng.normal()  # reference never draws normal()
+    return total + noise.sum()
+
+
+def reference_replay(tape, rng):
+    values = rng.random(len(tape))
+    return float(values.sum())

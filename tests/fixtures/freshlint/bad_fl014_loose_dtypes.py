@@ -1,0 +1,17 @@
+"""FL014 fixture: kernel dtype-discipline violations."""
+
+import numpy as np
+
+
+def build_table():
+    weights = np.array([1, 2, 3])  # no dtype=: platform-dependent
+    boxed = np.array([1.0, 2.0], dtype=object)  # object upcast
+    return weights, boxed
+
+
+def upcast(values):
+    return values.astype(object)  # object upcast
+
+
+def streams_match(a, b):
+    return np.array_equal(a, b)  # float ==: masks -0.0 / NaN bits

@@ -1,0 +1,27 @@
+"""FL011 fixture: every RNG derives from SeedSequence / seed_rng."""
+
+import numpy as np
+
+from repro.parallel import seed_rng
+
+
+def make_rng(seed):
+    return np.random.default_rng(np.random.SeedSequence(seed))
+
+
+def make_blessed(seed):
+    return seed_rng(seed)
+
+
+def spawn_children(seed, n):
+    root = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in root.spawn(n)]
+
+
+def child_of(rng: np.random.Generator):
+    return rng.spawn(1)[0]
+
+
+def pass_through(rng: np.random.Generator):
+    # default_rng(Generator) returns the generator unchanged.
+    return np.random.default_rng(rng)

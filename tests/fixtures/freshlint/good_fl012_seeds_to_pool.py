@@ -1,0 +1,17 @@
+"""FL012 fixture: only integer seeds cross the process boundary."""
+
+from functools import partial
+
+from repro.parallel import parallel_map, seed_rng
+
+
+def run(specs, seed):
+    # Workers receive plain seeds and build their own generators.
+    seeds = [seed + index for index, _ in enumerate(specs)]
+    task = partial(_simulate, scale=2.0)  # captures no RNG
+    return parallel_map(seeds, task)
+
+
+def _simulate(seed, scale=1.0):
+    rng = seed_rng(seed)
+    return rng.random() * scale

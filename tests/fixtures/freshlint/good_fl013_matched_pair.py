@@ -1,0 +1,17 @@
+"""FL013 fixture: paired kernel matches its reference draw-for-draw."""
+
+
+# seedflow: pair=reference_replay
+def kernel_replay(tape, rng):
+    noise = rng.random(len(tape))
+    scale = rng.normal()
+    return float(noise.sum() * scale)
+
+
+def reference_replay(tape, rng):
+    total = 0.0
+    for item in tape:
+        total += rng.random()
+        if item > 0:
+            total *= rng.normal()  # conditional on the reference side
+    return total

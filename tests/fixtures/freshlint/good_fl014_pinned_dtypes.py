@@ -1,0 +1,13 @@
+"""FL014 fixture: disciplined kernel dtypes and bit comparisons."""
+
+import numpy as np
+
+
+def build_table():
+    weights = np.array([1, 2, 3], dtype=np.float64)
+    ids = np.array([1, 2, 3], dtype=np.int64)
+    return weights, ids
+
+
+def streams_match(a, b):
+    return np.array_equal(a.view(np.uint64), b.view(np.uint64))

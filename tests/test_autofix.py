@@ -1,0 +1,171 @@
+"""Tests for the freshlint autofix engine and the FL004 remediation.
+
+The engine contract under test: fixes are span-based rewrites applied
+bottom-up, overlapping edits defer to the next pass, and the whole
+loop is **idempotent** — running ``--fix`` twice produces the same
+bytes as running it once.
+"""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+
+import pytest
+
+from freshlint.autofix import TextEdit, apply_edits, fix_file
+from freshlint.cli import main as freshlint_main
+from freshlint.engine import LintConfig
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = REPO_ROOT / "tests" / "fixtures" / "freshlint"
+
+STRICT = LintConfig(entry_point_globs=(), test_globs=(),
+                    library_globs=("*",), solver_globs=("*",),
+                    clock_globs=("*",))
+
+
+# ---------------------------------------------------------------------------
+# apply_edits mechanics
+
+
+def test_apply_edits_bottom_up_keeps_spans_valid() -> None:
+    source = "alpha\nbeta\ngamma\n"
+    edits = [
+        TextEdit(line=1, col=0, end_line=1, end_col=5,
+                 replacement="ALPHA"),
+        TextEdit(line=3, col=0, end_line=3, end_col=5,
+                 replacement="GAMMA"),
+    ]
+    fixed, applied = apply_edits(source, edits)
+    assert applied == 2
+    assert fixed == "ALPHA\nbeta\nGAMMA\n"
+
+
+def test_apply_edits_skips_overlapping_spans() -> None:
+    source = "abcdef\n"
+    edits = [
+        TextEdit(line=1, col=0, end_line=1, end_col=4,
+                 replacement="X"),
+        TextEdit(line=1, col=2, end_line=1, end_col=6,
+                 replacement="Y"),
+    ]
+    fixed, applied = apply_edits(source, edits)
+    assert applied == 1
+    assert fixed == "Xef\n"
+
+
+def test_apply_edits_insertion_at_point() -> None:
+    source = "def f():\n    pass\n"
+    edits = [TextEdit(line=2, col=0, end_line=2, end_col=0,
+                      replacement="    # note\n")]
+    fixed, applied = apply_edits(source, edits)
+    assert applied == 1
+    assert fixed == "def f():\n    # note\n    pass\n"
+
+
+# ---------------------------------------------------------------------------
+# FL004 remediation end to end
+
+
+@pytest.fixture()
+def bad_units_copy(tmp_path: Path) -> Path:
+    target = tmp_path / "bad_units.py"
+    shutil.copy(FIXTURES / "bad_fl004_units.py", target)
+    return target
+
+
+def test_fix_clears_fl004_fixture(bad_units_copy: Path) -> None:
+    report = fix_file(bad_units_copy, STRICT)
+    assert report.changed
+    assert report.applied > 0
+    assert [v for v in report.remaining if v.code == "FL004"] == []
+    # Every rewritten docstring states a unit.
+    assert "per period" in bad_units_copy.read_text(encoding="utf-8")
+
+
+def test_fix_is_idempotent(bad_units_copy: Path) -> None:
+    fix_file(bad_units_copy, STRICT)
+    once = bad_units_copy.read_text(encoding="utf-8")
+    second = fix_file(bad_units_copy, STRICT)
+    assert not second.changed
+    assert second.applied == 0
+    assert bad_units_copy.read_text(encoding="utf-8") == once
+
+
+def test_diff_mode_does_not_write(bad_units_copy: Path) -> None:
+    original = bad_units_copy.read_text(encoding="utf-8")
+    report = fix_file(bad_units_copy, STRICT, write=False)
+    assert report.changed
+    assert bad_units_copy.read_text(encoding="utf-8") == original
+    diff = report.diff(original)
+    assert diff.startswith("---")
+    assert "per period" in diff
+
+
+def test_fixed_output_is_lint_clean_for_fixable_rules(
+        bad_units_copy: Path) -> None:
+    report = fix_file(bad_units_copy, STRICT)
+    # The fixture seeds only FL004, all of which are fixable.
+    assert report.remaining == ()
+
+
+# ---------------------------------------------------------------------------
+# CLI --fix / --diff
+
+
+def _scratch_src_tree(tmp_path_factory: pytest.TempPathFactory) -> Path:
+    """A src/-shaped scratch tree seeded with the FL004 fixture.
+
+    The scratch name must be neutral (no ``test_``) so the linter's
+    full-path test-glob fallback does not exempt the seeded file.
+    """
+    root = tmp_path_factory.mktemp("fix_tree")
+    target = root / "src" / "repro" / "units.py"
+    target.parent.mkdir(parents=True)
+    shutil.copy(FIXTURES / "bad_fl004_units.py", target)
+    return root
+
+
+def test_cli_fix_applies_and_exits_clean(
+        tmp_path_factory: pytest.TempPathFactory,
+        monkeypatch: pytest.MonkeyPatch) -> None:
+    root = _scratch_src_tree(tmp_path_factory)
+    monkeypatch.chdir(root)  # path globs resolve relative to cwd
+    original = (root / "src" / "repro" / "units.py").read_text(
+        encoding="utf-8")
+    assert freshlint_main(["src", "--select", "FL004",
+                           "--quiet"]) == 1
+    assert freshlint_main(["src", "--select", "FL004", "--fix",
+                           "--quiet"]) == 0
+    fixed = (root / "src" / "repro" / "units.py").read_text(
+        encoding="utf-8")
+    assert fixed != original
+    # Second --fix run: stable fixed point, nothing rewritten.
+    assert freshlint_main(["src", "--select", "FL004", "--fix",
+                           "--quiet"]) == 0
+    assert (root / "src" / "repro" / "units.py").read_text(
+        encoding="utf-8") == fixed
+
+
+def test_cli_diff_previews_without_writing(
+        tmp_path_factory: pytest.TempPathFactory,
+        monkeypatch: pytest.MonkeyPatch,
+        capsys: pytest.CaptureFixture) -> None:
+    root = _scratch_src_tree(tmp_path_factory)
+    monkeypatch.chdir(root)
+    original = (root / "src" / "repro" / "units.py").read_text(
+        encoding="utf-8")
+    code = freshlint_main(["src", "--select", "FL004", "--fix",
+                           "--diff", "--quiet"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "+" in out and "per period" in out
+    assert (root / "src" / "repro" / "units.py").read_text(
+        encoding="utf-8") == original
+
+
+def test_cli_diff_requires_fix(capsys: pytest.CaptureFixture) -> None:
+    with pytest.raises(SystemExit) as excinfo:
+        freshlint_main(["--diff"])
+    assert excinfo.value.code == 2

@@ -1,0 +1,191 @@
+"""Unit tests for the seedflow project-wide rules (FL011-FL014).
+
+Fixtures under ``tests/fixtures/freshlint`` are analyzed as
+self-contained one-file projects under a widened config (everything
+is library + kernel scope), so the rules fire regardless of where the
+checkout lives.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from freshlint.engine import LintConfig
+from freshlint.seedflow import (
+    Provenance,
+    analyze_function,
+    build_project,
+    run_seedflow,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = REPO_ROOT / "tests" / "fixtures" / "freshlint"
+
+#: Everything is library + kernel scope; nothing is a test/entry point.
+STRICT = LintConfig(entry_point_globs=(), test_globs=(),
+                    library_globs=("*",), solver_globs=("*",),
+                    clock_globs=("*",), kernel_globs=("*",))
+
+
+def codes_in(fixture: str) -> list[str]:
+    violations = run_seedflow([FIXTURES / fixture], STRICT)
+    return [v.code for v in violations]
+
+
+# ---------------------------------------------------------------------------
+# FL011 — non-CRN RNG creation
+
+
+def test_fl011_flags_raw_seed_creations() -> None:
+    codes = codes_in("bad_fl011_raw_seed.py")
+    # module-level, raw param seed, RandomState, derived int
+    assert codes == ["FL011"] * 4
+
+
+def test_fl011_clean_on_crn_discipline() -> None:
+    assert codes_in("good_fl011_crn_seed.py") == []
+
+
+def test_fl011_respects_entry_point_scope() -> None:
+    exempt = LintConfig(entry_point_globs=("*",), test_globs=(),
+                        library_globs=("*",), kernel_globs=("*",))
+    violations = run_seedflow([FIXTURES / "bad_fl011_raw_seed.py"],
+                              exempt)
+    assert violations == []
+
+
+# ---------------------------------------------------------------------------
+# FL012 — RNG across process boundaries
+
+
+def test_fl012_flags_rng_and_closure_crossings() -> None:
+    codes = codes_in("bad_fl012_rng_to_pool.py")
+    # direct parallel_map arg, partial closure, pool.submit
+    assert codes == ["FL012"] * 3
+
+
+def test_fl012_clean_when_only_seeds_cross() -> None:
+    assert codes_in("good_fl012_seeds_to_pool.py") == []
+
+
+# ---------------------------------------------------------------------------
+# FL013 — paired draw divergence
+
+
+def test_fl013_flags_conditional_and_unmatched_draws() -> None:
+    violations = run_seedflow(
+        [FIXTURES / "bad_fl013_diverging_pair.py"], STRICT)
+    assert [v.code for v in violations] == ["FL013", "FL013"]
+    messages = " | ".join(v.message for v in violations)
+    assert "conditional draw '.random()'" in messages
+    assert ".normal()" in messages
+
+
+def test_fl013_clean_on_matched_pair() -> None:
+    assert codes_in("good_fl013_matched_pair.py") == []
+
+
+def test_fl013_reports_unresolvable_pair_target(
+        tmp_path: Path) -> None:
+    path = tmp_path / "orphan.py"
+    path.write_text(
+        "# seedflow: pair=nowhere.to.be.found\n"
+        "def kernel(rng):\n"
+        "    return rng.random()\n", encoding="utf-8")
+    violations = run_seedflow([path], STRICT)
+    assert [v.code for v in violations] == ["FL013"]
+    assert "not found" in violations[0].message
+
+
+def test_fl013_pragma_suppression(tmp_path: Path) -> None:
+    path = tmp_path / "suppressed.py"
+    path.write_text(
+        "# seedflow: pair=reference\n"
+        "def kernel(flags, rng):\n"
+        "    if flags:\n"
+        "        # deliberate divergence, documented here\n"
+        "        rng.random()  # freshlint: disable=FL013\n"
+        "    return 0.0\n"
+        "\n"
+        "\n"
+        "def reference(flags, rng):\n"
+        "    return rng.random()\n", encoding="utf-8")
+    assert run_seedflow([path], STRICT) == []
+
+
+# ---------------------------------------------------------------------------
+# FL014 — kernel dtype discipline
+
+
+def test_fl014_flags_loose_dtypes() -> None:
+    codes = codes_in("bad_fl014_loose_dtypes.py")
+    # untyped literal, dtype=object, astype(object), array_equal
+    assert codes == ["FL014"] * 4
+
+
+def test_fl014_clean_on_pinned_dtypes() -> None:
+    assert codes_in("good_fl014_pinned_dtypes.py") == []
+
+
+def test_fl014_only_applies_to_kernel_paths() -> None:
+    non_kernel = LintConfig(entry_point_globs=(), test_globs=(),
+                            library_globs=("*",), kernel_globs=())
+    violations = run_seedflow(
+        [FIXTURES / "bad_fl014_loose_dtypes.py"], non_kernel)
+    assert violations == []
+
+
+# ---------------------------------------------------------------------------
+# project index and provenance internals
+
+
+def test_project_indexes_pairs_and_methods(tmp_path: Path) -> None:
+    path = tmp_path / "mod.py"
+    path.write_text(
+        "class Engine:\n"
+        "    def step(self, rng):\n"
+        "        return rng.random()\n"
+        "\n"
+        "\n"
+        "# seedflow: pair=Engine.step\n"
+        "def kernel(rng):\n"
+        "    return rng.random()\n", encoding="utf-8")
+    project = build_project([path], STRICT)
+    assert "mod.Engine.step" in project.functions
+    assert "mod.kernel" in project.functions
+    assert [p.reference for p in project.pairs] == ["Engine.step"]
+    resolved = project.function_for_dotted(project.pairs[0].reference)
+    assert resolved is not None
+    assert resolved.qualname == "mod.Engine.step"
+    assert [info.qualname for info in project.methods_named("step")] \
+        == ["mod.Engine.step"]
+
+
+def test_provenance_flows_through_returns(tmp_path: Path) -> None:
+    path = tmp_path / "flows.py"
+    path.write_text(
+        "import numpy as np\n"
+        "\n"
+        "\n"
+        "def make_seed(entropy):\n"
+        "    return np.random.SeedSequence(entropy)\n"
+        "\n"
+        "\n"
+        "def make_rng(entropy):\n"
+        "    return np.random.default_rng(make_seed(entropy))\n",
+        encoding="utf-8")
+    project = build_project([path], STRICT)
+    memo: dict[str, object] = {}
+    maker = project.functions["flows.make_rng"]
+    summary = analyze_function(maker, project, memo)
+    # The SeedSequence provenance crossed the call: no creation finding
+    # and the function provably returns a CRN generator.
+    assert summary.creations == []
+    assert summary.returns is Provenance.CRN_RNG
+
+
+def test_seedflow_reports_syntax_errors(tmp_path: Path) -> None:
+    path = tmp_path / "broken.py"
+    path.write_text("def oops(:\n", encoding="utf-8")
+    violations = run_seedflow([path], STRICT)
+    assert [v.code for v in violations] == ["FL999"]

@@ -21,7 +21,7 @@ from pathlib import Path
 
 import pytest
 
-from freshlint import run_paths
+from freshlint import run_paths, run_seedflow
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 FIXTURES = REPO_ROOT / "tests" / "fixtures" / "freshlint"
@@ -132,6 +132,63 @@ def test_gate_catches_seeded_wall_clock_in_sim_path(
                       "bad_fl009_wall_clock.py")
     violations = run_paths([root / "src"], root=root)
     assert "FL009" in {v.code for v in violations}
+
+
+# ---------------------------------------------------------------------------
+# seedflow: project-wide RNG-provenance gate
+
+
+def test_repository_tree_is_seedflow_clean() -> None:
+    paths = [REPO_ROOT / p for p in LINTED_PATHS
+             if (REPO_ROOT / p).exists()]
+    violations = run_seedflow(paths, root=REPO_ROOT)
+    rendered = "\n".join(v.render() for v in violations)
+    assert not violations, f"seedflow violations:\n{rendered}"
+
+
+def test_seedflow_cli_invocation_is_clean() -> None:
+    """``python -m freshlint --seedflow`` (the CI step) exits 0."""
+    env_path = str(REPO_ROOT / "tools")
+    result = subprocess.run(
+        [sys.executable, "-m", "freshlint", *LINTED_PATHS,
+         "--seedflow", "--quiet"],
+        cwd=REPO_ROOT, capture_output=True, text=True,
+        env={**os.environ, "PYTHONPATH": env_path},
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_gate_catches_seeded_non_crn_rng(
+        tmp_path_factory: pytest.TempPathFactory) -> None:
+    root = _seed_tree(tmp_path_factory.mktemp("seeded_tree"),
+                      "src/repro/analysis/raw_seed.py",
+                      "bad_fl011_raw_seed.py")
+    violations = run_seedflow([root / "src"], root=root)
+    assert {"FL011"} == {v.code for v in violations}
+
+
+def test_gate_catches_seeded_rng_pool_crossing(
+        tmp_path_factory: pytest.TempPathFactory) -> None:
+    root = _seed_tree(tmp_path_factory.mktemp("seeded_tree"),
+                      "src/repro/analysis/pool_rng.py",
+                      "bad_fl012_rng_to_pool.py")
+    violations = run_seedflow([root / "src"], root=root)
+    assert "FL012" in {v.code for v in violations}
+
+
+def test_kernel_pair_annotations_are_registered() -> None:
+    """The fastpath kernels must stay paired with their references."""
+    from freshlint import build_project
+
+    project = build_project([REPO_ROOT / "src" / "repro"],
+                            root=REPO_ROOT)
+    paired = {pair.kernel: pair.reference for pair in project.pairs}
+    assert paired.get("repro.sim.fastpath.replay_fastpath") == \
+        "repro.sim.simulation.Simulation.run"
+    assert paired.get("repro.sim.fastpath.replay_fastpath_faulted") \
+        == "repro.sim.simulation.Simulation.run"
+    assert paired.get("repro.sim.fastpath.resolve_iid_faults") == \
+        "repro.faults.channel.SyncChannel.sync"
 
 
 def test_bad_fixtures_are_not_in_the_linted_tree() -> None:

@@ -13,10 +13,13 @@ Run it as a CLI from the repository root::
 
     PYTHONPATH=tools python -m freshlint src/ examples/ benchmarks/
 
-or programmatically::
+add ``--seedflow`` for the project-wide RNG-provenance rules
+(FL011-FL014) and ``--fix`` / ``--diff`` for the autofix engine; or
+programmatically::
 
-    from freshlint import run_paths
+    from freshlint import run_paths, run_seedflow
     violations = run_paths(["src/repro"])
+    violations += run_seedflow(["src/repro"])
 
 Each rule is documented in ``docs/STATIC_ANALYSIS.md`` with the piece
 of the paper's math it protects.
@@ -24,27 +27,46 @@ of the paper's math it protects.
 
 from __future__ import annotations
 
+from freshlint.autofix import Fix, FixReport, TextEdit, fix_file
 from freshlint.engine import (
     LintConfig,
     ModuleContext,
     Violation,
+    filter_suppressed,
     iter_python_files,
     lint_file,
+    parse_module,
     run_paths,
 )
 from freshlint.rules import ALL_RULES, Rule, rule_by_code
+from freshlint.seedflow import (
+    SEEDFLOW_CODES,
+    SEEDFLOW_RULES,
+    build_project,
+    run_seedflow,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ALL_RULES",
+    "Fix",
+    "FixReport",
     "LintConfig",
     "ModuleContext",
     "Rule",
+    "SEEDFLOW_CODES",
+    "SEEDFLOW_RULES",
+    "TextEdit",
     "Violation",
     "__version__",
+    "build_project",
+    "filter_suppressed",
+    "fix_file",
     "iter_python_files",
     "lint_file",
+    "parse_module",
     "rule_by_code",
     "run_paths",
+    "run_seedflow",
 ]

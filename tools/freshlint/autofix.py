@@ -1,0 +1,177 @@
+"""Span-based autofix engine for freshlint rules.
+
+A rule that knows how to remediate a finding attaches a :class:`Fix`
+to the :class:`~freshlint.engine.Violation` it yields.  A fix is a
+set of :class:`TextEdit` spans over the original source — *positions,
+not patterns* — so applying it is exact and order-independent:
+
+* edits are applied bottom-up (later spans first), so earlier spans'
+  coordinates stay valid;
+* two fixes whose spans overlap cannot both be applied in one pass;
+  the engine applies the first and re-lints, so the survivor (if the
+  rule still fires) is picked up on the next iteration;
+* the loop runs until a pass applies nothing, which makes
+  ``freshlint --fix`` **idempotent**: a second invocation finds no
+  fixable violations and rewrites nothing (asserted by the test
+  suite).
+
+``fix_file`` is the programmatic entry; the CLI maps ``--fix`` onto
+it and ``--diff`` onto its dry-run mode (report the unified diff,
+write nothing).
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from freshlint.engine import LintConfig, Violation, lint_file
+
+__all__ = [
+    "Fix",
+    "FixReport",
+    "TextEdit",
+    "apply_edits",
+    "fix_file",
+    "unified_diff",
+]
+
+#: Safety valve: a fix loop that has not converged after this many
+#: passes is cycling (two rules rewriting each other's output) and
+#: aborts rather than ping-ponging forever.
+MAX_PASSES = 10
+
+
+@dataclass(frozen=True)
+class TextEdit:
+    """Replace one source span with new text.
+
+    Coordinates follow the AST convention: 1-based lines, 0-based
+    columns.  An *insertion* is an empty span (``line == end_line``
+    and ``col == end_col``).
+    """
+
+    line: int
+    col: int
+    end_line: int
+    end_col: int
+    replacement: str
+
+    def span(self, line_offsets: Sequence[int]) -> tuple[int, int]:
+        """The edit's absolute ``(start, end)`` character offsets."""
+        start = line_offsets[self.line - 1] + self.col
+        end = line_offsets[self.end_line - 1] + self.end_col
+        return start, end
+
+
+@dataclass(frozen=True)
+class Fix:
+    """A machine-applicable remediation for one violation."""
+
+    description: str
+    edits: tuple[TextEdit, ...]
+
+
+@dataclass(frozen=True)
+class FixReport:
+    """Outcome of one ``fix_file`` run."""
+
+    path: Path
+    applied: int
+    passes: int
+    changed: bool
+    new_source: str
+    remaining: tuple[Violation, ...]
+
+    def diff(self, original: str) -> str:
+        """Unified diff from ``original`` to the fixed source."""
+        return unified_diff(original, self.new_source, self.path)
+
+
+def _line_offsets(source: str) -> list[int]:
+    """Absolute offset of the start of every line (1-based index −1)."""
+    offsets = [0]
+    for line in source.splitlines(keepends=True):
+        offsets.append(offsets[-1] + len(line))
+    return offsets
+
+
+def apply_edits(source: str, edits: Sequence[TextEdit]) -> tuple[str, int]:
+    """Apply non-overlapping edits to ``source``.
+
+    Edits are sorted by span and applied bottom-up; an edit whose span
+    overlaps an already-accepted one is skipped (the fix loop retries
+    it on the next pass against the rewritten source).
+
+    Returns:
+        ``(new_source, n_applied)``.
+    """
+    offsets = _line_offsets(source)
+    spanned = sorted((edit.span(offsets), edit) for edit in edits)
+    accepted: list[tuple[tuple[int, int], TextEdit]] = []
+    last_end = -1
+    for (start, end), edit in spanned:
+        if start < last_end or end < start:
+            continue
+        accepted.append(((start, end), edit))
+        # Two pure insertions at the same offset would commute, but
+        # their combined order is ambiguous - keep one per pass.
+        last_end = max(end, start + 1)
+    for (start, end), edit in reversed(accepted):
+        source = source[:start] + edit.replacement + source[end:]
+    return source, len(accepted)
+
+
+def unified_diff(original: str, fixed: str, path: Path | str) -> str:
+    """A ``--diff``-style unified diff (empty string when identical)."""
+    if original == fixed:
+        return ""
+    return "".join(difflib.unified_diff(
+        original.splitlines(keepends=True),
+        fixed.splitlines(keepends=True),
+        fromfile=str(path), tofile=f"{path} (fixed)"))
+
+
+def fix_file(path: str | Path, config: LintConfig | None = None, *,
+             root: Path | None = None,
+             write: bool = True) -> FixReport:
+    """Apply every available fix in ``path`` until a pass is clean.
+
+    Args:
+        path: The file to fix.
+        config: Lint scope knobs (defaults to the repository config).
+        root: Repository root for path-glob matching.
+        write: When False (the ``--diff`` dry run), the rewritten
+            source is computed and reported but never written back.
+
+    Returns:
+        A :class:`FixReport`; ``remaining`` holds the violations that
+        survive because no rule offers a fix for them.
+    """
+    path = Path(path)
+    config = config or LintConfig()
+    source = path.read_text(encoding="utf-8")
+    current = source
+    applied = 0
+    passes = 0
+    while passes < MAX_PASSES:
+        passes += 1
+        violations = lint_file(path, config, root=root, source=current)
+        edits = [edit for violation in violations
+                 if violation.fix is not None
+                 for edit in violation.fix.edits]
+        if not edits:
+            break
+        current, n_applied = apply_edits(current, edits)
+        applied += n_applied
+        if n_applied == 0:
+            break
+    remaining = tuple(lint_file(path, config, root=root, source=current))
+    changed = current != source
+    if write and changed:
+        path.write_text(current, encoding="utf-8")
+    return FixReport(path=path, applied=applied, passes=passes,
+                     changed=changed, new_source=current,
+                     remaining=remaining)

@@ -28,14 +28,17 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from freshlint.autofix import Fix
     from freshlint.rules import Rule
 
 __all__ = [
     "LintConfig",
     "ModuleContext",
     "Violation",
+    "filter_suppressed",
     "iter_python_files",
     "lint_file",
+    "parse_module",
     "run_paths",
 ]
 
@@ -53,13 +56,19 @@ _SKIP_DIR_NAMES = {"__pycache__", ".git", ".venv", "node_modules",
 
 @dataclass(frozen=True)
 class Violation:
-    """One finding: a rule fired at a source location."""
+    """One finding: a rule fired at a source location.
+
+    ``fix`` optionally carries a machine-applicable remediation (see
+    :mod:`freshlint.autofix`); it never participates in equality or
+    hashing, so findings compare by location and message alone.
+    """
 
     code: str
     path: Path
     line: int
     column: int
     message: str
+    fix: "Fix | None" = field(default=None, compare=False)
 
     def render(self) -> str:
         """``path:line:col: CODE message`` (editor-clickable)."""
@@ -109,6 +118,11 @@ class LintConfig:
         "src/repro/numerics/*.py",
         "src/repro/sim/*.py",
         "src/repro/faults/*.py",
+    )
+    #: Vectorized-kernel modules: FL014 (dtype discipline, uint64-view
+    #: bit-identity comparisons) applies here.
+    kernel_globs: tuple[str, ...] = (
+        "src/repro/sim/fastpath.py",
     )
     select: tuple[str, ...] = ()
     ignore: tuple[str, ...] = ()
@@ -162,6 +176,12 @@ class ModuleContext:
         """True where wall-clock reads are banned (FL009)."""
         return _match_any(self.relative_path, str(self.path),
                           self.config.clock_globs)
+
+    @property
+    def is_kernel_path(self) -> bool:
+        """True for vectorized-kernel modules (FL014 scope)."""
+        return _match_any(self.relative_path, str(self.path),
+                          self.config.kernel_globs)
 
     @property
     def is_package_init(self) -> bool:
@@ -281,26 +301,50 @@ def _active_rules(config: LintConfig) -> "list[Rule]":
     return rules
 
 
-def lint_file(path: str | Path, config: LintConfig | None = None, *,
-              root: Path | None = None) -> list[Violation]:
-    """Lint a single file; syntax errors surface as an FL999 finding."""
+def parse_module(path: str | Path, config: LintConfig | None = None, *,
+                 root: Path | None = None,
+                 source: str | None = None) -> ModuleContext | Violation:
+    """Parse one file into a :class:`ModuleContext`.
+
+    Returns the context, or an ``FL999`` :class:`Violation` when the
+    file does not parse.  ``source`` overrides the on-disk content
+    (the autofix engine re-lints rewritten text without writing it).
+    """
     config = config or LintConfig()
     path = Path(path)
-    source = path.read_text(encoding="utf-8")
+    if source is None:
+        source = path.read_text(encoding="utf-8")
     relative = _relative_to_root(path, root)
     try:
         tree = ast.parse(source, filename=str(path))
     except SyntaxError as error:
-        return [Violation(code="FL999", path=path,
-                          line=error.lineno or 1,
-                          column=(error.offset or 1) - 1,
-                          message=f"syntax error: {error.msg}")]
-    context = ModuleContext(path=path, relative_path=relative,
-                            source=source, tree=tree, config=config)
-    per_line, per_file = _parse_pragmas(context.lines)
-    violations = [v for rule in _active_rules(config)
-                  for v in rule.check(context)
-                  if not _suppressed(v, per_line, per_file)]
+        return Violation(code="FL999", path=path,
+                         line=error.lineno or 1,
+                         column=(error.offset or 1) - 1,
+                         message=f"syntax error: {error.msg}")
+    return ModuleContext(path=path, relative_path=relative,
+                         source=source, tree=tree, config=config)
+
+
+def filter_suppressed(violations: Iterable[Violation],
+                      lines: Sequence[str]) -> list[Violation]:
+    """Drop violations silenced by ``# freshlint: disable`` pragmas."""
+    per_line, per_file = _parse_pragmas(lines)
+    return [v for v in violations
+            if not _suppressed(v, per_line, per_file)]
+
+
+def lint_file(path: str | Path, config: LintConfig | None = None, *,
+              root: Path | None = None,
+              source: str | None = None) -> list[Violation]:
+    """Lint a single file; syntax errors surface as an FL999 finding."""
+    config = config or LintConfig()
+    context = parse_module(path, config, root=root, source=source)
+    if isinstance(context, Violation):
+        return [context]
+    violations = filter_suppressed(
+        (v for rule in _active_rules(config) for v in rule.check(context)),
+        context.lines)
     violations.sort(key=lambda v: (v.line, v.column, v.code))
     return violations
 

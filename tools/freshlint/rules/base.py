@@ -3,9 +3,12 @@
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from freshlint.engine import ModuleContext, Violation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from freshlint.autofix import Fix
 
 __all__ = ["Rule", "function_params", "walk_functions"]
 
@@ -27,12 +30,17 @@ class Rule:
         raise NotImplementedError
 
     def violation(self, context: ModuleContext, node: ast.AST,
-                  message: str) -> Violation:
-        """Build a violation anchored at ``node``."""
+                  message: str, *, fix: "Fix | None" = None
+                  ) -> Violation:
+        """Build a violation anchored at ``node``.
+
+        ``fix`` optionally attaches a :class:`freshlint.autofix.Fix`
+        so ``freshlint --fix`` can remediate the finding.
+        """
         return Violation(code=self.code, path=context.path,
                          line=getattr(node, "lineno", 1),
                          column=getattr(node, "col_offset", 0),
-                         message=message)
+                         message=message, fix=fix)
 
 
 def function_params(node: ast.FunctionDef | ast.AsyncFunctionDef,

@@ -15,6 +15,7 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
+from freshlint.autofix import Fix, TextEdit
 from freshlint.engine import ModuleContext, Violation
 from freshlint.rules.base import Rule, function_params
 
@@ -76,6 +77,66 @@ def _walk_with_override_flag(tree: ast.Module,
     yield from visit(tree)
 
 
+def _units_sentence(params: str) -> str:
+    return (f"Units: {params} measured per period "
+            "(auto-added; verify the dimension).")
+
+
+def _stub_docstring_fix(node: ast.FunctionDef | ast.AsyncFunctionDef,
+                        params: str) -> Fix | None:
+    """Insert a stub units docstring as the first body statement.
+
+    Skipped for one-liner defs (``def f(rate): return rate``) — there
+    is no clean line to insert on.
+    """
+    first = node.body[0]
+    if first.lineno == node.lineno:
+        return None
+    indent = " " * first.col_offset
+    text = f'{indent}"""{_units_sentence(params)}"""\n'
+    edit = TextEdit(line=first.lineno, col=0, end_line=first.lineno,
+                    end_col=0, replacement=text)
+    return Fix(description=f"insert stub units docstring for "
+                           f"`{node.name}`", edits=(edit,))
+
+
+def _append_units_fix(context: ModuleContext,
+                      node: ast.FunctionDef | ast.AsyncFunctionDef,
+                      params: str) -> Fix | None:
+    """Append a units sentence inside the existing docstring."""
+    first = node.body[0]
+    if not (isinstance(first, ast.Expr)
+            and isinstance(first.value, ast.Constant)
+            and isinstance(first.value.value, str)):
+        return None  # pragma: no cover - guarded by the caller
+    const = first.value
+    if const.end_lineno is None or const.end_col_offset is None:
+        return None
+    end_line, end_col = const.end_lineno, const.end_col_offset
+    closing = context.lines[end_line - 1][:end_col]
+    quote_len = 3 if closing.endswith(('"""', "'''")) else 1
+    description = f"append units sentence to `{node.name}` docstring"
+    if const.lineno == end_line:
+        # Single-line docstring: extend it in place.
+        edit = TextEdit(line=end_line, col=end_col - quote_len,
+                        end_line=end_line, end_col=end_col - quote_len,
+                        replacement=f" {_units_sentence(params)}")
+        return Fix(description=description, edits=(edit,))
+    indent = " " * first.col_offset
+    if closing[:end_col - quote_len].strip() == "":
+        # Closing quotes on their own line: insert a line above them.
+        edit = TextEdit(line=end_line, col=0, end_line=end_line,
+                        end_col=0,
+                        replacement=f"\n{indent}"
+                                    f"{_units_sentence(params)}\n")
+        return Fix(description=description, edits=(edit,))
+    # Closing quotes trail the last content line: extend that line.
+    edit = TextEdit(line=end_line, col=end_col - quote_len,
+                    end_line=end_line, end_col=end_col - quote_len,
+                    replacement=f" {_units_sentence(params)}")
+    return Fix(description=description, edits=(edit,))
+
+
 def _is_dimensioned(param: str) -> bool:
     return (param == "bandwidth"
             or param.endswith("bandwidth")
@@ -113,7 +174,8 @@ class UnitsInDocstring(Rule):
                     context, node,
                     f"public function `{node.name}` takes dimensioned "
                     f"parameter(s) {params} but has no docstring; state "
-                    "the units (e.g. 'changes per period')")
+                    "the units (e.g. 'changes per period')",
+                    fix=_stub_docstring_fix(node, params))
                 continue
             lowered = doc.lower()
             if not any(marker in lowered for marker in UNIT_MARKERS):
@@ -122,4 +184,5 @@ class UnitsInDocstring(Rule):
                     f"docstring of `{node.name}` never states units for "
                     f"{params}; the solver is scale-covariant, so a "
                     "per-day rate against a per-hour budget fails "
-                    "silently - say e.g. 'changes per period'")
+                    "silently - say e.g. 'changes per period'",
+                    fix=_append_units_fix(context, node, params))

@@ -1,0 +1,70 @@
+"""seedflow — project-wide RNG-provenance and determinism analysis.
+
+The per-file rules (FL001-FL010) see one module at a time; every
+guarantee the vectorized kernels and the CRN-preserving executor make
+is a *cross-module* property: a ``Generator`` must derive from a
+``SeedSequence`` spawn, no RNG may cross a process boundary, and the
+paired engine implementations must consume identical draw streams.
+seedflow parses the whole file set once, builds a binding/call index,
+tracks RNG provenance through assignments, parameters, returns and
+attribute stores, and enforces four project-wide rules:
+
+* **FL011** - RNG created from a seed that does not flow from a
+  ``SeedSequence``/``spawn``/``seed_rng`` source (non-CRN creation);
+* **FL012** - an RNG object reaching a ``parallel_map`` /
+  process-pool submission or a pickled ``functools.partial`` closure
+  (shared-stream hazard across workers);
+* **FL013** - draw-order divergence hazards between annotated paired
+  engine paths (``# seedflow: pair=...``): conditional draws in the
+  kernel member, and draw methods the reference side never uses;
+* **FL014** - dtype discipline in kernel modules: untyped
+  ``np.array`` literals, object-dtype upcasts, and bit-identity
+  comparisons that skip the uint64 view.
+
+Run it through the CLI (``freshlint --seedflow src/repro``) or
+programmatically::
+
+    from freshlint.seedflow import run_seedflow
+    violations = run_seedflow(["src/repro"])
+
+Findings respect the same ``# freshlint: disable=`` pragmas as the
+per-file rules.
+"""
+
+from __future__ import annotations
+
+from freshlint.seedflow.project import (
+    FunctionInfo,
+    PairedFunctions,
+    Project,
+    build_project,
+)
+from freshlint.seedflow.provenance import (
+    DRAW_METHODS,
+    FunctionSummary,
+    Provenance,
+    analyze_function,
+)
+from freshlint.seedflow.rules import (
+    SEEDFLOW_CODES,
+    SEEDFLOW_RULES,
+    SeedflowRuleInfo,
+    run_seedflow,
+    seedflow_violations,
+)
+
+__all__ = [
+    "DRAW_METHODS",
+    "FunctionInfo",
+    "FunctionSummary",
+    "PairedFunctions",
+    "Project",
+    "Provenance",
+    "SEEDFLOW_CODES",
+    "SEEDFLOW_RULES",
+    "SeedflowRuleInfo",
+    "analyze_function",
+    "build_project",
+    "run_seedflow",
+    "seedflow_violations",
+]

@@ -1,0 +1,301 @@
+"""Whole-program model: modules, bindings, call resolution, pairs.
+
+A :class:`Project` is the parse-once index the seedflow rules work
+against.  It knows, for every file handed to the analysis:
+
+* the module's dotted name (derived from the innermost chain of
+  ``__init__.py`` packages containing it; loose files get their stem);
+* every top-level function and every method, under its qualified name
+  ``pkg.mod.func`` / ``pkg.mod.Class.method``;
+* how to resolve a call expression to a project function - through
+  the module's import aliases, ``self.``/``cls.`` receivers, class
+  constructors, and (as a deliberate over-approximation for draw
+  summaries) a by-method-name fallback for calls on receivers whose
+  class is statically unknown;
+* the FL013 pair registry: ``# seedflow: pair=<target>`` annotations
+  attached to kernel functions, naming their reference counterpart.
+
+The pair annotation sits on the line directly above the ``def`` (or
+above its first decorator), or trails the ``def`` line itself::
+
+    # seedflow: pair=repro.sim.simulation.Simulation.run
+    def replay_fastpath(...):
+
+``<target>`` is a qualified name; a bare name refers to the same
+module (handy for self-contained fixtures).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from freshlint.engine import (
+    LintConfig,
+    ModuleContext,
+    Violation,
+    iter_python_files,
+    parse_module,
+)
+
+__all__ = [
+    "FunctionInfo",
+    "PairedFunctions",
+    "Project",
+    "build_project",
+]
+
+_PAIR_RE = re.compile(
+    r"#\s*seedflow:\s*pair\s*=\s*(?P<target>[A-Za-z_][\w.]*)")
+
+#: How far above a ``def`` (decorators included) a pair annotation
+#: may sit and still attach to it.
+_PAIR_REACH = 3
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method, with its defining module context."""
+
+    qualname: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    context: ModuleContext
+    module: str
+    class_name: str | None = None
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+
+@dataclass(frozen=True)
+class PairedFunctions:
+    """An FL013 pair: the annotated kernel and its reference path."""
+
+    kernel: str
+    reference: str
+    annotation_line: int
+
+
+@dataclass
+class Project:
+    """The parsed file set plus its binding and pair indexes."""
+
+    config: LintConfig
+    root: Path | None
+    modules: dict[str, ModuleContext] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    by_method_name: dict[str, list[FunctionInfo]] = \
+        field(default_factory=dict)
+    pairs: list[PairedFunctions] = field(default_factory=list)
+    parse_errors: list[Violation] = field(default_factory=list)
+    _module_of: dict[int, str] = field(default_factory=dict)
+
+    def module_name(self, context: ModuleContext) -> str:
+        """The dotted module name a context was indexed under."""
+        return self._module_of.get(id(context),
+                                   Path(context.path).stem)
+
+    def resolve_dotted(self, context: ModuleContext,
+                       func: ast.expr) -> str | None:
+        """Dotted origin of a call target through import aliases."""
+        return context.resolve_call_target(func)
+
+    def function_for_dotted(self, dotted: str) -> FunctionInfo | None:
+        """Project function bound to a resolved dotted name, if any.
+
+        Tries the name as-is, as a class constructor (``__init__``),
+        and - because a package may be analyzed from inside ``src/``
+        while callers spell the installed name - by unique suffix
+        match on the qualified-name index.
+        """
+        info = self.functions.get(dotted)
+        if info is not None:
+            return info
+        init = self.functions.get(f"{dotted}.__init__")
+        if init is not None:
+            return init
+        tail = [info for qualname, info in self.functions.items()
+                if qualname.endswith(f".{dotted}")]
+        if len(tail) == 1:
+            return tail[0]
+        return None
+
+    def resolve_call(self, context: ModuleContext, call: ast.Call,
+                     class_name: str | None = None
+                     ) -> FunctionInfo | None:
+        """Resolve one call to a project function, if possible.
+
+        ``class_name`` scopes ``self.method()`` / ``cls.method()``
+        receivers to the enclosing class.
+        """
+        dotted = self.resolve_dotted(context, call.func)
+        if dotted is not None:
+            parts = dotted.split(".")
+            if class_name is not None and len(parts) == 2 and \
+                    parts[0] in ("self", "cls"):
+                scoped = f"{self.module_name(context)}." \
+                         f"{class_name}.{parts[1]}"
+                info = self.functions.get(scoped)
+                if info is not None:
+                    return info
+            if parts[0] not in ("self", "cls"):
+                qualified = f"{self.module_name(context)}.{dotted}"
+                info = (self.functions.get(qualified)
+                        or self.functions.get(f"{qualified}.__init__"))
+                if info is not None:
+                    return info
+                info = self.function_for_dotted(dotted)
+                if info is not None:
+                    return info
+        return None
+
+    def methods_named(self, name: str) -> list[FunctionInfo]:
+        """Every project method with this bare name (see module doc)."""
+        return self.by_method_name.get(name, [])
+
+
+def _package_root(path: Path) -> Path | None:
+    """Topmost package directory containing ``path`` (None if loose)."""
+    directory = path.parent
+    if not (directory / "__init__.py").exists():
+        return None
+    while (directory.parent / "__init__.py").exists():
+        directory = directory.parent
+    return directory
+
+
+def _module_name(path: Path) -> str:
+    """Dotted module name (package-derived, or the stem when loose)."""
+    root = _package_root(path)
+    if root is None:
+        return path.stem
+    relative = path.resolve().relative_to(root.parent.resolve())
+    parts = list(relative.with_suffix("").parts)
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+def _index_functions(project: Project, module: str,
+                     context: ModuleContext) -> None:
+    """Register the module's functions and methods by qualname."""
+
+    def register(node: ast.FunctionDef | ast.AsyncFunctionDef,
+                 class_name: str | None) -> None:
+        scope = f"{module}.{class_name}" if class_name else module
+        info = FunctionInfo(qualname=f"{scope}.{node.name}",
+                            node=node, context=context, module=module,
+                            class_name=class_name)
+        project.functions.setdefault(info.qualname, info)
+        if class_name is not None:
+            project.by_method_name.setdefault(node.name, []).append(info)
+
+    for node in context.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            register(node, None)
+        elif isinstance(node, ast.ClassDef):
+            for member in node.body:
+                if isinstance(member, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)):
+                    register(member, node.name)
+    register(_module_wrapper(context.tree), None)
+
+
+def _module_wrapper(tree: ast.Module) -> ast.FunctionDef:
+    """Wrap a module's top-level statements as a ``<module>`` pseudo-
+    function so the provenance walker also sees module-level code
+    (e.g. a global ``rng = default_rng(0)``).  Never compiled — only
+    its ``body`` is walked."""
+    body = [node for node in tree.body
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef,
+                                     ast.ClassDef))]
+    wrapper = ast.FunctionDef(
+        name="<module>",
+        args=ast.arguments(posonlyargs=[], args=[], kwonlyargs=[],
+                           kw_defaults=[], defaults=[]),
+        body=body or [ast.Pass()],
+        decorator_list=[], returns=None)
+    wrapper.lineno = 1
+    wrapper.col_offset = 0
+    return wrapper
+
+
+def _function_start_line(node: ast.FunctionDef | ast.AsyncFunctionDef
+                         ) -> int:
+    """The line a ``def`` (or its first decorator) starts on."""
+    if node.decorator_list:
+        return min(d.lineno for d in node.decorator_list)
+    return node.lineno
+
+
+def _collect_pairs(project: Project, module: str,
+                   context: ModuleContext) -> None:
+    """Attach ``# seedflow: pair=...`` annotations to functions."""
+    annotations: list[tuple[int, str]] = []
+    for lineno, line in enumerate(context.lines, start=1):
+        match = _PAIR_RE.search(line)
+        if match is not None:
+            annotations.append((lineno, match.group("target")))
+    if not annotations:
+        return
+    starts = sorted(
+        ((_function_start_line(info.node), info)
+         for info in project.functions.values()
+         if info.context is context and info.name != "<module>"),
+        key=lambda pair: pair[0])
+    for lineno, target in annotations:
+        owner: FunctionInfo | None = None
+        for start, info in starts:
+            header_end = (info.node.body[0].lineno if info.node.body
+                          else start + 1)
+            if lineno <= start <= lineno + _PAIR_REACH:
+                owner = info  # annotation above the def/decorators
+                break
+            if start <= lineno < header_end:
+                owner = info  # annotation trailing the def header
+                break
+        if owner is None:
+            continue
+        reference = target if "." in target else f"{module}.{target}"
+        project.pairs.append(PairedFunctions(
+            kernel=owner.qualname, reference=reference,
+            annotation_line=lineno))
+
+
+def build_project(paths: Iterable[str | Path],
+                  config: LintConfig | None = None, *,
+                  root: Path | None = None,
+                  sources: Mapping[str, str] | None = None) -> Project:
+    """Parse every Python file under ``paths`` into one Project.
+
+    Args:
+        paths: Files or directories to analyze together.
+        config: Scope knobs (shared with the per-file engine).
+        root: Repository root for relative-path glob matching.
+        sources: Optional ``{str(path): source}`` overrides, for
+            analyzing rewritten text without touching the disk.
+
+    Returns:
+        The indexed :class:`Project`; unparsable files surface on
+        ``parse_errors`` as FL999 findings.
+    """
+    config = config or LintConfig()
+    project = Project(config=config, root=root)
+    for path in iter_python_files(paths):
+        override = (sources or {}).get(str(path))
+        context = parse_module(path, config, root=root, source=override)
+        if isinstance(context, Violation):
+            project.parse_errors.append(context)
+            continue
+        module = _module_name(Path(path))
+        project.modules[module] = context
+        project._module_of[id(context)] = module
+        _index_functions(project, module, context)
+    for module, context in project.modules.items():
+        _collect_pairs(project, module, context)
+    return project

@@ -1,0 +1,556 @@
+"""Per-function RNG dataflow: the provenance lattice and walker.
+
+``analyze_function`` walks one function's statements in source order
+and tracks, for every local name (and ``self.attr`` store), where its
+value *came from* with respect to the CRN seeding discipline:
+
+============  ======================================================
+Provenance    Meaning
+============  ======================================================
+SEED          ``SeedSequence``-derived seed material (``spawn``,
+              ``generate_state``, a ``SeedSequence``-annotated param)
+CRN_RNG       a Generator whose seed provably flows from SEED
+              (``default_rng(ss)``, ``seed_rng(...)``, ``.spawn()``)
+RNG           a Generator of unknown pedigree (an ``rng``-named or
+              ``Generator``-annotated parameter — the caller vouches)
+RAW_RNG       a Generator created here from non-SEED material
+POOL          a process-pool object (executor/Pool)
+CLOSURE_RNG   a ``functools.partial`` that captured an RNG
+UNKNOWN       everything else
+============  ======================================================
+
+The walk is deliberately flow-*insensitive across* branches (later
+bindings win, joins degrade to UNKNOWN) but records the facts the
+project rules need:
+
+* RNG **creation sites** whose seed provenance is not SEED (FL011);
+* **draws** — ``DRAW_METHODS`` calls on RNG-ish receivers — with a
+  flag for conditional execution (``if``/``while``/``try``-handler/
+  ternary/short-circuit depth > 0; plain ``for``/``with`` bodies do
+  *not* count — a loop repeats draws, it does not make their order
+  input-dependent) (FL013);
+* **boundary hazards** — RNG-kind or CLOSURE_RNG values handed to
+  ``parallel_map`` or a pool ``submit``/``map``-family method (FL012);
+* resolved project **callees** and unresolved attribute-call names,
+  for the transitive draw closure.
+
+Callee return provenance is resolved through a memoized recursion
+over the :class:`~freshlint.seedflow.project.Project`; cycles cut to
+an empty summary (returns UNKNOWN), which only loses precision.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from freshlint.seedflow.project import FunctionInfo, Project
+
+__all__ = [
+    "BoundaryCall",
+    "DRAW_METHODS",
+    "Draw",
+    "FunctionSummary",
+    "Provenance",
+    "RNG_KINDS",
+    "RngCreation",
+    "analyze_function",
+]
+
+
+class Provenance(Enum):
+    """Where a value came from, seen through the CRN discipline."""
+
+    UNKNOWN = "unknown"
+    SEED = "seed"
+    CRN_RNG = "crn-rng"
+    RNG = "rng"
+    RAW_RNG = "raw-rng"
+    POOL = "pool"
+    CLOSURE_RNG = "closure-rng"
+
+
+#: The provenances that denote a live Generator object.
+RNG_KINDS = frozenset({
+    Provenance.CRN_RNG, Provenance.RNG, Provenance.RAW_RNG,
+})
+
+#: ``Generator`` methods that consume the stream.  Gated on an
+#: RNG-ish receiver, so generic names (``choice``, ``f``) stay safe.
+DRAW_METHODS = frozenset({
+    "beta", "binomial", "bytes", "chisquare", "choice", "dirichlet",
+    "exponential", "f", "gamma", "geometric", "gumbel",
+    "hypergeometric", "integers", "laplace", "logistic", "lognormal",
+    "multinomial", "multivariate_hypergeometric",
+    "multivariate_normal", "negative_binomial",
+    "noncentral_chisquare", "noncentral_f", "normal", "pareto",
+    "permutation", "permuted", "poisson", "power", "random",
+    "rayleigh", "shuffle", "standard_cauchy", "standard_exponential",
+    "standard_gamma", "standard_normal", "standard_t", "triangular",
+    "uniform", "vonmises", "wald", "weibull", "zipf",
+})
+
+_SEED_APIS = frozenset({"numpy.random.SeedSequence"})
+_RNG_FACTORIES = frozenset({
+    "numpy.random.default_rng", "numpy.random.Generator",
+})
+_LEGACY_APIS = frozenset({"numpy.random.RandomState"})
+_BITGENS = frozenset({
+    "numpy.random.MT19937", "numpy.random.PCG64",
+    "numpy.random.PCG64DXSM", "numpy.random.Philox",
+    "numpy.random.SFC64",
+})
+_POOL_APIS = frozenset({
+    "concurrent.futures.ProcessPoolExecutor",
+    "multiprocessing.Pool",
+    "multiprocessing.pool.Pool",
+})
+_PARTIAL_APIS = frozenset({"functools.partial"})
+_POOL_METHODS = frozenset({
+    "apply", "apply_async", "imap", "imap_unordered", "map",
+    "map_async", "starmap", "starmap_async", "submit",
+})
+
+_RNG_NAME_RE = re.compile(r"(?:^|_)rngs?$|^gen$|^generator$")
+_SEED_NAME_RE = re.compile(r"^seed_seq|seed_sequence|^ss$")
+_POOL_NAME_RE = re.compile(r"(?:^|_)(?:pool|executor)s?$")
+
+
+@dataclass(frozen=True)
+class RngCreation:
+    """A Generator built from material that is not SEED-derived."""
+
+    api: str
+    line: int
+    col: int
+    seed_provenance: Provenance
+    legacy: bool = False
+
+
+@dataclass(frozen=True)
+class Draw:
+    """One stream-consuming call on an RNG-ish receiver."""
+
+    method: str
+    line: int
+    col: int
+    conditional: bool
+
+
+@dataclass(frozen=True)
+class BoundaryCall:
+    """An RNG-carrying value crossing a process boundary."""
+
+    api: str
+    line: int
+    col: int
+    detail: str
+
+
+@dataclass
+class FunctionSummary:
+    """Everything the project rules need to know about one function."""
+
+    qualname: str
+    creations: list[RngCreation] = field(default_factory=list)
+    draws: list[Draw] = field(default_factory=list)
+    boundary_hazards: list[BoundaryCall] = field(default_factory=list)
+    calls: list[str] = field(default_factory=list)
+    method_calls: set[str] = field(default_factory=set)
+    returns: Provenance = Provenance.UNKNOWN
+
+
+_IN_PROGRESS = object()
+
+
+def analyze_function(info: "FunctionInfo", project: "Project",
+                     memo: dict[str, object] | None = None
+                     ) -> FunctionSummary:
+    """Summarize one project function (memoized, cycle-safe)."""
+    if memo is None:
+        memo = {}
+    cached = memo.get(info.qualname)
+    if cached is _IN_PROGRESS:
+        # Recursion cycle: cut with an empty summary (UNKNOWN return).
+        return FunctionSummary(qualname=info.qualname)
+    if isinstance(cached, FunctionSummary):
+        return cached
+    memo[info.qualname] = _IN_PROGRESS
+    summary = _Walker(info, project, memo).run()
+    memo[info.qualname] = summary
+    return summary
+
+
+def _join(a: Provenance, b: Provenance) -> Provenance:
+    if a is b:
+        return a
+    if a in RNG_KINDS and b in RNG_KINDS:
+        return Provenance.RNG
+    return Provenance.UNKNOWN
+
+
+_GENERATOR_ANN_RE = re.compile(
+    r"^(?:np\.random\.|numpy\.random\.)?Generator$")
+_SEEDSEQ_ANN_RE = re.compile(
+    r"^(?:np\.random\.|numpy\.random\.)?SeedSequence$")
+
+
+def _param_provenance(arg: ast.arg) -> Provenance:
+    if arg.annotation is not None:
+        try:
+            text = ast.unparse(arg.annotation).strip("\"'")
+        except Exception:  # pragma: no cover - malformed annotation
+            text = ""
+        # Only an *exact* Generator/SeedSequence annotation vouches;
+        # a union like ``int | Generator`` has a non-CRN branch.
+        if _SEEDSEQ_ANN_RE.match(text):
+            return Provenance.SEED
+        if _GENERATOR_ANN_RE.match(text):
+            return Provenance.RNG
+    if _RNG_NAME_RE.search(arg.arg):
+        return Provenance.RNG
+    if _SEED_NAME_RE.search(arg.arg):
+        return Provenance.SEED
+    return Provenance.UNKNOWN
+
+
+def _receiver_name(node: ast.expr) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return ""
+
+
+class _Walker:
+    """Statement-order walk of one function body."""
+
+    def __init__(self, info: "FunctionInfo", project: "Project",
+                 memo: dict[str, object]) -> None:
+        self.info = info
+        self.project = project
+        self.memo = memo
+        self.context = info.context
+        self.summary = FunctionSummary(qualname=info.qualname)
+        self.env: dict[str, Provenance] = {}
+        self.self_env: dict[str, Provenance] = {}
+        self.returns: list[Provenance] = []
+
+    def run(self) -> FunctionSummary:
+        self._bind_params()
+        self._walk(self.info.node.body, 0)
+        result = Provenance.UNKNOWN
+        if self.returns:
+            result = self.returns[0]
+            for prov in self.returns[1:]:
+                result = _join(result, prov)
+        self.summary.returns = result
+        return self.summary
+
+    def _bind_params(self) -> None:
+        args = self.info.node.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            self.env[arg.arg] = _param_provenance(arg)
+
+    # -- statements ---------------------------------------------------
+
+    def _walk(self, stmts: list[ast.stmt], depth: int) -> None:
+        for stmt in stmts:
+            self._stmt(stmt, depth)
+
+    def _stmt(self, stmt: ast.stmt, depth: int) -> None:
+        if isinstance(stmt, ast.Assign):
+            self._stmt_assign(stmt, depth)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._assign(stmt.target,
+                             self._eval(stmt.value, depth))
+        elif isinstance(stmt, ast.AugAssign):
+            self._eval(stmt.value, depth)
+        elif isinstance(stmt, ast.Expr):
+            self._eval(stmt.value, depth)
+        elif isinstance(stmt, ast.Return):
+            prov = Provenance.UNKNOWN
+            if stmt.value is not None:
+                prov = self._eval(stmt.value, depth)
+            self.returns.append(prov)
+        elif isinstance(stmt, ast.If):
+            self._eval(stmt.test, depth)
+            self._walk(stmt.body, depth + 1)
+            self._walk(stmt.orelse, depth + 1)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_prov = self._eval(stmt.iter, depth)
+            element = iter_prov if (iter_prov is Provenance.SEED
+                                    or iter_prov in RNG_KINDS) \
+                else Provenance.UNKNOWN
+            self._assign(stmt.target, element)
+            self._walk(stmt.body, depth)
+            self._walk(stmt.orelse, depth + 1)
+        elif isinstance(stmt, ast.While):
+            self._eval(stmt.test, depth)
+            self._walk(stmt.body, depth + 1)
+            self._walk(stmt.orelse, depth + 1)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                prov = self._eval(item.context_expr, depth)
+                if item.optional_vars is not None:
+                    self._assign(item.optional_vars, prov)
+            self._walk(stmt.body, depth)
+        elif isinstance(stmt, ast.Try):
+            self._walk(stmt.body, depth)
+            for handler in stmt.handlers:
+                self._walk(handler.body, depth + 1)
+            self._walk(stmt.orelse, depth + 1)
+            self._walk(stmt.finalbody, depth)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            pass  # nested scopes are indexed separately (or not at all)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self._eval(stmt.exc, depth)
+            if stmt.cause is not None:
+                self._eval(stmt.cause, depth)
+        elif isinstance(stmt, ast.Assert):
+            self._eval(stmt.test, depth)
+            if stmt.msg is not None:
+                self._eval(stmt.msg, depth)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    self.env.pop(target.id, None)
+        else:
+            # match statements and friends: evaluate expressions,
+            # treat nested statement bodies as conditional.
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._eval(child, depth)
+                elif isinstance(child, ast.stmt):
+                    self._stmt(child, depth + 1)
+                else:
+                    for sub in ast.walk(child):
+                        if isinstance(sub, ast.stmt):
+                            self._stmt(sub, depth + 1)
+                            break
+
+    def _stmt_assign(self, stmt: ast.Assign, depth: int) -> None:
+        value = stmt.value
+        for target in stmt.targets:
+            if isinstance(target, (ast.Tuple, ast.List)) and \
+                    isinstance(value, (ast.Tuple, ast.List)) and \
+                    len(target.elts) == len(value.elts):
+                for sub_target, sub_value in zip(target.elts,
+                                                 value.elts):
+                    self._assign(sub_target,
+                                 self._eval(sub_value, depth))
+                return
+        prov = self._eval(value, depth)
+        for target in stmt.targets:
+            self._assign(target, prov)
+
+    def _assign(self, target: ast.expr, prov: Provenance) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = prov
+        elif isinstance(target, ast.Attribute) and \
+                isinstance(target.value, ast.Name) and \
+                target.value.id == "self":
+            self.self_env[target.attr] = prov
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._assign(element, prov)
+        elif isinstance(target, ast.Starred):
+            self._assign(target.value, prov)
+
+    # -- expressions --------------------------------------------------
+
+    def _eval(self, node: ast.expr, depth: int) -> Provenance:
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id, Provenance.UNKNOWN)
+        if isinstance(node, ast.Attribute):
+            if isinstance(node.value, ast.Name) and \
+                    node.value.id == "self":
+                return self.self_env.get(node.attr,
+                                         Provenance.UNKNOWN)
+            self._eval(node.value, depth)
+            return Provenance.UNKNOWN
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, depth)
+        if isinstance(node, ast.Subscript):
+            prov = self._eval(node.value, depth)
+            self._eval(node.slice, depth)
+            return prov  # a SEED/RNG container element keeps its kind
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test, depth)
+            return _join(self._eval(node.body, depth + 1),
+                         self._eval(node.orelse, depth + 1))
+        if isinstance(node, ast.BoolOp):
+            result = self._eval(node.values[0], depth)
+            for value in node.values[1:]:
+                result = _join(result, self._eval(value, depth + 1))
+            return result
+        if isinstance(node, ast.NamedExpr):
+            prov = self._eval(node.value, depth)
+            self._assign(node.target, prov)
+            return prov
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value, depth)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            result: Provenance | None = None
+            for element in node.elts:
+                prov = self._eval(element, depth)
+                result = prov if result is None else _join(result,
+                                                           prov)
+            return result or Provenance.UNKNOWN
+        if isinstance(node, (ast.ListComp, ast.SetComp,
+                             ast.GeneratorExp, ast.DictComp)):
+            guarded = depth
+            for comp in node.generators:
+                iter_prov = self._eval(comp.iter, depth)
+                element = iter_prov if (iter_prov is Provenance.SEED
+                                        or iter_prov in RNG_KINDS) \
+                    else Provenance.UNKNOWN
+                self._assign(comp.target, element)
+                for test in comp.ifs:
+                    self._eval(test, depth)
+                if comp.ifs:
+                    guarded = depth + 1
+            if isinstance(node, ast.DictComp):
+                self._eval(node.key, guarded)
+                self._eval(node.value, guarded)
+            else:
+                self._eval(node.elt, guarded)
+            return Provenance.UNKNOWN
+        if isinstance(node, ast.Lambda):
+            return Provenance.UNKNOWN  # deferred body: not executed here
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._eval(child, depth)
+        return Provenance.UNKNOWN
+
+    def _eval_call(self, call: ast.Call, depth: int) -> Provenance:
+        func = call.func
+        method: str | None = None
+        recv_prov: Provenance | None = None
+        recv_name = ""
+        if isinstance(func, ast.Attribute):
+            method = func.attr
+            recv_prov = self._eval(func.value, depth)
+            recv_name = _receiver_name(func.value)
+        elif not isinstance(func, ast.Name):
+            self._eval(func, depth)
+
+        arg_provs = [self._eval(arg, depth) for arg in call.args]
+        kw_provs = {kw.arg: self._eval(kw.value, depth)
+                    for kw in call.keywords}
+
+        dotted = self.context.resolve_call_target(func)
+        tail = dotted.rsplit(".", 1)[-1] if dotted else (method or "")
+
+        if dotted in _SEED_APIS:
+            return Provenance.SEED
+        if dotted in _BITGENS:
+            seed = self._seed_argument(arg_provs, kw_provs)
+            if seed is Provenance.SEED:
+                return Provenance.SEED  # blessed bit-generator material
+            self.summary.creations.append(RngCreation(
+                api=tail, line=call.lineno, col=call.col_offset,
+                seed_provenance=seed or Provenance.UNKNOWN))
+            return Provenance.UNKNOWN
+        if dotted in _RNG_FACTORIES:
+            seed = self._seed_argument(arg_provs, kw_provs)
+            if seed is None:
+                return Provenance.RAW_RNG  # argless: FL001's domain
+            if seed is Provenance.SEED:
+                return Provenance.CRN_RNG
+            if seed in RNG_KINDS:
+                return seed  # default_rng(rng) passes through
+            self.summary.creations.append(RngCreation(
+                api=tail, line=call.lineno, col=call.col_offset,
+                seed_provenance=seed))
+            return Provenance.RAW_RNG
+        if dotted in _LEGACY_APIS:
+            self.summary.creations.append(RngCreation(
+                api=tail, line=call.lineno, col=call.col_offset,
+                seed_provenance=self._seed_argument(arg_provs, kw_provs)
+                or Provenance.UNKNOWN, legacy=True))
+            return Provenance.RAW_RNG
+        if dotted in _PARTIAL_APIS:
+            captured = list(arg_provs[1:]) + list(kw_provs.values())
+            if any(prov in RNG_KINDS or prov is Provenance.CLOSURE_RNG
+                   for prov in captured):
+                return Provenance.CLOSURE_RNG
+            return Provenance.UNKNOWN
+        if dotted in _POOL_APIS:
+            return Provenance.POOL
+        if tail == "seed_rng":
+            return Provenance.CRN_RNG  # the blessed CRN constructor
+        if tail == "parallel_map":
+            self._check_boundary("parallel_map", call, arg_provs,
+                                 kw_provs)
+            return Provenance.UNKNOWN
+
+        if dotted is not None:
+            info = self.project.resolve_call(
+                self.context, call, class_name=self.info.class_name)
+            if info is not None:
+                self.summary.calls.append(info.qualname)
+                if info.qualname == self.info.qualname:
+                    return Provenance.UNKNOWN  # direct self-recursion
+                callee = analyze_function(info, self.project,
+                                          self.memo)
+                return callee.returns
+
+        if method is not None:
+            rngish = (recv_prov in RNG_KINDS
+                      or bool(_RNG_NAME_RE.search(recv_name)))
+            if method in DRAW_METHODS and rngish:
+                self.summary.draws.append(Draw(
+                    method=method, line=call.lineno,
+                    col=call.col_offset, conditional=depth > 0))
+                return Provenance.UNKNOWN
+            if method == "spawn":
+                if recv_prov is Provenance.SEED:
+                    return Provenance.SEED
+                if rngish:
+                    return Provenance.CRN_RNG
+            if method == "generate_state" and \
+                    recv_prov is Provenance.SEED:
+                return Provenance.SEED
+            if method in _POOL_METHODS and \
+                    (recv_prov is Provenance.POOL
+                     or _POOL_NAME_RE.search(recv_name)):
+                self._check_boundary(f"{recv_name}.{method}", call,
+                                     arg_provs, kw_provs)
+                return Provenance.UNKNOWN
+            self.summary.method_calls.add(method)
+        return Provenance.UNKNOWN
+
+    @staticmethod
+    def _seed_argument(arg_provs: list[Provenance],
+                       kw_provs: dict[str | None, Provenance]
+                       ) -> Provenance | None:
+        """Provenance of the seed argument, or None when absent."""
+        if arg_provs:
+            return arg_provs[0]
+        if "seed" in kw_provs:
+            return kw_provs["seed"]
+        return None
+
+    def _check_boundary(self, api: str, call: ast.Call,
+                        arg_provs: list[Provenance],
+                        kw_provs: dict[str | None, Provenance]
+                        ) -> None:
+        """Record every RNG-carrying argument crossing ``api``."""
+        hazards = {Provenance.CLOSURE_RNG} | RNG_KINDS
+        labelled = [(f"argument {i + 1}", prov)
+                    for i, prov in enumerate(arg_provs)]
+        labelled += [(f"keyword {name}", prov)
+                     for name, prov in kw_provs.items()]
+        for label, prov in labelled:
+            if prov in hazards:
+                self.summary.boundary_hazards.append(BoundaryCall(
+                    api=api, line=call.lineno, col=call.col_offset,
+                    detail=f"{label} carries {prov.value}"))

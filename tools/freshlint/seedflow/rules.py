@@ -1,0 +1,321 @@
+"""The four project-wide seedflow rules (FL011-FL014).
+
+Unlike the per-file rules, these run against a whole
+:class:`~freshlint.seedflow.project.Project`:
+
+* **FL011** — an RNG created from seed material that does not flow
+  from ``SeedSequence``/``spawn``/``seed_rng``, in library scope.
+  Non-CRN creation silently breaks common-random-numbers pairing
+  between runs that share a seed.
+* **FL012** — an RNG-kind value (or a ``functools.partial`` that
+  captured one) handed to ``parallel_map`` or a process-pool
+  ``submit``/``map``-family call.  A Generator pickled across a fork
+  duplicates its stream in every worker.
+* **FL013** — for every ``# seedflow: pair=<reference>`` annotation:
+  (a) no *conditional* draws in the kernel member — a draw executed
+  only on some inputs diverges from the reference stream; (b) the
+  kernel's transitive draw-method set must be a subset of the
+  reference's.  The reference closure follows resolved calls *and* a
+  by-method-name fallback (an over-approximation that only ever
+  enlarges the reference side, so it cannot create false positives).
+* **FL014** — dtype discipline inside ``kernel_globs`` modules:
+  ``np.array([...])`` literals without an explicit ``dtype=``,
+  object-dtype upcasts (``dtype=object`` / ``.astype(object)``), and
+  ``np.array_equal`` bit-identity comparisons that skip the
+  ``.view(np.uint64)`` reinterpretation (float ``==`` treats
+  ``-0.0 == 0.0`` and ``NaN != NaN``, masking real divergence).
+
+Findings respect ``config.select`` / ``config.ignore`` and the same
+``# freshlint: disable=`` pragmas as the per-file engine.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import defaultdict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from freshlint.engine import (
+    LintConfig,
+    ModuleContext,
+    Violation,
+    filter_suppressed,
+)
+from freshlint.seedflow.project import (
+    FunctionInfo,
+    Project,
+    build_project,
+)
+from freshlint.seedflow.provenance import analyze_function
+
+__all__ = [
+    "SEEDFLOW_CODES",
+    "SEEDFLOW_RULES",
+    "SeedflowRuleInfo",
+    "run_seedflow",
+    "seedflow_violations",
+]
+
+
+@dataclass(frozen=True)
+class SeedflowRuleInfo:
+    """Registry metadata for one project-wide rule."""
+
+    code: str
+    name: str
+    summary: str
+
+
+SEEDFLOW_RULES: tuple[SeedflowRuleInfo, ...] = (
+    SeedflowRuleInfo(
+        "FL011", "non-crn-rng-creation",
+        "RNG created from a seed that does not flow from "
+        "SeedSequence.spawn / seed_rng (breaks CRN pairing)"),
+    SeedflowRuleInfo(
+        "FL012", "rng-across-process-boundary",
+        "RNG object reaching parallel_map / a process-pool "
+        "submission or a pickled partial (duplicated streams)"),
+    SeedflowRuleInfo(
+        "FL013", "paired-draw-divergence",
+        "draw-order divergence hazards between '# seedflow: pair=' "
+        "engine paths (conditional or reference-unknown draws)"),
+    SeedflowRuleInfo(
+        "FL014", "kernel-dtype-discipline",
+        "kernel-module dtype discipline: untyped np.array literals, "
+        "object upcasts, non-uint64-view bit-identity comparisons"),
+)
+
+SEEDFLOW_CODES: tuple[str, ...] = tuple(r.code for r in SEEDFLOW_RULES)
+
+
+def _library_scope(context: ModuleContext) -> bool:
+    """FL011/FL012 apply to library code, not tests/entry points."""
+    return (context.is_library and not context.is_test
+            and not context.is_entry_point)
+
+
+def _active_codes(config: LintConfig) -> set[str]:
+    return {code for code in SEEDFLOW_CODES
+            if (not config.select or code in config.select)
+            and code not in config.ignore}
+
+
+# -- FL011 / FL012 ----------------------------------------------------
+
+def _creation_violations(info: FunctionInfo, project: Project,
+                         memo: dict[str, object],
+                         codes: set[str]) -> Iterable[Violation]:
+    summary = analyze_function(info, project, memo)
+    if "FL011" in codes:
+        for creation in summary.creations:
+            if creation.legacy:
+                message = ("legacy numpy.random.RandomState is never "
+                           "CRN-safe; use repro.parallel.seed_rng")
+            else:
+                message = (
+                    f"RNG created via {creation.api}() from a seed "
+                    f"with provenance "
+                    f"'{creation.seed_provenance.value}'; route "
+                    "seeds through numpy.random.SeedSequence (or "
+                    "repro.parallel.seed_rng) to preserve common "
+                    "random numbers")
+            yield Violation(code="FL011", path=info.context.path,
+                            line=creation.line, column=creation.col,
+                            message=message)
+    if "FL012" in codes:
+        for hazard in summary.boundary_hazards:
+            yield Violation(
+                code="FL012", path=info.context.path,
+                line=hazard.line, column=hazard.col,
+                message=(
+                    f"RNG crosses a process boundary via "
+                    f"{hazard.api} ({hazard.detail}); ship integer "
+                    "seeds and build per-worker generators with "
+                    "seed_rng"))
+
+
+# -- FL013 ------------------------------------------------------------
+
+def _draw_closure(project: Project, start: FunctionInfo,
+                  memo: dict[str, object], *,
+                  method_fallback: bool) -> set[str]:
+    """Transitive set of draw methods reachable from ``start``.
+
+    ``method_fallback`` additionally follows attribute calls on
+    statically-unknown receivers to every project method of that
+    name — used on the reference side only (see module docstring).
+    """
+    seen = {start.qualname}
+    stack = [start]
+    draws: set[str] = set()
+    while stack:
+        info = stack.pop()
+        summary = analyze_function(info, project, memo)
+        draws.update(draw.method for draw in summary.draws)
+        targets: list[FunctionInfo] = []
+        for qualname in summary.calls:
+            callee = project.functions.get(qualname)
+            if callee is not None:
+                targets.append(callee)
+        if method_fallback:
+            for name in summary.method_calls:
+                targets.extend(project.methods_named(name))
+        for target in targets:
+            if target.qualname not in seen:
+                seen.add(target.qualname)
+                stack.append(target)
+    return draws
+
+
+def _pair_violations(project: Project,
+                     memo: dict[str, object]) -> Iterable[Violation]:
+    for pair in project.pairs:
+        kernel = project.functions.get(pair.kernel)
+        if kernel is None:  # pragma: no cover - owner always indexed
+            continue
+        reference = project.function_for_dotted(pair.reference)
+        if reference is None:
+            yield Violation(
+                code="FL013", path=kernel.context.path,
+                line=pair.annotation_line, column=0,
+                message=(f"pair target '{pair.reference}' not found "
+                         "in the analyzed file set"))
+            continue
+        summary = analyze_function(kernel, project, memo)
+        for draw in summary.draws:
+            if draw.conditional:
+                yield Violation(
+                    code="FL013", path=kernel.context.path,
+                    line=draw.line, column=draw.col,
+                    message=(
+                        f"conditional draw '.{draw.method}()' in "
+                        f"paired kernel '{kernel.qualname}': the "
+                        "draw count depends on data, diverging from "
+                        f"reference '{reference.qualname}'"))
+        kernel_draws = _draw_closure(project, kernel, memo,
+                                     method_fallback=False)
+        reference_draws = _draw_closure(project, reference, memo,
+                                        method_fallback=True)
+        for method in sorted(kernel_draws - reference_draws):
+            yield Violation(
+                code="FL013", path=kernel.context.path,
+                line=kernel.node.lineno, column=kernel.node.col_offset,
+                message=(
+                    f"paired kernel '{kernel.qualname}' draws via "
+                    f"'.{method}()' but reference "
+                    f"'{reference.qualname}' never draws "
+                    f"'{method}' on any path"))
+
+
+# -- FL014 ------------------------------------------------------------
+
+def _is_object_dtype(node: ast.expr, context: ModuleContext) -> bool:
+    if isinstance(node, ast.Name) and node.id == "object":
+        return True
+    if isinstance(node, ast.Constant) and node.value == "object":
+        return True
+    dotted = context.resolve_call_target(node) \
+        if isinstance(node, ast.Attribute) else None
+    return dotted in ("numpy.object_", "builtins.object")
+
+
+def _is_view_call(node: ast.expr) -> bool:
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "view")
+
+
+def _kernel_dtype_violations(context: ModuleContext
+                             ) -> Iterable[Violation]:
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = context.resolve_call_target(node.func)
+        for keyword in node.keywords:
+            if keyword.arg == "dtype" and \
+                    _is_object_dtype(keyword.value, context):
+                yield Violation(
+                    code="FL014", path=context.path,
+                    line=node.lineno, column=node.col_offset,
+                    message=("object-dtype upcast in kernel module; "
+                             "kernels must stay on fixed-width "
+                             "numeric dtypes"))
+        if dotted == "numpy.array":
+            literal = bool(node.args) and \
+                isinstance(node.args[0], (ast.List, ast.Tuple))
+            has_dtype = any(k.arg == "dtype" for k in node.keywords)
+            if literal and not has_dtype:
+                yield Violation(
+                    code="FL014", path=context.path,
+                    line=node.lineno, column=node.col_offset,
+                    message=("np.array([...]) literal without an "
+                             "explicit dtype= in kernel module; the "
+                             "inferred dtype is platform-dependent"))
+        elif isinstance(node.func, ast.Attribute) and \
+                node.func.attr == "astype" and node.args and \
+                _is_object_dtype(node.args[0], context):
+            yield Violation(
+                code="FL014", path=context.path,
+                line=node.lineno, column=node.col_offset,
+                message=("object-dtype upcast in kernel module; "
+                         "kernels must stay on fixed-width numeric "
+                         "dtypes"))
+        elif dotted == "numpy.array_equal":
+            if not any(_is_view_call(arg) for arg in node.args):
+                yield Violation(
+                    code="FL014", path=context.path,
+                    line=node.lineno, column=node.col_offset,
+                    message=("bit-identity comparison without a "
+                             "uint64 view: float '==' masks "
+                             "-0.0/NaN divergence; compare "
+                             "a.view(np.uint64) against "
+                             "b.view(np.uint64)"))
+
+
+# -- driver -----------------------------------------------------------
+
+def seedflow_violations(project: Project) -> list[Violation]:
+    """Run every active seedflow rule over an indexed project."""
+    codes = _active_codes(project.config)
+    memo: dict[str, object] = {}
+    raw: list[Violation] = []
+    if codes & {"FL011", "FL012"}:
+        for info in project.functions.values():
+            if _library_scope(info.context):
+                raw.extend(_creation_violations(info, project, memo,
+                                                codes))
+    if "FL013" in codes:
+        raw.extend(_pair_violations(project, memo))
+    if "FL014" in codes:
+        for context in project.modules.values():
+            if context.is_kernel_path:
+                raw.extend(_kernel_dtype_violations(context))
+
+    by_path = {context.path: context
+               for context in project.modules.values()}
+    grouped: dict[Path, list[Violation]] = defaultdict(list)
+    for violation in raw:
+        grouped[violation.path].append(violation)
+    filtered: list[Violation] = []
+    for path, violations in grouped.items():
+        context = by_path.get(path)
+        lines = context.lines if context is not None else ()
+        filtered.extend(filter_suppressed(violations, lines))
+    filtered.sort(key=lambda v: (str(v.path), v.line, v.column,
+                                 v.code))
+    return filtered
+
+
+def run_seedflow(paths: Iterable[str | Path],
+                 config: LintConfig | None = None, *,
+                 root: Path | None = None) -> list[Violation]:
+    """Build the project index for ``paths`` and run FL011-FL014."""
+    config = config or LintConfig()
+    project = build_project(paths, config, root=root)
+    violations = list(project.parse_errors)
+    violations.extend(seedflow_violations(project))
+    violations.sort(key=lambda v: (str(v.path), v.line, v.column,
+                                   v.code))
+    return violations
