@@ -7,7 +7,10 @@ Usage::
     python -m repro figure7
     repro-freshen figure5 --seed 3
     repro-freshen table1 --quick --telemetry out/
+    repro-freshen table1 --quick --sink statsd://127.0.0.1:8125
     repro-freshen obs summary --tape out/telemetry.jsonl
+    repro-freshen obs freshness --tape out/telemetry.jsonl
+    repro-freshen obs diff baseline.jsonl out/telemetry.jsonl
     repro-freshen chaos --scenario iid20
     repro-freshen adapt --scenario outage --quick
 
@@ -27,7 +30,7 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
@@ -37,6 +40,9 @@ from repro.analysis.series import SweepResult
 from repro.analysis.svg import write_svg
 from repro.analysis.tables import format_sweep, format_table
 from repro.workloads.presets import ExperimentSetup
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.sink import Sink
 
 __all__ = ["main", "build_parser"]
 
@@ -395,6 +401,8 @@ _COMMANDS: dict[str, tuple[Callable[[argparse.Namespace], None], str]] = {
 def _run_obs(args: argparse.Namespace) -> int:
     from repro.obs import export
 
+    if args.action == "diff":
+        return _run_obs_diff(args)
     try:
         registry = export.read_jsonl(args.tape)
     except FileNotFoundError:
@@ -403,27 +411,64 @@ def _run_obs(args: argparse.Namespace) -> int:
         return 1
     if args.action == "prom":
         print(export.prometheus_text(registry), end="")
+    elif args.action == "freshness":
+        print(export.freshness_text(registry, now=args.now), end="")
     else:
         print(export.summary_text(registry))
     return 0
 
 
+def _run_obs_diff(args: argparse.Namespace) -> int:
+    from repro.obs import diff as obs_diff
+
+    try:
+        baseline = obs_diff.load_metrics(args.baseline)
+        candidate = obs_diff.load_metrics(args.candidate)
+    except (FileNotFoundError, ValueError) as error:
+        print(f"repro obs diff: {error}", file=sys.stderr)
+        return 2
+    rows = obs_diff.diff_metrics(baseline, candidate,
+                                 threshold=args.threshold)
+    print(obs_diff.format_diff(rows, threshold=args.threshold),
+          end="")
+    regressed = any(row.regression for row in rows)
+    if regressed and args.warn_only:
+        print("(warn-only: not failing the run)")
+    return 1 if regressed and not args.warn_only else 0
+
+
 def _run_with_telemetry(runner: Callable[[argparse.Namespace], None],
-                        args: argparse.Namespace) -> None:
+                        args: argparse.Namespace,
+                        sink: "Sink | None" = None) -> None:
     from repro.obs import export, registry as obs_registry
 
-    directory = Path(args.telemetry)
-    directory.mkdir(parents=True, exist_ok=True)
+    directory = (Path(args.telemetry)
+                 if args.telemetry is not None else None)
+    if directory is not None:
+        directory.mkdir(parents=True, exist_ok=True)
     with obs_registry.telemetry() as registry:
-        runner(args)
-        tape = directory / "telemetry.jsonl"
-        prom = directory / "telemetry.prom"
-        export.write_jsonl(registry, tape)
-        prom.write_text(export.prometheus_text(registry),
-                        encoding="utf-8")
-        print()
-        print(export.summary_text(registry))
-        print(f"(wrote {tape} and {prom})")
+        if sink is not None:
+            registry.sinks.append(sink)
+        try:
+            runner(args)
+        finally:
+            if sink is not None:
+                sink.emit_registry(registry)
+                sink.close()
+                if sink.dropped or sink.send_errors:
+                    print(f"(sink {args.sink}: {sink.sent} items "
+                          f"sent, {sink.dropped} dropped, "
+                          f"{sink.send_errors} transport errors)",
+                          file=sys.stderr)
+        if directory is not None:
+            tape = directory / "telemetry.jsonl"
+            prom = directory / "telemetry.prom"
+            export.write_jsonl(registry, tape)
+            prom.write_text(export.prometheus_text(registry),
+                            encoding="utf-8")
+            print()
+            print(export.summary_text(registry))
+            print(f"(wrote {tape} and {prom})")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -456,6 +501,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="worker processes for experiments that "
                               "fan out (0 = all cores; default 1 = "
                               "serial, bit-identical)")
+        sub.add_argument("--sink", metavar="URL", default=None,
+                         help="stream telemetry to a live collector "
+                              "(statsd://host:port or "
+                              "otlp://host[:port][/path]); implies "
+                              "telemetry on, never blocks or fails "
+                              "the run")
         if name in ("chaos", "adapt"):
             from repro.faults.scenarios import CHAOS_SCENARIOS
 
@@ -479,14 +530,39 @@ def build_parser() -> argparse.ArgumentParser:
                     "--periods", type=int, default=30,
                     help="periods to run (default 30)")
     obs_sub = subparsers.add_parser(
-        "obs", help="Re-render a saved telemetry tape")
-    obs_sub.add_argument("action", choices=("summary", "prom"),
-                         help="render the human summary table or the"
-                              " Prometheus text export")
-    obs_sub.add_argument("--tape", metavar="PATH",
-                         default="telemetry.jsonl",
-                         help="JSONL tape written by --telemetry "
-                              "(default telemetry.jsonl)")
+        "obs", help="Re-render a saved telemetry tape or diff two "
+                    "telemetry artifacts")
+    obs_actions = obs_sub.add_subparsers(dest="action", required=True)
+    for action, help_text in (
+            ("summary", "render the human summary table"),
+            ("prom", "render the Prometheus text export"),
+            ("freshness", "render the per-element staleness table")):
+        action_sub = obs_actions.add_parser(action, help=help_text)
+        action_sub.add_argument("--tape", metavar="PATH",
+                                default="telemetry.jsonl",
+                                help="JSONL tape written by "
+                                     "--telemetry (default "
+                                     "telemetry.jsonl)")
+        if action == "freshness":
+            action_sub.add_argument(
+                "--now", type=float, default=None,
+                help="evaluate staleness at this simulated-clock "
+                     "time (default: the ledger's latest event)")
+    diff_sub = obs_actions.add_parser(
+        "diff", help="diff two tapes or two BENCH_sim.json files; "
+                     "exit 1 on regression")
+    diff_sub.add_argument("baseline",
+                          help="reference artifact (JSONL tape or "
+                               "BENCH_sim.json)")
+    diff_sub.add_argument("candidate",
+                          help="artifact under test (same format)")
+    diff_sub.add_argument("--threshold", type=float, default=0.1,
+                          metavar="FRACTION",
+                          help="relative tolerance before a "
+                               "directional change counts as a "
+                               "regression (default 0.1 = 10%%)")
+    diff_sub.add_argument("--warn-only", action="store_true",
+                          help="print regressions but exit 0")
     return parser
 
 
@@ -504,8 +580,17 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "obs":
         return _run_obs(args)
     runner, _ = _COMMANDS[args.command]
-    if args.telemetry is not None:
-        _run_with_telemetry(runner, args)
+    sink = None
+    if getattr(args, "sink", None) is not None:
+        from repro.obs.sink import parse_sink_url
+
+        try:
+            sink = parse_sink_url(args.sink)
+        except ValueError as error:
+            print(f"repro --sink: {error}", file=sys.stderr)
+            return 2
+    if args.telemetry is not None or sink is not None:
+        _run_with_telemetry(runner, args, sink)
     else:
         runner(args)
     return 0

@@ -7,20 +7,28 @@ contracts: when disabled every instrumentation point costs one
 attribute load and one branch.
 
 * :mod:`repro.obs.registry` — the :class:`MetricsRegistry`, the
-  process gate, and the facade the hot paths call.
+  process gate, the cross-worker :meth:`MetricsRegistry.merge`, and
+  the facade the hot paths call.
+* :mod:`repro.obs.ledger` — the bounded per-element
+  :class:`FreshnessLedger` (``refreshed_at``/``stale_since``).
 * :mod:`repro.obs.export` — the JSONL event tape, the Prometheus text
-  format, and the human summary table.
+  format, the human summary table, and the freshness table.
+* :mod:`repro.obs.sink` — streaming sinks (statsd UDP, OTLP/HTTP)
+  with bounded buffers and jittered retry; boundary code that never
+  raises into the instrumented paths.
 
 See docs/OBSERVABILITY.md for the metric name catalogue and span
 hierarchy.
 """
 
 from repro.obs.export import (
+    freshness_text,
     prometheus_text,
     read_jsonl,
     summary_text,
     write_jsonl,
 )
+from repro.obs.ledger import FreshnessLedger, LedgerEntry
 from repro.obs.registry import (
     DEFAULT_BUCKETS,
     DEFAULT_MAX_ELEMENTS,
@@ -34,6 +42,8 @@ from repro.obs.registry import (
     event,
     gauge_set,
     get_registry,
+    ledger_refresh,
+    ledger_stale,
     max_element_labels,
     observe,
     refresh_from_env,
@@ -42,22 +52,37 @@ from repro.obs.registry import (
     telemetry,
     telemetry_enabled,
 )
+from repro.obs.sink import (
+    OtlpHttpSink,
+    Sink,
+    StatsdSink,
+    parse_sink_url,
+)
 
 __all__ = [
     "DEFAULT_BUCKETS",
     "DEFAULT_MAX_ELEMENTS",
+    "FreshnessLedger",
     "Histogram",
+    "LedgerEntry",
     "MetricsRegistry",
+    "OtlpHttpSink",
+    "Sink",
     "SpanHandle",
+    "StatsdSink",
     "counter_add",
     "disable_telemetry",
     "element_label",
     "enable_telemetry",
     "event",
+    "freshness_text",
     "gauge_set",
     "get_registry",
+    "ledger_refresh",
+    "ledger_stale",
     "max_element_labels",
     "observe",
+    "parse_sink_url",
     "prometheus_text",
     "read_jsonl",
     "refresh_from_env",

@@ -13,6 +13,14 @@ Three consumers, three formats:
   cumulative ``_bucket{le=...}`` series, spans as summaries).
 * :func:`summary_text` — the human table behind
   ``repro obs summary`` and the ``--telemetry`` epilogue.
+* :func:`freshness_text` — the per-element staleness-percentile
+  table behind ``repro obs freshness``, rendered from the
+  registry's :class:`~repro.obs.ledger.FreshnessLedger`.
+
+The tape also carries the freshness ledger (one ``metric`` line of
+type ``ledger`` per entry) and, for merged registries, the
+``worker`` origin tag on gauge lines, so merged-registry exports
+round-trip exactly like single-process ones.
 """
 
 from __future__ import annotations
@@ -23,9 +31,11 @@ import re
 from pathlib import Path
 from typing import Any, Dict, List, Sequence, Tuple
 
+from repro.obs.ledger import FreshnessLedger
 from repro.obs.registry import Histogram, MetricsRegistry
 
 __all__ = [
+    "freshness_text",
     "prometheus_text",
     "read_jsonl",
     "summary_text",
@@ -61,8 +71,12 @@ def write_jsonl(registry: MetricsRegistry, path: str | Path) -> Path:
         lines.append(json.dumps({"kind": "metric", "type": "counter",
                                  "name": name, "value": value}))
     for name, value in sorted(registry.gauges.items()):
-        lines.append(json.dumps({"kind": "metric", "type": "gauge",
-                                 "name": name, "value": value}))
+        record = {"kind": "metric", "type": "gauge",
+                  "name": name, "value": value}
+        origin = registry.gauge_origins.get(name)
+        if origin is not None:
+            record["worker"] = origin
+        lines.append(json.dumps(record))
     for name, histogram in sorted(registry.histograms.items()):
         lines.append(json.dumps(
             {"kind": "metric", "type": "histogram", "name": name,
@@ -73,6 +87,9 @@ def write_jsonl(registry: MetricsRegistry, path: str | Path) -> Path:
         lines.append(json.dumps(
             {"kind": "metric", "type": "span", "name": span_path,
              "count": count, "total_s": total}))
+    for entry in registry.ledger.as_records():
+        lines.append(json.dumps({"kind": "metric", "type": "ledger",
+                                 **entry}))
     path.write_text("\n".join(lines) + "\n", encoding="utf-8")
     return path
 
@@ -92,6 +109,7 @@ def read_jsonl(path: str | Path) -> MetricsRegistry:
         The reconstructed registry.
     """
     registry = MetricsRegistry()
+    ledger_records: List[Dict[str, Any]] = []
     for line in Path(path).read_text(encoding="utf-8").splitlines():
         line = line.strip()
         if not line:
@@ -101,11 +119,16 @@ def read_jsonl(path: str | Path) -> MetricsRegistry:
             registry.events.append(record)
             continue
         kind = record.get("type")
+        if kind == "ledger":
+            ledger_records.append(record)
+            continue
         name = record["name"]
         if kind == "counter":
             registry.counters[name] = float(record["value"])
         elif kind == "gauge":
             registry.gauges[name] = float(record["value"])
+            if record.get("worker") is not None:
+                registry.gauge_origins[name] = str(record["worker"])
         elif kind == "histogram":
             histogram = Histogram(record["buckets"])
             histogram.counts = [int(n) for n in record["counts"]]
@@ -115,6 +138,8 @@ def read_jsonl(path: str | Path) -> MetricsRegistry:
         elif kind == "span":
             registry.span_totals[name] = [float(record["count"]),
                                           float(record["total_s"])]
+    if ledger_records:
+        registry.ledger = FreshnessLedger.from_records(ledger_records)
     return registry
 
 
@@ -148,7 +173,12 @@ def prometheus_text(registry: MetricsRegistry) -> str:
     for name, value in sorted(registry.gauges.items()):
         metric = _prom_name(name)
         out.append(f"# TYPE {metric} gauge")
-        out.append(f"{metric} {_prom_number(value)}")
+        origin = registry.gauge_origins.get(name)
+        if origin is not None:
+            out.append(f'{metric}{{worker="{origin}"}} '
+                       f"{_prom_number(value)}")
+        else:
+            out.append(f"{metric} {_prom_number(value)}")
     for name, histogram in sorted(registry.histograms.items()):
         metric = _prom_name(name)
         out.append(f"# TYPE {metric} histogram")
@@ -165,6 +195,19 @@ def prometheus_text(registry: MetricsRegistry) -> str:
                        f"{_prom_number(total)}")
             out.append(f'repro_span_seconds_count{{span="{span_path}"}} '
                        f"{int(count)}")
+    if registry.ledger:
+        snapshot = registry.ledger.staleness_snapshot()
+        out.append("# TYPE repro_freshness_refreshes_total counter")
+        for record in registry.ledger.as_records():
+            out.append(
+                f'repro_freshness_refreshes_total'
+                f'{{element="{record["element"]}"}} '
+                f'{int(record["refreshes"])}')
+        out.append("# TYPE repro_freshness_stale_seconds gauge")
+        for label, seconds in snapshot:
+            out.append(f'repro_freshness_stale_seconds'
+                       f'{{element="{label}"}} '
+                       f"{_prom_number(seconds)}")
     return "\n".join(out) + ("\n" if out else "")
 
 
@@ -228,6 +271,82 @@ def summary_text(registry: MetricsRegistry) -> str:
         rows = [(kind, count) for kind, count in sorted(kinds.items())]
         sections.append("event tape\n"
                         + _format_table(["kind", "records"], rows))
+    if registry.ledger:
+        snapshot = registry.ledger.staleness_snapshot()
+        stale = sum(1 for _, seconds in snapshot if seconds > 0.0)
+        sections.append("freshness ledger\n" + _format_table(
+            ["elements", "stale now", "max stale"],
+            [(len(snapshot), stale,
+              f"{max(s for _, s in snapshot):g}" if snapshot
+              else "0")]))
     if not sections:
         return "telemetry: registry is empty\n"
+    return "\n\n".join(sections) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Freshness ledger table
+# ---------------------------------------------------------------------------
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending sequence."""
+    if not sorted_values:
+        return 0.0
+    rank = max(int(math.ceil(q / 100.0 * len(sorted_values))), 1)
+    return sorted_values[rank - 1]
+
+
+def freshness_text(registry: MetricsRegistry,
+                   now: float | None = None) -> str:
+    """Render the per-element staleness table behind
+    ``repro obs freshness``.
+
+    Three sections: an overview (element count, how many are stale at
+    ``now``, total refreshes/run-opening updates), the staleness
+    percentiles across elements (p50/p90/p99/max, simulated clock
+    units), and the ten stalest elements with their raw ledger state.
+
+    Args:
+        now: Evaluation time on the simulated clock; defaults to the
+            latest event the ledger has seen.
+
+    Returns:
+        The rendered table, or a one-line notice when the registry's
+        ledger is empty.
+    """
+    ledger = registry.ledger
+    if not ledger:
+        return ("freshness: ledger is empty "
+                "(run with --telemetry, or load a tape that has "
+                "ledger lines)\n")
+    snapshot = ledger.staleness_snapshot(now)
+    staleness = sorted(seconds for _, seconds in snapshot)
+    stale_count = sum(1 for seconds in staleness if seconds > 0.0)
+    refreshes = sum(entry.refreshes
+                    for entry in ledger.entries.values())
+    stales = sum(entry.stales for entry in ledger.entries.values())
+    eval_at = now if now is not None else ledger.last_event_time()
+    sections = ["freshness overview\n" + _format_table(
+        ["elements", "stale now", "refreshes", "stale runs", "now"],
+        [(len(snapshot), stale_count, refreshes, stales,
+          f"{eval_at:g}" if eval_at is not None else "-")])]
+    sections.append("staleness percentiles (clock units)\n"
+                    + _format_table(
+                        ["p50", "p90", "p99", "max"],
+                        [tuple(f"{_percentile(staleness, q):g}"
+                               for q in (50.0, 90.0, 99.0, 100.0))]))
+    stalest = sorted(snapshot, key=lambda pair: -pair[1])[:10]
+    rows = []
+    for label, seconds in stalest:
+        entry = ledger.entries[label]
+        rows.append((
+            label, f"{seconds:g}",
+            "-" if entry.refreshed_at is None
+            else f"{entry.refreshed_at:g}",
+            "-" if entry.stale_since is None
+            else f"{entry.stale_since:g}",
+            entry.refreshes, entry.stales))
+    sections.append("stalest elements\n" + _format_table(
+        ["element", "stale_s", "refreshed_at", "stale_since",
+         "refreshes", "stale_runs"], rows))
     return "\n\n".join(sections) + "\n"

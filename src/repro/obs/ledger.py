@@ -1,0 +1,246 @@
+"""freshsink ledger: per-element refresh/staleness metadata.
+
+The ROADMAP's serving-system north star wants the
+``cache_refreshed_at``-style refresh log production mirrors keep: for
+every mirrored element, when was it last refreshed, and — if an
+update has landed at the source since — how long has it been stale?
+:class:`FreshnessLedger` is that surface, fed by the simulator's
+refresh events (a successful sync refreshes, an update that catches a
+fresh copy opens a stale run) on the *simulated* clock.
+
+Cardinality is bounded the same way the event tape's per-index labels
+are: emitters route element ids through
+:func:`repro.obs.registry.element_label`, so a catalog-scale run
+holds at most ``cap + 1`` ledger entries, the indices past the cap
+sharing the single ``"overflow"`` entry.
+
+Because the overflow entry aggregates many elements — and because the
+vectorized kernels fold per *element* while the reference loop folds
+per *event in time order* — every ledger fold is order-independent:
+timestamps combine with ``max`` and event counts with ``+``.  That is
+what lets the fastpath bit-identity suite extend to ledger parity,
+and what makes the cross-worker merge in
+:meth:`repro.obs.registry.MetricsRegistry.merge` deterministic
+whatever order worker registries fold in.
+
+An entry is *stale* exactly when its latest run-opening update is
+later than its latest refresh; its staleness at time ``now`` is
+``now − stale_since``.  The module is stdlib-only, like the rest of
+:mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Tuple, Union
+
+__all__ = ["FreshnessLedger", "LedgerEntry"]
+
+#: Ledger keys are capped element indices: an ``int`` below the
+#: cardinality cap or the literal string ``"overflow"`` at/above it.
+LedgerLabel = Union[int, str]
+
+
+class LedgerEntry:
+    """Refresh/staleness state of one (capped) element label.
+
+    Attributes:
+        refreshed_at: Latest successful-sync time on the simulated
+            clock, in clock units (None until the first refresh).
+        stale_since: Latest time an update opened a stale run, in
+            clock units (None until the first one).
+        refreshes: Total successful syncs folded in.
+        stales: Total run-opening updates folded in.
+    """
+
+    __slots__ = ("refreshed_at", "stale_since", "refreshes", "stales")
+
+    def __init__(self) -> None:
+        self.refreshed_at: float | None = None
+        self.stale_since: float | None = None
+        self.refreshes = 0
+        self.stales = 0
+
+    def fold_refresh(self, time: float, count: int = 1) -> None:
+        """Fold ``count`` refreshes whose latest is at ``time``."""
+        time = float(time)
+        if self.refreshed_at is None or time > self.refreshed_at:
+            self.refreshed_at = time
+        self.refreshes += int(count)
+
+    def fold_stale(self, time: float, count: int = 1) -> None:
+        """Fold ``count`` run-opening updates, latest at ``time``."""
+        time = float(time)
+        if self.stale_since is None or time > self.stale_since:
+            self.stale_since = time
+        self.stales += int(count)
+
+    def merge(self, other: "LedgerEntry") -> None:
+        """Fold another entry in (max timestamps, summed counts)."""
+        if other.refreshed_at is not None:
+            self.fold_refresh(other.refreshed_at, 0)
+        if other.stale_since is not None:
+            self.fold_stale(other.stale_since, 0)
+        self.refreshes += other.refreshes
+        self.stales += other.stales
+
+    @property
+    def is_stale(self) -> bool:
+        """Whether the latest known state is stale."""
+        if self.stale_since is None:
+            return False
+        return (self.refreshed_at is None
+                or self.stale_since > self.refreshed_at)
+
+    def staleness(self, now: float) -> float:
+        """Seconds of simulated clock the entry has been stale at
+        ``now`` (0 while fresh)."""
+        if not self.is_stale:
+            return 0.0
+        assert self.stale_since is not None
+        return max(float(now) - self.stale_since, 0.0)
+
+    def _key(self) -> Tuple[float | None, float | None, int, int]:
+        return (self.refreshed_at, self.stale_since,
+                self.refreshes, self.stales)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LedgerEntry):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        return (f"LedgerEntry(refreshed_at={self.refreshed_at!r}, "
+                f"stale_since={self.stale_since!r}, "
+                f"refreshes={self.refreshes}, stales={self.stales})")
+
+
+class FreshnessLedger:
+    """Bounded per-element refresh log (the ``cache_refreshed_at``
+    surface).
+
+    Keys are already-capped labels — callers route raw element
+    indices through :func:`repro.obs.registry.element_label` (the
+    facade does; the vectorized kernels replicate the cap before
+    their per-bucket fold), so the entry count is bounded by the
+    cardinality cap plus the overflow bucket.
+    """
+
+    __slots__ = ("entries",)
+
+    def __init__(self) -> None:
+        self.entries: Dict[LedgerLabel, LedgerEntry] = {}
+
+    def _entry(self, label: LedgerLabel) -> LedgerEntry:
+        entry = self.entries.get(label)
+        if entry is None:
+            entry = LedgerEntry()
+            self.entries[label] = entry
+        return entry
+
+    def record_refresh(self, label: LedgerLabel, time: float,
+                       count: int = 1) -> None:
+        """Fold ``count`` successful syncs of ``label``, latest at
+        ``time`` (simulated clock units)."""
+        self._entry(label).fold_refresh(time, count)
+
+    def record_stale(self, label: LedgerLabel, time: float,
+                     count: int = 1) -> None:
+        """Fold ``count`` run-opening updates of ``label``, latest at
+        ``time`` (simulated clock units)."""
+        self._entry(label).fold_stale(time, count)
+
+    def merge(self, other: "FreshnessLedger") -> None:
+        """Fold another ledger in, label by label.
+
+        Order-independent by construction (max timestamps, summed
+        counts), so merging worker ledgers in any order yields the
+        same result.
+        """
+        for label, entry in other.entries.items():
+            self._entry(label).merge(entry)
+
+    def last_event_time(self) -> float | None:
+        """The latest timestamp folded into any entry (None if
+        empty) — the default "now" for staleness rendering."""
+        latest: float | None = None
+        for entry in self.entries.values():
+            for stamp in (entry.refreshed_at, entry.stale_since):
+                if stamp is not None and (latest is None
+                                          or stamp > latest):
+                    latest = stamp
+        return latest
+
+    def staleness_snapshot(self, now: float | None = None
+                           ) -> List[Tuple[LedgerLabel, float]]:
+        """Per-label staleness at ``now``, sorted by label.
+
+        Args:
+            now: Evaluation time on the simulated clock; defaults to
+                :meth:`last_event_time`.
+
+        Returns:
+            ``(label, seconds_stale)`` pairs, integer labels first in
+            index order, the ``"overflow"`` bucket last.
+        """
+        if now is None:
+            now = self.last_event_time()
+        if now is None:
+            return []
+        return [(label, self.entries[label].staleness(now))
+                for label in self._sorted_labels()]
+
+    def _sorted_labels(self) -> List[LedgerLabel]:
+        def order(label: LedgerLabel) -> Tuple[int, int]:
+            if isinstance(label, int):
+                return (0, label)
+            return (1, 0)
+        return sorted(self.entries, key=order)
+
+    def as_records(self) -> List[Dict[str, Any]]:
+        """One JSON-serializable dict per entry, in label order."""
+        records: List[Dict[str, Any]] = []
+        for label in self._sorted_labels():
+            entry = self.entries[label]
+            records.append({
+                "element": label,
+                "refreshed_at": entry.refreshed_at,
+                "stale_since": entry.stale_since,
+                "refreshes": entry.refreshes,
+                "stales": entry.stales,
+            })
+        return records
+
+    @classmethod
+    def from_records(cls, records: Iterable[Dict[str, Any]]
+                     ) -> "FreshnessLedger":
+        """Rebuild a ledger from :meth:`as_records` output."""
+        ledger = cls()
+        for record in records:
+            raw = record["element"]
+            label: LedgerLabel = (raw if isinstance(raw, str)
+                                  else int(raw))
+            entry = ledger._entry(label)
+            if record.get("refreshed_at") is not None:
+                entry.refreshed_at = float(record["refreshed_at"])
+            if record.get("stale_since") is not None:
+                entry.stale_since = float(record["stale_since"])
+            entry.refreshes = int(record.get("refreshes", 0))
+            entry.stales = int(record.get("stales", 0))
+        return ledger
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __bool__(self) -> bool:
+        return bool(self.entries)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FreshnessLedger):
+            return NotImplemented
+        return self.entries == other.entries
+
+    def __repr__(self) -> str:
+        return f"FreshnessLedger({len(self.entries)} entries)"

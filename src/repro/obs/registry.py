@@ -39,6 +39,8 @@ import os
 import time
 from typing import Any, Dict, Iterator, List, Mapping, Sequence, Tuple
 
+from repro.obs.ledger import FreshnessLedger
+
 __all__ = [
     "DEFAULT_BUCKETS",
     "DEFAULT_MAX_ELEMENTS",
@@ -53,6 +55,8 @@ __all__ = [
     "event",
     "gauge_set",
     "get_registry",
+    "ledger_refresh",
+    "ledger_stale",
     "max_element_labels",
     "observe",
     "refresh_from_env",
@@ -142,21 +146,39 @@ class MetricsRegistry:
     Attributes:
         counters: Metric name to monotone total.
         gauges: Metric name to last-written value.
+        gauge_origins: Gauge name to the worker label whose write won
+            a cross-process merge (absent for locally written gauges).
         histograms: Metric name to :class:`Histogram`.
         events: The append-only event tape (bounded by
             :data:`MAX_EVENTS`).
         span_totals: Span path to ``[count, total_seconds]``.
+        ledger: The per-element :class:`~repro.obs.ledger.
+            FreshnessLedger` refresh log.
+        sinks: Attached streaming sinks (:mod:`repro.obs.sink`); each
+            is offered every tape event.  Never pickled — a registry
+            shipped across a process boundary arrives sink-less.
     """
 
     def __init__(self) -> None:
         self.counters: Dict[str, float] = {}
         self.gauges: Dict[str, float] = {}
+        self.gauge_origins: Dict[str, str] = {}
         self.histograms: Dict[str, Histogram] = {}
         self.events: List[Dict[str, Any]] = []
         self.span_totals: Dict[str, List[float]] = {}
+        self.ledger = FreshnessLedger()
+        self.sinks: List[Any] = []
         self._span_stack: List[str] = []
         self._sequence = 0
         self._epoch = time.perf_counter()
+
+    def __getstate__(self) -> Dict[str, Any]:
+        # Sinks hold live sockets and are process-local by design;
+        # a pickled registry (a worker shipping its telemetry home)
+        # must not drag them along.
+        state = self.__dict__.copy()
+        state["sinks"] = []
+        return state
 
     # -- recording -------------------------------------------------
 
@@ -196,6 +218,9 @@ class MetricsRegistry:
         }
         record.update(fields)
         self.events.append(record)
+        if self.sinks:
+            for sink in self.sinks:
+                sink.offer_event(record)
 
     def span(self, name: str) -> "SpanHandle":
         """Open a nested wall-time span (use as a context manager).
@@ -204,6 +229,82 @@ class MetricsRegistry:
         ``time.perf_counter`` clock, in seconds.
         """
         return SpanHandle(self, name)
+
+    def merge(self, other: "MetricsRegistry", *,
+              worker: int | str | None = None) -> "MetricsRegistry":
+        """Fold another registry (a worker's) into this one.
+
+        Merge semantics, per metric family:
+
+        * **counters** — summed (bit-exact for the integer-valued
+          totals the simulator emits, whatever the merge order);
+        * **histograms** — added per bucket; both registries must
+          have observed with the same bucket bounds;
+        * **span totals** — counts and total seconds summed;
+        * **events** — appended in the other registry's tape order,
+          tagged with a ``worker`` label and re-sequenced so ``seq``
+          stays monotone on the merged tape (the
+          :data:`MAX_EVENTS` bound still applies — overflow drops
+          into ``obs.dropped_events``);
+        * **gauges** — last write wins: the incoming value replaces
+          the local one, and :attr:`gauge_origins` records which
+          worker's write survived;
+        * **ledger** — per-element entries fold order-independently
+          (max timestamps, summed counts).
+
+        Args:
+            other: The registry to fold in (left untouched).
+            worker: Label identifying the source — the task index in
+                :func:`repro.parallel.parallel_map` — stamped on the
+                merged events and gauge origins.  None merges
+                unlabelled.
+
+        Returns:
+            ``self``, for chaining.
+        """
+        for name, value in other.counters.items():
+            self.counter_add(name, value)
+        for name, histogram in other.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                mine = Histogram(histogram.buckets)
+                self.histograms[name] = mine
+            elif mine.buckets != histogram.buckets:
+                raise ValueError(
+                    f"histogram {name!r} bucket mismatch: "
+                    f"{mine.buckets} vs {histogram.buckets}")
+            for slot, count in enumerate(histogram.counts):
+                mine.counts[slot] += count
+            mine.total += histogram.total
+            mine.count += histogram.count
+        for path, (count, total) in other.span_totals.items():
+            totals = self.span_totals.get(path)
+            if totals is None:
+                self.span_totals[path] = [count, total]
+            else:
+                totals[0] += count
+                totals[1] += total
+        worker_label = None if worker is None else str(worker)
+        for record in other.events:
+            if len(self.events) >= MAX_EVENTS:
+                self.counter_add("obs.dropped_events")
+                continue
+            merged = dict(record)
+            self._sequence += 1
+            merged["seq"] = self._sequence
+            if worker_label is not None:
+                merged["worker"] = worker_label
+            self.events.append(merged)
+        for name, value in other.gauges.items():
+            self.gauges[name] = value
+            origin = (worker_label if worker_label is not None
+                      else other.gauge_origins.get(name))
+            if origin is not None:
+                self.gauge_origins[name] = origin
+            else:
+                self.gauge_origins.pop(name, None)
+        self.ledger.merge(other.ledger)
+        return self
 
     # -- introspection ---------------------------------------------
 
@@ -439,6 +540,28 @@ def span(name: str) -> SpanHandle | _NoOpSpan:
     if _state.enabled:
         return _state.registry.span(name)
     return _NOOP_SPAN
+
+
+def ledger_refresh(element: int, time: float) -> None:
+    """Record a successful sync of ``element`` at simulated ``time``.
+
+    The element index is routed through :func:`element_label`, so the
+    ledger shares the tape's cardinality cap.  One branch when
+    telemetry is off.
+    """
+    if _state.enabled:
+        _state.registry.ledger.record_refresh(element_label(element),
+                                              time)
+
+
+def ledger_stale(element: int, time: float) -> None:
+    """Record an update that caught ``element`` fresh (opening a
+    stale run) at simulated ``time``.  One branch when telemetry is
+    off.
+    """
+    if _state.enabled:
+        _state.registry.ledger.record_stale(element_label(element),
+                                            time)
 
 
 def iter_metric_names(registry: MetricsRegistry) -> Iterator[str]:

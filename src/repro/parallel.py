@@ -26,6 +26,15 @@ Telemetry (when enabled, in the parent): every call opens a span
 ``parallel.jobs`` to the effective worker count, and records each
 task's in-worker wall time into the ``parallel.task_seconds``
 histogram, in seconds.
+
+Worker telemetry is **captured, not lost**: when the parent has
+telemetry on, each worker task runs inside a fresh
+:func:`repro.obs.registry.telemetry` registry that is pickled back
+with the result and folded into the parent through
+:meth:`~repro.obs.registry.MetricsRegistry.merge` — in input order,
+tagged ``worker=<task index>`` — so a ``--jobs N`` run reports the
+same counter totals as the serial run, bit-for-bit.  The ``jobs=1``
+inline path records straight into the parent registry, unchanged.
 """
 
 from __future__ import annotations
@@ -75,12 +84,32 @@ def seed_rng(seed: int) -> np.random.Generator:
     return np.random.default_rng(np.random.SeedSequence(seed))
 
 
-def _timed(fn: Callable[[ItemT], ResultT],
-           item: ItemT) -> Tuple[ResultT, float]:
+def _timed(fn: Callable[[ItemT], ResultT], item: ItemT
+           ) -> Tuple[ResultT, float, None]:
     """Run one task and measure its wall time, in seconds."""
     started = time.perf_counter()
     value = fn(item)
-    return value, time.perf_counter() - started
+    return value, time.perf_counter() - started, None
+
+
+def _timed_captured(fn: Callable[[ItemT], ResultT], capture: bool,
+                    item: ItemT
+                    ) -> Tuple[ResultT, float, "obs.MetricsRegistry | None"]:
+    """Worker-side task wrapper: time the task and, when the parent
+    had telemetry on, capture the worker's registry to ship back.
+
+    Spawned workers re-derive their telemetry gate from the
+    environment, which loses programmatic ``enable_telemetry()``
+    state and — before the merge existed — silently discarded
+    whatever a worker recorded.  Running the task inside
+    :func:`repro.obs.registry.telemetry` gives it a fresh registry
+    this function can return for the parent to fold in.
+    """
+    if not capture:
+        return _timed(fn, item)
+    with obs.telemetry() as worker_registry:
+        value, seconds, _ = _timed(fn, item)
+    return value, seconds, worker_registry
 
 
 def parallel_map(fn: Callable[[ItemT], ResultT],
@@ -101,17 +130,24 @@ def parallel_map(fn: Callable[[ItemT], ResultT],
     """
     specs = list(items)
     workers = min(resolve_jobs(jobs), max(len(specs), 1))
+    capture = obs.telemetry_enabled()
     with obs.span(label):
         if workers == 1:
-            pairs = [_timed(fn, item) for item in specs]
+            triples = [_timed(fn, item) for item in specs]
         else:
             with ProcessPoolExecutor(
                     max_workers=workers,
                     mp_context=get_context("spawn")) as pool:
-                pairs = list(pool.map(partial(_timed, fn), specs))
+                triples = list(pool.map(
+                    partial(_timed_captured, fn, capture), specs))
+    if capture:
+        parent = obs.get_registry()
+        for index, (_, _, worker_registry) in enumerate(triples):
+            if worker_registry is not None:
+                parent.merge(worker_registry, worker=index)
     if obs.telemetry_enabled():
-        obs.counter_add("parallel.tasks", len(pairs))
+        obs.counter_add("parallel.tasks", len(triples))
         obs.gauge_set("parallel.jobs", workers)
-        for _, seconds in pairs:
+        for _, seconds, _ in triples:
             obs.observe("parallel.task_seconds", seconds)
-    return [value for value, _ in pairs]
+    return [value for value, _, _ in triples]

@@ -383,7 +383,8 @@ def _replay_tape(n_elements: int, sizes: np.ndarray,
 def replay_fastpath(catalog: Catalog, frequencies: np.ndarray,
                     times: np.ndarray, elements: np.ndarray,
                     kinds: np.ndarray, *, horizon: float,
-                    period_length: float, n_periods: float
+                    period_length: float, n_periods: float,
+                    ledger_time_offset: float = 0.0
                     ) -> SimulationResult:
     """Replay a merged fault-free event tape without the Python loop.
 
@@ -397,6 +398,11 @@ def replay_fastpath(catalog: Catalog, frequencies: np.ndarray,
         horizon: Total simulated clock time.
         period_length: Clock length of one sync period.
         n_periods: Periods simulated (may be fractional).
+        ledger_time_offset: Added to event times when feeding the
+            freshness ledger, in clock units (whole periods) — the
+            quiet-path analogue of the faulted kernel's
+            ``fault_time_offset``, so per-period manager runs stamp
+            the ledger on the global clock.
 
     Returns:
         A :class:`SimulationResult` bit-identical to the reference
@@ -421,6 +427,9 @@ def replay_fastpath(catalog: Catalog, frequencies: np.ndarray,
         _emit_monitor_close(replay.element_freshness,
                             replay.element_age, replay.n_accesses,
                             replay.fresh_accesses, horizon)
+        _emit_ledger(times, elements, kinds,
+                     replay.run_start_global,
+                     time_offset=ledger_time_offset)
         obs.counter_add("sim.runs")
         obs.counter_add("sim.fastpath_runs")
         obs.counter_add("sim.syncs", replay.n_syncs)
@@ -775,6 +784,9 @@ def replay_fastpath_faulted(catalog: Catalog, frequencies: np.ndarray,
         _emit_monitor_close(replay.element_freshness,
                             replay.element_age, replay.n_accesses,
                             replay.fresh_accesses, horizon)
+        _emit_ledger(times[keep], elements[keep], kinds[keep],
+                     replay.run_start_global,
+                     time_offset=fault_time_offset)
         obs.counter_add("sim.runs")
         obs.counter_add("sim.fastpath_faulted_runs")
         obs.counter_add("sim.syncs", replay.n_syncs)
@@ -915,6 +927,57 @@ def _emit_monitor_close(element_freshness: np.ndarray,
               fresh_accesses=fresh_accesses,
               fresh_fraction=(fresh_accesses / n_accesses
                               if n_accesses else 1.0))
+
+
+def _fold_ledger_bulk(fold, elements: np.ndarray,
+                      times: np.ndarray) -> None:
+    """Fold one kind of ledger event per element through the cap.
+
+    Replicates :func:`repro.obs.registry.element_label` in bulk —
+    indices at or past the cap share the ``"overflow"`` bucket — then
+    reduces each bucket to (latest time, event count) before making
+    at most ``cap + 1`` scalar ``fold`` calls.  Because ledger folds
+    are order-independent (max timestamps, summed counts), this lands
+    on the exact ledger the reference loop's per-event scalar calls
+    build.
+    """
+    if elements.shape[0] == 0:
+        return
+    elements = elements.astype(np.int64, copy=False)
+    cap = obs.max_element_labels()
+    buckets = np.minimum(elements, cap) if cap > 0 else elements
+    n_buckets = int(buckets.max()) + 1
+    counts = np.bincount(buckets, minlength=n_buckets)
+    latest = np.full(n_buckets, -np.inf)
+    np.maximum.at(latest, buckets, times)
+    for index in np.flatnonzero(counts):
+        label: int | str = ("overflow" if cap > 0 and index >= cap
+                            else int(index))
+        fold(label, float(latest[index]), int(counts[index]))
+
+
+def _emit_ledger(times: np.ndarray, elements: np.ndarray,
+                 kinds: np.ndarray,
+                 run_start_global: np.ndarray | None, *,
+                 time_offset: float = 0.0) -> None:
+    """Feed the freshness ledger from a (kept) replay tape.
+
+    Mirrors the reference loop's per-event hooks: every sync still on
+    the tape is a *successful* refresh (the faulted paths drop failed
+    syncs before replay), and every run-opening update
+    (``run_start``) opens a stale run.  Times shift by
+    ``time_offset`` onto the global fault clock, matching the
+    ``time + fault_time_offset`` stamps the reference loop records.
+    """
+    if times.shape[0] == 0 or run_start_global is None:
+        return
+    ledger = obs.get_registry().ledger
+    sync_mask = kinds == int(EventKind.SYNC)
+    _fold_ledger_bulk(ledger.record_refresh, elements[sync_mask],
+                      times[sync_mask] + time_offset)
+    _fold_ledger_bulk(ledger.record_stale,
+                      elements[run_start_global],
+                      times[run_start_global] + time_offset)
 
 
 def _emit_period_series(times: np.ndarray, elements: np.ndarray,
@@ -1195,6 +1258,10 @@ def replay_window_tapes(catalog: Catalog, frequencies: np.ndarray,
                 retries_per_period=retries_per_period)
             _emit_monitor_close(freshness_j, age_j, n_accesses_j,
                                 fresh_accesses_j, period_length)
+            _emit_ledger(times_j, elements_j, kinds_j,
+                         run_start_flags[event_slice],
+                         time_offset=((first_global_period - 1 + j)
+                                      * period_length))
             obs.counter_add("sim.runs")
             obs.counter_add("sim.fastpath_faulted_runs"
                             if resolution is not None

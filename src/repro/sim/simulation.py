@@ -347,7 +347,8 @@ class Simulation:
                     self._catalog, self._frequencies, times, elements,
                     kinds, horizon=horizon,
                     period_length=self._period_length,
-                    n_periods=n_periods)
+                    n_periods=n_periods,
+                    ledger_time_offset=self._fault_time_offset)
             if contracts_enabled():
                 scheduled = self._frequencies > 0.0
                 granularity = float(self._catalog.sizes[scheduled].sum())
@@ -429,6 +430,12 @@ class Simulation:
                 if tracker is not None:
                     tracker.advance_to(time)
                 if kind == update_kind:
+                    # Ledger: an update that catches a fresh copy
+                    # opens a stale run — check before the source
+                    # version bump makes the copy stale.
+                    if tracker is not None and mirror.is_fresh(element):
+                        obs.ledger_stale(
+                            element, time + self._fault_time_offset)
                     source.apply_update(element)
                     monitor.note_update(element, time)
                     n_updates += 1
@@ -442,6 +449,9 @@ class Simulation:
                             changed_polls[element] += 1
                         monitor.note_sync(element, time)
                         if tracker is not None:
+                            obs.ledger_refresh(
+                                element,
+                                time + self._fault_time_offset)
                             tracker.note_sync(element)
                     else:
                         report = channel.sync(
@@ -458,6 +468,9 @@ class Simulation:
                                 changed_polls[element] += 1
                             monitor.note_sync(element, time)
                             if tracker is not None:
+                                obs.ledger_refresh(
+                                    element,
+                                    time + self._fault_time_offset)
                                 tracker.note_sync(element)
                         if tracker is not None:
                             tracker.retries += report.retries

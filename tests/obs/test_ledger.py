@@ -1,0 +1,141 @@
+"""FreshnessLedger semantics: order-independent folds, staleness,
+serialization, and the facade's cardinality cap.
+
+The load-bearing property is order independence — timestamps fold
+with ``max`` and counts with ``+`` — because three different feeders
+must land on the same ledger: the reference loop (per event, in time
+order), the vectorized kernels (per element, in bulk), and the
+cross-worker merge (per worker, in task order).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.obs import registry as obs
+from repro.obs.ledger import FreshnessLedger, LedgerEntry
+
+
+class TestLedgerEntry:
+    def test_fresh_until_first_stale(self) -> None:
+        entry = LedgerEntry()
+        assert not entry.is_stale
+        entry.fold_refresh(2.0)
+        assert not entry.is_stale
+        entry.fold_stale(3.0)
+        assert entry.is_stale
+        assert entry.staleness(5.0) == pytest.approx(2.0)
+
+    def test_refresh_after_stale_clears_staleness(self) -> None:
+        entry = LedgerEntry()
+        entry.fold_stale(3.0)
+        entry.fold_refresh(4.0)
+        assert not entry.is_stale
+        assert entry.staleness(10.0) == 0.0
+
+    def test_folds_are_order_independent(self) -> None:
+        events = [("refresh", 1.0), ("stale", 2.5), ("refresh", 4.0),
+                  ("stale", 3.0), ("refresh", 0.5)]
+        entries = []
+        for ordering in itertools.permutations(events):
+            entry = LedgerEntry()
+            for kind, time in ordering:
+                if kind == "refresh":
+                    entry.fold_refresh(time)
+                else:
+                    entry.fold_stale(time)
+            entries.append(entry)
+        assert all(entry == entries[0] for entry in entries)
+        assert entries[0].refreshed_at == 4.0
+        assert entries[0].stale_since == 3.0
+        assert entries[0].refreshes == 3
+        assert entries[0].stales == 2
+
+    def test_bulk_count_fold_equals_scalar_folds(self) -> None:
+        scalar = LedgerEntry()
+        for time in (1.0, 2.0, 7.0):
+            scalar.fold_refresh(time)
+        bulk = LedgerEntry()
+        bulk.fold_refresh(7.0, count=3)
+        assert scalar == bulk
+
+
+class TestFreshnessLedger:
+    def test_merge_is_order_independent(self) -> None:
+        def worker(times):
+            ledger = FreshnessLedger()
+            for label, t in times:
+                ledger.record_refresh(label, t)
+                ledger.record_stale(label, t + 0.25)
+            return ledger
+
+        parts = [worker([(0, 1.0), (1, 2.0)]),
+                 worker([(0, 5.0), ("overflow", 3.0)]),
+                 worker([(1, 0.5), ("overflow", 9.0)])]
+        merged = []
+        for ordering in itertools.permutations(range(3)):
+            total = FreshnessLedger()
+            for index in ordering:
+                total.merge(parts[index])
+            merged.append(total)
+        assert all(ledger == merged[0] for ledger in merged)
+        assert merged[0].entries[0].refreshed_at == 5.0
+        assert merged[0].entries["overflow"].stales == 2
+
+    def test_snapshot_sorts_ints_first_overflow_last(self) -> None:
+        ledger = FreshnessLedger()
+        ledger.record_stale("overflow", 4.0)
+        ledger.record_stale(7, 1.0)
+        ledger.record_stale(2, 2.0)
+        labels = [label for label, _ in ledger.staleness_snapshot()]
+        assert labels == [2, 7, "overflow"]
+
+    def test_snapshot_defaults_now_to_last_event(self) -> None:
+        ledger = FreshnessLedger()
+        ledger.record_refresh(0, 1.0)
+        ledger.record_stale(1, 6.0)
+        snapshot = dict(ledger.staleness_snapshot())
+        assert snapshot[0] == 0.0
+        assert snapshot[1] == 0.0  # stale since 6.0, evaluated at 6.0
+        assert dict(ledger.staleness_snapshot(now=8.5))[1] == \
+            pytest.approx(2.5)
+
+    def test_records_round_trip(self) -> None:
+        ledger = FreshnessLedger()
+        ledger.record_refresh(3, 1.5, count=4)
+        ledger.record_stale(3, 2.0)
+        ledger.record_stale("overflow", 9.0, count=7)
+        rebuilt = FreshnessLedger.from_records(ledger.as_records())
+        assert rebuilt == ledger
+
+    def test_empty_ledger_is_falsy(self) -> None:
+        ledger = FreshnessLedger()
+        assert not ledger
+        assert ledger.staleness_snapshot() == []
+        assert ledger.last_event_time() is None
+
+
+class TestLedgerFacade:
+    def test_facade_routes_through_element_label_cap(
+            self, monkeypatch: pytest.MonkeyPatch) -> None:
+        monkeypatch.setenv("REPRO_TELEMETRY_MAX_ELEMENTS", "4")
+        obs.refresh_from_env()
+        with obs.telemetry() as registry:
+            obs.ledger_refresh(2, 1.0)
+            obs.ledger_refresh(4, 2.0)   # at the cap -> overflow
+            obs.ledger_refresh(999, 3.0)
+            obs.ledger_stale(2, 4.0)
+        assert set(registry.ledger.entries) == {2, "overflow"}
+        assert registry.ledger.entries["overflow"].refreshes == 2
+        assert registry.ledger.entries["overflow"].refreshed_at == 3.0
+        monkeypatch.delenv("REPRO_TELEMETRY_MAX_ELEMENTS")
+        obs.refresh_from_env()
+
+    def test_facade_is_noop_when_disabled(self) -> None:
+        obs.disable_telemetry()
+        registry = obs.reset_telemetry()
+        obs.ledger_refresh(0, 1.0)
+        obs.ledger_stale(0, 2.0)
+        assert not registry.ledger

@@ -1,0 +1,168 @@
+"""Cross-worker registry merge semantics and export round-trips.
+
+The merge contract (the tentpole's second leg): counters sum,
+histograms add per bucket, span totals sum, event tapes concatenate
+with a ``worker`` label and a re-sequenced ``seq``, gauges are
+last-write-wins with their surviving origin recorded, and ledgers
+fold order-independently.  A merged registry must also survive the
+JSONL round trip with worker labels and ledger intact.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.obs import export
+from repro.obs import registry as obs
+from repro.obs.registry import MetricsRegistry
+
+
+def _worker_registry(index: int) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter_add("sim.syncs", 10.0 * (index + 1))
+    registry.counter_add(f"only.worker{index}", 1.0)
+    registry.observe("solver.iterations", 3.0 * (index + 1))
+    registry.event("sim.period", period=index)
+    with registry.span("work"):
+        pass
+    registry.gauge_set("sim.monitored_time_freshness", 0.5 + index / 10)
+    registry.ledger.record_refresh(index, float(index))
+    registry.ledger.record_refresh(99, 5.0 + index)
+    return registry
+
+
+def test_counters_sum_across_workers() -> None:
+    parent = MetricsRegistry()
+    for index in range(3):
+        parent.merge(_worker_registry(index), worker=index)
+    assert parent.counters["sim.syncs"] == 60.0
+    assert parent.counters["only.worker1"] == 1.0
+
+
+def test_histograms_add_per_bucket() -> None:
+    parent = MetricsRegistry()
+    for index in range(3):
+        parent.merge(_worker_registry(index), worker=index)
+    histogram = parent.histograms["solver.iterations"]
+    assert histogram.count == 3
+    assert histogram.total == pytest.approx(3.0 + 6.0 + 9.0)
+    assert sum(histogram.counts) == 3
+
+
+def test_histogram_bucket_mismatch_is_an_error() -> None:
+    parent = MetricsRegistry()
+    parent.observe("h", 1.0, buckets=(1.0, 2.0))
+    other = MetricsRegistry()
+    other.observe("h", 1.0, buckets=(5.0, 10.0))
+    with pytest.raises(ValueError, match="bucket mismatch"):
+        parent.merge(other)
+
+
+def test_span_totals_sum() -> None:
+    parent = MetricsRegistry()
+    for index in range(3):
+        parent.merge(_worker_registry(index), worker=index)
+    count, total = parent.span_totals["work"]
+    assert count == 3.0
+    assert total >= 0.0
+
+
+def test_events_get_worker_label_and_fresh_seq() -> None:
+    parent = MetricsRegistry()
+    parent.event("parent.start")
+    for index in range(2):
+        parent.merge(_worker_registry(index), worker=index)
+    seqs = [record["seq"] for record in parent.events]
+    assert seqs == sorted(seqs)
+    assert len(set(seqs)) == len(seqs)
+    workers = [record.get("worker") for record in parent.events]
+    assert workers[0] is None  # the parent's own event is unlabelled
+    assert set(workers[1:]) == {"0", "1"}
+
+
+def test_gauges_last_write_wins_with_origin() -> None:
+    parent = MetricsRegistry()
+    parent.gauge_set("sim.monitored_time_freshness", 0.1)
+    for index in range(3):
+        parent.merge(_worker_registry(index), worker=index)
+    assert parent.gauges["sim.monitored_time_freshness"] == \
+        pytest.approx(0.7)
+    assert parent.gauge_origins["sim.monitored_time_freshness"] == "2"
+
+
+def test_ledger_merge_is_order_independent_across_workers() -> None:
+    forward = MetricsRegistry()
+    backward = MetricsRegistry()
+    for index in range(3):
+        forward.merge(_worker_registry(index), worker=index)
+    for index in reversed(range(3)):
+        backward.merge(_worker_registry(index), worker=index)
+    assert forward.ledger == backward.ledger
+    assert forward.ledger.entries[99].refreshed_at == 7.0
+    assert forward.ledger.entries[99].refreshes == 3
+
+
+def test_merge_does_not_mutate_the_source() -> None:
+    worker = _worker_registry(0)
+    before_events = [dict(record) for record in worker.events]
+    MetricsRegistry().merge(worker, worker=0)
+    assert worker.events == before_events
+    assert "worker" not in worker.events[0]
+
+
+def test_event_tape_cap_still_applies_on_merge() -> None:
+    parent = MetricsRegistry()
+    parent._sequence = obs.MAX_EVENTS
+    parent.events = [{"seq": i, "t": 0.0, "kind": "filler"}
+                     for i in range(obs.MAX_EVENTS)]
+    worker = MetricsRegistry()
+    worker.event("late")
+    parent.merge(worker, worker=3)
+    assert len(parent.events) == obs.MAX_EVENTS
+    assert parent.counters["obs.dropped_events"] == 1.0
+
+
+# ---------------------------------------------------------------------------
+# Export round-trips of merged registries (satellite d)
+
+
+def _merged_registry() -> MetricsRegistry:
+    parent = MetricsRegistry()
+    for index in range(3):
+        parent.merge(_worker_registry(index), worker=index)
+    return parent
+
+
+def test_jsonl_round_trip_preserves_merged_registry(
+        tmp_path: Path) -> None:
+    parent = _merged_registry()
+    path = export.write_jsonl(parent, tmp_path / "telemetry.jsonl")
+    loaded = export.read_jsonl(path)
+    assert loaded.counters == parent.counters
+    assert loaded.gauges == parent.gauges
+    assert loaded.gauge_origins == parent.gauge_origins
+    assert loaded.ledger == parent.ledger
+    assert [record.get("worker") for record in loaded.events] == \
+        [record.get("worker") for record in parent.events]
+    histogram = loaded.histograms["solver.iterations"]
+    assert histogram.counts == \
+        parent.histograms["solver.iterations"].counts
+
+
+def test_prometheus_text_is_stable_across_round_trip(
+        tmp_path: Path) -> None:
+    parent = _merged_registry()
+    direct = export.prometheus_text(parent)
+    path = export.write_jsonl(parent, tmp_path / "telemetry.jsonl")
+    reloaded = export.prometheus_text(export.read_jsonl(path))
+    assert reloaded == direct
+    assert 'repro_freshness_refreshes_total{element="99"} 3' in direct
+    assert '{worker="2"}' in direct
+
+
+def test_summary_text_reports_ledger_section() -> None:
+    text = export.summary_text(_merged_registry())
+    assert "freshness ledger" in text
+    assert "elements" in text

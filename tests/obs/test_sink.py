@@ -1,0 +1,302 @@
+"""Streaming-sink discipline: never raise, never block, degrade.
+
+These tests drive the :class:`Sink` machinery with an injected fake
+clock and seeded jitter RNG (no sleeping, no wall-clock coupling) and
+the transports against real local endpoints — an in-process UDP
+listener for statsd, a connection-refused port for OTLP.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import socket
+from typing import Any, List
+
+import pytest
+
+from repro.obs import registry as obs
+from repro.obs.sink import (
+    OtlpHttpSink,
+    Sink,
+    StatsdSink,
+    parse_sink_url,
+)
+
+
+class FakeClock:
+    """A monotonic clock the test advances by hand."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class RecordingSink(Sink):
+    """Sink whose transport is a list (or a scripted failure)."""
+
+    def __init__(self, **kwargs: Any) -> None:
+        super().__init__(**kwargs)
+        self.batches: List[List[str]] = []
+        self.fail_sends = 0
+
+    def _render_event(self, record: Any) -> str:
+        return f"event:{record.get('kind')}"
+
+    def _render_counter(self, name: str, delta: float) -> str:
+        return f"counter:{name}:{delta:g}"
+
+    def _render_gauge(self, name: str, value: float) -> str:
+        return f"gauge:{name}:{value:g}"
+
+    def _send(self, batch: List[str]) -> None:
+        if self.fail_sends > 0:
+            self.fail_sends -= 1
+            raise OSError("scripted transport failure")
+        self.batches.append(list(batch))
+
+
+# ---------------------------------------------------------------------------
+# Base machinery: buffering, overflow, flush scheduling, retry
+
+
+def test_overflow_drops_and_counts() -> None:
+    with obs.telemetry() as registry:
+        clock = FakeClock()
+        sink = RecordingSink(buffer_limit=3, flush_interval_s=100.0,
+                             clock=clock)
+        for index in range(5):
+            sink.offer_event({"kind": f"e{index}"})
+        assert len(sink._buffer) == 3
+        assert sink.dropped == 2
+    assert registry.counters["obs.sink.dropped"] == 2
+
+
+def test_flush_waits_for_interval_then_ships() -> None:
+    clock = FakeClock()
+    sink = RecordingSink(flush_interval_s=1.0, clock=clock)
+    sink.offer_event({"kind": "early"})
+    assert sink.batches == []  # interval not elapsed
+    clock.now = 1.5
+    sink.offer_event({"kind": "late"})
+    assert sink.batches == [["event:early", "event:late"]]
+    assert sink.sent == 2
+    assert sink._buffer == []
+
+
+def test_transport_failure_keeps_batch_and_arms_backoff() -> None:
+    with obs.telemetry() as registry:
+        clock = FakeClock()
+        sink = RecordingSink(flush_interval_s=0.0, clock=clock,
+                             backoff_base_s=0.25, backoff_cap_s=30.0,
+                             jitter_rng=random.Random(7))
+        sink.fail_sends = 1
+        sink.offer_event({"kind": "a"})  # flush due -> fails
+        assert sink.send_errors == 1
+        assert sink._buffer == ["event:a"]  # batch retained
+        assert sink._retry_at > clock.now
+        deadline = sink._retry_at
+
+        # Flushes before the deadline are cheap no-ops — no send call.
+        assert sink.flush() == 0
+        assert sink.batches == []
+
+        # Past the deadline the retained batch ships.
+        clock.now = deadline + 0.01
+        assert sink.flush() == 1
+        assert sink.batches == [["event:a"]]
+        assert sink._retry_at == 0.0
+    assert registry.counters["obs.sink.errors"] == 1
+    assert registry.counters["obs.sink.sent"] == 1
+
+
+def test_backoff_delays_are_decorrelated_jitter() -> None:
+    clock = FakeClock()
+    sink = RecordingSink(flush_interval_s=0.0, clock=clock,
+                         backoff_base_s=0.5, backoff_cap_s=4.0,
+                         jitter_rng=random.Random(0))
+    sink.fail_sends = 11  # the initial offer-driven flush + 10 retries
+    sink.offer_event({"kind": "x"})
+    delays = []
+    for _ in range(10):
+        clock.now = sink._retry_at + 0.01
+        sink.flush()
+        delays.append(sink._delay)
+    assert all(0.5 <= delay <= 4.0 for delay in delays)
+    assert len(set(delays)) > 1  # jittered, not a fixed ladder
+    # Deterministic replay from the seeded RNG.
+    expected = []
+    rng = random.Random(0)
+    delay = 0.0
+    for _ in range(11):  # first failure + 10 retries
+        delay = min(rng.uniform(0.5, max(3.0 * delay, 0.5)), 4.0)
+        expected.append(delay)
+    assert delays == pytest.approx(expected[1:])
+
+
+def test_close_flushes_even_while_backing_off() -> None:
+    clock = FakeClock()
+    sink = RecordingSink(flush_interval_s=0.0, clock=clock)
+    sink.fail_sends = 1
+    sink.offer_event({"kind": "a"})
+    assert sink._retry_at > 0.0
+    sink.close()  # ignore_deadline final attempt
+    assert sink.batches == [["event:a"]]
+    assert sink.closed
+    sink.offer_event({"kind": "late"})  # post-close offers are no-ops
+    assert sink._buffer == []
+
+
+def test_emit_registry_ships_counter_deltas() -> None:
+    clock = FakeClock()
+    sink = RecordingSink(flush_interval_s=0.0, clock=clock)
+    registry = obs.MetricsRegistry()
+    registry.counter_add("sim.syncs", 5.0)
+    registry.gauge_set("sim.freshness", 0.75)
+    sink.emit_registry(registry)
+    registry.counter_add("sim.syncs", 2.0)
+    sink.emit_registry(registry)
+    counters = [item for batch in sink.batches for item in batch
+                if item.startswith("counter:")]
+    assert counters == ["counter:sim.syncs:5", "counter:sim.syncs:2"]
+
+
+# ---------------------------------------------------------------------------
+# statsd transport
+
+
+def test_statsd_lines_reach_a_live_udp_listener() -> None:
+    listener = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    listener.bind(("127.0.0.1", 0))
+    listener.settimeout(2.0)
+    port = listener.getsockname()[1]
+    try:
+        sink = StatsdSink("127.0.0.1", port, flush_interval_s=0.0)
+        sink.offer_event({"kind": "sim.period"})
+        registry = obs.MetricsRegistry()
+        registry.counter_add("sim.syncs", 3.0)
+        registry.gauge_set("monitor.mean_time_freshness", 0.9)
+        sink.emit_registry(registry)
+        sink.close()
+        lines: List[str] = []
+        while len(lines) < 3:
+            data, _ = listener.recvfrom(65536)
+            lines.extend(data.decode("utf-8").splitlines())
+        assert "repro.events.sim_period:1|c" in lines
+        assert "repro.sim.syncs:3|c" in lines
+        assert "repro.monitor.mean_time_freshness:0.9|g" in lines
+    finally:
+        listener.close()
+
+
+def test_statsd_chunks_large_batches_under_datagram_limit() -> None:
+    sent: List[bytes] = []
+    sink = StatsdSink("127.0.0.1", 8125, flush_interval_s=0.0,
+                      buffer_limit=10_000)
+
+    class FakeSocket:
+        def sendto(self, data: bytes, address: Any) -> None:
+            sent.append(data)
+
+        def close(self) -> None:
+            pass
+
+        def setblocking(self, flag: bool) -> None:
+            pass
+
+    sink._socket = FakeSocket()  # type: ignore[assignment]
+    registry = obs.MetricsRegistry()
+    for index in range(200):
+        registry.counter_add(f"long.metric.name.number.{index:04d}")
+    sink.emit_registry(registry)
+    sink.flush(ignore_deadline=True)
+    assert len(sent) > 1
+    assert all(len(datagram) <= 1400 for datagram in sent)
+    total_lines = sum(datagram.count(b"\n") + 1 for datagram in sent)
+    assert total_lines == 200
+
+
+# ---------------------------------------------------------------------------
+# OTLP transport
+
+
+def test_otlp_dead_endpoint_never_raises() -> None:
+    """Acceptance criterion: dead collector, zero exceptions."""
+    sink = OtlpHttpSink("http://127.0.0.1:1/v1/metrics",
+                        timeout_s=0.2, flush_interval_s=0.0)
+    for index in range(5):
+        sink.offer_event({"kind": "sim.period"})
+    sink.close()
+    assert sink.send_errors >= 1
+    assert sink.sent == 0
+
+
+def test_otlp_payload_accumulates_counters_cumulatively() -> None:
+    sink = OtlpHttpSink("http://localhost:4318/v1/metrics")
+    batch = [("counter", "repro.sim.syncs", 3.0),
+             ("counter", "repro.sim.syncs", 2.0),
+             ("gauge", "repro.freshness", 0.5)]
+    first = json.loads(sink._payload(batch))
+    metrics = first["resourceMetrics"][0]["scopeMetrics"][0]["metrics"]
+    by_name = {metric["name"]: metric for metric in metrics}
+    assert by_name["repro.sim.syncs"]["sum"]["dataPoints"][0][
+        "asDouble"] == 5.0
+    assert by_name["repro.sim.syncs"]["sum"]["isMonotonic"] is True
+    assert by_name["repro.freshness"]["gauge"]["dataPoints"][0][
+        "asDouble"] == 0.5
+    # A second flush continues the cumulative monotonic sum.
+    second = json.loads(sink._payload(
+        [("counter", "repro.sim.syncs", 4.0)]))
+    metric = second["resourceMetrics"][0]["scopeMetrics"][0][
+        "metrics"][0]
+    assert metric["sum"]["dataPoints"][0]["asDouble"] == 9.0
+
+
+# ---------------------------------------------------------------------------
+# URL parsing and registry integration
+
+
+def test_parse_sink_url_dispatch() -> None:
+    statsd = parse_sink_url("statsd://127.0.0.1:8125")
+    assert isinstance(statsd, StatsdSink)
+    assert statsd._address == ("127.0.0.1", 8125)
+    otlp = parse_sink_url("otlp://collector")
+    assert isinstance(otlp, OtlpHttpSink)
+    assert otlp._endpoint == "http://collector:4318/v1/metrics"
+    otlps = parse_sink_url("otlps://collector:9999/custom")
+    assert otlps._endpoint == "https://collector:9999/custom"
+
+
+@pytest.mark.parametrize("url", [
+    "statsd://127.0.0.1",        # missing port
+    "statsd://:8125",            # missing host
+    "otlp://",                   # missing host
+    "http://127.0.0.1:8125",     # unsupported scheme
+    "garbage",
+])
+def test_parse_sink_url_rejects_malformed(url: str) -> None:
+    with pytest.raises(ValueError):
+        parse_sink_url(url)
+
+
+def test_registry_feeds_attached_sink_per_event() -> None:
+    clock = FakeClock()
+    sink = RecordingSink(flush_interval_s=100.0, clock=clock)
+    with obs.telemetry() as registry:
+        registry.sinks.append(sink)
+        obs.event("sim.period", period=1)
+        obs.event("sim.period", period=2)
+    assert sink._buffer == ["event:sim.period", "event:sim.period"]
+
+
+def test_registry_pickling_drops_sinks() -> None:
+    import pickle
+
+    registry = obs.MetricsRegistry()
+    registry.sinks.append(StatsdSink("127.0.0.1", 8125))
+    registry.counter_add("c", 2.0)
+    clone = pickle.loads(pickle.dumps(registry))
+    assert clone.sinks == []
+    assert clone.counters["c"] == 2.0

@@ -499,6 +499,68 @@ class TestTelemetryParity:
         assert fast_counters.pop("sim.fastpath_runs") == 1.0
         assert fast_counters == ref_counters
 
+
+class TestLedgerParity:
+    """The freshness ledger extends the bit-identity contract: both
+    engines feed the same per-element refresh/stale folds — the
+    reference loop one scalar event at a time, the kernels in bulk
+    through ``np.bincount``/``np.maximum.at`` — and must land on
+    *equal* ledgers, overflow bucket and timestamp offsets included."""
+
+    @staticmethod
+    def _ledger(preset_catalog, engine: str, **kwargs):
+        plan = PerceivedFreshener().plan(preset_catalog, 20.0)
+        with obs.telemetry() as registry:
+            run_engine(preset_catalog, plan.frequencies, engine=engine,
+                       seed=83, n_periods=5.0, **kwargs)
+        return registry.ledger
+
+    def test_quiet_engines_agree(self, preset_catalog):
+        fast = self._ledger(preset_catalog, "fastpath")
+        reference = self._ledger(preset_catalog, "reference")
+        assert len(fast) > 0
+        assert fast == reference
+
+    def test_capped_labels_agree(self, preset_catalog, monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY_MAX_ELEMENTS", "10")
+        obs.refresh_from_env()
+        try:
+            fast = self._ledger(preset_catalog, "fastpath")
+            reference = self._ledger(preset_catalog, "reference")
+        finally:
+            monkeypatch.delenv("REPRO_TELEMETRY_MAX_ELEMENTS")
+            obs.refresh_from_env()
+        assert fast == reference
+        assert "overflow" in fast.entries
+        assert all(isinstance(label, str) or label < 10
+                   for label in fast.entries)
+
+    def test_faulted_engines_agree(self, preset_catalog):
+        kwargs = dict(fault_plan=FaultPlan.iid(0.3),
+                      retry_policy=RetryPolicy(max_retries=2))
+        fast = self._ledger(preset_catalog, "fastpath", **kwargs)
+        reference = self._ledger(preset_catalog, "reference", **kwargs)
+        assert fast == reference
+        # Faults delay refreshes, so some elements must be stale.
+        assert any(entry.is_stale for entry in fast.entries.values())
+
+    def test_fault_time_offset_shifts_ledger_times(
+            self, preset_catalog):
+        kwargs = dict(fault_plan=FaultPlan.iid(0.3),
+                      retry_policy=RetryPolicy(max_retries=2))
+        base = self._ledger(preset_catalog, "fastpath", **kwargs)
+        shifted_fast = self._ledger(preset_catalog, "fastpath",
+                                    fault_time_offset=3.0, **kwargs)
+        shifted_ref = self._ledger(preset_catalog, "reference",
+                                   fault_time_offset=3.0, **kwargs)
+        assert shifted_fast == shifted_ref
+        for label, entry in base.entries.items():
+            if entry.refreshed_at is None:
+                continue
+            shifted = shifted_fast.entries[label]
+            assert shifted.refreshed_at == pytest.approx(
+                entry.refreshed_at + 3.0)
+
     def test_fastpath_counter_increments(self, preset_catalog):
         plan = PerceivedFreshener().plan(preset_catalog, 20.0)
         with obs.telemetry() as registry:

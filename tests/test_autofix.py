@@ -1,9 +1,13 @@
-"""Tests for the freshlint autofix engine and the FL004 remediation.
+"""Tests for the freshlint autofix engine and the FL004/FL007
+remediations.
 
 The engine contract under test: fixes are span-based rewrites applied
 bottom-up, overlapping edits defer to the next pass, and the whole
 loop is **idempotent** — running ``--fix`` twice produces the same
-bytes as running it once.
+bytes as running it once.  FL007's rewrite (library ``print`` →
+``logging`` call) additionally must insert ``import logging`` exactly
+once and leave semantics-changing calls (``file=``/``sep=``/starred
+args) unfixed.
 """
 
 from __future__ import annotations
@@ -108,6 +112,91 @@ def test_fixed_output_is_lint_clean_for_fixable_rules(
     report = fix_file(bad_units_copy, STRICT)
     # The fixture seeds only FL004, all of which are fixable.
     assert report.remaining == ()
+
+
+# ---------------------------------------------------------------------------
+# FL007 remediation end to end
+
+
+PRINTY_SOURCE = '''\
+"""Library module seeded with FL007 violations."""
+
+from __future__ import annotations
+
+
+def solve(problem, verbose):
+    print("solving", problem)
+    print(problem)
+    print()
+    if verbose:
+        print("done", file=None)
+    return problem
+'''
+
+
+@pytest.fixture()
+def printy_module(tmp_path: Path) -> Path:
+    target = tmp_path / "printy.py"
+    target.write_text(PRINTY_SOURCE, encoding="utf-8")
+    return target
+
+
+def test_fl007_fix_rewrites_prints_to_logging(
+        printy_module: Path) -> None:
+    report = fix_file(printy_module, STRICT)
+    assert report.changed
+    fixed = printy_module.read_text(encoding="utf-8")
+    assert 'logging.getLogger(__name__).info("%s %s", ' \
+           '"solving", problem)' in fixed
+    assert "logging.getLogger(__name__).info(problem)" in fixed
+    assert 'logging.getLogger(__name__).info("")' in fixed
+
+
+def test_fl007_fix_inserts_import_once_after_future(
+        printy_module: Path) -> None:
+    fix_file(printy_module, STRICT)
+    fixed = printy_module.read_text(encoding="utf-8")
+    assert fixed.count("import logging") == 1
+    # __future__ imports must stay first.
+    assert fixed.index("from __future__") < fixed.index(
+        "import logging")
+
+
+def test_fl007_fix_skips_keyword_calls(printy_module: Path) -> None:
+    report = fix_file(printy_module, STRICT)
+    fixed = printy_module.read_text(encoding="utf-8")
+    assert 'print("done", file=None)' in fixed
+    remaining = [v for v in report.remaining if v.code == "FL007"]
+    assert len(remaining) == 1
+
+
+def test_fl007_fix_preserves_existing_logging_import(
+        tmp_path: Path) -> None:
+    target = tmp_path / "logged.py"
+    target.write_text('import logging\n\n\n'
+                      'def run(x):\n    print(x)\n    return x\n',
+                      encoding="utf-8")
+    fix_file(target, STRICT)
+    fixed = target.read_text(encoding="utf-8")
+    assert fixed.count("import logging") == 1
+    assert "logging.getLogger(__name__).info(x)" in fixed
+
+
+def test_fl007_fix_is_idempotent(printy_module: Path) -> None:
+    fix_file(printy_module, STRICT)
+    once = printy_module.read_text(encoding="utf-8")
+    second = fix_file(printy_module, STRICT)
+    assert not second.changed
+    assert second.applied == 0
+    assert printy_module.read_text(encoding="utf-8") == once
+
+
+def test_fl007_fix_clears_shipped_fixture(tmp_path: Path) -> None:
+    target = tmp_path / "bad_print.py"
+    shutil.copy(FIXTURES / "bad_fl007_print.py", target)
+    report = fix_file(target, STRICT)
+    assert report.changed
+    assert [v for v in report.remaining if v.code == "FL007"] == []
 
 
 # ---------------------------------------------------------------------------

@@ -2,11 +2,17 @@
 
 from __future__ import annotations
 
+import copy
 import json
+import socket
+from pathlib import Path
 
 import pytest
 
 from repro.cli import build_parser, main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_SIM = REPO_ROOT / "benchmarks" / "results" / "BENCH_sim.json"
 
 
 class TestParser:
@@ -164,3 +170,131 @@ class TestTelemetry:
         assert main(["obs", "prom", "--tape", tape]) == 0
         prom = capsys.readouterr().out
         assert prom == (tmp_path / "telemetry.prom").read_text()
+
+
+class TestObsFreshness:
+    def test_freshness_table_from_a_sim_tape(self, capsys, tmp_path):
+        assert main(["burstiness", "--quick",
+                     "--telemetry", str(tmp_path)]) == 0
+        capsys.readouterr()
+        tape = str(tmp_path / "telemetry.jsonl")
+        assert main(["obs", "freshness", "--tape", tape]) == 0
+        output = capsys.readouterr().out
+        assert "freshness overview" in output
+        assert "staleness percentiles" in output
+        assert "stalest elements" in output
+
+    def test_freshness_accepts_explicit_now(self, capsys, tmp_path):
+        assert main(["burstiness", "--quick",
+                     "--telemetry", str(tmp_path)]) == 0
+        capsys.readouterr()
+        tape = str(tmp_path / "telemetry.jsonl")
+        assert main(["obs", "freshness", "--tape", tape,
+                     "--now", "1e9"]) == 0
+        assert "1e+09" in capsys.readouterr().out
+
+    def test_freshness_on_ledgerless_tape(self, capsys, tmp_path):
+        assert main(["table1", "--quick",
+                     "--telemetry", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["obs", "freshness", "--tape",
+                     str(tmp_path / "telemetry.jsonl")]) == 0
+        assert "ledger is empty" in capsys.readouterr().out
+
+
+class TestObsDiff:
+    """``repro obs diff`` gates perf artifacts (acceptance criterion:
+    a ≥20% injected kernel-speedup regression must exit non-zero)."""
+
+    @staticmethod
+    def _bench_pair(tmp_path, scale: float):
+        baseline = json.loads(BENCH_SIM.read_text())
+        candidate = copy.deepcopy(baseline)
+        for row in candidate["kernel"]["rows"]:
+            row["kernel_speedup"] *= scale
+        base_path = tmp_path / "base.json"
+        cand_path = tmp_path / "cand.json"
+        base_path.write_text(json.dumps(baseline))
+        cand_path.write_text(json.dumps(candidate))
+        return str(base_path), str(cand_path)
+
+    def test_identical_files_pass(self, capsys, tmp_path):
+        base, _ = self._bench_pair(tmp_path, 1.0)
+        assert main(["obs", "diff", base, base]) == 0
+        output = capsys.readouterr().out
+        assert "no changes" in output or "no regressions" in output
+
+    def test_injected_regression_fails(self, capsys, tmp_path):
+        base, cand = self._bench_pair(tmp_path, 0.7)
+        assert main(["obs", "diff", base, cand]) == 1
+        output = capsys.readouterr().out
+        assert "REGRESSION" in output
+        assert "kernel_speedup" in output
+
+    def test_warn_only_reports_but_passes(self, capsys, tmp_path):
+        base, cand = self._bench_pair(tmp_path, 0.7)
+        assert main(["obs", "diff", base, cand, "--warn-only"]) == 0
+        output = capsys.readouterr().out
+        assert "REGRESSION" in output
+        assert "warn-only" in output
+
+    def test_threshold_is_respected(self, tmp_path, capsys):
+        # A 10% dip passes at --threshold 0.2 but fails at 0.05.
+        base, cand = self._bench_pair(tmp_path, 0.9)
+        assert main(["obs", "diff", base, cand,
+                     "--threshold", "0.2"]) == 0
+        capsys.readouterr()
+        assert main(["obs", "diff", base, cand,
+                     "--threshold", "0.05"]) == 1
+
+    def test_tape_self_diff_passes(self, capsys, tmp_path):
+        assert main(["burstiness", "--quick",
+                     "--telemetry", str(tmp_path)]) == 0
+        capsys.readouterr()
+        tape = str(tmp_path / "telemetry.jsonl")
+        assert main(["obs", "diff", tape, tape]) == 0
+
+    def test_missing_file_exits_2(self, capsys, tmp_path):
+        base, _ = self._bench_pair(tmp_path, 1.0)
+        missing = str(tmp_path / "nope.json")
+        assert main(["obs", "diff", base, missing]) == 2
+        assert "nope.json" in capsys.readouterr().err
+
+
+class TestSinkFlag:
+    def test_sink_flag_parses(self):
+        args = build_parser().parse_args(
+            ["table1", "--sink", "statsd://127.0.0.1:8125"])
+        assert args.sink == "statsd://127.0.0.1:8125"
+        assert build_parser().parse_args(["table1"]).sink is None
+
+    def test_sink_streams_to_udp_listener(self, capsys):
+        listener = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.settimeout(2.0)
+        port = listener.getsockname()[1]
+        try:
+            assert main(["table1", "--quick", "--sink",
+                         f"statsd://127.0.0.1:{port}"]) == 0
+            lines = []
+            while not any(
+                    line.startswith("repro.solver.calls:")
+                    for line in lines):
+                data, _ = listener.recvfrom(65536)
+                lines.extend(data.decode("utf-8").splitlines())
+        finally:
+            listener.close()
+        assert all("|c" in line or "|g" in line for line in lines)
+
+    def test_dead_sink_never_fails_the_run(self, capsys):
+        # Connection-refused OTLP collector: the run must still pass.
+        assert main(["table1", "--quick", "--sink",
+                     "otlp://127.0.0.1:1"]) == 0
+        captured = capsys.readouterr()
+        assert "Table 1" in captured.out
+        assert "transport error" in captured.err
+
+    def test_bad_sink_url_fails_cleanly(self, capsys):
+        assert main(["table1", "--quick", "--sink",
+                     "gopher://x"]) == 2
+        assert "sink" in capsys.readouterr().err

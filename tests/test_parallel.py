@@ -29,6 +29,15 @@ TINY = ExperimentSetup(n_objects=20, updates_per_period=40.0,
                        update_std_dev=1.0)
 
 
+def _instrumented_square(x: int) -> int:
+    """A worker task that records telemetry (module-level: picklable)."""
+    obs.counter_add("test.work", 1.0)
+    obs.counter_add("test.sum", float(x))
+    obs.event("test.task", item=x)
+    obs.gauge_set("test.last_item", float(x))
+    return x * x
+
+
 class TestExecutor:
     def test_serial_map_preserves_order_and_values(self):
         assert parallel_map(abs, [-3, 2, -1]) == [3, 2, 1]
@@ -65,6 +74,64 @@ class TestExecutor:
         assert histogram.count == 3
         assert any(record["path"] == "parallel.test"
                    for record in registry.span_records())
+
+
+class TestWorkerTelemetryMerge:
+    """Regression: telemetry recorded inside worker processes used to
+    vanish (each worker counted into its own registry, which died with
+    the process).  ``parallel_map`` now captures per-worker registries
+    and folds them into the parent."""
+
+    def test_worker_counters_are_not_lost(self):
+        items = list(range(6))
+        with obs.telemetry() as registry:
+            result = parallel_map(_instrumented_square, items, jobs=2)
+        assert result == [x * x for x in items]
+        assert registry.counters["test.work"] == 6.0
+        assert registry.counters["test.sum"] == float(sum(items))
+
+    def test_worker_events_carry_worker_labels(self):
+        with obs.telemetry() as registry:
+            parallel_map(_instrumented_square, [1, 2, 3], jobs=2)
+        task_events = registry.events_of_kind("test.task")
+        assert sorted(record["item"] for record in task_events) == \
+            [1, 2, 3]
+        # Worker labels are the task indices, and seq stays monotone.
+        assert {record["worker"] for record in task_events} == \
+            {"0", "1", "2"}
+        seqs = [record["seq"] for record in registry.events]
+        assert seqs == sorted(seqs)
+
+    def test_serial_and_parallel_counters_identical(self):
+        items = list(range(5))
+        with obs.telemetry() as serial:
+            parallel_map(_instrumented_square, items, jobs=1)
+        with obs.telemetry() as parallel:
+            parallel_map(_instrumented_square, items, jobs=2)
+        assert serial.counters == parallel.counters
+        assert serial.gauges["test.last_item"] == \
+            parallel.gauges["test.last_item"]
+
+    def test_telemetry_off_captures_nothing(self):
+        obs.disable_telemetry()
+        registry = obs.reset_telemetry()
+        parallel_map(_instrumented_square, [1, 2], jobs=2)
+        assert not registry.counters
+        assert not registry.events
+
+    def test_analysis_sweep_counters_match_across_jobs(self):
+        """The acceptance-criterion shape on a real fan-out path:
+        a burstiness sweep reports the same merged simulation counters
+        serial and parallel."""
+        levels = np.array([0.0, 0.5])
+        kwargs = dict(setup=TINY, burstiness_levels=levels,
+                      n_periods=3, request_rate=40.0)
+        with obs.telemetry() as serial:
+            burstiness_robustness(jobs=1, **kwargs)
+        with obs.telemetry() as parallel:
+            burstiness_robustness(jobs=2, **kwargs)
+        assert serial.counters == parallel.counters
+        assert serial.ledger == parallel.ledger
 
 
 class TestJobsInvariance:

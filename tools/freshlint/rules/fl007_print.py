@@ -6,6 +6,14 @@ from a solver corrupts machine-readable output (the CLI's JSON mode,
 benchmark CSVs) and cannot be routed or silenced.  Entry-point scripts
 (``cli.py``, ``__main__.py``, ``examples/``, ``benchmarks/``) are the
 places that talk to humans.
+
+Autofix: a plain ``print(a, b, ...)`` (positional args only) becomes
+``logging.getLogger(__name__).info(...)`` — one argument passes
+through unchanged, several become a lazily-formatted ``"%s %s"``
+message matching print's space-separated output — and ``import
+logging`` is inserted once if the module lacks it.  Calls using
+``sep``/``end``/``file``/``flush`` or starred arguments change
+semantics under any rewrite, so they are reported without a fix.
 """
 
 from __future__ import annotations
@@ -13,10 +21,81 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
+from freshlint.autofix import Fix, TextEdit
 from freshlint.engine import ModuleContext, Violation
 from freshlint.rules.base import Rule
 
 __all__ = ["NoPrintInLibrary"]
+
+
+def _imports_logging(tree: ast.Module) -> bool:
+    """Whether the module's top level already imports ``logging``."""
+    for node in tree.body:
+        if isinstance(node, ast.Import) and any(
+                alias.name.split(".")[0] == "logging"
+                for alias in node.names):
+            return True
+        if isinstance(node, ast.ImportFrom) and \
+                (node.module or "").split(".")[0] == "logging":
+            return True
+    return False
+
+
+def _import_logging_edit(context: ModuleContext) -> TextEdit | None:
+    """An insertion adding ``import logging``, or None if present.
+
+    The insertion lands after the module docstring and any
+    ``__future__`` imports (which must stay first), before everything
+    else.
+    """
+    if _imports_logging(context.tree):
+        return None
+    line = 1
+    for statement in context.tree.body:
+        is_docstring = (isinstance(statement, ast.Expr)
+                        and isinstance(statement.value, ast.Constant)
+                        and isinstance(statement.value.value, str))
+        is_future = (isinstance(statement, ast.ImportFrom)
+                     and statement.module == "__future__")
+        if not (is_docstring or is_future):
+            break
+        line = (statement.end_lineno or statement.lineno) + 1
+    return TextEdit(line=line, col=0, end_line=line, end_col=0,
+                    replacement="import logging\n")
+
+
+def _print_fix(context: ModuleContext, node: ast.Call) -> Fix | None:
+    """A ``print → logging`` rewrite, or None when semantics would
+    change (keywords, starred args, unreadable spans)."""
+    if node.keywords:
+        return None
+    if any(isinstance(arg, ast.Starred) for arg in node.args):
+        return None
+    if node.end_lineno is None or node.end_col_offset is None:
+        return None
+    segments = []
+    for arg in node.args:
+        segment = ast.get_source_segment(context.source, arg)
+        if segment is None:
+            return None
+        segments.append(segment)
+    logger = "logging.getLogger(__name__)"
+    if not segments:
+        call = f'{logger}.info("")'
+    elif len(segments) == 1:
+        call = f"{logger}.info({segments[0]})"
+    else:
+        template = " ".join(["%s"] * len(segments))
+        call = f'{logger}.info("{template}", {", ".join(segments)})'
+    edits = [TextEdit(line=node.lineno, col=node.col_offset,
+                      end_line=node.end_lineno,
+                      end_col=node.end_col_offset, replacement=call)]
+    import_edit = _import_logging_edit(context)
+    if import_edit is not None:
+        edits.append(import_edit)
+    return Fix(description="replace print() with "
+                           "logging.getLogger(__name__).info()",
+               edits=tuple(edits))
 
 
 class NoPrintInLibrary(Rule):
@@ -37,4 +116,5 @@ class NoPrintInLibrary(Rule):
                 yield self.violation(
                     context, node,
                     "print() in library code; return the value, raise, "
-                    "or use the logging module so output stays routable")
+                    "or use the logging module so output stays routable",
+                    fix=_print_fix(context, node))
