@@ -25,6 +25,7 @@ from functools import partial
 import numpy as np
 
 from repro.analysis.tables import format_table
+from repro.core.selection import SpaceConstrainedFreshener
 from repro.errors import ValidationError
 from repro.faults.breaker import CircuitBreaker
 from repro.faults.scenarios import CHAOS_SCENARIOS, ChaosScenario
@@ -34,8 +35,8 @@ from repro.runtime.manager import AdaptiveMirrorManager, PeriodReport
 from repro.workloads.catalog import Catalog
 from repro.workloads.presets import ExperimentSetup, build_catalog
 
-__all__ = ["CHAOS_SETUP", "ChaosReport", "format_chaos_report",
-           "run_chaos"]
+__all__ = ["CHAOS_SETUP", "ChaosReport", "chaos_report_to_dict",
+           "format_chaos_report", "run_chaos"]
 
 #: Default workload for chaos runs: small enough that a full
 #: three-arm scenario finishes in seconds, busy enough (update rate
@@ -66,6 +67,11 @@ class ChaosReport:
         aware_failed: Failed wire attempts per period, degraded arm.
         blind_retries: Retries per period, blind arm.
         aware_retries: Retries per period, degraded arm.
+        blind_suppressed: Retries refused by the shared herding
+            admission gate per period, blind arm (all-zero when the
+            scenario carries no gate).
+        aware_suppressed: Gate-suppressed retries per period,
+            degraded arm.
     """
 
     scenario: ChaosScenario
@@ -78,6 +84,8 @@ class ChaosReport:
     aware_failed: np.ndarray
     blind_retries: np.ndarray
     aware_retries: np.ndarray
+    blind_suppressed: np.ndarray
+    aware_suppressed: np.ndarray
 
     def _steady(self, series: np.ndarray) -> float:
         return float(series[self.warmup:].mean())
@@ -107,6 +115,16 @@ class ChaosReport:
         """PF degraded-mode planning buys back (degraded − blind)."""
         return self.aware_mean - self.blind_mean
 
+    @property
+    def blind_suppressed_total(self) -> int:
+        """Total gate-suppressed retries across the blind arm."""
+        return int(self.blind_suppressed.sum())
+
+    @property
+    def aware_suppressed_total(self) -> int:
+        """Total gate-suppressed retries across the degraded arm."""
+        return int(self.aware_suppressed.sum())
+
 
 def _run_arm(catalog: Catalog, scenario: ChaosScenario, *,
              faulty: bool,
@@ -118,19 +136,32 @@ def _run_arm(catalog: Catalog, scenario: ChaosScenario, *,
             if faulty else None)
     breaker = None
     shard_of = None
+    topology = (scenario.topology(catalog.n_elements)
+                if faulty else None)
     if faulty and scenario.breaker_threshold is not None:
         breaker = CircuitBreaker(
             scenario.n_shards(catalog.n_elements),
             failure_threshold=scenario.breaker_threshold,
             cooldown=scenario.breaker_cooldown)
         shard_of = scenario.shard_of(catalog.n_elements)
+    freshener = None
+    if scenario.selection_capacity_fraction is not None:
+        # The §7 space-constrained path, in *every* arm (including
+        # the fault-free ceiling) so the comparison isolates fault
+        # handling, not planner choice.
+        freshener = SpaceConstrainedFreshener(
+            float(catalog.sizes.sum())
+            * scenario.selection_capacity_fraction)
     manager = AdaptiveMirrorManager(
         catalog, bandwidth, request_rate=request_rate,
         rng=seed_rng(seed),
+        freshener=freshener,
         fault_plan=plan,
-        retry_policy=scenario.retry_policy if faulty else None,
+        retry_policy=(scenario.retry_policy_for_run()
+                      if faulty else None),
         breaker=breaker,
         shard_of=shard_of,
+        topology=topology,
         fault_aware=fault_aware,
         replan_every=replan_every)
     return manager.run(n_periods)
@@ -224,6 +255,10 @@ def run_chaos(scenario: str | ChaosScenario, *,
         aware_failed=series("aware", lambda r: r.failed_polls),
         blind_retries=series("blind", lambda r: r.retries),
         aware_retries=series("aware", lambda r: r.retries),
+        blind_suppressed=series("blind",
+                                lambda r: r.suppressed_retries),
+        aware_suppressed=series("aware",
+                                lambda r: r.suppressed_retries),
     )
     if obs.telemetry_enabled():
         obs.counter_add("chaos.runs")
@@ -235,7 +270,8 @@ def run_chaos(scenario: str | ChaosScenario, *,
                   blind_pf=report.blind_mean,
                   aware_pf=report.aware_mean,
                   degradation=report.degradation,
-                  recovery=report.recovery)
+                  recovery=report.recovery,
+                  suppressed_retries=report.aware_suppressed_total)
     return report
 
 
@@ -276,4 +312,40 @@ def format_chaos_report(report: ChaosReport, *,
         f"  degradation (ceiling - blind)  {report.degradation:+.4f}",
         f"  recovery (degraded - blind)    {report.recovery:+.4f}",
     ]
+    if report.scenario.gate_capacity is not None:
+        lines.append(
+            f"  herding-gate suppressed retries  blind "
+            f"{report.blind_suppressed_total}, degraded "
+            f"{report.aware_suppressed_total}")
     return "\n".join(lines)
+
+
+def chaos_report_to_dict(report: ChaosReport) -> dict:
+    """Flatten a chaos report into a JSON-serializable dict.
+
+    The CLI's ``--report-json`` artifact and CI's chaos-smoke job
+    both consume this shape; series are plain lists, summary scalars
+    are floats/ints.
+    """
+    return {
+        "scenario": report.scenario.name,
+        "description": report.scenario.description,
+        "n_periods": report.n_periods,
+        "warmup": report.warmup,
+        "baseline_pf": [float(x) for x in report.baseline_pf],
+        "blind_pf": [float(x) for x in report.blind_pf],
+        "aware_pf": [float(x) for x in report.aware_pf],
+        "blind_failed": [int(x) for x in report.blind_failed],
+        "aware_failed": [int(x) for x in report.aware_failed],
+        "blind_retries": [int(x) for x in report.blind_retries],
+        "aware_retries": [int(x) for x in report.aware_retries],
+        "blind_suppressed": [int(x) for x in report.blind_suppressed],
+        "aware_suppressed": [int(x) for x in report.aware_suppressed],
+        "baseline_mean": report.baseline_mean,
+        "blind_mean": report.blind_mean,
+        "aware_mean": report.aware_mean,
+        "degradation": report.degradation,
+        "recovery": report.recovery,
+        "blind_suppressed_total": report.blind_suppressed_total,
+        "aware_suppressed_total": report.aware_suppressed_total,
+    }

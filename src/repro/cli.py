@@ -261,9 +261,14 @@ def _chaos_scenario_task(name: str, *, n_periods: int, warmup: int,
 
 
 def _run_chaos(args: argparse.Namespace) -> None:
+    import json
     from functools import partial
 
-    from repro.analysis.chaos import format_chaos_report, run_chaos
+    from repro.analysis.chaos import (
+        chaos_report_to_dict,
+        format_chaos_report,
+        run_chaos,
+    )
     from repro.faults.scenarios import CHAOS_SCENARIOS
     from repro.parallel import parallel_map
 
@@ -287,6 +292,13 @@ def _run_chaos(args: argparse.Namespace) -> None:
     for report in reports:
         print(format_chaos_report(report, every=every))
         print()
+    if getattr(args, "report_json", None):
+        path = Path(args.report_json)
+        path.write_text(
+            json.dumps([chaos_report_to_dict(report)
+                        for report in reports], indent=2) + "\n",
+            encoding="utf-8")
+        print(f"(wrote {path})")
 
 
 def _adapt_scenario_task(scenario_name: str | None, *, seed: int,
@@ -309,7 +321,10 @@ def _adapt_scenario_task(scenario_name: str | None, *, seed: int,
         scenario = CHAOS_SCENARIOS[scenario_name]
         kwargs["fault_plan"] = scenario.plan(catalog.n_elements,
                                              float(periods))
-        kwargs["retry_policy"] = scenario.retry_policy
+        kwargs["retry_policy"] = scenario.retry_policy_for_run()
+        topology = scenario.topology(catalog.n_elements)
+        if topology is not None:
+            kwargs["topology"] = topology
         if scenario.breaker_threshold is not None:
             kwargs["breaker"] = CircuitBreaker(
                 scenario.n_shards(catalog.n_elements),
@@ -483,7 +498,22 @@ def build_parser() -> argparse.ArgumentParser:
                     "Application-Aware Data Freshening' (ICDE 2003).")
     subparsers = parser.add_subparsers(dest="command", required=True)
     for name, (_, help_text) in _COMMANDS.items():
-        sub = subparsers.add_parser(name, help=help_text)
+        extra: dict = {}
+        if name == "chaos":
+            # The scenario table is generated from the registry, so
+            # --help can never drift from the ChaosScenario entries.
+            from repro.faults.scenarios import CHAOS_SCENARIOS
+
+            width = max(len(key) for key in CHAOS_SCENARIOS)
+            rows = "\n".join(
+                f"  {key.ljust(width)}  {scenario.description}"
+                for key, scenario in sorted(CHAOS_SCENARIOS.items()))
+            extra = {
+                "epilog": "scenarios:\n" + rows,
+                "formatter_class":
+                    argparse.RawDescriptionHelpFormatter,
+            }
+        sub = subparsers.add_parser(name, help=help_text, **extra)
         sub.add_argument("--seed", type=int, default=0,
                          help="workload seed (default 0)")
         sub.add_argument("--quick", action="store_true",
@@ -515,10 +545,15 @@ def build_parser() -> argparse.ArgumentParser:
                 sub.add_argument(
                     "--scenario", choices=[*choices, "all"],
                     default="iid20",
-                    help="fault scenario to run (default iid20)")
+                    help="fault scenario to run (default iid20; see "
+                         "the scenario table below)")
                 sub.add_argument(
                     "--periods", type=int, default=60,
                     help="periods per arm (default 60)")
+                sub.add_argument(
+                    "--report-json", metavar="PATH", default=None,
+                    help="also write the ChaosReport series and "
+                         "summary stats as JSON to PATH")
             else:
                 sub.add_argument(
                     "--scenario", choices=[*choices, "all"],

@@ -35,13 +35,14 @@ from enum import Enum
 
 import numpy as np
 
+from repro.core.freshener import Freshener, FresheningPlan
 from repro.core.freshness import FixedOrderPolicy, FreshnessModel
 from repro.core.solver import ScheduleSolution, solve_weighted_problem
 from repro.errors import ValidationError
 from repro.workloads.catalog import Catalog
 
 __all__ = ["SelectionStrategy", "MirrorSelection", "select_mirror",
-           "plan_selected_mirror"]
+           "plan_selected_mirror", "SpaceConstrainedFreshener"]
 
 _DEFAULT_MODEL = FixedOrderPolicy()
 
@@ -205,3 +206,67 @@ def plan_selected_mirror(catalog: Catalog, capacity: float,
         space_used=float(catalog.sizes[indices].sum()),
         solution=solution,
     )
+
+
+class SpaceConstrainedFreshener(Freshener):
+    """§7 selection as a drop-in :class:`~repro.core.freshener.
+    Freshener` strategy.
+
+    Wraps :func:`plan_selected_mirror` behind the standard
+    ``plan(catalog, bandwidth)`` interface so the adaptive manager —
+    and through it the chaos harness — can run the space-constrained
+    path everywhere the exact or partitioned planners go.  Each replan
+    re-selects mirror contents under the fixed space capacity and
+    solves the Core Problem over the chosen subset; elements left out
+    get zero frequency, exactly like an outage plan's dead elements.
+
+    Args:
+        capacity: Mirror space, in size units, > 0.  Held fixed
+            across replans — when the manager re-solves over a
+            reachable sub-catalog, the selection runs inside the same
+            space budget.
+        strategy: Selection scoring rule (deterministic rules only;
+            ``random`` needs an rng the freshener interface does not
+            carry).
+        model: Freshness model for planning and the achievable score.
+    """
+
+    def __init__(self, capacity: float, *,
+                 strategy: SelectionStrategy | str =
+                 SelectionStrategy.INTEREST_PER_SIZE,
+                 model: FreshnessModel | None = None) -> None:
+        super().__init__(model=model)
+        if capacity <= 0.0:
+            raise ValidationError(
+                f"capacity must be > 0, got {capacity}")
+        strategy = SelectionStrategy.coerce(strategy)
+        if strategy is SelectionStrategy.RANDOM:
+            raise ValidationError(
+                "SpaceConstrainedFreshener needs a deterministic "
+                "strategy; 'random' requires an rng")
+        self._capacity = capacity
+        self._strategy = strategy
+
+    @property
+    def capacity(self) -> float:
+        """Mirror space budget, in size units."""
+        return self._capacity
+
+    def plan(self, catalog: Catalog,
+             bandwidth: float) -> FresheningPlan:
+        """Select mirror contents, then solve over the subset.
+
+        ``bandwidth`` is in size units per period; frequencies of
+        unselected elements are zero.
+        """
+        selection = plan_selected_mirror(
+            catalog, self._capacity, bandwidth,
+            strategy=self._strategy, model=self._model)
+        return self._finish(catalog, selection.frequencies, {
+            "technique": "space-constrained",
+            "strategy": self._strategy.value,
+            "capacity": self._capacity,
+            "selected": int(selection.indices.size),
+            "covered_interest": selection.covered_interest,
+            "space_used": selection.space_used,
+        })

@@ -14,12 +14,20 @@ they do.
   circuit breakers on simulated time.
 * :mod:`repro.faults.channel` — the retrying :class:`SyncChannel`
   the simulator polls through, with per-period budget accounting.
+* :mod:`repro.faults.topology` — seeded source→relay→edge trees with
+  per-hop bandwidth ledgers and latency (:class:`Topology`,
+  :class:`HopLedger`).
+* :mod:`repro.faults.correlated` — node outages propagated through
+  the tree's dependency graph (:class:`CorrelatedFaultModel`): a
+  relay failure darkens its whole subtree, with per-hop recovery
+  debounce, pre-sampled for CRN reproducibility.
 * :mod:`repro.faults.scenarios` — named chaos scenarios consumed by
   the ``repro chaos`` harness (:mod:`repro.analysis.chaos`).
 """
 
 from repro.faults.breaker import BreakerState, CircuitBreaker
 from repro.faults.channel import PollReport, SyncChannel
+from repro.faults.correlated import CorrelatedFaultModel, NodeOutage
 from repro.faults.model import (
     FaultModel,
     FaultPlan,
@@ -30,27 +38,34 @@ from repro.faults.model import (
     PollOutcome,
 )
 from repro.faults.retry import (
+    RetryAdmissionGate,
     RetryBudgetExhaustedError,
     RetryPolicy,
     execute_with_retry,
 )
 from repro.faults.scenarios import CHAOS_SCENARIOS, ChaosScenario
+from repro.faults.topology import HopLedger, Topology
 
 __all__ = [
     "BreakerState",
     "CHAOS_SCENARIOS",
     "ChaosScenario",
     "CircuitBreaker",
+    "CorrelatedFaultModel",
     "execute_with_retry",
     "FaultModel",
     "FaultPlan",
     "GilbertElliottFaultModel",
+    "HopLedger",
     "IIDFaultModel",
     "LatencyFaultModel",
+    "NodeOutage",
     "OutageWindow",
     "PollOutcome",
     "PollReport",
+    "RetryAdmissionGate",
     "RetryBudgetExhaustedError",
     "RetryPolicy",
     "SyncChannel",
+    "Topology",
 ]

@@ -33,6 +33,7 @@ from repro.errors import SimulationError, ValidationError
 from repro.faults.breaker import CircuitBreaker
 from repro.faults.model import FaultPlan, PollOutcome
 from repro.faults.retry import RetryPolicy
+from repro.faults.topology import HopLedger, Topology
 from repro.obs import registry as obs
 
 if TYPE_CHECKING:  # keeps faults below sim in the layering
@@ -84,6 +85,12 @@ class SyncChannel:
             policy).
         period_length: Clock length of one budget period, in the
             simulation's time units, > 0.
+        topology: Optional relay tree between source and mirror.
+            When given, every attempt must also fit the per-hop
+            ledgers on the element's root-to-edge path (all-or-
+            nothing), completions are delayed by the path's summed
+            hop latency, and ``shard_of`` defaults to the topology's
+            subtree-derived shard map.
         record_trace: When True, keep a per-attempt trace (time,
             element, outcome) for determinism audits.
     """
@@ -95,9 +102,16 @@ class SyncChannel:
                  shard_of: np.ndarray | None = None,
                  bandwidth_budget: float | None = None,
                  period_length: float = 1.0,
+                 topology: Topology | None = None,
                  record_trace: bool = False) -> None:
         n = mirror.n_elements
-        if shard_of is None:
+        if topology is not None and topology.n_elements != n:
+            raise ValidationError(
+                f"topology hosts {topology.n_elements} elements, "
+                f"mirror has {n}")
+        if shard_of is None and topology is not None:
+            self._shard_of = topology.shard_of
+        elif shard_of is None:
             self._shard_of = np.arange(n, dtype=np.int64)
         else:
             self._shard_of = np.asarray(shard_of, dtype=np.int64)
@@ -125,6 +139,14 @@ class SyncChannel:
         self._breaker = breaker
         self._budget = bandwidth_budget
         self._period_length = period_length
+        self._topology = topology
+        self._hops = (HopLedger(topology, period_length)
+                      if topology is not None else None)
+        # Last time refreshed content crossed each hop, in the
+        # simulation's time units; 0.0 = "fresh at the epoch", so hop
+        # ages start at the clock and compose along paths.
+        self._hop_last_transit = (np.zeros(topology.n_nodes)
+                                  if topology is not None else None)
         self._period = 0
         self._period_spent = 0.0
         self._attempted_polls = 0
@@ -134,6 +156,8 @@ class SyncChannel:
         self._breaker_skips = 0
         self._denied_polls = 0
         self._denied_retries = 0
+        self._hop_denied = 0
+        self._suppressed_retries = 0
         self._attempted_bandwidth = 0.0
         self._attempt_counts = np.zeros(n, dtype=np.int64)
         self._failed_counts = np.zeros(n, dtype=np.int64)
@@ -183,9 +207,65 @@ class SyncChannel:
         return self._denied_retries
 
     @property
+    def hop_denied(self) -> int:
+        """Attempts denied by a saturated hop ledger on the
+        element's path (a subset of ``denied_polls`` +
+        ``denied_retries``; 0 without a topology)."""
+        return self._hop_denied
+
+    @property
+    def suppressed_retries(self) -> int:
+        """Retries refused by the shared herding admission gate
+        (0 when the retry policy carries no gate)."""
+        return self._suppressed_retries
+
+    @property
     def attempted_bandwidth(self) -> float:
         """Bandwidth burned across every attempt, in size units."""
         return self._attempted_bandwidth
+
+    @property
+    def topology(self) -> Topology | None:
+        """The relay tree this channel polls through, if any."""
+        return self._topology
+
+    def hop_spent(self) -> np.ndarray:
+        """Bandwidth charged per hop in the current period, in size
+        units (empty array without a topology)."""
+        if self._hops is None:
+            return np.zeros(0)
+        return self._hops.hop_spent()
+
+    def hop_ages(self, now: float) -> np.ndarray:
+        """Per-hop content age at simulated ``now``, in the
+        simulation's time units.
+
+        A hop's age is the time since refreshed content last crossed
+        its uplink; an edge's composed staleness bound is the max age
+        along its root-to-edge path (see :meth:`composed_ages`).
+        Empty array without a topology.
+        """
+        if self._hop_last_transit is None:
+            return np.zeros(0)
+        return np.maximum(now - self._hop_last_transit, 0.0)
+
+    def composed_ages(self, now: float) -> np.ndarray:
+        """Per-element composed age at simulated ``now``: the max hop
+        age along each element's root-to-edge path, in the
+        simulation's time units.
+
+        This is the relay-tree freshness composition: an edge cannot
+        be fresher than the stalest hop feeding it.  Empty array
+        without a topology.
+        """
+        if self._topology is None or self._hop_last_transit is None:
+            return np.zeros(0)
+        ages = self.hop_ages(now)
+        out = np.empty(self._topology.n_elements)
+        for element in range(self._topology.n_elements):
+            path = list(self._topology.path_of_element(element))
+            out[element] = float(ages[path].max())
+        return out
 
     def attempted_poll_counts(self) -> np.ndarray:
         """Attempts per element (dimensionless counts)."""
@@ -252,6 +332,18 @@ class SyncChannel:
             return PollReport(outcome=PollOutcome.UNREACHABLE,
                               attempts=0, retries=0, changed=False,
                               bandwidth=0.0)
+        if self._hops is not None and \
+                self._hops.admits(element, size, time) is not None:
+            # Some hop on the root-to-edge path is saturated for this
+            # period: the poll cannot transit, even if the source's
+            # flat budget has headroom.
+            self._denied_polls += 1
+            self._hop_denied += 1
+            obs.counter_add("faults.denied_polls")
+            obs.counter_add("faults.topology.hop_denied")
+            return PollReport(outcome=PollOutcome.UNREACHABLE,
+                              attempts=0, retries=0, changed=False,
+                              bandwidth=0.0)
         attempts = 0
         burned = 0.0
         delay = 0.0
@@ -268,10 +360,13 @@ class SyncChannel:
                                     outcome.value))
             if outcome is not PollOutcome.UNREACHABLE:
                 # The transfer ran (successfully or not): it burned
-                # the element's size from the period budget.
+                # the element's size from the period budget — and
+                # from every hop ledger on its path.
                 burned += size
                 self._period_spent += size
                 self._attempted_bandwidth += size
+                if self._hops is not None:
+                    self._hops.charge(element, size)
             if outcome is PollOutcome.OK:
                 break
             self._failed_polls += 1
@@ -289,20 +384,48 @@ class SyncChannel:
                 self._denied_retries += 1
                 obs.counter_add("faults.denied_retries")
                 break
+            if self._hops is not None and \
+                    self._hops.admits(element, size,
+                                      attempt_time) is not None:
+                self._denied_retries += 1
+                self._hop_denied += 1
+                obs.counter_add("faults.denied_retries")
+                obs.counter_add("faults.topology.hop_denied")
+                break
+            if self._retry.admission_gate is not None:
+                if not self._retry.admission_gate.admit(attempt_time):
+                    # The source's shared retry bucket is dry — this
+                    # channel's retry would have joined a herd.
+                    self._suppressed_retries += 1
+                    obs.counter_add("faults.herding.suppressed")
+                    break
+                obs.counter_add("faults.herding.admitted")
             delay = self._retry.next_delay(delay, self._rng)
             attempt_time += delay
             self._retries += 1
             obs.counter_add("faults.retries")
 
+        completion = attempt_time
+        if self._topology is not None:
+            # The transfer is not done until it has transited every
+            # hop: completions lag by the path's summed latency.
+            completion += self._topology.path_latency(element)
         if outcome is PollOutcome.OK:
             if self._breaker is not None:
-                self._breaker.record_success(shard, attempt_time)
+                self._breaker.record_success(shard, completion)
+            if self._topology is not None and \
+                    self._hop_last_transit is not None:
+                arrival = attempt_time
+                for node in self._topology.path_of_element(element):
+                    arrival += float(self._topology.link_latency[node])
+                    self._hop_last_transit[node] = max(
+                        self._hop_last_transit[node], arrival)
             changed = self._mirror.sync(element)
             return PollReport(outcome=outcome, attempts=attempts,
                               retries=attempts - 1, changed=changed,
                               bandwidth=burned)
         if self._breaker is not None:
-            self._breaker.record_failure(shard, attempt_time)
+            self._breaker.record_failure(shard, completion)
         obs.counter_add("faults.failed_syncs")
         return PollReport(outcome=outcome, attempts=attempts,
                           retries=attempts - 1, changed=False,

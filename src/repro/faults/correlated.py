@@ -1,0 +1,213 @@
+"""Correlated faults driven through a relay-tree dependency graph.
+
+The flat :class:`~repro.faults.model.OutageWindow` names elements
+directly; real outages hit *nodes* — a relay dies and every edge
+cache below it goes dark at once.  :class:`CorrelatedFaultModel`
+expresses exactly that: outage windows attach to topology nodes, and
+an element is UNREACHABLE whenever any ancestor on its root-to-edge
+path is inside a window (descendant closure).  Recovery is staggered
+per hop — an edge two hops below a recovered relay rejoins
+``2 × recovery_debounce`` later than the relay itself, the way real
+caches re-establish sessions down the tree.
+
+Determinism: random node outages are **pre-sampled at construction**
+from a ``SeedSequence``-derived generator, in fixed node order, so
+:meth:`CorrelatedFaultModel.outcome` consumes *zero* draws from the
+channel's generator.  The fault trace therefore depends only on the
+model's own seed — never on poll order, retry counts, or worker
+count — which is what keeps relay-cascade runs bit-identical across
+``--jobs 1`` and ``--jobs 4``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.faults.model import FaultModel, PollOutcome
+from repro.faults.topology import Topology
+
+__all__ = ["CorrelatedFaultModel", "NodeOutage"]
+
+
+@dataclass(frozen=True)
+class NodeOutage:
+    """A timed outage of one topology node.
+
+    While the window is open the node — and by descendant closure,
+    every element whose path crosses it — is unreachable.
+
+    Attributes:
+        node: Topology node id that is down (>= 1; the source cannot
+            fail).
+        start: Window start, in simulated clock time (period units).
+        end: Window end (exclusive), in period units, > ``start``.
+    """
+
+    node: int
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.node < 1:
+            raise ValidationError(
+                f"node must be >= 1 (the source cannot fail), got "
+                f"{self.node}")
+        if self.end <= self.start:
+            raise ValidationError(
+                f"outage window must have end > start, got "
+                f"[{self.start}, {self.end})")
+
+
+class CorrelatedFaultModel(FaultModel):
+    """Node outages propagated to every descendant element.
+
+    Combines explicitly ``scheduled`` windows with optionally sampled
+    random ones (a per-node Poisson outage process over a fixed
+    horizon).  All sampling happens here, at construction, from the
+    model's own seed — :meth:`outcome` is a pure table lookup that
+    consumes no draws, so the channel's CRN stream is untouched and
+    fault draws cannot diverge across schedules or worker counts.
+
+    Because outages are node-level, failures are *correlated by
+    construction*: a relay window makes every element below it
+    UNREACHABLE for the same interval, which no per-element model can
+    express.
+
+    Args:
+        topology: The relay tree the outages propagate through.
+        scheduled: Deterministic node outage windows.
+        random_rate: Expected random outages per node per period
+            (dimensionless rate), >= 0; 0 disables sampling.
+        mean_duration: Mean sampled outage duration, in period
+            units, > 0.
+        horizon: Sampling horizon, in period units (windows start in
+            ``[0, horizon)``), > 0 when sampling.
+        seed: Seed for the sampling generator (dimensionless).
+        recovery_debounce: Extra unreachable time per hop between the
+            failed node and an element's edge cache, in period
+            units, >= 0 — deeper descendants rejoin later.
+    """
+
+    def __init__(self, topology: Topology, *,
+                 scheduled: tuple[NodeOutage, ...] = (),
+                 random_rate: float = 0.0,
+                 mean_duration: float = 1.0,
+                 horizon: float = 0.0,
+                 seed: int = 0,
+                 recovery_debounce: float = 0.0) -> None:
+        if random_rate < 0.0:
+            raise ValidationError(
+                f"random_rate must be >= 0, got {random_rate}")
+        if mean_duration <= 0.0:
+            raise ValidationError(
+                f"mean_duration must be > 0, got {mean_duration}")
+        if random_rate > 0.0 and horizon <= 0.0:
+            raise ValidationError(
+                f"horizon must be > 0 when sampling, got {horizon}")
+        if recovery_debounce < 0.0:
+            raise ValidationError(
+                f"recovery_debounce must be >= 0, got "
+                f"{recovery_debounce}")
+        for outage in scheduled:
+            if outage.node >= topology.n_nodes:
+                raise ValidationError(
+                    f"scheduled outage names node {outage.node}, "
+                    f"outside [1, {topology.n_nodes})")
+        self._topology = topology
+        self._debounce = recovery_debounce
+        outages = list(scheduled)
+        if random_rate > 0.0:
+            outages.extend(self._sample(topology, random_rate,
+                                        mean_duration, horizon, seed))
+        self._outages = tuple(sorted(
+            outages, key=lambda o: (o.start, o.node, o.end)))
+        # Per-element unreachable windows, closed over ancestors and
+        # extended by the per-hop recovery debounce.
+        windows: list[tuple[tuple[float, float], ...]] = []
+        for element in range(topology.n_elements):
+            path = topology.path_of_element(element)
+            spans: list[tuple[float, float]] = []
+            for outage in self._outages:
+                if outage.node not in path:
+                    continue
+                hops_below = len(path) - 1 - path.index(outage.node)
+                spans.append((outage.start,
+                              outage.end + self._debounce * hops_below))
+            windows.append(tuple(spans))
+        self._windows = tuple(windows)
+
+    @staticmethod
+    def _sample(topology: Topology, rate: float, mean_duration: float,
+                horizon: float, seed: int) -> list[NodeOutage]:
+        # Fixed node-order sampling from a dedicated generator: the
+        # draw sequence depends only on (topology shape, seed), never
+        # on how the model is later queried.
+        rng = np.random.default_rng(np.random.SeedSequence(seed))
+        sampled: list[NodeOutage] = []
+        for node in range(1, topology.n_nodes):
+            count = int(rng.poisson(rate * horizon))
+            if count == 0:
+                continue
+            starts = np.sort(rng.uniform(0.0, horizon, size=count))
+            durations = rng.exponential(mean_duration, size=count)
+            for start, duration in zip(starts.tolist(),
+                                       durations.tolist()):
+                sampled.append(NodeOutage(node=node, start=start,
+                                          end=start + duration))
+        return sampled
+
+    @property
+    def topology(self) -> Topology:
+        """The relay tree the outages propagate through."""
+        return self._topology
+
+    @property
+    def outages(self) -> tuple[NodeOutage, ...]:
+        """All node outage windows (scheduled + sampled), sorted by
+        start time."""
+        return self._outages
+
+    def node_down(self, node: int, time: float) -> bool:
+        """Whether ``node`` itself is inside an outage window at
+        simulated ``time`` (period units), before descendant closure
+        or debounce."""
+        return any(o.node == node and o.start <= time < o.end
+                   for o in self._outages)
+
+    def element_unreachable(self, element: int, time: float) -> bool:
+        """Whether any ancestor outage makes ``element`` dark.
+
+        Args:
+            element: Element index.
+            time: Simulated clock time, in period units.
+
+        Returns:
+            True when ``time`` falls inside any (debounce-extended)
+            window of a node on the element's path.
+        """
+        return any(start <= time < end
+                   for start, end in self._windows[element])
+
+    def unreachable_elements(self, time: float) -> np.ndarray:
+        """Boolean unreachable mask over all elements at ``time``
+        (simulated clock, period units)."""
+        mask = np.zeros(self._topology.n_elements, dtype=bool)
+        for element in range(self._topology.n_elements):
+            if self.element_unreachable(element, time):
+                mask[element] = True
+        return mask
+
+    def outcome(self, element: int, time: float,
+                rng: np.random.Generator) -> PollOutcome:
+        """Look up the attempt outcome; consumes **zero** draws.
+
+        The channel's generator is accepted (the :class:`FaultModel`
+        contract) but never used — all randomness was spent at
+        construction.
+        """
+        if self.element_unreachable(element, time):
+            return PollOutcome.UNREACHABLE
+        return PollOutcome.OK

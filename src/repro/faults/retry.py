@@ -25,10 +25,94 @@ import numpy as np
 
 from repro.errors import ValidationError
 
-__all__ = ["RetryBudgetExhaustedError", "RetryPolicy",
-           "execute_with_retry"]
+__all__ = ["RetryAdmissionGate", "RetryBudgetExhaustedError",
+           "RetryPolicy", "execute_with_retry"]
 
 T = TypeVar("T")
+
+
+class RetryAdmissionGate:
+    """A shared per-source token bucket that admits retries.
+
+    Decorrelated jitter spreads retriers *in time*; it cannot bound
+    how many of them a source absorbs at once.  When a relay
+    recovers, every descendant edge's pending retry fires inside one
+    backoff window — the classic herding storm.  This gate is the
+    missing aggregate bound: one bucket shared by every channel
+    polling the same source, consulted before each retry.  A retry
+    that finds no token is suppressed (the sync gives up as if its
+    retry budget were exhausted) instead of piling on.
+
+    The bucket runs on *simulated* time passed in by callers (FL010:
+    no ambient clock) and refills monotonically — out-of-order admit
+    times, which backoff arithmetic produces freely, never rewind it,
+    so admission decisions are deterministic for a fixed sequence of
+    calls.
+
+    Args:
+        capacity: Maximum banked tokens (burst size), > 0
+            (dimensionless count; one token admits one retry).
+        refill_rate: Tokens restored per unit of simulated time, in
+            tokens per period, > 0.
+    """
+
+    def __init__(self, capacity: float, refill_rate: float) -> None:
+        if capacity <= 0.0:
+            raise ValidationError(
+                f"capacity must be > 0, got {capacity}")
+        if refill_rate <= 0.0:
+            raise ValidationError(
+                f"refill_rate must be > 0, got {refill_rate}")
+        self._capacity = float(capacity)
+        self._refill_rate = float(refill_rate)
+        self._tokens = float(capacity)
+        self._clock = 0.0
+        self._admitted = 0
+        self._suppressed = 0
+
+    @property
+    def capacity(self) -> float:
+        """Maximum banked tokens (dimensionless count)."""
+        return self._capacity
+
+    @property
+    def refill_rate(self) -> float:
+        """Refill rate, in tokens per period."""
+        return self._refill_rate
+
+    @property
+    def admitted(self) -> int:
+        """Retries admitted over the gate's lifetime."""
+        return self._admitted
+
+    @property
+    def suppressed(self) -> int:
+        """Retries refused over the gate's lifetime."""
+        return self._suppressed
+
+    def admit(self, time: float) -> bool:
+        """Spend one token for a retry at simulated ``time``.
+
+        Args:
+            time: Simulated clock time of the retry attempt, in
+                period units.  Times earlier than the bucket's
+                high-water mark refill nothing (monotonic clock).
+
+        Returns:
+            True when a token was available (the retry may proceed),
+            False when the retry must be suppressed.
+        """
+        if time > self._clock:
+            self._tokens = min(
+                self._capacity,
+                self._tokens + (time - self._clock) * self._refill_rate)
+            self._clock = time
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            self._admitted += 1
+            return True
+        self._suppressed += 1
+        return False
 
 
 class RetryBudgetExhaustedError(Exception):
@@ -54,11 +138,19 @@ class RetryPolicy:
             seconds in production), > 0.
         max_delay: Upper clamp on any single delay, in the same clock
             units, >= ``base_delay``.
+        admission_gate: Optional shared :class:`RetryAdmissionGate`
+            consulted before every retry — one bucket per *source*,
+            shared across the channels polling it, bounding the
+            aggregate retry rate (herding control).  None disables
+            gating.  The gate is mutable shared state: give each
+            independent run its own instance (see
+            ``ChaosScenario.retry_policy_for_run``).
     """
 
     max_retries: int = 3
     base_delay: float = 0.01
     max_delay: float = 0.25
+    admission_gate: RetryAdmissionGate | None = None
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -153,6 +245,11 @@ def execute_with_retry(operation: Callable[[], T], *,
                 raise RetryBudgetExhaustedError(
                     f"operation failed after {attempts} attempts",
                     attempts=attempts) from error
+            if policy.admission_gate is not None and \
+                    not policy.admission_gate.admit(clock()):
+                raise RetryBudgetExhaustedError(
+                    f"retry suppressed by admission gate after "
+                    f"{attempts} attempts", attempts=attempts) from error
             previous = policy.next_delay(previous, rng)
             if deadline is not None and \
                     (clock() - started) + previous > deadline:

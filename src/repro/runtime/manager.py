@@ -33,6 +33,7 @@ from repro.errors import ValidationError
 from repro.faults.breaker import CircuitBreaker
 from repro.faults.model import FaultPlan
 from repro.faults.retry import RetryPolicy
+from repro.faults.topology import Topology
 from repro.obs import registry as obs
 from repro.runtime.beliefs import BeliefState
 from repro.sim.evaluator import SimulationResult
@@ -64,6 +65,8 @@ class PeriodReport:
         failed_polls: Wire attempts that failed this period (0 on a
             fault-free run).
         retries: Retry attempts made this period.
+        suppressed_retries: Retries refused by the shared herding
+            admission gate this period (0 without a gated policy).
     """
 
     period: int
@@ -76,6 +79,7 @@ class PeriodReport:
     wasted_polls: float
     failed_polls: int = 0
     retries: int = 0
+    suppressed_retries: int = 0
 
 
 class AdaptiveMirrorManager:
@@ -104,7 +108,21 @@ class AdaptiveMirrorManager:
         breaker: Optional per-shard circuit breaker; held by the
             manager so its state persists across periods on one
             global fault clock.
-        shard_of: Element → breaker-shard map (identity by default).
+        shard_of: Element → breaker-shard map (identity by default;
+            the topology's subtree shard map when a topology is
+            given).
+        topology: Optional source→relay→edge tree the sync path runs
+            over.  A fault-aware manager uses its structure twice:
+            confirmed outages covering most of a relay's subtree are
+            *collapsed* to the whole subtree (one correlated belief
+            instead of N independent ones — the still-up-looking
+            members share the doomed uplink), and replans derate to
+            the bandwidth actually deliverable through reachable
+            subtrees rather than the nominal B.
+        subtree_outage_fraction: Fraction of a top-level subtree's
+            elements that must be in confirmed outage before the
+            whole subtree is collapsed, in ``(0, 1]``
+            (dimensionless).
         fault_aware: When True (default), the manager *plans around*
             the faults it observes: it derates bandwidth to
             ``B·(1−loss)`` using the believed loss rate (leaving
@@ -152,6 +170,8 @@ class AdaptiveMirrorManager:
                  retry_policy: RetryPolicy | None = None,
                  breaker: CircuitBreaker | None = None,
                  shard_of: np.ndarray | None = None,
+                 topology: Topology | None = None,
+                 subtree_outage_fraction: float = 0.5,
                  fault_aware: bool = True,
                  replan_loss_drift: float = 0.05,
                  max_loss_compensation: float = 0.95,
@@ -182,6 +202,15 @@ class AdaptiveMirrorManager:
             raise ValidationError(
                 "outage_confirmation must be >= 1, got "
                 f"{outage_confirmation}")
+        if not 0.0 < subtree_outage_fraction <= 1.0:
+            raise ValidationError(
+                "subtree_outage_fraction must be in (0, 1], got "
+                f"{subtree_outage_fraction}")
+        if topology is not None and \
+                topology.n_elements != true_catalog.n_elements:
+            raise ValidationError(
+                f"topology hosts {topology.n_elements} elements, "
+                f"catalog has {true_catalog.n_elements}")
         self._true_catalog = true_catalog
         self._bandwidth = bandwidth
         self._request_rate = request_rate
@@ -197,6 +226,10 @@ class AdaptiveMirrorManager:
         self._fault_plan = fault_plan
         self._retry_policy = retry_policy
         self._breaker = breaker
+        self._topology = topology
+        self._subtree_fraction = subtree_outage_fraction
+        if shard_of is None and topology is not None:
+            shard_of = topology.shard_of
         self._shard_of = shard_of
         self._fault_aware = fault_aware
         self._replan_loss_drift = replan_loss_drift
@@ -301,12 +334,30 @@ class AdaptiveMirrorManager:
         Only elements unreachable for ``outage_confirmation``
         consecutive period ends count — a flap shorter than the
         confirmation window never makes it into a plan.
+
+        With a topology, confirmed outages covering at least
+        ``subtree_outage_fraction`` of a top-level subtree are
+        collapsed to the whole subtree: the remaining members share
+        the same doomed uplink, so learning their losses one breaker
+        shard at a time just delays the inevitable.
         """
         if not self._fault_aware or self._outage_streak is None:
             return None
         confirmed = self._outage_streak >= self._outage_confirmation
         if not confirmed.any():
             return None
+        if self._topology is not None:
+            subtree = self._topology.subtree_of
+            for index in range(self._topology.n_subtrees):
+                members = subtree == index
+                total = int(members.sum())
+                if total == 0 or confirmed[members].all():
+                    continue
+                down = int(confirmed[members].sum())
+                if down / total >= self._subtree_fraction:
+                    confirmed = confirmed | members
+                    if obs.telemetry_enabled():
+                        obs.counter_add("manager.subtree_collapses")
         return confirmed
 
     def _outage_changed(self) -> bool:
@@ -329,6 +380,19 @@ class AdaptiveMirrorManager:
             # headroom to grant retries.
             effective = self._bandwidth * (1.0 - loss)
             unreachable = self._current_outage()
+            if self._topology is not None and self._fault_aware:
+                # Bandwidth behind a dead relay is not transferable
+                # to the survivors: derate to what the reachable
+                # subtrees' source uplinks can actually deliver.
+                mask = (unreachable if unreachable is not None
+                        else np.zeros(self._true_catalog.n_elements,
+                                      dtype=bool))
+                deliverable = self._topology.reachable_bandwidth(mask)
+                if deliverable < self._bandwidth:
+                    effective = deliverable * (1.0 - loss)
+                if obs.telemetry_enabled():
+                    obs.gauge_set("manager.reachable_bandwidth",
+                                  min(deliverable, self._bandwidth))
             if unreachable is None:
                 plan = self._freshener.plan(believed, effective)
                 frequencies = plan.frequencies
@@ -460,6 +524,7 @@ class AdaptiveMirrorManager:
                           retry_policy=self._retry_policy,
                           breaker=self._breaker,
                           shard_of=self._shard_of,
+                          topology=self._topology,
                           bandwidth_budget=(self._bandwidth
                                             if self._faulty
                                             else None),
@@ -504,7 +569,8 @@ class AdaptiveMirrorManager:
                       profile_divergence=divergence,
                       wasted_polls=result.wasted_sync_fraction,
                       failed_polls=result.failed_polls,
-                      retries=result.retries)
+                      retries=result.retries,
+                      suppressed_retries=result.suppressed_retries)
         return PeriodReport(
             period=period,
             replanned=replanned,
@@ -516,6 +582,7 @@ class AdaptiveMirrorManager:
             wasted_polls=result.wasted_sync_fraction,
             failed_polls=result.failed_polls,
             retries=result.retries,
+            suppressed_retries=result.suppressed_retries,
         )
 
     def run_period(self, period: int) -> PeriodReport:
@@ -549,6 +616,10 @@ class AdaptiveMirrorManager:
         if not self._faulty:
             return True
         if self._breaker is not None or self._fault_rng is None:
+            return False
+        if self._topology is not None:
+            # Hop ledgers and path latency keep topology runs on the
+            # per-period reference loop.
             return False
         assert self._fault_plan is not None
         return self._fault_plan.iid_profile() is not None

@@ -183,6 +183,10 @@ class SimulationResult:
             circuit breaker without touching the wire.
         denied_polls: Scheduled syncs denied outright because the
             period's bandwidth budget was already spent.
+        hop_denied: Attempts denied by a saturated per-hop ledger on
+            the element's relay path; 0 without a topology.
+        suppressed_retries: Retries refused by the shared herding
+            admission gate; 0 without a gated retry policy.
         attempted_bandwidth: Bandwidth burned across every attempt,
             in size units (equals ``bandwidth_used`` on a fault-free
             run — failed transfers burn budget without refreshing).
@@ -225,6 +229,8 @@ class SimulationResult:
     retries: int = 0
     breaker_skips: int = 0
     denied_polls: int = 0
+    hop_denied: int = 0
+    suppressed_retries: int = 0
     attempted_bandwidth: float = 0.0
     attempted_poll_counts: np.ndarray | None = None
     failed_poll_counts: np.ndarray | None = None

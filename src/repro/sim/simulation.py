@@ -30,6 +30,7 @@ from repro.faults.breaker import CircuitBreaker
 from repro.faults.channel import SyncChannel
 from repro.faults.model import FaultPlan, PollOutcome
 from repro.faults.retry import RetryPolicy
+from repro.faults.topology import Topology
 from repro.obs import registry as obs
 from repro.sim.events import EventKind, EventStream, merge_streams
 from repro.sim.evaluator import FreshnessMonitor, SimulationResult
@@ -151,7 +152,13 @@ class Simulation:
         breaker: Optional per-shard circuit breaker (only meaningful
             with a fault plan).
         shard_of: Element → breaker-shard map, shape
-            ``(n_elements,)``; identity by default.
+            ``(n_elements,)``; identity by default (the topology's
+            subtree shard map when a topology is given).
+        topology: Optional source→relay→edge tree the sync path polls
+            through (only meaningful with a fault plan).  Attempts
+            must fit every hop ledger on their root-to-edge path and
+            completions lag by path latency; topology plans are
+            stateful, so they replay on the reference loop.
         bandwidth_budget: Per-period attempt budget B for the
             channel's retry ledger, in size units per period.
             Defaults to the schedule's planned spend
@@ -186,6 +193,7 @@ class Simulation:
                  retry_policy: RetryPolicy | None = None,
                  breaker: CircuitBreaker | None = None,
                  shard_of: np.ndarray | None = None,
+                 topology: Topology | None = None,
                  bandwidth_budget: float | None = None,
                  fault_rng: np.random.Generator | None = None,
                  record_fault_trace: bool = False,
@@ -199,6 +207,11 @@ class Simulation:
         if request_rate <= 0.0:
             raise ValidationError(
                 f"request_rate must be > 0, got {request_rate}")
+        if topology is not None and \
+                topology.n_elements != catalog.n_elements:
+            raise ValidationError(
+                f"topology hosts {topology.n_elements} elements, "
+                f"catalog has {catalog.n_elements}")
         if bandwidth_budget is not None and bandwidth_budget <= 0.0:
             raise ValidationError(
                 f"bandwidth_budget must be > 0, got {bandwidth_budget}")
@@ -216,6 +229,7 @@ class Simulation:
         self._retry_policy = retry_policy
         self._breaker = breaker
         self._shard_of = shard_of
+        self._topology = topology
         self._bandwidth_budget = bandwidth_budget
         self._fault_rng = fault_rng
         self._record_fault_trace = record_fault_trace
@@ -278,6 +292,10 @@ class Simulation:
             return None
         if self._breaker is not None:
             return None
+        if self._topology is not None:
+            # Hop ledgers and path latency are per-attempt stateful
+            # effects the vectorized kernel cannot replay.
+            return None
         profile = self._fault_plan.iid_profile()
         if profile is None:
             return None
@@ -339,8 +357,9 @@ class Simulation:
                 kernel_faults is None:
             raise ValidationError(
                 "engine='fastpath' cannot replay a stateful fault "
-                "plan (Gilbert–Elliott, latency, outage windows or a "
-                "breaker); use 'auto' or 'reference'")
+                "plan (Gilbert–Elliott, latency, outage windows, a "
+                "breaker or a relay topology); use 'auto' or "
+                "'reference'")
         if fault_free and engine != "reference":
             with obs.span("sim.run"):
                 result = replay_fastpath(
@@ -405,6 +424,7 @@ class Simulation:
                      else self._rng),
                 retry_policy=self._retry_policy,
                 breaker=self._breaker, shard_of=self._shard_of,
+                topology=self._topology,
                 bandwidth_budget=budget,
                 period_length=self._period_length,
                 record_trace=self._record_fault_trace)
@@ -538,6 +558,11 @@ class Simulation:
                     "sim.poll_failure_fraction",
                     (channel.failed_polls / channel.attempted_polls
                      if channel.attempted_polls else 0.0))
+                if self._topology is not None:
+                    ages = channel.hop_ages(
+                        horizon + self._fault_time_offset)
+                    obs.gauge_set("faults.topology.max_hop_age",
+                                  float(ages.max()))
         return SimulationResult(
             catalog=self._catalog,
             frequencies=self._frequencies,
@@ -569,6 +594,10 @@ class Simulation:
                            if channel is not None else 0),
             denied_polls=(channel.denied_polls
                           if channel is not None else 0),
+            hop_denied=(channel.hop_denied
+                        if channel is not None else 0),
+            suppressed_retries=(channel.suppressed_retries
+                                if channel is not None else 0),
             attempted_bandwidth=(channel.attempted_bandwidth
                                  if channel is not None
                                  else mirror.bandwidth_used),

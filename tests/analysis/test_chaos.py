@@ -8,10 +8,13 @@ report-shape assertions share a single simulation.
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.analysis.chaos import (CHAOS_SETUP, ChaosReport,
+                                  chaos_report_to_dict,
                                   format_chaos_report, run_chaos)
 from repro.errors import ValidationError
 from repro.faults.scenarios import CHAOS_SCENARIOS
@@ -23,10 +26,21 @@ def iid20_report() -> ChaosReport:
     return run_chaos("iid20", seed=0)
 
 
+@pytest.fixture(scope="module")
+def cascade_report() -> ChaosReport:
+    return run_chaos("relay-cascade", n_periods=24, warmup=4, seed=0)
+
+
+@pytest.fixture(scope="module")
+def herding_report() -> ChaosReport:
+    return run_chaos("herding", n_periods=24, warmup=4, seed=0)
+
+
 class TestScenarioRegistry:
     def test_expected_scenarios_are_registered(self):
-        assert {"iid20", "burst", "outage", "latency",
-                "flaky-shard"} <= set(CHAOS_SCENARIOS)
+        assert {"iid20", "burst", "outage", "latency", "flaky-shard",
+                "relay-cascade", "herding",
+                "partition"} <= set(CHAOS_SCENARIOS)
         for name, scenario in CHAOS_SCENARIOS.items():
             assert scenario.name == name
             assert scenario.description
@@ -53,6 +67,45 @@ class TestScenarioRegistry:
     def test_warmup_must_fit_inside_the_run(self):
         with pytest.raises(ValidationError):
             run_chaos("iid20", n_periods=5, warmup=5)
+
+
+class TestTopologyScenarios:
+    def test_topology_supplies_the_shard_map(self):
+        """Relay-tree scenarios shard breakers by subtree membership
+        — an edge uplink fails as one unit — instead of the legacy
+        grouped-prefix map."""
+        scenario = CHAOS_SCENARIOS["relay-cascade"]
+        topology = scenario.topology(60)
+        shards = scenario.shard_of(60)
+        assert shards.shape == (60,)
+        assert np.array_equal(shards, topology.shard_of)
+        assert scenario.n_shards(60) == topology.n_shards
+        assert CHAOS_SCENARIOS["iid20"].topology(60) is None
+
+    def test_relay_cascade_degrades_and_recovers(self, cascade_report):
+        """The faultgraph acceptance claim at quick settings: losing
+        a relay costs the blind arm real freshness, and the aware
+        arm wins it partially back."""
+        assert cascade_report.degradation > 0.05
+        assert cascade_report.recovery > 0.0
+        assert cascade_report.aware_mean > cascade_report.blind_mean
+
+    def test_herding_gate_suppresses_retries(self, herding_report):
+        assert herding_report.blind_suppressed_total > 0
+        assert herding_report.aware_suppressed_total > 0
+        assert herding_report.recovery > 0.0
+
+    def test_relay_cascade_is_bit_identical_across_jobs(self):
+        a = run_chaos("relay-cascade", n_periods=10, warmup=2,
+                      seed=1, jobs=1)
+        b = run_chaos("relay-cascade", n_periods=10, warmup=2,
+                      seed=1, jobs=2)
+        for field in ("baseline_pf", "blind_pf", "aware_pf",
+                      "blind_failed", "aware_failed",
+                      "blind_retries", "aware_retries",
+                      "blind_suppressed", "aware_suppressed"):
+            assert np.array_equal(getattr(a, field),
+                                  getattr(b, field)), field
 
 
 class TestDegradedModeClaim:
@@ -94,6 +147,20 @@ class TestReportRendering:
         assert "degradation" in text
         assert (f"periods {iid20_report.warmup + 1}-"
                 f"{iid20_report.n_periods}") in text
+
+    def test_report_dict_is_json_serializable(self, cascade_report):
+        payload = chaos_report_to_dict(cascade_report)
+        assert payload["scenario"] == "relay-cascade"
+        assert len(payload["aware_pf"]) == cascade_report.n_periods
+        assert payload["recovery"] == \
+            pytest.approx(cascade_report.recovery)
+        json.dumps(payload)
+
+    def test_format_shows_the_gate_line_for_gated_scenarios(
+            self, herding_report):
+        text = format_chaos_report(herding_report, every=6)
+        assert "herding-gate suppressed retries" in text
+        assert str(herding_report.blind_suppressed_total) in text
 
     def test_chaos_run_emits_telemetry_gauges(self):
         with obs.telemetry() as registry:

@@ -1,0 +1,214 @@
+"""Tests for correlated (relay-tree) fault models.
+
+The load-bearing properties: descendant closure (an element is dark
+exactly when an ancestor is inside a window), per-hop recovery
+debounce, and the zero-draw CRN contract that keeps fault traces
+independent of poll order and worker count.  A hypothesis sweep
+checks the closure against an independent reimplementation across
+random trees, outages and query times.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.faults.correlated import CorrelatedFaultModel, NodeOutage
+from repro.faults.model import PollOutcome
+from repro.faults.topology import Topology
+
+
+def tree(n_elements: int = 8, **kwargs) -> Topology:
+    defaults = dict(n_relays=2, edges_per_relay=2, seed=5)
+    defaults.update(kwargs)
+    return Topology.build(n_elements, **defaults)
+
+
+class TestValidation:
+    def test_node_outage_rejects_the_source(self):
+        with pytest.raises(ValidationError):
+            NodeOutage(node=0, start=0.0, end=1.0)
+
+    def test_node_outage_rejects_empty_windows(self):
+        with pytest.raises(ValidationError):
+            NodeOutage(node=1, start=2.0, end=2.0)
+
+    def test_scheduled_node_must_exist(self):
+        topology = tree()
+        with pytest.raises(ValidationError):
+            CorrelatedFaultModel(topology, scheduled=(
+                NodeOutage(node=topology.n_nodes, start=0.0, end=1.0),))
+
+    def test_sampling_parameters_are_checked(self):
+        topology = tree()
+        with pytest.raises(ValidationError):
+            CorrelatedFaultModel(topology, random_rate=-0.1)
+        with pytest.raises(ValidationError):
+            CorrelatedFaultModel(topology, mean_duration=0.0)
+        with pytest.raises(ValidationError):
+            CorrelatedFaultModel(topology, random_rate=0.5, horizon=0.0)
+        with pytest.raises(ValidationError):
+            CorrelatedFaultModel(topology, recovery_debounce=-1.0)
+
+
+class TestDescendantClosure:
+    def test_relay_outage_darkens_exactly_its_subtree(self):
+        topology = tree(8)
+        relay = topology.root_children[0]
+        model = CorrelatedFaultModel(topology, scheduled=(
+            NodeOutage(node=relay, start=2.0, end=5.0),))
+        inside = model.unreachable_elements(3.0)
+        assert np.array_equal(inside,
+                              topology.descendant_elements(relay))
+        assert not model.unreachable_elements(1.0).any()
+        assert not model.unreachable_elements(5.5).any()
+
+    def test_edge_outage_darkens_only_its_elements(self):
+        topology = tree(8)
+        edge = int(topology.element_edge[0])
+        model = CorrelatedFaultModel(topology, scheduled=(
+            NodeOutage(node=edge, start=0.0, end=1.0),))
+        assert np.array_equal(model.unreachable_elements(0.5),
+                              topology.element_edge == edge)
+
+    def test_window_is_start_inclusive_end_exclusive(self):
+        topology = tree(8)
+        relay = topology.root_children[0]
+        model = CorrelatedFaultModel(topology, scheduled=(
+            NodeOutage(node=relay, start=2.0, end=5.0),))
+        element = int(np.flatnonzero(
+            topology.descendant_elements(relay))[0])
+        assert model.element_unreachable(element, 2.0)
+        assert not model.element_unreachable(element, 5.0)
+
+    def test_debounce_extends_recovery_per_hop_below(self):
+        topology = tree(8)
+        relay = topology.root_children[0]
+        model = CorrelatedFaultModel(
+            topology,
+            scheduled=(NodeOutage(node=relay, start=2.0, end=5.0),),
+            recovery_debounce=0.5)
+        element = int(np.flatnonzero(
+            topology.descendant_elements(relay))[0])
+        # The edge cache is one hop below the failed relay: rejoin is
+        # pushed out by one debounce interval.
+        assert model.element_unreachable(element, 5.3)
+        assert not model.element_unreachable(element, 5.6)
+
+    def test_edge_outage_gets_no_debounce(self):
+        topology = tree(8)
+        edge = int(topology.element_edge[0])
+        model = CorrelatedFaultModel(
+            topology,
+            scheduled=(NodeOutage(node=edge, start=0.0, end=1.0),),
+            recovery_debounce=0.5)
+        assert not model.element_unreachable(0, 1.1)
+
+    def test_node_down_reports_the_raw_window(self):
+        topology = tree(8)
+        relay = topology.root_children[0]
+        model = CorrelatedFaultModel(topology, scheduled=(
+            NodeOutage(node=relay, start=2.0, end=5.0),),
+            recovery_debounce=0.5)
+        assert model.node_down(relay, 3.0)
+        assert not model.node_down(relay, 5.2)
+        assert not model.node_down(topology.root_children[1], 3.0)
+
+
+class TestDeterminism:
+    def test_outcome_consumes_zero_draws(self):
+        topology = tree(8)
+        model = CorrelatedFaultModel(topology, scheduled=(
+            NodeOutage(node=topology.root_children[0], start=0.0,
+                       end=4.0),))
+        rng = np.random.default_rng(11)
+        before = rng.bit_generator.state
+        for element in range(8):
+            for time in (0.5, 1.5, 7.0):
+                model.outcome(element, time, rng)
+        assert rng.bit_generator.state == before
+
+    def test_outcome_reflects_the_closure(self):
+        topology = tree(8)
+        relay = topology.root_children[0]
+        model = CorrelatedFaultModel(topology, scheduled=(
+            NodeOutage(node=relay, start=1.0, end=2.0),))
+        rng = np.random.default_rng(0)
+        dark = int(np.flatnonzero(
+            topology.descendant_elements(relay))[0])
+        lit = int(np.flatnonzero(
+            ~topology.descendant_elements(relay))[0])
+        assert model.outcome(dark, 1.5, rng) is PollOutcome.UNREACHABLE
+        assert model.outcome(lit, 1.5, rng) is PollOutcome.OK
+        assert model.outcome(dark, 2.5, rng) is PollOutcome.OK
+
+    def test_sampled_outages_depend_only_on_the_seed(self):
+        topology = tree(8)
+        build = lambda: CorrelatedFaultModel(  # noqa: E731
+            topology, random_rate=0.4, mean_duration=1.5, horizon=20.0,
+            seed=7)
+        assert build().outages == build().outages
+        other = CorrelatedFaultModel(topology, random_rate=0.4,
+                                     mean_duration=1.5, horizon=20.0,
+                                     seed=8)
+        assert other.outages != build().outages
+
+    def test_outages_are_sorted_by_start(self):
+        topology = tree(8)
+        model = CorrelatedFaultModel(topology, random_rate=0.5,
+                                     mean_duration=1.0, horizon=30.0,
+                                     seed=3)
+        starts = [outage.start for outage in model.outages]
+        assert starts == sorted(starts)
+
+    def test_topology_accessor(self):
+        topology = tree(8)
+        model = CorrelatedFaultModel(topology)
+        assert model.topology is topology
+
+
+@st.composite
+def closure_cases(draw):
+    n_relays = draw(st.integers(min_value=1, max_value=3))
+    edges_per_relay = draw(st.integers(min_value=1, max_value=3))
+    n_elements = draw(st.integers(min_value=1, max_value=12))
+    seed = draw(st.integers(min_value=0, max_value=99))
+    topology = Topology.build(n_elements, n_relays=n_relays,
+                              edges_per_relay=edges_per_relay,
+                              seed=seed)
+    node = draw(st.integers(min_value=1,
+                            max_value=topology.n_nodes - 1))
+    start = draw(st.floats(min_value=0.0, max_value=10.0))
+    duration = draw(st.floats(min_value=0.1, max_value=5.0))
+    debounce = draw(st.sampled_from([0.0, 0.25, 1.0]))
+    time = draw(st.floats(min_value=-1.0, max_value=20.0))
+    return topology, node, start, duration, debounce, time
+
+
+class TestClosureSweep:
+    @settings(max_examples=120, deadline=None)
+    @given(closure_cases())
+    def test_closure_matches_an_independent_path_walk(self, case):
+        """For any tree, outage and query time, an element is dark
+        exactly when the failed node sits on its path and the time
+        falls inside the hop-debounced window."""
+        topology, node, start, duration, debounce, time = case
+        model = CorrelatedFaultModel(
+            topology,
+            scheduled=(NodeOutage(node=node, start=start,
+                                  end=start + duration),),
+            recovery_debounce=debounce)
+        mask = model.unreachable_elements(time)
+        for element in range(topology.n_elements):
+            path = topology.path_of_element(element)
+            if node in path:
+                hops_below = len(path) - 1 - path.index(node)
+                end = start + duration + debounce * hops_below
+                expected = start <= time < end
+            else:
+                expected = False
+            assert mask[element] == expected
+            assert model.element_unreachable(element, time) == expected

@@ -1,0 +1,194 @@
+"""Integration tests: topology through the channel, gate and engines.
+
+Covers the sync path's relay-tree behavior (hop-ledger denial,
+per-hop freshness stamps, latency-composed completions), the shared
+retry admission gate, and the engine-dispatch contract: a plan with
+a topology must route to the reference loop, while a quiet plan with
+a topology stays fastpath-eligible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.freshener import PerceivedFreshener
+from repro.errors import ValidationError
+from repro.faults.channel import SyncChannel
+from repro.faults.model import FaultPlan, IIDFaultModel, PollOutcome
+from repro.faults.retry import RetryAdmissionGate, RetryPolicy
+from repro.faults.topology import Topology
+from repro.sim.mirror import Mirror
+from repro.sim.simulation import Simulation
+from repro.sim.source import Source
+from repro.workloads.presets import ExperimentSetup, build_catalog
+
+SETUP = ExperimentSetup(n_objects=24, updates_per_period=48.0,
+                        syncs_per_period=12.0, theta=1.0,
+                        update_std_dev=1.0)
+
+
+def make_channel(n: int = 8, *, plan: FaultPlan | None = None,
+                 sizes: np.ndarray | None = None,
+                 **kwargs) -> tuple[SyncChannel, Topology]:
+    topology = kwargs.pop("topology", None)
+    if topology is None:
+        topology = Topology.build(n, n_relays=2, edges_per_relay=2,
+                                  seed=5, relay_latency=0.02,
+                                  edge_latency=0.01)
+    mirror = Mirror(Source(n), sizes=sizes)
+    channel = SyncChannel(mirror,
+                          plan=plan if plan is not None
+                          else FaultPlan.quiet(),
+                          rng=np.random.default_rng(0),
+                          topology=topology, **kwargs)
+    return channel, topology
+
+
+class TestRetryAdmissionGate:
+    def test_parameter_validation(self):
+        with pytest.raises(ValidationError):
+            RetryAdmissionGate(0.0, 1.0)
+        with pytest.raises(ValidationError):
+            RetryAdmissionGate(1.0, 0.0)
+
+    def test_burst_drains_then_refills(self):
+        gate = RetryAdmissionGate(2.0, 1.0)
+        assert gate.admit(0.0)
+        assert gate.admit(0.0)
+        assert not gate.admit(0.0)      # bucket dry
+        assert gate.admit(1.0)          # one period refills one token
+        assert gate.admitted == 3
+        assert gate.suppressed == 1
+
+    def test_refill_is_monotonic_in_time(self):
+        gate = RetryAdmissionGate(1.0, 10.0)
+        assert gate.admit(5.0)
+        # An out-of-order (earlier) retry time refills nothing.
+        assert not gate.admit(4.0)
+        assert gate.suppressed == 1
+
+    def test_refill_clamps_at_capacity(self):
+        gate = RetryAdmissionGate(2.0, 1.0)
+        assert gate.admit(100.0)
+        assert gate.admit(100.0)
+        assert not gate.admit(100.0)
+
+    def test_accessors(self):
+        gate = RetryAdmissionGate(3.0, 2.0)
+        assert gate.capacity == 3.0
+        assert gate.refill_rate == 2.0
+
+
+class TestChannelTopology:
+    def test_element_count_must_match(self):
+        topology = Topology.build(5, n_relays=2, edges_per_relay=2)
+        with pytest.raises(ValidationError):
+            make_channel(8, topology=topology)
+
+    def test_shard_map_defaults_to_subtree_membership(self):
+        channel, topology = make_channel(8)
+        assert np.array_equal(channel._shard_of, topology.shard_of)
+
+    def test_hop_saturation_denies_the_poll(self):
+        topology = Topology.build(8, n_relays=2, edges_per_relay=2,
+                                  seed=5, edge_bandwidth=2.0)
+        channel, _ = make_channel(8, topology=topology,
+                                  sizes=np.full(8, 1.5))
+        element = 0
+        assert channel.sync(element, 0.1).outcome is PollOutcome.OK
+        # The edge uplink (2.0) has only 0.5 left: denied before the
+        # wire, charged to the hop-denied ledger, not the fault plan.
+        report = channel.sync(element, 0.2)
+        assert report.outcome is PollOutcome.UNREACHABLE
+        assert report.attempts == 0
+        assert channel.hop_denied == 1
+        # A fresh period restores the hop budgets.
+        assert channel.sync(element, 1.2).outcome is PollOutcome.OK
+
+    def test_ok_polls_charge_every_hop_on_the_path(self):
+        channel, topology = make_channel(8, sizes=np.full(8, 2.0))
+        channel.sync(3, 0.1)
+        spent = channel.hop_spent()
+        for node in topology.path_of_element(3):
+            assert spent[node] == 2.0
+        off_path = [node for node in range(1, topology.n_nodes)
+                    if node not in topology.path_of_element(3)]
+        assert all(spent[node] == 0.0 for node in off_path)
+
+    def test_hop_ages_compose_along_the_path(self):
+        channel, topology = make_channel(8)
+        channel.sync(0, 1.0)
+        ages = channel.hop_ages(2.0)
+        path = topology.path_of_element(0)
+        # The relay hop was stamped at 1.0 + relay latency, the edge
+        # hop one edge latency later.
+        assert ages[path[0]] == pytest.approx(2.0 - 1.02)
+        assert ages[path[1]] == pytest.approx(2.0 - 1.03)
+        composed = channel.composed_ages(2.0)
+        assert composed[0] == pytest.approx(float(ages[list(path)].max()))
+        # Elements under untouched hops age from the epoch.
+        untouched = int(np.flatnonzero(
+            ~topology.descendant_elements(path[0]))[0])
+        assert composed[untouched] == pytest.approx(2.0)
+
+    def test_admission_gate_suppresses_retries(self):
+        plan = FaultPlan(models=(IIDFaultModel(
+            1.0, failure=PollOutcome.TIMEOUT),))
+        gate = RetryAdmissionGate(1.0, 1e-9)
+        policy = RetryPolicy(max_retries=3, admission_gate=gate)
+        channel, _ = make_channel(8, plan=plan, retry_policy=policy)
+        channel.sync(0, 0.1)    # first retry takes the only token,
+        channel.sync(1, 0.2)    # the second is suppressed; every
+        channel.sync(2, 0.3)    # later sync's retry is suppressed too
+        assert gate.admitted == 1
+        assert channel.suppressed_retries == 3
+
+
+class TestEngineDispatch:
+    def make_sim(self, *, plan, topology, seed: int = 3) -> Simulation:
+        catalog = build_catalog(SETUP, seed=1)
+        frequencies = PerceivedFreshener().plan(
+            catalog, SETUP.syncs_per_period).frequencies
+        return Simulation(catalog, frequencies, request_rate=96.0,
+                          rng=np.random.default_rng(seed),
+                          fault_plan=plan, topology=topology)
+
+    def topology(self) -> Topology:
+        return Topology.build(SETUP.n_objects, n_relays=2,
+                              edges_per_relay=2, seed=5)
+
+    def test_topology_disables_the_faulted_kernel(self):
+        plan = FaultPlan(models=(IIDFaultModel(0.1),))
+        sim = self.make_sim(plan=plan, topology=self.topology())
+        assert sim.fault_kernel_args() is None
+
+    def test_forced_fastpath_rejects_topology_plans(self):
+        plan = FaultPlan(models=(IIDFaultModel(0.1),))
+        sim = self.make_sim(plan=plan, topology=self.topology())
+        with pytest.raises(ValidationError,
+                           match="relay topology"):
+            sim.run(n_periods=2.0, engine="fastpath")
+
+    def test_auto_routes_topology_plans_to_the_reference_loop(self):
+        plan = FaultPlan(models=(IIDFaultModel(0.1),))
+        auto = self.make_sim(plan=plan,
+                             topology=self.topology()).run(
+            n_periods=3.0, engine="auto")
+        reference = self.make_sim(plan=plan,
+                                  topology=self.topology()).run(
+            n_periods=3.0, engine="reference")
+        assert (auto.monitored_perceived_freshness
+                == reference.monitored_perceived_freshness)
+        assert auto.failed_polls == reference.failed_polls
+        assert auto.hop_denied == reference.hop_denied
+
+    def test_quiet_topology_keeps_the_fastpath(self):
+        quiet = self.make_sim(plan=FaultPlan.quiet(),
+                              topology=self.topology()).run(
+            n_periods=3.0, engine="fastpath")
+        bare = self.make_sim(plan=None, topology=None).run(
+            n_periods=3.0, engine="fastpath")
+        assert (quiet.monitored_perceived_freshness
+                == bare.monitored_perceived_freshness)
+        assert quiet.bandwidth_used == bare.bandwidth_used

@@ -1,0 +1,187 @@
+"""Topology-aware replanning tests for the adaptive manager.
+
+Covers the relay-tree additions to the degraded-mode loop: subtree
+shard maps, correlated-outage *collapse* (a mostly-dead subtree is
+zeroed as one unit), bandwidth derating to the reachable subtrees'
+uplinks, and the engine contract that topology runs stay on the
+per-period reference loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.faults.breaker import CircuitBreaker
+from repro.faults.correlated import CorrelatedFaultModel, NodeOutage
+from repro.faults.model import FaultPlan
+from repro.faults.retry import RetryPolicy
+from repro.faults.topology import Topology
+from repro.obs import registry as obs
+from repro.runtime.manager import AdaptiveMirrorManager
+from repro.workloads.presets import ExperimentSetup, build_catalog
+
+SETUP = ExperimentSetup(n_objects=40, updates_per_period=80.0,
+                        syncs_per_period=20.0, theta=1.2,
+                        update_std_dev=1.0)
+
+
+@pytest.fixture
+def world():
+    return build_catalog(SETUP, alignment="shuffled", seed=4)
+
+
+def tree(**kwargs) -> Topology:
+    defaults = dict(n_relays=2, edges_per_relay=2, seed=7)
+    defaults.update(kwargs)
+    return Topology.build(SETUP.n_objects, **defaults)
+
+
+def make_manager(world, topology, **kwargs):
+    defaults = dict(request_rate=600.0,
+                    rng=np.random.default_rng(0),
+                    replan_every=2)
+    defaults.update(kwargs)
+    return AdaptiveMirrorManager(world, SETUP.syncs_per_period,
+                                 topology=topology, **defaults)
+
+
+def outage_manager(world, topology, node: int, *,
+                   start: float = 1.0, end: float = 9.0,
+                   cooldown: float = 6.0, **kwargs):
+    """A manager facing one scheduled node outage.
+
+    The default cooldown outlasts the run: once opened, the breaker
+    stays OPEN at every period end, so the outage streak counts up
+    monotonically.  (A shorter cooldown races the flat budget — a
+    budget-denied half-open probe leaves the breaker HALF_OPEN at a
+    period end and resets the streak.)  Recovery tests pass a
+    cooldown short enough to probe after the window.
+    """
+    plan = FaultPlan(models=(CorrelatedFaultModel(
+        topology, scheduled=(NodeOutage(node=node, start=start,
+                                        end=end),)),))
+    return make_manager(
+        world, topology, fault_plan=plan,
+        retry_policy=RetryPolicy(max_retries=2),
+        breaker=CircuitBreaker(topology.n_shards,
+                               failure_threshold=3,
+                               cooldown=cooldown),
+        **kwargs)
+
+
+class TestConstruction:
+    def test_element_count_must_match(self, world):
+        topology = Topology.build(8, n_relays=2, edges_per_relay=2)
+        with pytest.raises(ValidationError):
+            make_manager(world, topology)
+
+    def test_subtree_outage_fraction_is_validated(self, world):
+        for bad in (0.0, 1.5):
+            with pytest.raises(ValidationError):
+                make_manager(world, tree(),
+                             subtree_outage_fraction=bad)
+
+    def test_shard_map_defaults_to_subtree_membership(self, world):
+        topology = tree()
+        manager = make_manager(world, topology)
+        assert np.array_equal(manager._shard_of, topology.shard_of)
+
+    def test_topology_runs_are_never_batchable(self, world):
+        flat = make_manager(world, None,
+                            fault_plan=FaultPlan.iid(0.1))
+        assert flat._batchable()
+        routed = make_manager(world, tree(),
+                              fault_plan=FaultPlan.iid(0.1))
+        assert not routed._batchable()
+
+
+class TestSubtreeCollapse:
+    def test_half_dead_subtree_collapses_whole(self, world):
+        """One dead edge is half its subtree: at the default 0.5
+        fraction the sibling edge's elements are zeroed too — they
+        share the doomed uplink."""
+        topology = tree()
+        edge = int(topology.element_edge[0])
+        manager = outage_manager(world, topology, edge)
+        with obs.telemetry() as registry:
+            manager.run(6)
+        freqs = manager.current_frequencies
+        subtree = topology.subtree_of == topology.subtree_of[0]
+        assert np.all(freqs[subtree] == 2.0)
+        other = ~subtree
+        assert not np.all(freqs[other] == 2.0)
+        assert registry.counters.get(
+            "manager.subtree_collapses", 0) > 0
+
+    def test_high_fraction_keeps_the_sibling_edge_planned(self, world):
+        """At fraction 0.75 a half-dead subtree does not collapse:
+        only the dead edge's own elements drop to the probe."""
+        topology = tree()
+        edge = int(topology.element_edge[0])
+        manager = outage_manager(world, topology, edge,
+                                 subtree_outage_fraction=0.75)
+        manager.run(6)
+        freqs = manager.current_frequencies
+        dead = topology.element_edge == edge
+        sibling = ((topology.subtree_of == topology.subtree_of[0])
+                   & ~dead)
+        assert np.all(freqs[dead] == 2.0)
+        assert not np.all(freqs[sibling] == 2.0)
+
+
+class TestReachableBandwidthDerate:
+    def test_relay_outage_derates_to_the_surviving_uplink(self, world):
+        """With one of two 12-unit relays down, the degraded plan
+        spends at most the surviving uplink, not the nominal B=20."""
+        topology = tree(relay_bandwidth=12.0)
+        relay = topology.root_children[0]
+        manager = outage_manager(world, topology, relay)
+        with obs.telemetry() as registry:
+            manager.run(6)
+        assert registry.gauges.get(
+            "manager.reachable_bandwidth") == 12.0
+        freqs = manager.current_frequencies
+        reachable = ~topology.descendant_elements(relay)
+        spend = float(world.sizes[reachable] @ freqs[reachable])
+        assert spend <= 12.0 + 1e-9
+
+    def test_blind_manager_never_derates(self, world):
+        topology = tree(relay_bandwidth=12.0)
+        relay = topology.root_children[0]
+        manager = outage_manager(world, topology, relay,
+                                 fault_aware=False)
+        manager.run(6)
+        spend = float(world.sizes @ manager.current_frequencies)
+        assert spend == pytest.approx(SETUP.syncs_per_period,
+                                      rel=0.02)
+
+    def test_recovery_restores_the_full_budget(self, world):
+        topology = tree(relay_bandwidth=12.0)
+        relay = topology.root_children[0]
+        manager = outage_manager(world, topology, relay,
+                                 start=1.0, end=4.0, cooldown=2.5)
+        manager.run(5)
+        dead = topology.descendant_elements(relay)
+        assert np.all(manager.current_frequencies[dead] == 2.0)
+        with obs.telemetry() as registry:
+            manager.run(10)
+        assert registry.gauges.get(
+            "manager.reachable_bandwidth") == 20.0
+        assert not np.all(manager.current_frequencies[dead] == 2.0)
+
+
+class TestDeterminism:
+    def test_deterministic_given_seed_under_topology(self, world):
+        def run(seed: int):
+            topology = tree()
+            manager = outage_manager(
+                world, topology, topology.root_children[0],
+                start=1.0, end=5.0, cooldown=2.5,
+                rng=np.random.default_rng(seed))
+            return [(r.monitored_pf, r.failed_polls, r.retries)
+                    for r in manager.run(7)]
+
+        assert run(3) == run(3)
+        assert run(3) != run(4)

@@ -110,6 +110,48 @@ class TestExecution:
         assert args.jobs == 2
 
 
+class TestChaosCommand:
+    def test_help_table_is_generated_from_the_registry(self, capsys):
+        """The --help scenario table must list every registered
+        scenario with its description, so it can never drift from
+        the ChaosScenario entries."""
+        from repro.faults.scenarios import CHAOS_SCENARIOS
+
+        with pytest.raises(SystemExit):
+            main(["chaos", "--help"])
+        output = capsys.readouterr().out
+        assert "scenarios:" in output
+        for name, scenario in CHAOS_SCENARIOS.items():
+            assert name in output
+            assert scenario.description in output
+
+    def test_parses_topology_scenarios_and_report_json(self):
+        args = build_parser().parse_args(
+            ["chaos", "--scenario", "relay-cascade", "--jobs", "4",
+             "--report-json", "out.json"])
+        assert args.scenario == "relay-cascade"
+        assert args.jobs == 4
+        assert args.report_json == "out.json"
+        for name in ("herding", "partition"):
+            assert build_parser().parse_args(
+                ["chaos", "--scenario", name]).scenario == name
+
+    def test_report_json_writes_the_report_list(self, capsys,
+                                                tmp_path):
+        path = tmp_path / "chaos.json"
+        assert main(["chaos", "--quick", "--scenario",
+                     "relay-cascade",
+                     "--report-json", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "relay-cascade" in output
+        assert f"(wrote {path})" in output
+        payload = json.loads(path.read_text())
+        assert isinstance(payload, list) and len(payload) == 1
+        assert payload[0]["scenario"] == "relay-cascade"
+        assert len(payload[0]["aware_pf"]) == payload[0]["n_periods"]
+        assert payload[0]["recovery"] > 0.0
+
+
 class TestTelemetry:
     def test_telemetry_flag_parses_with_and_without_directory(self):
         parser = build_parser()

@@ -134,6 +134,35 @@ def test_gate_catches_seeded_wall_clock_in_sim_path(
     assert "FL009" in {v.code for v in violations}
 
 
+@pytest.mark.parametrize("module", ["topology.py", "correlated.py"])
+def test_gate_catches_wall_clock_in_relay_tree_modules(
+        tmp_path_factory: pytest.TempPathFactory,
+        module: str) -> None:
+    """Hop ledgers and outage windows run on simulated time only:
+    a wall-clock read seeded into either relay-tree module must
+    trip FL009 under the default (unwidened) config."""
+    root = _seed_tree(tmp_path_factory.mktemp("seeded_tree"),
+                      f"src/repro/faults/{module}",
+                      "bad_fl009_wall_clock.py")
+    violations = run_paths([root / "src"], root=root)
+    assert "FL009" in {v.code for v in violations}
+
+
+@pytest.mark.parametrize("module", ["topology.py", "correlated.py"])
+def test_relay_tree_modules_sit_in_the_strict_scopes(
+        module: str) -> None:
+    """The real topology modules match the default clock and library
+    globs — both the faults/ directory glob and their explicit
+    entries — so FL009 and the seedflow FL011 gate cover them."""
+    from freshlint import parse_module
+
+    context = parse_module(
+        REPO_ROOT / "src" / "repro" / "faults" / module,
+        root=REPO_ROOT)
+    assert context.is_clock_path
+    assert context.is_library
+
+
 # ---------------------------------------------------------------------------
 # seedflow: project-wide RNG-provenance gate
 

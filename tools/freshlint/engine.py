@@ -118,6 +118,12 @@ class LintConfig:
         "src/repro/numerics/*.py",
         "src/repro/sim/*.py",
         "src/repro/faults/*.py",
+        # The relay-tree modules are named explicitly on top of the
+        # faults/ directory glob: hop ledgers and outage windows run
+        # purely on simulated time, and that guarantee must survive
+        # any future narrowing of the directory-wide entry.
+        "src/repro/faults/topology.py",
+        "src/repro/faults/correlated.py",
     )
     #: Vectorized-kernel modules: FL014 (dtype discipline, uint64-view
     #: bit-identity comparisons) applies here.
