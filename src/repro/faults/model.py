@@ -181,6 +181,62 @@ class GilbertElliottFaultModel(FaultModel):
         self._failure = failure
         self._bad: dict[int, bool] = {}
 
+    @property
+    def p_good_to_bad(self) -> float:
+        """Per-attempt transition probability out of good."""
+        return self._p_gb
+
+    @property
+    def p_bad_to_good(self) -> float:
+        """Per-attempt transition probability out of bad."""
+        return self._p_bg
+
+    @property
+    def loss_good(self) -> float:
+        """Failure probability while good (dimensionless)."""
+        return self._loss[0]
+
+    @property
+    def loss_bad(self) -> float:
+        """Failure probability while bad (dimensionless)."""
+        return self._loss[1]
+
+    @property
+    def failure_outcome(self) -> PollOutcome:
+        """The outcome reported when an attempt fails."""
+        return self._failure
+
+    def chain_states(self, n_elements: int) -> np.ndarray:
+        """The per-element hidden state as a dense bool array.
+
+        An element the chain has never polled is in the good state,
+        so absent dict entries and False entries are interchangeable.
+
+        Args:
+            n_elements: Catalog size; element ids must be < this.
+
+        Returns:
+            ``bad`` flags, shape ``(n_elements,)``, dtype bool.
+        """
+        bad = np.zeros(n_elements, dtype=bool)
+        for element, state in self._bad.items():
+            if state:
+                bad[element] = True
+        return bad
+
+    def set_chain_states(self, bad: np.ndarray) -> None:
+        """Commit a dense per-element state array back into the chain.
+
+        Only bad elements are stored — the reference path treats a
+        missing entry as good, so dropping False entries is
+        behaviorally identical and keeps the dict minimal.
+
+        Args:
+            bad: ``bad`` flags, shape ``(n_elements,)``.
+        """
+        self._bad = {element: True
+                     for element in np.flatnonzero(bad).tolist()}
+
     def outcome(self, element: int, time: float,
                 rng: np.random.Generator) -> PollOutcome:
         """Advance the element's chain one step and draw the loss.
@@ -348,6 +404,33 @@ class FaultPlan:
             return None
         return model.failure_probability, model.failure_outcome
 
+    def ge_profile(self) -> GilbertElliottFaultModel | None:
+        """The plan's single Gilbert–Elliott model, if that is all it is.
+
+        The bursty analogue of :meth:`iid_profile`: exactly one
+        :class:`GilbertElliottFaultModel` (not a subclass), no outage
+        windows, and a retryable failure outcome.  Such plans consume
+        exactly two uniform draws per attempt (transition, loss) plus
+        one jitter draw per retry — a fixed per-attempt draw shape —
+        which is what lets the scan-vectorized GE kernel
+        (:func:`repro.sim.fastpath.resolve_ge_faults`) pre-draw the
+        fault stream and stay bit-identical to the per-event loop.
+        The chain state itself is *stateful across attempts*, but it
+        is threaded through the kernel explicitly via
+        :meth:`GilbertElliottFaultModel.chain_states`.
+
+        Returns:
+            The model when the plan qualifies, else None.
+        """
+        if self.outages or len(self.models) != 1:
+            return None
+        model = self.models[0]
+        if type(model) is not GilbertElliottFaultModel:
+            return None
+        if not model.failure_outcome.is_retryable:
+            return None
+        return model
+
     @classmethod
     def quiet(cls) -> "FaultPlan":
         """The zero-fault plan (a guaranteed no-op)."""
@@ -368,3 +451,25 @@ class FaultPlan:
         """
         return cls(models=(IIDFaultModel(failure_probability,
                                          failure=failure),))
+
+    @classmethod
+    def bursty(cls, p_good_to_bad: float, p_bad_to_good: float, *,
+               loss_good: float = 0.0, loss_bad: float = 1.0,
+               failure: PollOutcome = PollOutcome.ERROR) -> "FaultPlan":
+        """A plan with a single Gilbert–Elliott burst-loss model.
+
+        Args:
+            p_good_to_bad: Per-attempt transition probability out of
+                the good state, in ``[0, 1]`` (dimensionless).
+            p_bad_to_good: Per-attempt transition probability out of
+                the bad state, in ``[0, 1]`` (dimensionless).
+            loss_good: Failure probability while good.
+            loss_bad: Failure probability while bad.
+            failure: Outcome reported on failure.
+
+        Returns:
+            The single-model :class:`FaultPlan`.
+        """
+        return cls(models=(GilbertElliottFaultModel(
+            p_good_to_bad, p_bad_to_good, loss_good=loss_good,
+            loss_bad=loss_bad, failure=failure),))

@@ -37,7 +37,11 @@ from repro.faults.topology import Topology
 from repro.obs import registry as obs
 from repro.runtime.beliefs import BeliefState
 from repro.sim.evaluator import SimulationResult
-from repro.sim.fastpath import replay_window_tapes
+from repro.sim.fastpath import (
+    ReplayArena,
+    replay_window_tapes,
+    resolve_tape_faults,
+)
 from repro.sim.simulation import Simulation
 from repro.workloads.catalog import Catalog
 
@@ -158,6 +162,16 @@ class AdaptiveMirrorManager:
             polls, while blindly polling a down shard costs nothing
             (unreachable fast-fails are free), so the replanner
             should only give up on outages that persist.
+        share_fault_rng: When True, skip spawning the dedicated
+            fault generator and draw fault outcomes from the main
+            ``rng`` stream, interleaved with the workload draws —
+            the single-stream discipline some callers (and older
+            seeds) expect.  Costs the common-random-numbers
+            alignment across fault-free/blind/aware comparisons,
+            but window batching still applies: the batched loop
+            resolves each period's faults right after drawing its
+            tape, preserving the per-period interleaving bit for
+            bit.
     """
 
     def __init__(self, true_catalog: Catalog, bandwidth: float, *,
@@ -176,7 +190,8 @@ class AdaptiveMirrorManager:
                  replan_loss_drift: float = 0.05,
                  max_loss_compensation: float = 0.95,
                  probe_frequency: float = 2.0,
-                 outage_confirmation: int = 2) -> None:
+                 outage_confirmation: int = 2,
+                 share_fault_rng: bool = False) -> None:
         if bandwidth <= 0.0:
             raise ValidationError(
                 f"bandwidth must be > 0, got {bandwidth}")
@@ -247,7 +262,7 @@ class AdaptiveMirrorManager:
         # child from the seed sequence without advancing the parent's
         # draw stream, so fault-free runs stay bit-identical.
         self._fault_rng: np.random.Generator | None = None
-        if self._faulty:
+        if self._faulty and not share_fault_rng:
             try:
                 self._fault_rng = rng.spawn(1)[0]
             except (AttributeError, TypeError, ValueError):
@@ -265,6 +280,8 @@ class AdaptiveMirrorManager:
         self._planned_unreachable: np.ndarray | None = None
         self._last_unreachable: np.ndarray | None = None
         self._outage_streak: np.ndarray | None = None
+        # Scratch buffers reused across window-batched kernel calls.
+        self._arena = ReplayArena()
 
     @property
     def beliefs(self) -> BeliefState:
@@ -605,24 +622,31 @@ class AdaptiveMirrorManager:
     def _batchable(self) -> bool:
         """Whether replan windows may share one kernel call.
 
-        Fault-free loops always qualify.  Faulty loops qualify only
-        when the plan is stateless per attempt (the vectorized
-        faulted kernel's domain: no breaker, single i.i.d. model)
-        *and* the fault draws live on a dedicated generator —
-        per-period runs interleave workload and fault draws, while a
-        batched window draws all tapes before any faults, so a
-        shared stream could not stay bit-identical.
+        Fault-free loops always qualify.  Faulty loops qualify when
+        the plan has a vectorized resolver — a single i.i.d. model
+        or a single retryable Gilbert–Elliott chain — with no
+        breaker, no topology and no shared admission gate.  The
+        fault rng may be dedicated *or* shared with the workload
+        stream: the batched loop resolves each period's faults right
+        after drawing that period's tape, which reproduces the
+        per-period interleaving exactly.
         """
         if not self._faulty:
             return True
-        if self._breaker is not None or self._fault_rng is None:
+        if self._breaker is not None:
             return False
         if self._topology is not None:
             # Hop ledgers and path latency keep topology runs on the
             # per-period reference loop.
             return False
+        if self._retry_policy is not None and \
+                self._retry_policy.admission_gate is not None:
+            # The herding gate's token bucket is shared across
+            # attempts in wall order; no pre-drawn pool replays it.
+            return False
         assert self._fault_plan is not None
-        return self._fault_plan.iid_profile() is not None
+        return (self._fault_plan.iid_profile() is not None
+                or self._fault_plan.ge_profile() is not None)
 
     def _run_window(self, first_period: int, window: int,
                     replanned: bool, believed_pf: float,
@@ -631,48 +655,76 @@ class AdaptiveMirrorManager:
 
         Builds each period's event tape in the exact order the
         per-period loop would (so the workload stream is CRN-
-        identical), replays the whole window with
-        :func:`~repro.sim.fastpath.replay_window_tapes`, then folds
-        observations period by period.  If folding period ``j``
+        identical) and resolves that period's faults immediately
+        after its tape — workload draws then fault draws, period by
+        period, which keeps even a *shared* fault stream
+        bit-identical to the sequential loop.  The pre-resolved
+        window then replays through one
+        :func:`~repro.sim.fastpath.replay_window_tapes` call and
+        observations fold period by period.  If folding period ``j``
         leaves the beliefs wanting a replan, the not-yet-folded tail
-        is *rolled back*: the workload rng rewinds to the snapshot
-        taken before period ``j+1``'s tape was drawn, and the fault
-        rng rewinds to the window start plus exactly the draws the
-        accepted periods consumed — the caller then replans and
-        re-simulates the tail, bit-identical to the sequential loop.
+        is *rolled back*: the fault rng and the Gilbert–Elliott
+        chain state restore to their snapshots from just before
+        period ``j``'s resolution, then the workload rng rewinds to
+        the snapshot taken before period ``j``'s tape was drawn (on
+        a shared stream both are one generator and the workload
+        snapshot is the earlier position, so it must win) — the
+        caller then replans and re-simulates the tail, bit-identical
+        to the sequential loop.
 
         Returns:
             Reports for the accepted prefix (>= 1 period).
         """
         assert self._frequencies is not None
-        fault_start = (self._fault_rng.bit_generator.state
-                       if self._fault_rng is not None else None)
+        sizes = np.asarray(self._true_catalog.sizes, dtype=float)
         rng_states = []
+        fault_states: list = []
+        chain_snapshots: list[np.ndarray | None] = []
         tapes = []
         fault_args = None
+        resolutions = [] if self._faulty else None
+        chain: np.ndarray | None = None
         for j in range(window):
             rng_states.append(self._rng.bit_generator.state)
             simulation = self._build_simulation(first_period + j)
             tapes.append(simulation.build_tape(1))
-            fault_args = simulation.fault_kernel_args()
+            if resolutions is None:
+                continue
+            if fault_args is None:
+                fault_args = simulation.fault_kernel_args()
+                assert fault_args is not None  # _batchable() gated
+                if fault_args["kind"] == "ge":
+                    chain = fault_args["model"].chain_states(
+                        self._true_catalog.n_elements)
+            fault_states.append(
+                fault_args["rng"].bit_generator.state)
+            chain_snapshots.append(chain)
+            resolution, chain = resolve_tape_faults(
+                tapes[-1], sizes, fault_args=fault_args,
+                period_length=1.0,
+                fault_clock_offset=float(first_period + j - 1),
+                initial_bad=chain)
+            resolutions.append(resolution)
         with obs.span("manager.simulate"):
-            results, consumed = replay_window_tapes(
+            results, _consumed = replay_window_tapes(
                 self._true_catalog, self._frequencies, tapes,
                 period_length=1.0, first_global_period=first_period,
-                fault_args=fault_args)
+                fault_args=fault_args, resolutions=resolutions,
+                arena=self._arena)
         reports = []
+        rolled_back = False
         for j, result in enumerate(results):
             if j > 0:
                 pending, divergence = self._would_replan()
                 if pending:
-                    self._rng.bit_generator.state = rng_states[j]
                     if fault_args is not None:
-                        rewound = fault_args["rng"]
-                        assert fault_start is not None
-                        rewound.bit_generator.state = fault_start
-                        burned = int(sum(consumed[:j]))
-                        if burned:
-                            rewound.random(burned)
+                        fault_args["rng"].bit_generator.state = \
+                            fault_states[j]
+                        if chain_snapshots[j] is not None:
+                            fault_args["model"].set_chain_states(
+                                chain_snapshots[j])
+                    self._rng.bit_generator.state = rng_states[j]
+                    rolled_back = True
                     if obs.telemetry_enabled():
                         obs.counter_add("manager.window_rollbacks")
                         obs.counter_add(
@@ -687,6 +739,12 @@ class AdaptiveMirrorManager:
             reports.append(self._make_report(
                 first_period + j, replanned, believed_pf, divergence,
                 result))
+        if chain is not None and not rolled_back \
+                and fault_args is not None:
+            # The whole window was accepted: commit the threaded
+            # chain state so the next window (or a reference run)
+            # picks up where the channel left off.
+            fault_args["model"].set_chain_states(chain)
         return reports
 
     def run(self, n_periods: int, *,
@@ -698,8 +756,9 @@ class AdaptiveMirrorManager:
             batch: Maximum periods per kernel call.  ``None`` (the
                 default) picks ``replan_every`` when a cadence is
                 set, else 16; ``1`` forces the sequential per-period
-                loop.  Batching applies only when the fault setup is
-                stateless (see :meth:`_batchable`); reports are
+                loop.  Batching applies only when the fault setup
+                has a vectorized resolver (see :meth:`_batchable`);
+                reports are
                 bit-identical either way — a mid-window replan
                 trigger rolls the unfolded tail back and re-runs it
                 under the new schedule.

@@ -9,6 +9,14 @@ Tie-breaking at identical timestamps is by event kind: updates apply
 before syncs (a sync at the same instant picks up the new version),
 and accesses observe last (they see the post-sync state).  This makes
 simultaneous-event semantics deterministic.
+
+Memory discipline: a tape is three parallel arrays (structure of
+arrays) — float64 times, int32 element ids, int8 kinds — 13 bytes
+per event instead of 24, which is what keeps 10⁶-element replay
+windows resident.  Element ids are validated to fit int32 (2³¹
+elements is far past the catalog sizes the solvers handle); the
+window batcher widens ids to int64 itself when it tiles several
+periods into one virtual element space.
 """
 
 from __future__ import annotations
@@ -48,7 +56,14 @@ class EventStream:
 
     def __post_init__(self) -> None:
         times = np.asarray(self.times, dtype=float)
-        elements = np.asarray(self.elements, dtype=np.int64)
+        raw_elements = np.asarray(self.elements)
+        if (raw_elements.size
+                and raw_elements.dtype.kind in "iu"
+                and int(raw_elements.max())
+                >= np.iinfo(np.int32).max):
+            raise ValidationError(
+                "element ids must fit int32 (SoA tape layout)")
+        elements = raw_elements.astype(np.int32)
         if times.ndim != 1 or elements.ndim != 1:
             raise ValidationError("times and elements must be 1-D")
         if times.shape != elements.shape:
@@ -58,7 +73,7 @@ class EventStream:
         if times.size and (np.diff(times) < 0.0).any():
             raise ValidationError("event times must be nondecreasing")
         times = times.copy()
-        elements = elements.copy()
+        # astype above already produced a private copy of elements.
         times.flags.writeable = False
         elements.flags.writeable = False
         object.__setattr__(self, "times", times)
@@ -81,13 +96,12 @@ def merge_streams(streams: Iterable[EventStream],
     """
     collected = list(streams)
     if not collected:
-        empty_f = np.empty(0)
-        empty_i = np.empty(0, dtype=np.int64)
-        return empty_f, empty_i, empty_i
+        return (np.empty(0), np.empty(0, dtype=np.int32),
+                np.empty(0, dtype=np.int8))
     times = np.concatenate([stream.times for stream in collected])
     elements = np.concatenate([stream.elements for stream in collected])
     kinds = np.concatenate([
-        np.full(len(stream), int(stream.kind), dtype=np.int64)
+        np.full(len(stream), int(stream.kind), dtype=np.int8)
         for stream in collected
     ])
     order = np.lexsort((kinds, times))

@@ -22,6 +22,22 @@ machine unchanged.  Stateful plans — Gilbert–Elliott chains, latency
 draws (variable bitstream consumption), outage windows, breakers —
 stay on the reference loop; :meth:`Simulation.run` dispatches.
 
+:func:`replay_fastpath_ge` does the same for *single Gilbert–Elliott*
+plans (:meth:`~repro.faults.model.FaultPlan.ge_profile` not None).
+The chain is stateful across attempts, but its per-attempt draw shape
+is fixed — one transition draw, one loss draw, one jitter draw per
+retry — so :func:`resolve_ge_faults` pre-draws the pool, classifies
+each draw against the four thresholds (flip-from-good, flip-from-bad,
+loss-in-good, loss-in-bad) in bulk, and evolves the per-element burst
+state across each element's poll sequence: a true segmented scan
+(Hillis–Steele over associative state-function composition) on the
+retry-free path, a tight scalar cursor walk over the precomputed bit
+tables when retries or budget denials make draw consumption
+data-dependent.  The chain state is threaded through explicitly
+(:meth:`~repro.faults.model.GilbertElliottFaultModel.chain_states`),
+so consecutive runs sharing one plan object stay bit-identical to the
+reference loop's hidden ``_bad`` dict.
+
 How the loop is vectorized
 --------------------------
 
@@ -73,6 +89,7 @@ is vectorized.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -82,15 +99,17 @@ from repro.contracts import (
     contracts_enabled,
 )
 from repro.errors import SimulationError
-from repro.faults.model import PollOutcome
+from repro.faults.model import GilbertElliottFaultModel, PollOutcome
 from repro.faults.retry import RetryPolicy
 from repro.obs import registry as obs
 from repro.sim.events import EventKind
 from repro.sim.evaluator import SimulationResult
 from repro.workloads.catalog import Catalog
 
-__all__ = ["replay_fastpath", "replay_fastpath_faulted",
-           "replay_window_tapes", "resolve_iid_faults"]
+__all__ = ["ReplayArena", "replay_fastpath", "replay_fastpath_faulted",
+           "replay_fastpath_ge", "replay_window_tapes",
+           "resolve_ge_faults", "resolve_iid_faults",
+           "resolve_tape_faults"]
 
 
 def _segment_starts(elements_sorted: np.ndarray
@@ -192,13 +211,21 @@ def _replay_tape(n_elements: int, sizes: np.ndarray,
     sync_kind = int(EventKind.SYNC)
 
     if n_events:
+        # Structure-of-arrays dtype discipline: event counts fit
+        # int32 by a wide margin (a 10⁶-element run is a few million
+        # events), and halving every positional index array is what
+        # keeps the 10⁶-element replay inside the CI memory ceiling.
+        if n_events >= np.iinfo(np.int32).max:
+            raise SimulationError(
+                f"tape of {n_events} events overflows int32 positions")
         order = np.argsort(elements, kind="stable")
         element_of = elements[order]
         time_of = times[order]
         kind_of = kinds[order]
-        positions = np.arange(n_events, dtype=np.int64)
+        positions = np.arange(n_events, dtype=np.int32)
 
         new_segment, segment_start_of = _segment_starts(element_of)
+        segment_start_of = segment_start_of.astype(np.int32, copy=False)
         segment_start_positions = np.flatnonzero(new_segment)
         segment_end_positions = np.append(
             segment_start_positions[1:] - 1, n_events - 1)
@@ -275,7 +302,7 @@ def _replay_tape(n_elements: int, sizes: np.ndarray,
         # an element at any event equals its update count so far, and
         # a poll finds a change iff that count grew since its previous
         # poll (the copy starts at version 0 = zero updates).
-        updates_so_far = np.cumsum(is_update)
+        updates_so_far = np.cumsum(is_update, dtype=np.int32)
         updates_before = ((updates_so_far - is_update)
                           - (updates_so_far[segment_start_of]
                              - is_update[segment_start_of]))
@@ -432,6 +459,7 @@ def replay_fastpath(catalog: Catalog, frequencies: np.ndarray,
                      time_offset=ledger_time_offset)
         obs.counter_add("sim.runs")
         obs.counter_add("sim.fastpath_runs")
+        obs.counter_add("sim.engine.fastpath")
         obs.counter_add("sim.syncs", replay.n_syncs)
         obs.counter_add("sim.useful_syncs", replay.useful_syncs)
         obs.counter_add("sim.updates", replay.n_updates)
@@ -480,8 +508,9 @@ class FaultResolution:
         offsets: Each sync's first draw position in the pre-drawn
             pool (meaningful only where ``attempts > 0``).
         consumed: RNG draws consumed per sync (``2·attempts − 1``
-            with a retry policy in force, ``attempts`` capped at 1
-            without; 0 for denied syncs).
+            for i.i.d. plans, ``3·attempts − 1`` for Gilbert–Elliott
+            plans whose attempts each take a transition *and* a loss
+            draw; 0 for denied syncs).
         denied_retries: Retries refused by the period budget, total.
         trace: The reference channel's per-attempt trace —
             ``(attempt_time, element, outcome_value)`` — or None when
@@ -643,7 +672,8 @@ def _build_trace(sync_times: np.ndarray, sync_elements: np.ndarray,
                  attempts: np.ndarray, success: np.ndarray,
                  offsets: np.ndarray, pool: np.ndarray, *,
                  failure_outcome: PollOutcome,
-                 retry_policy: RetryPolicy | None
+                 retry_policy: RetryPolicy | None,
+                 draw_stride: int = 2
                  ) -> list[tuple[float, int, str]]:
     """Reconstruct the reference channel's per-attempt trace.
 
@@ -651,6 +681,10 @@ def _build_trace(sync_times: np.ndarray, sync_elements: np.ndarray,
     is ``min(base + (max(3·prev, base) − base) · u, max_delay)`` with
     ``u`` the jitter draw interleaved between the attempt draws —
     bit-equal to ``rng.uniform(base, anchor)`` in the reference.
+    ``draw_stride`` is the pool distance between consecutive attempts
+    of one sync: 2 for i.i.d. plans (outcome + jitter), 3 for
+    Gilbert–Elliott (transition + loss + jitter); the jitter draw
+    always sits last, at ``offset + stride·k + stride − 1``.
     """
     trace: list[tuple[float, int, str]] = []
     ok_value = PollOutcome.OK.value
@@ -677,11 +711,270 @@ def _build_trace(sync_times: np.ndarray, sync_elements: np.ndarray,
                      else fail_value)
             trace.append((time, element, value))
             if not last:
-                jitter = pool_list[offset + 2 * k + 1]
+                jitter = pool_list[offset + draw_stride * k
+                                   + draw_stride - 1]
                 anchor = max(3.0 * delay, base)
                 delay = min(base + (anchor - base) * jitter, cap)
                 time += delay
     return trace
+
+
+def _ge_scan_states(sync_elements: np.ndarray, flip_good: np.ndarray,
+                    flip_bad: np.ndarray, initial_bad: np.ndarray
+                    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Post-attempt chain states for the retry-free GE fast route.
+
+    With exactly one attempt per sync, sync ``i``'s transition draw
+    sits at pool position ``2·i`` and the chain for each element
+    evolves as a composition of two-state transition functions — an
+    associative operator, so a Hillis–Steele inclusive scan over the
+    element-sorted sync sequence replaces the sequential walk.  Each
+    per-sync function is encoded as the pair *(state-if-entered-good,
+    state-if-entered-bad)*; composing ``g ∘ f`` routes ``g`` through
+    ``f``'s outputs with two ``np.where`` selects.
+
+    Args:
+        sync_elements: Element index per sync, tape order.
+        flip_good: Whether each pool draw flips a good-state chain.
+        flip_bad: Whether each pool draw flips a bad-state chain.
+        initial_bad: Per-element chain state entering the batch.
+
+    Returns:
+        ``(order, state_after_sorted, final_bad)`` — the stable
+        element sort permutation, each sync's post-transition state in
+        sorted order, and the per-element state after the batch.
+    """
+    m = int(sync_elements.shape[0])
+    order = np.argsort(sync_elements, kind="stable")
+    element_sorted = sync_elements[order]
+    transition_at = order * 2
+    # out-state of this sync's transition, given the in-state:
+    out_if_good = flip_good[transition_at]
+    out_if_bad = ~flip_bad[transition_at]
+    new_segment, segment_start_of = _segment_starts(element_sorted)
+    positions = np.arange(m, dtype=np.int64)
+    shift = 1
+    while shift < m:
+        # Compose each position's aggregate with the aggregate
+        # `shift` places back (when still inside the same segment):
+        # new = current ∘ previous.
+        in_segment = positions - shift >= segment_start_of
+        prev_good = np.empty_like(out_if_good)
+        prev_good[:shift] = False
+        prev_good[shift:] = out_if_good[:-shift]
+        prev_bad = np.empty_like(out_if_bad)
+        prev_bad[:shift] = False
+        prev_bad[shift:] = out_if_bad[:-shift]
+        composed_good = np.where(
+            in_segment, np.where(prev_good, out_if_bad, out_if_good),
+            out_if_good)
+        composed_bad = np.where(
+            in_segment, np.where(prev_bad, out_if_bad, out_if_good),
+            out_if_bad)
+        out_if_good, out_if_bad = composed_good, composed_bad
+        shift <<= 1
+    state_after = np.where(initial_bad[element_sorted],
+                           out_if_bad, out_if_good)
+    final_bad = initial_bad.copy()
+    segment_starts = np.flatnonzero(new_segment)
+    segment_ends = np.append(segment_starts[1:] - 1, m - 1)
+    final_bad[element_sorted[segment_ends]] = state_after[segment_ends]
+    return order, state_after, final_bad
+
+
+# seedflow: pair=repro.faults.channel.SyncChannel.sync
+def resolve_ge_faults(sync_times: np.ndarray,
+                      sync_elements: np.ndarray,
+                      sizes: np.ndarray, *,
+                      p_good_to_bad: float,
+                      p_bad_to_good: float,
+                      loss_good: float,
+                      loss_bad: float,
+                      failure_outcome: PollOutcome,
+                      initial_bad: np.ndarray,
+                      retry_policy: RetryPolicy | None,
+                      bandwidth_budget: float | None,
+                      period_length: float,
+                      rng: np.random.Generator,
+                      record_trace: bool = False
+                      ) -> tuple[FaultResolution, np.ndarray]:
+    """Resolve every sync's fate under a Gilbert–Elliott channel.
+
+    The reference channel consumes, per attempt, one transition draw
+    (compared against the current state's flip probability) and one
+    loss draw (compared against the new state's loss probability),
+    plus one jitter draw per retry — a fixed shape, so the whole
+    stream is pre-drawn in one call and classified against all four
+    thresholds in bulk.  What remains sequential is only the chain
+    itself.  On the retry-free, denial-free route that sequence is an
+    associative function composition and runs as a segmented scan
+    (:func:`_ge_scan_states`); otherwise a tight O(total attempts)
+    cursor walk over the precomputed bit tables places each sync's
+    draws and charges the period ledger, exactly like the i.i.d.
+    resolver.  The bit generator is then rewound and re-advanced by
+    the reference channel's exact consumption.
+
+    Args:
+        sync_times: Scheduled sync times on the fault clock, in clock
+            units, nondecreasing.
+        sync_elements: Element index per scheduled sync.
+        sizes: Per-element transfer sizes, in size units.
+        p_good_to_bad: Per-attempt flip probability out of good.
+        p_bad_to_good: Per-attempt flip probability out of bad.
+        loss_good: Loss probability in the good state.
+        loss_bad: Loss probability in the bad state.
+        failure_outcome: Outcome reported on a failed attempt (must
+            be retryable; the dispatcher guarantees this).
+        initial_bad: Per-element chain state entering this batch,
+            shape ``(n_elements,)``, dtype bool; never mutated.
+        retry_policy: Backoff policy, or None to disable retries.
+        bandwidth_budget: Per-period attempt budget B in size units
+            per period, or None to disable the ledger.
+        period_length: Clock length of one budget period, > 0.
+        rng: The fault generator, advanced exactly as the reference
+            channel would.
+        record_trace: When True, build the reference-identical
+            per-attempt trace.
+
+    Returns:
+        ``(resolution, final_bad)`` — the per-sync
+        :class:`FaultResolution` and the per-element chain state
+        after the batch, for the caller to commit back into the
+        model (:meth:`~repro.faults.model.GilbertElliottFaultModel.
+        set_chain_states`).
+    """
+    m = int(sync_times.shape[0])
+    max_attempts = (1 if retry_policy is None
+                    else retry_policy.max_retries + 1)
+    width = 3 * max_attempts - 1
+    final_bad = np.asarray(initial_bad, dtype=bool).copy()
+
+    if m == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return FaultResolution(
+            attempts=empty, success=np.zeros(0, dtype=bool),
+            denied=np.zeros(0, dtype=bool), offsets=empty.copy(),
+            consumed=empty.copy(), denied_retries=0,
+            trace=[] if record_trace else None), final_bad
+
+    state = rng.bit_generator.state
+    pool = rng.random(m * width + width)
+    flip_good = pool < p_good_to_bad
+    flip_bad = pool < p_bad_to_good
+    fail_good = pool < loss_good
+    fail_bad = pool < loss_bad
+
+    scan_route = max_attempts == 1
+    if scan_route and bandwidth_budget is not None:
+        # The scan needs every sync to make its one attempt.  A
+        # denial in period P happens iff the period's sequential
+        # spend fold exceeds B at some prefix; spends are
+        # nonnegative, so that is iff the period *total* (the same
+        # left-fold, via bincount) exceeds B.  When any period can
+        # deny, fall through to the exact ledger walk.
+        period_index = (sync_times / period_length).astype(np.int64)
+        period_index -= int(period_index[0])
+        period_spend = np.bincount(period_index,
+                                   weights=sizes[sync_elements])
+        scan_route = bool((period_spend <= bandwidth_budget).all())
+
+    denied_retries = 0
+    if scan_route:
+        # Retry-free and denial-free: sync i's draws sit at pool
+        # positions 2i (transition) and 2i+1 (loss), unconditionally.
+        order, state_after, final_bad = _ge_scan_states(
+            sync_elements, flip_good, flip_bad, final_bad)
+        loss_at = order * 2 + 1
+        failed_sorted = np.where(state_after, fail_bad[loss_at],
+                                 fail_good[loss_at])
+        success_arr = np.empty(m, dtype=bool)
+        success_arr[order] = ~failed_sorted
+        attempts_arr = np.ones(m, dtype=np.int64)
+        offsets_arr = np.arange(m, dtype=np.int64) * 2
+        consumed_arr = np.full(m, 2, dtype=np.int64)
+        cursor = 2 * m
+    else:
+        flip_good_list = flip_good.tolist()
+        flip_bad_list = flip_bad.tolist()
+        fail_good_list = fail_good.tolist()
+        fail_bad_list = fail_bad.tolist()
+        size_list = sizes[sync_elements].tolist()
+        period_list = (sync_times
+                       / period_length).astype(np.int64).tolist()
+        element_list = sync_elements.tolist()
+        bad_list = final_bad.tolist()
+        out_attempts = [0] * m
+        out_success = [False] * m
+        out_offsets = [0] * m
+        cursor = 0
+        current_period = 0
+        spent = 0.0
+        budget = bandwidth_budget
+        for i in range(m):
+            period = period_list[i]
+            if period > current_period:
+                current_period = period
+                spent = 0.0
+            size = size_list[i]
+            if budget is not None and spent + size > budget:
+                continue  # denied outright: zero attempts, zero draws
+            element = element_list[i]
+            bad = bad_list[element]
+            out_offsets[i] = cursor
+            attempts = 0
+            success = False
+            draw = cursor
+            while True:
+                # Transition first (flip probability depends on the
+                # in-state), then the loss draw against the new state
+                # — the reference model's exact order.
+                bad = ((not flip_bad_list[draw]) if bad
+                       else flip_good_list[draw])
+                attempts += 1
+                if budget is not None:
+                    spent += size
+                if not (fail_bad_list[draw + 1] if bad
+                        else fail_good_list[draw + 1]):
+                    success = True
+                    break
+                if attempts >= max_attempts:
+                    break
+                if budget is not None and spent + size > budget:
+                    denied_retries += 1
+                    break
+                draw += 3
+            bad_list[element] = bad
+            out_attempts[i] = attempts
+            out_success[i] = success
+            cursor += 3 * attempts - 1
+        attempts_arr = np.asarray(out_attempts, dtype=np.int64)
+        success_arr = np.asarray(out_success, dtype=bool)
+        offsets_arr = np.asarray(out_offsets, dtype=np.int64)
+        consumed_arr = np.where(attempts_arr > 0,
+                                3 * attempts_arr - 1, 0)
+        final_bad = np.asarray(bad_list, dtype=bool)
+
+    # Rewind the oversized pool draw, then advance by exactly what
+    # the reference channel consumed.
+    rng.bit_generator.state = state
+    if cursor:
+        # Data-dependent on purpose: re-advances the rewound stream
+        # by exactly the reference channel's consumption, so this
+        # branch *restores* draw parity rather than breaking it.
+        rng.random(cursor)  # freshlint: disable=FL013
+
+    trace: list[tuple[float, int, str]] | None = None
+    if record_trace:
+        trace = _build_trace(
+            sync_times, sync_elements, attempts_arr, success_arr,
+            offsets_arr, pool, failure_outcome=failure_outcome,
+            retry_policy=retry_policy, draw_stride=3)
+
+    return FaultResolution(
+        attempts=attempts_arr, success=success_arr,
+        denied=attempts_arr == 0, offsets=offsets_arr,
+        consumed=consumed_arr, denied_retries=denied_retries,
+        trace=trace), final_bad
 
 
 # seedflow: pair=repro.sim.simulation.Simulation.run
@@ -730,10 +1023,8 @@ def replay_fastpath_faulted(catalog: Catalog, frequencies: np.ndarray,
         A :class:`SimulationResult` bit-identical to the reference
         loop's for the same tape and fault stream.
     """
-    n_elements = catalog.n_elements
     sizes = np.asarray(catalog.sizes, dtype=float)
-    sync_kind = int(EventKind.SYNC)
-    sync_positions = np.flatnonzero(kinds == sync_kind)
+    sync_positions = np.flatnonzero(kinds == int(EventKind.SYNC))
     sync_elements = elements[sync_positions]
     sync_local_times = times[sync_positions]
 
@@ -745,10 +1036,128 @@ def replay_fastpath_faulted(catalog: Catalog, frequencies: np.ndarray,
         period_length=period_length, rng=rng,
         record_trace=record_fault_trace)
 
+    return _assemble_faulted_result(
+        catalog, frequencies, times, elements, kinds,
+        horizon=horizon, period_length=period_length,
+        n_periods=n_periods, sync_positions=sync_positions,
+        sync_elements=sync_elements,
+        sync_local_times=sync_local_times, resolution=resolution,
+        failure_outcome=failure_outcome,
+        fault_time_offset=fault_time_offset,
+        record_fault_trace=record_fault_trace,
+        engine="fastpath_faulted")
+
+
+# seedflow: pair=repro.sim.simulation.Simulation.run
+def replay_fastpath_ge(catalog: Catalog, frequencies: np.ndarray,
+                       times: np.ndarray, elements: np.ndarray,
+                       kinds: np.ndarray, *, horizon: float,
+                       period_length: float, n_periods: float,
+                       model: GilbertElliottFaultModel,
+                       rng: np.random.Generator,
+                       retry_policy: RetryPolicy | None = None,
+                       bandwidth_budget: float | None = None,
+                       fault_time_offset: float = 0.0,
+                       record_fault_trace: bool = False
+                       ) -> SimulationResult:
+    """Replay a tape under a single Gilbert–Elliott burst-loss plan.
+
+    Reads the model's per-element chain state, resolves every
+    scheduled sync with :func:`resolve_ge_faults`, commits the final
+    chain state back into the model (so consecutive runs sharing one
+    plan object thread the hidden state exactly like the reference
+    channel), then replays the surviving tape through the fault-free
+    segment kernel.  Bit-identical to the reference loop, including
+    attempt/failure accounting, the fault trace, the telemetry
+    period series and the post-run fault-rng stream position.
+
+    Args:
+        catalog: The simulated workload.
+        frequencies: Per-element sync frequencies, in syncs/period.
+        times: Merged event times, globally time-ordered.
+        elements: Element id per merged event.
+        kinds: :class:`~repro.sim.events.EventKind` per merged event.
+        horizon: Total simulated clock time.
+        period_length: Clock length of one sync period.
+        n_periods: Periods simulated (may be fractional).
+        model: The plan's single Gilbert–Elliott model (from
+            :meth:`~repro.faults.model.FaultPlan.ge_profile`); its
+            chain state is read before and committed after the run.
+        rng: The fault generator (shared or dedicated).
+        retry_policy: Backoff policy, or None to disable retries.
+        bandwidth_budget: Per-period attempt budget B in size units,
+            or None to disable the ledger.
+        fault_time_offset: Added to event times on the fault clock,
+            in clock units (whole periods).
+        record_fault_trace: Whether to carry the per-attempt trace.
+
+    Returns:
+        A :class:`SimulationResult` bit-identical to the reference
+        loop's for the same tape and fault stream.
+    """
+    sizes = np.asarray(catalog.sizes, dtype=float)
+    sync_positions = np.flatnonzero(kinds == int(EventKind.SYNC))
+    sync_elements = elements[sync_positions]
+    sync_local_times = times[sync_positions]
+
+    resolution, final_bad = resolve_ge_faults(
+        sync_local_times + fault_time_offset, sync_elements, sizes,
+        p_good_to_bad=model.p_good_to_bad,
+        p_bad_to_good=model.p_bad_to_good,
+        loss_good=model.loss_good, loss_bad=model.loss_bad,
+        failure_outcome=model.failure_outcome,
+        initial_bad=model.chain_states(catalog.n_elements),
+        retry_policy=retry_policy,
+        bandwidth_budget=bandwidth_budget,
+        period_length=period_length, rng=rng,
+        record_trace=record_fault_trace)
+    model.set_chain_states(final_bad)
+
+    return _assemble_faulted_result(
+        catalog, frequencies, times, elements, kinds,
+        horizon=horizon, period_length=period_length,
+        n_periods=n_periods, sync_positions=sync_positions,
+        sync_elements=sync_elements,
+        sync_local_times=sync_local_times, resolution=resolution,
+        failure_outcome=model.failure_outcome,
+        fault_time_offset=fault_time_offset,
+        record_fault_trace=record_fault_trace,
+        engine="fastpath_ge")
+
+
+def _assemble_faulted_result(catalog: Catalog,
+                             frequencies: np.ndarray,
+                             times: np.ndarray, elements: np.ndarray,
+                             kinds: np.ndarray, *, horizon: float,
+                             period_length: float, n_periods: float,
+                             sync_positions: np.ndarray,
+                             sync_elements: np.ndarray,
+                             sync_local_times: np.ndarray,
+                             resolution: FaultResolution,
+                             failure_outcome: PollOutcome,
+                             fault_time_offset: float,
+                             record_fault_trace: bool,
+                             engine: str) -> SimulationResult:
+    """Replay the surviving tape and assemble the faulted result.
+
+    The post-resolution half shared by :func:`replay_fastpath_faulted`
+    and :func:`replay_fastpath_ge`: drop failed syncs, run the
+    fault-free segment kernel, fold the channel-equivalent accounting
+    and emit the telemetry series.  ``engine`` names the dispatching
+    kernel for the ``sim.engine.*`` counters.
+    """
+    n_elements = catalog.n_elements
+    sizes = np.asarray(catalog.sizes, dtype=float)
     keep = np.ones(times.shape[0], dtype=bool)
     keep[sync_positions[~resolution.success]] = False
-    replay = _replay_tape(n_elements, sizes, times[keep],
-                          elements[keep], kinds[keep],
+    # One index gather instead of repeated boolean-mask scans: the
+    # kept view feeds the replay, the period series and the ledger.
+    kept = np.flatnonzero(keep)
+    times_kept = times[kept]
+    elements_kept = elements[kept]
+    kinds_kept = kinds[kept]
+    replay = _replay_tape(n_elements, sizes, times_kept,
+                          elements_kept, kinds_kept,
                           horizon=horizon)
 
     accounting = _FaultAccounting.from_resolution(
@@ -774,7 +1183,7 @@ def replay_fastpath_faulted(catalog: Catalog, frequencies: np.ndarray,
                      - (resolution.attempts > 0)),
             minlength=n_buckets).astype(np.int64)
         _emit_period_series(
-            times[keep], elements[keep], kinds[keep], sizes,
+            times_kept, elements_kept, kinds_kept, sizes,
             replay.fresh_before_global, replay.run_start_global,
             replay.becomes_fresh_global,
             n_elements, period_length=period_length,
@@ -784,11 +1193,12 @@ def replay_fastpath_faulted(catalog: Catalog, frequencies: np.ndarray,
         _emit_monitor_close(replay.element_freshness,
                             replay.element_age, replay.n_accesses,
                             replay.fresh_accesses, horizon)
-        _emit_ledger(times[keep], elements[keep], kinds[keep],
+        _emit_ledger(times_kept, elements_kept, kinds_kept,
                      replay.run_start_global,
                      time_offset=fault_time_offset)
         obs.counter_add("sim.runs")
-        obs.counter_add("sim.fastpath_faulted_runs")
+        obs.counter_add(f"sim.{engine}_runs")
+        obs.counter_add(f"sim.engine.{engine}")
         obs.counter_add("sim.syncs", replay.n_syncs)
         obs.counter_add("sim.useful_syncs", replay.useful_syncs)
         obs.counter_add("sim.updates", replay.n_updates)
@@ -1074,12 +1484,125 @@ def _emit_period_series(times: np.ndarray, elements: np.ndarray,
         obs.gauge_set("sim.budget_utilization", utilization)
 
 
+class ReplayArena:
+    """Reusable scratch buffers for window-batched replays.
+
+    The batched adaptive manager calls :func:`replay_window_tapes`
+    once per replan window; each call concatenates the window's
+    per-period tapes into contiguous working arrays.  An arena keeps
+    one geometrically grown buffer per named slot and hands out
+    prefix views, so after warm-up a steady-state window performs
+    zero concatenation allocations — the "one arena allocation per
+    replay" memory discipline that keeps 10⁶-element adapt runs
+    from churning the allocator.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: dict[str, np.ndarray] = {}
+
+    def take(self, name: str, size: int, dtype: Any) -> np.ndarray:
+        """Return a ``size``-long view of the named scratch buffer.
+
+        Grows the backing buffer geometrically (2×) when ``size``
+        outruns it, and reallocates when the requested dtype changes;
+        contents are uninitialized — callers must overwrite the view.
+        """
+        wanted = np.dtype(dtype)
+        buffer = self._buffers.get(name)
+        if (buffer is None or buffer.dtype != wanted
+                or buffer.shape[0] < size):
+            capacity = max(size, 1)
+            if buffer is not None and buffer.dtype == wanted:
+                capacity = max(capacity, 2 * buffer.shape[0])
+            buffer = np.empty(capacity, dtype=wanted)
+            self._buffers[name] = buffer
+        return buffer[:size]
+
+    def nbytes(self) -> int:
+        """Total bytes currently held across all slots."""
+        return sum(buffer.nbytes
+                   for buffer in self._buffers.values())
+
+
+def resolve_tape_faults(tape: tuple[np.ndarray, np.ndarray,
+                                    np.ndarray],
+                        sizes: np.ndarray, *, fault_args: dict,
+                        period_length: float,
+                        fault_clock_offset: float,
+                        initial_bad: np.ndarray | None = None
+                        ) -> tuple[FaultResolution,
+                                   np.ndarray | None]:
+    """Resolve one period tape's faults ahead of a batched replay.
+
+    The batched manager interleaves fault resolution with tape
+    construction — resolve period ``j`` right after building its
+    tape — so shared-fault-rng plans consume workload and fault
+    draws in exactly the per-period reference order.  Dispatches on
+    ``fault_args["kind"]`` (``"iid"`` or ``"ge"``).
+
+    Gilbert–Elliott plans are resolved against an explicit
+    ``initial_bad`` chain state and the model object is *not*
+    mutated: the caller threads the returned state into the next
+    period's call and commits it to the model only once the window
+    is final (mid-window rollbacks then just drop the tail states).
+
+    Args:
+        tape: One ``(times, elements, kinds)`` merged period tape
+            with local times in ``[0, period_length)``.
+        sizes: Per-element sizes, in bandwidth units.
+        fault_args: Dispatch arguments from
+            :meth:`repro.sim.simulation.Simulation.fault_kernel_args`.
+        period_length: Clock length of one sync period.
+        fault_clock_offset: Added to event times on the fault clock,
+            in clock units (whole periods).
+        initial_bad: Gilbert–Elliott chain state entering the
+            period, or None to read it from the plan model
+            (ignored for i.i.d. plans).
+
+    Returns:
+        ``(resolution, final_bad)`` where ``final_bad`` is the chain
+        state after the period for Gilbert–Elliott plans and None
+        for i.i.d. plans.
+    """
+    times, elements, kinds = tape
+    sync_positions = np.flatnonzero(kinds == int(EventKind.SYNC))
+    sync_elements = elements[sync_positions]
+    sync_times = times[sync_positions] + fault_clock_offset
+    if fault_args.get("kind", "iid") == "ge":
+        model = fault_args["model"]
+        if initial_bad is None:
+            initial_bad = model.chain_states(sizes.shape[0])
+        return resolve_ge_faults(
+            sync_times, sync_elements, sizes,
+            p_good_to_bad=model.p_good_to_bad,
+            p_bad_to_good=model.p_bad_to_good,
+            loss_good=model.loss_good, loss_bad=model.loss_bad,
+            failure_outcome=model.failure_outcome,
+            initial_bad=initial_bad,
+            retry_policy=fault_args["retry_policy"],
+            bandwidth_budget=fault_args["bandwidth_budget"],
+            period_length=period_length, rng=fault_args["rng"],
+            record_trace=False)
+    resolution = resolve_iid_faults(
+        sync_times, sync_elements, sizes,
+        failure_probability=fault_args["failure_probability"],
+        failure_outcome=fault_args["failure_outcome"],
+        retry_policy=fault_args["retry_policy"],
+        bandwidth_budget=fault_args["bandwidth_budget"],
+        period_length=period_length, rng=fault_args["rng"],
+        record_trace=False)
+    return resolution, None
+
+
 def replay_window_tapes(catalog: Catalog, frequencies: np.ndarray,
                         tapes: list[tuple[np.ndarray, np.ndarray,
                                           np.ndarray]], *,
                         period_length: float,
                         first_global_period: int,
-                        fault_args: dict | None = None
+                        fault_args: dict | None = None,
+                        resolutions: (list[FaultResolution]
+                                      | None) = None,
+                        arena: ReplayArena | None = None
                         ) -> tuple[list[SimulationResult], list[int]]:
     """Replay several consecutive one-period tapes in one kernel call.
 
@@ -1106,13 +1629,23 @@ def replay_window_tapes(catalog: Catalog, frequencies: np.ndarray,
             ``(first_global_period + j − 1) · period_length``.
         fault_args: The dispatch arguments from
             :meth:`repro.sim.simulation.Simulation.fault_kernel_args`
-            (failure probability/outcome, retry policy, budget,
-            rng), or None for a fault-free window.  The fault rng
-            must be *dedicated* (not shared with the workload rng):
-            per-period runs interleave workload and fault draws on a
-            shared stream, while a batched window draws all tapes
-            before any faults — only a separate fault generator keeps
-            both orders bit-identical.
+            (``kind`` ``"iid"`` or ``"ge"`` plus failure model,
+            retry policy, budget, rng), or None for a fault-free
+            window.  Unless ``resolutions`` is supplied, the fault
+            rng must be *dedicated* (not shared with the workload
+            rng): per-period runs interleave workload and fault draws
+            on a shared stream, while a batched window draws all
+            tapes before any faults — only a separate fault generator
+            keeps both orders bit-identical.
+        resolutions: Pre-computed per-period fault resolutions from
+            :func:`resolve_tape_faults`, one per tape, produced by
+            interleaving resolution with tape construction.  With
+            these the shared-stream restriction above disappears —
+            the draws already happened in per-period order — and
+            this function consumes no RNG.  Requires ``fault_args``
+            for the accounting metadata (outcome, budget).
+        arena: Scratch-buffer :class:`ReplayArena` reused across
+            windows, or None to allocate per call.
 
     Returns:
         ``(results, consumed)`` — one :class:`SimulationResult` per
@@ -1132,13 +1665,42 @@ def replay_window_tapes(catalog: Catalog, frequencies: np.ndarray,
                       dtype=np.int64)
     bounds = np.concatenate([np.zeros(1, dtype=np.int64),
                              np.cumsum(counts)])
-    times = np.concatenate([tape[0] for tape in tapes])
-    elements_local = np.concatenate([tape[1] for tape in tapes])
-    kinds = np.concatenate([tape[2] for tape in tapes])
-    tile_of_event = np.repeat(np.arange(n_windows, dtype=np.int64),
-                              counts)
-    elements_tiled = elements_local + tile_of_event * n_elements
-    tiled_sizes = np.tile(sizes, n_windows)
+    n_events = int(bounds[-1])
+
+    def gather(name: str, parts: list[np.ndarray],
+               dtype: Any) -> np.ndarray:
+        """Concatenate per-period arrays into one arena-backed run."""
+        cast = [np.asarray(part, dtype=dtype) for part in parts]
+        if arena is None:
+            return np.concatenate(cast)
+        out = arena.take(name, n_events, dtype)
+        np.concatenate(cast, out=out)
+        return out
+
+    times = gather("times", [tape[0] for tape in tapes], np.float64)
+    elements_local = gather("elements", [tape[1] for tape in tapes],
+                            np.int64)
+    kinds = gather("kinds", [tape[2] for tape in tapes], np.int64)
+    if arena is None:
+        tile_of_event = np.repeat(
+            np.arange(n_windows, dtype=np.int64), counts)
+        elements_tiled = (elements_local
+                          + tile_of_event * n_elements)
+        tiled_sizes = np.tile(sizes, n_windows)
+        keep = np.ones(n_events, dtype=bool)
+    else:
+        tile_of_event = arena.take("tiles", n_events, np.int64)
+        for j in range(n_windows):
+            tile_of_event[int(bounds[j]):int(bounds[j + 1])] = j
+        elements_tiled = arena.take("elements_tiled", n_events,
+                                    np.int64)
+        np.multiply(tile_of_event, n_elements, out=elements_tiled)
+        elements_tiled += elements_local
+        tiled_sizes = arena.take("tiled_sizes",
+                                 n_windows * n_elements, np.float64)
+        tiled_sizes.reshape(n_windows, n_elements)[:] = sizes
+        keep = arena.take("keep", n_events, bool)
+        keep[:] = True
 
     sync_positions = np.flatnonzero(kinds == sync_kind)
     sync_elements = elements_local[sync_positions]
@@ -1146,31 +1708,85 @@ def replay_window_tapes(catalog: Catalog, frequencies: np.ndarray,
     sync_bounds = np.searchsorted(sync_tiles,
                                   np.arange(n_windows + 1))
 
+    fault_kind = (fault_args.get("kind", "iid")
+                  if fault_args is not None else None)
     resolution: FaultResolution | None = None
     consumed = [0] * n_windows
-    keep = np.ones(times.shape[0], dtype=bool)
-    if fault_args is not None:
+    if resolutions is not None:
+        if fault_args is None:
+            raise SimulationError(
+                "replay_window_tapes: resolutions requires "
+                "fault_args for the accounting metadata")
+        if len(resolutions) != n_windows:
+            raise SimulationError(
+                "replay_window_tapes: expected one resolution per "
+                f"tape, got {len(resolutions)} for {n_windows}")
+        resolution = FaultResolution(
+            attempts=np.concatenate(
+                [r.attempts for r in resolutions]),
+            success=np.concatenate(
+                [r.success for r in resolutions]),
+            denied=np.concatenate([r.denied for r in resolutions]),
+            offsets=np.concatenate(
+                [r.offsets for r in resolutions]),
+            consumed=np.concatenate(
+                [r.consumed for r in resolutions]),
+            denied_retries=sum(r.denied_retries
+                               for r in resolutions),
+            trace=None)
+        if resolution.success.shape[0] != sync_positions.shape[0]:
+            raise SimulationError(
+                "replay_window_tapes: resolutions cover "
+                f"{resolution.success.shape[0]} syncs but the "
+                f"window schedules {sync_positions.shape[0]}")
+        consumed = [int(r.consumed.sum()) for r in resolutions]
+    elif fault_args is not None:
         fault_offsets = ((first_global_period - 1 + sync_tiles)
                          * period_length)
-        resolution = resolve_iid_faults(
-            times[sync_positions] + fault_offsets, sync_elements,
-            sizes,
-            failure_probability=fault_args["failure_probability"],
-            failure_outcome=fault_args["failure_outcome"],
-            retry_policy=fault_args["retry_policy"],
-            bandwidth_budget=fault_args["bandwidth_budget"],
-            period_length=period_length, rng=fault_args["rng"],
-            record_trace=False)
+        if fault_kind == "ge":
+            model = fault_args["model"]
+            resolution, final_bad = resolve_ge_faults(
+                times[sync_positions] + fault_offsets,
+                sync_elements, sizes,
+                p_good_to_bad=model.p_good_to_bad,
+                p_bad_to_good=model.p_bad_to_good,
+                loss_good=model.loss_good,
+                loss_bad=model.loss_bad,
+                failure_outcome=model.failure_outcome,
+                initial_bad=model.chain_states(n_elements),
+                retry_policy=fault_args["retry_policy"],
+                bandwidth_budget=fault_args["bandwidth_budget"],
+                period_length=period_length,
+                rng=fault_args["rng"], record_trace=False)
+            model.set_chain_states(final_bad)
+        else:
+            resolution = resolve_iid_faults(
+                times[sync_positions] + fault_offsets,
+                sync_elements, sizes,
+                failure_probability=fault_args[
+                    "failure_probability"],
+                failure_outcome=fault_args["failure_outcome"],
+                retry_policy=fault_args["retry_policy"],
+                bandwidth_budget=fault_args["bandwidth_budget"],
+                period_length=period_length, rng=fault_args["rng"],
+                record_trace=False)
+    if resolution is not None:
         keep[sync_positions[~resolution.success]] = False
-        consumed = np.bincount(
-            sync_tiles, weights=resolution.consumed,
-            minlength=n_windows).astype(np.int64).tolist()
+        if resolutions is None:
+            consumed = np.bincount(
+                sync_tiles, weights=resolution.consumed,
+                minlength=n_windows).astype(np.int64).tolist()
+    engine_label = ("fastpath" if resolution is None
+                    else "fastpath_ge" if fault_kind == "ge"
+                    else "fastpath_faulted")
 
-    times_f = times[keep]
-    elements_f = elements_local[keep]
-    kinds_f = kinds[keep]
+    # One index gather instead of four boolean-mask scans.
+    kept = np.flatnonzero(keep)
+    times_f = times[kept]
+    elements_f = elements_local[kept]
+    kinds_f = kinds[kept]
     replay = _replay_tape(n_windows * n_elements, tiled_sizes,
-                          times_f, elements_tiled[keep], kinds_f,
+                          times_f, elements_tiled[kept], kinds_f,
                           horizon=period_length)
     filtered_bounds = np.concatenate(
         [np.zeros(1, dtype=np.int64), np.cumsum(keep)])[bounds]
@@ -1263,9 +1879,8 @@ def replay_window_tapes(catalog: Catalog, frequencies: np.ndarray,
                          time_offset=((first_global_period - 1 + j)
                                       * period_length))
             obs.counter_add("sim.runs")
-            obs.counter_add("sim.fastpath_faulted_runs"
-                            if resolution is not None
-                            else "sim.fastpath_runs")
+            obs.counter_add(f"sim.{engine_label}_runs")
+            obs.counter_add(f"sim.engine.{engine_label}")
             obs.counter_add("sim.syncs", n_syncs_j)
             obs.counter_add("sim.useful_syncs", useful_j)
             obs.counter_add("sim.updates", n_updates_j)
@@ -1347,9 +1962,12 @@ def replay_window_tapes(catalog: Catalog, frequencies: np.ndarray,
     if telemetry_on and resolution is not None:
         accounting_total = _FaultAccounting.from_resolution(
             resolution, sync_elements, sizes, n_elements)
-        _emit_fault_counters(accounting_total,
-                             fault_args["failure_outcome"]
-                             if fault_args is not None
-                             else PollOutcome.ERROR)
+        if fault_args is None:
+            outcome = PollOutcome.ERROR
+        elif fault_kind == "ge":
+            outcome = fault_args["model"].failure_outcome
+        else:
+            outcome = fault_args["failure_outcome"]
+        _emit_fault_counters(accounting_total, outcome)
 
     return results, consumed

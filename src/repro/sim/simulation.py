@@ -34,7 +34,11 @@ from repro.faults.topology import Topology
 from repro.obs import registry as obs
 from repro.sim.events import EventKind, EventStream, merge_streams
 from repro.sim.evaluator import FreshnessMonitor, SimulationResult
-from repro.sim.fastpath import replay_fastpath, replay_fastpath_faulted
+from repro.sim.fastpath import (
+    replay_fastpath,
+    replay_fastpath_faulted,
+    replay_fastpath_ge,
+)
 from repro.sim.generators import RequestGenerator, UpdateGenerator
 from repro.sim.mirror import Mirror
 from repro.sim.source import Source
@@ -282,11 +286,17 @@ class Simulation:
     def fault_kernel_args(self) -> dict | None:
         """The faulted kernel's plan/ledger arguments, if eligible.
 
-        Returns None when the simulation is fault-free or its plan is
-        stateful (no vectorized replay); otherwise the keyword
-        arguments — failure probability/outcome, retry policy, budget
-        and fault rng — shared by :func:`replay_fastpath_faulted` and
-        :func:`repro.sim.fastpath.replay_window_tapes`.
+        Returns None when the simulation is fault-free or its plan
+        needs the reference loop (multi-model, latency, outages, a
+        breaker, a relay topology, or a gated retry policy whose
+        shared token bucket is cross-run stateful); otherwise the
+        keyword arguments consumed by
+        :func:`replay_fastpath_faulted`/:func:`replay_fastpath_ge`
+        and :func:`repro.sim.fastpath.replay_window_tapes`, tagged
+        with ``"kind"``: ``"iid"`` (failure probability/outcome) or
+        ``"ge"`` (the single Gilbert–Elliott model, whose chain
+        state the kernel threads explicitly), plus the shared retry
+        policy, budget and fault rng.
         """
         if self._fault_plan is None or self._fault_plan.is_quiet:
             return None
@@ -296,21 +306,30 @@ class Simulation:
             # Hop ledgers and path latency are per-attempt stateful
             # effects the vectorized kernel cannot replay.
             return None
-        profile = self._fault_plan.iid_profile()
-        if profile is None:
+        if self._retry_policy is not None and \
+                self._retry_policy.admission_gate is not None:
+            # The herding gate's token bucket is shared across runs
+            # (and managers); its admission order cannot be replayed
+            # from a pre-drawn pool.
             return None
         budget = (self._bandwidth_budget
                   if self._bandwidth_budget is not None
                   else (self._planned_per_period
                         if self._planned_per_period > 0.0 else None))
-        return {
-            "failure_probability": profile[0],
-            "failure_outcome": profile[1],
+        common = {
             "retry_policy": self._retry_policy,
             "bandwidth_budget": budget,
             "rng": (self._fault_rng if self._fault_rng is not None
                     else self._rng),
         }
+        profile = self._fault_plan.iid_profile()
+        if profile is not None:
+            return {"kind": "iid", "failure_probability": profile[0],
+                    "failure_outcome": profile[1], **common}
+        model = self._fault_plan.ge_profile()
+        if model is not None:
+            return {"kind": "ge", "model": model, **common}
+        return None
 
     def run(self, n_periods: float, *,
             engine: str = "auto") -> SimulationResult:
@@ -323,13 +342,16 @@ class Simulation:
             engine: ``"auto"`` (default) replays fault-free tapes with
                 the vectorized kernel (:mod:`repro.sim.fastpath`),
                 stateless i.i.d.-loss plans with the vectorized
-                faulted kernel, and falls back to the per-event
-                reference loop for stateful plans (Gilbert–Elliott,
-                latency, outages, breakers); ``"fastpath"`` insists on
-                a kernel (an error for stateful plans);
-                ``"reference"`` forces the loop.  The engines are
-                bit-identical, so this knob exists for equivalence
-                tests and debugging, not for correctness.
+                faulted kernel, single retryable Gilbert–Elliott
+                plans with the scan-vectorized burst kernel, and
+                falls back to the per-event reference loop for
+                everything else (latency, multi-model, outages,
+                breakers, topologies, gated retries);
+                ``"fastpath"`` insists on a kernel (an error for
+                reference-only plans); ``"reference"`` forces the
+                loop.  The engines are bit-identical, so this knob
+                exists for equivalence tests and debugging, not for
+                correctness.
 
         Returns:
             The measured :class:`SimulationResult`.
@@ -347,8 +369,10 @@ class Simulation:
         # A quiet (or absent) fault plan bypasses the channel
         # entirely: the fault-free paths below consume no extra
         # random draws, so results stay bit-identical.  Stateless
-        # i.i.d. loss takes the vectorized faulted kernel; stateful
-        # plans (GE/latency/outages/breaker) stay on the loop.
+        # i.i.d. loss and single retryable Gilbert–Elliott plans
+        # take the vectorized faulted kernels; everything else
+        # (latency/multi-model/outages/breaker/topology/gated
+        # retries) stays on the loop.
         planned_per_period = self._planned_per_period
         fault_free = self._fault_plan is None or self._fault_plan.is_quiet
         kernel_faults = (None if fault_free
@@ -356,10 +380,11 @@ class Simulation:
         if engine == "fastpath" and not fault_free and \
                 kernel_faults is None:
             raise ValidationError(
-                "engine='fastpath' cannot replay a stateful fault "
-                "plan (Gilbert–Elliott, latency, outage windows, a "
-                "breaker or a relay topology); use 'auto' or "
-                "'reference'")
+                "engine='fastpath' cannot replay this fault plan "
+                "(latency draws, multiple models, outage windows, a "
+                "breaker, a relay topology, a gated retry policy or "
+                "a non-retryable Gilbert–Elliott outcome); use "
+                "'auto' or 'reference'")
         if fault_free and engine != "reference":
             with obs.span("sim.run"):
                 result = replay_fastpath(
@@ -379,15 +404,19 @@ class Simulation:
                     where="Simulation.run")
             return result
         if kernel_faults is not None and engine != "reference":
+            kernel_kwargs = dict(kernel_faults)
+            kernel = (replay_fastpath_ge
+                      if kernel_kwargs.pop("kind") == "ge"
+                      else replay_fastpath_faulted)
             with obs.span("sim.run"):
-                result = replay_fastpath_faulted(
+                result = kernel(
                     self._catalog, self._frequencies, times, elements,
                     kinds, horizon=horizon,
                     period_length=self._period_length,
                     n_periods=n_periods,
                     fault_time_offset=self._fault_time_offset,
                     record_fault_trace=self._record_fault_trace,
-                    **kernel_faults)
+                    **kernel_kwargs)
             if contracts_enabled():
                 scheduled = self._frequencies > 0.0
                 granularity = float(self._catalog.sizes[scheduled].sum())
@@ -542,6 +571,7 @@ class Simulation:
                                  if n_accesses else float(p @ element_freshness))
         if tracker is not None:
             obs.counter_add("sim.runs")
+            obs.counter_add("sim.engine.reference")
             obs.counter_add("sim.syncs", mirror.total_syncs)
             obs.counter_add("sim.useful_syncs", useful_syncs)
             obs.counter_add("sim.updates", n_updates)

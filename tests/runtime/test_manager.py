@@ -215,7 +215,10 @@ class TestBatchedWindows:
         assert any(r.replanned for r in sequential[1:])
         self._reports_equal(sequential, batched)
 
-    def test_stateful_faults_fall_back_to_sequential(self, world):
+    def test_ge_batched_matches_sequential(self, world):
+        """Gilbert–Elliott plans batch through the scan kernel now;
+        the windowed run must stay bit-identical, chain threading
+        included."""
         from repro.faults.model import GilbertElliottFaultModel
 
         def runner(batch):
@@ -224,7 +227,68 @@ class TestBatchedWindows:
                 fault_plan=FaultPlan(
                     models=(GilbertElliottFaultModel(0.2, 0.5),)),
                 retry_policy=RetryPolicy(max_retries=2),
-                replan_every=4).run(6, batch=batch)
+                replan_every=4).run(12, batch=batch)
+
+        self._reports_equal(runner(1), runner(None))
+
+    @pytest.mark.parametrize("kind", ["iid", "ge"])
+    def test_shared_fault_rng_batched_matches_sequential(
+            self, world, kind):
+        """share_fault_rng=True interleaves workload and fault draws
+        on one stream; the batched loop resolves each period's
+        faults right after its tape, so it must still match."""
+        from repro.faults.model import GilbertElliottFaultModel
+
+        def plan():
+            if kind == "iid":
+                return FaultPlan.iid(0.25)
+            return FaultPlan(
+                models=(GilbertElliottFaultModel(0.2, 0.5),))
+
+        def runner(batch):
+            return make_manager(
+                world, fault_plan=plan(), share_fault_rng=True,
+                replan_every=4).run(12, batch=batch)
+
+        self._reports_equal(runner(1), runner(None))
+
+    def test_ge_drift_rollback_matches_sequential(self, world):
+        """A mid-window drift replan on a GE plan must restore the
+        fault stream *and* the chain-state snapshot before re-running
+        the tail."""
+        from repro.faults.model import GilbertElliottFaultModel
+
+        def runner(batch):
+            return make_manager(
+                world,
+                fault_plan=FaultPlan(
+                    models=(GilbertElliottFaultModel(0.25, 0.4),)),
+                retry_policy=RetryPolicy(max_retries=2),
+                replan_every=0, replan_divergence=0.03).run(
+                14, batch=batch)
+
+        sequential = runner(1)
+        batched = runner(8)
+        assert any(r.replanned for r in sequential[1:])
+        self._reports_equal(sequential, batched)
+
+    def test_gated_retries_fall_back_to_sequential(self, world):
+        """A shared admission gate keeps the loop per-period (its
+        token bucket is cross-attempt stateful) — and reports must
+        still agree because batch collapses to the sequential
+        path."""
+        from repro.faults.retry import RetryAdmissionGate
+
+        def runner(batch):
+            manager = make_manager(
+                world, fault_plan=FaultPlan.iid(0.25),
+                retry_policy=RetryPolicy(
+                    max_retries=2,
+                    admission_gate=RetryAdmissionGate(
+                        capacity=4.0, refill_rate=2.0)),
+                replan_every=4)
+            assert not manager._batchable()
+            return manager.run(6, batch=batch)
 
         self._reports_equal(runner(1), runner(4))
 

@@ -188,6 +188,11 @@ def _ge_plan():
     return FaultPlan(models=(GilbertElliottFaultModel(0.2, 0.5),))
 
 
+def _ge_unreachable_plan():
+    return FaultPlan(models=(GilbertElliottFaultModel(
+        0.2, 0.5, failure=PollOutcome.UNREACHABLE),))
+
+
 def _latency_plan():
     return FaultPlan(models=(LatencyFaultModel(0.05, 0.1),))
 
@@ -204,14 +209,18 @@ def _multi_iid_plan():
 
 #: (plan factory, expected engine under "auto"): the dispatch matrix.
 #: Stateless single-model i.i.d. retryable loss takes the faulted
-#: kernel; everything stateful or variable-draw stays on the loop.
+#: kernel, a single *retryable* Gilbert–Elliott chain takes the
+#: scan-vectorized burst kernel; everything else — variable draw
+#: shapes, fast-fail outcomes, outages, multiple models — stays on
+#: the loop.
 _DISPATCH_MATRIX = [
     (None, "fastpath"),
     (_quiet_plan, "fastpath"),
     (_iid_plan, "fastpath_faulted"),
     (_iid_timeout_plan, "fastpath_faulted"),
     (_iid_unreachable_plan, "reference"),
-    (_ge_plan, "reference"),
+    (_ge_plan, "fastpath_ge"),
+    (_ge_unreachable_plan, "reference"),
     (_latency_plan, "reference"),
     (_outage_plan, "reference"),
     (_multi_iid_plan, "reference"),
@@ -223,7 +232,10 @@ class TestDispatch:
     def test_auto_dispatch_matrix(self, preset_catalog, factory,
                                   expected):
         """auto must route each plan class to its engine — and stay
-        bit-identical to a forced reference run either way."""
+        bit-identical to a forced reference run either way.  The
+        ``sim.engine.*`` counters are the dispatch decision's public
+        record, so the matrix reads them rather than inferring the
+        path from side effects."""
         plan = PerceivedFreshener().plan(preset_catalog, 20.0)
         # A fresh plan per run: Gilbert–Elliott chains carry hidden
         # per-element state across runs, so sharing one object would
@@ -233,20 +245,36 @@ class TestDispatch:
                 preset_catalog, plan.frequencies, engine="auto",
                 seed=71, n_periods=4.0,
                 fault_plan=factory() if factory is not None else None)
-        kernels = {
-            "fastpath": registry.counters.get("sim.fastpath_runs", 0),
-            "fastpath_faulted": registry.counters.get(
-                "sim.fastpath_faulted_runs", 0),
-        }
-        assert kernels.get(expected, 0) == (
-            1 if expected != "reference" else 0)
-        assert sum(kernels.values()) == (
-            0 if expected == "reference" else 1)
+        engines = {
+            name: registry.counters.get(f"sim.engine.{name}", 0)
+            for name in ("fastpath", "fastpath_faulted",
+                         "fastpath_ge", "reference")}
+        assert engines == {name: (1 if name == expected else 0)
+                           for name in engines}
         reference = run_engine(
             preset_catalog, plan.frequencies, engine="reference",
             seed=71, n_periods=4.0,
             fault_plan=factory() if factory is not None else None)
         assert_bit_identical(auto, reference)
+
+    def test_gated_retry_policy_stays_reference(self, preset_catalog):
+        """A shared admission gate is cross-run stateful: even an
+        otherwise kernel-eligible i.i.d. or GE plan must stay on the
+        reference loop."""
+        from repro.faults.retry import RetryAdmissionGate
+        plan_freq = PerceivedFreshener().plan(preset_catalog, 20.0)
+        for factory in (_iid_plan, _ge_plan):
+            sim = Simulation(
+                preset_catalog, plan_freq.frequencies,
+                request_rate=40.0, rng=np.random.default_rng(0),
+                fault_plan=factory(),
+                retry_policy=RetryPolicy(
+                    max_retries=2,
+                    admission_gate=RetryAdmissionGate(
+                        capacity=4.0, refill_rate=2.0)))
+            assert sim.fault_kernel_args() is None
+            with pytest.raises(ValidationError):
+                sim.run(n_periods=2.0, engine="fastpath")
 
     @pytest.mark.parametrize(
         "factory,accepted",
@@ -380,6 +408,149 @@ class TestFaultedBitIdentity:
             record_fault_trace=bool(rng.integers(0, 2)))
 
 
+class TestGEBitIdentity:
+    """The Gilbert–Elliott kernel meets the same bit-identity bar —
+    results, fault trace, hidden chain state and post-run fault-rng
+    stream position all must equal the reference channel's."""
+
+    @staticmethod
+    def _run(catalog, frequencies, engine, *, seed, n_periods,
+             plan_factory, runs=1, request_rate=40.0, **kwargs):
+        plan = plan_factory()
+        fault_rng = np.random.default_rng(seed + 1)
+        sim = Simulation(catalog, frequencies,
+                         request_rate=request_rate,
+                         rng=np.random.default_rng(seed),
+                         fault_plan=plan, fault_rng=fault_rng,
+                         **kwargs)
+        result = None
+        for _ in range(runs):
+            result = sim.run(n_periods=n_periods, engine=engine)
+        chain = plan.models[0].chain_states(catalog.n_elements)
+        return result, fault_rng.bit_generator.state, chain
+
+    def _agree(self, catalog, frequencies, **kwargs):
+        fast, fast_state, fast_chain = self._run(
+            catalog, frequencies, "fastpath", **kwargs)
+        ref, ref_state, ref_chain = self._run(
+            catalog, frequencies, "reference", **kwargs)
+        assert_bit_identical(fast, ref)
+        assert fast_state == ref_state
+        assert np.array_equal(fast_chain, ref_chain)
+        return fast, ref
+
+    @pytest.mark.parametrize("loss_good,loss_bad",
+                             [(0.0, 1.0), (0.1, 0.9), (0.0, 0.5)])
+    def test_loss_rates(self, preset_catalog, loss_good, loss_bad):
+        plan = PerceivedFreshener().plan(preset_catalog, 20.0)
+        self._agree(
+            preset_catalog, plan.frequencies, seed=211,
+            n_periods=6.0,
+            plan_factory=lambda: FaultPlan.bursty(
+                0.2, 0.5, loss_good=loss_good, loss_bad=loss_bad))
+
+    def test_retries(self, preset_catalog):
+        plan = PerceivedFreshener().plan(preset_catalog, 20.0)
+        self._agree(
+            preset_catalog, plan.frequencies, seed=223,
+            n_periods=5.0,
+            plan_factory=lambda: FaultPlan.bursty(0.3, 0.4),
+            retry_policy=RetryPolicy(max_retries=3))
+
+    @pytest.mark.parametrize("budget_scale", [0.15, 0.6, 1.0])
+    def test_tight_budgets_deny_identically(self, sized_catalog,
+                                            budget_scale):
+        plan = PerceivedFreshener().plan(sized_catalog, 6.0)
+        budget = float(
+            sized_catalog.sizes @ plan.frequencies) * budget_scale
+        self._agree(
+            sized_catalog, plan.frequencies, seed=227,
+            n_periods=8.0, request_rate=30.0,
+            plan_factory=lambda: FaultPlan.bursty(0.25, 0.5),
+            retry_policy=RetryPolicy(max_retries=4),
+            bandwidth_budget=budget)
+
+    def test_fault_trace_identical(self, sized_catalog):
+        plan = PerceivedFreshener().plan(sized_catalog, 6.0)
+        fast, ref = self._agree(
+            sized_catalog, plan.frequencies, seed=229,
+            n_periods=4.0, request_rate=30.0,
+            plan_factory=lambda: FaultPlan.bursty(
+                0.3, 0.4, loss_good=0.2, loss_bad=0.95),
+            retry_policy=RetryPolicy(max_retries=3),
+            record_fault_trace=True)
+        assert fast.fault_trace is not None
+        assert fast.fault_trace == ref.fault_trace
+
+    def test_no_retry_scan_path(self, preset_catalog):
+        """An ample budget with no retries takes the segmented-scan
+        route (denial-free, fixed two draws per sync)."""
+        plan = PerceivedFreshener().plan(preset_catalog, 20.0)
+        self._agree(
+            preset_catalog, plan.frequencies, seed=233,
+            n_periods=7.25,
+            plan_factory=lambda: FaultPlan.bursty(0.2, 0.5),
+            bandwidth_budget=1e9)
+
+    def test_fault_time_offset(self, preset_catalog):
+        plan = PerceivedFreshener().plan(preset_catalog, 20.0)
+        self._agree(
+            preset_catalog, plan.frequencies, seed=239,
+            n_periods=3.0,
+            plan_factory=lambda: FaultPlan.bursty(0.2, 0.5),
+            retry_policy=RetryPolicy(max_retries=2),
+            fault_time_offset=4.0)
+
+    @pytest.mark.parametrize("n_periods", [0.75, 4.5])
+    def test_partial_periods(self, preset_catalog, n_periods):
+        plan = PerceivedFreshener().plan(preset_catalog, 20.0)
+        self._agree(
+            preset_catalog, plan.frequencies, seed=241,
+            n_periods=n_periods,
+            plan_factory=lambda: FaultPlan.bursty(0.35, 0.3))
+
+    def test_sequential_runs_thread_chain_state(self,
+                                                preset_catalog):
+        """Two runs on one plan object: the second run must start
+        from the first run's committed burst states, exactly like
+        the reference channel's hidden per-element dict."""
+        plan = PerceivedFreshener().plan(preset_catalog, 20.0)
+        self._agree(
+            preset_catalog, plan.frequencies, seed=251,
+            n_periods=3.0, runs=2,
+            plan_factory=lambda: FaultPlan.bursty(0.3, 0.3))
+
+    @given(seed=st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_random_ge_catalogs_bit_identical(self, seed):
+        rng = np.random.default_rng(seed)
+        catalog = random_catalog(rng, int(rng.integers(3, 40)),
+                                 sized=bool(rng.integers(0, 2)))
+        bandwidth = float(catalog.sizes.sum()
+                          * rng.uniform(0.2, 2.0))
+        plan = PerceivedFreshener().plan(catalog, bandwidth)
+        planned = float(catalog.sizes @ plan.frequencies)
+        budget = (planned * float(rng.uniform(0.2, 1.5))
+                  if planned > 0.0 and rng.integers(0, 2) else None)
+        retry = (RetryPolicy(max_retries=int(rng.integers(0, 5)))
+                 if rng.integers(0, 2) else None)
+        failure = (PollOutcome.TIMEOUT if rng.integers(0, 2)
+                   else PollOutcome.ERROR)
+        p_gb = float(rng.uniform(0.0, 1.0))
+        p_bg = float(rng.uniform(0.0, 1.0))
+        loss_good = float(rng.uniform(0.0, 0.5))
+        loss_bad = float(rng.uniform(0.5, 1.0))
+        self._agree(
+            catalog, plan.frequencies, seed=seed,
+            n_periods=float(rng.uniform(0.5, 9.0)),
+            request_rate=float(rng.uniform(5.0, 120.0)),
+            plan_factory=lambda: FaultPlan.bursty(
+                p_gb, p_bg, loss_good=loss_good, loss_bad=loss_bad,
+                failure=failure),
+            retry_policy=retry, bandwidth_budget=budget,
+            record_fault_trace=bool(rng.integers(0, 2)))
+
+
 class TestWindowReplay:
     """Tiled window batching vs separate per-period runs."""
 
@@ -433,6 +604,95 @@ class TestWindowReplay:
             assert_bit_identical(win, ref)
         if not faulty:
             assert consumed == [0, 0, 0, 0]
+
+    def test_ge_window_matches_per_period_runs(self, sized_catalog):
+        """A GE plan batches through the window replay: one batched
+        resolve against the threaded chain state must equal four
+        per-period reference runs, stream position included."""
+        frequencies = np.array([4.0, 1.5, 0.0, 2.0, 3.0])
+        retry = RetryPolicy(max_retries=2)
+        reference = self._run_periods(
+            sized_catalog, frequencies, n_windows=4, seed=151,
+            plan=FaultPlan.bursty(0.3, 0.4), retry=retry,
+            budget=None, first_global=2, engine="reference")
+        rng = np.random.default_rng(151)
+        fault_rng = np.random.default_rng(152)
+        plan = FaultPlan.bursty(0.3, 0.4)
+        tapes = []
+        fault_args = None
+        for j in range(4):
+            sim = Simulation(
+                sized_catalog, frequencies, request_rate=25.0,
+                rng=rng, fault_plan=plan, retry_policy=retry,
+                fault_rng=fault_rng,
+                fault_time_offset=float(1 + j))
+            tapes.append(sim.build_tape(1))
+            fault_args = sim.fault_kernel_args()
+        assert fault_args is not None and fault_args["kind"] == "ge"
+        windowed, consumed = replay_window_tapes(
+            sized_catalog, frequencies, tapes, period_length=1.0,
+            first_global_period=2, fault_args=fault_args)
+        assert len(windowed) == 4
+        assert all(c > 0 for c in consumed)
+        for ref, win in zip(reference, windowed):
+            assert_bit_identical(win, ref)
+        probe = np.random.default_rng(152)
+        probe.random(int(sum(consumed)))
+        assert (fault_rng.bit_generator.state["state"]
+                == probe.bit_generator.state["state"])
+
+    def test_interleaved_resolutions_shared_stream(self,
+                                                   sized_catalog):
+        """:func:`resolve_tape_faults` interleaved with tape
+        building keeps a *shared* workload/fault stream
+        bit-identical to per-period reference runs — the batched
+        manager's shared-rng contract."""
+        from repro.sim.fastpath import ReplayArena, resolve_tape_faults
+        frequencies = np.array([4.0, 1.5, 1.0, 2.0, 3.0])
+
+        rng = np.random.default_rng(157)
+        ref_plan = FaultPlan.bursty(0.3, 0.4)
+        reference = []
+        for j in range(3):
+            sim = Simulation(sized_catalog, frequencies,
+                             request_rate=25.0, rng=rng,
+                             fault_plan=ref_plan,
+                             fault_time_offset=float(j))
+            reference.append(sim.run(1, engine="reference"))
+        ref_state = rng.bit_generator.state
+
+        rng = np.random.default_rng(157)
+        plan = FaultPlan.bursty(0.3, 0.4)
+        sizes = np.asarray(sized_catalog.sizes, dtype=float)
+        tapes = []
+        resolutions = []
+        fault_args = None
+        chain = None
+        for j in range(3):
+            sim = Simulation(sized_catalog, frequencies,
+                             request_rate=25.0, rng=rng,
+                             fault_plan=plan,
+                             fault_time_offset=float(j))
+            tapes.append(sim.build_tape(1))
+            if fault_args is None:
+                fault_args = sim.fault_kernel_args()
+                chain = fault_args["model"].chain_states(
+                    sized_catalog.n_elements)
+            resolution, chain = resolve_tape_faults(
+                tapes[-1], sizes, fault_args=fault_args,
+                period_length=1.0, fault_clock_offset=float(j),
+                initial_bad=chain)
+            resolutions.append(resolution)
+        windowed, _ = replay_window_tapes(
+            sized_catalog, frequencies, tapes, period_length=1.0,
+            first_global_period=1, fault_args=fault_args,
+            resolutions=resolutions, arena=ReplayArena())
+        for ref, win in zip(reference, windowed):
+            assert_bit_identical(win, ref)
+        assert rng.bit_generator.state == ref_state
+        assert np.array_equal(
+            chain, ref_plan.models[0].chain_states(
+                sized_catalog.n_elements))
 
     def test_consumed_rewinds_fault_stream(self, sized_catalog):
         """Replaying ``consumed[:k]`` draws from the window-start
@@ -497,6 +757,10 @@ class TestTelemetryParity:
         assert fast_periods == ref_periods
         assert fast_gauges == ref_gauges
         assert fast_counters.pop("sim.fastpath_runs") == 1.0
+        # The dispatch-decision counters differ by design; every
+        # other counter must agree bit for bit.
+        assert fast_counters.pop("sim.engine.fastpath") == 1.0
+        assert ref_counters.pop("sim.engine.reference") == 1.0
         assert fast_counters == ref_counters
 
 

@@ -163,6 +163,35 @@ def test_relay_tree_modules_sit_in_the_strict_scopes(
     assert context.is_library
 
 
+@pytest.mark.parametrize("module", ["fastpath.py", "events.py"])
+def test_kernel_modules_sit_in_the_strict_scopes(
+        module: str) -> None:
+    """The replay kernel and the event-tape layout are pinned into
+    both the FL009 clock scope (explicit entries on top of the sim/
+    glob) and the FL014 kernel-dtype scope, so wall-clock reads and
+    dtype indiscipline trip the gate under the default config."""
+    from freshlint import parse_module
+
+    context = parse_module(
+        REPO_ROOT / "src" / "repro" / "sim" / module,
+        root=REPO_ROOT)
+    assert context.is_clock_path
+    assert context.is_kernel_path
+    assert context.is_library
+
+
+def test_gate_catches_dtype_indiscipline_in_events_module(
+        tmp_path_factory: pytest.TempPathFactory) -> None:
+    """FL014 must police the tape layout, not just the kernels:
+    loose-dtype code seeded into the events module trips the gate
+    under the default (unwidened) config."""
+    root = _seed_tree(tmp_path_factory.mktemp("seeded_tree"),
+                      "src/repro/sim/events.py",
+                      "bad_fl014_loose_dtypes.py")
+    violations = run_seedflow([root / "src"], root=root)
+    assert "FL014" in {v.code for v in violations}
+
+
 # ---------------------------------------------------------------------------
 # seedflow: project-wide RNG-provenance gate
 
@@ -216,7 +245,11 @@ def test_kernel_pair_annotations_are_registered() -> None:
         "repro.sim.simulation.Simulation.run"
     assert paired.get("repro.sim.fastpath.replay_fastpath_faulted") \
         == "repro.sim.simulation.Simulation.run"
+    assert paired.get("repro.sim.fastpath.replay_fastpath_ge") == \
+        "repro.sim.simulation.Simulation.run"
     assert paired.get("repro.sim.fastpath.resolve_iid_faults") == \
+        "repro.faults.channel.SyncChannel.sync"
+    assert paired.get("repro.sim.fastpath.resolve_ge_faults") == \
         "repro.faults.channel.SyncChannel.sync"
 
 

@@ -124,11 +124,20 @@ class LintConfig:
         # any future narrowing of the directory-wide entry.
         "src/repro/faults/topology.py",
         "src/repro/faults/correlated.py",
+        # Likewise the replay kernels and the event-tape layout: the
+        # fastpath rewinds and replays RNG streams against simulated
+        # clocks only, so these stay pinned even if the sim/ glob is
+        # ever narrowed.
+        "src/repro/sim/fastpath.py",
+        "src/repro/sim/events.py",
     )
     #: Vectorized-kernel modules: FL014 (dtype discipline, uint64-view
-    #: bit-identity comparisons) applies here.
+    #: bit-identity comparisons) applies here.  The event-tape module
+    #: is pinned alongside the kernels because the structure-of-arrays
+    #: layout (float64/int32/int8) is part of the kernel contract.
     kernel_globs: tuple[str, ...] = (
         "src/repro/sim/fastpath.py",
+        "src/repro/sim/events.py",
     )
     select: tuple[str, ...] = ()
     ignore: tuple[str, ...] = ()

@@ -1,0 +1,81 @@
+"""Vendor the pinned lint toolchain as wheels for hermetic CI.
+
+The lint job normally installs ``.[lint]`` from PyPI under
+``constraints/lint.txt``.  That pin makes the *versions* reproducible
+but still leaves the job exposed to index outages and yanked
+releases.  Running this script on a networked machine downloads the
+pinned wheels (and their transitive closure) into ``vendor/wheels/``;
+once that directory is committed, CI installs with ``--no-index
+--find-links vendor/wheels`` and never touches the network.
+
+The vendor directory is optional by design — the CI step falls back
+to the constrained PyPI install when it is absent, so the repository
+works both before and after the wheels are committed (and the wheel
+payload can be kept out of size-sensitive forks).
+
+Usage::
+
+    python tools/vendor_lint_wheels.py [--dest vendor/wheels]
+
+Stdlib-only; shells out to ``pip download``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+CONSTRAINTS = REPO_ROOT / "constraints" / "lint.txt"
+
+
+def pinned_requirements() -> list[str]:
+    """The ``name==version`` pins from constraints/lint.txt."""
+    pins = []
+    for line in CONSTRAINTS.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            pins.append(line)
+    if not pins:
+        raise SystemExit(f"no pins found in {CONSTRAINTS}")
+    return pins
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--dest", type=Path,
+        default=REPO_ROOT / "vendor" / "wheels",
+        help="directory to download wheels into")
+    parser.add_argument(
+        "--python-version", default="3.12",
+        help="target interpreter version for wheel selection "
+             "(match the CI lint job)")
+    args = parser.parse_args(argv)
+
+    pins = pinned_requirements()
+    args.dest.mkdir(parents=True, exist_ok=True)
+    command = [
+        sys.executable, "-m", "pip", "download",
+        "--dest", str(args.dest),
+        "--only-binary", ":all:",
+        "--python-version", args.python_version,
+        *pins,
+    ]
+    print("$", " ".join(command))
+    result = subprocess.run(command)
+    if result.returncode != 0:
+        return result.returncode
+    wheels = sorted(p.name for p in args.dest.glob("*.whl"))
+    print(f"vendored {len(wheels)} wheels into {args.dest}:")
+    for name in wheels:
+        print(f"  {name}")
+    print("commit the directory and CI's lint job will install "
+          "from it with --no-index.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
