@@ -146,8 +146,47 @@ class SyncSchedule:
         times = start + interval * np.arange(count)
         return times[times < horizon]
 
+    def _expand_events(self, first_k: np.ndarray, counts: np.ndarray,
+                       active: np.ndarray, interval: np.ndarray,
+                       phase: np.ndarray, start: float, end: float,
+                       ) -> tuple[np.ndarray, np.ndarray]:
+        """Materialize sync instants for per-element k-index ranges.
+
+        Event times are computed as ``phase + interval * k`` — the same
+        float operations :meth:`sync_times` performs — so every caller
+        produces bit-identical instants for the same (element, k) pair.
+        """
+        total = int(counts.sum())
+        if total == 0:
+            return np.empty(0), np.empty(0, dtype=np.int64)
+        rep = np.repeat(np.arange(active.shape[0]), counts)
+        block_start = np.cumsum(counts) - counts
+        k = (np.arange(total, dtype=np.int64) - block_start[rep]
+             + first_k[rep])
+        times = phase[rep] + interval[rep] * k
+        keep = times < end
+        if start > 0.0:
+            keep &= times >= start
+        times = times[keep]
+        elements = active[rep[keep]].astype(np.int64, copy=False)
+        order = np.argsort(times, kind="stable")
+        return times[order], elements[order]
+
+    def _active_intervals(self) -> tuple[np.ndarray, np.ndarray,
+                                         np.ndarray]:
+        """Indices, true intervals and phases of schedulable elements."""
+        finite = np.isfinite(self.intervals())
+        active = np.flatnonzero((self.frequencies > 0.0) & finite)
+        with np.errstate(over="ignore"):
+            interval = self.period_length / self.frequencies[active]
+        return active, interval, self.phases[active]
+
     def events_until(self, horizon: float) -> tuple[np.ndarray, np.ndarray]:
         """All sync events in ``[0, horizon)``, time-ordered.
+
+        Vectorized across elements; output is bit-identical to
+        concatenating :meth:`sync_times` per element and stable-sorting
+        by time (ties keep element order).
 
         Args:
             horizon: End of the window, > 0.
@@ -157,30 +196,29 @@ class SyncSchedule:
         """
         if horizon <= 0.0:
             raise ScheduleError(f"horizon must be > 0, got {horizon}")
-        all_times: list[np.ndarray] = []
-        all_elements: list[np.ndarray] = []
-        intervals = self.intervals()
-        for element in range(self.n_elements):
-            if not np.isfinite(intervals[element]):
-                continue
-            times = self.sync_times(element, horizon)
-            if times.size:
-                all_times.append(times)
-                all_elements.append(np.full(times.shape, element,
-                                            dtype=np.int64))
-        if not all_times:
+        active, interval, phase = self._active_intervals()
+        if active.size == 0:
             return np.empty(0), np.empty(0, dtype=np.int64)
-        times = np.concatenate(all_times)
-        elements = np.concatenate(all_elements)
-        order = np.argsort(times, kind="stable")
-        return times[order], elements[order]
+        counts_f = np.ceil(np.maximum(horizon - phase, 0.0) / interval)
+        if not np.isfinite(counts_f).all():
+            raise ScheduleError("sync count overflows the horizon window")
+        return self._expand_events(
+            np.zeros(active.shape[0], dtype=np.int64),
+            counts_f.astype(np.int64), active, interval, phase,
+            0.0, horizon)
 
     def events_between(self, start: float, end: float
                        ) -> tuple[np.ndarray, np.ndarray]:
         """Sync events in ``[start, end)`` — a streaming window.
 
-        Lets an executor pull the schedule one window at a time
-        instead of materializing an unbounded horizon.
+        Lets an executor pull the schedule one slab at a time instead
+        of materializing an unbounded horizon.  Only the window's own
+        events are generated (plus a one-index guard band per element
+        against division rounding at the boundaries), so cost is
+        O(events in window), and adjacent windows partition the stream
+        exactly: each event's time is computed with the same float
+        operations in every window, then assigned by ``start <= t <
+        end`` on that shared value.
 
         Args:
             start: Window start, >= 0.
@@ -194,9 +232,21 @@ class SyncSchedule:
         if end <= start:
             raise ScheduleError(
                 f"end must exceed start, got [{start}, {end})")
-        times, elements = self.events_until(end)
-        keep = times >= start
-        return times[keep], elements[keep]
+        active, interval, phase = self._active_intervals()
+        if active.size == 0:
+            return np.empty(0), np.empty(0, dtype=np.int64)
+        end_count = np.ceil(np.maximum(end - phase, 0.0) / interval) + 1.0
+        if start > 0.0:
+            first = np.maximum(
+                np.floor((start - phase) / interval) - 1.0, 0.0)
+        else:
+            first = np.zeros(active.shape[0])
+        counts_f = np.maximum(end_count - first, 0.0)
+        if not np.isfinite(counts_f).all():
+            raise ScheduleError("sync count overflows the window")
+        return self._expand_events(
+            first.astype(np.int64), counts_f.astype(np.int64),
+            active, interval, phase, start, end)
 
     def syncs_per_period(self) -> float:
         """Total sync operations per period, ``Σ fᵢ``."""

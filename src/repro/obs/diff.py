@@ -75,14 +75,19 @@ def _direction(name: str) -> int:
 def _flatten_bench(data: Dict[str, Any]) -> Dict[str, float]:
     """Flatten a ``BENCH_sim.json`` document into metric names."""
     flat: Dict[str, float] = {}
-    for section in ("kernel", "faulted_kernel"):
+    for section in ("kernel", "faulted_kernel", "bursty_kernel",
+                    "scaling", "streaming"):
         block = data.get(section)
         if not isinstance(block, dict):
             continue
         for row in block.get("rows", []):
             prefix = f"{section}.n{row.get('n_elements')}"
+            for tag in ("scenario", "mode"):
+                if row.get(tag) is not None:
+                    prefix = f"{prefix}.{row[tag]}"
             for key, value in row.items():
-                if key == "n_elements":
+                if key in ("n_elements", "scenario", "mode",
+                           "engine", "freshness_checksum"):
                     continue
                 try:
                     flat[f"{prefix}.{key}"] = float(value)
@@ -126,8 +131,9 @@ def load_metrics(path: str | Path) -> Dict[str, float]:
         flat = _flatten_bench(data)
         if not flat:
             raise ValueError(
-                f"{path} parsed as JSON but has no kernel/parallel "
-                "sections — not a BENCH_sim.json document")
+                f"{path} parsed as JSON but has no kernel, scaling "
+                "or parallel sections — not a BENCH_sim.json "
+                "document")
         return flat
     registry = read_jsonl(path)
     if (not registry.counters and not registry.gauges

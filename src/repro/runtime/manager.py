@@ -47,6 +47,13 @@ from repro.workloads.catalog import Catalog
 
 __all__ = ["PeriodReport", "AdaptiveMirrorManager"]
 
+#: Window batching splits each replan window into slab groups of at
+#: most this many (periods × elements), so a 10⁶-element adapt run
+#: holds a few periods' tapes at a time instead of the whole window.
+#: Derived from element count only — the manager may not read the
+#: true catalog's rates.
+_SLAB_ELEMENT_BUDGET = 4_000_000
+
 
 @dataclass(frozen=True)
 class PeriodReport:
@@ -650,110 +657,150 @@ class AdaptiveMirrorManager:
 
     def _run_window(self, first_period: int, window: int,
                     replanned: bool, believed_pf: float,
-                    divergence: float) -> list[PeriodReport]:
-        """Run up to ``window`` periods through one kernel call.
+                    divergence: float,
+                    slab_periods: int | None = None
+                    ) -> list[PeriodReport]:
+        """Run up to ``window`` periods through slab-grouped kernel calls.
 
         Builds each period's event tape in the exact order the
         per-period loop would (so the workload stream is CRN-
         identical) and resolves that period's faults immediately
         after its tape — workload draws then fault draws, period by
         period, which keeps even a *shared* fault stream
-        bit-identical to the sequential loop.  The pre-resolved
-        window then replays through one
-        :func:`~repro.sim.fastpath.replay_window_tapes` call and
-        observations fold period by period.  If folding period ``j``
-        leaves the beliefs wanting a replan, the not-yet-folded tail
-        is *rolled back*: the fault rng and the Gilbert–Elliott
-        chain state restore to their snapshots from just before
-        period ``j``'s resolution, then the workload rng rewinds to
-        the snapshot taken before period ``j``'s tape was drawn (on
-        a shared stream both are one generator and the workload
-        snapshot is the earlier position, so it must win) — the
-        caller then replans and re-simulates the tail, bit-identical
-        to the sequential loop.
+        bit-identical to the sequential loop.  Tapes replay through
+        :func:`~repro.sim.fastpath.replay_window_tapes` in groups of
+        at most ``slab_periods`` periods (default: the
+        ``_SLAB_ELEMENT_BUDGET`` ceiling over the element count), so
+        peak memory is O(group) rather than O(window), and
+        observations fold period by period.  Reports are
+        bit-identical to an unsplit window: tapes are drawn in
+        period order either way, and the per-period kernel results
+        do not depend on how periods share a call.
+
+        If folding period ``j`` leaves the beliefs wanting a replan,
+        the not-yet-folded tail is *rolled back*: the fault rng and
+        the Gilbert–Elliott chain state restore to their snapshots
+        from just before period ``j``'s resolution, then the
+        workload rng rewinds to the snapshot taken before period
+        ``j``'s tape was drawn (on a shared stream both are one
+        generator and the workload snapshot is the earlier position,
+        so it must win) — the caller then replans and re-simulates
+        the tail, bit-identical to the sequential loop.  A replan
+        pending exactly at a group boundary simply stops before the
+        next group is drawn — the generators are already positioned
+        where the rollback would put them, so nothing is wasted (and
+        the rollback counters only ever count *drawn* periods).
 
         Returns:
             Reports for the accepted prefix (>= 1 period).
         """
         assert self._frequencies is not None
+        if slab_periods is None:
+            slab_periods = max(
+                1, _SLAB_ELEMENT_BUDGET
+                // max(self._true_catalog.n_elements, 1))
         sizes = np.asarray(self._true_catalog.sizes, dtype=float)
-        rng_states = []
-        fault_states: list = []
-        chain_snapshots: list[np.ndarray | None] = []
-        tapes = []
         fault_args = None
-        resolutions = [] if self._faulty else None
         chain: np.ndarray | None = None
-        for j in range(window):
-            rng_states.append(self._rng.bit_generator.state)
-            simulation = self._build_simulation(first_period + j)
-            tapes.append(simulation.build_tape(1))
-            if resolutions is None:
-                continue
-            if fault_args is None:
-                fault_args = simulation.fault_kernel_args()
-                assert fault_args is not None  # _batchable() gated
-                if fault_args["kind"] == "ge":
-                    chain = fault_args["model"].chain_states(
-                        self._true_catalog.n_elements)
-            fault_states.append(
-                fault_args["rng"].bit_generator.state)
-            chain_snapshots.append(chain)
-            resolution, chain = resolve_tape_faults(
-                tapes[-1], sizes, fault_args=fault_args,
-                period_length=1.0,
-                fault_clock_offset=float(first_period + j - 1),
-                initial_bad=chain)
-            resolutions.append(resolution)
-        with obs.span("manager.simulate"):
-            results, _consumed = replay_window_tapes(
-                self._true_catalog, self._frequencies, tapes,
-                period_length=1.0, first_global_period=first_period,
-                fault_args=fault_args, resolutions=resolutions,
-                arena=self._arena)
-        reports = []
+        reports: list[PeriodReport] = []
         rolled_back = False
-        for j, result in enumerate(results):
-            if j > 0:
+        folded = 0
+        while folded < window and not rolled_back:
+            if folded > 0:
                 pending, divergence = self._would_replan()
                 if pending:
-                    if fault_args is not None:
-                        fault_args["rng"].bit_generator.state = \
-                            fault_states[j]
-                        if chain_snapshots[j] is not None:
-                            fault_args["model"].set_chain_states(
-                                chain_snapshots[j])
-                    self._rng.bit_generator.state = rng_states[j]
-                    rolled_back = True
-                    if obs.telemetry_enabled():
-                        obs.counter_add("manager.window_rollbacks")
-                        obs.counter_add(
-                            "manager.rolled_back_periods",
-                            len(results) - j)
+                    # Group-boundary stop: the next group was never
+                    # drawn, so the generators already sit where a
+                    # rollback would rewind them.
                     break
                 replanned = False
                 believed_pf = perceived_freshness(
                     self._beliefs.believed_catalog(),
                     self._frequencies)
-            self._fold_observations(result)
-            reports.append(self._make_report(
-                first_period + j, replanned, believed_pf, divergence,
-                result))
+            group = min(slab_periods, window - folded)
+            rng_states = []
+            fault_states: list = []
+            chain_snapshots: list[np.ndarray | None] = []
+            tapes = []
+            resolutions = [] if self._faulty else None
+            for g in range(group):
+                rng_states.append(self._rng.bit_generator.state)
+                simulation = self._build_simulation(
+                    first_period + folded + g)
+                tapes.append(simulation.build_tape(1))
+                if resolutions is None:
+                    continue
+                if fault_args is None:
+                    fault_args = simulation.fault_kernel_args()
+                    assert fault_args is not None  # _batchable() gated
+                    if fault_args["kind"] == "ge":
+                        chain = fault_args["model"].chain_states(
+                            self._true_catalog.n_elements)
+                fault_states.append(
+                    fault_args["rng"].bit_generator.state)
+                chain_snapshots.append(chain)
+                resolution, chain = resolve_tape_faults(
+                    tapes[-1], sizes, fault_args=fault_args,
+                    period_length=1.0,
+                    fault_clock_offset=float(
+                        first_period + folded + g - 1),
+                    initial_bad=chain)
+                resolutions.append(resolution)
+            with obs.span("manager.simulate"):
+                results, _consumed = replay_window_tapes(
+                    self._true_catalog, self._frequencies, tapes,
+                    period_length=1.0,
+                    first_global_period=first_period + folded,
+                    fault_args=fault_args, resolutions=resolutions,
+                    arena=self._arena)
+            for g, result in enumerate(results):
+                if g > 0:  # g == 0 was probed at the group boundary
+                    pending, divergence = self._would_replan()
+                    if pending:
+                        if fault_args is not None:
+                            fault_args["rng"].bit_generator.state = \
+                                fault_states[g]
+                            if chain_snapshots[g] is not None:
+                                fault_args["model"].set_chain_states(
+                                    chain_snapshots[g])
+                            chain = chain_snapshots[g]
+                        self._rng.bit_generator.state = rng_states[g]
+                        rolled_back = True
+                        if obs.telemetry_enabled():
+                            obs.counter_add(
+                                "manager.window_rollbacks")
+                            obs.counter_add(
+                                "manager.rolled_back_periods",
+                                len(results) - g)
+                        break
+                    replanned = False
+                    believed_pf = perceived_freshness(
+                        self._beliefs.believed_catalog(),
+                        self._frequencies)
+                self._fold_observations(result)
+                reports.append(self._make_report(
+                    first_period + folded + g, replanned,
+                    believed_pf, divergence, result))
+            if not rolled_back:
+                folded += len(results)
         if chain is not None and not rolled_back \
                 and fault_args is not None:
-            # The whole window was accepted: commit the threaded
+            # The accepted prefix is final: commit the threaded
             # chain state so the next window (or a reference run)
-            # picks up where the channel left off.
+            # picks up where the channel left off.  After a mid-
+            # group rollback the model was already restored to the
+            # pre-rollback snapshot above.
             fault_args["model"].set_chain_states(chain)
         return reports
 
     def run(self, n_periods: int, *,
-            batch: int | None = None) -> list[PeriodReport]:
+            batch: int | None = None,
+            slab_periods: int | None = None) -> list[PeriodReport]:
         """Run the loop for ``n_periods`` periods.
 
         Args:
             n_periods: Number of periods, >= 1.
-            batch: Maximum periods per kernel call.  ``None`` (the
+            batch: Maximum periods per replan window.  ``None`` (the
                 default) picks ``replan_every`` when a cadence is
                 set, else 16; ``1`` forces the sequential per-period
                 loop.  Batching applies only when the fault setup
@@ -762,6 +809,11 @@ class AdaptiveMirrorManager:
                 bit-identical either way — a mid-window replan
                 trigger rolls the unfolded tail back and re-runs it
                 under the new schedule.
+            slab_periods: Maximum periods per kernel call within a
+                window (the streaming slab size).  ``None`` derives
+                it from the element count so one group's tapes stay
+                within the ``_SLAB_ELEMENT_BUDGET`` memory ceiling;
+                reports are bit-identical for any value.
 
         Returns:
             One :class:`PeriodReport` per period.
@@ -772,6 +824,9 @@ class AdaptiveMirrorManager:
         if batch is not None and batch < 1:
             raise ValidationError(
                 f"batch must be >= 1, got {batch}")
+        if slab_periods is not None and slab_periods < 1:
+            raise ValidationError(
+                f"slab_periods must be >= 1, got {slab_periods}")
         if batch is None:
             batch = (self._replan_every if self._replan_every > 0
                      else 16)
@@ -791,7 +846,8 @@ class AdaptiveMirrorManager:
                     self._replan_every - self._periods_since_replan,
                     1))
             accepted = self._run_window(period, window, replanned,
-                                        believed_pf, divergence)
+                                        believed_pf, divergence,
+                                        slab_periods=slab_periods)
             reports.extend(accepted)
             period += len(accepted)
         return reports

@@ -23,13 +23,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import IntEnum
-from typing import Iterable
+from typing import Any, Iterable
 
 import numpy as np
 
 from repro.errors import ValidationError
 
-__all__ = ["EventKind", "EventStream", "merge_streams"]
+__all__ = ["EventKind", "EventStream", "merge_kind_blocks",
+           "merge_sorted_blocks", "merge_streams"]
 
 
 class EventKind(IntEnum):
@@ -105,4 +106,176 @@ def merge_streams(streams: Iterable[EventStream],
         for stream in collected
     ])
     order = np.lexsort((kinds, times))
+    return times[order], elements[order], kinds[order]
+
+
+#: Below this many events the two-pass bucket sort's extra gathers
+#: cost more than the timsort they shave off; fall back to a direct
+#: stable argsort.
+_BUCKET_SORT_MIN = 1 << 17
+
+
+def _stable_time_argsort(times: np.ndarray) -> np.ndarray:
+    """Stable argsort of event times, radix-accelerated at scale.
+
+    Bit-identical to ``np.argsort(times, kind="stable")`` for any
+    finite input: pass one stable-sorts coarse uint16 bucket keys (a
+    monotone nondecreasing map of time, so numpy's integer radix sort
+    applies), pass two stable-sorts the bucketed times (timsort on
+    nearly-sorted data is cheap), and composing two stable sorts
+    keyed (bucket, time) equals one stable sort keyed by time.  At
+    replay scale this runs ~2-3x faster than a direct stable argsort
+    of random float64 times.
+    """
+    n = times.shape[0]
+    if n < _BUCKET_SORT_MIN:
+        return np.argsort(times, kind="stable")
+    t_min = times.min()
+    t_max = times.max()
+    if (not np.isfinite(t_min) or not np.isfinite(t_max)
+            or not t_max > t_min):
+        return np.argsort(times, kind="stable")
+    keys = (times - t_min) * (65536.0 / (t_max - t_min))
+    np.minimum(keys, 65535.0, out=keys)
+    coarse = np.argsort(keys.astype(np.uint16), kind="stable")
+    refine = np.argsort(times[coarse], kind="stable")
+    return coarse[refine]
+
+
+def merge_sorted_blocks(update_times: np.ndarray,
+                        update_elements: np.ndarray,
+                        sync_times: np.ndarray,
+                        sync_elements: np.ndarray,
+                        access_times: np.ndarray,
+                        access_elements: np.ndarray, *,
+                        n_elements: int,
+                        ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Merge three already-sorted streams into one SoA tape, O(n).
+
+    The streaming slab pipeline draws each stream pre-sorted (see
+    ``draw_window_sorted``), which turns the cross-kind merge into
+    position arithmetic: an event's final slot is its own stream rank
+    plus the number of events from the other two streams that land
+    before it, counted by ``searchsorted`` with sides chosen to
+    encode the update < sync < access same-instant priority.  Sorted
+    needles keep every search sequential and cache-resident, so the
+    merge costs a few O(n) passes instead of the full-tape stable
+    argsort :func:`merge_kind_blocks` pays.
+
+    Args:
+        update_times: Sorted update instants.
+        update_elements: Update element ids, parallel to the times.
+        sync_times: Sorted sync instants.
+        sync_elements: Sync element ids.
+        access_times: Sorted access instants.
+        access_elements: Access element ids.
+        n_elements: Catalog size, for the int32 id-width check.
+
+    Returns:
+        ``(times, elements, kinds)`` — float64 / int32 / int8 arrays
+        sorted by time with kind priority breaking ties.
+    """
+    if n_elements >= np.iinfo(np.int32).max:
+        raise ValidationError(
+            "element ids must fit int32 (SoA tape layout)")
+    n_updates = update_times.shape[0]
+    n_syncs = sync_times.shape[0]
+    n_accesses = access_times.shape[0]
+    total = n_updates + n_syncs + n_accesses
+    # Rank within the merged tape: own-stream index, plus events from
+    # the other streams that apply strictly earlier.  "left" against
+    # a lower-priority stream counts strictly-smaller times only (at
+    # a tie this event goes first); "right" against a higher-priority
+    # stream also counts equal times (at a tie this event goes last).
+    update_slots = (np.arange(n_updates)
+                    + np.searchsorted(sync_times, update_times, "left")
+                    + np.searchsorted(access_times, update_times,
+                                      "left"))
+    sync_slots = (np.arange(n_syncs)
+                  + np.searchsorted(update_times, sync_times, "right")
+                  + np.searchsorted(access_times, sync_times, "left"))
+    access_slots = (np.arange(n_accesses)
+                    + np.searchsorted(update_times, access_times,
+                                      "right")
+                    + np.searchsorted(sync_times, access_times,
+                                      "right"))
+    times = np.empty(total)
+    elements = np.empty(total, dtype=np.int32)
+    kinds = np.empty(total, dtype=np.int8)
+    times[update_slots] = update_times
+    times[sync_slots] = sync_times
+    times[access_slots] = access_times
+    elements[update_slots] = update_elements
+    elements[sync_slots] = sync_elements
+    elements[access_slots] = access_elements
+    kinds[update_slots] = int(EventKind.UPDATE)
+    kinds[sync_slots] = int(EventKind.SYNC)
+    kinds[access_slots] = int(EventKind.ACCESS)
+    return times, elements, kinds
+
+
+def merge_kind_blocks(update_times: np.ndarray,
+                      update_elements: np.ndarray,
+                      sync_times: np.ndarray,
+                      sync_elements: np.ndarray,
+                      access_times: np.ndarray,
+                      access_elements: np.ndarray, *,
+                      n_elements: int,
+                      arena: Any = None,
+                      ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Fuse raw per-kind draws into one time-ordered SoA tape.
+
+    Replaces per-stream stable sorts + :func:`merge_streams`'s lexsort
+    with a single stable argsort over the kind-ordered concatenation
+    [updates, syncs, accesses].  The output is bit-identical to the
+    two-pass route: within a kind the stable sort preserves generation
+    order exactly as the per-stream sort did, and at cross-kind time
+    ties the block layout supplies the update < sync < access priority
+    the lexsort key encoded.  Update times may arrive unsorted (raw
+    Poisson draws); sync and access inputs are already time-sorted,
+    which the stable sort simply preserves.
+
+    Args:
+        update_times: Raw (unsorted) update instants.
+        update_elements: Update element ids, parallel to the times.
+        sync_times: Sorted sync instants.
+        sync_elements: Sync element ids.
+        access_times: Sorted access instants.
+        access_elements: Access element ids.
+        n_elements: Catalog size, for the int32 id-width check.
+        arena: Optional :class:`~repro.sim.fastpath.ReplayArena` whose
+            scratch buffers absorb the pre-sort concatenation; the
+            returned arrays are fresh allocations either way (the
+            sort gather allocates its own outputs).
+
+    Returns:
+        ``(times, elements, kinds)`` — float64 / int32 / int8 arrays
+        sorted by time with kind priority breaking ties.
+    """
+    if n_elements >= np.iinfo(np.int32).max:
+        raise ValidationError(
+            "element ids must fit int32 (SoA tape layout)")
+    n_updates = update_times.shape[0]
+    n_syncs = sync_times.shape[0]
+    n_accesses = access_times.shape[0]
+    total = n_updates + n_syncs + n_accesses
+    if arena is None:
+        times = np.empty(total)
+        elements = np.empty(total, dtype=np.int32)
+        kinds = np.empty(total, dtype=np.int8)
+    else:
+        times = arena.take("merge_times", total, np.float64)
+        elements = arena.take("merge_elements", total, np.int32)
+        kinds = arena.take("merge_kinds", total, np.int8)
+    bounds = (n_updates, n_updates + n_syncs, total)
+    times[:bounds[0]] = update_times
+    times[bounds[0]:bounds[1]] = sync_times
+    times[bounds[1]:] = access_times
+    elements[:bounds[0]] = update_elements
+    elements[bounds[0]:bounds[1]] = sync_elements
+    elements[bounds[1]:] = access_elements
+    kinds[:bounds[0]] = int(EventKind.UPDATE)
+    kinds[bounds[0]:bounds[1]] = int(EventKind.SYNC)
+    kinds[bounds[1]:] = int(EventKind.ACCESS)
+    order = _stable_time_argsort(times)
     return times[order], elements[order], kinds[order]

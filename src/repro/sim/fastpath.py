@@ -84,6 +84,27 @@ is a tight O(n_syncs) scalar scan over precomputed attempt tables —
 everything per-event and per-attempt around it (outcome draws, retry
 columns, trace assembly, accounting folds, the tape replay itself)
 is vectorized.
+
+Streaming replay
+----------------
+
+:class:`StreamingReplay` runs the same copy-state machine over a
+horizon fed as consecutive whole-period *slabs* instead of one tape,
+so peak memory is O(slab), not O(horizon).  A :class:`ReplayCarry`
+threads every per-element quantity the kernel otherwise derives from
+"start of tape" across slab boundaries: the fresh flag, the open
+stale-run start, the last event time, the source version counter and
+last-polled version, and the partially folded accumulators.  Because
+``np.bincount`` folds weights per bin as an exact sequential left
+fold in input order, prepending each element's carried accumulator as
+that bin's first weight continues the fold bit-exactly — left folds
+compose — so slab-by-slab replay of a tape is bit-identical to
+one-shot replay of its concatenation, including telemetry, ledger,
+fault accounting and post-run rng/chain state.  Fault resolution runs
+per slab on the same rng (each slab's pool starts exactly where the
+previous slab's consumption ended); slabs must split at whole-period
+boundaries so the resolvers' per-period bandwidth ledger resets in
+the same places the one-shot walk resets it.
 """
 
 from __future__ import annotations
@@ -106,7 +127,8 @@ from repro.sim.events import EventKind
 from repro.sim.evaluator import SimulationResult
 from repro.workloads.catalog import Catalog
 
-__all__ = ["ReplayArena", "replay_fastpath", "replay_fastpath_faulted",
+__all__ = ["ReplayArena", "ReplayCarry", "StreamingReplay",
+           "replay_fastpath", "replay_fastpath_faulted",
            "replay_fastpath_ge", "replay_window_tapes",
            "resolve_ge_faults", "resolve_iid_faults",
            "resolve_tape_faults"]
@@ -1399,7 +1421,9 @@ def _emit_period_series(times: np.ndarray, elements: np.ndarray,
                         period_length: float, n_periods: float,
                         planned: float,
                         failed_per_period: np.ndarray | None = None,
-                        retries_per_period: np.ndarray | None = None
+                        retries_per_period: np.ndarray | None = None,
+                        first_period: int = 0,
+                        initial_fresh: int | None = None,
                         ) -> None:
     """Emit the per-period ``"sim.period"`` telemetry series.
 
@@ -1409,16 +1433,26 @@ def _emit_period_series(times: np.ndarray, elements: np.ndarray,
     mirror's instantaneous mean freshness at each period boundary.
     ``failed_per_period`` / ``retries_per_period`` carry the faulted
     path's per-period attempt accounting (zeros when absent).
+
+    The streaming engine emits one slab at a time: ``first_period``
+    offsets the emitted period labels (the slab's events carry global
+    times), ``n_periods`` then counts the *slab's* periods, and
+    ``initial_fresh`` is the instantaneous fresh-copy count entering
+    the slab (defaults to ``n_elements`` — everything fresh at t=0 —
+    which also covers the one-shot callers).
     """
     last_period = max(int(np.ceil(n_periods)) - 1, 0)
     n_buckets = last_period + 1
     n_events = int(times.shape[0])
+    if initial_fresh is None:
+        initial_fresh = n_elements
 
     if n_events:
         assert (fresh_before_global is not None
                 and run_start_global is not None
                 and becomes_fresh_global is not None)
-        period_index = (times / period_length).astype(np.int64)
+        period_index = ((times / period_length).astype(np.int64)
+                        - first_period)
         update_kind = int(EventKind.UPDATE)
         sync_kind = int(EventKind.SYNC)
         global_update = kinds == update_kind
@@ -1443,19 +1477,19 @@ def _emit_period_series(times: np.ndarray, elements: np.ndarray,
         delta = np.zeros(n_events, dtype=np.int64)
         delta[run_start_global] = -1
         delta[becomes_fresh_global] = 1
-        fresh_count = n_elements + np.cumsum(delta)
+        fresh_count = initial_fresh + np.cumsum(delta)
         boundary = np.searchsorted(period_index,
                                    np.arange(n_buckets), side="right") - 1
         mean_freshness = np.where(
             boundary >= 0,
-            fresh_count[np.maximum(boundary, 0)], n_elements
+            fresh_count[np.maximum(boundary, 0)], initial_fresh
         ) / n_elements
     else:
         zeros = np.zeros(n_buckets, dtype=np.int64)
         syncs_per_period = updates_per_period = zeros
         accesses_per_period = fresh_accesses_per_period = zeros
         bandwidth_per_period = np.zeros(n_buckets)
-        mean_freshness = np.ones(n_buckets)
+        mean_freshness = np.full(n_buckets, initial_fresh / n_elements)
 
     if failed_per_period is None:
         failed_per_period = np.zeros(n_buckets, dtype=np.int64)
@@ -1469,7 +1503,7 @@ def _emit_period_series(times: np.ndarray, elements: np.ndarray,
         utilization = bandwidth / planned if planned else 0.0
         obs.event(
             "sim.period",
-            period=obs.element_label(period),
+            period=obs.element_label(first_period + period),
             syncs=int(syncs_per_period[period]),
             bandwidth=bandwidth,
             budget_utilization=utilization,
@@ -1971,3 +2005,664 @@ def replay_window_tapes(catalog: Catalog, frequencies: np.ndarray,
         _emit_fault_counters(accounting_total, outcome)
 
     return results, consumed
+
+
+@dataclass
+class ReplayCarry:
+    """Per-element copy state threaded across streaming slabs.
+
+    Everything the one-shot kernel derives from "start of tape" lives
+    here instead, so a slab kernel can pick up exactly where the
+    previous slab stopped.  Integer fields are exact; the float
+    accumulators (``fresh_time``, ``age_integral``,
+    ``bandwidth_used``) are partial *left folds* in event order, which
+    the next slab continues bit-exactly by prepending them to its own
+    fold (see the module notes on ``np.bincount``).
+
+    Attributes:
+        fresh: Whether each copy is fresh after the last event seen.
+        stale_since: Start time of each element's open stale run, in
+            clock units (stale elements only; otherwise a stale but
+            finite leftover that the kernel never reads).
+        last_time: Time of each element's last event so far, in clock
+            units (0 before any event).
+        versions: Source updates seen per element so far.
+        last_polled_version: Source version observed at each
+            element's last successful poll (0 before any).
+        fresh_time: Folded fresh clock time per element so far.
+        age_integral: Folded age integral per element so far.
+        poll_counts: Successful polls per element so far.
+        changed_poll_counts: Polls that found a new version.
+        access_counts: Accesses per element so far.
+        n_updates: Update events so far, tape-wide.
+        n_syncs: Successful sync events so far, tape-wide.
+        n_accesses: Access events so far, tape-wide.
+        useful_syncs: Syncs that found a new version, tape-wide.
+        fresh_accesses: Accesses that saw fresh data, tape-wide.
+        bandwidth_used: Folded sync bandwidth so far, in size units.
+        fresh_count: Instantaneous fresh-copy count after the last
+            event (the period telemetry series' running level).
+    """
+
+    fresh: np.ndarray
+    stale_since: np.ndarray
+    last_time: np.ndarray
+    versions: np.ndarray
+    last_polled_version: np.ndarray
+    fresh_time: np.ndarray
+    age_integral: np.ndarray
+    poll_counts: np.ndarray
+    changed_poll_counts: np.ndarray
+    access_counts: np.ndarray
+    n_updates: int
+    n_syncs: int
+    n_accesses: int
+    useful_syncs: int
+    fresh_accesses: int
+    bandwidth_used: float
+    fresh_count: int
+
+    @classmethod
+    def start(cls, n_elements: int) -> "ReplayCarry":
+        """The start-of-tape state: every copy fresh and untouched."""
+        return cls(
+            fresh=np.ones(n_elements, dtype=bool),
+            stale_since=np.zeros(n_elements),
+            last_time=np.zeros(n_elements),
+            versions=np.zeros(n_elements, dtype=np.int64),
+            last_polled_version=np.zeros(n_elements, dtype=np.int64),
+            fresh_time=np.zeros(n_elements),
+            age_integral=np.zeros(n_elements),
+            poll_counts=np.zeros(n_elements, dtype=np.int64),
+            changed_poll_counts=np.zeros(n_elements, dtype=np.int64),
+            access_counts=np.zeros(n_elements, dtype=np.int64),
+            n_updates=0, n_syncs=0, n_accesses=0,
+            useful_syncs=0, fresh_accesses=0,
+            bandwidth_used=0.0, fresh_count=n_elements,
+        )
+
+    def nbytes(self) -> int:
+        """Bytes held by the per-element carry arrays."""
+        return sum(
+            getattr(self, field).nbytes
+            for field in ("fresh", "stale_since", "last_time",
+                          "versions", "last_polled_version",
+                          "fresh_time", "age_integral", "poll_counts",
+                          "changed_poll_counts", "access_counts"))
+
+
+def _fold_with_carry(carry_values: np.ndarray, elements: np.ndarray,
+                     weights: np.ndarray, n_elements: int
+                     ) -> np.ndarray:
+    """Continue per-element left folds with one slab of weights.
+
+    Prepends each element's carried accumulator as its bin's first
+    weight, so the bincount's in-order per-bin fold computes
+    ``((carry + w₁) + w₂) + …`` — exactly the value the one-shot fold
+    over the concatenated tape would hold.
+    """
+    bins = np.concatenate([np.arange(n_elements, dtype=np.int64),
+                           elements])
+    return np.bincount(bins,
+                       weights=np.concatenate([carry_values, weights]),
+                       minlength=n_elements)
+
+
+def _replay_tape_chunk(carry: ReplayCarry, sizes: np.ndarray,
+                       times: np.ndarray, elements: np.ndarray,
+                       kinds: np.ndarray
+                       ) -> tuple[np.ndarray | None, np.ndarray | None,
+                                  np.ndarray | None, np.ndarray | None]:
+    """Fold one slab of a (kept) tape into the carry state.
+
+    The slab variant of :func:`_replay_tape`: identical segment
+    machinery and float operations, with every "start of tape"
+    assumption replaced by the carried per-element state — the fresh
+    flag where no in-slab state change precedes an event, the carried
+    ``stale_since`` where no in-slab run start precedes it, the
+    carried last event time at segment starts, and the carried
+    version counters under the poll bookkeeping.  Folding slabs
+    ``[0,a) [a,b) …`` of a tape through one carry is bit-identical to
+    :func:`_replay_tape` over the whole tape.
+
+    Args:
+        carry: The cross-slab state; mutated in place.
+        sizes: Per-element transfer sizes, in size units.
+        times: Slab event times (global clock), time-ordered.
+        elements: Element id per slab event.
+        kinds: :class:`~repro.sim.events.EventKind` per slab event.
+
+    Returns:
+        ``(fresh_before, run_start, becomes_fresh, changed_sync)``
+        flags in *tape* order for the telemetry series, or all None
+        for an empty slab.
+    """
+    n_events = int(times.shape[0])
+    if not n_events:
+        return None, None, None, None
+    if n_events >= np.iinfo(np.int32).max:
+        raise SimulationError(
+            f"slab of {n_events} events overflows int32 positions")
+    n_elements = int(carry.fresh.shape[0])
+    update_kind = int(EventKind.UPDATE)
+    sync_kind = int(EventKind.SYNC)
+
+    order = np.argsort(elements, kind="stable")
+    element_of = elements[order]
+    time_of = times[order]
+    kind_of = kinds[order]
+    positions = np.arange(n_events, dtype=np.int32)
+
+    new_segment, segment_start_of = _segment_starts(element_of)
+    segment_start_of = segment_start_of.astype(np.int32, copy=False)
+    segment_start_positions = np.flatnonzero(new_segment)
+    segment_end_positions = np.append(
+        segment_start_positions[1:] - 1, n_events - 1)
+    present = element_of[segment_start_positions]
+
+    # Previous event time: within-slab shift, carried time at starts.
+    previous_time = _shift_within_segment(time_of, new_segment, 0.0)
+    previous_time[segment_start_positions] = carry.last_time[present]
+    if (time_of < previous_time).any():
+        raise SimulationError(
+            "slab events precede the carried replay clock")
+    elapsed = time_of - previous_time
+
+    is_update = kind_of == update_kind
+    is_sync = kind_of == sync_kind
+    is_access = ~is_update & ~is_sync
+
+    # Fresh flag before each event: last in-slab state change decides;
+    # otherwise the carried flag.
+    state_change_positions = np.where(is_update | is_sync,
+                                      positions, -1)
+    last_state_change = _last_position_at_or_before(
+        state_change_positions, segment_start_of)
+    previous_state_change = np.empty_like(last_state_change)
+    previous_state_change[0] = -1
+    previous_state_change[1:] = last_state_change[:-1]
+    previous_state_change = np.where(
+        previous_state_change >= segment_start_of,
+        previous_state_change, -1)
+    fresh_before = np.where(
+        previous_state_change >= 0,
+        kind_of[np.maximum(previous_state_change, 0)] == sync_kind,
+        carry.fresh[element_of])
+
+    # Stale-run starts: in-slab run start pins stale_since, otherwise
+    # the carried run start (fresh elements read a leftover value the
+    # increment mask discards, exactly like the one-shot kernel).
+    run_start = is_update & fresh_before
+    run_start_positions = np.where(run_start, positions, -1)
+    since_position = _last_position_at_or_before(
+        run_start_positions, segment_start_of)
+    stale_since = np.where(
+        since_position >= 0, time_of[np.maximum(since_position, 0)],
+        carry.stale_since[element_of])
+
+    end_offset = time_of - stale_since
+    start_offset = previous_time - stale_since
+    age_increment = 0.5 * (np.float_power(end_offset, 2.0)
+                           - np.float_power(start_offset, 2.0))
+    carry.fresh_time = _fold_with_carry(
+        carry.fresh_time, element_of,
+        np.where(fresh_before, elapsed, 0.0), n_elements)
+    carry.age_integral = _fold_with_carry(
+        carry.age_integral, element_of,
+        np.where(fresh_before, 0.0, age_increment), n_elements)
+
+    # Poll bookkeeping on absolute source versions: the carried update
+    # count anchors in-slab cumulative counts, and a slab-opening poll
+    # compares against the carried last-polled version.
+    updates_so_far = np.cumsum(is_update, dtype=np.int64)
+    updates_before = ((updates_so_far - is_update)
+                      - (updates_so_far[segment_start_of]
+                         - is_update[segment_start_of]))
+    sync_positions = np.flatnonzero(is_sync)
+    sync_elements = element_of[sync_positions]
+    sync_versions = (updates_before[sync_positions]
+                     + carry.versions[sync_elements])
+    previous_versions = np.zeros_like(sync_versions)
+    if sync_versions.shape[0]:
+        previous_versions[1:] = sync_versions[:-1]
+        first_poll = np.empty(sync_versions.shape[0], dtype=bool)
+        first_poll[0] = True
+        np.not_equal(sync_elements[1:], sync_elements[:-1],
+                     out=first_poll[1:])
+        previous_versions[first_poll] = carry.last_polled_version[
+            sync_elements[first_poll]]
+    changed = sync_versions > previous_versions
+
+    # Final per-element state for the next slab (read the old carry
+    # before overwriting it).
+    final_state_change = last_state_change[segment_end_positions]
+    carry_fresh_present = carry.fresh[present]
+    final_fresh = np.where(
+        final_state_change >= 0,
+        kind_of[np.maximum(final_state_change, 0)] == sync_kind,
+        carry_fresh_present)
+    final_since = since_position[segment_end_positions]
+    carry.stale_since[present] = np.where(
+        final_since >= 0, time_of[np.maximum(final_since, 0)],
+        carry.stale_since[present])
+    carry.fresh[present] = final_fresh
+    carry.last_time[present] = time_of[segment_end_positions]
+    carry.versions += np.bincount(element_of[is_update],
+                                  minlength=n_elements
+                                  ).astype(np.int64)
+    if sync_versions.shape[0]:
+        last_poll = np.empty(sync_elements.shape[0], dtype=bool)
+        last_poll[-1] = True
+        np.not_equal(sync_elements[1:], sync_elements[:-1],
+                     out=last_poll[:-1])
+        carry.last_polled_version[sync_elements[last_poll]] = (
+            sync_versions[last_poll])
+
+    carry.poll_counts += np.bincount(
+        sync_elements, minlength=n_elements).astype(np.int64)
+    carry.changed_poll_counts += np.bincount(
+        sync_elements[changed], minlength=n_elements).astype(np.int64)
+    access_positions = np.flatnonzero(is_access)
+    carry.access_counts += np.bincount(
+        element_of[access_positions],
+        minlength=n_elements).astype(np.int64)
+    access_fresh = fresh_before[access_positions]
+    becomes_fresh = is_sync & ~fresh_before
+    carry.n_updates += int(np.count_nonzero(is_update))
+    carry.n_syncs += int(sync_positions.shape[0])
+    carry.n_accesses += int(access_positions.shape[0])
+    carry.useful_syncs += int(np.count_nonzero(changed))
+    carry.fresh_accesses += int(np.count_nonzero(access_fresh))
+    carry.fresh_count += (int(np.count_nonzero(becomes_fresh))
+                          - int(np.count_nonzero(run_start)))
+
+    # Bandwidth folds over syncs in *global* time order.
+    sync_sizes = sizes[elements[kinds == sync_kind]]
+    carry.bandwidth_used = float(np.bincount(
+        np.zeros(sync_sizes.shape[0] + 1, dtype=np.intp),
+        weights=np.concatenate([[carry.bandwidth_used], sync_sizes]),
+        minlength=1)[0])
+
+    fresh_before_global = np.empty(n_events, dtype=bool)
+    fresh_before_global[order] = fresh_before
+    run_start_global = np.empty(n_events, dtype=bool)
+    run_start_global[order] = run_start
+    becomes_fresh_global = np.empty(n_events, dtype=bool)
+    becomes_fresh_global[order] = becomes_fresh
+    changed_sync_global = np.zeros(n_events, dtype=bool)
+    changed_sync_global[order[sync_positions[changed]]] = True
+    return (fresh_before_global, run_start_global,
+            becomes_fresh_global, changed_sync_global)
+
+
+class StreamingReplay:
+    """Replay a horizon one whole-period slab at a time.
+
+    Feed consecutive slabs of the merged event tape (global clock,
+    split at period boundaries) with :meth:`feed`, then call
+    :meth:`finish` for the :class:`SimulationResult`.  The result —
+    including telemetry series, freshness ledger, fault accounting,
+    fault trace and post-run fault-rng / Gilbert–Elliott chain state
+    — is bit-identical to handing the concatenated tape to the
+    matching one-shot kernel (:func:`replay_fastpath`,
+    :func:`replay_fastpath_faulted` or :func:`replay_fastpath_ge`),
+    while holding only O(slab) transient memory plus the O(n)
+    :class:`ReplayCarry`.
+
+    Args:
+        catalog: The simulated workload.
+        frequencies: Per-element sync frequencies, in syncs/period.
+        period_length: Clock length of one sync period.
+        n_periods: Total periods the fed slabs must cover (may be
+            fractional; only the final slab may end off a period
+            boundary).
+        fault_args: Dispatch arguments from
+            :meth:`repro.sim.simulation.Simulation.fault_kernel_args`
+            (``kind`` ``"iid"`` or ``"ge"`` plus model, retry policy,
+            budget, rng), or None for fault-free replay.
+        fault_time_offset: Clock offset added to sync times on the
+            fault clock and to ledger stamps, in clock units (whole
+            periods).
+        record_fault_trace: Whether to build the reference-identical
+            per-attempt fault trace.
+    """
+
+    def __init__(self, catalog: Catalog, frequencies: np.ndarray, *,
+                 period_length: float, n_periods: float,
+                 fault_args: dict | None = None,
+                 fault_time_offset: float = 0.0,
+                 record_fault_trace: bool = False) -> None:
+        self._catalog = catalog
+        self._frequencies = frequencies
+        self._period_length = float(period_length)
+        self._n_periods = float(n_periods)
+        self._horizon = n_periods * period_length
+        self._fault_args = fault_args
+        self._fault_time_offset = float(fault_time_offset)
+        self._record_fault_trace = record_fault_trace
+        self._sizes = np.asarray(catalog.sizes, dtype=float)
+        self._planned = float(self._sizes @ frequencies)
+        self._carry = ReplayCarry.start(catalog.n_elements)
+        self._periods_done = 0.0
+        self._next_first_period = 0
+        self._fractional_tail = False
+        self._finished = False
+        # Fault accounting accumulators (channel-equivalent totals).
+        n = catalog.n_elements
+        self._attempted_polls = 0
+        self._made_polls = 0
+        self._successful_polls = 0
+        self._denied_polls = 0
+        self._denied_retries = 0
+        self._attempted_bandwidth = 0.0
+        self._attempted_poll_counts = np.zeros(n, dtype=np.int64)
+        self._failed_poll_counts = np.zeros(n, dtype=np.int64)
+        self._trace: list[tuple[float, int, str]] | None = (
+            [] if record_fault_trace else None)
+        self._chain: np.ndarray | None = None
+
+    @property
+    def carry(self) -> ReplayCarry:
+        """The cross-slab per-element state (read-mostly for tests)."""
+        return self._carry
+
+    def _resolve_slab(self, times: np.ndarray, elements: np.ndarray,
+                      kinds: np.ndarray
+                      ) -> tuple[FaultResolution, np.ndarray,
+                                 np.ndarray]:
+        """Resolve one slab's sync outcomes on the shared fault rng."""
+        fault_args = self._fault_args
+        assert fault_args is not None
+        sync_positions = np.flatnonzero(kinds == int(EventKind.SYNC))
+        sync_elements = elements[sync_positions]
+        fault_times = times[sync_positions] + self._fault_time_offset
+        if fault_args.get("kind", "iid") == "ge":
+            model = fault_args["model"]
+            if self._chain is None:
+                self._chain = model.chain_states(
+                    self._catalog.n_elements)
+            resolution, self._chain = resolve_ge_faults(
+                fault_times, sync_elements, self._sizes,
+                p_good_to_bad=model.p_good_to_bad,
+                p_bad_to_good=model.p_bad_to_good,
+                loss_good=model.loss_good, loss_bad=model.loss_bad,
+                failure_outcome=model.failure_outcome,
+                initial_bad=self._chain,
+                retry_policy=fault_args["retry_policy"],
+                bandwidth_budget=fault_args["bandwidth_budget"],
+                period_length=self._period_length,
+                rng=fault_args["rng"],
+                record_trace=self._record_fault_trace)
+        else:
+            resolution = resolve_iid_faults(
+                fault_times, sync_elements, self._sizes,
+                failure_probability=fault_args["failure_probability"],
+                failure_outcome=fault_args["failure_outcome"],
+                retry_policy=fault_args["retry_policy"],
+                bandwidth_budget=fault_args["bandwidth_budget"],
+                period_length=self._period_length,
+                rng=fault_args["rng"],
+                record_trace=self._record_fault_trace)
+        # Fold the slab's accounting into the running totals.  The
+        # attempt-bandwidth fold is sequential in sync order, so it
+        # continues with the carry-prepend trick like the kernel's.
+        attempts = resolution.attempts
+        self._attempted_polls += int(attempts.sum())
+        self._made_polls += int(np.count_nonzero(attempts))
+        self._successful_polls += int(
+            np.count_nonzero(resolution.success))
+        self._denied_polls += int(np.count_nonzero(resolution.denied))
+        self._denied_retries += resolution.denied_retries
+        attempt_sizes = np.repeat(self._sizes[sync_elements], attempts)
+        self._attempted_bandwidth = float(np.bincount(
+            np.zeros(attempt_sizes.shape[0] + 1, dtype=np.intp),
+            weights=np.concatenate([[self._attempted_bandwidth],
+                                    attempt_sizes]),
+            minlength=1)[0])
+        self._attempted_poll_counts += np.bincount(
+            sync_elements, weights=attempts,
+            minlength=self._attempted_poll_counts.shape[0]
+        ).astype(np.int64)
+        self._failed_poll_counts += np.bincount(
+            sync_elements, weights=attempts - resolution.success,
+            minlength=self._failed_poll_counts.shape[0]
+        ).astype(np.int64)
+        if self._trace is not None and resolution.trace is not None:
+            self._trace.extend(resolution.trace)
+        return resolution, sync_positions, sync_elements
+
+    def feed(self, times: np.ndarray, elements: np.ndarray,
+             kinds: np.ndarray, *, n_periods: float) -> None:
+        """Fold the next slab of the tape into the replay.
+
+        Args:
+            times: Slab event times on the *global* run clock,
+                time-ordered, all within the slab's period window.
+            elements: Element id per slab event.
+            kinds: :class:`~repro.sim.events.EventKind` per event.
+            n_periods: Periods this slab covers.  Slabs start at
+                whole-period boundaries; a fractional count is
+                allowed only for the final slab.
+        """
+        if self._finished:
+            raise SimulationError(
+                "StreamingReplay.feed after finish()")
+        if self._fractional_tail:
+            raise SimulationError(
+                "streaming slabs must split at whole periods; only "
+                "the final slab may cover a fractional count")
+        if n_periods <= 0.0:
+            raise SimulationError(
+                f"slab must cover > 0 periods, got {n_periods}")
+        first_period = self._next_first_period
+        if times.shape[0] and (float(times[0])
+                               < first_period * self._period_length):
+            raise SimulationError(
+                "slab events precede the slab's period window")
+
+        failed_per_period = None
+        retries_per_period = None
+        telemetry_on = obs.telemetry_enabled()
+        if self._fault_args is not None:
+            resolution, sync_positions, _ = self._resolve_slab(
+                times, elements, kinds)
+            if telemetry_on:
+                n_buckets = max(int(np.ceil(n_periods)) - 1, 0) + 1
+                sync_buckets = ((times[sync_positions]
+                                 / self._period_length)
+                                .astype(np.int64) - first_period)
+                failed_per_period = np.bincount(
+                    sync_buckets,
+                    weights=(resolution.attempts
+                             - resolution.success),
+                    minlength=n_buckets).astype(np.int64)
+                retries_per_period = np.bincount(
+                    sync_buckets,
+                    weights=(resolution.attempts
+                             - (resolution.attempts > 0)),
+                    minlength=n_buckets).astype(np.int64)
+            keep = np.ones(times.shape[0], dtype=bool)
+            keep[sync_positions[~resolution.success]] = False
+            kept = np.flatnonzero(keep)
+            times = times[kept]
+            elements = elements[kept]
+            kinds = kinds[kept]
+
+        fresh_base = self._carry.fresh_count
+        flags = _replay_tape_chunk(self._carry, self._sizes,
+                                   times, elements, kinds)
+        if telemetry_on:
+            _emit_period_series(
+                times, elements, kinds, self._sizes,
+                flags[0], flags[1], flags[2],
+                self._catalog.n_elements,
+                period_length=self._period_length,
+                n_periods=n_periods, planned=self._planned,
+                failed_per_period=failed_per_period,
+                retries_per_period=retries_per_period,
+                first_period=first_period,
+                initial_fresh=fresh_base)
+            _emit_ledger(times, elements, kinds, flags[1],
+                         time_offset=self._fault_time_offset)
+
+        self._periods_done += n_periods
+        whole = int(n_periods)
+        if float(whole) != float(n_periods):
+            self._fractional_tail = True
+        self._next_first_period = first_period + max(whole, 1)
+
+    def finish(self) -> SimulationResult:
+        """Flush the horizon and assemble the result."""
+        if self._finished:
+            raise SimulationError("StreamingReplay.finish called twice")
+        if abs(self._periods_done - self._n_periods) > 1e-9:
+            raise SimulationError(
+                f"streamed slabs cover {self._periods_done} periods, "
+                f"expected {self._n_periods}")
+        self._finished = True
+        carry = self._carry
+        horizon = self._horizon
+        catalog = self._catalog
+
+        fault_args = self._fault_args
+        if (fault_args is not None
+                and fault_args.get("kind", "iid") == "ge"
+                and self._chain is not None):
+            fault_args["model"].set_chain_states(self._chain)
+
+        # Horizon flush: identical operations to the one-shot kernel
+        # (and so to FreshnessMonitor.close()), on the carried state.
+        remaining = horizon - carry.last_time
+        if (remaining < -1e-9).any():
+            raise SimulationError(
+                "events were recorded beyond the horizon")
+        fresh_time = carry.fresh_time + (np.maximum(remaining, 0.0)
+                                         * carry.fresh)
+        age_integral = carry.age_integral
+        stale = ~carry.fresh & (remaining > 0.0)
+        if stale.any():
+            since = carry.stale_since[stale]
+            start = carry.last_time[stale]
+            age_integral = age_integral.copy()
+            age_integral[stale] += 0.5 * (
+                (horizon - since) ** 2 - (start - since) ** 2)
+        element_freshness = fresh_time / horizon
+        element_age = age_integral / horizon
+
+        p = catalog.access_probabilities
+        perceived_by_accesses = (
+            carry.fresh_accesses / carry.n_accesses
+            if carry.n_accesses
+            else float(p @ element_freshness))
+
+        accounting: _FaultAccounting | None = None
+        engine = "fastpath"
+        if fault_args is not None:
+            engine = ("fastpath_ge"
+                      if fault_args.get("kind", "iid") == "ge"
+                      else "fastpath_faulted")
+            accounting = _FaultAccounting(
+                attempted_polls=self._attempted_polls,
+                failed_polls=(self._attempted_polls
+                              - self._successful_polls),
+                retries=self._attempted_polls - self._made_polls,
+                denied_polls=self._denied_polls,
+                denied_retries=self._denied_retries,
+                failed_syncs=(self._made_polls
+                              - self._successful_polls),
+                attempted_bandwidth=self._attempted_bandwidth,
+                attempted_poll_counts=self._attempted_poll_counts,
+                failed_poll_counts=self._failed_poll_counts,
+            )
+
+        if obs.telemetry_enabled():
+            if accounting is not None:
+                outcome = (
+                    fault_args["model"].failure_outcome
+                    if engine == "fastpath_ge"
+                    else fault_args["failure_outcome"])
+                _emit_fault_counters(accounting, outcome)
+            _emit_monitor_close(element_freshness, element_age,
+                                carry.n_accesses,
+                                carry.fresh_accesses, horizon)
+            obs.counter_add("sim.runs")
+            obs.counter_add(f"sim.{engine}_runs")
+            obs.counter_add(f"sim.engine.{engine}")
+            obs.counter_add("sim.syncs", carry.n_syncs)
+            obs.counter_add("sim.useful_syncs", carry.useful_syncs)
+            obs.counter_add("sim.updates", carry.n_updates)
+            obs.counter_add("sim.accesses", carry.n_accesses)
+            obs.gauge_set("sim.bandwidth_used", carry.bandwidth_used)
+            obs.gauge_set("sim.monitored_perceived_freshness",
+                          float(perceived_by_accesses))
+            obs.gauge_set("sim.monitored_general_freshness",
+                          float(element_freshness.mean()))
+            if accounting is not None:
+                obs.gauge_set("sim.attempted_bandwidth",
+                              accounting.attempted_bandwidth)
+                obs.gauge_set(
+                    "sim.poll_failure_fraction",
+                    (accounting.failed_polls
+                     / accounting.attempted_polls
+                     if accounting.attempted_polls else 0.0))
+
+        if accounting is None:
+            return SimulationResult(
+                catalog=catalog,
+                frequencies=self._frequencies,
+                horizon=horizon,
+                period_length=self._period_length,
+                n_updates=carry.n_updates,
+                n_syncs=carry.n_syncs,
+                n_accesses=carry.n_accesses,
+                useful_syncs=carry.useful_syncs,
+                bandwidth_used=carry.bandwidth_used,
+                monitored_perceived_freshness=float(
+                    perceived_by_accesses),
+                monitored_time_perceived=float(p @ element_freshness),
+                monitored_general_freshness=float(
+                    element_freshness.mean()),
+                element_time_freshness=element_freshness,
+                element_time_age=element_age,
+                monitored_perceived_age=float(p @ element_age),
+                access_counts=carry.access_counts,
+                poll_counts=carry.poll_counts,
+                changed_poll_counts=carry.changed_poll_counts,
+                attempted_polls=carry.n_syncs,
+                attempted_bandwidth=carry.bandwidth_used,
+            )
+        return SimulationResult(
+            catalog=catalog,
+            frequencies=self._frequencies,
+            horizon=horizon,
+            period_length=self._period_length,
+            n_updates=carry.n_updates,
+            n_syncs=carry.n_syncs,
+            n_accesses=carry.n_accesses,
+            useful_syncs=carry.useful_syncs,
+            bandwidth_used=carry.bandwidth_used,
+            monitored_perceived_freshness=float(perceived_by_accesses),
+            monitored_time_perceived=float(p @ element_freshness),
+            monitored_general_freshness=float(element_freshness.mean()),
+            element_time_freshness=element_freshness,
+            element_time_age=element_age,
+            monitored_perceived_age=float(p @ element_age),
+            access_counts=carry.access_counts,
+            poll_counts=carry.poll_counts,
+            changed_poll_counts=carry.changed_poll_counts,
+            attempted_polls=accounting.attempted_polls,
+            failed_polls=accounting.failed_polls,
+            unreachable_polls=0,
+            retries=accounting.retries,
+            breaker_skips=0,
+            denied_polls=accounting.denied_polls,
+            attempted_bandwidth=accounting.attempted_bandwidth,
+            attempted_poll_counts=accounting.attempted_poll_counts,
+            failed_poll_counts=accounting.failed_poll_counts,
+            unreachable_poll_counts=np.zeros(catalog.n_elements,
+                                             dtype=np.int64),
+            unreachable_elements=None,
+            fault_trace=(tuple(self._trace)
+                         if self._record_fault_trace
+                         and self._trace is not None else None),
+        )

@@ -9,9 +9,33 @@
 Both produce bulk :class:`~repro.sim.events.EventStream` tapes for a
 whole horizon — statistically identical to step-by-step generation
 but far faster, and trivially reproducible from a seed.
+
+Both also expose a raw ``draw_window(start, end)`` primitive for the
+streaming slab pipeline: it performs exactly the draws ``generate``
+would for a window of the same length (Poisson counts, then uniform
+instants, then — for requests — one uniform per element pick), but
+returns plain arrays without the per-stream sort so the caller can
+fuse the cross-kind merge into a single stable argsort.  Element
+picks use precomputed-CDF ``searchsorted`` sampling, which consumes
+the identical ``rng.random`` variates ``rng.choice(p=...)`` would and
+returns the identical indices — verified bit-for-bit — while hoisting
+the O(n) CDF build out of the per-call path.
+
+``draw_window_sorted(start, end)`` is the streaming fast path proper:
+it produces each window already time-ordered in O(n) — exponential
+spacings give the Poisson arrival instants as ready-made order
+statistics, and a shuffled multiset of per-element counts replaces
+both ``np.repeat``-then-sort and per-event CDF lookups.  The result
+is *statistically* identical to ``draw_window`` plus a stable sort
+(exactly, not approximately — superposition and order-statistics
+identities, no discretization), but consumes a different rng stream,
+so slabbed and one-shot horizons agree in distribution rather than
+bit for bit.
 """
 
 from __future__ import annotations
+
+from typing import Any
 
 import numpy as np
 
@@ -20,6 +44,22 @@ from repro.sim.events import EventKind, EventStream
 from repro.workloads.catalog import Catalog
 
 __all__ = ["UpdateGenerator", "RequestGenerator"]
+
+
+def _repeat_arange_into(counts: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Fill ``out`` with ``np.repeat(np.arange(len(counts)), counts)``.
+
+    Writes block starts and integrates instead of materializing the
+    arange + repeat intermediates, so a reused arena buffer absorbs
+    the whole expansion (zero-count elements stack their start marks,
+    which the cumulative sum turns into the skipped ids).
+    """
+    out[:] = 0
+    if out.shape[0]:
+        starts = np.cumsum(counts[:-1])
+        np.add.at(out, starts[starts < out.shape[0]], 1)
+        np.cumsum(out, out=out)
+    return out
 
 
 class UpdateGenerator:
@@ -39,12 +79,96 @@ class UpdateGenerator:
         self._rates = catalog.change_rates / period_length  # per clock unit
         self._rng = rng
 
-    def generate(self, horizon: float) -> EventStream:
-        """All update events in ``[0, horizon)``.
+    def draw_window(self, start: float, end: float, *,
+                    rng: np.random.Generator | None = None,
+                    arena: Any = None,
+                    ) -> tuple[np.ndarray, np.ndarray]:
+        """Raw update draws for ``[start, end)`` — unsorted.
 
         A Poisson process with rate r over a window of length H has
         Poisson(r·H) events at i.i.d. uniform instants; sampling that
-        way is exact and vectorizes across elements.
+        way is exact and vectorizes across elements.  Draw order is
+        the canonical one: per-element Poisson counts, then one
+        uniform instant per event, element-major.
+
+        Args:
+            start: Window start in clock time.
+            end: Window end, > ``start``.
+            rng: Generator to draw from (defaults to the constructor
+                rng; streaming slabs pass per-slab spawn children).
+            arena: Optional :class:`~repro.sim.fastpath.ReplayArena`;
+                when given, the element-id expansion reuses its
+                scratch buffer instead of allocating.
+
+        Returns:
+            ``(times, elements)`` — unsorted float64/int64 arrays.
+        """
+        if end <= start:
+            raise ValidationError(
+                f"window end must exceed start, got [{start}, {end})")
+        rng = self._rng if rng is None else rng
+        counts = rng.poisson(self._rates * (end - start))
+        total = int(counts.sum())
+        if arena is None:
+            elements = np.repeat(np.arange(self._rates.shape[0],
+                                           dtype=np.int64), counts)
+        else:
+            elements = _repeat_arange_into(
+                counts, arena.take("gen_update_elements", total, np.int64))
+        times = rng.uniform(start, end, size=total)
+        return times, elements
+
+    def draw_window_sorted(self, start: float, end: float, *,
+                           rng: np.random.Generator | None = None,
+                           arena: Any = None,
+                           ) -> tuple[np.ndarray, np.ndarray]:
+        """Update draws for ``[start, end)`` with *sorted* times, O(n).
+
+        Statistically identical to :meth:`draw_window` followed by a
+        stable time sort, but never sorts: the superposed process's
+        arrival instants are uniform order statistics, which
+        normalized exponential spacings produce already ordered, and
+        conditioned on the per-element counts the element labels in
+        time order are a uniformly shuffled multiset.  Draw order is
+        the canonical *streaming* one: per-element Poisson counts,
+        one multiset shuffle, then N+1 exponential spacings — a
+        different stream from :meth:`draw_window`, so the two windows
+        agree in distribution, not bit for bit.
+
+        Args:
+            start: Window start in clock time.
+            end: Window end, > ``start``.
+            rng: Generator to draw from (defaults to the constructor
+                rng; streaming slabs pass per-slab spawn children).
+            arena: Optional :class:`~repro.sim.fastpath.ReplayArena`;
+                when given, the element-id expansion reuses its
+                scratch buffer instead of allocating.
+
+        Returns:
+            ``(times, elements)`` — sorted float64 times and int64
+            element ids.
+        """
+        if end <= start:
+            raise ValidationError(
+                f"window end must exceed start, got [{start}, {end})")
+        rng = self._rng if rng is None else rng
+        counts = rng.poisson(self._rates * (end - start))
+        total = int(counts.sum())
+        if arena is None:
+            elements = np.repeat(np.arange(self._rates.shape[0],
+                                           dtype=np.int64), counts)
+        else:
+            elements = _repeat_arange_into(
+                counts, arena.take("gen_update_elements", total, np.int64))
+        rng.shuffle(elements)
+        spans = np.cumsum(rng.standard_exponential(total + 1))
+        times = spans[:total]
+        times *= (end - start) / spans[total]
+        times += start
+        return times, elements
+
+    def generate(self, horizon: float) -> EventStream:
+        """All update events in ``[0, horizon)``.
 
         Args:
             horizon: Clock length of the simulated window, > 0.
@@ -54,11 +178,7 @@ class UpdateGenerator:
         """
         if horizon <= 0.0:
             raise ValidationError(f"horizon must be > 0, got {horizon}")
-        counts = self._rng.poisson(self._rates * horizon)
-        total = int(counts.sum())
-        elements = np.repeat(np.arange(self._rates.shape[0],
-                                       dtype=np.int64), counts)
-        times = self._rng.uniform(0.0, horizon, size=total)
+        times, elements = self.draw_window(0.0, horizon)
         order = np.argsort(times, kind="stable")
         return EventStream(kind=EventKind.UPDATE, times=times[order],
                            elements=elements[order])
@@ -78,8 +198,93 @@ class RequestGenerator:
         if rate <= 0.0:
             raise ValidationError(f"rate must be > 0, got {rate}")
         self._probabilities = catalog.access_probabilities
+        # Precompute the sampling CDF once: searchsorted over it with
+        # uniform variates reproduces rng.choice(p=...) draw-for-draw
+        # (numpy builds this identical normalized cumsum per call).
+        cdf = np.cumsum(self._probabilities)
+        cdf /= cdf[-1]
+        self._cdf = cdf
+        self._pvals = self._probabilities / self._probabilities.sum()
         self._rate = rate
         self._rng = rng
+
+    def draw_window(self, start: float, end: float, *,
+                    rng: np.random.Generator | None = None,
+                    ) -> tuple[np.ndarray, np.ndarray]:
+        """Raw access draws for ``[start, end)`` — times sorted.
+
+        Draw order is canonical: one Poisson count, the uniform
+        instants, then one uniform per element pick (consumed by the
+        precomputed-CDF ``searchsorted``, matching ``rng.choice``).
+
+        Args:
+            start: Window start in clock time.
+            end: Window end, > ``start``.
+            rng: Generator to draw from (defaults to the constructor
+                rng; streaming slabs pass per-slab spawn children).
+
+        Returns:
+            ``(times, elements)`` — float64 sorted times and the
+            int64 elements accessed at them.
+        """
+        if end <= start:
+            raise ValidationError(
+                f"window end must exceed start, got [{start}, {end})")
+        rng = self._rng if rng is None else rng
+        count = int(rng.poisson(self._rate * (end - start)))
+        times = np.sort(rng.uniform(start, end, size=count))
+        elements = self._cdf.searchsorted(rng.random(count), side="right")
+        return times, elements.astype(np.int64, copy=False)
+
+    def draw_window_sorted(self, start: float, end: float, *,
+                           rng: np.random.Generator | None = None,
+                           arena: Any = None,
+                           ) -> tuple[np.ndarray, np.ndarray]:
+        """Access draws for ``[start, end)`` with *sorted* times, O(n).
+
+        Statistically identical to :meth:`draw_window` (whose uniform
+        instants are sorted anyway), but replaces the per-event CDF
+        binary search — random access into an O(catalog) array, the
+        hot spot at 10⁶ elements — with one multinomial split of the
+        Poisson count across the profile plus a multiset shuffle,
+        and draws the instants pre-ordered via exponential spacings.
+        Draw order is the canonical streaming one: one Poisson count,
+        the multinomial split, one shuffle, then the spacings — a
+        different stream from :meth:`draw_window`, so the two windows
+        agree in distribution, not bit for bit.
+
+        Args:
+            start: Window start in clock time.
+            end: Window end, > ``start``.
+            rng: Generator to draw from (defaults to the constructor
+                rng; streaming slabs pass per-slab spawn children).
+            arena: Optional :class:`~repro.sim.fastpath.ReplayArena`;
+                when given, the element-id expansion reuses its
+                scratch buffer instead of allocating.
+
+        Returns:
+            ``(times, elements)`` — sorted float64 times and int64
+            element ids.
+        """
+        if end <= start:
+            raise ValidationError(
+                f"window end must exceed start, got [{start}, {end})")
+        rng = self._rng if rng is None else rng
+        count = int(rng.poisson(self._rate * (end - start)))
+        counts = rng.multinomial(count, self._pvals)
+        if arena is None:
+            elements = np.repeat(np.arange(self._pvals.shape[0],
+                                           dtype=np.int64), counts)
+        else:
+            elements = _repeat_arange_into(
+                counts, arena.take("gen_access_elements", count,
+                                   np.int64))
+        rng.shuffle(elements)
+        spans = np.cumsum(rng.standard_exponential(count + 1))
+        times = spans[:count]
+        times *= (end - start) / spans[count]
+        times += start
+        return times, elements
 
     def generate(self, horizon: float) -> EventStream:
         """All access events in ``[0, horizon)``.
@@ -92,9 +297,6 @@ class RequestGenerator:
         """
         if horizon <= 0.0:
             raise ValidationError(f"horizon must be > 0, got {horizon}")
-        count = int(self._rng.poisson(self._rate * horizon))
-        times = np.sort(self._rng.uniform(0.0, horizon, size=count))
-        elements = self._rng.choice(self._probabilities.shape[0],
-                                    size=count, p=self._probabilities)
+        times, elements = self.draw_window(0.0, horizon)
         return EventStream(kind=EventKind.ACCESS, times=times,
-                           elements=elements.astype(np.int64))
+                           elements=elements)

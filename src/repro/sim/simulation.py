@@ -32,9 +32,17 @@ from repro.faults.model import FaultPlan, PollOutcome
 from repro.faults.retry import RetryPolicy
 from repro.faults.topology import Topology
 from repro.obs import registry as obs
-from repro.sim.events import EventKind, EventStream, merge_streams
+from repro.sim.events import (
+    EventKind,
+    EventStream,
+    merge_kind_blocks,
+    merge_sorted_blocks,
+    merge_streams,
+)
 from repro.sim.evaluator import FreshnessMonitor, SimulationResult
 from repro.sim.fastpath import (
+    ReplayArena,
+    StreamingReplay,
     replay_fastpath,
     replay_fastpath_faulted,
     replay_fastpath_ge,
@@ -257,7 +265,7 @@ class Simulation:
         """The timed Fixed-Order schedule the mirror executes."""
         return self._schedule
 
-    def build_tape(self, n_periods: float
+    def build_tape(self, n_periods: float, *, fused: bool = True
                    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Draw and merge the run's full event tape.
 
@@ -269,11 +277,31 @@ class Simulation:
 
         Args:
             n_periods: Number of periods the tape covers, > 0.
+            fused: Use the fused single-argsort merge over raw
+                ``draw_window`` pulls (bit-identical output and rng
+                consumption, roughly half the generation time).
+                Falls back to the per-stream sort +
+                :func:`~repro.sim.events.merge_streams` route
+                automatically for custom update generators that lack
+                ``draw_window``; pass False to force that legacy
+                route (the generation benchmark's baseline).
 
         Returns:
             ``(times, elements, kinds)`` merged in time order.
         """
         horizon = n_periods * self._period_length
+        draw_window = getattr(self._updates, "draw_window", None)
+        if fused and draw_window is not None:
+            update_times, update_elements = draw_window(0.0, horizon)
+            sync_times, sync_elements = \
+                self._schedule.events_until(horizon)
+            access_times, access_elements = \
+                self._requests.draw_window(0.0, horizon)
+            return merge_kind_blocks(
+                update_times, update_elements,
+                sync_times, sync_elements,
+                access_times, access_elements,
+                n_elements=self._catalog.n_elements)
         sync_times, sync_elements = self._schedule.events_until(horizon)
         streams = [
             self._updates.generate(horizon),
@@ -332,7 +360,8 @@ class Simulation:
         return None
 
     def run(self, n_periods: float, *,
-            engine: str = "auto") -> SimulationResult:
+            engine: str = "auto",
+            chunk_periods: int | None = None) -> SimulationResult:
         """Simulate ``n_periods`` sync periods.
 
         Args:
@@ -352,6 +381,17 @@ class Simulation:
                 loop.  The engines are bit-identical, so this knob
                 exists for equivalence tests and debugging, not for
                 correctness.
+            chunk_periods: When given, generate and replay the
+                horizon in slabs of this many periods through the
+                streaming engine (:class:`~repro.sim.fastpath.
+                StreamingReplay`), keeping peak memory O(slab)
+                instead of O(horizon).  Replay of a given tape is
+                bit-identical to one-shot; *generation* switches to
+                per-slab ``rng.spawn`` child streams, so results are
+                statistically equivalent but not draw-identical to
+                ``chunk_periods=None`` (see docs/PERFORMANCE.md).
+                Requires a kernel-eligible plan and an update
+                generator with ``draw_window``.
 
         Returns:
             The measured :class:`SimulationResult`.
@@ -362,9 +402,13 @@ class Simulation:
                 f"got {engine!r}")
         if n_periods <= 0.0:
             raise ValidationError(f"n_periods must be > 0, got {n_periods}")
+        if chunk_periods is not None:
+            return self._run_streaming(n_periods, engine=engine,
+                                       chunk_periods=chunk_periods)
         horizon = n_periods * self._period_length
 
-        times, elements, kinds = self.build_tape(n_periods)
+        with obs.span("sim.generate"):
+            times, elements, kinds = self.build_tape(n_periods)
 
         # A quiet (or absent) fault plan bypasses the channel
         # entirely: the fault-free paths below consume no extra
@@ -645,3 +689,121 @@ class Simulation:
                          if channel is not None
                          and self._record_fault_trace else None),
         )
+
+    def _run_streaming(self, n_periods: float, *, engine: str,
+                       chunk_periods: int) -> SimulationResult:
+        """Generate and replay the horizon in bounded period slabs.
+
+        Each slab draws its own events from an ``rng.spawn`` child
+        (canonical chunked draw order: sorted update window, sync
+        schedule window, sorted request window), merges the three
+        pre-sorted streams in O(slab) position arithmetic — no
+        argsort anywhere on the slab path — and feeds them to the
+        :class:`~repro.sim.fastpath.StreamingReplay` carry kernel.
+        Peak memory is the carry state plus one slab's tape.
+        Generators lacking ``draw_window_sorted`` (custom update
+        processes exposing only the raw ``draw_window`` primitive)
+        fall back to unsorted draws fused by one stable argsort.
+        """
+        if int(chunk_periods) != chunk_periods or chunk_periods < 1:
+            raise ValidationError(
+                f"chunk_periods must be a positive integer, got "
+                f"{chunk_periods}")
+        if engine == "reference":
+            raise ValidationError(
+                "chunk_periods streams through the fastpath kernel; "
+                "use engine='auto' or 'fastpath'")
+        fault_free = (self._fault_plan is None
+                      or self._fault_plan.is_quiet)
+        kernel_faults = (None if fault_free
+                         else self.fault_kernel_args())
+        if not fault_free and kernel_faults is None:
+            raise ValidationError(
+                "chunk_periods cannot replay this fault plan "
+                "(latency draws, multiple models, outage windows, a "
+                "breaker, a relay topology, a gated retry policy or "
+                "a non-retryable Gilbert–Elliott outcome)")
+        if not hasattr(self._updates, "draw_window"):
+            raise ValidationError(
+                "chunk_periods requires an update generator with a "
+                "draw_window(start, end) primitive")
+
+        chunk = int(chunk_periods)
+        n_slabs = int(np.ceil(n_periods / chunk))
+        try:
+            children = self._rng.spawn(n_slabs)
+        except (AttributeError, TypeError, ValueError):
+            # Hand-built bit generator without a seed sequence:
+            # derive children the draw-consuming way.
+            children = [
+                np.random.default_rng(np.random.SeedSequence(
+                    int(self._rng.integers(np.iinfo(np.int64).max))))
+                for _ in range(n_slabs)]
+
+        streaming = StreamingReplay(
+            self._catalog, self._frequencies,
+            period_length=self._period_length, n_periods=n_periods,
+            fault_args=kernel_faults,
+            fault_time_offset=self._fault_time_offset,
+            record_fault_trace=self._record_fault_trace)
+        arena = ReplayArena()
+        n_elements = self._catalog.n_elements
+        sorted_draws = hasattr(self._updates, "draw_window_sorted")
+        for slab, child in enumerate(children):
+            first = slab * chunk
+            last = min(first + chunk, n_periods)
+            start = first * self._period_length
+            end = last * self._period_length
+            with obs.span("sim.generate"):
+                sync_times, sync_elements = \
+                    self._schedule.events_between(start, end)
+                if sorted_draws:
+                    update_times, update_elements = \
+                        self._updates.draw_window_sorted(
+                            start, end, rng=child, arena=arena)
+                    access_times, access_elements = \
+                        self._requests.draw_window_sorted(
+                            start, end, rng=child, arena=arena)
+                    times, elements, kinds = merge_sorted_blocks(
+                        update_times, update_elements,
+                        sync_times, sync_elements,
+                        access_times, access_elements,
+                        n_elements=n_elements)
+                else:
+                    update_times, update_elements = \
+                        self._updates.draw_window(start, end,
+                                                  rng=child,
+                                                  arena=arena)
+                    access_times, access_elements = \
+                        self._requests.draw_window(start, end,
+                                                   rng=child)
+                    times, elements, kinds = merge_kind_blocks(
+                        update_times, update_elements,
+                        sync_times, sync_elements,
+                        access_times, access_elements,
+                        n_elements=n_elements, arena=arena)
+            with obs.span("sim.run"):
+                streaming.feed(times, elements, kinds,
+                               n_periods=last - first)
+        with obs.span("sim.run"):
+            result = streaming.finish()
+
+        if contracts_enabled():
+            scheduled = self._frequencies > 0.0
+            granularity = float(self._catalog.sizes[scheduled].sum())
+            check_sync_conservation(
+                result.bandwidth_used,
+                self._planned_per_period,
+                n_periods,
+                granularity,
+                where="Simulation.run")
+            if kernel_faults is not None:
+                budget = kernel_faults["bandwidth_budget"]
+                if budget is not None:
+                    check_attempt_budget(
+                        result.attempted_bandwidth,
+                        budget,
+                        float(np.ceil(n_periods)),
+                        granularity,
+                        where="Simulation.run")
+        return result

@@ -295,3 +295,55 @@ class TestBatchedWindows:
     def test_batch_validated(self, world):
         with pytest.raises(ValidationError):
             make_manager(world).run(3, batch=0)
+
+class TestSlabGroups:
+    """Window batching split into slab groups stays bit-identical."""
+
+    @staticmethod
+    def _reports_equal(left, right):
+        assert len(left) == len(right)
+        for a, b in zip(left, right):
+            assert dataclasses.asdict(a) == dataclasses.asdict(b)
+
+    @pytest.mark.parametrize("kind", ["quiet", "iid", "ge"])
+    def test_slabbed_window_matches_unsplit(self, world, kind):
+        """Splitting a window's kernel calls into 2-period slabs must
+        not change any report: tapes are drawn in period order either
+        way, and per-period results do not depend on the grouping."""
+        from repro.faults.model import GilbertElliottFaultModel
+
+        def runner(slab_periods):
+            kwargs = {}
+            if kind == "iid":
+                kwargs = dict(fault_plan=FaultPlan.iid(0.25),
+                              retry_policy=RetryPolicy(max_retries=3))
+            elif kind == "ge":
+                kwargs = dict(
+                    fault_plan=FaultPlan(
+                        models=(GilbertElliottFaultModel(0.2, 0.5),)),
+                    retry_policy=RetryPolicy(max_retries=2))
+            return make_manager(world, replan_every=4, **kwargs).run(
+                12, batch=4, slab_periods=slab_periods)
+
+        unsplit = runner(None)
+        self._reports_equal(unsplit, runner(2))
+        self._reports_equal(unsplit, runner(1))
+
+    def test_slabbed_drift_rollback_matches_sequential(self, world):
+        """A drift replan landing mid-slab-group must roll the tail
+        back exactly as the unsplit window does."""
+        def runner(batch, slab_periods=None):
+            return make_manager(
+                world, fault_plan=FaultPlan.iid(0.25),
+                retry_policy=RetryPolicy(max_retries=3),
+                replan_every=0, replan_divergence=0.03).run(
+                14, batch=batch, slab_periods=slab_periods)
+
+        sequential = runner(1)
+        slabbed = runner(8, slab_periods=3)
+        assert any(r.replanned for r in sequential[1:])
+        self._reports_equal(sequential, slabbed)
+
+    def test_slab_periods_validated(self, world):
+        with pytest.raises(ValidationError):
+            make_manager(world).run(3, slab_periods=0)
